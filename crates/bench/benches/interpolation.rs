@@ -1,0 +1,34 @@
+//! The "optimizer function query in an instant" claim (paper abstract):
+//! after reconstruction, one optimizer query is a spline evaluation, not
+//! a circuit batch. Benchmarks spline fit + query latency against the
+//! circuit-execution latency it replaces.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use oscar_core::grid::Grid2d;
+use oscar_core::interpolate::BivariateSpline;
+use oscar_core::landscape::Landscape;
+use oscar_problems::ising::IsingProblem;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_interpolation(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(4);
+    let problem = IsingProblem::random_3_regular(16, &mut rng);
+    let eval = problem.qaoa_evaluator();
+    let grid = Grid2d::small_p1(25, 40);
+    let landscape = Landscape::from_qaoa(grid, &eval);
+
+    let mut group = c.benchmark_group("optimizer_query");
+    group.bench_function("spline_fit_25x40", |b| {
+        b.iter(|| BivariateSpline::fit(&landscape))
+    });
+    let spline = BivariateSpline::fit(&landscape);
+    group.bench_function("spline_query", |b| b.iter(|| spline.eval(0.123, 0.456)));
+    group.bench_function("circuit_query_16q", |b| {
+        b.iter(|| eval.expectation(&[0.123], &[0.456]))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_interpolation);
+criterion_main!(benches);

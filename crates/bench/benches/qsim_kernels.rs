@@ -1,0 +1,61 @@
+//! Quantum-simulator kernel throughput: one QAOA landscape point costs
+//! `O(p n 2^n)` via the fast evaluator; the generic gate path is the
+//! baseline it replaces.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oscar_problems::ansatz::Ansatz;
+use oscar_problems::ising::IsingProblem;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_qaoa_point(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qaoa_expectation");
+    for &n in &[12usize, 16, 20] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let problem = IsingProblem::random_3_regular(n, &mut rng);
+        let eval = problem.qaoa_evaluator();
+        group.bench_with_input(BenchmarkId::new("fast_path_p1", n), &n, |b, _| {
+            b.iter(|| eval.expectation(&[0.23], &[0.71]))
+        });
+    }
+    group.finish();
+
+    // Generic gate path vs fast path at a size where both are feasible.
+    let mut group = c.benchmark_group("fast_vs_generic_12q");
+    group.sample_size(20);
+    let mut rng = StdRng::seed_from_u64(5);
+    let problem = IsingProblem::random_3_regular(12, &mut rng);
+    let eval = problem.qaoa_evaluator();
+    let ansatz = Ansatz::qaoa(&problem, 1);
+    let h = problem.hamiltonian();
+    group.bench_function("fast", |b| b.iter(|| eval.expectation(&[0.23], &[0.71])));
+    group.bench_function("generic_circuit", |b| {
+        b.iter(|| ansatz.expectation(&[0.71, 0.23], &h))
+    });
+    group.finish();
+}
+
+fn bench_statevector_gates(c: &mut Criterion) {
+    use oscar_qsim::state::StateVector;
+    let mut group = c.benchmark_group("statevector_gates_16q");
+    group.bench_function("rx_sweep", |b| {
+        let mut psi = StateVector::plus_state(16);
+        b.iter(|| {
+            for q in 0..16 {
+                psi.rx(q, 0.1);
+            }
+        })
+    });
+    group.bench_function("cnot_chain", |b| {
+        let mut psi = StateVector::plus_state(16);
+        b.iter(|| {
+            for q in 0..15 {
+                psi.cnot(q, q + 1);
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_qaoa_point, bench_statevector_gates);
+criterion_main!(benches);

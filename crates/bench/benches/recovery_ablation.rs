@@ -1,0 +1,80 @@
+//! Ablation: FISTA (l1 relaxation) vs OMP (greedy) sparse recovery on the
+//! same landscape reconstruction task — the design choice DESIGN.md calls
+//! out.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use oscar_core::grid::Grid2d;
+use oscar_core::landscape::Landscape;
+use oscar_core::metrics::nrmse;
+use oscar_cs::dct::Dct2d;
+use oscar_cs::fista::{fista, FistaConfig};
+use oscar_cs::measure::{MeasurementOperator, SamplePattern};
+use oscar_cs::omp::{omp, OmpConfig};
+use oscar_problems::ising::IsingProblem;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_recovery(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let problem = IsingProblem::random_3_regular(10, &mut rng);
+    let grid = Grid2d::small_p1(20, 30);
+    let truth = Landscape::from_qaoa(grid, &problem.qaoa_evaluator());
+    let dct = Dct2d::new(20, 30);
+    let pattern = SamplePattern::random(20, 30, 0.12, &mut rng);
+    let y = pattern.gather(truth.values());
+
+    let mut group = c.benchmark_group("recovery_ablation");
+    group.sample_size(10);
+    group.bench_function("fista", |b| {
+        b.iter(|| {
+            let op = MeasurementOperator::new(&dct, &pattern);
+            fista(&op, &y, &FistaConfig::default()).support_size
+        })
+    });
+    group.bench_function("ista", |b| {
+        b.iter(|| {
+            let op = MeasurementOperator::new(&dct, &pattern);
+            oscar_cs::ista::ista(&op, &y, &FistaConfig::default()).support_size
+        })
+    });
+    group.bench_function("omp_32_atoms", |b| {
+        b.iter(|| {
+            let op = MeasurementOperator::new(&dct, &pattern);
+            omp(
+                &op,
+                &y,
+                &OmpConfig {
+                    max_atoms: 32,
+                    residual_tol: 1e-6,
+                },
+            )
+            .support
+            .len()
+        })
+    });
+    group.finish();
+
+    // Accuracy comparison printed once.
+    let op = MeasurementOperator::new(&dct, &pattern);
+    let f = fista(&op, &y, &FistaConfig::default());
+    let o = omp(
+        &op,
+        &y,
+        &OmpConfig {
+            max_atoms: 32,
+            residual_tol: 1e-6,
+        },
+    );
+    let fr = dct.inverse(&f.coefficients);
+    let or = dct.inverse(&o.coefficients);
+    println!(
+        "\n[recovery_ablation] NRMSE: FISTA {:.4} (support {}), OMP {:.4} (support {})\n",
+        nrmse(truth.values(), &fr),
+        f.support_size,
+        nrmse(truth.values(), &or),
+        o.support.len()
+    );
+}
+
+criterion_group!(benches, bench_recovery);
+criterion_main!(benches);

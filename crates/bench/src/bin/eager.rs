@@ -1,0 +1,89 @@
+//! §5.2 eager reconstruction: soft-timeout sweep showing that dropping
+//! queue-tail stragglers saves most of the wall time at negligible
+//! accuracy cost (the "relaxing Amdahl's law" experiment).
+
+use oscar_bench::{print_header, seeded};
+use oscar_core::grid::Grid2d;
+use oscar_core::landscape::Landscape;
+use oscar_core::metrics::nrmse;
+use oscar_core::reconstruct::Reconstructor;
+use oscar_cs::measure::SamplePattern;
+use oscar_executor::device::QpuDevice;
+use oscar_executor::latency::{LatencyModel, LatencyStats};
+use oscar_executor::parallel::{execute_round_robin, makespan, within_timeout, Job};
+use oscar_mitigation::model::NoiseModel;
+use oscar_problems::ising::IsingProblem;
+
+fn main() {
+    print_header("Eager reconstruction (§5.2)", "soft-timeout sweep");
+    let mut rng = seeded(14_000);
+    let problem = IsingProblem::random_3_regular(12, &mut rng);
+    let grid = Grid2d::small_p1(25, 40);
+    let truth = Landscape::from_qaoa(grid, &problem.qaoa_evaluator());
+
+    // Four QPUs with cloud-like heavy-tailed queues.
+    let devices: Vec<QpuDevice> = (0..4)
+        .map(|k| {
+            QpuDevice::new(
+                &format!("qpu-{k}"),
+                &problem,
+                1,
+                NoiseModel::ideal(),
+                LatencyModel::cloud_queue(),
+                100 + k,
+            )
+        })
+        .collect();
+    let device_refs: Vec<&QpuDevice> = devices.iter().collect();
+
+    let pattern = SamplePattern::random(grid.rows(), grid.cols(), 0.15, &mut rng);
+    let jobs: Vec<Job> = pattern
+        .indices()
+        .iter()
+        .enumerate()
+        .map(|(i, &flat)| {
+            let (b, g) = grid.point(flat);
+            Job { index: i, betas: vec![b], gammas: vec![g] }
+        })
+        .collect();
+    let outcomes = execute_round_robin(&device_refs, &jobs);
+    let total = makespan(&outcomes);
+    let latencies: Vec<f64> = outcomes.iter().map(|o| o.completion_time).collect();
+    let stats = LatencyStats::from_samples(&latencies);
+    println!(
+        "{} samples across 4 QPUs; completion p50 {:.1} s, p99 {:.1} s, max {:.1} s (tail {:.1}x)",
+        outcomes.len(),
+        stats.median,
+        stats.p99,
+        stats.max,
+        stats.tail_ratio()
+    );
+
+    let oscar = Reconstructor::default();
+    println!(
+        "\n{:>16}{:>14}{:>14}{:>12}{:>12}",
+        "timeout (frac)", "time (s)", "kept samples", "frac kept", "NRMSE"
+    );
+    for timeout_frac in [1.0, 0.9, 0.8, 0.7, 0.6, 0.5, 0.4] {
+        let deadline = total * timeout_frac;
+        let kept = within_timeout(&outcomes, deadline);
+        if kept.len() < 8 {
+            continue;
+        }
+        let kept_idx: Vec<usize> = kept.iter().map(|o| pattern.indices()[o.index]).collect();
+        let eager_pattern = SamplePattern::from_indices(grid.rows(), grid.cols(), kept_idx);
+        let vals: Vec<f64> = kept.iter().map(|o| o.value).collect();
+        let (recon, _) = oscar.reconstruct(&grid, &eager_pattern, &vals);
+        println!(
+            "{:>16.2}{:>14.1}{:>14}{:>12.2}{:>12.4}",
+            timeout_frac,
+            deadline,
+            kept.len(),
+            kept.len() as f64 / outcomes.len() as f64,
+            nrmse(truth.values(), recon.values())
+        );
+    }
+    println!("\npaper shape: cutting the timeout to ~50-70% of the makespan drops");
+    println!("only the latency tail (a few % of samples) with near-unchanged NRMSE,");
+    println!("sidestepping Amdahl's law for the reconstruction deadline.");
+}

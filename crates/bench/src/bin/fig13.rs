@@ -1,0 +1,76 @@
+//! Figure 13: choosing the optimizer from the reconstructed landscape —
+//! on a Richardson-extrapolated (jagged) landscape, gradient-free COBYLA
+//! outperforms gradient-based ADAM.
+
+use oscar_bench::{print_header, seeded};
+use oscar_core::grid::Grid2d;
+use oscar_core::reconstruct::Reconstructor;
+use oscar_core::usecases::mitigation::ZneLandscapes;
+use oscar_core::usecases::optimizer_debug::optimize_on_reconstruction;
+use oscar_executor::device::QpuDevice;
+use oscar_executor::latency::LatencyModel;
+use oscar_mitigation::model::NoiseModel;
+use oscar_optim::adam::Adam;
+use oscar_optim::cobyla::Cobyla;
+use oscar_problems::ising::IsingProblem;
+
+fn main() {
+    print_header("Figure 13", "optimizer selection on a Richardson ZNE landscape");
+    let mut rng = seeded(1300);
+    let problem = IsingProblem::random_3_regular(12, &mut rng);
+    // Few shots: Richardson's {3,-3,1} weights amplify the shot noise
+    // 19x in variance, producing the salt-like jaggedness of Figure 9.
+    let noise = NoiseModel::depolarizing(0.001, 0.02).with_shots(192);
+    let device = QpuDevice::new("dev", &problem, 1, noise, LatencyModel::instant(), 5);
+    let grid = Grid2d::small_p1(20, 30);
+
+    let set = ZneLandscapes::generate(&device, grid);
+    let mut rng = seeded(1301);
+    // Higher sampling fraction preserves the jaggedness the experiment
+    // needs the optimizers to face.
+    let recon = Reconstructor::default()
+        .reconstruct_fraction(&set.richardson, 0.45, &mut rng)
+        .landscape;
+
+    // Same random initial point for both optimizers; judge by the quality
+    // of the endpoint on the *ideal* landscape (the jagged ZNE landscape's
+    // own values reward chasing extrapolation noise).
+    let ideal_spline = oscar_core::interpolate::BivariateSpline::fit(&set.ideal);
+    println!(
+        "{:<26}{:>14}{:>14}{:>10}",
+        "start (beta, gamma)", "ADAM endpoint", "COBYLA endpt", "winner"
+    );
+    let mut adam_wins = 0;
+    let mut cobyla_wins = 0;
+    for k in 0..6 {
+        use rand::Rng;
+        let mut rng = seeded(1310 + k);
+        let x0 = [rng.gen_range(-0.6..0.6), rng.gen_range(-1.4..1.4)];
+        // Qiskit's ADAM defaults: lr 0.001 — on a jagged landscape the
+        // noisy finite-difference gradients make it random-walk near the
+        // start instead of descending.
+        let adam = Adam { max_iter: 400, lr: 0.001, ..Adam::default() };
+        let a = optimize_on_reconstruction(&adam, &recon, x0);
+        let cobyla = Cobyla::default();
+        let c = optimize_on_reconstruction(&cobyla, &recon, x0);
+        let qa = ideal_spline.eval_clamped(a.x[0], a.x[1]);
+        let qc = ideal_spline.eval_clamped(c.x[0], c.x[1]);
+        let winner = if qc < qa - 1e-9 {
+            cobyla_wins += 1;
+            "COBYLA"
+        } else if qa < qc - 1e-9 {
+            adam_wins += 1;
+            "ADAM"
+        } else {
+            "tie"
+        };
+        println!(
+            "({:+.3}, {:+.3}){:>22.4}{:>14.4}{:>10}",
+            x0[0], x0[1], qa, qc, winner
+        );
+    }
+    println!("\nwins (by true solution quality): ADAM {adam_wins}, COBYLA {cobyla_wins}");
+    println!("paper shape: on the jagged Richardson landscape the gradient-free");
+    println!("optimizer (COBYLA) usually reaches lower cost than gradient-based");
+    println!("ADAM, whose finite-difference gradients chase the salt noise.");
+}

@@ -1,0 +1,99 @@
+//! Figure 8: errors between reconstructed and target (QPU-1) landscapes
+//! using samples from two QPUs, without (A) and with (B) the Noise
+//! Compensation Model. QPU-1: 1q 0.1%, 2q 0.5%; QPU-2: 1q 0.3%, 2q 0.7%.
+
+use oscar_bench::{full_scale, print_header, seeded};
+use oscar_core::grid::Grid2d;
+use oscar_core::landscape::Landscape;
+use oscar_core::metrics::nrmse;
+use oscar_core::reconstruct::Reconstructor;
+use oscar_cs::measure::SamplePattern;
+use oscar_executor::device::QpuDevice;
+use oscar_executor::latency::LatencyModel;
+use oscar_executor::ncm::NoiseCompensationModel;
+use oscar_executor::parallel::{execute_split, Job};
+use oscar_mitigation::model::NoiseModel;
+use oscar_problems::ising::IsingProblem;
+
+const SHARES: [f64; 5] = [0.0, 0.25, 0.5, 0.75, 1.0];
+
+fn main() {
+    print_header("Figure 8", "NCM: uncompensated vs compensated multi-QPU recon");
+    let qubit_sets: Vec<usize> = if full_scale() {
+        vec![12, 16, 20]
+    } else {
+        vec![10, 12, 14]
+    };
+    let grid = Grid2d::small_p1(25, 40);
+    let oscar = Reconstructor::default();
+
+    println!("rows: qubit count; columns: fraction of samples from QPU-1");
+    println!(
+        "{:<8}{:<14}{}",
+        "qubits",
+        "mode",
+        SHARES.map(|s| format!("{s:>10.2}")).join("")
+    );
+    for &n in &qubit_sets {
+        let mut rng = seeded(8000 + n as u64);
+        let problem = IsingProblem::random_3_regular(n, &mut rng);
+        let q1 = QpuDevice::new(
+            "QPU-1",
+            &problem,
+            1,
+            NoiseModel::depolarizing(0.001, 0.005),
+            LatencyModel::instant(),
+            1,
+        );
+        let q2 = QpuDevice::new(
+            "QPU-2",
+            &problem,
+            1,
+            NoiseModel::depolarizing(0.003, 0.007),
+            LatencyModel::instant(),
+            2,
+        );
+        let target = Landscape::generate(grid, |b, g| q1.execute(&[b], &[g]));
+
+        // NCM trained on 1% of the grid executed on both devices.
+        let mut rng = seeded(8100 + n as u64);
+        let train = SamplePattern::random(grid.rows(), grid.cols(), 0.01, &mut rng);
+        let (mut xs, mut ys) = (Vec::new(), Vec::new());
+        for &flat in train.indices() {
+            let (b, g) = grid.point(flat);
+            xs.push(q2.execute(&[b], &[g]));
+            ys.push(q1.execute(&[b], &[g]));
+        }
+        let ncm = NoiseCompensationModel::fit(&xs, &ys);
+
+        let mut uncomp_row = String::new();
+        let mut comp_row = String::new();
+        for &share in &SHARES {
+            let mut rng = seeded(8200 + n as u64 + (share * 100.0) as u64);
+            let pattern = SamplePattern::random(grid.rows(), grid.cols(), 0.10, &mut rng);
+            let jobs: Vec<Job> = pattern
+                .indices()
+                .iter()
+                .enumerate()
+                .map(|(i, &flat)| {
+                    let (b, g) = grid.point(flat);
+                    Job { index: i, betas: vec![b], gammas: vec![g] }
+                })
+                .collect();
+            let outcomes = execute_split(&[&q1, &q2], &[share, 1.0 - share], &jobs);
+            let raw: Vec<f64> = outcomes.iter().map(|o| o.value).collect();
+            let fixed: Vec<f64> = outcomes
+                .iter()
+                .map(|o| if o.device == 1 { ncm.transform(o.value) } else { o.value })
+                .collect();
+            let (l_raw, _) = oscar.reconstruct(&grid, &pattern, &raw);
+            let (l_fix, _) = oscar.reconstruct(&grid, &pattern, &fixed);
+            uncomp_row.push_str(&format!("{:>10.4}", nrmse(target.values(), l_raw.values())));
+            comp_row.push_str(&format!("{:>10.4}", nrmse(target.values(), l_fix.values())));
+        }
+        println!("{n:<8}{:<14}{uncomp_row}", "(A) uncomp");
+        println!("{:<8}{:<14}{comp_row}", "", "(B) +NCM");
+    }
+    println!("\npaper shape: uncompensated error falls as the QPU-1 share rises");
+    println!("(~0.06 at 0% share); with NCM the error is flat and ~20x lower.");
+}

@@ -1,0 +1,28 @@
+//! Table 1: grid definitions of the QAOA ansatz.
+
+use oscar_core::grid::{Grid2d, Grid4d};
+
+fn main() {
+    oscar_bench::print_header("Table 1", "grid definitions of the QAOA ansatz");
+    let p1 = Grid2d::standard_p1();
+    let p2 = Grid4d::standard_p2();
+    println!(
+        "{:<7}{:<30}{:<30}{:<15}",
+        "Depth", "beta range, #samples", "gamma range, #samples", "Total #samples"
+    );
+    println!(
+        "{:<7}{:<30}{:<30}{:<15}",
+        "p=1",
+        format!("[{:.4}, {:.4}], {}", p1.beta.lo, p1.beta.hi, p1.beta.n),
+        format!("[{:.4}, {:.4}], {}", p1.gamma.lo, p1.gamma.hi, p1.gamma.n),
+        format!("{} x {} = {}", p1.beta.n, p1.gamma.n, p1.len()),
+    );
+    println!(
+        "{:<7}{:<30}{:<30}{:<15}",
+        "p=2",
+        format!("[{:.4}, {:.4}], {}", p2.beta.lo, p2.beta.hi, p2.beta.n),
+        format!("[{:.4}, {:.4}], {}", p2.gamma.lo, p2.gamma.hi, p2.gamma.n),
+        format!("{}^2 x {}^2 = {}", p2.beta.n, p2.gamma.n, p2.len()),
+    );
+    println!("\npaper: p=1 -> 5k samples, p=2 -> 32k samples (12^2 x 15^2 = 32,400).");
+}

@@ -1,0 +1,48 @@
+//! Table 3: reconstruction errors for the hydrogen and lithium-hydride
+//! molecules with Two-local and UCCSD ansatzes.
+
+use oscar_bench::{full_scale, print_header, seeded};
+use oscar_core::reconstruct::Reconstructor;
+use oscar_core::usecases::slices::{slice_reconstruction, SliceConfig};
+use oscar_problems::ansatz::Ansatz;
+use oscar_problems::molecules::{h2_hamiltonian, lih_hamiltonian};
+
+fn main() {
+    print_header("Table 3", "recon errors for H2 / LiH molecules");
+    let repeats = if full_scale() { 100 } else { 10 };
+    let oscar = Reconstructor::default();
+
+    println!(
+        "{:<10}{:<11}{:>8}{:>12}{:>10}{:>10}",
+        "Molecule", "Ansatz", "#Qubits", "#Params", "#Samples", "NRMSE"
+    );
+    let rows: Vec<(&str, &str, Ansatz, oscar_qsim::pauli::PauliSum, usize)> = vec![
+        ("H2", "Two-local", Ansatz::two_local(2, 1), h2_hamiltonian(), 14),
+        ("LiH", "Two-local", Ansatz::two_local(4, 1), lih_hamiltonian(), 7),
+        ("H2", "UCCSD", Ansatz::uccsd_h2(), h2_hamiltonian(), 14),
+        ("H2", "UCCSD", Ansatz::uccsd_h2(), h2_hamiltonian(), 50),
+        ("LiH", "UCCSD", Ansatz::uccsd_lih(), lih_hamiltonian(), 7),
+    ];
+    for (mol, ansatz_name, ansatz, h, points) in rows {
+        let cfg = SliceConfig {
+            grid_points: points,
+            fraction: 0.5,
+            repeats,
+            ..SliceConfig::default()
+        };
+        let mut rng = seeded(300 + points as u64 + ansatz.num_params() as u64);
+        let report = slice_reconstruction(&ansatz, &h, &cfg, &oscar, &mut rng);
+        println!(
+            "{:<10}{:<11}{:>8}{:>12}{:>10}{:>10.3}",
+            mol,
+            ansatz_name,
+            ansatz.num_qubits(),
+            ansatz.num_params(),
+            points,
+            report.median()
+        );
+    }
+    println!("\npaper (Table 3): H2 Two-local 0.171, LiH Two-local 0.678,");
+    println!("H2 UCCSD 0.345 (14 pts) -> 0.005 (50 pts), LiH UCCSD 0.856;");
+    println!("expected shape: error drops sharply with denser sampling grids.");
+}

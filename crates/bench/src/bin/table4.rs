@@ -1,0 +1,94 @@
+//! Table 4: fraction of DCT coefficients needed to preserve 99% of the
+//! signal energy — the sparsity evidence behind OSCAR.
+//!
+//! Includes the identity-basis ablation (DESIGN.md): the same landscapes
+//! need nearly all coefficients in the identity basis, showing the
+//! sparsity lives specifically in the frequency domain.
+
+use oscar_bench::{full_scale, print_header, seeded};
+use oscar_core::grid::{Axis, Grid2d};
+use oscar_core::landscape::Landscape;
+use oscar_cs::analysis::{dct_energy_fraction_99, energy_fraction};
+use oscar_problems::ansatz::Ansatz;
+use oscar_problems::ising::IsingProblem;
+use oscar_problems::molecules::{h2_hamiltonian, lih_hamiltonian};
+use oscar_qsim::pauli::PauliSum;
+use rand::Rng;
+
+fn slice_energy(
+    ansatz: &Ansatz,
+    h: &PauliSum,
+    points: usize,
+    repeats: usize,
+    seed: u64,
+) -> (f64, f64) {
+    let mut rng = seeded(seed);
+    let dim = ansatz.num_params();
+    let axis = Axis::new(-std::f64::consts::PI, std::f64::consts::PI, points);
+    let grid = Grid2d::new(axis, axis);
+    let mut dct_fracs = Vec::new();
+    let mut id_fracs = Vec::new();
+    for _ in 0..repeats {
+        let i = rng.gen_range(0..dim);
+        let j = (i + 1 + rng.gen_range(0..dim - 1)) % dim;
+        let mut base: Vec<f64> = (0..dim)
+            .map(|_| rng.gen_range(-std::f64::consts::PI..std::f64::consts::PI))
+            .collect();
+        let l = Landscape::generate(grid, |a, b| {
+            base[i] = a;
+            base[j] = b;
+            ansatz.expectation(&base, h)
+        });
+        dct_fracs.push(dct_energy_fraction_99(l.values(), points, points));
+        id_fracs.push(energy_fraction(l.values(), 0.99));
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    (mean(&dct_fracs), mean(&id_fracs))
+}
+
+fn main() {
+    print_header(
+        "Table 4",
+        "fraction of DCT coefficients preserving 99% of signal energy",
+    );
+    let repeats = if full_scale() { 20 } else { 5 };
+    let points = if full_scale() { 50 } else { 30 };
+
+    println!(
+        "{:<22}{:<12}{:>14}{:>18}",
+        "Problem", "Ansatz", "DCT basis", "identity basis"
+    );
+
+    let mut rows: Vec<(String, String, f64, f64)> = Vec::new();
+    for n in [4usize, 6] {
+        let mut rng = seeded(400 + n as u64);
+        let mc = IsingProblem::random_3_regular(n, &mut rng);
+        let sk = IsingProblem::sk_model(n, &mut rng);
+        for (label, prob) in [("3-reg MaxCut", &mc), ("SK Problem", &sk)] {
+            let h = prob.hamiltonian();
+            let qaoa = Ansatz::qaoa(prob, if n == 4 { 4 } else { 3 });
+            let (d, i) = slice_energy(&qaoa, &h, points, repeats, 500 + n as u64);
+            rows.push((format!("{label} (n={n})"), "QAOA".into(), d, i));
+            let tl = Ansatz::two_local(n, if n == 4 { 1 } else { 0 });
+            let (d, i) = slice_energy(&tl, &h, points, repeats, 510 + n as u64);
+            rows.push((format!("{label} (n={n})"), "Two-local".into(), d, i));
+        }
+    }
+    let h2 = h2_hamiltonian();
+    let lih = lih_hamiltonian();
+    let (d, i) = slice_energy(&Ansatz::two_local(2, 1), &h2, points, repeats, 520);
+    rows.push(("H2 (n=2)".into(), "Two-local".into(), d, i));
+    let (d, i) = slice_energy(&Ansatz::uccsd_h2(), &h2, points, repeats, 521);
+    rows.push(("H2 (n=2)".into(), "UCCSD".into(), d, i));
+    let (d, i) = slice_energy(&Ansatz::two_local(4, 1), &lih, points, repeats, 522);
+    rows.push(("LiH (n=4)".into(), "Two-local".into(), d, i));
+    let (d, i) = slice_energy(&Ansatz::uccsd_lih(), &lih, points, repeats, 523);
+    rows.push(("LiH (n=4)".into(), "UCCSD".into(), d, i));
+
+    for (prob, ansatz, d, i) in rows {
+        println!("{:<22}{:<12}{:>13.4}%{:>17.1}%", prob, ansatz, d * 100.0, i * 100.0);
+    }
+    println!("\npaper (Table 4): DCT fractions 0.00001%-0.073% — all landscapes");
+    println!("highly sparse in frequency; the identity-basis column (ablation)");
+    println!("shows the compressibility is frequency-domain-specific.");
+}

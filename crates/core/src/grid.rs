@@ -1,0 +1,231 @@
+//! Parameter-space grids for landscape generation (paper Table 1).
+
+use serde::{Deserialize, Serialize};
+
+/// One axis of a parameter grid: `n` equidistant points spanning
+/// `[lo, hi]` inclusive.
+///
+/// # Examples
+///
+/// ```
+/// use oscar_core::grid::Axis;
+///
+/// let axis = Axis::new(0.0, 1.0, 5);
+/// assert_eq!(axis.values(), vec![0.0, 0.25, 0.5, 0.75, 1.0]);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Axis {
+    /// Lower bound.
+    pub lo: f64,
+    /// Upper bound.
+    pub hi: f64,
+    /// Number of grid points (>= 2).
+    pub n: usize,
+}
+
+impl Axis {
+    /// Creates an axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi` or `n < 2`.
+    pub fn new(lo: f64, hi: f64, n: usize) -> Self {
+        assert!(lo < hi, "axis bounds must satisfy lo < hi");
+        assert!(n >= 2, "axis needs at least two points");
+        Axis { lo, hi, n }
+    }
+
+    /// The `i`-th grid value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= n`.
+    pub fn value(&self, i: usize) -> f64 {
+        assert!(i < self.n, "axis index out of range");
+        self.lo + (self.hi - self.lo) * i as f64 / (self.n - 1) as f64
+    }
+
+    /// All grid values in order.
+    pub fn values(&self) -> Vec<f64> {
+        (0..self.n).map(|i| self.value(i)).collect()
+    }
+
+    /// Grid spacing.
+    pub fn step(&self) -> f64 {
+        (self.hi - self.lo) / (self.n - 1) as f64
+    }
+}
+
+/// A 2-D parameter grid: rows sweep the β (mixer) axis, columns the γ
+/// (phase) axis. Landscapes over the grid are stored row-major.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Grid2d {
+    /// The row (β) axis.
+    pub beta: Axis,
+    /// The column (γ) axis.
+    pub gamma: Axis,
+}
+
+impl Grid2d {
+    /// Creates a grid from two axes.
+    pub fn new(beta: Axis, gamma: Axis) -> Self {
+        Grid2d { beta, gamma }
+    }
+
+    /// The paper's p=1 grid (Table 1): β ∈ [−π/4, π/4] with 50 points,
+    /// γ ∈ [−π/2, π/2] with 100 points — 5,000 circuits for a full grid
+    /// search.
+    pub fn standard_p1() -> Self {
+        use std::f64::consts::{FRAC_PI_2, FRAC_PI_4};
+        Grid2d {
+            beta: Axis::new(-FRAC_PI_4, FRAC_PI_4, 50),
+            gamma: Axis::new(-FRAC_PI_2, FRAC_PI_2, 100),
+        }
+    }
+
+    /// A reduced p=1 grid for quick tests and examples (same ranges,
+    /// fewer points).
+    pub fn small_p1(nb: usize, ng: usize) -> Self {
+        use std::f64::consts::{FRAC_PI_2, FRAC_PI_4};
+        Grid2d {
+            beta: Axis::new(-FRAC_PI_4, FRAC_PI_4, nb),
+            gamma: Axis::new(-FRAC_PI_2, FRAC_PI_2, ng),
+        }
+    }
+
+    /// Number of rows (β points).
+    pub fn rows(&self) -> usize {
+        self.beta.n
+    }
+
+    /// Number of columns (γ points).
+    pub fn cols(&self) -> usize {
+        self.gamma.n
+    }
+
+    /// Total number of grid points.
+    pub fn len(&self) -> usize {
+        self.rows() * self.cols()
+    }
+
+    /// `true` for the (impossible) empty grid; present for API symmetry.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `(β, γ)` values at flat row-major index `i`.
+    pub fn point(&self, i: usize) -> (f64, f64) {
+        let r = i / self.cols();
+        let c = i % self.cols();
+        (self.beta.value(r), self.gamma.value(c))
+    }
+}
+
+/// The paper's p=2 grid (Table 1): β ∈ [−π/8, π/8] with 12 points per β
+/// axis and γ ∈ [−π/4, π/4] with 15 points per γ axis (12² × 15² ≈ 32k
+/// circuits). The 4-D landscape is reshaped to 2-D
+/// (see [`crate::reshape`]) before reconstruction.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Grid4d {
+    /// Axis for each of the two β parameters.
+    pub beta: Axis,
+    /// Axis for each of the two γ parameters.
+    pub gamma: Axis,
+}
+
+impl Grid4d {
+    /// The paper's p=2 configuration.
+    pub fn standard_p2() -> Self {
+        use std::f64::consts::{FRAC_PI_4, FRAC_PI_8};
+        Grid4d {
+            beta: Axis::new(-FRAC_PI_8, FRAC_PI_8, 12),
+            gamma: Axis::new(-FRAC_PI_4, FRAC_PI_4, 15),
+        }
+    }
+
+    /// A reduced p=2 configuration for quick runs.
+    pub fn small_p2(nb: usize, ng: usize) -> Self {
+        use std::f64::consts::{FRAC_PI_4, FRAC_PI_8};
+        Grid4d {
+            beta: Axis::new(-FRAC_PI_8, FRAC_PI_8, nb),
+            gamma: Axis::new(-FRAC_PI_4, FRAC_PI_4, ng),
+        }
+    }
+
+    /// Total number of 4-D grid points `nb² × ng²`.
+    pub fn len(&self) -> usize {
+        self.beta.n * self.beta.n * self.gamma.n * self.gamma.n
+    }
+
+    /// `true` for the (impossible) empty grid.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `(β1, β2, γ1, γ2)` tuple at 4-D index `(b1, b2, g1, g2)`.
+    pub fn point(&self, b1: usize, b2: usize, g1: usize, g2: usize) -> (f64, f64, f64, f64) {
+        (
+            self.beta.value(b1),
+            self.beta.value(b2),
+            self.gamma.value(g1),
+            self.gamma.value(g2),
+        )
+    }
+
+    /// The shape of the reshaped 2-D landscape: `(nb², ng²)`.
+    pub fn reshaped_dims(&self) -> (usize, usize) {
+        (self.beta.n * self.beta.n, self.gamma.n * self.gamma.n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axis_endpoints_inclusive() {
+        let a = Axis::new(-1.0, 1.0, 3);
+        assert_eq!(a.values(), vec![-1.0, 0.0, 1.0]);
+        assert_eq!(a.step(), 1.0);
+    }
+
+    #[test]
+    fn standard_p1_matches_table1() {
+        let g = Grid2d::standard_p1();
+        assert_eq!(g.rows(), 50);
+        assert_eq!(g.cols(), 100);
+        assert_eq!(g.len(), 5000);
+        assert!((g.beta.lo + std::f64::consts::FRAC_PI_4).abs() < 1e-12);
+        assert!((g.gamma.hi - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn standard_p2_matches_table1() {
+        let g = Grid4d::standard_p2();
+        assert_eq!(g.len(), 12 * 12 * 15 * 15);
+        assert_eq!(g.reshaped_dims(), (144, 225));
+    }
+
+    #[test]
+    fn point_roundtrip() {
+        let g = Grid2d::small_p1(5, 7);
+        let (b, gm) = g.point(0);
+        assert!((b - g.beta.lo).abs() < 1e-12);
+        assert!((gm - g.gamma.lo).abs() < 1e-12);
+        let (b, gm) = g.point(g.len() - 1);
+        assert!((b - g.beta.hi).abs() < 1e-12);
+        assert!((gm - g.gamma.hi).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "lo < hi")]
+    fn axis_rejects_inverted_bounds() {
+        let _ = Axis::new(1.0, 0.0, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two points")]
+    fn axis_rejects_single_point() {
+        let _ = Axis::new(0.0, 1.0, 1);
+    }
+}

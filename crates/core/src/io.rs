@@ -1,0 +1,197 @@
+//! Landscape persistence: CSV for interop with plotting tools and a
+//! serde-friendly record type for experiment archival.
+//!
+//! Reconstructed landscapes are debugging artifacts users want to plot
+//! (matplotlib, gnuplot) and diff across runs; CSV keeps that friction-free
+//! while [`LandscapeRecord`] round-trips through any serde format.
+
+use crate::grid::{Axis, Grid2d};
+use crate::landscape::Landscape;
+use serde::{Deserialize, Serialize};
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// A serializable snapshot of a landscape.
+///
+/// # Examples
+///
+/// ```
+/// use oscar_core::grid::Grid2d;
+/// use oscar_core::io::LandscapeRecord;
+/// use oscar_core::landscape::Landscape;
+///
+/// let l = Landscape::generate(Grid2d::small_p1(3, 4), |b, g| b + g);
+/// let record = LandscapeRecord::from_landscape(&l);
+/// let back = record.into_landscape();
+/// assert_eq!(back.values(), l.values());
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LandscapeRecord {
+    /// The parameter grid.
+    pub grid: Grid2d,
+    /// Row-major values.
+    pub values: Vec<f64>,
+}
+
+impl LandscapeRecord {
+    /// Snapshots a landscape.
+    pub fn from_landscape(l: &Landscape) -> Self {
+        LandscapeRecord {
+            grid: *l.grid(),
+            values: l.values().to_vec(),
+        }
+    }
+
+    /// Rebuilds the landscape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value count does not match the grid.
+    pub fn into_landscape(self) -> Landscape {
+        Landscape::from_values(self.grid, self.values)
+    }
+}
+
+/// Writes a landscape as CSV: a header line with the grid definition, then
+/// one `beta,gamma,value` row per grid point.
+///
+/// # Errors
+///
+/// Propagates any I/O error from `w`. A `&mut Vec<u8>` or `&mut File` can
+/// be passed for `w`.
+pub fn write_csv<W: Write>(l: &Landscape, mut w: W) -> std::io::Result<()> {
+    let g = l.grid();
+    writeln!(
+        w,
+        "# grid beta=[{},{}]x{} gamma=[{},{}]x{}",
+        g.beta.lo, g.beta.hi, g.beta.n, g.gamma.lo, g.gamma.hi, g.gamma.n
+    )?;
+    writeln!(w, "beta,gamma,value")?;
+    for r in 0..g.rows() {
+        for c in 0..g.cols() {
+            writeln!(
+                w,
+                "{},{},{}",
+                g.beta.value(r),
+                g.gamma.value(c),
+                l.at(r, c)
+            )?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads a landscape written by [`write_csv`]. A mut reference to any
+/// `Read` can be passed.
+///
+/// # Errors
+///
+/// Returns `InvalidData` on malformed headers or rows, or any underlying
+/// I/O error.
+pub fn read_csv<R: Read>(r: R) -> std::io::Result<Landscape> {
+    use std::io::{Error, ErrorKind};
+    let invalid = |msg: &str| Error::new(ErrorKind::InvalidData, msg.to_string());
+
+    let mut lines = BufReader::new(r).lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| invalid("missing grid header"))??;
+    let grid = parse_grid_header(&header).ok_or_else(|| invalid("malformed grid header"))?;
+    // Column header line.
+    let cols_line = lines
+        .next()
+        .ok_or_else(|| invalid("missing column header"))??;
+    if cols_line.trim() != "beta,gamma,value" {
+        return Err(invalid("unexpected column header"));
+    }
+    let mut values = Vec::with_capacity(grid.len());
+    for line in lines {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = line
+            .rsplit(',')
+            .next()
+            .and_then(|s| s.trim().parse::<f64>().ok())
+            .ok_or_else(|| invalid("malformed data row"))?;
+        values.push(v);
+    }
+    if values.len() != grid.len() {
+        return Err(invalid("row count does not match grid"));
+    }
+    Ok(Landscape::from_values(grid, values))
+}
+
+fn parse_grid_header(header: &str) -> Option<Grid2d> {
+    // "# grid beta=[lo,hi]xN gamma=[lo,hi]xM"
+    let rest = header.strip_prefix("# grid ")?;
+    let mut parts = rest.split_whitespace();
+    let beta = parse_axis(parts.next()?, "beta")?;
+    let gamma = parse_axis(parts.next()?, "gamma")?;
+    Some(Grid2d::new(beta, gamma))
+}
+
+fn parse_axis(token: &str, name: &str) -> Option<Axis> {
+    let rest = token.strip_prefix(name)?.strip_prefix("=[")?;
+    let (range, n) = rest.split_once("]x")?;
+    let (lo, hi) = range.split_once(',')?;
+    Some(Axis::new(
+        lo.parse().ok()?,
+        hi.parse().ok()?,
+        n.parse().ok()?,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_landscape() -> Landscape {
+        Landscape::generate(Grid2d::small_p1(4, 6), |b, g| (2.0 * b).sin() + g)
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let l = sample_landscape();
+        let mut buf = Vec::new();
+        write_csv(&l, &mut buf).unwrap();
+        let back = read_csv(buf.as_slice()).unwrap();
+        assert_eq!(back.grid(), l.grid());
+        for (a, b) in back.values().iter().zip(l.values()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn csv_has_one_row_per_point() {
+        let l = sample_landscape();
+        let mut buf = Vec::new();
+        write_csv(&l, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        // header + column line + 24 points
+        assert_eq!(text.lines().count(), 2 + 24);
+    }
+
+    #[test]
+    fn record_roundtrip() {
+        let l = sample_landscape();
+        let rec = LandscapeRecord::from_landscape(&l);
+        let back = rec.into_landscape();
+        assert_eq!(back.values(), l.values());
+    }
+
+    #[test]
+    fn read_rejects_garbage() {
+        assert!(read_csv("not a landscape".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn read_rejects_truncated() {
+        let l = sample_landscape();
+        let mut buf = Vec::new();
+        write_csv(&l, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let truncated: String = text.lines().take(10).collect::<Vec<_>>().join("\n");
+        assert!(read_csv(truncated.as_bytes()).is_err());
+    }
+}

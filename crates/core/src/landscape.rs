@@ -1,0 +1,181 @@
+//! Landscapes: cost values over a 2-D parameter grid.
+
+use crate::grid::Grid2d;
+use oscar_qsim::qaoa::QaoaEvaluator;
+
+/// A cost landscape over a [`Grid2d`] (row-major values, rows = β).
+///
+/// # Examples
+///
+/// ```
+/// use oscar_core::grid::Grid2d;
+/// use oscar_core::landscape::Landscape;
+///
+/// let grid = Grid2d::small_p1(6, 8);
+/// let flat = Landscape::generate(grid, |beta, gamma| beta + gamma);
+/// assert_eq!(flat.values().len(), 48);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Landscape {
+    grid: Grid2d,
+    values: Vec<f64>,
+}
+
+impl Landscape {
+    /// Wraps existing row-major values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != grid.len()`.
+    pub fn from_values(grid: Grid2d, values: Vec<f64>) -> Self {
+        assert_eq!(values.len(), grid.len(), "value count must match grid");
+        Landscape { grid, values }
+    }
+
+    /// Evaluates `f(beta, gamma)` at every grid point (the "grid search").
+    pub fn generate(grid: Grid2d, mut f: impl FnMut(f64, f64) -> f64) -> Self {
+        let mut values = Vec::with_capacity(grid.len());
+        for r in 0..grid.rows() {
+            let beta = grid.beta.value(r);
+            for c in 0..grid.cols() {
+                values.push(f(beta, grid.gamma.value(c)));
+            }
+        }
+        Landscape { grid, values }
+    }
+
+    /// Generates the exact p=1 QAOA landscape using the fast evaluator.
+    pub fn from_qaoa(grid: Grid2d, eval: &QaoaEvaluator) -> Self {
+        Landscape::generate(grid, |beta, gamma| eval.expectation(&[beta], &[gamma]))
+    }
+
+    /// The grid.
+    pub fn grid(&self) -> &Grid2d {
+        &self.grid
+    }
+
+    /// Row-major values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Mutable access to the values (e.g. for noise injection).
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
+    /// The value at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices.
+    pub fn at(&self, row: usize, col: usize) -> f64 {
+        assert!(row < self.grid.rows() && col < self.grid.cols());
+        self.values[row * self.grid.cols() + col]
+    }
+
+    /// The minimum value and its `(beta, gamma)` location.
+    pub fn argmin(&self) -> (f64, (f64, f64)) {
+        let (idx, &val) = self
+            .values
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .expect("landscape is non-empty");
+        (val, self.grid.point(idx))
+    }
+
+    /// The maximum value.
+    pub fn max(&self) -> f64 {
+        self.values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// The minimum value.
+    pub fn min(&self) -> f64 {
+        self.values.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Interquartile range `Q3 - Q1` of the values — the normalizer of the
+    /// paper's NRMSE metric (Eq. 1).
+    pub fn iqr(&self) -> f64 {
+        let mut sorted = self.values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        quantile_sorted(&sorted, 0.75) - quantile_sorted(&sorted, 0.25)
+    }
+}
+
+/// Linear-interpolated quantile of pre-sorted data.
+pub(crate) fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of empty data");
+    assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let t = pos - lo as f64;
+        sorted[lo] * (1.0 - t) + sorted[hi] * t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::Grid2d;
+
+    #[test]
+    fn generate_orders_row_major() {
+        let grid = Grid2d::small_p1(3, 4);
+        let l = Landscape::generate(grid, |b, g| b * 1000.0 + g);
+        // Row-major: first row sweeps gamma at fixed (lowest) beta.
+        assert!(l.at(0, 0) < l.at(0, 3));
+        assert!(l.at(0, 0) < l.at(1, 0));
+    }
+
+    #[test]
+    fn argmin_finds_minimum() {
+        let grid = Grid2d::small_p1(11, 11);
+        let l = Landscape::generate(grid, |b, g| (b - grid.beta.value(3)).powi(2) + g.powi(2));
+        let (val, (b, g)) = l.argmin();
+        assert!(val < 1e-12);
+        assert!((b - grid.beta.value(3)).abs() < 1e-12);
+        assert!(g.abs() < 1e-9);
+    }
+
+    #[test]
+    fn iqr_of_uniform_ramp() {
+        let grid = Grid2d::small_p1(2, 101);
+        // values 0..=100 twice: IQR = 50.
+        let mut c = -1.0;
+        let l = Landscape::generate(grid, |_, _| {
+            c += 1.0;
+            c % 101.0
+        });
+        assert!((l.iqr() - 50.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let data = vec![0.0, 1.0, 2.0, 3.0];
+        assert!((quantile_sorted(&data, 0.5) - 1.5).abs() < 1e-12);
+        assert_eq!(quantile_sorted(&data, 0.0), 0.0);
+        assert_eq!(quantile_sorted(&data, 1.0), 3.0);
+    }
+
+    #[test]
+    fn from_qaoa_matches_direct_eval() {
+        use oscar_qsim::qaoa::QaoaEvaluator;
+        let eval = QaoaEvaluator::new(2, vec![0.0, -1.0, -1.0, 0.0]);
+        let grid = Grid2d::small_p1(4, 4);
+        let l = Landscape::from_qaoa(grid, &eval);
+        let (b, g) = grid.point(5);
+        assert!((l.values()[5] - eval.expectation(&[b], &[g])).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "value count must match grid")]
+    fn rejects_wrong_length() {
+        let _ = Landscape::from_values(Grid2d::small_p1(3, 3), vec![0.0; 5]);
+    }
+}

@@ -1,0 +1,213 @@
+//! Landscape quality and shape metrics (paper Eqs. 1–4).
+
+use crate::landscape::quantile_sorted;
+
+/// Normalized root-mean-square error between a true landscape `x` and a
+/// reconstruction `y` (paper Eq. 1):
+///
+/// `NRMSE = sqrt(sum (x_t - y_t)^2 / T) / (Q3(x) - Q1(x))`.
+///
+/// Scale-invariant, so errors are comparable across problems.
+///
+/// # Panics
+///
+/// Panics if lengths differ or the inputs are empty.
+///
+/// # Examples
+///
+/// ```
+/// let truth = vec![0.0, 1.0, 2.0, 3.0];
+/// assert_eq!(oscar_core::metrics::nrmse(&truth, &truth), 0.0);
+/// ```
+pub fn nrmse(truth: &[f64], recon: &[f64]) -> f64 {
+    assert_eq!(truth.len(), recon.len(), "length mismatch");
+    assert!(!truth.is_empty(), "empty landscapes");
+    let mse: f64 = truth
+        .iter()
+        .zip(recon.iter())
+        .map(|(a, b)| (a - b) * (a - b))
+        .sum::<f64>()
+        / truth.len() as f64;
+    let mut sorted = truth.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let iqr = quantile_sorted(&sorted, 0.75) - quantile_sorted(&sorted, 0.25);
+    if iqr <= 0.0 {
+        // Degenerate (constant) truth: fall back to un-normalized RMSE.
+        return mse.sqrt();
+    }
+    mse.sqrt() / iqr
+}
+
+/// Mean squared second-order difference along a 1-D signal (paper Eq. 2):
+/// `D2 = sum_i (x_i - 2 x_{i-1} + x_{i-2})^2 / 4` — the roughness measure.
+///
+/// Returns 0 for signals shorter than 3.
+pub fn second_derivative_1d(x: &[f64]) -> f64 {
+    if x.len() < 3 {
+        return 0.0;
+    }
+    x.windows(3)
+        .map(|w| {
+            let d = w[2] - 2.0 * w[1] + w[0];
+            d * d / 4.0
+        })
+        .sum()
+}
+
+/// Variance of first differences along a 1-D signal (paper Eq. 3): the
+/// variance-of-gradients flatness/barren-plateau measure.
+pub fn variance_of_gradients_1d(x: &[f64]) -> f64 {
+    if x.len() < 2 {
+        return 0.0;
+    }
+    let grads: Vec<f64> = x.windows(2).map(|w| w[1] - w[0]).collect();
+    variance(&grads)
+}
+
+/// Plain variance of a signal (paper Eq. 4).
+pub fn variance(x: &[f64]) -> f64 {
+    if x.is_empty() {
+        return 0.0;
+    }
+    let mean = x.iter().sum::<f64>() / x.len() as f64;
+    x.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / x.len() as f64
+}
+
+/// The paper's three landscape-shape metrics averaged over all rows and
+/// columns of a row-major 2-D landscape (the paper computes "average
+/// metrics on all dimensions").
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LandscapeMetrics {
+    /// Average roughness (Eq. 2).
+    pub second_derivative: f64,
+    /// Average variance of gradients (Eq. 3).
+    pub variance_of_gradients: f64,
+    /// Variance of the landscape values (Eq. 4).
+    pub variance: f64,
+}
+
+impl LandscapeMetrics {
+    /// Computes all three metrics for a `rows x cols` landscape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != rows * cols`.
+    pub fn compute(values: &[f64], rows: usize, cols: usize) -> Self {
+        assert_eq!(values.len(), rows * cols, "grid size mismatch");
+        let mut d2 = 0.0;
+        let mut vog = 0.0;
+        let mut lines = 0usize;
+        for r in 0..rows {
+            let row = &values[r * cols..(r + 1) * cols];
+            d2 += second_derivative_1d(row);
+            vog += variance_of_gradients_1d(row);
+            lines += 1;
+        }
+        let mut col_buf = vec![0.0; rows];
+        for c in 0..cols {
+            for r in 0..rows {
+                col_buf[r] = values[r * cols + c];
+            }
+            d2 += second_derivative_1d(&col_buf);
+            vog += variance_of_gradients_1d(&col_buf);
+            lines += 1;
+        }
+        LandscapeMetrics {
+            second_derivative: d2 / lines as f64,
+            variance_of_gradients: vog / lines as f64,
+            variance: variance(values),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nrmse_zero_for_identical() {
+        let x = vec![1.0, 5.0, -2.0, 7.0];
+        assert_eq!(nrmse(&x, &x), 0.0);
+    }
+
+    #[test]
+    fn nrmse_scale_invariant() {
+        let x: Vec<f64> = (0..100).map(|i| (i as f64 * 0.17).sin()).collect();
+        let y: Vec<f64> = x.iter().map(|v| v + 0.01).collect();
+        let x10: Vec<f64> = x.iter().map(|v| v * 10.0).collect();
+        let y10: Vec<f64> = y.iter().map(|v| v * 10.0).collect();
+        assert!((nrmse(&x, &y) - nrmse(&x10, &y10)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nrmse_constant_truth_falls_back() {
+        let x = vec![2.0; 10];
+        let y = vec![3.0; 10];
+        assert!((nrmse(&x, &y) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn second_derivative_of_line_is_zero() {
+        let x: Vec<f64> = (0..20).map(|i| 3.0 * i as f64 + 1.0).collect();
+        assert!(second_derivative_1d(&x) < 1e-20);
+    }
+
+    #[test]
+    fn second_derivative_detects_jaggedness() {
+        let smooth: Vec<f64> = (0..50).map(|i| (i as f64 * 0.1).sin()).collect();
+        let jagged: Vec<f64> = (0..50)
+            .map(|i| (i as f64 * 0.1).sin() + if i % 2 == 0 { 0.2 } else { -0.2 })
+            .collect();
+        assert!(second_derivative_1d(&jagged) > 10.0 * second_derivative_1d(&smooth));
+    }
+
+    #[test]
+    fn vog_zero_for_line() {
+        let x: Vec<f64> = (0..20).map(|i| 2.0 * i as f64).collect();
+        assert!(variance_of_gradients_1d(&x) < 1e-20);
+    }
+
+    #[test]
+    fn vog_detects_flat_regions() {
+        // A barren-plateau-like landscape (nearly flat) has tiny VoG
+        // compared to a steep sinusoid.
+        let flat: Vec<f64> = (0..50).map(|i| 1e-4 * (i as f64 * 0.3).sin()).collect();
+        let steep: Vec<f64> = (0..50).map(|i| (i as f64 * 0.3).sin()).collect();
+        assert!(variance_of_gradients_1d(&flat) < 1e-6 * variance_of_gradients_1d(&steep) + 1e-12);
+    }
+
+    #[test]
+    fn variance_known_value() {
+        let x = vec![1.0, 3.0];
+        assert!((variance(&x) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn metrics_2d_averages_rows_and_cols() {
+        // Constant landscape: all metrics zero.
+        let v = vec![5.0; 12];
+        let m = LandscapeMetrics::compute(&v, 3, 4);
+        assert_eq!(m.second_derivative, 0.0);
+        assert_eq!(m.variance_of_gradients, 0.0);
+        assert_eq!(m.variance, 0.0);
+    }
+
+    #[test]
+    fn metrics_2d_nonzero_for_structure() {
+        let rows = 10;
+        let cols = 10;
+        let v: Vec<f64> = (0..100)
+            .map(|i| ((i / cols) as f64 * 0.7).sin() * ((i % cols) as f64 * 0.5).cos())
+            .collect();
+        let m = LandscapeMetrics::compute(&v, rows, cols);
+        assert!(m.second_derivative > 0.0);
+        assert!(m.variance_of_gradients > 0.0);
+        assert!(m.variance > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn nrmse_rejects_mismatch() {
+        let _ = nrmse(&[1.0], &[1.0, 2.0]);
+    }
+}

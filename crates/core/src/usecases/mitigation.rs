@@ -1,0 +1,163 @@
+//! Use case 1: benchmarking and tuning noise mitigation (paper §6).
+//!
+//! Generates landscapes under different ZNE configurations, reconstructs
+//! them with OSCAR, and compares the paper's three shape metrics — showing
+//! that reconstructions preserve the (dis)advantages of each mitigation
+//! configuration at a fraction of the circuit cost.
+
+use crate::grid::Grid2d;
+use crate::landscape::Landscape;
+use crate::metrics::LandscapeMetrics;
+use crate::reconstruct::Reconstructor;
+use oscar_executor::device::QpuDevice;
+use oscar_mitigation::zne::ZneConfig;
+use rand::Rng;
+
+/// A set of landscapes for one problem under different mitigation
+/// configurations.
+#[derive(Clone, Debug)]
+pub struct ZneLandscapes {
+    /// The noiseless ground truth.
+    pub ideal: Landscape,
+    /// Noisy landscape without mitigation.
+    pub unmitigated: Landscape,
+    /// ZNE with Richardson extrapolation on scales {1,2,3}.
+    pub richardson: Landscape,
+    /// ZNE with linear extrapolation on scales {1,3}.
+    pub linear: Landscape,
+}
+
+impl ZneLandscapes {
+    /// Generates all four landscapes on `grid` by executing the device at
+    /// every grid point (the expensive ground-truth path OSCAR avoids).
+    pub fn generate(device: &QpuDevice, grid: Grid2d) -> Self {
+        let richardson_cfg = ZneConfig::richardson_123();
+        let linear_cfg = ZneConfig::linear_13();
+        let ideal = Landscape::from_qaoa(grid, device.evaluator());
+        let unmitigated =
+            Landscape::generate(grid, |b, g| device.execute_scaled(&[b], &[g], 1.0));
+        let richardson = Landscape::generate(grid, |b, g| {
+            richardson_cfg.extrapolate(&mut |c| device.execute_scaled(&[b], &[g], c))
+        });
+        let linear = Landscape::generate(grid, |b, g| {
+            linear_cfg.extrapolate(&mut |c| device.execute_scaled(&[b], &[g], c))
+        });
+        ZneLandscapes {
+            ideal,
+            unmitigated,
+            richardson,
+            linear,
+        }
+    }
+
+    /// The metrics of each original landscape.
+    pub fn metrics(&self) -> MitigationMetrics {
+        MitigationMetrics {
+            unmitigated: metrics_of(&self.unmitigated),
+            richardson: metrics_of(&self.richardson),
+            linear: metrics_of(&self.linear),
+        }
+    }
+
+    /// Reconstructs each mitigated landscape from a `fraction` of samples
+    /// and reports the reconstructed metrics (the OSCAR-side columns of
+    /// Figure 10).
+    pub fn reconstructed_metrics<R: Rng + ?Sized>(
+        &self,
+        oscar: &Reconstructor,
+        fraction: f64,
+        rng: &mut R,
+    ) -> MitigationMetrics {
+        let recon = |l: &Landscape, rng: &mut R| {
+            oscar
+                .reconstruct_fraction(l, fraction, rng)
+                .landscape
+        };
+        MitigationMetrics {
+            unmitigated: metrics_of(&recon(&self.unmitigated, rng)),
+            richardson: metrics_of(&recon(&self.richardson, rng)),
+            linear: metrics_of(&recon(&self.linear, rng)),
+        }
+    }
+}
+
+/// Shape metrics for the three mitigation settings (Figure 10's bars).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MitigationMetrics {
+    /// No mitigation.
+    pub unmitigated: LandscapeMetrics,
+    /// Richardson {1,2,3}.
+    pub richardson: LandscapeMetrics,
+    /// Linear {1,3}.
+    pub linear: LandscapeMetrics,
+}
+
+fn metrics_of(l: &Landscape) -> LandscapeMetrics {
+    LandscapeMetrics::compute(l.values(), l.grid().rows(), l.grid().cols())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oscar_executor::latency::LatencyModel;
+    use oscar_mitigation::model::NoiseModel;
+    use oscar_problems::ising::IsingProblem;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn device(shots: Option<usize>) -> QpuDevice {
+        let mut rng = StdRng::seed_from_u64(10);
+        let problem = IsingProblem::random_3_regular(8, &mut rng);
+        let mut noise = NoiseModel::depolarizing(0.001, 0.02);
+        if let Some(s) = shots {
+            noise = noise.with_shots(s);
+        }
+        QpuDevice::new("zne-dev", &problem, 1, noise, LatencyModel::instant(), 0)
+    }
+
+    #[test]
+    fn zne_improves_over_unmitigated() {
+        // Without shot noise, both extrapolations should sit closer to the
+        // ideal landscape than the unmitigated one.
+        let dev = device(None);
+        let grid = Grid2d::small_p1(10, 12);
+        let set = ZneLandscapes::generate(&dev, grid);
+        let err = |l: &Landscape| crate::metrics::nrmse(set.ideal.values(), l.values());
+        let raw = err(&set.unmitigated);
+        let rich = err(&set.richardson);
+        let lin = err(&set.linear);
+        assert!(rich < raw, "richardson {rich} vs raw {raw}");
+        assert!(lin < raw, "linear {lin} vs raw {raw}");
+    }
+
+    #[test]
+    fn richardson_is_rougher_with_shot_noise() {
+        // Figure 9/10's headline: Richardson amplifies shot noise into
+        // salt-like jaggedness; linear stays smooth.
+        let dev = device(Some(1024));
+        let grid = Grid2d::small_p1(12, 14);
+        let set = ZneLandscapes::generate(&dev, grid);
+        let m = set.metrics();
+        assert!(
+            m.richardson.second_derivative > 2.0 * m.linear.second_derivative,
+            "richardson roughness {} should far exceed linear {}",
+            m.richardson.second_derivative,
+            m.linear.second_derivative
+        );
+    }
+
+    #[test]
+    fn reconstruction_preserves_roughness_ordering() {
+        let dev = device(Some(1024));
+        let grid = Grid2d::small_p1(12, 14);
+        let set = ZneLandscapes::generate(&dev, grid);
+        let mut rng = StdRng::seed_from_u64(3);
+        let rm = set.reconstructed_metrics(&Reconstructor::default(), 0.3, &mut rng);
+        assert!(
+            rm.richardson.second_derivative > rm.linear.second_derivative,
+            "reconstructed roughness ordering lost: {} vs {}",
+            rm.richardson.second_derivative,
+            rm.linear.second_derivative
+        );
+    }
+}

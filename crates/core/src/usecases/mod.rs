@@ -1,0 +1,7 @@
+//! The paper's three debugging/tuning use cases plus the slice-experiment
+//! methodology of Tables 2–3.
+
+pub mod initialization;
+pub mod mitigation;
+pub mod optimizer_debug;
+pub mod slices;

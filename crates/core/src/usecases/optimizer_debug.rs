@@ -1,0 +1,120 @@
+//! Use case 2: configuring and debugging optimizers on the reconstructed
+//! landscape (paper §7, Figures 11–13).
+//!
+//! After reconstructing and spline-interpolating a landscape, an optimizer
+//! query becomes a (nearly free) spline evaluation instead of a circuit
+//! batch. The key validation is that optimizing on the interpolated
+//! reconstruction converges to (almost) the same endpoint as optimizing
+//! with real circuit executions.
+
+use crate::interpolate::BivariateSpline;
+use crate::landscape::Landscape;
+use oscar_optim::objective::{OptimResult, Optimizer};
+
+/// Comparison of one optimizer run on the interpolated reconstruction vs
+/// direct circuit execution (one point of Figure 12).
+#[derive(Clone, Debug)]
+pub struct PathComparison {
+    /// Run on the spline-interpolated reconstructed landscape.
+    pub on_reconstruction: OptimResult,
+    /// Run querying the real (simulated) circuit.
+    pub on_circuit: OptimResult,
+    /// Euclidean distance between the two endpoints.
+    pub endpoint_distance: f64,
+}
+
+/// Runs `optimizer` from `x0 = [beta, gamma]` twice: once against the
+/// interpolated `reconstruction`, once against `circuit_objective`
+/// (which should execute the real circuit), and compares endpoints.
+pub fn compare_paths(
+    optimizer: &dyn Optimizer,
+    reconstruction: &Landscape,
+    circuit_objective: &mut dyn FnMut(&[f64]) -> f64,
+    x0: [f64; 2],
+) -> PathComparison {
+    let spline = BivariateSpline::fit(reconstruction);
+    let mut spline_obj = |p: &[f64]| spline.eval_clamped(p[0], p[1]);
+    let on_reconstruction = optimizer.minimize(&mut spline_obj, &x0);
+    let on_circuit = optimizer.minimize(circuit_objective, &x0);
+    let endpoint_distance = on_reconstruction.endpoint_distance(&on_circuit);
+    PathComparison {
+        on_reconstruction,
+        on_circuit,
+        endpoint_distance,
+    }
+}
+
+/// Runs `optimizer` purely on the interpolated reconstruction (the
+/// instant-query mode used for optimizer selection, Figure 13).
+pub fn optimize_on_reconstruction(
+    optimizer: &dyn Optimizer,
+    reconstruction: &Landscape,
+    x0: [f64; 2],
+) -> OptimResult {
+    let spline = BivariateSpline::fit(reconstruction);
+    let mut obj = |p: &[f64]| spline.eval_clamped(p[0], p[1]);
+    optimizer.minimize(&mut obj, &x0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::Grid2d;
+    use crate::reconstruct::Reconstructor;
+    use oscar_optim::adam::Adam;
+    use oscar_optim::cobyla::Cobyla;
+    use oscar_problems::ising::IsingProblem;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (Landscape, Landscape) {
+        let mut rng = StdRng::seed_from_u64(21);
+        let problem = IsingProblem::random_3_regular(8, &mut rng);
+        let truth = Landscape::from_qaoa(Grid2d::small_p1(24, 32), &problem.qaoa_evaluator());
+        let mut rng = StdRng::seed_from_u64(22);
+        let recon = Reconstructor::default()
+            .reconstruct_fraction(&truth, 0.2, &mut rng)
+            .landscape;
+        (truth, recon)
+    }
+
+    #[test]
+    fn adam_endpoints_close_between_recon_and_circuit() {
+        let (truth, recon) = setup();
+        let spline_truth = BivariateSpline::fit(&truth);
+        let mut circuit = |p: &[f64]| spline_truth.eval_clamped(p[0], p[1]);
+        let adam = Adam {
+            max_iter: 150,
+            ..Adam::default()
+        };
+        let cmp = compare_paths(&adam, &recon, &mut circuit, [0.1, 0.3]);
+        assert!(
+            cmp.endpoint_distance < 0.3,
+            "endpoints too far: {}",
+            cmp.endpoint_distance
+        );
+    }
+
+    #[test]
+    fn cobyla_runs_on_reconstruction() {
+        let (_, recon) = setup();
+        let cobyla = Cobyla::default();
+        let res = optimize_on_reconstruction(&cobyla, &recon, [0.05, 0.2]);
+        // Should descend below the starting value.
+        assert!(res.fx < res.trace[0].1, "no descent: {:?}", res.fx);
+    }
+
+    #[test]
+    fn reconstruction_queries_are_free_of_circuit_cost() {
+        // The query count on the reconstruction is real, but each query is
+        // a spline evaluation; verify the count is reported.
+        let (_, recon) = setup();
+        let adam = Adam {
+            max_iter: 20,
+            grad_tol: 0.0,
+            ..Adam::default()
+        };
+        let res = optimize_on_reconstruction(&adam, &recon, [0.0, 0.0]);
+        assert_eq!(res.queries, 1 + 20 * 5);
+    }
+}

@@ -1,0 +1,171 @@
+//! Random 2-D slice reconstruction for high-dimensional ansatzes — the
+//! methodology behind paper Tables 2 and 3.
+//!
+//! For ansatzes with more than two parameters, the paper evaluates OSCAR
+//! by repeatedly (1) picking two parameters to vary, (2) fixing the rest
+//! to random values, (3) grid-searching the 2-D slice, and (4)
+//! reconstructing it from a subset of samples.
+
+use crate::grid::{Axis, Grid2d};
+use crate::landscape::Landscape;
+use crate::reconstruct::Reconstructor;
+use oscar_problems::ansatz::Ansatz;
+use oscar_qsim::pauli::PauliSum;
+use rand::Rng;
+
+/// Configuration for a slice-reconstruction experiment.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SliceConfig {
+    /// Equidistant points per varying parameter (Table 2/3 "#Samples":
+    /// 7 for 8-parameter instances, 14 for 3- and 6-parameter ones).
+    pub grid_points: usize,
+    /// Fraction of slice points measured for reconstruction.
+    pub fraction: f64,
+    /// Number of random slices (the paper uses 100).
+    pub repeats: usize,
+    /// Range of each parameter (slices span `[-range, range]`).
+    pub range: f64,
+}
+
+impl Default for SliceConfig {
+    fn default() -> Self {
+        SliceConfig {
+            grid_points: 14,
+            fraction: 0.5,
+            repeats: 20,
+            range: std::f64::consts::PI,
+        }
+    }
+}
+
+/// Result of a slice experiment: per-slice NRMSE values.
+#[derive(Clone, Debug)]
+pub struct SliceReport {
+    /// NRMSE of each random slice.
+    pub errors: Vec<f64>,
+}
+
+impl SliceReport {
+    /// Median NRMSE across slices (the table entry).
+    pub fn median(&self) -> f64 {
+        let mut sorted = self.errors.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted[sorted.len() / 2]
+    }
+
+    /// Mean NRMSE across slices.
+    pub fn mean(&self) -> f64 {
+        self.errors.iter().sum::<f64>() / self.errors.len() as f64
+    }
+}
+
+/// Runs the slice-reconstruction experiment for an ansatz/observable pair.
+///
+/// # Panics
+///
+/// Panics if the ansatz has fewer than 2 parameters or `repeats == 0`.
+pub fn slice_reconstruction<R: Rng + ?Sized>(
+    ansatz: &Ansatz,
+    observable: &PauliSum,
+    cfg: &SliceConfig,
+    oscar: &Reconstructor,
+    rng: &mut R,
+) -> SliceReport {
+    let dim = ansatz.num_params();
+    assert!(dim >= 2, "need at least two parameters to slice");
+    assert!(cfg.repeats > 0, "need at least one repeat");
+    let axis = Axis::new(-cfg.range, cfg.range, cfg.grid_points);
+    let grid = Grid2d::new(axis, axis);
+
+    let mut errors = Vec::with_capacity(cfg.repeats);
+    for _ in 0..cfg.repeats {
+        // Pick two distinct varying parameters; fix the rest randomly.
+        let i = rng.gen_range(0..dim);
+        let j = loop {
+            let j = rng.gen_range(0..dim);
+            if j != i {
+                break j;
+            }
+        };
+        let mut base: Vec<f64> = (0..dim).map(|_| rng.gen_range(-cfg.range..cfg.range)).collect();
+
+        let truth = Landscape::generate(grid, |a, b| {
+            base[i] = a;
+            base[j] = b;
+            ansatz.expectation(&base, observable)
+        });
+        let report = oscar.reconstruct_fraction(&truth, cfg.fraction, rng);
+        errors.push(report.nrmse);
+    }
+    SliceReport { errors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oscar_problems::ising::IsingProblem;
+    use oscar_problems::molecules::h2_hamiltonian;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn two_local_slices_reconstruct_well() {
+        // Table 2's pattern: the Two-local ansatz has very smooth slices.
+        let ansatz = Ansatz::two_local(2, 1);
+        let h = h2_hamiltonian();
+        let cfg = SliceConfig {
+            grid_points: 14,
+            fraction: 0.5,
+            repeats: 4,
+            ..SliceConfig::default()
+        };
+        let mut rng = StdRng::seed_from_u64(41);
+        let report =
+            slice_reconstruction(&ansatz, &h, &cfg, &Reconstructor::default(), &mut rng);
+        assert_eq!(report.errors.len(), 4);
+        assert!(report.median() < 0.6, "median {}", report.median());
+    }
+
+    #[test]
+    fn qaoa_slices_have_higher_error_than_two_local() {
+        // Qualitative ordering of Table 2: QAOA slices are harder than
+        // Two-local ones at the same tiny grid size.
+        let mut rng = StdRng::seed_from_u64(42);
+        let problem = IsingProblem::random_3_regular(4, &mut rng);
+        let h = problem.hamiltonian();
+        let qaoa = Ansatz::qaoa(&problem, 4); // 8 parameters
+        let two_local = Ansatz::two_local(4, 1); // 8 parameters
+        let cfg = SliceConfig {
+            grid_points: 7,
+            fraction: 0.6,
+            repeats: 6,
+            ..SliceConfig::default()
+        };
+        let mut rng = StdRng::seed_from_u64(43);
+        let q = slice_reconstruction(&qaoa, &h, &cfg, &Reconstructor::default(), &mut rng);
+        let mut rng = StdRng::seed_from_u64(43);
+        let t = slice_reconstruction(&two_local, &h, &cfg, &Reconstructor::default(), &mut rng);
+        assert!(
+            q.mean() > t.mean(),
+            "QAOA {} should exceed Two-local {}",
+            q.mean(),
+            t.mean()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two parameters")]
+    fn rejects_single_parameter_ansatz() {
+        use oscar_qsim::pauli::PauliString;
+        let ansatz = Ansatz::uccsd(2, &[0], vec![PauliString::parse("XY", 1.0).unwrap()]);
+        let h = h2_hamiltonian();
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = slice_reconstruction(
+            &ansatz,
+            &h,
+            &SliceConfig::default(),
+            &Reconstructor::default(),
+            &mut rng,
+        );
+    }
+}

@@ -1,0 +1,338 @@
+//! Orthonormal Discrete Cosine Transforms (DCT-II and its inverse DCT-III).
+//!
+//! VQA landscapes are sparse in the DCT basis (paper Table 4); compressed
+//! sensing recovers them from few samples by l1-minimizing DCT coefficients.
+//! Grid sides in the paper are at most a few hundred points, so a
+//! precomputed dense transform matrix (O(n^2) apply) is both simple and fast
+//! enough; the 2-D transform is applied separably.
+
+/// A precomputed 1-D orthonormal DCT of size `n`.
+///
+/// Forward is DCT-II with orthonormal scaling; inverse is its transpose
+/// (DCT-III), so `inverse(forward(x)) == x` to machine precision.
+///
+/// # Examples
+///
+/// ```
+/// use oscar_cs::dct::Dct1d;
+///
+/// let dct = Dct1d::new(8);
+/// let x: Vec<f64> = (0..8).map(|i| (i as f64).sin()).collect();
+/// let s = dct.forward(&x);
+/// let y = dct.inverse(&s);
+/// for (a, b) in x.iter().zip(&y) {
+///     assert!((a - b).abs() < 1e-12);
+/// }
+/// ```
+#[derive(Clone, Debug)]
+pub struct Dct1d {
+    n: usize,
+    /// Row-major `n x n` orthonormal DCT-II matrix: `mat[k*n + i]` is the
+    /// weight of sample `i` in coefficient `k`.
+    mat: Vec<f64>,
+}
+
+impl Dct1d {
+    /// Builds the transform for length `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "transform length must be positive");
+        let mut mat = vec![0.0; n * n];
+        let norm0 = (1.0 / n as f64).sqrt();
+        let norm = (2.0 / n as f64).sqrt();
+        for k in 0..n {
+            let scale = if k == 0 { norm0 } else { norm };
+            for i in 0..n {
+                mat[k * n + i] = scale
+                    * (std::f64::consts::PI * (i as f64 + 0.5) * k as f64 / n as f64).cos();
+            }
+        }
+        Dct1d { n, mat }
+    }
+
+    /// Transform length.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` when the transform length is zero (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Forward DCT-II: time/space domain -> frequency coefficients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != n`.
+    pub fn forward(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n, "input length mismatch");
+        let mut out = vec![0.0; self.n];
+        self.forward_into(x, &mut out);
+        out
+    }
+
+    /// Forward transform into a caller-provided buffer (no allocation).
+    pub fn forward_into(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(x.len(), self.n, "input length mismatch");
+        assert_eq!(out.len(), self.n, "output length mismatch");
+        for k in 0..self.n {
+            let row = &self.mat[k * self.n..(k + 1) * self.n];
+            out[k] = row.iter().zip(x.iter()).map(|(m, v)| m * v).sum();
+        }
+    }
+
+    /// Inverse transform (DCT-III, the transpose of the orthonormal DCT-II).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s.len() != n`.
+    pub fn inverse(&self, s: &[f64]) -> Vec<f64> {
+        assert_eq!(s.len(), self.n, "input length mismatch");
+        let mut out = vec![0.0; self.n];
+        self.inverse_into(s, &mut out);
+        out
+    }
+
+    /// Inverse transform into a caller-provided buffer.
+    pub fn inverse_into(&self, s: &[f64], out: &mut [f64]) {
+        assert_eq!(s.len(), self.n, "input length mismatch");
+        assert_eq!(out.len(), self.n, "output length mismatch");
+        out.fill(0.0);
+        // x = M^T s: accumulate row-by-row for cache-friendly access.
+        for k in 0..self.n {
+            let c = s[k];
+            if c == 0.0 {
+                continue;
+            }
+            let row = &self.mat[k * self.n..(k + 1) * self.n];
+            for (o, m) in out.iter_mut().zip(row.iter()) {
+                *o += c * m;
+            }
+        }
+    }
+}
+
+/// A separable 2-D orthonormal DCT on row-major `rows x cols` data.
+///
+/// # Examples
+///
+/// ```
+/// use oscar_cs::dct::Dct2d;
+///
+/// let dct = Dct2d::new(4, 6);
+/// let x: Vec<f64> = (0..24).map(|i| (i as f64 * 0.37).cos()).collect();
+/// let s = dct.forward(&x);
+/// let y = dct.inverse(&s);
+/// for (a, b) in x.iter().zip(&y) {
+///     assert!((a - b).abs() < 1e-12);
+/// }
+/// ```
+#[derive(Clone, Debug)]
+pub struct Dct2d {
+    rows: usize,
+    cols: usize,
+    row_t: Dct1d,
+    col_t: Dct1d,
+}
+
+impl Dct2d {
+    /// Builds the transform for a `rows x cols` grid.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        Dct2d {
+            rows,
+            cols,
+            row_t: Dct1d::new(cols),
+            col_t: Dct1d::new(rows),
+        }
+    }
+
+    /// Grid rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Grid columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of grid points.
+    pub fn len(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// `true` when the grid is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Forward 2-D DCT of row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != rows * cols`.
+    pub fn forward(&self, x: &[f64]) -> Vec<f64> {
+        self.apply(x, true)
+    }
+
+    /// Inverse 2-D DCT of row-major coefficients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s.len() != rows * cols`.
+    pub fn inverse(&self, s: &[f64]) -> Vec<f64> {
+        self.apply(s, false)
+    }
+
+    fn apply(&self, x: &[f64], forward: bool) -> Vec<f64> {
+        assert_eq!(x.len(), self.rows * self.cols, "grid size mismatch");
+        let mut tmp = vec![0.0; x.len()];
+        let mut buf_in = vec![0.0; self.cols.max(self.rows)];
+        let mut buf_out = vec![0.0; self.cols.max(self.rows)];
+        // Transform each row.
+        for r in 0..self.rows {
+            let src = &x[r * self.cols..(r + 1) * self.cols];
+            let dst = &mut tmp[r * self.cols..(r + 1) * self.cols];
+            if forward {
+                self.row_t.forward_into(src, dst);
+            } else {
+                self.row_t.inverse_into(src, dst);
+            }
+        }
+        // Transform each column.
+        let mut out = vec![0.0; x.len()];
+        for c in 0..self.cols {
+            for r in 0..self.rows {
+                buf_in[r] = tmp[r * self.cols + c];
+            }
+            if forward {
+                self.col_t.forward_into(&buf_in[..self.rows], &mut buf_out[..self.rows]);
+            } else {
+                self.col_t.inverse_into(&buf_in[..self.rows], &mut buf_out[..self.rows]);
+            }
+            for r in 0..self.rows {
+                out[r * self.cols + c] = buf_out[r];
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l2(a: &[f64]) -> f64 {
+        a.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    #[test]
+    fn dc_component_of_constant() {
+        let dct = Dct1d::new(16);
+        let x = vec![1.0; 16];
+        let s = dct.forward(&x);
+        assert!((s[0] - 4.0).abs() < 1e-12); // sqrt(16) * 1
+        for &c in &s[1..] {
+            assert!(c.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn forward_inverse_roundtrip_1d() {
+        let dct = Dct1d::new(33);
+        let x: Vec<f64> = (0..33).map(|i| ((i * 7 % 13) as f64) - 6.0).collect();
+        let y = dct.inverse(&dct.forward(&x));
+        for (a, b) in x.iter().zip(&y) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_conserved_1d() {
+        let dct = Dct1d::new(21);
+        let x: Vec<f64> = (0..21).map(|i| (i as f64 * 0.91).sin() * 2.0).collect();
+        let s = dct.forward(&x);
+        assert!((l2(&x) - l2(&s)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn single_cosine_is_one_coefficient() {
+        let n = 64;
+        let dct = Dct1d::new(n);
+        let k = 5;
+        let x: Vec<f64> = (0..n)
+            .map(|i| (std::f64::consts::PI * (i as f64 + 0.5) * k as f64 / n as f64).cos())
+            .collect();
+        let s = dct.forward(&x);
+        let mut sorted: Vec<f64> = s.iter().map(|v| v.abs()).collect();
+        sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        // All the energy should be in exactly one coefficient.
+        assert!(sorted[0] > 1.0);
+        assert!(sorted[1] < 1e-10);
+        assert!(s[k].abs() > 1.0);
+    }
+
+    #[test]
+    fn roundtrip_2d() {
+        let dct = Dct2d::new(5, 9);
+        let x: Vec<f64> = (0..45).map(|i| (i as f64 * 1.3).cos()).collect();
+        let y = dct.inverse(&dct.forward(&x));
+        for (a, b) in x.iter().zip(&y) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn parseval_2d() {
+        let dct = Dct2d::new(7, 7);
+        let x: Vec<f64> = (0..49).map(|i| ((i * i) % 11) as f64 - 5.0).collect();
+        let s = dct.forward(&x);
+        assert!((l2(&x) - l2(&s)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn separable_product_structure() {
+        // A product of cosines along each axis concentrates into a single
+        // 2-D coefficient.
+        let (rows, cols) = (16, 12);
+        let dct = Dct2d::new(rows, cols);
+        let (kr, kc) = (3usize, 2usize);
+        let mut x = vec![0.0; rows * cols];
+        for r in 0..rows {
+            for c in 0..cols {
+                let fr =
+                    (std::f64::consts::PI * (r as f64 + 0.5) * kr as f64 / rows as f64).cos();
+                let fc =
+                    (std::f64::consts::PI * (c as f64 + 0.5) * kc as f64 / cols as f64).cos();
+                x[r * cols + c] = fr * fc;
+            }
+        }
+        let s = dct.forward(&x);
+        let dominant = s[kr * cols + kc].abs();
+        let rest: f64 = s
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != kr * cols + kc)
+            .map(|(_, v)| v.abs())
+            .sum();
+        assert!(dominant > 1.0 && rest < 1e-9, "dom {dominant} rest {rest}");
+    }
+
+    #[test]
+    #[should_panic(expected = "transform length must be positive")]
+    fn rejects_zero_length() {
+        let _ = Dct1d::new(0);
+    }
+
+    #[test]
+    fn non_square_dimensions_tracked() {
+        let dct = Dct2d::new(3, 8);
+        assert_eq!(dct.rows(), 3);
+        assert_eq!(dct.cols(), 8);
+        assert_eq!(dct.len(), 24);
+    }
+}

@@ -1,0 +1,333 @@
+//! FISTA solver for the LASSO formulation of compressed-sensing recovery.
+//!
+//! Solves `min_s 0.5 ||y - A s||_2^2 + lambda ||s||_1` with the fast
+//! iterative shrinkage-thresholding algorithm (Beck & Teboulle 2009). For
+//! our measurement operator `||A||_2 <= 1` (orthonormal basis + row
+//! selection), so the step size is fixed at 1 and no backtracking is
+//! needed. With small `lambda` the solution approximates basis pursuit,
+//! the l1 program in the paper's Appendix A (Eq. 7).
+
+use crate::measure::MeasurementOperator;
+
+/// Configuration for [`fista`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FistaConfig {
+    /// l1 penalty weight. If `relative_lambda` is set, the effective
+    /// penalty is `lambda * max|A^T y|`, making the setting scale-free.
+    pub lambda: f64,
+    /// Interpret `lambda` relative to `max|A^T y|` (recommended).
+    pub relative_lambda: bool,
+    /// Maximum number of iterations.
+    pub max_iter: usize,
+    /// Stop when the relative change of the iterate drops below this.
+    pub tol: f64,
+    /// After convergence, refit the values on the recovered support by
+    /// gradient descent with the l1 term removed (debiasing); reduces the
+    /// systematic shrinkage of large coefficients.
+    pub debias_iters: usize,
+}
+
+impl Default for FistaConfig {
+    fn default() -> Self {
+        FistaConfig {
+            lambda: 0.005,
+            relative_lambda: true,
+            max_iter: 500,
+            tol: 1e-7,
+            debias_iters: 120,
+        }
+    }
+}
+
+/// Outcome of a FISTA run.
+#[derive(Clone, Debug)]
+pub struct FistaResult {
+    /// Recovered sparse coefficient vector.
+    pub coefficients: Vec<f64>,
+    /// Iterations actually used.
+    pub iterations: usize,
+    /// Final residual norm `||y - A s||_2`.
+    pub residual_norm: f64,
+    /// Number of non-zero coefficients in the solution.
+    pub support_size: usize,
+}
+
+/// Runs FISTA for the operator `op` and measurements `y`.
+///
+/// # Panics
+///
+/// Panics if `y.len()` does not match the operator's measurement length, or
+/// if the config has `max_iter == 0` / non-positive `lambda`.
+///
+/// # Examples
+///
+/// ```
+/// use oscar_cs::dct::Dct2d;
+/// use oscar_cs::measure::{MeasurementOperator, SamplePattern};
+/// use oscar_cs::fista::{fista, FistaConfig};
+/// use rand::SeedableRng;
+///
+/// // A 1-sparse signal in DCT space, recovered from 40% of samples.
+/// let dct = Dct2d::new(8, 8);
+/// let mut coeffs = vec![0.0; 64];
+/// coeffs[9] = 3.0;
+/// let full = dct.inverse(&coeffs);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+/// let pattern = SamplePattern::random(8, 8, 0.4, &mut rng);
+/// let y = pattern.gather(&full);
+/// let op = MeasurementOperator::new(&dct, &pattern);
+/// let result = fista(&op, &y, &FistaConfig::default());
+/// assert!((result.coefficients[9] - 3.0).abs() < 0.1);
+/// ```
+pub fn fista(op: &MeasurementOperator<'_>, y: &[f64], cfg: &FistaConfig) -> FistaResult {
+    assert_eq!(y.len(), op.measurement_len(), "measurement length mismatch");
+    assert!(cfg.max_iter > 0, "max_iter must be positive");
+    assert!(cfg.lambda > 0.0, "lambda must be positive");
+
+    let n = op.signal_len();
+    let lambda = if cfg.relative_lambda {
+        let aty = op.adjoint(y);
+        let max_corr = aty.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        (cfg.lambda * max_corr).max(f64::MIN_POSITIVE)
+    } else {
+        cfg.lambda
+    };
+
+    let mut s = vec![0.0; n]; // current iterate
+    let mut z = vec![0.0; n]; // momentum point
+    let mut t = 1.0f64;
+    let mut iterations = 0;
+
+    for it in 0..cfg.max_iter {
+        iterations = it + 1;
+        // Gradient step at z: grad = A^T (A z - y).
+        let az = op.forward(&z);
+        let resid: Vec<f64> = az.iter().zip(y.iter()).map(|(a, b)| a - b).collect();
+        let grad = op.adjoint(&resid);
+        // Proximal (soft-threshold) step with unit step size.
+        let mut s_next = vec![0.0; n];
+        for i in 0..n {
+            s_next[i] = soft_threshold(z[i] - grad[i], lambda);
+        }
+        // Momentum update.
+        let t_next = 0.5 * (1.0 + (1.0 + 4.0 * t * t).sqrt());
+        let beta = (t - 1.0) / t_next;
+        let mut max_delta = 0.0f64;
+        let mut max_mag = 0.0f64;
+        for i in 0..n {
+            let delta = s_next[i] - s[i];
+            z[i] = s_next[i] + beta * delta;
+            max_delta = max_delta.max(delta.abs());
+            max_mag = max_mag.max(s_next[i].abs());
+        }
+        s = s_next;
+        t = t_next;
+        if max_delta <= cfg.tol * max_mag.max(1e-12) {
+            break;
+        }
+    }
+
+    if cfg.debias_iters > 0 {
+        debias(op, y, &mut s, cfg.debias_iters);
+    }
+
+    let final_resid: Vec<f64> = op
+        .forward(&s)
+        .iter()
+        .zip(y.iter())
+        .map(|(a, b)| a - b)
+        .collect();
+    let residual_norm = final_resid.iter().map(|r| r * r).sum::<f64>().sqrt();
+    let support_size = s.iter().filter(|v| **v != 0.0).count();
+    FistaResult {
+        coefficients: s,
+        iterations,
+        residual_norm,
+        support_size,
+    }
+}
+
+/// Gradient descent restricted to the current support (l1 term dropped),
+/// correcting the soft-threshold shrinkage bias.
+fn debias(op: &MeasurementOperator<'_>, y: &[f64], s: &mut [f64], iters: usize) {
+    let support: Vec<usize> = s
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| **v != 0.0)
+        .map(|(i, _)| i)
+        .collect();
+    if support.is_empty() {
+        return;
+    }
+    for _ in 0..iters {
+        let az = op.forward(s);
+        let resid: Vec<f64> = az.iter().zip(y.iter()).map(|(a, b)| a - b).collect();
+        let grad = op.adjoint(&resid);
+        let mut max_step = 0.0f64;
+        for &i in &support {
+            s[i] -= grad[i];
+            max_step = max_step.max(grad[i].abs());
+        }
+        if max_step < 1e-12 {
+            break;
+        }
+    }
+}
+
+/// Soft-thresholding operator `sign(x) * max(|x| - t, 0)`.
+#[inline]
+pub fn soft_threshold(x: f64, t: f64) -> f64 {
+    if x > t {
+        x - t
+    } else if x < -t {
+        x + t
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dct::Dct2d;
+    use crate::measure::SamplePattern;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn sparse_signal(dct: &Dct2d, spikes: &[(usize, f64)]) -> (Vec<f64>, Vec<f64>) {
+        let mut coeffs = vec![0.0; dct.len()];
+        for &(i, v) in spikes {
+            coeffs[i] = v;
+        }
+        let full = dct.inverse(&coeffs);
+        (coeffs, full)
+    }
+
+    #[test]
+    fn soft_threshold_cases() {
+        assert_eq!(soft_threshold(3.0, 1.0), 2.0);
+        assert_eq!(soft_threshold(-3.0, 1.0), -2.0);
+        assert_eq!(soft_threshold(0.5, 1.0), 0.0);
+        assert_eq!(soft_threshold(-0.5, 1.0), 0.0);
+    }
+
+    #[test]
+    fn recovers_three_sparse_signal() {
+        let dct = Dct2d::new(12, 12);
+        let (coeffs, full) = sparse_signal(&dct, &[(0, 5.0), (13, -2.0), (30, 1.5)]);
+        let mut rng = StdRng::seed_from_u64(2);
+        let pattern = SamplePattern::random(12, 12, 0.35, &mut rng);
+        let y = pattern.gather(&full);
+        let op = MeasurementOperator::new(&dct, &pattern);
+        let res = fista(&op, &y, &FistaConfig::default());
+        for (i, (&c, &r)) in coeffs.iter().zip(res.coefficients.iter()).enumerate() {
+            assert!((c - r).abs() < 0.05, "coef {i}: true {c} rec {r}");
+        }
+    }
+
+    #[test]
+    fn reconstruction_matches_full_signal() {
+        let dct = Dct2d::new(10, 14);
+        let (_, full) = sparse_signal(&dct, &[(1, 2.0), (15, 1.0), (29, -0.8), (3, 0.4)]);
+        let mut rng = StdRng::seed_from_u64(8);
+        let pattern = SamplePattern::random(10, 14, 0.4, &mut rng);
+        let y = pattern.gather(&full);
+        let op = MeasurementOperator::new(&dct, &pattern);
+        let res = fista(&op, &y, &FistaConfig::default());
+        let recon = dct.inverse(&res.coefficients);
+        let err: f64 = recon
+            .iter()
+            .zip(&full)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt();
+        let norm: f64 = full.iter().map(|v| v * v).sum::<f64>().sqrt();
+        assert!(err / norm < 0.02, "relative error {}", err / norm);
+    }
+
+    #[test]
+    fn noisy_measurements_still_approximate() {
+        let dct = Dct2d::new(10, 10);
+        let (_, full) = sparse_signal(&dct, &[(0, 4.0), (11, 2.0)]);
+        let mut rng = StdRng::seed_from_u64(21);
+        let pattern = SamplePattern::random(10, 10, 0.5, &mut rng);
+        let y: Vec<f64> = pattern
+            .gather(&full)
+            .iter()
+            .map(|v| v + rng.gen_range(-0.01..0.01))
+            .collect();
+        let op = MeasurementOperator::new(&dct, &pattern);
+        let res = fista(
+            &op,
+            &y,
+            &FistaConfig {
+                lambda: 0.02,
+                ..FistaConfig::default()
+            },
+        );
+        let recon = dct.inverse(&res.coefficients);
+        let err: f64 = recon
+            .iter()
+            .zip(&full)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt();
+        let norm: f64 = full.iter().map(|v| v * v).sum::<f64>().sqrt();
+        assert!(err / norm < 0.1, "relative error {}", err / norm);
+    }
+
+    #[test]
+    fn full_sampling_reproduces_any_signal() {
+        // With 100% sampling, even a non-sparse signal is recovered by the
+        // data-fidelity term.
+        let dct = Dct2d::new(6, 6);
+        let full: Vec<f64> = (0..36).map(|i| ((i * 17) % 7) as f64 - 3.0).collect();
+        let pattern = SamplePattern::from_indices(6, 6, (0..36).collect());
+        let y = pattern.gather(&full);
+        let op = MeasurementOperator::new(&dct, &pattern);
+        let res = fista(
+            &op,
+            &y,
+            &FistaConfig {
+                lambda: 1e-5,
+                max_iter: 2000,
+                debias_iters: 200,
+                ..FistaConfig::default()
+            },
+        );
+        let recon = dct.inverse(&res.coefficients);
+        for (a, b) in recon.iter().zip(&full) {
+            assert!((a - b).abs() < 0.05, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn support_size_reported() {
+        let dct = Dct2d::new(8, 8);
+        let (_, full) = sparse_signal(&dct, &[(5, 1.0)]);
+        let mut rng = StdRng::seed_from_u64(5);
+        let pattern = SamplePattern::random(8, 8, 0.5, &mut rng);
+        let y = pattern.gather(&full);
+        let op = MeasurementOperator::new(&dct, &pattern);
+        let res = fista(&op, &y, &FistaConfig::default());
+        assert!(res.support_size >= 1);
+        assert!(res.residual_norm < 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda must be positive")]
+    fn rejects_nonpositive_lambda() {
+        let dct = Dct2d::new(4, 4);
+        let pattern = SamplePattern::from_indices(4, 4, vec![0, 1]);
+        let op = MeasurementOperator::new(&dct, &pattern);
+        let _ = fista(
+            &op,
+            &[0.0, 0.0],
+            &FistaConfig {
+                lambda: 0.0,
+                relative_lambda: false,
+                ..FistaConfig::default()
+            },
+        );
+    }
+}

@@ -1,0 +1,56 @@
+//! # oscar-cs — compressed sensing for landscape reconstruction
+//!
+//! The mathematical core of OSCAR (paper §4 and Appendix A):
+//!
+//! * [`dct`] — orthonormal DCT-II/III in 1-D and separable 2-D form, the
+//!   sparsifying basis `Ψ`;
+//! * [`measure`] — random sampling patterns and the measurement operator
+//!   `A = C Ψ` with its adjoint;
+//! * [`fista`] — FISTA solver for the l1 (LASSO) recovery program, the
+//!   workhorse reconstruction routine;
+//! * [`omp`] — orthogonal matching pursuit, the greedy alternative used in
+//!   the recovery-ablation benchmark;
+//! * [`analysis`] — DCT energy-compaction metrics (Table 4).
+//!
+//! # Example
+//!
+//! Recover a sparse landscape from 35% of its points:
+//!
+//! ```
+//! use oscar_cs::prelude::*;
+//! use rand::SeedableRng;
+//!
+//! let dct = Dct2d::new(10, 10);
+//! let mut coeffs = vec![0.0; 100];
+//! coeffs[0] = 4.0;
+//! coeffs[21] = -1.0;
+//! let landscape = dct.inverse(&coeffs);
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let pattern = SamplePattern::random(10, 10, 0.35, &mut rng);
+//! let y = pattern.gather(&landscape);
+//! let op = MeasurementOperator::new(&dct, &pattern);
+//! let sol = fista(&op, &y, &FistaConfig::default());
+//! let recon = dct.inverse(&sol.coefficients);
+//! let err: f64 = recon.iter().zip(&landscape).map(|(a, b)| (a - b).abs()).sum();
+//! assert!(err / 100.0 < 0.01);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod dct;
+pub mod fista;
+pub mod ista;
+pub mod measure;
+pub mod omp;
+
+/// Glob-import of the most used types.
+pub mod prelude {
+    pub use crate::analysis::{dct_energy_fraction_99, energy_fraction, keep_top_k};
+    pub use crate::dct::{Dct1d, Dct2d};
+    pub use crate::fista::{fista, FistaConfig, FistaResult};
+    pub use crate::ista::ista;
+    pub use crate::measure::{MeasurementOperator, SamplePattern};
+    pub use crate::omp::{omp, OmpConfig, OmpResult};
+}

@@ -1,0 +1,292 @@
+//! The compressed-sensing measurement operator `A = C Ψ`.
+//!
+//! `Ψ` is the inverse 2-D DCT (so the unknown is the coefficient vector `s`
+//! with landscape `x = Ψ s`), and `C` selects the `m` sampled grid points.
+//! Because `Ψ` is orthonormal and `C` a row selector, `||A||_2 <= 1`, which
+//! lets the FISTA solver use a unit step size with no line search.
+
+use crate::dct::Dct2d;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A random uniform sampling pattern over a `rows x cols` grid.
+///
+/// # Examples
+///
+/// ```
+/// use oscar_cs::measure::SamplePattern;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let pat = SamplePattern::random(10, 10, 0.25, &mut rng);
+/// assert_eq!(pat.indices().len(), 25);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SamplePattern {
+    rows: usize,
+    cols: usize,
+    indices: Vec<usize>,
+}
+
+impl SamplePattern {
+    /// Samples `ceil(fraction * rows * cols)` distinct grid points uniformly
+    /// at random (without replacement).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < fraction <= 1`.
+    pub fn random<R: Rng + ?Sized>(
+        rows: usize,
+        cols: usize,
+        fraction: f64,
+        rng: &mut R,
+    ) -> Self {
+        assert!(fraction > 0.0 && fraction <= 1.0, "fraction must be in (0,1]");
+        let total = rows * cols;
+        let m = ((fraction * total as f64).ceil() as usize).clamp(1, total);
+        Self::random_count(rows, cols, m, rng)
+    }
+
+    /// Samples exactly `m` distinct grid points uniformly at random.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < m <= rows * cols`.
+    pub fn random_count<R: Rng + ?Sized>(
+        rows: usize,
+        cols: usize,
+        m: usize,
+        rng: &mut R,
+    ) -> Self {
+        let total = rows * cols;
+        assert!(m > 0 && m <= total, "sample count out of range");
+        let mut all: Vec<usize> = (0..total).collect();
+        all.shuffle(rng);
+        let mut indices = all[..m].to_vec();
+        indices.sort_unstable();
+        SamplePattern { rows, cols, indices }
+    }
+
+    /// Builds a pattern from explicit flat indices (deduplicated, sorted).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range or the list is empty.
+    pub fn from_indices(rows: usize, cols: usize, mut indices: Vec<usize>) -> Self {
+        assert!(!indices.is_empty(), "pattern needs at least one index");
+        indices.sort_unstable();
+        indices.dedup();
+        assert!(
+            *indices.last().unwrap() < rows * cols,
+            "index out of grid range"
+        );
+        SamplePattern { rows, cols, indices }
+    }
+
+    /// Grid rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Grid columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The sampled flat indices (sorted, distinct).
+    pub fn indices(&self) -> &[usize] {
+        &self.indices
+    }
+
+    /// Number of samples `m`.
+    pub fn num_samples(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Achieved sampling fraction `m / (rows * cols)`.
+    pub fn fraction(&self) -> f64 {
+        self.indices.len() as f64 / (self.rows * self.cols) as f64
+    }
+
+    /// (row, col) coordinates of each sample.
+    pub fn coords(&self) -> Vec<(usize, usize)> {
+        self.indices
+            .iter()
+            .map(|&i| (i / self.cols, i % self.cols))
+            .collect()
+    }
+
+    /// Extracts the sampled values from a full row-major landscape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `full.len() != rows * cols`.
+    pub fn gather(&self, full: &[f64]) -> Vec<f64> {
+        assert_eq!(full.len(), self.rows * self.cols, "grid size mismatch");
+        self.indices.iter().map(|&i| full[i]).collect()
+    }
+
+    /// Restricts the pattern to its first `m` indices (in index order),
+    /// used by eager reconstruction when late samples are dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < m <= num_samples()`.
+    pub fn truncated(&self, m: usize) -> SamplePattern {
+        assert!(m > 0 && m <= self.indices.len(), "truncation out of range");
+        SamplePattern {
+            rows: self.rows,
+            cols: self.cols,
+            indices: self.indices[..m].to_vec(),
+        }
+    }
+}
+
+/// The forward/adjoint measurement operator used by the sparse solvers.
+#[derive(Clone, Debug)]
+pub struct MeasurementOperator<'a> {
+    dct: &'a Dct2d,
+    pattern: &'a SamplePattern,
+}
+
+impl<'a> MeasurementOperator<'a> {
+    /// Couples a transform with a sampling pattern.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pattern grid does not match the transform grid.
+    pub fn new(dct: &'a Dct2d, pattern: &'a SamplePattern) -> Self {
+        assert_eq!(dct.rows(), pattern.rows(), "grid rows mismatch");
+        assert_eq!(dct.cols(), pattern.cols(), "grid cols mismatch");
+        MeasurementOperator { dct, pattern }
+    }
+
+    /// Signal dimension `n = rows * cols`.
+    pub fn signal_len(&self) -> usize {
+        self.dct.len()
+    }
+
+    /// Measurement dimension `m`.
+    pub fn measurement_len(&self) -> usize {
+        self.pattern.num_samples()
+    }
+
+    /// Applies `A s = C Ψ s`: coefficients -> sampled landscape values.
+    pub fn forward(&self, s: &[f64]) -> Vec<f64> {
+        let x = self.dct.inverse(s);
+        self.pattern.gather(&x)
+    }
+
+    /// Applies the adjoint `A^T y = Ψ^T C^T y`: residuals -> coefficient
+    /// gradient.
+    pub fn adjoint(&self, y: &[f64]) -> Vec<f64> {
+        assert_eq!(
+            y.len(),
+            self.pattern.num_samples(),
+            "measurement length mismatch"
+        );
+        let mut scattered = vec![0.0; self.dct.len()];
+        for (&idx, &v) in self.pattern.indices().iter().zip(y.iter()) {
+            scattered[idx] = v;
+        }
+        self.dct.forward(&scattered)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_pattern_has_distinct_sorted_indices() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = SamplePattern::random(20, 30, 0.1, &mut rng);
+        assert_eq!(p.num_samples(), 60);
+        for w in p.indices().windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn fraction_matches_request() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let p = SamplePattern::random(10, 10, 0.37, &mut rng);
+        assert_eq!(p.num_samples(), 37);
+        assert!((p.fraction() - 0.37).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gather_selects_values() {
+        let p = SamplePattern::from_indices(2, 3, vec![5, 0, 2]);
+        let full = vec![10.0, 11.0, 12.0, 13.0, 14.0, 15.0];
+        assert_eq!(p.gather(&full), vec![10.0, 12.0, 15.0]);
+    }
+
+    #[test]
+    fn coords_invert_flat_indices() {
+        let p = SamplePattern::from_indices(3, 4, vec![0, 5, 11]);
+        assert_eq!(p.coords(), vec![(0, 0), (1, 1), (2, 3)]);
+    }
+
+    #[test]
+    fn adjoint_is_transpose_of_forward() {
+        // <A s, y> == <s, A^T y> for random vectors.
+        let dct = Dct2d::new(6, 5);
+        let mut rng = StdRng::seed_from_u64(11);
+        let pattern = SamplePattern::random(6, 5, 0.4, &mut rng);
+        let op = MeasurementOperator::new(&dct, &pattern);
+        use rand::Rng;
+        let s: Vec<f64> = (0..30).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let y: Vec<f64> = (0..op.measurement_len())
+            .map(|_| rng.gen_range(-1.0..1.0))
+            .collect();
+        let lhs: f64 = op.forward(&s).iter().zip(&y).map(|(a, b)| a * b).sum();
+        let rhs: f64 = op.adjoint(&y).iter().zip(&s).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-10, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn operator_norm_at_most_one() {
+        // Power iteration estimate of ||A^T A||.
+        let dct = Dct2d::new(8, 8);
+        let mut rng = StdRng::seed_from_u64(12);
+        let pattern = SamplePattern::random(8, 8, 0.3, &mut rng);
+        let op = MeasurementOperator::new(&dct, &pattern);
+        use rand::Rng;
+        let mut v: Vec<f64> = (0..64).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mut lambda = 0.0;
+        for _ in 0..50 {
+            let w = op.adjoint(&op.forward(&v));
+            lambda = w.iter().map(|x| x * x).sum::<f64>().sqrt();
+            if lambda == 0.0 {
+                break;
+            }
+            for (vi, wi) in v.iter_mut().zip(&w) {
+                *vi = wi / lambda;
+            }
+        }
+        assert!(lambda <= 1.0 + 1e-9, "operator norm {lambda} > 1");
+    }
+
+    #[test]
+    fn truncated_keeps_prefix() {
+        let p = SamplePattern::from_indices(2, 4, vec![1, 3, 6, 7]);
+        let t = p.truncated(2);
+        assert_eq!(t.indices(), &[1, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction must be in (0,1]")]
+    fn rejects_zero_fraction() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = SamplePattern::random(4, 4, 0.0, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "index out of grid range")]
+    fn rejects_out_of_range_index() {
+        let _ = SamplePattern::from_indices(2, 2, vec![4]);
+    }
+}

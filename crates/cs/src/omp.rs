@@ -1,0 +1,259 @@
+//! Orthogonal Matching Pursuit — the greedy alternative to FISTA.
+//!
+//! Used by the recovery-ablation benchmark to compare l1 relaxation against
+//! greedy support selection. OMP repeatedly picks the dictionary atom most
+//! correlated with the residual and re-solves least squares on the selected
+//! support (via normal equations + Cholesky).
+
+use crate::measure::MeasurementOperator;
+
+/// Configuration for [`omp`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OmpConfig {
+    /// Maximum number of atoms to select.
+    pub max_atoms: usize,
+    /// Stop when the residual norm falls below this.
+    pub residual_tol: f64,
+}
+
+impl Default for OmpConfig {
+    fn default() -> Self {
+        OmpConfig {
+            max_atoms: 64,
+            residual_tol: 1e-8,
+        }
+    }
+}
+
+/// Outcome of an OMP run.
+#[derive(Clone, Debug)]
+pub struct OmpResult {
+    /// Recovered coefficient vector (zero off the selected support).
+    pub coefficients: Vec<f64>,
+    /// Selected atom indices, in selection order.
+    pub support: Vec<usize>,
+    /// Final residual norm.
+    pub residual_norm: f64,
+}
+
+/// Runs OMP for measurements `y` under operator `op`.
+///
+/// # Panics
+///
+/// Panics if `y.len()` mismatches the operator or `max_atoms == 0`.
+pub fn omp(op: &MeasurementOperator<'_>, y: &[f64], cfg: &OmpConfig) -> OmpResult {
+    assert_eq!(y.len(), op.measurement_len(), "measurement length mismatch");
+    assert!(cfg.max_atoms > 0, "max_atoms must be positive");
+    let n = op.signal_len();
+    let m = op.measurement_len();
+    let max_atoms = cfg.max_atoms.min(m).min(n);
+
+    let mut residual = y.to_vec();
+    let mut support: Vec<usize> = Vec::new();
+    let mut atoms: Vec<Vec<f64>> = Vec::new(); // columns of A on the support
+    let mut coef_on_support: Vec<f64> = Vec::new();
+
+    for _ in 0..max_atoms {
+        let rnorm = norm(&residual);
+        if rnorm < cfg.residual_tol {
+            break;
+        }
+        // Most correlated atom: argmax |A^T r|.
+        let corr = op.adjoint(&residual);
+        let mut best = None;
+        let mut best_val = 0.0;
+        for (i, &c) in corr.iter().enumerate() {
+            if support.contains(&i) {
+                continue;
+            }
+            if c.abs() > best_val {
+                best_val = c.abs();
+                best = Some(i);
+            }
+        }
+        let Some(j) = best else { break };
+        if best_val < 1e-14 {
+            break;
+        }
+        support.push(j);
+        atoms.push(atom_column(op, j));
+
+        // Least squares on the support via normal equations.
+        let k = support.len();
+        let mut gram = vec![0.0; k * k];
+        let mut rhs = vec![0.0; k];
+        for a in 0..k {
+            rhs[a] = dot(&atoms[a], y);
+            for b in a..k {
+                let g = dot(&atoms[a], &atoms[b]);
+                gram[a * k + b] = g;
+                gram[b * k + a] = g;
+            }
+        }
+        coef_on_support = cholesky_solve(&gram, &rhs, k);
+
+        // New residual.
+        residual = y.to_vec();
+        for (a, &c) in coef_on_support.iter().enumerate() {
+            for (r, &v) in residual.iter_mut().zip(atoms[a].iter()) {
+                *r -= c * v;
+            }
+        }
+    }
+
+    let mut coefficients = vec![0.0; n];
+    for (&j, &c) in support.iter().zip(coef_on_support.iter()) {
+        coefficients[j] = c;
+    }
+    OmpResult {
+        coefficients,
+        support,
+        residual_norm: norm(&residual),
+    }
+}
+
+fn atom_column(op: &MeasurementOperator<'_>, j: usize) -> Vec<f64> {
+    let mut e = vec![0.0; op.signal_len()];
+    e[j] = 1.0;
+    op.forward(&e)
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
+}
+
+fn norm(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Solves `G x = b` for symmetric positive-definite `G` (row-major `k x k`)
+/// by Cholesky decomposition, with a tiny diagonal ridge for robustness.
+fn cholesky_solve(g: &[f64], b: &[f64], k: usize) -> Vec<f64> {
+    let mut l = vec![0.0; k * k];
+    let ridge = 1e-12;
+    for i in 0..k {
+        for j in 0..=i {
+            let mut sum = g[i * k + j];
+            if i == j {
+                sum += ridge;
+            }
+            for p in 0..j {
+                sum -= l[i * k + p] * l[j * k + p];
+            }
+            if i == j {
+                l[i * k + i] = sum.max(1e-300).sqrt();
+            } else {
+                l[i * k + j] = sum / l[j * k + j];
+            }
+        }
+    }
+    // Forward substitution L z = b.
+    let mut z = vec![0.0; k];
+    for i in 0..k {
+        let mut sum = b[i];
+        for p in 0..i {
+            sum -= l[i * k + p] * z[p];
+        }
+        z[i] = sum / l[i * k + i];
+    }
+    // Back substitution L^T x = z.
+    let mut x = vec![0.0; k];
+    for i in (0..k).rev() {
+        let mut sum = z[i];
+        for p in i + 1..k {
+            sum -= l[p * k + i] * x[p];
+        }
+        x[i] = sum / l[i * k + i];
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dct::Dct2d;
+    use crate::measure::SamplePattern;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn cholesky_solves_spd_system() {
+        // G = [[4,2],[2,3]], b = [2,1] -> x = [0.5, 0]
+        let g = vec![4.0, 2.0, 2.0, 3.0];
+        let b = vec![2.0, 1.0];
+        let x = cholesky_solve(&g, &b, 2);
+        assert!((x[0] - 0.5).abs() < 1e-9 && x[1].abs() < 1e-9, "{x:?}");
+    }
+
+    #[test]
+    fn omp_recovers_exactly_sparse() {
+        let dct = Dct2d::new(10, 10);
+        let mut coeffs = vec![0.0; 100];
+        coeffs[0] = 3.0;
+        coeffs[12] = -1.5;
+        coeffs[47] = 0.7;
+        let full = dct.inverse(&coeffs);
+        let mut rng = StdRng::seed_from_u64(17);
+        let pattern = SamplePattern::random(10, 10, 0.3, &mut rng);
+        let y = pattern.gather(&full);
+        let op = MeasurementOperator::new(&dct, &pattern);
+        let res = omp(&op, &y, &OmpConfig::default());
+        for (i, (&c, &r)) in coeffs.iter().zip(res.coefficients.iter()).enumerate() {
+            assert!((c - r).abs() < 1e-6, "coef {i}: {c} vs {r}");
+        }
+        assert!(res.residual_norm < 1e-6);
+    }
+
+    #[test]
+    fn omp_selects_true_support_first() {
+        let dct = Dct2d::new(8, 8);
+        let mut coeffs = vec![0.0; 64];
+        coeffs[20] = 10.0;
+        let full = dct.inverse(&coeffs);
+        let mut rng = StdRng::seed_from_u64(3);
+        let pattern = SamplePattern::random(8, 8, 0.5, &mut rng);
+        let y = pattern.gather(&full);
+        let op = MeasurementOperator::new(&dct, &pattern);
+        let res = omp(&op, &y, &OmpConfig::default());
+        assert_eq!(res.support[0], 20);
+    }
+
+    #[test]
+    fn max_atoms_bounds_support() {
+        let dct = Dct2d::new(8, 8);
+        let mut coeffs = vec![0.0; 64];
+        for i in 0..10 {
+            coeffs[i * 6] = 1.0 + i as f64;
+        }
+        let full = dct.inverse(&coeffs);
+        let mut rng = StdRng::seed_from_u64(4);
+        let pattern = SamplePattern::random(8, 8, 0.8, &mut rng);
+        let y = pattern.gather(&full);
+        let op = MeasurementOperator::new(&dct, &pattern);
+        let res = omp(
+            &op,
+            &y,
+            &OmpConfig {
+                max_atoms: 3,
+                residual_tol: 0.0,
+            },
+        );
+        assert!(res.support.len() <= 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_atoms must be positive")]
+    fn rejects_zero_atoms() {
+        let dct = Dct2d::new(4, 4);
+        let pattern = SamplePattern::from_indices(4, 4, vec![0]);
+        let op = MeasurementOperator::new(&dct, &pattern);
+        let _ = omp(
+            &op,
+            &[1.0],
+            &OmpConfig {
+                max_atoms: 0,
+                residual_tol: 0.0,
+            },
+        );
+    }
+}

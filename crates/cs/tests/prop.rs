@@ -1,0 +1,125 @@
+//! Property-based tests for the compressed-sensing machinery.
+
+use oscar_cs::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The DCT is linear: T(a x + b y) = a T(x) + b T(y).
+    #[test]
+    fn dct_is_linear(
+        a in -3.0f64..3.0,
+        b in -3.0f64..3.0,
+        seed in 0u64..500,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let n = 24;
+        let dct = Dct1d::new(n);
+        let x: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let y: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let combo: Vec<f64> = x.iter().zip(&y).map(|(xi, yi)| a * xi + b * yi).collect();
+        let lhs = dct.forward(&combo);
+        let tx = dct.forward(&x);
+        let ty = dct.forward(&y);
+        for i in 0..n {
+            prop_assert!((lhs[i] - (a * tx[i] + b * ty[i])).abs() < 1e-9);
+        }
+    }
+
+    /// Hard thresholding (keep_top_k) never increases energy and keeps at
+    /// most k non-zeros.
+    #[test]
+    fn keep_top_k_contracts(values in prop::collection::vec(-5.0f64..5.0, 1..60), k in 0usize..70) {
+        let kept = keep_top_k(&values, k);
+        let e_in: f64 = values.iter().map(|v| v * v).sum();
+        let e_out: f64 = kept.iter().map(|v| v * v).sum();
+        prop_assert!(e_out <= e_in + 1e-12);
+        prop_assert!(kept.iter().filter(|v| **v != 0.0).count() <= k.min(values.len()));
+    }
+
+    /// The energy fraction is monotone in the energy target.
+    #[test]
+    fn energy_fraction_monotone(values in prop::collection::vec(-5.0f64..5.0, 2..80)) {
+        let f90 = energy_fraction(&values, 0.90);
+        let f99 = energy_fraction(&values, 0.99);
+        prop_assert!(f99 >= f90 - 1e-12);
+        prop_assert!(f90 > 0.0 && f99 <= 1.0);
+    }
+
+    /// Gather/truncate consistency: a truncated pattern gathers a prefix.
+    #[test]
+    fn truncated_pattern_gathers_prefix(seed in 0u64..500, keep in 1usize..20) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let pattern = SamplePattern::random(8, 8, 0.5, &mut rng);
+        let keep = keep.min(pattern.num_samples());
+        let full: Vec<f64> = (0..64).map(|i| i as f64).collect();
+        let all = pattern.gather(&full);
+        let t = pattern.truncated(keep);
+        prop_assert_eq!(t.gather(&full), all[..keep].to_vec());
+    }
+
+    /// FISTA's residual never exceeds ||y|| (the zero solution's residual,
+    /// which the solver must at least match).
+    #[test]
+    fn fista_beats_zero_solution(seed in 0u64..200) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let dct = Dct2d::new(8, 8);
+        let mut coeffs = vec![0.0; 64];
+        coeffs[rng.gen_range(0..64)] = rng.gen_range(0.5..3.0);
+        let full = dct.inverse(&coeffs);
+        let pattern = SamplePattern::random(8, 8, 0.4, &mut rng);
+        let y = pattern.gather(&full);
+        let op = MeasurementOperator::new(&dct, &pattern);
+        let sol = fista(&op, &y, &FistaConfig::default());
+        let ynorm: f64 = y.iter().map(|v| v * v).sum::<f64>().sqrt();
+        prop_assert!(sol.residual_norm <= ynorm + 1e-9);
+    }
+
+    /// ISTA and FISTA agree on the recovered support for well-posed
+    /// 1-sparse problems.
+    #[test]
+    fn ista_fista_agree_on_easy_problems(spike in 0usize..64, seed in 0u64..100) {
+        use rand::SeedableRng;
+        let dct = Dct2d::new(8, 8);
+        let mut coeffs = vec![0.0; 64];
+        coeffs[spike] = 2.0;
+        let full = dct.inverse(&coeffs);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let pattern = SamplePattern::random(8, 8, 0.5, &mut rng);
+        let y = pattern.gather(&full);
+        let op = MeasurementOperator::new(&dct, &pattern);
+        let cfg = FistaConfig { max_iter: 2000, ..FistaConfig::default() };
+        let f = fista(&op, &y, &cfg);
+        let i = ista(&op, &y, &cfg);
+        // Both should put their largest coefficient on the true spike.
+        let argmax = |v: &[f64]| {
+            v.iter().enumerate().max_by(|a, b| a.1.abs().partial_cmp(&b.1.abs()).unwrap()).unwrap().0
+        };
+        prop_assert_eq!(argmax(&f.coefficients), spike);
+        prop_assert_eq!(argmax(&i.coefficients), spike);
+    }
+
+    /// OMP's residual decreases as the atom budget grows.
+    #[test]
+    fn omp_residual_monotone_in_atoms(seed in 0u64..100) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let dct = Dct2d::new(8, 8);
+        let mut coeffs = vec![0.0; 64];
+        for _ in 0..5 {
+            let i = rng.gen_range(0..64);
+            coeffs[i] = rng.gen_range(-2.0..2.0);
+        }
+        let full = dct.inverse(&coeffs);
+        let pattern = SamplePattern::random(8, 8, 0.6, &mut rng);
+        let y = pattern.gather(&full);
+        let op = MeasurementOperator::new(&dct, &pattern);
+        let small = omp(&op, &y, &OmpConfig { max_atoms: 2, residual_tol: 0.0 });
+        let large = omp(&op, &y, &OmpConfig { max_atoms: 8, residual_tol: 0.0 });
+        prop_assert!(large.residual_norm <= small.residual_norm + 1e-9);
+    }
+}

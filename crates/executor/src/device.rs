@@ -1,0 +1,259 @@
+//! Simulated QPU devices.
+//!
+//! A [`QpuDevice`] bundles a problem-specific QAOA evaluator with a device
+//! noise configuration and a latency model. Devices stand in for the
+//! paper's IBM Lagos / IBM Perth machines and for ideal/noisy simulators
+//! (substitution documented in DESIGN.md): each produces expectation
+//! values whose systematic bias is determined by its own noise config,
+//! which is exactly the property the Noise Compensation Model experiments
+//! (Figure 8, Table 5) exercise.
+
+use crate::latency::LatencyModel;
+use oscar_mitigation::model::NoiseModel;
+use oscar_problems::ansatz::Ansatz;
+use oscar_problems::ising::IsingProblem;
+use oscar_qsim::circuit::GateCounts;
+use oscar_qsim::qaoa::QaoaEvaluator;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A simulated quantum processing unit executing QAOA circuits.
+///
+/// Thread-safe: `execute` may be called concurrently from the parallel
+/// executor (the internal RNG is mutex-protected).
+///
+/// # Examples
+///
+/// ```
+/// use oscar_executor::device::QpuDevice;
+/// use oscar_executor::latency::LatencyModel;
+/// use oscar_mitigation::model::NoiseModel;
+/// use oscar_problems::ising::IsingProblem;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let problem = IsingProblem::random_3_regular(8, &mut rng);
+/// let qpu = QpuDevice::new("sim", &problem, 1, NoiseModel::ideal(), LatencyModel::instant(), 0);
+/// let e = qpu.execute(&[0.2], &[0.5]);
+/// assert!(e <= 0.0);
+/// ```
+#[derive(Debug)]
+pub struct QpuDevice {
+    name: String,
+    noise: NoiseModel,
+    latency: LatencyModel,
+    evaluator: QaoaEvaluator,
+    counts: GateCounts,
+    rng: Mutex<StdRng>,
+}
+
+impl QpuDevice {
+    /// Builds a device for a QAOA problem at depth `p`.
+    ///
+    /// The physical gate counts come from transpiling the depth-`p` QAOA
+    /// ansatz ([`Ansatz::qaoa`]), so the noise damping matches what the
+    /// full circuit would suffer on hardware.
+    pub fn new(
+        name: &str,
+        problem: &IsingProblem,
+        p: usize,
+        noise: NoiseModel,
+        latency: LatencyModel,
+        seed: u64,
+    ) -> Self {
+        let counts = Ansatz::qaoa(problem, p).circuit().gate_counts();
+        QpuDevice {
+            name: name.to_string(),
+            noise,
+            latency,
+            evaluator: problem.qaoa_evaluator(),
+            counts,
+            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+        }
+    }
+
+    /// The device name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// This device's noise configuration.
+    pub fn noise(&self) -> &NoiseModel {
+        &self.noise
+    }
+
+    /// This device's latency model.
+    pub fn latency(&self) -> &LatencyModel {
+        &self.latency
+    }
+
+    /// Physical gate counts of the transpiled circuit.
+    pub fn gate_counts(&self) -> GateCounts {
+        self.counts
+    }
+
+    /// The underlying ideal evaluator (e.g. for ground-truth landscapes).
+    pub fn evaluator(&self) -> &QaoaEvaluator {
+        &self.evaluator
+    }
+
+    /// Executes the QAOA circuit at the given angles, returning the noisy
+    /// expectation value under this device's noise configuration.
+    pub fn execute(&self, betas: &[f64], gammas: &[f64]) -> f64 {
+        self.execute_scaled(betas, gammas, 1.0)
+    }
+
+    /// Executes with the noise amplified by `scale` (ZNE noise scaling via
+    /// gate folding: the folded circuit has `scale`x the gates).
+    pub fn execute_scaled(&self, betas: &[f64], gammas: &[f64], scale: f64) -> f64 {
+        let (ideal, var) = self.evaluator.moments(betas, gammas);
+        let mixed = self.evaluator.diagonal_mean();
+        let scaled = self.noise.scaled(scale);
+        let mut rng = self.rng.lock();
+        scaled.noisy_expectation(ideal, var, mixed, self.counts, &mut *rng)
+    }
+
+    /// Executes and also samples the simulated job latency (queue +
+    /// execution), in simulated seconds.
+    pub fn execute_timed(&self, betas: &[f64], gammas: &[f64]) -> (f64, f64) {
+        let value = self.execute(betas, gammas);
+        let mut rng = self.rng.lock();
+        let latency = self.latency.sample(&mut *rng);
+        (value, latency)
+    }
+
+    /// Executes with zero-noise extrapolation: measures at each of the
+    /// config's noise scales (via gate folding) and extrapolates to zero.
+    ///
+    /// Costs `zne.cost_multiplier()` circuit executions per call.
+    pub fn execute_zne(
+        &self,
+        zne: &oscar_mitigation::zne::ZneConfig,
+        betas: &[f64],
+        gammas: &[f64],
+    ) -> f64 {
+        zne.extrapolate(&mut |c| self.execute_scaled(betas, gammas, c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oscar_qsim::noise::ReadoutError;
+
+    fn problem() -> IsingProblem {
+        let mut rng = StdRng::seed_from_u64(5);
+        IsingProblem::random_3_regular(8, &mut rng)
+    }
+
+    #[test]
+    fn ideal_device_matches_evaluator() {
+        let p = problem();
+        let qpu = QpuDevice::new("ideal", &p, 1, NoiseModel::ideal(), LatencyModel::instant(), 0);
+        let direct = p.qaoa_evaluator().expectation(&[0.3], &[0.7]);
+        assert!((qpu.execute(&[0.3], &[0.7]) - direct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_device_biases_toward_mixed() {
+        let p = problem();
+        let noise = NoiseModel::depolarizing(0.003, 0.007);
+        let qpu = QpuDevice::new("noisy", &p, 1, noise, LatencyModel::instant(), 0);
+        let ideal = p.qaoa_evaluator().expectation(&[-0.2], &[0.6]);
+        let noisy = qpu.execute(&[-0.2], &[0.6]);
+        let mixed = p.qaoa_evaluator().diagonal_mean();
+        // noisy lies strictly between ideal and mixed.
+        let lo = ideal.min(mixed);
+        let hi = ideal.max(mixed);
+        assert!(noisy > lo && noisy < hi, "{lo} < {noisy} < {hi} violated");
+    }
+
+    #[test]
+    fn different_noise_devices_disagree() {
+        let p = problem();
+        let q1 = QpuDevice::new(
+            "qpu1",
+            &p,
+            1,
+            NoiseModel::depolarizing(0.001, 0.005),
+            LatencyModel::instant(),
+            0,
+        );
+        let q2 = QpuDevice::new(
+            "qpu2",
+            &p,
+            1,
+            NoiseModel::depolarizing(0.003, 0.007),
+            LatencyModel::instant(),
+            0,
+        );
+        let e1 = q1.execute(&[0.25], &[0.5]);
+        let e2 = q2.execute(&[0.25], &[0.5]);
+        assert!((e1 - e2).abs() > 1e-4, "devices should differ: {e1} vs {e2}");
+    }
+
+    #[test]
+    fn shot_noise_varies_between_calls() {
+        let p = problem();
+        let noise = NoiseModel::ideal().with_shots(256);
+        let qpu = QpuDevice::new("shots", &p, 1, noise, LatencyModel::instant(), 3);
+        let a = qpu.execute(&[0.1], &[0.1]);
+        let b = qpu.execute(&[0.1], &[0.1]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn scaled_execution_damps_more() {
+        let p = problem();
+        let noise = NoiseModel::depolarizing(0.002, 0.006);
+        let qpu = QpuDevice::new("zne", &p, 1, noise, LatencyModel::instant(), 0);
+        let mixed = p.qaoa_evaluator().diagonal_mean();
+        let e1 = qpu.execute_scaled(&[0.2], &[0.6], 1.0);
+        let e3 = qpu.execute_scaled(&[0.2], &[0.6], 3.0);
+        assert!(
+            (e3 - mixed).abs() < (e1 - mixed).abs(),
+            "scale-3 should be closer to mixed: {e1} vs {e3} (mixed {mixed})"
+        );
+    }
+
+    #[test]
+    fn readout_noise_applies() {
+        let p = problem();
+        let noise = NoiseModel::ideal().with_readout(ReadoutError::new(0.05, 0.05));
+        let qpu = QpuDevice::new("ro", &p, 1, noise, LatencyModel::instant(), 0);
+        let ideal = p.qaoa_evaluator().expectation(&[0.2], &[0.6]);
+        let noisy = qpu.execute(&[0.2], &[0.6]);
+        assert!((noisy - ideal).abs() > 1e-6);
+    }
+
+    #[test]
+    fn zne_on_device_beats_unmitigated() {
+        use oscar_mitigation::zne::ZneConfig;
+        let p = problem();
+        let noise = NoiseModel::depolarizing(0.002, 0.006);
+        let qpu = QpuDevice::new("zne2", &p, 1, noise, LatencyModel::instant(), 0);
+        let ideal = p.qaoa_evaluator().expectation(&[0.25], &[0.55]);
+        let raw = qpu.execute(&[0.25], &[0.55]);
+        let mitigated = qpu.execute_zne(&ZneConfig::richardson_123(), &[0.25], &[0.55]);
+        assert!(
+            (mitigated - ideal).abs() < (raw - ideal).abs(),
+            "ZNE {mitigated} should beat raw {raw} (ideal {ideal})"
+        );
+    }
+
+    #[test]
+    fn timed_execution_reports_latency() {
+        let p = problem();
+        let qpu = QpuDevice::new(
+            "timed",
+            &p,
+            1,
+            NoiseModel::ideal(),
+            LatencyModel::cloud_queue(),
+            1,
+        );
+        let (_, t) = qpu.execute_timed(&[0.1], &[0.2]);
+        assert!(t > 0.0);
+    }
+}

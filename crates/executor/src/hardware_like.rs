@@ -1,0 +1,230 @@
+//! Hardware-like landscape generation — the stand-in for the Google
+//! Sycamore QAOA dataset (paper §4.3, Figures 5–6).
+//!
+//! We cannot ship Google's dataset, so we synthesize landscapes with the
+//! same statistical character: a 50x50 grid of p=1 QAOA expectations,
+//! heavily damped by hardware-scale depolarizing noise, overlaid with
+//! *spatially correlated* drift (calibration wander across the acquisition
+//! sweep) and per-point shot noise. Reconstruction quality as a function
+//! of sampling fraction — the quantity Figures 5–6 measure — depends only
+//! on these statistics, not on the physical origin of the data
+//! (substitution documented in DESIGN.md).
+
+use oscar_mitigation::gaussian::sample_normal;
+use oscar_problems::ising::IsingProblem;
+use rand::Rng;
+
+/// Configuration for the hardware-like landscape generator.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HardwareLikeConfig {
+    /// Effective circuit fidelity (Sycamore-scale: ~0.3–0.6 for QAOA).
+    pub fidelity: f64,
+    /// Standard deviation of the correlated drift field, as a fraction of
+    /// the landscape's dynamic range.
+    pub drift_std: f64,
+    /// Coarse-grid size of the drift field (smaller = smoother drift).
+    pub drift_cells: usize,
+    /// Per-point white-noise std as a fraction of the dynamic range
+    /// (shot noise at a few thousand shots).
+    pub white_std: f64,
+}
+
+impl Default for HardwareLikeConfig {
+    fn default() -> Self {
+        HardwareLikeConfig {
+            fidelity: 0.45,
+            drift_std: 0.05,
+            drift_cells: 5,
+            white_std: 0.04,
+        }
+    }
+}
+
+/// Generates a hardware-like `rows x cols` landscape for a p=1 QAOA
+/// problem over the angle box `beta_range x gamma_range` (row index =
+/// beta, column index = gamma, row-major).
+///
+/// Returns `(noisy_landscape, ideal_landscape)`.
+///
+/// # Panics
+///
+/// Panics if the grid is smaller than 2x2.
+pub fn hardware_like_landscape<R: Rng + ?Sized>(
+    problem: &IsingProblem,
+    rows: usize,
+    cols: usize,
+    beta_range: (f64, f64),
+    gamma_range: (f64, f64),
+    cfg: &HardwareLikeConfig,
+    rng: &mut R,
+) -> (Vec<f64>, Vec<f64>) {
+    assert!(rows >= 2 && cols >= 2, "grid too small");
+    let eval = problem.qaoa_evaluator();
+    let mixed = eval.diagonal_mean();
+
+    let mut ideal = vec![0.0; rows * cols];
+    for r in 0..rows {
+        let beta = lerp(beta_range, r, rows);
+        for c in 0..cols {
+            let gamma = lerp(gamma_range, c, cols);
+            ideal[r * cols + c] = eval.expectation(&[beta], &[gamma]);
+        }
+    }
+    let lo = ideal.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = ideal.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let range = (hi - lo).max(1e-12);
+
+    let drift = correlated_field(rows, cols, cfg.drift_cells, cfg.drift_std * range, rng);
+    let noisy: Vec<f64> = ideal
+        .iter()
+        .zip(drift.iter())
+        .map(|(&e, &d)| {
+            let damped = cfg.fidelity * e + (1.0 - cfg.fidelity) * mixed;
+            damped + d + sample_normal(rng, 0.0, cfg.white_std * range)
+        })
+        .collect();
+    (noisy, ideal)
+}
+
+/// A smooth random field: white noise on a coarse `cells x cells` grid,
+/// bilinearly upsampled to `rows x cols`.
+pub fn correlated_field<R: Rng + ?Sized>(
+    rows: usize,
+    cols: usize,
+    cells: usize,
+    std: f64,
+    rng: &mut R,
+) -> Vec<f64> {
+    assert!(cells >= 2, "need at least a 2x2 coarse grid");
+    let coarse: Vec<f64> = (0..cells * cells)
+        .map(|_| sample_normal(rng, 0.0, std))
+        .collect();
+    let mut out = vec![0.0; rows * cols];
+    for r in 0..rows {
+        let fr = r as f64 / (rows - 1).max(1) as f64 * (cells - 1) as f64;
+        let r0 = (fr.floor() as usize).min(cells - 2);
+        let tr = fr - r0 as f64;
+        for c in 0..cols {
+            let fc = c as f64 / (cols - 1).max(1) as f64 * (cells - 1) as f64;
+            let c0 = (fc.floor() as usize).min(cells - 2);
+            let tc = fc - c0 as f64;
+            let v00 = coarse[r0 * cells + c0];
+            let v01 = coarse[r0 * cells + c0 + 1];
+            let v10 = coarse[(r0 + 1) * cells + c0];
+            let v11 = coarse[(r0 + 1) * cells + c0 + 1];
+            out[r * cols + c] = v00 * (1.0 - tr) * (1.0 - tc)
+                + v01 * (1.0 - tr) * tc
+                + v10 * tr * (1.0 - tc)
+                + v11 * tr * tc;
+        }
+    }
+    out
+}
+
+fn lerp(range: (f64, f64), i: usize, n: usize) -> f64 {
+    range.0 + (range.1 - range.0) * i as f64 / (n - 1).max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn problem() -> IsingProblem {
+        let mut rng = StdRng::seed_from_u64(6);
+        IsingProblem::random_3_regular(10, &mut rng)
+    }
+
+    #[test]
+    fn shapes_match() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let (noisy, ideal) = hardware_like_landscape(
+            &problem(),
+            20,
+            20,
+            (-0.6, 0.6),
+            (0.0, 1.5),
+            &HardwareLikeConfig::default(),
+            &mut rng,
+        );
+        assert_eq!(noisy.len(), 400);
+        assert_eq!(ideal.len(), 400);
+    }
+
+    #[test]
+    fn noisy_is_correlated_with_ideal() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let (noisy, ideal) = hardware_like_landscape(
+            &problem(),
+            25,
+            25,
+            (-0.6, 0.6),
+            (0.0, 1.5),
+            &HardwareLikeConfig::default(),
+            &mut rng,
+        );
+        let corr = pearson(&noisy, &ideal);
+        assert!(corr > 0.5, "correlation {corr} too low");
+        assert!(corr < 0.999, "correlation {corr} suspiciously perfect");
+    }
+
+    #[test]
+    fn damping_compresses_dynamic_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let cfg = HardwareLikeConfig {
+            drift_std: 0.0,
+            white_std: 0.0,
+            ..HardwareLikeConfig::default()
+        };
+        let (noisy, ideal) = hardware_like_landscape(
+            &problem(),
+            15,
+            15,
+            (-0.6, 0.6),
+            (0.0, 1.5),
+            &cfg,
+            &mut rng,
+        );
+        let range = |v: &[f64]| {
+            v.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+                - v.iter().copied().fold(f64::INFINITY, f64::min)
+        };
+        let ratio = range(&noisy) / range(&ideal);
+        assert!((ratio - cfg.fidelity).abs() < 0.01, "ratio {ratio}");
+    }
+
+    #[test]
+    fn correlated_field_is_smooth() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let field = correlated_field(40, 40, 4, 1.0, &mut rng);
+        // Neighboring values should differ far less than the field's std.
+        let mut diffs = 0.0;
+        let mut count = 0;
+        for r in 0..40 {
+            for c in 0..39 {
+                diffs += (field[r * 40 + c + 1] - field[r * 40 + c]).abs();
+                count += 1;
+            }
+        }
+        let mean_diff = diffs / count as f64;
+        let std = {
+            let m = field.iter().sum::<f64>() / field.len() as f64;
+            (field.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / field.len() as f64).sqrt()
+        };
+        assert!(
+            mean_diff < std * 0.5,
+            "field not smooth: mean diff {mean_diff}, std {std}"
+        );
+    }
+
+    fn pearson(a: &[f64], b: &[f64]) -> f64 {
+        let n = a.len() as f64;
+        let ma = a.iter().sum::<f64>() / n;
+        let mb = b.iter().sum::<f64>() / n;
+        let cov: f64 = a.iter().zip(b).map(|(x, y)| (x - ma) * (y - mb)).sum();
+        let va: f64 = a.iter().map(|x| (x - ma) * (x - ma)).sum();
+        let vb: f64 = b.iter().map(|y| (y - mb) * (y - mb)).sum();
+        cov / (va.sqrt() * vb.sqrt())
+    }
+}

@@ -1,0 +1,270 @@
+//! Parallel landscape sampling across multiple QPUs (paper §5, Figure 7).
+//!
+//! OSCAR decouples the optimizer from circuit execution, so landscape
+//! samples are independent jobs that can run on `k` devices concurrently.
+//! This module distributes jobs across devices (real OS threads via
+//! crossbeam), tracks *simulated* completion times from each device's
+//! latency model, and supports eager reconstruction: dropping straggler
+//! samples past a soft timeout (paper §5.2) instead of waiting out the
+//! tail.
+
+use crate::device::QpuDevice;
+
+/// One landscape point to evaluate: QAOA angles.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Job {
+    /// Index of this point in the caller's sample list.
+    pub index: usize,
+    /// Mixer angles (one per QAOA layer).
+    pub betas: Vec<f64>,
+    /// Phase angles (one per QAOA layer).
+    pub gammas: Vec<f64>,
+}
+
+/// A completed job.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Outcome {
+    /// Index of the point in the caller's sample list.
+    pub index: usize,
+    /// Measured (noisy) expectation value.
+    pub value: f64,
+    /// Which device produced it (index into the device slice).
+    pub device: usize,
+    /// Simulated completion time (seconds since submission of the batch):
+    /// jobs on one device execute serially, so this is the running sum of
+    /// that device's job latencies.
+    pub completion_time: f64,
+}
+
+/// Splits `jobs` across devices according to `shares` and executes each
+/// device's queue on its own thread.
+///
+/// `shares[d]` is the fraction of jobs assigned to device `d`; they must
+/// sum to ~1. Jobs are assigned in order: device 0 takes the first
+/// `shares[0]` fraction, and so on — matching the paper's "X% of samples
+/// come from QPU-1" experimental axis.
+///
+/// # Panics
+///
+/// Panics if `devices` is empty, shares length mismatches, shares are
+/// negative, or they do not sum to 1 (within 1e-6).
+pub fn execute_split(devices: &[&QpuDevice], shares: &[f64], jobs: &[Job]) -> Vec<Outcome> {
+    assert!(!devices.is_empty(), "need at least one device");
+    assert_eq!(devices.len(), shares.len(), "one share per device");
+    assert!(shares.iter().all(|&s| s >= 0.0), "shares must be non-negative");
+    let total: f64 = shares.iter().sum();
+    assert!((total - 1.0).abs() < 1e-6, "shares must sum to 1");
+
+    // Partition the job list into contiguous chunks per device.
+    let mut boundaries = Vec::with_capacity(devices.len() + 1);
+    boundaries.push(0usize);
+    let mut acc = 0.0;
+    for (d, &s) in shares.iter().enumerate() {
+        acc += s;
+        let end = if d + 1 == shares.len() {
+            jobs.len()
+        } else {
+            (acc * jobs.len() as f64).round() as usize
+        };
+        boundaries.push(end.clamp(*boundaries.last().unwrap(), jobs.len()));
+    }
+
+    let mut results: Vec<Vec<Outcome>> = Vec::new();
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (d, device) in devices.iter().enumerate() {
+            let chunk = &jobs[boundaries[d]..boundaries[d + 1]];
+            handles.push(scope.spawn(move |_| run_device_queue(device, d, chunk)));
+        }
+        for h in handles {
+            results.push(h.join().expect("device thread panicked"));
+        }
+    })
+    .expect("crossbeam scope failed");
+
+    let mut flat: Vec<Outcome> = results.into_iter().flatten().collect();
+    flat.sort_by_key(|o| o.index);
+    flat
+}
+
+/// Round-robin variant: job `i` goes to device `i % k`. Balances load when
+/// devices are interchangeable.
+pub fn execute_round_robin(devices: &[&QpuDevice], jobs: &[Job]) -> Vec<Outcome> {
+    assert!(!devices.is_empty(), "need at least one device");
+    let k = devices.len();
+    let chunks: Vec<Vec<Job>> = (0..k)
+        .map(|d| {
+            jobs.iter()
+                .skip(d)
+                .step_by(k)
+                .cloned()
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    let mut results: Vec<Vec<Outcome>> = Vec::new();
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (d, device) in devices.iter().enumerate() {
+            let chunk = &chunks[d];
+            handles.push(scope.spawn(move |_| run_device_queue(device, d, chunk)));
+        }
+        for h in handles {
+            results.push(h.join().expect("device thread panicked"));
+        }
+    })
+    .expect("crossbeam scope failed");
+    let mut flat: Vec<Outcome> = results.into_iter().flatten().collect();
+    flat.sort_by_key(|o| o.index);
+    flat
+}
+
+fn run_device_queue(device: &QpuDevice, device_idx: usize, jobs: &[Job]) -> Vec<Outcome> {
+    let mut clock = 0.0;
+    jobs.iter()
+        .map(|job| {
+            let (value, latency) = device.execute_timed(&job.betas, &job.gammas);
+            clock += latency;
+            Outcome {
+                index: job.index,
+                value,
+                device: device_idx,
+                completion_time: clock,
+            }
+        })
+        .collect()
+}
+
+/// The simulated makespan: when the last sample lands.
+///
+/// # Panics
+///
+/// Panics if `outcomes` is empty.
+pub fn makespan(outcomes: &[Outcome]) -> f64 {
+    assert!(!outcomes.is_empty(), "no outcomes");
+    outcomes
+        .iter()
+        .map(|o| o.completion_time)
+        .fold(f64::NEG_INFINITY, f64::max)
+}
+
+/// Eager reconstruction filter (paper §5.2): keeps only samples completed
+/// by the soft timeout, trading a slightly smaller sampling fraction for a
+/// much earlier reconstruction start.
+pub fn within_timeout(outcomes: &[Outcome], timeout: f64) -> Vec<Outcome> {
+    outcomes
+        .iter()
+        .filter(|o| o.completion_time <= timeout)
+        .cloned()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latency::LatencyModel;
+    use oscar_mitigation::model::NoiseModel;
+    use oscar_problems::ising::IsingProblem;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn make_jobs(n: usize) -> Vec<Job> {
+        (0..n)
+            .map(|i| Job {
+                index: i,
+                betas: vec![0.01 * i as f64],
+                gammas: vec![0.02 * i as f64],
+            })
+            .collect()
+    }
+
+    fn problem() -> IsingProblem {
+        let mut rng = StdRng::seed_from_u64(2);
+        IsingProblem::random_3_regular(6, &mut rng)
+    }
+
+    #[test]
+    fn split_covers_all_jobs_once() {
+        let p = problem();
+        let d1 = QpuDevice::new("a", &p, 1, NoiseModel::ideal(), LatencyModel::instant(), 0);
+        let d2 = QpuDevice::new("b", &p, 1, NoiseModel::ideal(), LatencyModel::instant(), 1);
+        let jobs = make_jobs(20);
+        let out = execute_split(&[&d1, &d2], &[0.3, 0.7], &jobs);
+        assert_eq!(out.len(), 20);
+        let indices: Vec<usize> = out.iter().map(|o| o.index).collect();
+        assert_eq!(indices, (0..20).collect::<Vec<_>>());
+        // 30% of 20 = 6 jobs on device 0.
+        assert_eq!(out.iter().filter(|o| o.device == 0).count(), 6);
+    }
+
+    #[test]
+    fn ideal_devices_reproduce_evaluator_values() {
+        let p = problem();
+        let d = QpuDevice::new("a", &p, 1, NoiseModel::ideal(), LatencyModel::instant(), 0);
+        let jobs = make_jobs(5);
+        let out = execute_round_robin(&[&d], &jobs);
+        let eval = p.qaoa_evaluator();
+        for o in &out {
+            let expect = eval.expectation(&jobs[o.index].betas, &jobs[o.index].gammas);
+            assert!((o.value - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn completion_times_monotone_per_device() {
+        let p = problem();
+        let d = QpuDevice::new(
+            "a",
+            &p,
+            1,
+            NoiseModel::ideal(),
+            LatencyModel::cloud_queue(),
+            7,
+        );
+        let jobs = make_jobs(10);
+        let out = execute_round_robin(&[&d], &jobs);
+        let times: Vec<f64> = out.iter().map(|o| o.completion_time).collect();
+        for w in times.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+
+    #[test]
+    fn parallel_makespan_shorter_than_serial() {
+        let p = problem();
+        let lat = LatencyModel::new(1.0, f64::NEG_INFINITY, 0.0); // 1 s per job
+        let d1 = QpuDevice::new("a", &p, 1, NoiseModel::ideal(), lat, 0);
+        let d2 = QpuDevice::new("b", &p, 1, NoiseModel::ideal(), lat, 1);
+        let jobs = make_jobs(10);
+        let serial = makespan(&execute_round_robin(&[&d1], &jobs));
+        let parallel = makespan(&execute_round_robin(&[&d1, &d2], &jobs));
+        assert!((serial - 10.0).abs() < 1e-9);
+        assert!((parallel - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn timeout_filter_drops_stragglers() {
+        let p = problem();
+        let d = QpuDevice::new(
+            "a",
+            &p,
+            1,
+            NoiseModel::ideal(),
+            LatencyModel::cloud_queue(),
+            3,
+        );
+        let jobs = make_jobs(50);
+        let out = execute_round_robin(&[&d], &jobs);
+        let total = makespan(&out);
+        let kept = within_timeout(&out, total * 0.5);
+        assert!(!kept.is_empty() && kept.len() < out.len());
+        assert!(kept.iter().all(|o| o.completion_time <= total * 0.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "shares must sum to 1")]
+    fn rejects_bad_shares() {
+        let p = problem();
+        let d = QpuDevice::new("a", &p, 1, NoiseModel::ideal(), LatencyModel::instant(), 0);
+        let _ = execute_split(&[&d], &[0.5], &make_jobs(2));
+    }
+}

@@ -1,0 +1,61 @@
+//! Gaussian sampling via Box–Muller (the `rand` crate in the offline set
+//! ships only uniform distributions).
+
+use rand::Rng;
+
+/// Draws one sample from `N(mean, std^2)`.
+///
+/// # Panics
+///
+/// Panics if `std < 0`.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let x = oscar_mitigation::gaussian::sample_normal(&mut rng, 0.0, 1.0);
+/// assert!(x.is_finite());
+/// ```
+pub fn sample_normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std: f64) -> f64 {
+    assert!(std >= 0.0, "standard deviation must be non-negative");
+    if std == 0.0 {
+        return mean;
+    }
+    // Box-Muller: avoid u1 == 0.
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    let mag = (-2.0 * u1.ln()).sqrt();
+    mean + std * mag * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matches_moments() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| sample_normal(&mut rng, 2.0, 3.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 9.0).abs() < 0.2, "var {var}");
+    }
+
+    #[test]
+    fn zero_std_is_deterministic() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(sample_normal(&mut rng, 5.0, 0.0), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "standard deviation must be non-negative")]
+    fn rejects_negative_std() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = sample_normal(&mut rng, 0.0, -1.0);
+    }
+}

@@ -1,0 +1,259 @@
+//! Device noise model: the global depolarizing approximation plus finite
+//! shots.
+//!
+//! ## Why an analytic model
+//!
+//! The paper's noisy experiments (Figure 4b/d, Figures 8–10, Table 5) run
+//! tens of thousands of noisy circuit evaluations. Density-matrix
+//! simulation is infeasible beyond ~14 qubits, and trajectory averaging
+//! multiplies the cost by the trajectory count. The standard *global
+//! depolarizing approximation* replaces per-gate channels with one channel
+//! on the output state:
+//!
+//! `E_noisy = f * E_ideal + (1 - f) * E_mixed`,
+//!
+//! with circuit fidelity `f = (1 - 4 p1 / 3)^{g1} (1 - 16 p2 / 15)^{g2}`
+//! where `g1`/`g2` are physical gate counts. The per-gate factors are the
+//! exact Pauli-expectation damping of the uniform depolarizing channels in
+//! `oscar_qsim::noise` (validated against trajectories in this crate's
+//! tests). Shot noise adds `N(0, Var[C] / shots)` using the exact
+//! single-shot variance from the state vector.
+
+use oscar_qsim::circuit::GateCounts;
+use oscar_qsim::noise::{DepolarizingNoise, ReadoutError};
+use rand::Rng;
+
+use crate::gaussian::sample_normal;
+
+/// A complete device noise configuration.
+///
+/// # Examples
+///
+/// ```
+/// use oscar_mitigation::model::NoiseModel;
+/// use oscar_qsim::circuit::GateCounts;
+///
+/// // Paper Figure 4's noisy setting: 1q error 0.003, 2q error 0.007.
+/// let model = NoiseModel::depolarizing(0.003, 0.007);
+/// let f = model.fidelity(GateCounts { one_qubit: 16, two_qubit: 48 });
+/// assert!(f > 0.5 && f < 1.0);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NoiseModel {
+    /// Per-gate depolarizing rates.
+    pub depolarizing: DepolarizingNoise,
+    /// Readout bit-flip error.
+    pub readout: ReadoutError,
+    /// Number of measurement shots; `None` means exact expectation (the
+    /// infinite-shot limit).
+    pub shots: Option<usize>,
+}
+
+impl NoiseModel {
+    /// A noiseless (ideal, infinite-shot) model.
+    pub fn ideal() -> Self {
+        NoiseModel {
+            depolarizing: DepolarizingNoise::ideal(),
+            readout: ReadoutError::ideal(),
+            shots: None,
+        }
+    }
+
+    /// Depolarizing-only model with exact expectations.
+    pub fn depolarizing(p1: f64, p2: f64) -> Self {
+        NoiseModel {
+            depolarizing: DepolarizingNoise::new(p1, p2),
+            readout: ReadoutError::ideal(),
+            shots: None,
+        }
+    }
+
+    /// Adds finite measurement shots.
+    pub fn with_shots(mut self, shots: usize) -> Self {
+        assert!(shots > 0, "shot count must be positive");
+        self.shots = Some(shots);
+        self
+    }
+
+    /// Adds readout error.
+    pub fn with_readout(mut self, readout: ReadoutError) -> Self {
+        self.readout = readout;
+        self
+    }
+
+    /// `true` when the model changes nothing.
+    pub fn is_ideal(&self) -> bool {
+        self.depolarizing.is_ideal()
+            && self.readout == ReadoutError::ideal()
+            && self.shots.is_none()
+    }
+
+    /// Circuit fidelity under the global depolarizing approximation.
+    pub fn fidelity(&self, counts: GateCounts) -> f64 {
+        let f1 = (1.0 - 4.0 * self.depolarizing.p1 / 3.0).max(0.0);
+        let f2 = (1.0 - 16.0 * self.depolarizing.p2 / 15.0).max(0.0);
+        f1.powi(counts.one_qubit as i32) * f2.powi(counts.two_qubit as i32)
+    }
+
+    /// Returns a model with the depolarizing rates scaled by `factor`
+    /// (zero-noise-extrapolation noise scaling).
+    pub fn scaled(&self, factor: f64) -> NoiseModel {
+        NoiseModel {
+            depolarizing: self.depolarizing.scaled(factor),
+            ..*self
+        }
+    }
+
+    /// Transforms an exact expectation into the noisy, finite-shot estimate.
+    ///
+    /// * `ideal` — noiseless expectation `<C>`;
+    /// * `variance` — single-shot variance `Var[C]` of the ideal state;
+    /// * `mixed_mean` — `<C>` under the maximally mixed state (the
+    ///   depolarizing fixed point), e.g.
+    ///   [`oscar_qsim::qaoa::QaoaEvaluator::diagonal_mean`];
+    /// * `counts` — physical gate counts of the executed circuit.
+    ///
+    /// Readout error is folded in as an extra damping toward the mixed
+    /// mean with factor `(1 - p01 - p10)` per measured qubit-pair average —
+    /// a first-order approximation suitable for cost observables that are
+    /// averages of low-weight parities.
+    pub fn noisy_expectation<R: Rng + ?Sized>(
+        &self,
+        ideal: f64,
+        variance: f64,
+        mixed_mean: f64,
+        counts: GateCounts,
+        rng: &mut R,
+    ) -> f64 {
+        let mut f = self.fidelity(counts);
+        // Readout: each measured parity of weight <= 2 is damped by about
+        // (1 - p01 - p10)^2.
+        let ro = (1.0 - self.readout.p01 - self.readout.p10).clamp(0.0, 1.0);
+        f *= ro * ro;
+        let mean = f * ideal + (1.0 - f) * mixed_mean;
+        match self.shots {
+            None => mean,
+            Some(shots) => {
+                // The noisy state's variance interpolates toward the mixed
+                // state's; using the ideal variance is a slight
+                // overestimate, which is the conservative choice.
+                let std = (variance / shots as f64).sqrt();
+                sample_normal(rng, mean, std)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ideal_model_is_identity() {
+        let m = NoiseModel::ideal();
+        assert!(m.is_ideal());
+        let mut rng = StdRng::seed_from_u64(0);
+        let counts = GateCounts {
+            one_qubit: 100,
+            two_qubit: 100,
+        };
+        let e = m.noisy_expectation(-3.0, 1.0, -1.0, counts, &mut rng);
+        assert_eq!(e, -3.0);
+    }
+
+    #[test]
+    fn fidelity_decreases_with_gates() {
+        let m = NoiseModel::depolarizing(0.003, 0.007);
+        let small = m.fidelity(GateCounts {
+            one_qubit: 10,
+            two_qubit: 10,
+        });
+        let large = m.fidelity(GateCounts {
+            one_qubit: 100,
+            two_qubit: 100,
+        });
+        assert!(large < small && small < 1.0);
+    }
+
+    #[test]
+    fn damping_pulls_toward_mixed_mean() {
+        let m = NoiseModel::depolarizing(0.01, 0.02);
+        let mut rng = StdRng::seed_from_u64(1);
+        let counts = GateCounts {
+            one_qubit: 30,
+            two_qubit: 30,
+        };
+        let e = m.noisy_expectation(-4.0, 0.0, -1.0, counts, &mut rng);
+        assert!(e > -4.0 && e < -1.0, "damped value {e}");
+    }
+
+    #[test]
+    fn shot_noise_statistics() {
+        let m = NoiseModel::ideal().with_shots(1024);
+        let mut rng = StdRng::seed_from_u64(5);
+        let counts = GateCounts::default();
+        let n = 4000;
+        let samples: Vec<f64> = (0..n)
+            .map(|_| m.noisy_expectation(0.0, 4.0, 0.0, counts, &mut rng))
+            .collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        let expected_var = 4.0 / 1024.0;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!(
+            (var - expected_var).abs() < expected_var * 0.2,
+            "var {var} vs {expected_var}"
+        );
+    }
+
+    #[test]
+    fn scaling_increases_damping() {
+        let m = NoiseModel::depolarizing(0.002, 0.005);
+        let counts = GateCounts {
+            one_qubit: 40,
+            two_qubit: 60,
+        };
+        let f1 = m.fidelity(counts);
+        let f3 = m.scaled(3.0).fidelity(counts);
+        assert!(f3 < f1);
+        // Scaled fidelity should be close to f1^3 for small rates.
+        assert!((f3 - f1.powi(3)).abs() < 0.02, "{f3} vs {}", f1.powi(3));
+    }
+
+    #[test]
+    fn global_approximation_matches_trajectories() {
+        // Validate the analytic damping against the trajectory reference
+        // on a small GHZ circuit measuring ZZ (ideal expectation 1).
+        use oscar_qsim::circuit::{Circuit, Op};
+        use oscar_qsim::noise::{noisy_expectation_diagonal, DepolarizingNoise};
+        let mut c = Circuit::new(2, 0);
+        c.push(Op::H(0));
+        c.push(Op::Cnot(0, 1));
+        let diag = vec![1.0, -1.0, -1.0, 1.0];
+        let noise = DepolarizingNoise::new(0.02, 0.05);
+        let mut rng = StdRng::seed_from_u64(123);
+        let trajectory = noisy_expectation_diagonal(&c, &[], &diag, noise, 20_000, &mut rng);
+        let model = NoiseModel {
+            depolarizing: noise,
+            readout: oscar_qsim::noise::ReadoutError::ideal(),
+            shots: None,
+        };
+        let analytic =
+            model.noisy_expectation(1.0, 0.0, 0.0, c.gate_counts(), &mut rng);
+        assert!(
+            (trajectory - analytic).abs() < 0.03,
+            "trajectory {trajectory} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn readout_damps_further() {
+        let m = NoiseModel::depolarizing(0.0, 0.0)
+            .with_readout(ReadoutError::new(0.05, 0.05));
+        let mut rng = StdRng::seed_from_u64(2);
+        let e = m.noisy_expectation(1.0, 0.0, 0.0, GateCounts::default(), &mut rng);
+        assert!((e - 0.81).abs() < 1e-12, "expected (1-0.1)^2, got {e}");
+    }
+}

@@ -1,0 +1,146 @@
+//! Qubit readout mitigation by tensor-product inversion — the "shot
+//! frugal" mitigation category of paper §2.3.
+//!
+//! With independent per-qubit bit-flip readout error the full assignment
+//! matrix factorizes as `M = m^{⊗n}` with the 2x2 single-qubit confusion
+//! matrix `m`. Its inverse applies qubit-by-qubit in `O(n 2^n)`, so no
+//! exponential matrix is ever materialized.
+
+use oscar_qsim::noise::ReadoutError;
+
+/// Tensor-product readout-error mitigator.
+///
+/// # Examples
+///
+/// ```
+/// use oscar_mitigation::readout::ReadoutMitigator;
+/// use oscar_qsim::noise::ReadoutError;
+///
+/// let mit = ReadoutMitigator::new(2, ReadoutError::new(0.1, 0.1));
+/// // A corrupted distribution is restored to the ideal one.
+/// let ideal = vec![0.5, 0.0, 0.0, 0.5];
+/// let noisy = mit.corrupt_distribution(&ideal);
+/// let fixed = mit.mitigate_distribution(&noisy);
+/// for (a, b) in fixed.iter().zip(&ideal) {
+///     assert!((a - b).abs() < 1e-10);
+/// }
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct ReadoutMitigator {
+    n: usize,
+    error: ReadoutError,
+}
+
+impl ReadoutMitigator {
+    /// Builds a mitigator for `n` qubits with identical per-qubit error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `n > 24`.
+    pub fn new(n: usize, error: ReadoutError) -> Self {
+        assert!(n > 0 && n <= 24, "qubit count out of range");
+        ReadoutMitigator { n, error }
+    }
+
+    /// The forward confusion map: ideal distribution -> measured
+    /// distribution (useful for tests and for simulating readout error on
+    /// full distributions).
+    pub fn corrupt_distribution(&self, p: &[f64]) -> Vec<f64> {
+        self.apply_kron(p, false)
+    }
+
+    /// Applies the inverse confusion map, recovering the ideal
+    /// distribution estimate. The result may contain small negative
+    /// entries (as in real readout mitigation); they are preserved so the
+    /// expectation stays unbiased.
+    pub fn mitigate_distribution(&self, p: &[f64]) -> Vec<f64> {
+        self.apply_kron(p, true)
+    }
+
+    /// Mitigated expectation of a dense diagonal observable from a
+    /// measured distribution.
+    pub fn mitigate_expectation(&self, measured: &[f64], diag: &[f64]) -> f64 {
+        let fixed = self.mitigate_distribution(measured);
+        fixed.iter().zip(diag.iter()).map(|(p, d)| p * d).sum()
+    }
+
+    fn apply_kron(&self, p: &[f64], inverse: bool) -> Vec<f64> {
+        assert_eq!(p.len(), 1usize << self.n, "distribution length mismatch");
+        let (p01, p10) = (self.error.p01, self.error.p10);
+        // Single-qubit confusion matrix: rows = measured, cols = true.
+        // m = [[1-p01, p10], [p01, 1-p10]]
+        let m = if inverse {
+            let det = (1.0 - p01) * (1.0 - p10) - p01 * p10;
+            assert!(det.abs() > 1e-12, "confusion matrix is singular");
+            [
+                [(1.0 - p10) / det, -p10 / det],
+                [-p01 / det, (1.0 - p01) / det],
+            ]
+        } else {
+            [[1.0 - p01, p10], [p01, 1.0 - p10]]
+        };
+        let mut out = p.to_vec();
+        for q in 0..self.n {
+            let bit = 1usize << q;
+            for i in 0..out.len() {
+                if i & bit == 0 {
+                    let a = out[i];
+                    let b = out[i | bit];
+                    out[i] = m[0][0] * a + m[0][1] * b;
+                    out[i | bit] = m[1][0] * a + m[1][1] * b;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corrupt_then_mitigate_is_identity() {
+        let mit = ReadoutMitigator::new(3, ReadoutError::new(0.08, 0.12));
+        let ideal = vec![0.3, 0.0, 0.2, 0.0, 0.0, 0.1, 0.0, 0.4];
+        let round = mit.mitigate_distribution(&mit.corrupt_distribution(&ideal));
+        for (a, b) in round.iter().zip(&ideal) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn corruption_conserves_probability() {
+        let mit = ReadoutMitigator::new(2, ReadoutError::new(0.1, 0.05));
+        let ideal = vec![0.25, 0.25, 0.25, 0.25];
+        let noisy = mit.corrupt_distribution(&ideal);
+        assert!((noisy.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn corruption_spreads_mass() {
+        let mit = ReadoutMitigator::new(1, ReadoutError::new(0.1, 0.0));
+        let noisy = mit.corrupt_distribution(&[1.0, 0.0]);
+        assert!((noisy[0] - 0.9).abs() < 1e-12);
+        assert!((noisy[1] - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mitigated_expectation_unbiased() {
+        let mit = ReadoutMitigator::new(2, ReadoutError::new(0.07, 0.03));
+        let ideal = vec![0.5, 0.1, 0.1, 0.3];
+        let diag = vec![1.0, -1.0, -1.0, 1.0];
+        let true_e: f64 = ideal.iter().zip(&diag).map(|(p, d)| p * d).sum();
+        let noisy = mit.corrupt_distribution(&ideal);
+        let noisy_e: f64 = noisy.iter().zip(&diag).map(|(p, d)| p * d).sum();
+        let mitigated = mit.mitigate_expectation(&noisy, &diag);
+        assert!((mitigated - true_e).abs() < 1e-10);
+        assert!((noisy_e - true_e).abs() > 0.01, "noise should bias");
+    }
+
+    #[test]
+    #[should_panic(expected = "qubit count out of range")]
+    fn rejects_zero_qubits() {
+        let _ = ReadoutMitigator::new(0, ReadoutError::ideal());
+    }
+}

@@ -1,0 +1,112 @@
+//! Property-based tests for noise models and mitigation.
+
+use oscar_mitigation::prelude::*;
+use oscar_qsim::circuit::GateCounts;
+use oscar_qsim::noise::ReadoutError;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Fidelity is in (0, 1], monotone decreasing in gate counts and in
+    /// error rates.
+    #[test]
+    fn fidelity_monotone(
+        p1 in 0.0f64..0.05,
+        p2 in 0.0f64..0.05,
+        g1 in 0usize..200,
+        g2 in 0usize..200,
+    ) {
+        let m = NoiseModel::depolarizing(p1, p2);
+        let base = m.fidelity(GateCounts { one_qubit: g1, two_qubit: g2 });
+        prop_assert!(base > 0.0 && base <= 1.0);
+        let more_gates = m.fidelity(GateCounts { one_qubit: g1 + 10, two_qubit: g2 + 10 });
+        prop_assert!(more_gates <= base + 1e-15);
+        let worse = NoiseModel::depolarizing((p1 + 0.01).min(0.99), p2)
+            .fidelity(GateCounts { one_qubit: g1 + 1, two_qubit: g2 });
+        prop_assert!(worse <= base + 1e-15);
+    }
+
+    /// The deterministic (infinite-shot) noisy expectation is a convex
+    /// combination of ideal and mixed values: it always lies between them.
+    #[test]
+    fn damping_is_convex_combination(
+        ideal in -5.0f64..5.0,
+        mixed in -5.0f64..5.0,
+        p1 in 0.0f64..0.02,
+        p2 in 0.0f64..0.02,
+        g in 1usize..100,
+    ) {
+        use rand::SeedableRng;
+        let m = NoiseModel::depolarizing(p1, p2);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let counts = GateCounts { one_qubit: g, two_qubit: g };
+        let e = m.noisy_expectation(ideal, 0.0, mixed, counts, &mut rng);
+        let lo = ideal.min(mixed) - 1e-12;
+        let hi = ideal.max(mixed) + 1e-12;
+        prop_assert!(e >= lo && e <= hi, "{e} outside [{lo},{hi}]");
+    }
+
+    /// Richardson extrapolation through an exact degree-(k-1) polynomial
+    /// recovers the intercept for any increasing scale factors.
+    #[test]
+    fn richardson_exact_on_polynomials(
+        c0 in -2.0f64..2.0,
+        c1 in -1.0f64..1.0,
+        c2 in -0.5f64..0.5,
+        base in 0.5f64..1.5,
+        step in 0.2f64..1.5,
+    ) {
+        let factors = vec![base, base + step, base + 2.0 * step];
+        let zne = ZneConfig::new(factors, Extrapolation::Richardson);
+        let e = zne.extrapolate(&mut |c| c0 + c1 * c + c2 * c * c);
+        prop_assert!((e - c0).abs() < 1e-7, "got {e} want {c0}");
+    }
+
+    /// Linear extrapolation is exact on lines and its weights sum to 1.
+    #[test]
+    fn linear_exact_on_lines(
+        c0 in -2.0f64..2.0,
+        c1 in -1.0f64..1.0,
+        base in 0.5f64..1.5,
+        step in 0.2f64..1.5,
+        extra in 0.2f64..1.5,
+    ) {
+        let factors = vec![base, base + step, base + step + extra];
+        let zne = ZneConfig::new(factors, Extrapolation::Linear);
+        let e = zne.extrapolate(&mut |c| c0 + c1 * c);
+        prop_assert!((e - c0).abs() < 1e-9);
+        let s: f64 = zne.weights().iter().sum();
+        prop_assert!((s - 1.0).abs() < 1e-9);
+    }
+
+    /// Readout corrupt -> mitigate round-trips any distribution.
+    #[test]
+    fn readout_roundtrip(
+        p01 in 0.0f64..0.3,
+        p10 in 0.0f64..0.3,
+        seed in 0u64..200,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mit = ReadoutMitigator::new(3, ReadoutError::new(p01, p10));
+        let raw: Vec<f64> = (0..8).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let total: f64 = raw.iter().sum();
+        let ideal: Vec<f64> = raw.iter().map(|v| v / total).collect();
+        let round = mit.mitigate_distribution(&mit.corrupt_distribution(&ideal));
+        for (a, b) in round.iter().zip(&ideal) {
+            prop_assert!((a - b).abs() < 1e-8);
+        }
+    }
+
+    /// Gaussian sampling respects mean shifts and scales.
+    #[test]
+    fn gaussian_affine_property(mean in -5.0f64..5.0, std in 0.0f64..3.0, seed in 0u64..500) {
+        use rand::SeedableRng;
+        let mut rng1 = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng2 = rand::rngs::StdRng::seed_from_u64(seed);
+        let a = sample_normal(&mut rng1, mean, std);
+        let b = sample_normal(&mut rng2, 0.0, std);
+        prop_assert!((a - (b + mean)).abs() < 1e-12);
+    }
+}

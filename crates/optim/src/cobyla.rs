@@ -1,0 +1,264 @@
+//! COBYLA-style linear-approximation trust-region optimizer.
+//!
+//! Powell's COBYLA maintains a simplex of `n+1` points, fits a linear model
+//! of the objective by interpolation, and steps against the model gradient
+//! within a trust radius `ρ` that shrinks as progress stalls. We implement
+//! the unconstrained core of that scheme (the paper uses COBYLA purely as a
+//! gradient-free objective minimizer with box-free parameters), preserving
+//! the properties that matter for the paper's use cases: very low query
+//! counts (Table 6) and robustness to landscape jaggedness (Figure 13).
+
+use crate::objective::{CountingObjective, OptimResult, Optimizer};
+
+/// COBYLA configuration (defaults mirror the common SciPy/Qiskit settings).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Cobyla {
+    /// Initial trust-region radius.
+    pub rho_begin: f64,
+    /// Final trust-region radius (convergence threshold).
+    pub rho_end: f64,
+    /// Maximum objective queries.
+    pub max_queries: usize,
+}
+
+impl Default for Cobyla {
+    fn default() -> Self {
+        Cobyla {
+            rho_begin: 0.5,
+            rho_end: 1e-4,
+            max_queries: 1000,
+        }
+    }
+}
+
+impl Optimizer for Cobyla {
+    fn minimize(&self, f: &mut dyn FnMut(&[f64]) -> f64, x0: &[f64]) -> OptimResult {
+        assert!(!x0.is_empty(), "need at least one parameter");
+        assert!(
+            self.rho_begin > self.rho_end && self.rho_end > 0.0,
+            "need rho_begin > rho_end > 0"
+        );
+        let mut obj = CountingObjective::new(f);
+        let dim = x0.len();
+        let mut rho = self.rho_begin;
+
+        // Interpolation simplex: x0 plus rho along each axis.
+        let f0 = obj.eval(x0);
+        let mut simplex: Vec<(Vec<f64>, f64)> = vec![(x0.to_vec(), f0)];
+        for i in 0..dim {
+            let mut v = x0.to_vec();
+            v[i] += rho;
+            let fv = obj.eval(&v);
+            simplex.push((v, fv));
+        }
+        let mut trace = vec![(x0.to_vec(), f0)];
+        let mut iterations = 0;
+        let mut converged = false;
+
+        while obj.count() < self.max_queries {
+            iterations += 1;
+            simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+            let best = simplex[0].clone();
+
+            // Fit the linear model g with (x_k - x_best) . g = f_k - f_best.
+            let rows: Vec<Vec<f64>> = simplex[1..]
+                .iter()
+                .map(|(v, _)| v.iter().zip(&best.0).map(|(a, b)| a - b).collect())
+                .collect();
+            let rhs: Vec<f64> = simplex[1..].iter().map(|(_, fv)| fv - best.1).collect();
+            let grad = match solve_linear(&rows, &rhs) {
+                Some(g) => g,
+                None => {
+                    // Degenerate simplex: rebuild around the best point.
+                    rebuild_simplex(&mut simplex, &best, rho, &mut obj);
+                    continue;
+                }
+            };
+            let gnorm = grad.iter().map(|g| g * g).sum::<f64>().sqrt();
+            if gnorm < 1e-14 {
+                // Flat model: shrink or finish.
+                if !shrink(&mut rho, self.rho_end) {
+                    converged = true;
+                    break;
+                }
+                rebuild_simplex(&mut simplex, &best, rho, &mut obj);
+                continue;
+            }
+
+            // Trust-region step against the model gradient.
+            let xt: Vec<f64> = best
+                .0
+                .iter()
+                .zip(&grad)
+                .map(|(x, g)| x - rho * g / gnorm)
+                .collect();
+            if obj.count() >= self.max_queries {
+                break;
+            }
+            let ft = obj.eval(&xt);
+            let predicted = rho * gnorm; // model decrease
+            let actual = best.1 - ft;
+
+            if actual > 0.1 * predicted {
+                // Good step: replace the worst vertex.
+                let worst_idx = simplex
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1 .1.partial_cmp(&b.1 .1).unwrap())
+                    .map(|(i, _)| i)
+                    .unwrap();
+                simplex[worst_idx] = (xt.clone(), ft);
+                trace.push((xt, ft));
+            } else {
+                // Poor step: shrink the trust region and rebuild geometry.
+                if !shrink(&mut rho, self.rho_end) {
+                    converged = true;
+                    break;
+                }
+                rebuild_simplex(&mut simplex, &best, rho, &mut obj);
+            }
+        }
+
+        simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        let (x, fx) = simplex[0].clone();
+        trace.push((x.clone(), fx));
+        OptimResult {
+            queries: obj.count(),
+            x,
+            fx,
+            iterations,
+            trace,
+            converged,
+        }
+    }
+
+    fn name(&self) -> &str {
+        "COBYLA"
+    }
+}
+
+/// Halves `rho`; returns `false` once it crosses `rho_end`.
+fn shrink(rho: &mut f64, rho_end: f64) -> bool {
+    *rho *= 0.5;
+    *rho >= rho_end
+}
+
+fn rebuild_simplex<F: FnMut(&[f64]) -> f64>(
+    simplex: &mut Vec<(Vec<f64>, f64)>,
+    best: &(Vec<f64>, f64),
+    rho: f64,
+    obj: &mut CountingObjective<F>,
+) {
+    let dim = best.0.len();
+    simplex.clear();
+    simplex.push(best.clone());
+    for i in 0..dim {
+        let mut v = best.0.clone();
+        v[i] += rho;
+        let fv = obj.eval(&v);
+        simplex.push((v, fv));
+    }
+}
+
+/// Solves the square system `rows * g = rhs` by Gaussian elimination with
+/// partial pivoting; `None` when (numerically) singular.
+fn solve_linear(rows: &[Vec<f64>], rhs: &[f64]) -> Option<Vec<f64>> {
+    let n = rhs.len();
+    let mut a: Vec<Vec<f64>> = rows.iter().cloned().collect();
+    let mut b = rhs.to_vec();
+    for col in 0..n {
+        // Pivot.
+        let pivot = (col..n).max_by(|&i, &j| {
+            a[i][col].abs().partial_cmp(&a[j][col].abs()).unwrap()
+        })?;
+        if a[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        for row in col + 1..n {
+            let factor = a[row][col] / a[col][col];
+            for k in col..n {
+                a[row][k] -= factor * a[col][k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut sum = b[row];
+        for k in row + 1..n {
+            sum -= a[row][k] * x[k];
+        }
+        x[row] = sum / a[row][row];
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_linear_identity() {
+        let rows = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        let x = solve_linear(&rows, &[3.0, -2.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-12 && (x[1] + 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_linear_detects_singular() {
+        let rows = vec![vec![1.0, 1.0], vec![2.0, 2.0]];
+        assert!(solve_linear(&rows, &[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn minimizes_quadratic() {
+        let cobyla = Cobyla::default();
+        let mut f = |x: &[f64]| (x[0] - 1.0).powi(2) + (x[1] - 2.0).powi(2);
+        let res = cobyla.minimize(&mut f, &[0.0, 0.0]);
+        assert!((res.x[0] - 1.0).abs() < 0.01, "{:?}", res.x);
+        assert!((res.x[1] - 2.0).abs() < 0.01, "{:?}", res.x);
+    }
+
+    #[test]
+    fn frugal_query_count_on_easy_problem() {
+        // COBYLA's selling point in Table 6: tens of queries, not
+        // thousands.
+        let cobyla = Cobyla::default();
+        let mut f = |x: &[f64]| x[0] * x[0] + x[1] * x[1];
+        let res = cobyla.minimize(&mut f, &[0.5, -0.5]);
+        assert!(res.queries < 200, "queries {}", res.queries);
+        assert!(res.fx < 1e-4, "fx {}", res.fx);
+    }
+
+    #[test]
+    fn minimizes_sinusoidal_landscape() {
+        let cobyla = Cobyla {
+            max_queries: 400,
+            ..Cobyla::default()
+        };
+        let mut f = |x: &[f64]| -((2.0 * x[0]).sin() * x[1].cos());
+        let res = cobyla.minimize(&mut f, &[0.6, 0.2]);
+        assert!(res.fx < -0.98, "fx {}", res.fx);
+    }
+
+    #[test]
+    fn respects_query_budget() {
+        let cobyla = Cobyla {
+            max_queries: 30,
+            ..Cobyla::default()
+        };
+        let mut f = |x: &[f64]| x.iter().map(|v| v * v).sum();
+        let res = cobyla.minimize(&mut f, &[1.0; 3]);
+        assert!(res.queries <= 31, "queries {}", res.queries);
+    }
+
+    #[test]
+    fn handles_one_dimension() {
+        let cobyla = Cobyla::default();
+        let mut f = |x: &[f64]| (x[0] + 4.0).powi(2);
+        let res = cobyla.minimize(&mut f, &[0.0]);
+        assert!((res.x[0] + 4.0).abs() < 0.01, "{:?}", res.x);
+    }
+}

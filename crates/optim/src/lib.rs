@@ -1,0 +1,47 @@
+//! # oscar-optim — classical optimizers with query accounting
+//!
+//! The optimizer zoo for the VQA workflow and OSCAR's debugging use cases:
+//!
+//! * [`adam::Adam`] — gradient-based (finite differences), the expensive
+//!   baseline of Table 6;
+//! * [`cobyla::Cobyla`] — linear-approximation trust region, the frugal
+//!   gradient-free optimizer;
+//! * [`nelder_mead::NelderMead`] — downhill simplex cross-check;
+//! * [`spsa::Spsa`] — stochastic perturbation optimizer for noisy
+//!   objectives;
+//! * [`gradient`] — finite-difference and parameter-shift estimators;
+//! * [`objective`] — the [`objective::Optimizer`] trait, query counting and
+//!   optimization traces.
+//!
+//! # Example
+//!
+//! ```
+//! use oscar_optim::prelude::*;
+//!
+//! let adam = Adam::default();
+//! let mut objective = |x: &[f64]| (x[0] - 1.0).powi(2);
+//! let result = adam.minimize(&mut objective, &[0.0]);
+//! assert!((result.x[0] - 1.0).abs() < 0.05);
+//! assert!(result.queries > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod adam;
+pub mod cobyla;
+pub mod gradient;
+pub mod momentum;
+pub mod nelder_mead;
+pub mod objective;
+pub mod spsa;
+
+/// Glob-import of the most used types.
+pub mod prelude {
+    pub use crate::adam::Adam;
+    pub use crate::cobyla::Cobyla;
+    pub use crate::gradient::{central_difference, forward_difference, parameter_shift};
+    pub use crate::momentum::{BoundedObjective, MomentumGd};
+    pub use crate::nelder_mead::NelderMead;
+    pub use crate::objective::{CountingObjective, OptimResult, Optimizer};
+    pub use crate::spsa::Spsa;
+}

@@ -1,0 +1,196 @@
+//! Gradient descent with classical momentum — the simplest gradient-based
+//! baseline, useful for isolating how much of ADAM's behaviour on VQA
+//! landscapes comes from its adaptive step sizes.
+
+use crate::gradient::central_difference;
+use crate::objective::{CountingObjective, OptimResult, Optimizer};
+
+/// Gradient descent with momentum (`v <- mu v - lr grad; x <- x + v`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MomentumGd {
+    /// Learning rate.
+    pub lr: f64,
+    /// Momentum coefficient in `[0, 1)`.
+    pub momentum: f64,
+    /// Finite-difference step.
+    pub fd_eps: f64,
+    /// Maximum iterations.
+    pub max_iter: usize,
+    /// Stop when the gradient norm falls below this.
+    pub grad_tol: f64,
+}
+
+impl Default for MomentumGd {
+    fn default() -> Self {
+        MomentumGd {
+            lr: 0.05,
+            momentum: 0.9,
+            fd_eps: 1e-6,
+            max_iter: 300,
+            grad_tol: 1e-6,
+        }
+    }
+}
+
+impl Optimizer for MomentumGd {
+    fn minimize(&self, f: &mut dyn FnMut(&[f64]) -> f64, x0: &[f64]) -> OptimResult {
+        assert!(!x0.is_empty(), "need at least one parameter");
+        assert!(
+            (0.0..1.0).contains(&self.momentum),
+            "momentum must be in [0,1)"
+        );
+        let mut obj = CountingObjective::new(f);
+        let dim = x0.len();
+        let mut x = x0.to_vec();
+        let mut v = vec![0.0; dim];
+        let mut fx = obj.eval(&x);
+        let mut trace = vec![(x.clone(), fx)];
+        let mut converged = false;
+        let mut iterations = 0;
+
+        for t in 1..=self.max_iter {
+            iterations = t;
+            let grad = central_difference(&mut |p| obj.eval(p), &x, self.fd_eps);
+            let gnorm = grad.iter().map(|g| g * g).sum::<f64>().sqrt();
+            if gnorm < self.grad_tol {
+                converged = true;
+                break;
+            }
+            for i in 0..dim {
+                v[i] = self.momentum * v[i] - self.lr * grad[i];
+                x[i] += v[i];
+            }
+            fx = obj.eval(&x);
+            trace.push((x.clone(), fx));
+        }
+
+        OptimResult {
+            queries: obj.count(),
+            x,
+            fx,
+            iterations,
+            trace,
+            converged,
+        }
+    }
+
+    fn name(&self) -> &str {
+        "MomentumGD"
+    }
+}
+
+/// Wraps an objective with box constraints by clamping query points.
+///
+/// Optimizers in this crate are unconstrained; landscapes, however, only
+/// carry information inside their grid box. Clamping (rather than
+/// penalizing) matches how the interpolated-reconstruction use case treats
+/// out-of-box queries.
+///
+/// # Examples
+///
+/// ```
+/// use oscar_optim::momentum::BoundedObjective;
+///
+/// let mut bounded = BoundedObjective::new(
+///     |x: &[f64]| x[0],
+///     vec![(-1.0, 1.0)],
+/// );
+/// assert_eq!(bounded.eval(&[5.0]), 1.0);
+/// ```
+pub struct BoundedObjective<F> {
+    f: F,
+    bounds: Vec<(f64, f64)>,
+}
+
+impl<F: FnMut(&[f64]) -> f64> BoundedObjective<F> {
+    /// Creates the wrapper.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any bound has `lo >= hi`.
+    pub fn new(f: F, bounds: Vec<(f64, f64)>) -> Self {
+        assert!(
+            bounds.iter().all(|&(lo, hi)| lo < hi),
+            "bounds must satisfy lo < hi"
+        );
+        BoundedObjective { f, bounds }
+    }
+
+    /// Evaluates with the query clamped into the box.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != bounds.len()`.
+    pub fn eval(&mut self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.bounds.len(), "dimension mismatch");
+        let clamped: Vec<f64> = x
+            .iter()
+            .zip(&self.bounds)
+            .map(|(&v, &(lo, hi))| v.clamp(lo, hi))
+            .collect();
+        (self.f)(&clamped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizes_quadratic() {
+        let gd = MomentumGd::default();
+        let mut f = |x: &[f64]| (x[0] + 1.0).powi(2) + (x[1] - 0.5).powi(2);
+        let res = gd.minimize(&mut f, &[1.0, -1.0]);
+        assert!((res.x[0] + 1.0).abs() < 0.02, "{:?}", res.x);
+        assert!((res.x[1] - 0.5).abs() < 0.02, "{:?}", res.x);
+    }
+
+    #[test]
+    fn momentum_accelerates_on_narrow_valley() {
+        let plain = MomentumGd {
+            momentum: 0.0,
+            max_iter: 200,
+            ..MomentumGd::default()
+        };
+        let with = MomentumGd {
+            momentum: 0.9,
+            max_iter: 200,
+            ..MomentumGd::default()
+        };
+        let valley = |x: &[f64]| 0.05 * x[0] * x[0] + 5.0 * x[1] * x[1];
+        let mut f1 = valley;
+        let mut f2 = valley;
+        let r_plain = plain.minimize(&mut f1, &[4.0, 0.1]);
+        let r_with = with.minimize(&mut f2, &[4.0, 0.1]);
+        assert!(
+            r_with.fx < r_plain.fx,
+            "momentum {} should beat plain {}",
+            r_with.fx,
+            r_plain.fx
+        );
+    }
+
+    #[test]
+    fn bounded_objective_clamps() {
+        let mut bounded = BoundedObjective::new(|x: &[f64]| x[0] + x[1], vec![(0.0, 1.0); 2]);
+        assert_eq!(bounded.eval(&[-3.0, 7.0]), 1.0);
+        assert_eq!(bounded.eval(&[0.25, 0.25]), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "momentum must be in [0,1)")]
+    fn rejects_bad_momentum() {
+        let gd = MomentumGd {
+            momentum: 1.0,
+            ..MomentumGd::default()
+        };
+        let mut f = |_: &[f64]| 0.0;
+        let _ = gd.minimize(&mut f, &[0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "lo < hi")]
+    fn rejects_inverted_bounds() {
+        let _ = BoundedObjective::new(|_: &[f64]| 0.0, vec![(1.0, 0.0)]);
+    }
+}

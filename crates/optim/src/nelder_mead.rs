@@ -1,0 +1,189 @@
+//! Nelder–Mead downhill simplex — a classic gradient-free optimizer used
+//! as a cross-check against COBYLA in the optimizer-selection use case.
+
+use crate::objective::{CountingObjective, OptimResult, Optimizer};
+
+/// Nelder–Mead configuration (standard reflection/expansion/contraction
+/// coefficients).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NelderMead {
+    /// Initial simplex edge length.
+    pub initial_step: f64,
+    /// Maximum objective queries.
+    pub max_queries: usize,
+    /// Stop when the simplex's value spread falls below this.
+    pub f_tol: f64,
+    /// Stop when the simplex's coordinate spread falls below this.
+    pub x_tol: f64,
+}
+
+impl Default for NelderMead {
+    fn default() -> Self {
+        NelderMead {
+            initial_step: 0.25,
+            max_queries: 2000,
+            f_tol: 1e-8,
+            x_tol: 1e-8,
+        }
+    }
+}
+
+impl Optimizer for NelderMead {
+    fn minimize(&self, f: &mut dyn FnMut(&[f64]) -> f64, x0: &[f64]) -> OptimResult {
+        assert!(!x0.is_empty(), "need at least one parameter");
+        let mut obj = CountingObjective::new(f);
+        let dim = x0.len();
+
+        // Initial simplex: x0 plus one step along each axis.
+        let mut simplex: Vec<(Vec<f64>, f64)> = Vec::with_capacity(dim + 1);
+        let f0 = obj.eval(x0);
+        simplex.push((x0.to_vec(), f0));
+        for i in 0..dim {
+            let mut v = x0.to_vec();
+            v[i] += self.initial_step;
+            let fv = obj.eval(&v);
+            simplex.push((v, fv));
+        }
+        let mut trace = vec![(x0.to_vec(), f0)];
+        let mut iterations = 0;
+        let mut converged = false;
+
+        while obj.count() + dim + 2 < self.max_queries {
+            iterations += 1;
+            simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+            let best = simplex[0].clone();
+            let worst = simplex[dim].clone();
+            let second_worst_f = simplex[dim - 1].1;
+
+            // Convergence checks.
+            let spread = (worst.1 - best.1).abs();
+            let max_coord_spread = (0..dim)
+                .map(|i| {
+                    let lo = simplex.iter().map(|(v, _)| v[i]).fold(f64::INFINITY, f64::min);
+                    let hi = simplex
+                        .iter()
+                        .map(|(v, _)| v[i])
+                        .fold(f64::NEG_INFINITY, f64::max);
+                    hi - lo
+                })
+                .fold(0.0f64, f64::max);
+            // Both criteria must hold (as in SciPy): a value tie alone can
+            // be a simplex symmetric around the optimum.
+            if spread < self.f_tol && max_coord_spread < self.x_tol {
+                converged = true;
+                break;
+            }
+
+            // Centroid of all but the worst.
+            let mut centroid = vec![0.0; dim];
+            for (v, _) in simplex.iter().take(dim) {
+                for i in 0..dim {
+                    centroid[i] += v[i] / dim as f64;
+                }
+            }
+
+            let lerp = |t: f64| -> Vec<f64> {
+                (0..dim)
+                    .map(|i| centroid[i] + t * (centroid[i] - worst.0[i]))
+                    .collect()
+            };
+
+            // Reflection.
+            let xr = lerp(1.0);
+            let fr = obj.eval(&xr);
+            if fr < best.1 {
+                // Expansion.
+                let xe = lerp(2.0);
+                let fe = obj.eval(&xe);
+                simplex[dim] = if fe < fr { (xe, fe) } else { (xr, fr) };
+            } else if fr < second_worst_f {
+                simplex[dim] = (xr, fr);
+            } else {
+                // Contraction (outside if reflected better than worst).
+                let xc = if fr < worst.1 { lerp(0.5) } else { lerp(-0.5) };
+                let fc = obj.eval(&xc);
+                if fc < worst.1.min(fr) {
+                    simplex[dim] = (xc, fc);
+                } else {
+                    // Shrink toward the best vertex.
+                    for k in 1..=dim {
+                        let v: Vec<f64> = (0..dim)
+                            .map(|i| best.0[i] + 0.5 * (simplex[k].0[i] - best.0[i]))
+                            .collect();
+                        let fv = obj.eval(&v);
+                        simplex[k] = (v, fv);
+                    }
+                }
+            }
+            let cur_best = simplex
+                .iter()
+                .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+                .unwrap();
+            trace.push(cur_best.clone());
+        }
+
+        simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        let (x, fx) = simplex[0].clone();
+        trace.push((x.clone(), fx));
+        OptimResult {
+            queries: obj.count(),
+            x,
+            fx,
+            iterations,
+            trace,
+            converged,
+        }
+    }
+
+    fn name(&self) -> &str {
+        "NelderMead"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizes_quadratic() {
+        let nm = NelderMead::default();
+        let mut f = |x: &[f64]| (x[0] - 0.5).powi(2) + (x[1] + 0.25).powi(2);
+        let res = nm.minimize(&mut f, &[2.0, 2.0]);
+        assert!((res.x[0] - 0.5).abs() < 1e-3, "{:?}", res.x);
+        assert!((res.x[1] + 0.25).abs() < 1e-3, "{:?}", res.x);
+        assert!(res.converged);
+    }
+
+    #[test]
+    fn minimizes_rosenbrock() {
+        let nm = NelderMead {
+            max_queries: 20_000,
+            ..NelderMead::default()
+        };
+        let mut f =
+            |x: &[f64]| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2);
+        let res = nm.minimize(&mut f, &[-1.2, 1.0]);
+        assert!(res.fx < 1e-4, "fx {}", res.fx);
+    }
+
+    #[test]
+    fn respects_query_budget() {
+        let nm = NelderMead {
+            max_queries: 100,
+            f_tol: 0.0,
+            x_tol: 0.0,
+            ..NelderMead::default()
+        };
+        let mut f = |x: &[f64]| x.iter().map(|v| v * v).sum();
+        let res = nm.minimize(&mut f, &[1.0; 4]);
+        assert!(res.queries <= 100);
+    }
+
+    #[test]
+    fn one_dimensional_works() {
+        let nm = NelderMead::default();
+        let mut f = |x: &[f64]| (x[0] - 3.0).powi(2);
+        let res = nm.minimize(&mut f, &[0.0]);
+        assert!((res.x[0] - 3.0).abs() < 1e-3);
+    }
+}

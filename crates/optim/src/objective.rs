@@ -1,0 +1,115 @@
+//! Objective-function plumbing: query counting and optimization traces.
+//!
+//! OSCAR's use cases hinge on *how many* cost-function queries an optimizer
+//! issues (paper Table 6) and on the *path* it traces over the landscape
+//! (Figures 2, 11, 13), so every optimizer in this crate reports both.
+
+/// A recorded optimization run.
+#[derive(Clone, Debug)]
+pub struct OptimResult {
+    /// Final parameter vector.
+    pub x: Vec<f64>,
+    /// Final objective value.
+    pub fx: f64,
+    /// Total number of objective queries issued.
+    pub queries: usize,
+    /// Number of optimizer iterations (outer steps).
+    pub iterations: usize,
+    /// Accepted iterates in order: `(parameters, value)`. The first entry
+    /// is the initial point, the last equals (`x`, `fx`).
+    pub trace: Vec<(Vec<f64>, f64)>,
+    /// Whether the run stopped because a tolerance was met (vs budget).
+    pub converged: bool,
+}
+
+impl OptimResult {
+    /// Euclidean distance between this run's endpoint and another's.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn endpoint_distance(&self, other: &OptimResult) -> f64 {
+        assert_eq!(self.x.len(), other.x.len(), "dimension mismatch");
+        self.x
+            .iter()
+            .zip(other.x.iter())
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt()
+    }
+}
+
+/// Wraps a closure, counting every evaluation.
+///
+/// # Examples
+///
+/// ```
+/// use oscar_optim::objective::CountingObjective;
+///
+/// let mut obj = CountingObjective::new(|x: &[f64]| x[0] * x[0]);
+/// let _ = obj.eval(&[2.0]);
+/// let _ = obj.eval(&[3.0]);
+/// assert_eq!(obj.count(), 2);
+/// ```
+pub struct CountingObjective<F> {
+    f: F,
+    count: usize,
+}
+
+impl<F: FnMut(&[f64]) -> f64> CountingObjective<F> {
+    /// Wraps `f`.
+    pub fn new(f: F) -> Self {
+        CountingObjective { f, count: 0 }
+    }
+
+    /// Evaluates the objective, incrementing the counter.
+    pub fn eval(&mut self, x: &[f64]) -> f64 {
+        self.count += 1;
+        (self.f)(x)
+    }
+
+    /// Number of evaluations so far.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+}
+
+/// A shared trait implemented by every optimizer in this crate.
+pub trait Optimizer {
+    /// Minimizes `f` starting from `x0`, reporting the full run record.
+    fn minimize(&self, f: &mut dyn FnMut(&[f64]) -> f64, x0: &[f64]) -> OptimResult;
+
+    /// A short display name for reports ("ADAM", "COBYLA", ...).
+    fn name(&self) -> &str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_objective_counts() {
+        let mut obj = CountingObjective::new(|x: &[f64]| x.iter().sum());
+        for _ in 0..5 {
+            obj.eval(&[1.0, 2.0]);
+        }
+        assert_eq!(obj.count(), 5);
+    }
+
+    #[test]
+    fn endpoint_distance_euclidean() {
+        let a = OptimResult {
+            x: vec![0.0, 0.0],
+            fx: 0.0,
+            queries: 0,
+            iterations: 0,
+            trace: vec![],
+            converged: true,
+        };
+        let b = OptimResult {
+            x: vec![3.0, 4.0],
+            ..a.clone()
+        };
+        assert!((a.endpoint_distance(&b) - 5.0).abs() < 1e-12);
+    }
+}

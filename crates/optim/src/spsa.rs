@@ -1,0 +1,143 @@
+//! Simultaneous Perturbation Stochastic Approximation — a shot-frugal
+//! stochastic optimizer popular on noisy quantum hardware (two objective
+//! queries per iteration regardless of dimension).
+
+use crate::objective::{CountingObjective, OptimResult, Optimizer};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// SPSA configuration with the standard gain schedules
+/// `a_k = a / (k + 1 + A)^alpha`, `c_k = c / (k + 1)^gamma`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Spsa {
+    /// Step-size numerator.
+    pub a: f64,
+    /// Perturbation-size numerator.
+    pub c: f64,
+    /// Step-size stability offset.
+    pub big_a: f64,
+    /// Step-size decay exponent.
+    pub alpha: f64,
+    /// Perturbation decay exponent.
+    pub gamma: f64,
+    /// Number of iterations.
+    pub max_iter: usize,
+    /// RNG seed for the random perturbation directions.
+    pub seed: u64,
+}
+
+impl Default for Spsa {
+    fn default() -> Self {
+        Spsa {
+            a: 0.2,
+            c: 0.1,
+            big_a: 10.0,
+            alpha: 0.602,
+            gamma: 0.101,
+            max_iter: 300,
+            seed: 0,
+        }
+    }
+}
+
+impl Optimizer for Spsa {
+    fn minimize(&self, f: &mut dyn FnMut(&[f64]) -> f64, x0: &[f64]) -> OptimResult {
+        assert!(!x0.is_empty(), "need at least one parameter");
+        let mut obj = CountingObjective::new(f);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let dim = x0.len();
+        let mut x = x0.to_vec();
+        let mut fx = obj.eval(&x);
+        let mut trace = vec![(x.clone(), fx)];
+
+        for k in 0..self.max_iter {
+            let ak = self.a / (k as f64 + 1.0 + self.big_a).powf(self.alpha);
+            let ck = self.c / (k as f64 + 1.0).powf(self.gamma);
+            // Rademacher perturbation.
+            let delta: Vec<f64> = (0..dim)
+                .map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 })
+                .collect();
+            let xp: Vec<f64> = x.iter().zip(&delta).map(|(v, d)| v + ck * d).collect();
+            let xm: Vec<f64> = x.iter().zip(&delta).map(|(v, d)| v - ck * d).collect();
+            let fp = obj.eval(&xp);
+            let fm = obj.eval(&xm);
+            let ghat = (fp - fm) / (2.0 * ck);
+            for i in 0..dim {
+                x[i] -= ak * ghat / delta[i];
+            }
+            fx = obj.eval(&x);
+            trace.push((x.clone(), fx));
+        }
+
+        OptimResult {
+            queries: obj.count(),
+            x,
+            fx,
+            iterations: self.max_iter,
+            trace,
+            converged: true,
+        }
+    }
+
+    fn name(&self) -> &str {
+        "SPSA"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizes_quadratic() {
+        let spsa = Spsa {
+            max_iter: 2000,
+            ..Spsa::default()
+        };
+        let mut f = |x: &[f64]| x[0] * x[0] + (x[1] - 1.0).powi(2);
+        let res = spsa.minimize(&mut f, &[1.5, -0.5]);
+        assert!(res.fx < 0.05, "fx {}", res.fx);
+    }
+
+    #[test]
+    fn robust_to_observation_noise() {
+        // SPSA tolerates noisy objectives; seed the noise deterministically.
+        let mut state = 0u64;
+        let mut noise = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f64 / (1u64 << 31) as f64 - 1.0) * 0.01
+        };
+        let spsa = Spsa {
+            max_iter: 3000,
+            ..Spsa::default()
+        };
+        let mut f = move |x: &[f64]| x[0] * x[0] + noise();
+        let res = spsa.minimize(&mut f, &[1.0]);
+        assert!(res.x[0].abs() < 0.2, "x {:?}", res.x);
+    }
+
+    #[test]
+    fn three_queries_per_iteration() {
+        let spsa = Spsa {
+            max_iter: 50,
+            ..Spsa::default()
+        };
+        let mut f = |x: &[f64]| x.iter().map(|v| v * v).sum();
+        let res = spsa.minimize(&mut f, &[0.3; 6]);
+        assert_eq!(res.queries, 1 + 50 * 3);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let spsa = Spsa {
+            max_iter: 20,
+            seed: 7,
+            ..Spsa::default()
+        };
+        let mut f1 = |x: &[f64]| x[0].cos();
+        let mut f2 = |x: &[f64]| x[0].cos();
+        let r1 = spsa.minimize(&mut f1, &[0.2]);
+        let r2 = spsa.minimize(&mut f2, &[0.2]);
+        assert_eq!(r1.x, r2.x);
+    }
+}

@@ -1,0 +1,93 @@
+//! Property-based tests for the optimizer crate.
+
+use oscar_optim::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every optimizer's reported fx matches re-evaluating its endpoint,
+    /// and the trace starts at the initial point.
+    #[test]
+    fn results_are_self_consistent(
+        x0 in prop::collection::vec(-2.0f64..2.0, 1..4),
+        c in -1.0f64..1.0,
+    ) {
+        let objective = move |x: &[f64]| {
+            x.iter().map(|v| (v - c) * (v - c)).sum::<f64>()
+        };
+        let optimizers: Vec<Box<dyn Optimizer>> = vec![
+            Box::new(Adam { max_iter: 30, ..Adam::default() }),
+            Box::new(Cobyla { max_queries: 120, ..Cobyla::default() }),
+            Box::new(NelderMead { max_queries: 150, ..NelderMead::default() }),
+            Box::new(MomentumGd { max_iter: 30, ..MomentumGd::default() }),
+        ];
+        for opt in optimizers {
+            let mut f = objective;
+            let res = opt.minimize(&mut f, &x0);
+            prop_assert_eq!(&res.trace[0].0, &x0, "{} trace start", opt.name());
+            let refx = objective(&res.x);
+            prop_assert!((res.fx - refx).abs() < 1e-9, "{} fx mismatch", opt.name());
+            prop_assert!(res.queries >= 1);
+        }
+    }
+
+    /// Optimizers never end with a worse value than the start on convex
+    /// problems.
+    #[test]
+    fn never_worse_than_start_on_convex(
+        x0 in prop::collection::vec(-3.0f64..3.0, 2..4),
+        seed in 0u64..100,
+    ) {
+        let spsa = Spsa { max_iter: 200, seed, ..Spsa::default() };
+        let mut f = |x: &[f64]| x.iter().map(|v| v * v).sum::<f64>();
+        let res = spsa.minimize(&mut f, &x0);
+        let start: f64 = x0.iter().map(|v| v * v).sum();
+        prop_assert!(res.fx <= start + 1e-6);
+    }
+
+    /// Central differences match analytic gradients of quadratics to
+    /// first order.
+    #[test]
+    fn central_difference_exact_on_quadratics(
+        a in -3.0f64..3.0,
+        b in -3.0f64..3.0,
+        x in -2.0f64..2.0,
+        y in -2.0f64..2.0,
+    ) {
+        let mut f = |p: &[f64]| a * p[0] * p[0] + b * p[1];
+        let g = central_difference(&mut f, &[x, y], 1e-5);
+        prop_assert!((g[0] - 2.0 * a * x).abs() < 1e-5 * (1.0 + a.abs()));
+        prop_assert!((g[1] - b).abs() < 1e-6 * (1.0 + b.abs()));
+    }
+
+    /// The parameter-shift rule is exact for single-frequency sinusoids
+    /// with arbitrary amplitude and phase.
+    #[test]
+    fn parameter_shift_exact_on_sinusoids(
+        amp in -3.0f64..3.0,
+        phase in -3.0f64..3.0,
+        theta in -3.0f64..3.0,
+    ) {
+        let mut f = move |x: &[f64]| amp * (x[0] + phase).cos();
+        let g = parameter_shift(&mut f, &[theta]);
+        let exact = -amp * (theta + phase).sin();
+        prop_assert!((g[0] - exact).abs() < 1e-10);
+    }
+
+    /// Endpoint distance is a metric (symmetry + zero on identical runs).
+    #[test]
+    fn endpoint_distance_is_symmetric(
+        x in prop::collection::vec(-5.0f64..5.0, 2..5),
+        y_offset in prop::collection::vec(-1.0f64..1.0, 2..5),
+    ) {
+        let dim = x.len().min(y_offset.len());
+        let make = |v: Vec<f64>| OptimResult {
+            x: v, fx: 0.0, queries: 0, iterations: 0, trace: vec![], converged: true,
+        };
+        let a = make(x[..dim].to_vec());
+        let b = make(x[..dim].iter().zip(&y_offset[..dim]).map(|(u, o)| u + o).collect());
+        prop_assert!((a.endpoint_distance(&b) - b.endpoint_distance(&a)).abs() < 1e-12);
+        prop_assert!(a.endpoint_distance(&a) < 1e-12);
+    }
+}

@@ -1,0 +1,303 @@
+//! Undirected weighted graphs and the generators used by the paper's
+//! workloads: random 3-regular graphs, 2-D mesh (grid) graphs, and complete
+//! graphs (for the Sherrington–Kirkpatrick model).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// An undirected weighted graph on `n` vertices.
+///
+/// # Examples
+///
+/// ```
+/// use oscar_problems::graph::Graph;
+///
+/// let g = Graph::ring(4, 1.0);
+/// assert_eq!(g.num_vertices(), 4);
+/// assert_eq!(g.num_edges(), 4);
+/// assert!(g.is_regular(2));
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Graph {
+    n: usize,
+    edges: Vec<(usize, usize, f64)>,
+}
+
+impl Graph {
+    /// Creates a graph from an edge list (`i < j` enforced by sorting each
+    /// pair; duplicate edges are rejected).
+    ///
+    /// # Panics
+    ///
+    /// Panics on self-loops, out-of-range endpoints, or duplicate edges.
+    pub fn new(n: usize, edges: Vec<(usize, usize, f64)>) -> Self {
+        let mut normalized: Vec<(usize, usize, f64)> = edges
+            .into_iter()
+            .map(|(a, b, w)| {
+                assert!(a != b, "self-loop on vertex {a}");
+                assert!(a < n && b < n, "edge endpoint out of range");
+                if a < b {
+                    (a, b, w)
+                } else {
+                    (b, a, w)
+                }
+            })
+            .collect();
+        normalized.sort_by_key(|&(a, b, _)| (a, b));
+        for w in normalized.windows(2) {
+            assert!(
+                (w[0].0, w[0].1) != (w[1].0, w[1].1),
+                "duplicate edge ({}, {})",
+                w[0].0,
+                w[0].1
+            );
+        }
+        Graph { n, edges: normalized }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The edge list as `(u, v, weight)` with `u < v`.
+    pub fn edges(&self) -> &[(usize, usize, f64)] {
+        &self.edges
+    }
+
+    /// Degree of vertex `v`.
+    pub fn degree(&self, v: usize) -> usize {
+        self.edges
+            .iter()
+            .filter(|&&(a, b, _)| a == v || b == v)
+            .count()
+    }
+
+    /// `true` when every vertex has degree `d`.
+    pub fn is_regular(&self, d: usize) -> bool {
+        (0..self.n).all(|v| self.degree(v) == d)
+    }
+
+    /// A cycle graph `0-1-...-n-0` with uniform weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 3`.
+    pub fn ring(n: usize, weight: f64) -> Self {
+        assert!(n >= 3, "ring needs at least 3 vertices");
+        let edges = (0..n).map(|i| (i, (i + 1) % n, weight)).collect();
+        Graph::new(n, edges)
+    }
+
+    /// The complete graph with uniform weight.
+    pub fn complete(n: usize, weight: f64) -> Self {
+        let mut edges = Vec::new();
+        for i in 0..n {
+            for j in i + 1..n {
+                edges.push((i, j, weight));
+            }
+        }
+        Graph::new(n, edges)
+    }
+
+    /// A `rows x cols` 2-D mesh (grid) graph with uniform weight — the
+    /// "mesh graph" hardware-native topology of the Google dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `rows * cols >= 2`.
+    pub fn mesh(rows: usize, cols: usize, weight: f64) -> Self {
+        let n = rows * cols;
+        assert!(n >= 2, "mesh needs at least 2 vertices");
+        let idx = |r: usize, c: usize| r * cols + c;
+        let mut edges = Vec::new();
+        for r in 0..rows {
+            for c in 0..cols {
+                if c + 1 < cols {
+                    edges.push((idx(r, c), idx(r, c + 1), weight));
+                }
+                if r + 1 < rows {
+                    edges.push((idx(r, c), idx(r + 1, c), weight));
+                }
+            }
+        }
+        Graph::new(n, edges)
+    }
+
+    /// A uniformly random `d`-regular graph via the configuration (pairing)
+    /// model with rejection of self-loops/multi-edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n * d` is odd, `d >= n`, or a valid pairing is not found
+    /// within an internal retry budget (overwhelmingly unlikely for the
+    /// small `d` used here).
+    pub fn random_regular<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R) -> Self {
+        assert!(n * d % 2 == 0, "n*d must be even for a d-regular graph");
+        assert!(d < n, "degree must be below vertex count");
+        'attempt: for _ in 0..1000 {
+            // Stubs: d copies of each vertex, paired uniformly at random.
+            let mut stubs: Vec<usize> = (0..n).flat_map(|v| std::iter::repeat(v).take(d)).collect();
+            stubs.shuffle(rng);
+            let mut seen = std::collections::HashSet::new();
+            let mut edges = Vec::with_capacity(n * d / 2);
+            for pair in stubs.chunks(2) {
+                let (a, b) = (pair[0], pair[1]);
+                if a == b {
+                    continue 'attempt;
+                }
+                let key = (a.min(b), a.max(b));
+                if !seen.insert(key) {
+                    continue 'attempt;
+                }
+                edges.push((key.0, key.1, 1.0));
+            }
+            return Graph::new(n, edges);
+        }
+        panic!("failed to sample a {d}-regular graph on {n} vertices");
+    }
+
+    /// Assigns each edge an independent weight drawn from `draw`.
+    pub fn with_random_weights<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        mut draw: impl FnMut(&mut R) -> f64,
+    ) -> Graph {
+        let edges = self
+            .edges
+            .iter()
+            .map(|&(a, b, _)| (a, b, draw(rng)))
+            .collect();
+        Graph::new(self.n, edges)
+    }
+
+    /// The size of the cut induced by assignment `bits` (bit `v` = side of
+    /// vertex `v`): the total weight of edges whose endpoints differ.
+    pub fn cut_value(&self, bits: u64) -> f64 {
+        self.edges
+            .iter()
+            .map(|&(a, b, w)| {
+                if ((bits >> a) ^ (bits >> b)) & 1 == 1 {
+                    w
+                } else {
+                    0.0
+                }
+            })
+            .sum()
+    }
+
+    /// The maximum cut value over all `2^n` assignments (exhaustive; only
+    /// for `n <= 24`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 24`.
+    pub fn max_cut_brute_force(&self) -> f64 {
+        assert!(self.n <= 24, "brute force limited to 24 vertices");
+        (0..(1u64 << self.n))
+            .map(|b| self.cut_value(b))
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ring_structure() {
+        let g = Graph::ring(5, 2.0);
+        assert_eq!(g.num_edges(), 5);
+        assert!(g.is_regular(2));
+        assert!(g.edges().iter().all(|&(_, _, w)| w == 2.0));
+    }
+
+    #[test]
+    fn complete_edge_count() {
+        let g = Graph::complete(6, 1.0);
+        assert_eq!(g.num_edges(), 15);
+        assert!(g.is_regular(5));
+    }
+
+    #[test]
+    fn mesh_structure() {
+        let g = Graph::mesh(3, 4, 1.0);
+        assert_eq!(g.num_vertices(), 12);
+        // 3 rows * 3 horizontal + 2 * 4 vertical = 9 + 8
+        assert_eq!(g.num_edges(), 17);
+        // corner has degree 2
+        assert_eq!(g.degree(0), 2);
+        // interior vertex has degree 4
+        assert_eq!(g.degree(5), 4);
+    }
+
+    #[test]
+    fn random_regular_is_regular() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..5 {
+            let g = Graph::random_regular(12, 3, &mut rng);
+            assert!(g.is_regular(3), "graph not 3-regular");
+            assert_eq!(g.num_edges(), 18);
+        }
+    }
+
+    #[test]
+    fn random_regular_varies_with_seed() {
+        let g1 = Graph::random_regular(10, 3, &mut StdRng::seed_from_u64(1));
+        let g2 = Graph::random_regular(10, 3, &mut StdRng::seed_from_u64(2));
+        assert_ne!(g1, g2);
+    }
+
+    #[test]
+    fn cut_value_counts_crossing_edges() {
+        let g = Graph::ring(4, 1.0);
+        // Alternating assignment cuts all 4 edges.
+        assert_eq!(g.cut_value(0b0101), 4.0);
+        // All-same cuts none.
+        assert_eq!(g.cut_value(0b0000), 0.0);
+    }
+
+    #[test]
+    fn max_cut_of_even_ring() {
+        let g = Graph::ring(6, 1.0);
+        assert_eq!(g.max_cut_brute_force(), 6.0);
+    }
+
+    #[test]
+    fn max_cut_of_odd_ring() {
+        let g = Graph::ring(5, 1.0);
+        assert_eq!(g.max_cut_brute_force(), 4.0);
+    }
+
+    #[test]
+    fn random_weights_replace_uniform() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = Graph::complete(4, 1.0).with_random_weights(&mut rng, |r| {
+            if r.gen::<bool>() {
+                1.0
+            } else {
+                -1.0
+            }
+        });
+        assert!(g.edges().iter().all(|&(_, _, w)| w == 1.0 || w == -1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn rejects_self_loop() {
+        let _ = Graph::new(3, vec![(1, 1, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate edge")]
+    fn rejects_duplicate_edge() {
+        let _ = Graph::new(3, vec![(0, 1, 1.0), (1, 0, 2.0)]);
+    }
+}

@@ -1,0 +1,260 @@
+//! Ising-type diagonal cost functions: MaxCut and the
+//! Sherrington–Kirkpatrick (SK) spin-glass model.
+//!
+//! Both problems map to diagonal qubit Hamiltonians, so they share one
+//! representation: [`IsingProblem`] holds the graph/couplings, exposes the
+//! cost diagonal for the fast QAOA evaluator, and the [`PauliSum`] form for
+//! generic ansatzes.
+
+use crate::graph::Graph;
+use oscar_qsim::pauli::{PauliString, PauliSum};
+use oscar_qsim::qaoa::QaoaEvaluator;
+use rand::Rng;
+
+/// Which classical objective the instance encodes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IsingKind {
+    /// MaxCut: cost(b) = -(total weight of cut edges); minimization finds
+    /// the maximum cut.
+    MaxCut,
+    /// SK model: cost(b) = sum_{i<j} J_ij s_i s_j with s in {-1, +1};
+    /// minimization finds the spin-glass ground state.
+    SherringtonKirkpatrick,
+}
+
+/// A diagonal (Ising) optimization problem instance.
+///
+/// # Examples
+///
+/// ```
+/// use oscar_problems::graph::Graph;
+/// use oscar_problems::ising::IsingProblem;
+///
+/// let p = IsingProblem::max_cut(Graph::ring(4, 1.0));
+/// assert_eq!(p.num_qubits(), 4);
+/// // The optimum cuts all four ring edges.
+/// assert_eq!(p.optimal_cost(), -4.0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct IsingProblem {
+    kind: IsingKind,
+    graph: Graph,
+}
+
+impl IsingProblem {
+    /// Wraps a graph as a MaxCut instance.
+    pub fn max_cut(graph: Graph) -> Self {
+        IsingProblem {
+            kind: IsingKind::MaxCut,
+            graph,
+        }
+    }
+
+    /// MaxCut on a random 3-regular graph.
+    pub fn random_3_regular<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Self {
+        IsingProblem::max_cut(Graph::random_regular(n, 3, rng))
+    }
+
+    /// MaxCut on a `rows x cols` mesh graph.
+    pub fn mesh(rows: usize, cols: usize) -> Self {
+        IsingProblem::max_cut(Graph::mesh(rows, cols, 1.0))
+    }
+
+    /// A Sherrington–Kirkpatrick instance with ±1 couplings on the complete
+    /// graph (the convention of the Google QAOA dataset).
+    pub fn sk_model<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Self {
+        let graph = Graph::complete(n, 1.0)
+            .with_random_weights(rng, |r| if r.gen::<bool>() { 1.0 } else { -1.0 });
+        IsingProblem {
+            kind: IsingKind::SherringtonKirkpatrick,
+            graph,
+        }
+    }
+
+    /// The problem kind.
+    pub fn kind(&self) -> IsingKind {
+        self.kind
+    }
+
+    /// The underlying graph (couplings).
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Number of qubits (= vertices).
+    pub fn num_qubits(&self) -> usize {
+        self.graph.num_vertices()
+    }
+
+    /// Classical cost of assignment `bits`.
+    pub fn cost(&self, bits: u64) -> f64 {
+        match self.kind {
+            IsingKind::MaxCut => -self.graph.cut_value(bits),
+            IsingKind::SherringtonKirkpatrick => self
+                .graph
+                .edges()
+                .iter()
+                .map(|&(a, b, w)| {
+                    let sa = 1.0 - 2.0 * ((bits >> a) & 1) as f64;
+                    let sb = 1.0 - 2.0 * ((bits >> b) & 1) as f64;
+                    w * sa * sb
+                })
+                .sum(),
+        }
+    }
+
+    /// Materializes the dense cost diagonal (length `2^n`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 28`.
+    pub fn cost_diagonal(&self) -> Vec<f64> {
+        let n = self.num_qubits();
+        assert!(n <= 28, "diagonal materialization limited to 28 qubits");
+        let dim = 1usize << n;
+        let mut diag = vec![0.0; dim];
+        // Incremental: add each edge's contribution in one pass per edge.
+        for &(a, b, w) in self.graph.edges() {
+            let amask = 1usize << a;
+            let bmask = 1usize << b;
+            match self.kind {
+                IsingKind::MaxCut => {
+                    for (bits, d) in diag.iter_mut().enumerate() {
+                        if ((bits & amask != 0) as u8) ^ ((bits & bmask != 0) as u8) == 1 {
+                            *d -= w;
+                        }
+                    }
+                }
+                IsingKind::SherringtonKirkpatrick => {
+                    for (bits, d) in diag.iter_mut().enumerate() {
+                        let parity = ((bits & amask != 0) as u8) ^ ((bits & bmask != 0) as u8);
+                        *d += if parity == 1 { -w } else { w };
+                    }
+                }
+            }
+        }
+        diag
+    }
+
+    /// The qubit Hamiltonian as a Pauli sum.
+    ///
+    /// MaxCut: `C = sum_e w_e (Z_a Z_b - 1) / 2`; SK: `C = sum J_ij Z_i Z_j`.
+    pub fn hamiltonian(&self) -> PauliSum {
+        let n = self.num_qubits();
+        let mut h = PauliSum::new(n);
+        for &(a, b, w) in self.graph.edges() {
+            match self.kind {
+                IsingKind::MaxCut => {
+                    h.push(PauliString::zz(n, a, b, w / 2.0));
+                    h.add_constant(-w / 2.0);
+                }
+                IsingKind::SherringtonKirkpatrick => {
+                    h.push(PauliString::zz(n, a, b, w));
+                }
+            }
+        }
+        h
+    }
+
+    /// Builds the fast QAOA evaluator for this instance.
+    pub fn qaoa_evaluator(&self) -> QaoaEvaluator {
+        QaoaEvaluator::new(self.num_qubits(), self.cost_diagonal())
+    }
+
+    /// The exact optimal (minimum) cost by brute force.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 24`.
+    pub fn optimal_cost(&self) -> f64 {
+        let n = self.num_qubits();
+        assert!(n <= 24, "brute force limited to 24 qubits");
+        (0..(1u64 << n))
+            .map(|b| self.cost(b))
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn maxcut_cost_is_negated_cut() {
+        let p = IsingProblem::max_cut(Graph::ring(4, 1.0));
+        assert_eq!(p.cost(0b0101), -4.0);
+        assert_eq!(p.cost(0b0011), -2.0);
+    }
+
+    #[test]
+    fn diagonal_matches_pointwise_cost() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let p = IsingProblem::random_3_regular(8, &mut rng);
+        let diag = p.cost_diagonal();
+        for bits in [0u64, 1, 77, 200, 255] {
+            assert_eq!(diag[bits as usize], p.cost(bits));
+        }
+    }
+
+    #[test]
+    fn hamiltonian_diagonal_matches_cost_diagonal() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let p = IsingProblem::sk_model(5, &mut rng);
+        let h = p.hamiltonian();
+        assert!(h.is_diagonal());
+        let hd = h.diagonal();
+        let cd = p.cost_diagonal();
+        for (a, b) in hd.iter().zip(&cd) {
+            assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn maxcut_hamiltonian_matches_too() {
+        let p = IsingProblem::mesh(2, 3);
+        let hd = p.hamiltonian().diagonal();
+        let cd = p.cost_diagonal();
+        for (a, b) in hd.iter().zip(&cd) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sk_cost_symmetry_under_global_flip() {
+        // SK energy is invariant under flipping all spins.
+        let mut rng = StdRng::seed_from_u64(11);
+        let p = IsingProblem::sk_model(6, &mut rng);
+        let all = (1u64 << 6) - 1;
+        for bits in 0..(1u64 << 6) {
+            assert!((p.cost(bits) - p.cost(bits ^ all)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn optimal_cost_of_ring() {
+        let p = IsingProblem::max_cut(Graph::ring(6, 1.0));
+        assert_eq!(p.optimal_cost(), -6.0);
+    }
+
+    #[test]
+    fn qaoa_evaluator_roundtrip() {
+        let p = IsingProblem::max_cut(Graph::ring(4, 1.0));
+        let eval = p.qaoa_evaluator();
+        assert_eq!(eval.num_qubits(), 4);
+        assert_eq!(eval.min_cost(), -4.0);
+    }
+
+    #[test]
+    fn sk_couplings_are_pm_one() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let p = IsingProblem::sk_model(6, &mut rng);
+        assert!(p
+            .graph()
+            .edges()
+            .iter()
+            .all(|&(_, _, w)| w == 1.0 || w == -1.0));
+        assert_eq!(p.graph().num_edges(), 15);
+    }
+}

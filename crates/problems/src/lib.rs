@@ -1,0 +1,39 @@
+//! # oscar-problems — VQA workloads and ansatz library
+//!
+//! The problem instances the OSCAR paper evaluates on:
+//!
+//! * [`graph`] — weighted graphs with random 3-regular, mesh, and complete
+//!   generators;
+//! * [`ising`] — MaxCut and Sherrington–Kirkpatrick diagonal cost problems
+//!   with both dense-diagonal and Pauli-sum Hamiltonian forms;
+//! * [`molecules`] — H2 and LiH qubit Hamiltonians for the VQE workloads;
+//! * [`ansatz`] — QAOA, hardware-efficient Two-local, and UCCSD-style
+//!   parameterized circuits.
+//!
+//! # Example
+//!
+//! ```
+//! use oscar_problems::prelude::*;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let problem = IsingProblem::random_3_regular(8, &mut rng);
+//! let eval = problem.qaoa_evaluator();
+//! let e = eval.expectation(&[0.2], &[0.5]);
+//! assert!(e <= 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ansatz;
+pub mod graph;
+pub mod ising;
+pub mod molecules;
+
+/// Glob-import of the most used types.
+pub mod prelude {
+    pub use crate::ansatz::Ansatz;
+    pub use crate::graph::Graph;
+    pub use crate::ising::{IsingKind, IsingProblem};
+    pub use crate::molecules::{ground_state_energy, h2_hamiltonian, lih_hamiltonian};
+}

@@ -1,0 +1,219 @@
+//! Molecular qubit Hamiltonians for the VQE workloads of paper Table 3.
+//!
+//! * **H2** — the standard 2-qubit parity-mapped hydrogen Hamiltonian at
+//!   bond length 0.735 Å (coefficients from O'Malley et al. 2016 as
+//!   popularized by the Qiskit chemistry tutorials).
+//! * **LiH** — a 4-qubit *representative* effective Hamiltonian. The paper
+//!   does not publish its LiH Hamiltonian (it is produced by a chemistry
+//!   driver we do not have offline), so we build a frozen-core-style
+//!   reduced Hamiltonian with the same qualitative structure: dominant
+//!   diagonal `Z`/`ZZ` terms plus weaker `XX`/`YY`/`XZ` exchange terms.
+//!   This preserves everything the OSCAR experiments exercise — landscape
+//!   smoothness, frequency sparsity, and parameter dimensionality — which
+//!   depend on the ansatz structure and term count, not the exact chemistry
+//!   coefficients. (Substitution documented in DESIGN.md.)
+
+use oscar_qsim::pauli::{PauliString, PauliSum};
+
+/// The 2-qubit parity-mapped H2 Hamiltonian at R = 0.735 Å.
+///
+/// # Examples
+///
+/// ```
+/// let h = oscar_problems::molecules::h2_hamiltonian();
+/// assert_eq!(h.num_qubits(), 2);
+/// // Ground-state energy of this reduced Hamiltonian is about -1.9154 Ha,
+/// // well below the identity (mean-field) constant.
+/// assert!(h.constant() > -1.3);
+/// ```
+pub fn h2_hamiltonian() -> PauliSum {
+    let term = |label: &str, c: f64| PauliString::parse(label, c).expect("valid label");
+    let mut h = PauliSum::new(2);
+    h.add_constant(-1.052_373_245_772_859);
+    h.push(term("ZI", 0.397_937_424_843_180_45));
+    h.push(term("IZ", -0.397_937_424_843_180_45));
+    h.push(term("ZZ", -0.011_280_115_593_062_0));
+    h.push(term("XX", 0.180_931_199_784_231_56));
+    h.push(term("YY", 0.180_931_199_784_231_56));
+    h
+}
+
+/// A 4-qubit representative LiH effective Hamiltonian (see module docs for
+/// the substitution rationale).
+pub fn lih_hamiltonian() -> PauliSum {
+    let term = |label: &str, c: f64| PauliString::parse(label, c).expect("valid label");
+    let mut h = PauliSum::new(4);
+    h.add_constant(-7.498_946_42);
+    // Single-qubit Z terms (orbital occupation energies).
+    h.push(term("ZIII", 0.161_198_57));
+    h.push(term("IZII", -0.013_624_41));
+    h.push(term("IIZI", 0.161_198_57));
+    h.push(term("IIIZ", -0.013_624_41));
+    // ZZ couplings (Coulomb/exchange).
+    h.push(term("ZZII", 0.121_462_81));
+    h.push(term("IIZZ", 0.121_462_81));
+    h.push(term("ZIZI", 0.055_874_13));
+    h.push(term("IZIZ", 0.084_953_39));
+    h.push(term("ZIIZ", 0.066_060_39));
+    h.push(term("IZZI", 0.066_060_39));
+    // Exchange (hopping) terms.
+    h.push(term("XXII", 0.012_912_45));
+    h.push(term("YYII", 0.012_912_45));
+    h.push(term("IIXX", 0.012_912_45));
+    h.push(term("IIYY", 0.012_912_45));
+    h.push(term("XZXI", 0.011_209_64));
+    h.push(term("YZYI", 0.011_209_64));
+    h.push(term("IXZX", 0.011_209_64));
+    h.push(term("IYZY", 0.011_209_64));
+    h
+}
+
+/// Exact ground-state energy of a Pauli-sum Hamiltonian by dense
+/// diagonalization-free power iteration on `(shift - H)`.
+///
+/// Works for any observable small enough to apply repeatedly
+/// (`n <= 12` is plenty for the molecules here).
+///
+/// # Panics
+///
+/// Panics if `h.num_qubits() > 12`.
+pub fn ground_state_energy(h: &PauliSum) -> f64 {
+    use oscar_qsim::complex::C64;
+    let n = h.num_qubits();
+    assert!(n <= 12, "power iteration limited to 12 qubits");
+    let dim = 1usize << n;
+    // Shifted power iteration: the dominant eigenvector of (shift*I - H)
+    // is the ground state when shift exceeds the largest eigenvalue.
+    let shift = h.one_norm() + 1.0;
+    let mut v = vec![C64::real(1.0 / (dim as f64).sqrt()); dim];
+    // Deterministic perturbation to avoid starting orthogonal to the
+    // ground state.
+    for (i, amp) in v.iter_mut().enumerate() {
+        *amp = *amp + C64::new(1e-3 * ((i * 37 % 11) as f64 - 5.0), 0.0);
+    }
+    normalize(&mut v);
+    let mut energy = 0.0;
+    for _ in 0..5000 {
+        let hv = apply_hamiltonian(h, &v);
+        // w = shift*v - H v
+        let mut w: Vec<C64> = v
+            .iter()
+            .zip(hv.iter())
+            .map(|(a, b)| a.scale(shift) - *b)
+            .collect();
+        normalize(&mut w);
+        // Rayleigh quotient <w|H|w>.
+        let hw = apply_hamiltonian(h, &w);
+        let e: f64 = w
+            .iter()
+            .zip(hw.iter())
+            .map(|(a, b)| (a.conj() * *b).re)
+            .sum();
+        let delta = (e - energy).abs();
+        energy = e;
+        v = w;
+        if delta < 1e-12 {
+            break;
+        }
+    }
+    energy
+}
+
+fn apply_hamiltonian(
+    h: &PauliSum,
+    v: &[oscar_qsim::complex::C64],
+) -> Vec<oscar_qsim::complex::C64> {
+    use oscar_qsim::complex::C64;
+    let mut out: Vec<C64> = v.iter().map(|a| a.scale(h.constant())).collect();
+    for term in h.terms() {
+        let x_mask = term.x_mask() as usize;
+        for b in 0..v.len() {
+            let (t, ph) = term.apply_basis(b as u64);
+            debug_assert_eq!(t as usize, b ^ x_mask);
+            out[b ^ x_mask] += ph * v[b] * term.coeff();
+        }
+    }
+    out
+}
+
+fn normalize(v: &mut [oscar_qsim::complex::C64]) {
+    let norm: f64 = v.iter().map(|a| a.norm_sqr()).sum::<f64>().sqrt();
+    if norm > 0.0 {
+        for a in v.iter_mut() {
+            *a = a.scale(1.0 / norm);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oscar_qsim::state::StateVector;
+
+    #[test]
+    fn h2_is_two_qubits_with_six_terms() {
+        let h = h2_hamiltonian();
+        assert_eq!(h.num_qubits(), 2);
+        assert_eq!(h.terms().len(), 5);
+    }
+
+    #[test]
+    fn h2_ground_energy_matches_reference() {
+        // Analytic: the {|01>,|10>} block has diagonal (-1.836967,
+        // -0.245219) and off-diagonal g4+g5 = 0.361862, so the ground
+        // energy is -1.041093 - 0.874276 = -1.915369.
+        let e = ground_state_energy(&h2_hamiltonian());
+        assert!(
+            (e - (-1.915_369)).abs() < 1e-4,
+            "H2 ground energy {e} != -1.915369"
+        );
+    }
+
+    #[test]
+    fn h2_hartree_fock_energy() {
+        // |01> (parity-mapped HF state) should be close to but above the
+        // ground state.
+        let h = h2_hamiltonian();
+        let mut psi = StateVector::zero_state(2);
+        psi.x(0);
+        let e_hf = psi.expectation(&h);
+        let e_gs = ground_state_energy(&h);
+        assert!(e_hf > e_gs);
+        // Analytic correlation energy for this Hamiltonian: 0.0784.
+        assert!(e_hf - e_gs < 0.1, "correlation energy too large: {}", e_hf - e_gs);
+    }
+
+    #[test]
+    fn lih_is_four_qubits() {
+        let h = lih_hamiltonian();
+        assert_eq!(h.num_qubits(), 4);
+        assert!(h.terms().len() >= 18);
+    }
+
+    #[test]
+    fn lih_ground_energy_below_constant() {
+        let h = lih_hamiltonian();
+        let e = ground_state_energy(&h);
+        assert!(e < h.constant(), "ground energy {e} not below constant");
+    }
+
+    #[test]
+    fn ground_energy_of_single_z() {
+        use oscar_qsim::pauli::{Pauli, PauliString, PauliSum};
+        let h = PauliSum::from_strings(vec![PauliString::single(1, 0, Pauli::Z, 1.0)]);
+        let e = ground_state_energy(&h);
+        assert!((e - (-1.0)).abs() < 1e-9, "got {e}");
+    }
+
+    #[test]
+    fn ground_energy_of_transverse_field() {
+        use oscar_qsim::pauli::{Pauli, PauliString, PauliSum};
+        // H = Z + X has eigenvalues ±sqrt(2).
+        let h = PauliSum::from_strings(vec![
+            PauliString::single(1, 0, Pauli::Z, 1.0),
+            PauliString::single(1, 0, Pauli::X, 1.0),
+        ]);
+        let e = ground_state_energy(&h);
+        assert!((e - (-(2.0f64.sqrt()))).abs() < 1e-8, "got {e}");
+    }
+}

@@ -1,0 +1,306 @@
+//! Gate-level stochastic noise: depolarizing channels via quantum
+//! trajectories.
+//!
+//! The trajectory method runs the circuit on a pure state and, after every
+//! gate, injects a uniformly random non-identity Pauli on the touched qubits
+//! with the channel's error probability. Averaging expectation values over
+//! trajectories converges to the depolarizing-channel density-matrix result
+//! without ever materializing a density matrix, which would be infeasible
+//! beyond ~14 qubits.
+//!
+//! For the large grids OSCAR sweeps, the analytic *global depolarizing
+//! approximation* in `oscar-mitigation` is used instead; this module is the
+//! reference implementation the approximation is validated against (see the
+//! crate tests in `oscar-mitigation`).
+
+use crate::circuit::{Circuit, Op};
+use crate::pauli::Pauli;
+use crate::state::StateVector;
+use rand::Rng;
+
+/// Per-gate depolarizing error probabilities.
+///
+/// # Examples
+///
+/// ```
+/// use oscar_qsim::noise::DepolarizingNoise;
+///
+/// let noise = DepolarizingNoise::new(0.003, 0.007);
+/// assert_eq!(noise.p1, 0.003);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DepolarizingNoise {
+    /// Error probability after each single-qubit gate.
+    pub p1: f64,
+    /// Error probability after each two-qubit gate.
+    pub p2: f64,
+}
+
+impl DepolarizingNoise {
+    /// Creates a noise model.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both probabilities lie in `[0, 1)`.
+    pub fn new(p1: f64, p2: f64) -> Self {
+        assert!((0.0..1.0).contains(&p1), "p1 must be in [0,1)");
+        assert!((0.0..1.0).contains(&p2), "p2 must be in [0,1)");
+        DepolarizingNoise { p1, p2 }
+    }
+
+    /// The noiseless model.
+    pub fn ideal() -> Self {
+        DepolarizingNoise { p1: 0.0, p2: 0.0 }
+    }
+
+    /// `true` when both rates are zero.
+    pub fn is_ideal(&self) -> bool {
+        self.p1 == 0.0 && self.p2 == 0.0
+    }
+
+    /// Returns the model with both rates multiplied by `factor` (saturating
+    /// at the maximally mixing probabilities), used to emulate noise
+    /// scaling.
+    pub fn scaled(&self, factor: f64) -> Self {
+        assert!(factor >= 0.0, "scale factor must be non-negative");
+        DepolarizingNoise {
+            p1: (self.p1 * factor).min(0.75),
+            p2: (self.p2 * factor).min(0.9375),
+        }
+    }
+}
+
+/// Executes `circuit` once with stochastic Pauli injection, returning the
+/// (random) trajectory state.
+pub fn run_trajectory<R: Rng + ?Sized>(
+    circuit: &Circuit,
+    params: &[f64],
+    noise: DepolarizingNoise,
+    rng: &mut R,
+) -> StateVector {
+    let n = circuit.num_qubits();
+    let mut psi = StateVector::zero_state(n);
+    for op in circuit.ops() {
+        Circuit::apply_op(&mut psi, op, params);
+        inject_gate_noise(&mut psi, op, noise, rng);
+    }
+    psi
+}
+
+/// Averages the expectation of a dense diagonal observable over
+/// `trajectories` noisy executions.
+///
+/// # Panics
+///
+/// Panics if `trajectories == 0`.
+pub fn noisy_expectation_diagonal<R: Rng + ?Sized>(
+    circuit: &Circuit,
+    params: &[f64],
+    diag: &[f64],
+    noise: DepolarizingNoise,
+    trajectories: usize,
+    rng: &mut R,
+) -> f64 {
+    assert!(trajectories > 0, "need at least one trajectory");
+    if noise.is_ideal() {
+        return circuit.run(params).expectation_diagonal(diag);
+    }
+    let mut acc = 0.0;
+    for _ in 0..trajectories {
+        let psi = run_trajectory(circuit, params, noise, rng);
+        acc += psi.expectation_diagonal(diag);
+    }
+    acc / trajectories as f64
+}
+
+fn inject_gate_noise<R: Rng + ?Sized>(
+    psi: &mut StateVector,
+    op: &Op,
+    noise: DepolarizingNoise,
+    rng: &mut R,
+) {
+    let qubits = op.qubits();
+    let p = if op.is_two_qubit() { noise.p2 } else { noise.p1 };
+    if p == 0.0 {
+        return;
+    }
+    if op.is_two_qubit() && qubits.len() == 2 {
+        if rng.gen::<f64>() < p {
+            // Uniform over the 15 non-identity two-qubit Paulis.
+            let k = rng.gen_range(1..16usize);
+            let (pa, pb) = (index_to_pauli(k % 4), index_to_pauli(k / 4));
+            apply_local_pauli(psi, qubits[0], pa);
+            apply_local_pauli(psi, qubits[1], pb);
+        }
+    } else {
+        for &q in &qubits {
+            if rng.gen::<f64>() < p {
+                let k = rng.gen_range(1..4usize);
+                apply_local_pauli(psi, q, index_to_pauli(k));
+            }
+        }
+    }
+}
+
+fn index_to_pauli(k: usize) -> Pauli {
+    match k {
+        0 => Pauli::I,
+        1 => Pauli::X,
+        2 => Pauli::Y,
+        _ => Pauli::Z,
+    }
+}
+
+fn apply_local_pauli(psi: &mut StateVector, q: usize, p: Pauli) {
+    match p {
+        Pauli::I => {}
+        Pauli::X => psi.x(q),
+        Pauli::Y => psi.y(q),
+        Pauli::Z => psi.z(q),
+    }
+}
+
+/// A classical readout-error channel: each measured bit flips independently.
+///
+/// `p01` is P(read 1 | true 0), `p10` is P(read 0 | true 1).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ReadoutError {
+    /// Probability of reading 1 when the qubit is 0.
+    pub p01: f64,
+    /// Probability of reading 0 when the qubit is 1.
+    pub p10: f64,
+}
+
+impl ReadoutError {
+    /// Creates a readout-error model.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both probabilities lie in `[0, 0.5)`.
+    pub fn new(p01: f64, p10: f64) -> Self {
+        assert!((0.0..0.5).contains(&p01), "p01 must be in [0,0.5)");
+        assert!((0.0..0.5).contains(&p10), "p10 must be in [0,0.5)");
+        ReadoutError { p01, p10 }
+    }
+
+    /// The error-free model.
+    pub fn ideal() -> Self {
+        ReadoutError { p01: 0.0, p10: 0.0 }
+    }
+
+    /// Applies bit flips to a sampled outcome.
+    pub fn corrupt<R: Rng + ?Sized>(&self, outcome: u64, n: usize, rng: &mut R) -> u64 {
+        let mut out = outcome;
+        for q in 0..n {
+            let bit = (outcome >> q) & 1;
+            let flip_p = if bit == 0 { self.p01 } else { self.p10 };
+            if flip_p > 0.0 && rng.gen::<f64>() < flip_p {
+                out ^= 1 << q;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::Param;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ideal_noise_matches_exact() {
+        let mut c = Circuit::new(2, 1);
+        c.push(Op::H(0));
+        c.push(Op::Cnot(0, 1));
+        c.push(Op::Rx(0, Param::Var(0)));
+        let diag = vec![1.0, -1.0, -1.0, 1.0];
+        let mut rng = StdRng::seed_from_u64(1);
+        let noisy = noisy_expectation_diagonal(
+            &c,
+            &[0.4],
+            &diag,
+            DepolarizingNoise::ideal(),
+            1,
+            &mut rng,
+        );
+        let exact = c.run(&[0.4]).expectation_diagonal(&diag);
+        assert!((noisy - exact).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noise_damps_expectation_toward_mixed() {
+        // GHZ-like circuit measuring ZZ: ideal expectation 1.0; depolarizing
+        // noise pulls it toward 0.
+        let mut c = Circuit::new(2, 0);
+        c.push(Op::H(0));
+        c.push(Op::Cnot(0, 1));
+        let diag = vec![1.0, -1.0, -1.0, 1.0];
+        let mut rng = StdRng::seed_from_u64(42);
+        let noise = DepolarizingNoise::new(0.05, 0.10);
+        let e = noisy_expectation_diagonal(&c, &[], &diag, noise, 3000, &mut rng);
+        assert!(e < 0.99, "noise should damp expectation, got {e}");
+        assert!(e > 0.5, "damping too strong for these rates, got {e}");
+    }
+
+    #[test]
+    fn trajectory_preserves_norm() {
+        let mut c = Circuit::new(3, 0);
+        c.push(Op::H(0));
+        c.push(Op::Cnot(0, 1));
+        c.push(Op::Cnot(1, 2));
+        let mut rng = StdRng::seed_from_u64(3);
+        let psi = run_trajectory(&c, &[], DepolarizingNoise::new(0.2, 0.3), &mut rng);
+        assert!((psi.norm_sqr() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scaled_noise_multiplies_rates() {
+        let noise = DepolarizingNoise::new(0.01, 0.02).scaled(3.0);
+        assert!((noise.p1 - 0.03).abs() < 1e-12);
+        assert!((noise.p2 - 0.06).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaled_noise_saturates() {
+        let noise = DepolarizingNoise::new(0.5, 0.5).scaled(10.0);
+        assert!(noise.p1 <= 0.75 && noise.p2 <= 0.9375);
+    }
+
+    #[test]
+    #[should_panic(expected = "p1 must be in [0,1)")]
+    fn rejects_invalid_rate() {
+        let _ = DepolarizingNoise::new(1.5, 0.0);
+    }
+
+    #[test]
+    fn readout_corruption_rate_statistics() {
+        let ro = ReadoutError::new(0.1, 0.2);
+        let mut rng = StdRng::seed_from_u64(9);
+        let trials = 20_000;
+        let mut flips0 = 0usize;
+        let mut flips1 = 0usize;
+        for _ in 0..trials {
+            if ro.corrupt(0b0, 1, &mut rng) == 1 {
+                flips0 += 1;
+            }
+            if ro.corrupt(0b1, 1, &mut rng) == 0 {
+                flips1 += 1;
+            }
+        }
+        let f0 = flips0 as f64 / trials as f64;
+        let f1 = flips1 as f64 / trials as f64;
+        assert!((f0 - 0.1).abs() < 0.01, "p01 estimate {f0}");
+        assert!((f1 - 0.2).abs() < 0.01, "p10 estimate {f1}");
+    }
+
+    #[test]
+    fn ideal_readout_is_identity() {
+        let ro = ReadoutError::ideal();
+        let mut rng = StdRng::seed_from_u64(5);
+        for b in 0..8u64 {
+            assert_eq!(ro.corrupt(b, 3, &mut rng), b);
+        }
+    }
+}

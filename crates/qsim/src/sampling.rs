@@ -1,0 +1,258 @@
+//! Measurement outcomes: counts histograms and projective collapse.
+//!
+//! The shot-based workflow of real hardware returns a histogram of
+//! bitstrings ("counts"); this module provides that representation plus
+//! projective single-qubit measurement with state collapse, which the
+//! debugging-adjacent workflows (readout mitigation, assertion-style
+//! checks) consume.
+
+use crate::state::StateVector;
+use rand::Rng;
+use std::collections::BTreeMap;
+
+/// A histogram of measured basis-state outcomes.
+///
+/// # Examples
+///
+/// ```
+/// use oscar_qsim::sampling::Counts;
+///
+/// let mut counts = Counts::new(2);
+/// counts.record(0b01);
+/// counts.record(0b01);
+/// counts.record(0b10);
+/// assert_eq!(counts.total(), 3);
+/// assert!((counts.frequency(0b01) - 2.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Counts {
+    n: usize,
+    map: BTreeMap<u64, usize>,
+    total: usize,
+}
+
+impl Counts {
+    /// Creates an empty histogram for `n`-qubit outcomes.
+    pub fn new(n: usize) -> Self {
+        Counts {
+            n,
+            map: BTreeMap::new(),
+            total: 0,
+        }
+    }
+
+    /// Builds a histogram from sampled outcomes.
+    pub fn from_outcomes(n: usize, outcomes: &[u64]) -> Self {
+        let mut c = Counts::new(n);
+        for &o in outcomes {
+            c.record(o);
+        }
+        c
+    }
+
+    /// Samples `shots` outcomes from a state and tallies them.
+    pub fn from_state<R: Rng + ?Sized>(psi: &StateVector, shots: usize, rng: &mut R) -> Self {
+        Counts::from_outcomes(psi.num_qubits(), &psi.sample(shots, rng))
+    }
+
+    /// Records one outcome.
+    pub fn record(&mut self, outcome: u64) {
+        *self.map.entry(outcome).or_insert(0) += 1;
+        self.total += 1;
+    }
+
+    /// Number of qubits per outcome.
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// Total number of shots recorded.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Count for a specific outcome.
+    pub fn count(&self, outcome: u64) -> usize {
+        self.map.get(&outcome).copied().unwrap_or(0)
+    }
+
+    /// Empirical frequency of an outcome.
+    pub fn frequency(&self, outcome: u64) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.count(outcome) as f64 / self.total as f64
+        }
+    }
+
+    /// Iterates `(outcome, count)` pairs in outcome order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, usize)> + '_ {
+        self.map.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// The empirical probability distribution as a dense vector of length
+    /// `2^n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 26`.
+    pub fn to_distribution(&self) -> Vec<f64> {
+        assert!(self.n <= 26, "dense distribution limited to 26 qubits");
+        let mut p = vec![0.0; 1usize << self.n];
+        if self.total == 0 {
+            return p;
+        }
+        for (&outcome, &count) in &self.map {
+            p[outcome as usize] = count as f64 / self.total as f64;
+        }
+        p
+    }
+
+    /// Empirical expectation of a dense diagonal observable.
+    pub fn expectation_diagonal(&self, diag: &[f64]) -> f64 {
+        assert_eq!(diag.len(), 1usize << self.n, "diagonal length mismatch");
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.map
+            .iter()
+            .map(|(&o, &c)| diag[o as usize] * c as f64)
+            .sum::<f64>()
+            / self.total as f64
+    }
+}
+
+/// Projectively measures qubit `q`, collapsing the state.
+///
+/// Returns the observed bit. The state is renormalized onto the observed
+/// subspace.
+///
+/// # Panics
+///
+/// Panics if `q` is out of range.
+pub fn measure_qubit<R: Rng + ?Sized>(psi: &mut StateVector, q: usize, rng: &mut R) -> u8 {
+    assert!(q < psi.num_qubits(), "qubit index out of range");
+    let bit = 1usize << q;
+    let p1: f64 = psi
+        .amplitudes()
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| i & bit != 0)
+        .map(|(_, a)| a.norm_sqr())
+        .sum();
+    let outcome = u8::from(rng.gen::<f64>() < p1);
+    project_qubit(psi, q, outcome);
+    outcome
+}
+
+/// Projects qubit `q` onto `outcome` (0 or 1) and renormalizes.
+///
+/// # Panics
+///
+/// Panics if the projection has (near-)zero probability or `outcome > 1`.
+pub fn project_qubit(psi: &mut StateVector, q: usize, outcome: u8) {
+    assert!(outcome <= 1, "outcome must be 0 or 1");
+    assert!(q < psi.num_qubits(), "qubit index out of range");
+    let bit = 1usize << q;
+    let keep_set = outcome == 1;
+    let dim = psi.dim();
+    {
+        let amps = psi.amplitudes_mut();
+        for i in 0..dim {
+            if ((i & bit != 0) != keep_set) && amps[i] != crate::complex::C64::ZERO {
+                amps[i] = crate::complex::C64::ZERO;
+            }
+        }
+    }
+    let norm = psi.norm_sqr();
+    assert!(norm > 1e-14, "projection onto zero-probability outcome");
+    psi.renormalize();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn counts_record_and_frequency() {
+        let mut c = Counts::new(3);
+        for o in [0u64, 1, 1, 5, 5, 5] {
+            c.record(o);
+        }
+        assert_eq!(c.total(), 6);
+        assert_eq!(c.count(5), 3);
+        assert!((c.frequency(1) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(c.count(7), 0);
+    }
+
+    #[test]
+    fn distribution_sums_to_one() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut psi = StateVector::zero_state(3);
+        psi.h(0);
+        psi.h(2);
+        let counts = Counts::from_state(&psi, 2000, &mut rng);
+        let p = counts.to_distribution();
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empirical_expectation_converges() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut psi = StateVector::zero_state(2);
+        psi.h(0);
+        psi.cnot(0, 1);
+        let diag = vec![1.0, -1.0, -1.0, 1.0];
+        let counts = Counts::from_state(&psi, 50_000, &mut rng);
+        assert!((counts.expectation_diagonal(&diag) - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn measure_bell_pair_correlates() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..20 {
+            let mut psi = StateVector::zero_state(2);
+            psi.h(0);
+            psi.cnot(0, 1);
+            let b0 = measure_qubit(&mut psi, 0, &mut rng);
+            let b1 = measure_qubit(&mut psi, 1, &mut rng);
+            assert_eq!(b0, b1, "Bell pair must correlate");
+        }
+    }
+
+    #[test]
+    fn measurement_statistics_match_born_rule() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut ones = 0usize;
+        let trials = 20_000;
+        for _ in 0..trials {
+            let mut psi = StateVector::zero_state(1);
+            psi.ry(0, 2.0 * (0.3f64.sqrt()).asin()); // P(1) = 0.3
+            ones += measure_qubit(&mut psi, 0, &mut rng) as usize;
+        }
+        let f = ones as f64 / trials as f64;
+        assert!((f - 0.3).abs() < 0.02, "P(1) estimate {f}");
+    }
+
+    #[test]
+    fn projection_renormalizes() {
+        let mut psi = StateVector::plus_state(2);
+        project_qubit(&mut psi, 0, 1);
+        assert!((psi.norm_sqr() - 1.0).abs() < 1e-12);
+        // All kept amplitudes have bit 0 set.
+        for (i, a) in psi.amplitudes().iter().enumerate() {
+            if i & 1 == 0 {
+                assert_eq!(a.norm_sqr(), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-probability")]
+    fn projection_onto_impossible_outcome_panics() {
+        let mut psi = StateVector::zero_state(1);
+        project_qubit(&mut psi, 0, 1);
+    }
+}

@@ -1,0 +1,73 @@
+//! Use case 2 (paper §7): test optimizer configurations on the
+//! interpolated reconstructed landscape — optimizer queries become spline
+//! evaluations instead of circuit batches.
+//!
+//! ```sh
+//! cargo run --release --example optimizer_debugging
+//! ```
+
+use oscar::core::prelude::*;
+use oscar::optim::prelude::*;
+use oscar::problems::ising::IsingProblem;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let problem = IsingProblem::random_3_regular(14, &mut rng);
+    let eval = problem.qaoa_evaluator();
+
+    // Ground truth (for validation) and an OSCAR reconstruction from 15%.
+    let grid = Grid2d::small_p1(30, 40);
+    let truth = Landscape::from_qaoa(grid, &eval);
+    let report = Reconstructor::default().reconstruct_fraction(&truth, 0.15, &mut rng);
+    println!(
+        "reconstruction: {} samples, NRMSE {:.4}",
+        report.samples_used, report.nrmse
+    );
+
+    // Real circuit objective: every query executes the QAOA circuit.
+    let mut circuit_queries = 0usize;
+    let mut circuit_obj = |p: &[f64]| {
+        circuit_queries += 1;
+        eval.expectation(&[p[0]], &[p[1]])
+    };
+
+    // Compare ADAM on the interpolated reconstruction vs real execution.
+    let adam = Adam {
+        max_iter: 200,
+        ..Adam::default()
+    };
+    let x0 = [0.12, 0.45];
+    let cmp = compare_paths(&adam, &report.landscape, &mut circuit_obj, x0);
+    println!("\nADAM from ({:.2}, {:.2}):", x0[0], x0[1]);
+    println!(
+        "  on reconstruction: endpoint ({:+.3}, {:+.3}), value {:.4}, {} spline queries",
+        cmp.on_reconstruction.x[0],
+        cmp.on_reconstruction.x[1],
+        cmp.on_reconstruction.fx,
+        cmp.on_reconstruction.queries
+    );
+    println!(
+        "  on circuit:        endpoint ({:+.3}, {:+.3}), value {:.4}, {} circuit queries",
+        cmp.on_circuit.x[0], cmp.on_circuit.x[1], cmp.on_circuit.fx, cmp.on_circuit.queries
+    );
+    println!("  endpoint distance: {:.4}", cmp.endpoint_distance);
+
+    // Optimizer selection on the reconstruction only (Figure 13): try
+    // ADAM vs COBYLA without touching the QPU again.
+    let cobyla = Cobyla::default();
+    let adam_run = optimize_on_reconstruction(&adam, &report.landscape, x0);
+    let cobyla_run = optimize_on_reconstruction(&cobyla, &report.landscape, x0);
+    println!("\noptimizer selection on the reconstruction:");
+    println!(
+        "  ADAM:   final {:.4} after {} queries",
+        adam_run.fx, adam_run.queries
+    );
+    println!(
+        "  COBYLA: final {:.4} after {} queries",
+        cobyla_run.fx, cobyla_run.queries
+    );
+
+    assert!(cmp.endpoint_distance < 0.5, "paths should agree");
+    println!("\nok: optimizer behaviour on the reconstruction predicts real behaviour.");
+}

@@ -1,0 +1,49 @@
+//! Quickstart: reconstruct a QAOA MaxCut landscape from 15% of its points.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use oscar::core::prelude::*;
+use oscar::problems::ising::IsingProblem;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2024);
+
+    // 1. A 12-qubit MaxCut problem on a random 3-regular graph.
+    let problem = IsingProblem::random_3_regular(12, &mut rng);
+    println!(
+        "problem: MaxCut, {} qubits, {} edges, optimum {}",
+        problem.num_qubits(),
+        problem.graph().num_edges(),
+        problem.optimal_cost()
+    );
+
+    // 2. Ground truth by dense grid search (what OSCAR avoids): the
+    //    paper's p=1 grid has 5,000 points; we use a 40x60 grid here.
+    let grid = Grid2d::small_p1(40, 60);
+    let eval = problem.qaoa_evaluator();
+    let truth = Landscape::from_qaoa(grid, &eval);
+    println!("grid search: {} circuit evaluations", grid.len());
+
+    // 3. OSCAR: sample 15% of the points at random and reconstruct.
+    let oscar = Reconstructor::default();
+    let report = oscar.reconstruct_fraction(&truth, 0.15, &mut rng);
+    println!(
+        "OSCAR: {} samples ({:.0}% of grid), NRMSE = {:.4}, speedup = {:.1}x",
+        report.samples_used,
+        100.0 * report.samples_used as f64 / grid.len() as f64,
+        report.nrmse,
+        grid.len() as f64 / report.samples_used as f64
+    );
+
+    // 4. The reconstructed minimum is close to the true one.
+    let (true_min, (tb, tg)) = truth.argmin();
+    let (recon_min, (rb, rg)) = report.landscape.argmin();
+    println!("true minimum    {true_min:.4} at (beta, gamma) = ({tb:.3}, {tg:.3})");
+    println!("recon minimum   {recon_min:.4} at (beta, gamma) = ({rb:.3}, {rg:.3})");
+
+    assert!(report.nrmse < 0.1, "reconstruction should be accurate");
+    println!("ok");
+}

@@ -1,0 +1,238 @@
+//! End-to-end integration tests spanning all crates: the full OSCAR
+//! pipeline on small-but-real workloads.
+
+use oscar::core::prelude::*;
+use oscar::executor::prelude::*;
+use oscar::mitigation::model::NoiseModel;
+use oscar::optim::prelude::*;
+use oscar::problems::ising::IsingProblem;
+use oscar_cs::measure::SamplePattern;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn problem(n: usize, seed: u64) -> IsingProblem {
+    let mut rng = StdRng::seed_from_u64(seed);
+    IsingProblem::random_3_regular(n, &mut rng)
+}
+
+#[test]
+fn ideal_pipeline_reaches_low_nrmse() {
+    let p = problem(10, 1);
+    let truth = Landscape::from_qaoa(Grid2d::small_p1(30, 50), &p.qaoa_evaluator());
+    let mut rng = StdRng::seed_from_u64(2);
+    let report = Reconstructor::default().reconstruct_fraction(&truth, 0.08, &mut rng);
+    assert!(report.nrmse < 0.08, "ideal NRMSE {}", report.nrmse);
+}
+
+#[test]
+fn noisy_pipeline_still_reconstructs() {
+    // Figure 4(b): depolarizing noise 0.003/0.007, landscape reconstructed
+    // from noisy samples against the *noisy* ground truth.
+    let p = problem(10, 3);
+    let noise = NoiseModel::depolarizing(0.003, 0.007);
+    let dev = QpuDevice::new("noisy", &p, 1, noise, LatencyModel::instant(), 0);
+    let grid = Grid2d::small_p1(25, 40);
+    let noisy_truth = Landscape::generate(grid, |b, g| dev.execute(&[b], &[g]));
+    let mut rng = StdRng::seed_from_u64(4);
+    let report = Reconstructor::default().reconstruct_fraction(&noisy_truth, 0.08, &mut rng);
+    assert!(report.nrmse < 0.1, "noisy NRMSE {}", report.nrmse);
+}
+
+#[test]
+fn reconstruction_error_grows_with_noise_but_stays_bounded() {
+    let p = problem(10, 5);
+    let grid = Grid2d::small_p1(20, 30);
+    let ideal_truth = Landscape::from_qaoa(grid, &p.qaoa_evaluator());
+    // Shot noise on measured samples, scored against the ideal truth.
+    let dev = QpuDevice::new(
+        "shots",
+        &p,
+        1,
+        NoiseModel::ideal().with_shots(4096),
+        LatencyModel::instant(),
+        7,
+    );
+    let mut rng = StdRng::seed_from_u64(6);
+    let report = Reconstructor::default().reconstruct_fraction_with(
+        &ideal_truth,
+        0.15,
+        &mut rng,
+        |b, g| dev.execute(&[b], &[g]),
+    );
+    let mut rng = StdRng::seed_from_u64(6);
+    let clean = Reconstructor::default().reconstruct_fraction(&ideal_truth, 0.15, &mut rng);
+    assert!(report.nrmse >= clean.nrmse, "shot noise should not help");
+    assert!(report.nrmse < 0.2, "shot-noise NRMSE {}", report.nrmse);
+}
+
+#[test]
+fn multi_qpu_ncm_beats_uncompensated() {
+    // Figure 8's conclusion as an invariant.
+    let p = problem(10, 7);
+    let q1 = QpuDevice::new(
+        "qpu1",
+        &p,
+        1,
+        NoiseModel::depolarizing(0.001, 0.005),
+        LatencyModel::instant(),
+        0,
+    );
+    let q2 = QpuDevice::new(
+        "qpu2",
+        &p,
+        1,
+        NoiseModel::depolarizing(0.003, 0.007),
+        LatencyModel::instant(),
+        1,
+    );
+    let grid = Grid2d::small_p1(20, 30);
+    let target = Landscape::generate(grid, |b, g| q1.execute(&[b], &[g]));
+
+    let mut rng = StdRng::seed_from_u64(8);
+    let pattern = SamplePattern::random(grid.rows(), grid.cols(), 0.12, &mut rng);
+    let jobs: Vec<Job> = pattern
+        .indices()
+        .iter()
+        .enumerate()
+        .map(|(i, &flat)| {
+            let (b, g) = grid.point(flat);
+            Job { index: i, betas: vec![b], gammas: vec![g] }
+        })
+        .collect();
+    let outcomes = execute_split(&[&q1, &q2], &[0.5, 0.5], &jobs);
+
+    // NCM trained on 1% of the grid.
+    let train = SamplePattern::random(grid.rows(), grid.cols(), 0.02, &mut rng);
+    let (mut xs, mut ys) = (Vec::new(), Vec::new());
+    for &flat in train.indices() {
+        let (b, g) = grid.point(flat);
+        xs.push(q2.execute(&[b], &[g]));
+        ys.push(q1.execute(&[b], &[g]));
+    }
+    let ncm = NoiseCompensationModel::fit(&xs, &ys);
+
+    let oscar = Reconstructor::default();
+    let raw: Vec<f64> = outcomes.iter().map(|o| o.value).collect();
+    let fixed: Vec<f64> = outcomes
+        .iter()
+        .map(|o| if o.device == 1 { ncm.transform(o.value) } else { o.value })
+        .collect();
+    let (l_raw, _) = oscar.reconstruct(&grid, &pattern, &raw);
+    let (l_ncm, _) = oscar.reconstruct(&grid, &pattern, &fixed);
+    let e_raw = nrmse(target.values(), l_raw.values());
+    let e_ncm = nrmse(target.values(), l_ncm.values());
+    assert!(e_ncm < e_raw, "NCM {e_ncm} should beat raw {e_raw}");
+}
+
+#[test]
+fn optimizer_on_reconstruction_matches_direct() {
+    // Figure 12's invariant: endpoints land close together.
+    let p = problem(10, 9);
+    let eval = p.qaoa_evaluator();
+    let truth = Landscape::from_qaoa(Grid2d::small_p1(30, 40), &eval);
+    let mut rng = StdRng::seed_from_u64(10);
+    let report = Reconstructor::default().reconstruct_fraction(&truth, 0.2, &mut rng);
+
+    let adam = Adam { max_iter: 150, ..Adam::default() };
+    let mut circuit = |x: &[f64]| eval.expectation(&[x[0]], &[x[1]]);
+    let cmp = compare_paths(&adam, &report.landscape, &mut circuit, [0.1, 0.25]);
+    assert!(
+        cmp.endpoint_distance < 0.35,
+        "endpoint distance {}",
+        cmp.endpoint_distance
+    );
+}
+
+#[test]
+fn oscar_initialization_cuts_adam_queries() {
+    // Table 6's invariant for the gradient-based optimizer.
+    let p = problem(12, 11);
+    let eval = p.qaoa_evaluator();
+    let truth = Landscape::from_qaoa(Grid2d::small_p1(25, 35), &eval);
+    let mut rng = StdRng::seed_from_u64(12);
+    let report = Reconstructor::default().reconstruct_fraction(&truth, 0.12, &mut rng);
+
+    let adam = Adam { max_iter: 1000, grad_tol: 1e-2, ..Adam::default() };
+    let mut circuit = |x: &[f64]| eval.expectation(&[x[0]], &[x[1]]);
+    let cmp = compare_initialization(
+        &adam,
+        &report.landscape,
+        report.samples_used,
+        &mut circuit,
+        [0.75, -1.4],
+    );
+    assert!(
+        cmp.oscar_queries < cmp.random_queries,
+        "OSCAR {} vs random {}",
+        cmp.oscar_queries,
+        cmp.random_queries
+    );
+}
+
+#[test]
+fn eager_reconstruction_trades_little_accuracy() {
+    // §5.2: dropping the latency tail loses only a few samples and little
+    // accuracy.
+    let p = problem(10, 13);
+    let dev = QpuDevice::new(
+        "queued",
+        &p,
+        1,
+        NoiseModel::ideal(),
+        LatencyModel::cloud_queue(),
+        5,
+    );
+    let grid = Grid2d::small_p1(20, 30);
+    let truth = Landscape::from_qaoa(grid, &p.qaoa_evaluator());
+    let mut rng = StdRng::seed_from_u64(14);
+    let pattern = SamplePattern::random(grid.rows(), grid.cols(), 0.15, &mut rng);
+    let jobs: Vec<Job> = pattern
+        .indices()
+        .iter()
+        .enumerate()
+        .map(|(i, &flat)| {
+            let (b, g) = grid.point(flat);
+            Job { index: i, betas: vec![b], gammas: vec![g] }
+        })
+        .collect();
+    let outcomes = execute_round_robin(&[&dev], &jobs);
+    let full_time = makespan(&outcomes);
+
+    let oscar = Reconstructor::default();
+    let full_vals: Vec<f64> = outcomes.iter().map(|o| o.value).collect();
+    let (l_full, _) = oscar.reconstruct(&grid, &pattern, &full_vals);
+    let e_full = nrmse(truth.values(), l_full.values());
+
+    let kept = within_timeout(&outcomes, full_time * 0.8);
+    assert!(kept.len() < outcomes.len());
+    let kept_idx: Vec<usize> = kept.iter().map(|o| pattern.indices()[o.index]).collect();
+    let eager_pattern = SamplePattern::from_indices(grid.rows(), grid.cols(), kept_idx);
+    let eager_vals: Vec<f64> = kept.iter().map(|o| o.value).collect();
+    let (l_eager, _) = oscar.reconstruct(&grid, &eager_pattern, &eager_vals);
+    let e_eager = nrmse(truth.values(), l_eager.values());
+
+    assert!(
+        e_eager < e_full + 0.05,
+        "eager error {e_eager} should stay near full error {e_full}"
+    );
+}
+
+#[test]
+fn p2_reshaped_reconstruction_works() {
+    // Figure 4(c): reshape the 4-D p=2 landscape to 2-D and reconstruct.
+    use oscar::core::reshape::generate_p2_landscape;
+    let p = problem(8, 15);
+    let eval = p.qaoa_evaluator();
+    let grid4 = Grid4d::small_p2(8, 10);
+    let values = generate_p2_landscape(&grid4, |betas, gammas| eval.expectation(betas, gammas));
+    let (rows, cols) = grid4.reshaped_dims();
+
+    let mut rng = StdRng::seed_from_u64(16);
+    let pattern = SamplePattern::random(rows, cols, 0.2, &mut rng);
+    let samples = pattern.gather(&values);
+    let recon = Reconstructor::default().reconstruct_array(rows, cols, &pattern, &samples);
+    let err = nrmse(&values, &recon);
+    // The paper reports 0.07-0.25 for p=2 because the reshaping introduces
+    // artificial patterns; accept the same ballpark.
+    assert!(err < 0.3, "p=2 NRMSE {err}");
+}
