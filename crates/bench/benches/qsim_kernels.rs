@@ -57,5 +57,33 @@ fn bench_statevector_gates(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_qaoa_point, bench_statevector_gates);
+/// Landscape generation: worker-parallel `from_qaoa` (grid points split
+/// across threads, gate kernels chunked inside each worker) vs the
+/// strictly serial `generate`. On a single-core host the two coincide;
+/// with more cores the parallel path scales with the worker count.
+fn bench_landscape_parallel(c: &mut Criterion) {
+    use oscar_core::grid::Grid2d;
+    use oscar_core::landscape::Landscape;
+
+    let mut rng = StdRng::seed_from_u64(16);
+    let problem = IsingProblem::random_3_regular(16, &mut rng);
+    let eval = problem.qaoa_evaluator();
+    let grid = Grid2d::small_p1(12, 16);
+    let mut group = c.benchmark_group("landscape_16q_12x16");
+    group.sample_size(10);
+    group.bench_function("from_qaoa_parallel", |b| {
+        b.iter(|| Landscape::from_qaoa(grid, &eval))
+    });
+    group.bench_function("generate_serial", |b| {
+        b.iter(|| Landscape::generate(grid, |beta, gamma| eval.expectation(&[beta], &[gamma])))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_qaoa_point,
+    bench_statevector_gates,
+    bench_landscape_parallel
+);
 criterion_main!(benches);

@@ -43,7 +43,11 @@ fn main() {
         .enumerate()
         .map(|(i, &flat)| {
             let (b, g) = grid.point(flat);
-            Job { index: i, betas: vec![b], gammas: vec![g] }
+            Job {
+                index: i,
+                betas: vec![b],
+                gammas: vec![g],
+            }
         })
         .collect();
     let outcomes = execute_round_robin(&device_refs, &jobs);

@@ -10,7 +10,10 @@ use oscar_optim::adam::Adam;
 use oscar_problems::ising::IsingProblem;
 
 fn main() {
-    print_header("Figure 11", "optimization on interpolation vs circuit simulation");
+    print_header(
+        "Figure 11",
+        "optimization on interpolation vs circuit simulation",
+    );
     let mut rng = seeded(1100);
     let problem = IsingProblem::random_3_regular(16, &mut rng);
     let eval = problem.qaoa_evaluator();
@@ -29,7 +32,10 @@ fn main() {
     let mut circuit = |p: &[f64]| eval.expectation(&[p[0]], &[p[1]]);
     let cmp = compare_paths(&adam, &report.landscape, &mut circuit, [0.1, 0.35]);
 
-    println!("{:<8}{:>26}{:>26}", "step", "(A) interpolation", "(B) circuit simulation");
+    println!(
+        "{:<8}{:>26}{:>26}",
+        "step", "(A) interpolation", "(B) circuit simulation"
+    );
     let a = &cmp.on_reconstruction.trace;
     let b = &cmp.on_circuit.trace;
     let len = a.len().max(b.len());

@@ -15,9 +15,16 @@ use oscar_optim::cobyla::Cobyla;
 use rand::Rng;
 
 fn main() {
-    print_header("Figure 12", "endpoint distances: recon-optimization vs circuit");
+    print_header(
+        "Figure 12",
+        "endpoint distances: recon-optimization vs circuit",
+    );
     let instances = if full_scale() { 8 } else { 4 };
-    let qubit_sets: Vec<usize> = if full_scale() { vec![16, 20] } else { vec![12, 14] };
+    let qubit_sets: Vec<usize> = if full_scale() {
+        vec![16, 20]
+    } else {
+        vec![12, 14]
+    };
     let grid = Grid2d::small_p1(25, 40);
     let oscar = Reconstructor::default();
 
@@ -50,7 +57,11 @@ fn main() {
                 // "Circuit execution" = querying the dense true landscape
                 // through its own spline (exact within grid resolution).
                 let spline = oscar_core::interpolate::BivariateSpline::fit(&truth);
-                let adam = Adam { max_iter: 120, lr: 0.05, ..Adam::default() };
+                let adam = Adam {
+                    max_iter: 120,
+                    lr: 0.05,
+                    ..Adam::default()
+                };
                 let mut circ = |p: &[f64]| spline.eval_clamped(p[0], p[1]);
                 adam_d.push(compare_paths(&adam, &recon, &mut circ, x0).endpoint_distance);
                 let cobyla = Cobyla::default();

@@ -15,7 +15,10 @@ use oscar_optim::cobyla::Cobyla;
 use oscar_problems::ising::IsingProblem;
 
 fn main() {
-    print_header("Figure 13", "optimizer selection on a Richardson ZNE landscape");
+    print_header(
+        "Figure 13",
+        "optimizer selection on a Richardson ZNE landscape",
+    );
     let mut rng = seeded(1300);
     let problem = IsingProblem::random_3_regular(12, &mut rng);
     // Few shots: Richardson's {3,-3,1} weights amplify the shot noise
@@ -49,7 +52,11 @@ fn main() {
         // Qiskit's ADAM defaults: lr 0.001 — on a jagged landscape the
         // noisy finite-difference gradients make it random-walk near the
         // start instead of descending.
-        let adam = Adam { max_iter: 400, lr: 0.001, ..Adam::default() };
+        let adam = Adam {
+            max_iter: 400,
+            lr: 0.001,
+            ..Adam::default()
+        };
         let a = optimize_on_reconstruction(&adam, &recon, x0);
         let cobyla = Cobyla::default();
         let c = optimize_on_reconstruction(&cobyla, &recon, x0);

@@ -23,7 +23,12 @@ fn main() {
     let run = adam.minimize(&mut obj, &[0.05, 1.2]);
 
     println!("(A) cost value vs iteration (the default workflow view):");
-    for (i, (_, fx)) in run.trace.iter().enumerate().step_by(run.trace.len() / 12 + 1) {
+    for (i, (_, fx)) in run
+        .trace
+        .iter()
+        .enumerate()
+        .step_by(run.trace.len() / 12 + 1)
+    {
         println!("  iter {i:>4}: cost {fx:>9.4}");
     }
     println!("  final: {:.4} after {} queries", run.fx, run.queries);

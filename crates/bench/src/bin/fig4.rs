@@ -16,7 +16,10 @@ use oscar_mitigation::model::NoiseModel;
 const FRACTIONS: [f64; 5] = [0.04, 0.05, 0.06, 0.07, 0.08];
 
 fn main() {
-    print_header("Figure 4", "NRMSE vs sampling fraction (p=1/p=2, ideal/noisy)");
+    print_header(
+        "Figure 4",
+        "NRMSE vs sampling fraction (p=1/p=2, ideal/noisy)",
+    );
     let (instances, qubit_sets, grid) = if full_scale() {
         (16usize, vec![16usize, 20, 24], Grid2d::standard_p1())
     } else {
@@ -27,7 +30,11 @@ fn main() {
 
     for (panel, noisy) in [("(A) p=1, ideal", false), ("(B) p=1, noisy", true)] {
         println!("{panel}");
-        println!("{:<10}{}", "qubits", FRACTIONS.map(|f| format!("{f:>22.2}")).join(""));
+        println!(
+            "{:<10}{}",
+            "qubits",
+            FRACTIONS.map(|f| format!("{f:>22.2}")).join("")
+        );
         for &n in &qubit_sets {
             let problems = maxcut_instances(instances, n, 1000 + n as u64);
             let mut per_fraction: Vec<Vec<f64>> = vec![Vec::new(); FRACTIONS.len()];
@@ -71,10 +78,18 @@ fn main() {
         Grid4d::small_p2(8, 10)
     };
     let (rows, cols) = grid4.reshaped_dims();
-    let p2_qubits = if full_scale() { vec![12usize, 16] } else { vec![10usize, 12] };
+    let p2_qubits = if full_scale() {
+        vec![12usize, 16]
+    } else {
+        vec![10usize, 12]
+    };
     for (panel, noisy) in [("(C) p=2, ideal", false), ("(D) p=2, noisy", true)] {
         println!("{panel}  (reshaped {rows}x{cols})");
-        println!("{:<10}{}", "qubits", FRACTIONS.map(|f| format!("{f:>22.2}")).join(""));
+        println!(
+            "{:<10}{}",
+            "qubits",
+            FRACTIONS.map(|f| format!("{f:>22.2}")).join("")
+        );
         for &n in &p2_qubits {
             let problems = maxcut_instances(instances.min(6), n, 4000 + n as u64);
             let mut per_fraction: Vec<Vec<f64>> = vec![Vec::new(); FRACTIONS.len()];
@@ -91,9 +106,7 @@ fn main() {
                     generate_p2_landscape(&grid4, |betas, gammas| dev.execute(betas, gammas))
                 } else {
                     let eval = problem.qaoa_evaluator();
-                    generate_p2_landscape(&grid4, |betas, gammas| {
-                        eval.expectation(betas, gammas)
-                    })
+                    generate_p2_landscape(&grid4, |betas, gammas| eval.expectation(betas, gammas))
                 };
                 for (fi, &frac) in FRACTIONS.iter().enumerate() {
                     let mut rng = seeded(6000 + (pi * 10 + fi) as u64);

@@ -22,8 +22,14 @@ fn main() {
     let mut rng = seeded(7000);
     let problems: Vec<(&str, IsingProblem)> = vec![
         ("Mesh Graph", IsingProblem::mesh(3, 4)),
-        ("3-regular Graph", IsingProblem::random_3_regular(12, &mut rng)),
-        ("Sherington Kirkpatric", IsingProblem::sk_model(12, &mut rng)),
+        (
+            "3-regular Graph",
+            IsingProblem::random_3_regular(12, &mut rng),
+        ),
+        (
+            "Sherington Kirkpatric",
+            IsingProblem::sk_model(12, &mut rng),
+        ),
     ];
     let cfg = HardwareLikeConfig::default();
     let oscar = Reconstructor::default();
@@ -35,15 +41,8 @@ fn main() {
     );
     for (name, problem) in &problems {
         let mut rng = seeded(7100);
-        let (noisy, _ideal) = hardware_like_landscape(
-            problem,
-            rows,
-            cols,
-            (-0.6, 0.6),
-            (0.0, 1.6),
-            &cfg,
-            &mut rng,
-        );
+        let (noisy, _ideal) =
+            hardware_like_landscape(problem, rows, cols, (-0.6, 0.6), (0.0, 1.6), &cfg, &mut rng);
         let mut cells = String::new();
         for (fi, &frac) in FRACTIONS.iter().enumerate() {
             let mut rng = seeded(7200 + fi as u64);
@@ -60,22 +59,13 @@ fn main() {
     println!("\nASCII comparison at 41% sampling (3-regular graph):");
     let (_, problem) = &problems[1];
     let mut rng = seeded(7300);
-    let (noisy, _) = hardware_like_landscape(
-        problem,
-        rows,
-        cols,
-        (-0.6, 0.6),
-        (0.0, 1.6),
-        &cfg,
-        &mut rng,
-    );
+    let (noisy, _) =
+        hardware_like_landscape(problem, rows, cols, (-0.6, 0.6), (0.0, 1.6), &cfg, &mut rng);
     let pattern = SamplePattern::random(rows, cols, 0.41, &mut rng);
     let samples = pattern.gather(&noisy);
     let recon = oscar.reconstruct_array(rows, cols, &pattern, &samples);
     print_ascii_pair(&noisy, &recon, rows, cols);
-    println!(
-        "\npaper shape (Fig 6): NRMSE falls from ~0.6-0.8 at 10% to ~0.2 at 50%;"
-    );
+    println!("\npaper shape (Fig 6): NRMSE falls from ~0.6-0.8 at 10% to ~0.2 at 50%;");
     println!("NRMSE ~0.2 is already perceptually identical (Fig 5).");
 }
 
@@ -99,7 +89,7 @@ fn print_ascii_pair(a: &[f64], b: &[f64], rows: usize, cols: usize) {
     };
     let left = render(a);
     let right = render(b);
-    println!("{:<28}{}", "original (Exp)", "reconstructed (Recon)");
+    println!("{:<28}reconstructed (Recon)", "original (Exp)");
     for (l, r) in left.iter().zip(&right) {
         println!("{l:<28}{r}");
     }

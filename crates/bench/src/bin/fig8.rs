@@ -18,7 +18,10 @@ use oscar_problems::ising::IsingProblem;
 const SHARES: [f64; 5] = [0.0, 0.25, 0.5, 0.75, 1.0];
 
 fn main() {
-    print_header("Figure 8", "NCM: uncompensated vs compensated multi-QPU recon");
+    print_header(
+        "Figure 8",
+        "NCM: uncompensated vs compensated multi-QPU recon",
+    );
     let qubit_sets: Vec<usize> = if full_scale() {
         vec![12, 16, 20]
     } else {
@@ -77,14 +80,24 @@ fn main() {
                 .enumerate()
                 .map(|(i, &flat)| {
                     let (b, g) = grid.point(flat);
-                    Job { index: i, betas: vec![b], gammas: vec![g] }
+                    Job {
+                        index: i,
+                        betas: vec![b],
+                        gammas: vec![g],
+                    }
                 })
                 .collect();
             let outcomes = execute_split(&[&q1, &q2], &[share, 1.0 - share], &jobs);
             let raw: Vec<f64> = outcomes.iter().map(|o| o.value).collect();
             let fixed: Vec<f64> = outcomes
                 .iter()
-                .map(|o| if o.device == 1 { ncm.transform(o.value) } else { o.value })
+                .map(|o| {
+                    if o.device == 1 {
+                        ncm.transform(o.value)
+                    } else {
+                        o.value
+                    }
+                })
                 .collect();
             let (l_raw, _) = oscar.reconstruct(&grid, &pattern, &raw);
             let (l_fix, _) = oscar.reconstruct(&grid, &pattern, &fixed);

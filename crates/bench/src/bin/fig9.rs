@@ -26,21 +26,36 @@ fn main() {
         Grid2d::small_p1(20, 30)
     };
 
-    println!("generating landscapes ({} qubits, {}x{} grid)...", n, grid.rows(), grid.cols());
+    println!(
+        "generating landscapes ({} qubits, {}x{} grid)...",
+        n,
+        grid.rows(),
+        grid.cols()
+    );
     let set = ZneLandscapes::generate(&device, grid);
     let oscar = Reconstructor::default();
     let mut rng = seeded(9901);
     let rec_rich = oscar
         .reconstruct_fraction(&set.richardson, 0.3, &mut rng)
         .landscape;
-    let rec_lin = oscar.reconstruct_fraction(&set.linear, 0.3, &mut rng).landscape;
+    let rec_lin = oscar
+        .reconstruct_fraction(&set.linear, 0.3, &mut rng)
+        .landscape;
 
     let rough = |l: &Landscape| {
         LandscapeMetrics::compute(l.values(), grid.rows(), grid.cols()).second_derivative
     };
     println!("\n{:<28}{:>16}", "landscape", "2nd derivative");
-    println!("{:<28}{:>16.3}", "(A) Richardson (original)", rough(&set.richardson));
-    println!("{:<28}{:>16.3}", "(B) Linear (original)", rough(&set.linear));
+    println!(
+        "{:<28}{:>16.3}",
+        "(A) Richardson (original)",
+        rough(&set.richardson)
+    );
+    println!(
+        "{:<28}{:>16.3}",
+        "(B) Linear (original)",
+        rough(&set.linear)
+    );
     println!("{:<28}{:>16.3}", "(C) Richardson (recon)", rough(&rec_rich));
     println!("{:<28}{:>16.3}", "(D) Linear (recon)", rough(&rec_lin));
 

@@ -1,0 +1,44 @@
+//! Per-kernel DCT timings (dense vs FFT, 1-D line and full 2-D apply)
+//! at representative grid sides. Regenerates the kernel half of the
+//! README's "Performance notes" table:
+//!
+//! ```text
+//! cargo run --release -p oscar-bench --bin perf_kernels
+//! ```
+use oscar_cs::dct::{Dct1d, Dct2d};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+fn time_us(reps: usize, mut f: impl FnMut()) -> f64 {
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    t0.elapsed().as_secs_f64() * 1e6 / reps as f64
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(1);
+    for n in [64usize, 144, 256] {
+        let x: Vec<f64> = (0..n * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mut out = vec![0.0; n * n];
+        for (label, dct) in [
+            ("dense", Dct2d::new_dense(n, n)),
+            ("fft", Dct2d::new_fast(n, n)),
+        ] {
+            let mut scr = dct.make_scratch();
+            let f = time_us(200, || dct.forward_into(&x, &mut out, &mut scr));
+            let i = time_us(200, || dct.inverse_into(&x, &mut out, &mut scr));
+            println!("{n}x{n} {label:>5}: forward {f:8.1} us  inverse {i:8.1} us");
+        }
+        // 1-D line cost
+        let xl = &x[..n];
+        let mut ol = vec![0.0; n];
+        for (label, t) in [("dense", Dct1d::new_dense(n)), ("fft", Dct1d::new_fast(n))] {
+            let mut scr = t.make_scratch();
+            let f = time_us(20000, || t.forward_into_with(xl, &mut ol, &mut scr));
+            println!("{n} 1-D {label:>5}: {f:8.3} us/line");
+        }
+    }
+}

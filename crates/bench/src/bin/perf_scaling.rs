@@ -1,0 +1,51 @@
+//! End-to-end `Reconstructor::reconstruct` wall time, FFT default vs the
+//! dense O(n²) baseline, across grid sizes (12% sampling). Regenerates
+//! the end-to-end half of the README's "Performance notes" table:
+//!
+//! ```text
+//! cargo run --release -p oscar-bench --bin perf_scaling
+//! ```
+use oscar_core::grid::Grid2d;
+use oscar_core::landscape::Landscape;
+use oscar_core::reconstruct::Reconstructor;
+use oscar_cs::measure::SamplePattern;
+use oscar_problems::ising::IsingProblem;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let problem = IsingProblem::random_3_regular(12, &mut rng);
+    let eval = problem.qaoa_evaluator();
+    for n in [64usize, 100, 128, 144, 192, 225, 256] {
+        let grid = Grid2d::small_p1(n, n);
+        let truth = Landscape::from_qaoa(grid, &eval);
+        let pattern = SamplePattern::random(n, n, 0.12, &mut rng);
+        let samples = pattern.gather(truth.values());
+        let fast = Reconstructor::default();
+        let dense = Reconstructor {
+            force_dense_dct: true,
+            ..Default::default()
+        };
+        let reps = if n <= 128 { 3 } else { 1 };
+        let t = |r: &Reconstructor| {
+            let t0 = Instant::now();
+            for _ in 0..reps {
+                let _ = r.reconstruct(&grid, &pattern, &samples);
+            }
+            t0.elapsed().as_secs_f64() / reps as f64
+        };
+        let (l, iters) = fast.reconstruct(&grid, &pattern, &samples);
+        let _ = l;
+        let tf = t(&fast);
+        let td = t(&dense);
+        println!(
+            "{n}x{n}: dense {:8.1} ms  fft {:8.1} ms  -> {:.1}x   ({} iters)",
+            td * 1e3,
+            tf * 1e3,
+            td / tf,
+            iters
+        );
+    }
+}

@@ -17,8 +17,20 @@ fn main() {
         "Molecule", "Ansatz", "#Qubits", "#Params", "#Samples", "NRMSE"
     );
     let rows: Vec<(&str, &str, Ansatz, oscar_qsim::pauli::PauliSum, usize)> = vec![
-        ("H2", "Two-local", Ansatz::two_local(2, 1), h2_hamiltonian(), 14),
-        ("LiH", "Two-local", Ansatz::two_local(4, 1), lih_hamiltonian(), 7),
+        (
+            "H2",
+            "Two-local",
+            Ansatz::two_local(2, 1),
+            h2_hamiltonian(),
+            14,
+        ),
+        (
+            "LiH",
+            "Two-local",
+            Ansatz::two_local(4, 1),
+            lih_hamiltonian(),
+            7,
+        ),
         ("H2", "UCCSD", Ansatz::uccsd_h2(), h2_hamiltonian(), 14),
         ("H2", "UCCSD", Ansatz::uccsd_h2(), h2_hamiltonian(), 50),
         ("LiH", "UCCSD", Ansatz::uccsd_lih(), lih_hamiltonian(), 7),

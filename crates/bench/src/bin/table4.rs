@@ -86,7 +86,13 @@ fn main() {
     rows.push(("LiH (n=4)".into(), "UCCSD".into(), d, i));
 
     for (prob, ansatz, d, i) in rows {
-        println!("{:<22}{:<12}{:>13.4}%{:>17.1}%", prob, ansatz, d * 100.0, i * 100.0);
+        println!(
+            "{:<22}{:<12}{:>13.4}%{:>17.1}%",
+            prob,
+            ansatz,
+            d * 100.0,
+            i * 100.0
+        );
     }
     println!("\npaper (Table 4): DCT fractions 0.00001%-0.073% — all landscapes");
     println!("highly sparse in frequency; the identity-basis column (ablation)");

@@ -42,7 +42,14 @@ fn device(name: &str, problem: &IsingProblem, seed: u64) -> QpuDevice {
     // Mix the device name into the seed so distinct devices draw distinct
     // shot-noise streams even in the same table position.
     let name_salt: u64 = name.bytes().map(|b| b as u64).sum();
-    QpuDevice::new(name, problem, 1, noise, LatencyModel::instant(), seed + name_salt * 131)
+    QpuDevice::new(
+        name,
+        problem,
+        1,
+        noise,
+        LatencyModel::instant(),
+        seed + name_salt * 131,
+    )
 }
 
 fn main() {
@@ -94,8 +101,7 @@ fn main() {
             let mut e_ncm_acc = 0.0;
             for rep in 0..pattern_repeats {
                 let mut rng = seeded(9200 + (share * 100.0) as u64 + rep as u64 * 7);
-                let pattern =
-                    SamplePattern::random(grid.rows(), grid.cols(), fraction, &mut rng);
+                let pattern = SamplePattern::random(grid.rows(), grid.cols(), fraction, &mut rng);
                 let split = (share * pattern.num_samples() as f64).round() as usize;
                 let values_raw: Vec<f64> = pattern
                     .indices()

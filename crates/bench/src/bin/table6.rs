@@ -15,8 +15,15 @@ use oscar_optim::objective::Optimizer;
 use rand::Rng;
 
 fn main() {
-    print_header("Table 6", "QPU queries to convergence: random vs OSCAR init");
-    let (instances, n) = if full_scale() { (14usize, 16usize) } else { (8, 12) };
+    print_header(
+        "Table 6",
+        "QPU queries to convergence: random vs OSCAR init",
+    );
+    let (instances, n) = if full_scale() {
+        (14usize, 16usize)
+    } else {
+        (8, 12)
+    };
     let grid = Grid2d::small_p1(25, 35);
     let fraction = 0.10;
     let oscar = Reconstructor::default();
@@ -27,7 +34,8 @@ fn main() {
     );
     for noisy in [false, true] {
         let problems = maxcut_instances(instances, n, 13_000 + noisy as u64);
-        let mut rows: Vec<(String, Vec<usize>, Vec<usize>, Vec<usize>)> = vec![
+        type Row = (String, Vec<usize>, Vec<usize>, Vec<usize>);
+        let mut rows: Vec<Row> = vec![
             ("ADAM".into(), vec![], vec![], vec![]),
             ("COBYLA".into(), vec![], vec![], vec![]),
         ];

@@ -17,7 +17,9 @@ use rand::SeedableRng;
 
 /// `true` when the environment requests paper-scale configurations.
 pub fn full_scale() -> bool {
-    std::env::var("OSCAR_FULL").map(|v| v == "1").unwrap_or(false)
+    std::env::var("OSCAR_FULL")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// A deterministic RNG for experiment `seed`.

@@ -1,7 +1,5 @@
 //! Parameter-space grids for landscape generation (paper Table 1).
 
-use serde::{Deserialize, Serialize};
-
 /// One axis of a parameter grid: `n` equidistant points spanning
 /// `[lo, hi]` inclusive.
 ///
@@ -13,7 +11,7 @@ use serde::{Deserialize, Serialize};
 /// let axis = Axis::new(0.0, 1.0, 5);
 /// assert_eq!(axis.values(), vec![0.0, 0.25, 0.5, 0.75, 1.0]);
 /// ```
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Axis {
     /// Lower bound.
     pub lo: f64,
@@ -58,7 +56,7 @@ impl Axis {
 
 /// A 2-D parameter grid: rows sweep the β (mixer) axis, columns the γ
 /// (phase) axis. Landscapes over the grid are stored row-major.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Grid2d {
     /// The row (β) axis.
     pub beta: Axis,
@@ -125,7 +123,7 @@ impl Grid2d {
 /// axis and γ ∈ [−π/4, π/4] with 15 points per γ axis (12² × 15² ≈ 32k
 /// circuits). The 4-D landscape is reshaped to 2-D
 /// (see [`crate::reshape`]) before reconstruction.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Grid4d {
     /// Axis for each of the two β parameters.
     pub beta: Axis,

@@ -1,13 +1,12 @@
 //! Landscape persistence: CSV for interop with plotting tools and a
-//! serde-friendly record type for experiment archival.
+//! plain record type for experiment archival.
 //!
 //! Reconstructed landscapes are debugging artifacts users want to plot
 //! (matplotlib, gnuplot) and diff across runs; CSV keeps that friction-free
-//! while [`LandscapeRecord`] round-trips through any serde format.
+//! while [`LandscapeRecord`] captures the grid + values pair for archival.
 
 use crate::grid::{Axis, Grid2d};
 use crate::landscape::Landscape;
-use serde::{Deserialize, Serialize};
 use std::io::{BufRead, BufReader, Read, Write};
 
 /// A serializable snapshot of a landscape.
@@ -24,7 +23,7 @@ use std::io::{BufRead, BufReader, Read, Write};
 /// let back = record.into_landscape();
 /// assert_eq!(back.values(), l.values());
 /// ```
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct LandscapeRecord {
     /// The parameter grid.
     pub grid: Grid2d,
@@ -68,13 +67,7 @@ pub fn write_csv<W: Write>(l: &Landscape, mut w: W) -> std::io::Result<()> {
     writeln!(w, "beta,gamma,value")?;
     for r in 0..g.rows() {
         for c in 0..g.cols() {
-            writeln!(
-                w,
-                "{},{},{}",
-                g.beta.value(r),
-                g.gamma.value(c),
-                l.at(r, c)
-            )?;
+            writeln!(w, "{},{},{}", g.beta.value(r), g.gamma.value(c), l.at(r, c))?;
         }
     }
     Ok(())

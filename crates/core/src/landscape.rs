@@ -44,9 +44,32 @@ impl Landscape {
         Landscape { grid, values }
     }
 
+    /// Like [`Self::generate`], but with grid points evaluated in
+    /// parallel (row-aligned chunks across worker threads). Requires a
+    /// shareable evaluation closure; results are identical to
+    /// [`Self::generate`] for any pure `f`.
+    pub fn generate_par(grid: Grid2d, f: impl Fn(f64, f64) -> f64 + Sync) -> Self {
+        let cols = grid.cols();
+        let mut values = vec![0.0; grid.len()];
+        oscar_par::for_each_chunk_mut(&mut values, cols, |offset, chunk| {
+            for (k, v) in chunk.iter_mut().enumerate() {
+                let i = offset + k;
+                let beta = grid.beta.value(i / cols);
+                let gamma = grid.gamma.value(i % cols);
+                *v = f(beta, gamma);
+            }
+        });
+        Landscape { grid, values }
+    }
+
     /// Generates the exact p=1 QAOA landscape using the fast evaluator.
+    ///
+    /// Grid points are independent circuit evaluations, so they run in
+    /// parallel across worker threads ([`Self::generate_par`]); inside a
+    /// worker the evaluator's own gate-level parallelism stands down
+    /// automatically (`oscar-par` regions do not nest).
     pub fn from_qaoa(grid: Grid2d, eval: &QaoaEvaluator) -> Self {
-        Landscape::generate(grid, |beta, gamma| eval.expectation(&[beta], &[gamma]))
+        Landscape::generate_par(grid, |beta, gamma| eval.expectation(&[beta], &[gamma]))
     }
 
     /// The grid.
@@ -87,7 +110,10 @@ impl Landscape {
 
     /// The maximum value.
     pub fn max(&self) -> f64 {
-        self.values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        self.values
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// The minimum value.

@@ -28,7 +28,7 @@
 //! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
 //! let problem = IsingProblem::random_3_regular(8, &mut rng);
 //! let truth = Landscape::from_qaoa(Grid2d::small_p1(20, 28), &problem.qaoa_evaluator());
-//! let report = Reconstructor::default().reconstruct_fraction(&truth, 0.15, &mut rng);
+//! let report = Reconstructor::default().reconstruct_fraction(&truth, 0.2, &mut rng);
 //! assert!(report.nrmse < 0.1);
 //! ```
 

@@ -5,8 +5,9 @@ use crate::grid::Grid2d;
 use crate::landscape::Landscape;
 use crate::metrics::nrmse;
 use oscar_cs::dct::Dct2d;
-use oscar_cs::fista::{fista, FistaConfig};
+use oscar_cs::fista::{fista_with, FistaConfig};
 use oscar_cs::measure::{MeasurementOperator, SamplePattern};
+use oscar_cs::workspace::Workspace;
 use rand::Rng;
 
 /// OSCAR reconstruction engine.
@@ -29,18 +30,14 @@ use rand::Rng;
 /// let report = oscar.reconstruct_fraction(&truth, 0.15, &mut rng);
 /// assert!(report.nrmse < 0.1, "NRMSE {}", report.nrmse);
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct Reconstructor {
     /// Sparse-recovery solver settings.
     pub fista: FistaConfig,
-}
-
-impl Default for Reconstructor {
-    fn default() -> Self {
-        Reconstructor {
-            fista: FistaConfig::default(),
-        }
-    }
+    /// Force the dense O(n²) DCT kernel instead of the size-based
+    /// default. Only useful for baseline benchmarking
+    /// (`benches/speedup.rs`) and FFT-vs-dense validation.
+    pub force_dense_dct: bool,
 }
 
 /// The outcome of a reconstruction experiment against known ground truth.
@@ -61,7 +58,10 @@ pub struct ReconstructionReport {
 impl Reconstructor {
     /// Creates a reconstructor with custom solver settings.
     pub fn new(fista: FistaConfig) -> Self {
-        Reconstructor { fista }
+        Reconstructor {
+            fista,
+            force_dense_dct: false,
+        }
     }
 
     /// Reconstructs a landscape from sampled values at known grid
@@ -80,16 +80,9 @@ impl Reconstructor {
     ) -> (Landscape, usize) {
         assert_eq!(pattern.rows(), grid.rows(), "pattern rows mismatch");
         assert_eq!(pattern.cols(), grid.cols(), "pattern cols mismatch");
-        assert_eq!(
-            samples.len(),
-            pattern.num_samples(),
-            "one sample per pattern index required"
-        );
-        let dct = Dct2d::new(grid.rows(), grid.cols());
-        let op = MeasurementOperator::new(&dct, pattern);
-        let sol = fista(&op, samples, &self.fista);
-        let values = dct.inverse(&sol.coefficients);
-        (Landscape::from_values(*grid, values), sol.iterations)
+        let dct = self.make_dct(grid.rows(), grid.cols());
+        let (values, iterations) = self.solve(&dct, pattern, samples);
+        (Landscape::from_values(*grid, values), iterations)
     }
 
     /// Full experiment against ground truth: sample `fraction` of the true
@@ -158,10 +151,35 @@ impl Reconstructor {
     ) -> Vec<f64> {
         assert_eq!(pattern.rows(), rows, "pattern rows mismatch");
         assert_eq!(pattern.cols(), cols, "pattern cols mismatch");
-        let dct = Dct2d::new(rows, cols);
-        let op = MeasurementOperator::new(&dct, pattern);
-        let sol = fista(&op, samples, &self.fista);
-        dct.inverse(&sol.coefficients)
+        let dct = self.make_dct(rows, cols);
+        self.solve(&dct, pattern, samples).0
+    }
+
+    /// Builds the sparsifying transform for a grid, honoring
+    /// [`Self::force_dense_dct`].
+    fn make_dct(&self, rows: usize, cols: usize) -> Dct2d {
+        if self.force_dense_dct {
+            Dct2d::new_dense(rows, cols)
+        } else {
+            Dct2d::new(rows, cols)
+        }
+    }
+
+    /// Shared solve path: one [`Workspace`] per call keeps every FISTA
+    /// iteration and the final inverse transform allocation-free.
+    fn solve(&self, dct: &Dct2d, pattern: &SamplePattern, samples: &[f64]) -> (Vec<f64>, usize) {
+        assert_eq!(
+            samples.len(),
+            pattern.num_samples(),
+            "one sample per pattern index required"
+        );
+        let op = MeasurementOperator::new(dct, pattern);
+        let mut ws = Workspace::for_operator(&op);
+        let sol = fista_with(&op, samples, &self.fista, &mut ws);
+        let mut values = vec![0.0; dct.len()];
+        let mut scratch = dct.make_scratch();
+        dct.inverse_into(&sol.coefficients, &mut values, &mut scratch);
+        (values, sol.iterations)
     }
 }
 

@@ -37,7 +37,10 @@ pub fn reshape_2d_to_4d(values: &[f64], nb: usize, ng: usize) -> Vec<f64> {
 
 /// The flat index of 4-D coordinates under the paper's reshaping.
 pub fn index_4d(b1: usize, b2: usize, g1: usize, g2: usize, nb: usize, ng: usize) -> usize {
-    assert!(b1 < nb && b2 < nb && g1 < ng && g2 < ng, "index out of range");
+    assert!(
+        b1 < nb && b2 < nb && g1 < ng && g2 < ng,
+        "index out of range"
+    );
     ((b1 * nb + b2) * ng + g1) * ng + g2
 }
 
@@ -50,7 +53,10 @@ pub fn reshaped_coords(
     nb: usize,
     ng: usize,
 ) -> (usize, usize) {
-    assert!(b1 < nb && b2 < nb && g1 < ng && g2 < ng, "index out of range");
+    assert!(
+        b1 < nb && b2 < nb && g1 < ng && g2 < ng,
+        "index out of range"
+    );
     (b1 * nb + b2, g1 * ng + g2)
 }
 

@@ -162,12 +162,8 @@ mod tests {
         let eval = problem.qaoa_evaluator();
         let oscar = Reconstructor::default();
 
-        let mut err_for = |p: usize, nb: usize, ng: usize| {
-            let g = GridNd::new(
-                Axis::new(-0.4, 0.4, nb),
-                Axis::new(-0.8, 0.8, ng),
-                p,
-            );
+        let err_for = |p: usize, nb: usize, ng: usize| {
+            let g = GridNd::new(Axis::new(-0.4, 0.4, nb), Axis::new(-0.8, 0.8, ng), p);
             let values = g.generate(|b, gm| eval.expectation(b, gm));
             let (rows, cols) = g.reshaped_dims();
             let mut rng = StdRng::seed_from_u64(56);

@@ -34,8 +34,7 @@ impl ZneLandscapes {
         let richardson_cfg = ZneConfig::richardson_123();
         let linear_cfg = ZneConfig::linear_13();
         let ideal = Landscape::from_qaoa(grid, device.evaluator());
-        let unmitigated =
-            Landscape::generate(grid, |b, g| device.execute_scaled(&[b], &[g], 1.0));
+        let unmitigated = Landscape::generate(grid, |b, g| device.execute_scaled(&[b], &[g], 1.0));
         let richardson = Landscape::generate(grid, |b, g| {
             richardson_cfg.extrapolate(&mut |c| device.execute_scaled(&[b], &[g], c))
         });
@@ -68,11 +67,8 @@ impl ZneLandscapes {
         fraction: f64,
         rng: &mut R,
     ) -> MitigationMetrics {
-        let recon = |l: &Landscape, rng: &mut R| {
-            oscar
-                .reconstruct_fraction(l, fraction, rng)
-                .landscape
-        };
+        let recon =
+            |l: &Landscape, rng: &mut R| oscar.reconstruct_fraction(l, fraction, rng).landscape;
         MitigationMetrics {
             unmitigated: metrics_of(&recon(&self.unmitigated, rng)),
             richardson: metrics_of(&recon(&self.richardson, rng)),

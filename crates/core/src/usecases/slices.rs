@@ -87,7 +87,9 @@ pub fn slice_reconstruction<R: Rng + ?Sized>(
                 break j;
             }
         };
-        let mut base: Vec<f64> = (0..dim).map(|_| rng.gen_range(-cfg.range..cfg.range)).collect();
+        let mut base: Vec<f64> = (0..dim)
+            .map(|_| rng.gen_range(-cfg.range..cfg.range))
+            .collect();
 
         let truth = Landscape::generate(grid, |a, b| {
             base[i] = a;
@@ -120,8 +122,7 @@ mod tests {
             ..SliceConfig::default()
         };
         let mut rng = StdRng::seed_from_u64(41);
-        let report =
-            slice_reconstruction(&ansatz, &h, &cfg, &Reconstructor::default(), &mut rng);
+        let report = slice_reconstruction(&ansatz, &h, &cfg, &Reconstructor::default(), &mut rng);
         assert_eq!(report.errors.len(), 4);
         assert!(report.median() < 0.6, "median {}", report.median());
     }

@@ -1,0 +1,722 @@
+//! Fast Fourier transform machinery backing the O(n log n) DCT path.
+//!
+//! Two layers:
+//!
+//! * [`Fft`] — a complex DFT plan of any length `n`: a hand-rolled
+//!   iterative radix-2 Cooley–Tukey kernel when `n` is a power of two,
+//!   and Bluestein's chirp-z algorithm (one power-of-two convolution)
+//!   otherwise. All apply-time state lives in a caller-provided
+//!   [`FftScratch`], so plans are `Sync` and applies are
+//!   allocation-free.
+//! * [`DctPlan`] — orthonormal DCT-II/DCT-III of length `n` on top of a
+//!   single size-`n` DFT via Makhoul's even permutation, making every
+//!   1-D transform O(n log n) instead of the dense kernel's O(n²).
+//!
+//! Precision: the FFT path agrees with the dense transform to ~1e-12
+//! relative error at the grid sizes this workspace uses (property tests
+//! in `crates/cs/tests/prop.rs` pin 1e-10).
+
+use std::f64::consts::PI;
+
+/// A complex number; minimal on purpose (this crate only needs the FFT's
+/// arithmetic, not a general-purpose complex type).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Cpx {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Cpx {
+    /// Zero.
+    pub const ZERO: Cpx = Cpx { re: 0.0, im: 0.0 };
+
+    /// Builds a complex number.
+    #[inline]
+    pub fn new(re: f64, im: f64) -> Cpx {
+        Cpx { re, im }
+    }
+
+    /// `e^{i theta}`.
+    #[inline]
+    pub fn cis(theta: f64) -> Cpx {
+        Cpx {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Cpx {
+        Cpx {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Scales by a real factor.
+    #[inline]
+    pub fn scale(self, k: f64) -> Cpx {
+        Cpx {
+            re: self.re * k,
+            im: self.im * k,
+        }
+    }
+}
+
+impl std::ops::Add for Cpx {
+    type Output = Cpx;
+    #[inline]
+    fn add(self, o: Cpx) -> Cpx {
+        Cpx {
+            re: self.re + o.re,
+            im: self.im + o.im,
+        }
+    }
+}
+
+impl std::ops::Sub for Cpx {
+    type Output = Cpx;
+    #[inline]
+    fn sub(self, o: Cpx) -> Cpx {
+        Cpx {
+            re: self.re - o.re,
+            im: self.im - o.im,
+        }
+    }
+}
+
+impl std::ops::Mul for Cpx {
+    type Output = Cpx;
+    #[inline]
+    fn mul(self, o: Cpx) -> Cpx {
+        Cpx {
+            re: self.re * o.re - self.im * o.im,
+            im: self.re * o.im + self.im * o.re,
+        }
+    }
+}
+
+/// Apply-time scratch for an [`Fft`] plan (and the [`DctPlan`] built on
+/// it). Allocate once with [`Fft::scratch`] / [`DctPlan::scratch`] and
+/// reuse across applies.
+#[derive(Clone, Debug, Default)]
+pub struct FftScratch {
+    /// Convolution buffer for the Bluestein path (`m` entries; empty for
+    /// the pure radix-2 path).
+    conv: Vec<Cpx>,
+    /// Line buffer for the DCT permutation step (`n` entries when owned
+    /// by a [`DctPlan`], else empty).
+    line: Vec<Cpx>,
+    /// Second line buffer for the pair-packed DCT-III
+    /// ([`DctPlan::inverse_pair_with`]); `n` entries under a
+    /// [`DctPlan`].
+    line2: Vec<Cpx>,
+}
+
+/// A DFT plan for a fixed length `n >= 1`.
+#[derive(Clone, Debug)]
+pub struct Fft {
+    n: usize,
+    kind: FftKind,
+}
+
+#[derive(Clone, Debug)]
+enum FftKind {
+    /// Radix-2 iterative Cooley–Tukey; `n` is a power of two.
+    Radix2 {
+        /// Bit-reversal permutation of `0..n`.
+        rev: Vec<u32>,
+        /// Forward twiddles `e^{-2 pi i k / n}` for `k < n/2`.
+        twiddle: Vec<Cpx>,
+    },
+    /// Bluestein chirp-z for arbitrary `n` via a radix-2 convolution of
+    /// length `m = next_pow2(2n - 1)`.
+    Bluestein {
+        fft_m: Box<Fft>,
+        /// `w[j] = e^{-i pi j^2 / n}` for `j < n`.
+        chirp: Vec<Cpx>,
+        /// Forward DFT of the circularly extended conjugate chirp,
+        /// pre-scaled by `1/m` so the inverse convolution FFT needs no
+        /// extra normalization pass.
+        bfreq: Vec<Cpx>,
+    },
+}
+
+// Emptiness is unrepresentable (lengths are validated positive at
+// construction), so a `len`-only API is deliberate.
+#[allow(clippy::len_without_is_empty)]
+impl Fft {
+    /// Plans a DFT of length `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Fft {
+        assert!(n > 0, "FFT length must be positive");
+        if n.is_power_of_two() {
+            let bits = n.trailing_zeros();
+            let rev = (0..n as u32)
+                .map(|i| i.reverse_bits() >> (32 - bits.max(1)) << u32::from(bits == 0))
+                .collect::<Vec<_>>();
+            let twiddle = (0..n / 2)
+                .map(|k| Cpx::cis(-2.0 * PI * k as f64 / n as f64))
+                .collect();
+            return Fft {
+                n,
+                kind: FftKind::Radix2 { rev, twiddle },
+            };
+        }
+        let m = (2 * n - 1).next_power_of_two();
+        let fft_m = Box::new(Fft::new(m));
+        // Chirp phases have period 2n in j^2; reduce mod 2n to keep the
+        // angle argument small regardless of n.
+        let chirp: Vec<Cpx> = (0..n)
+            .map(|j| {
+                let jj = (j as u64 * j as u64) % (2 * n as u64);
+                Cpx::cis(-PI * jj as f64 / n as f64)
+            })
+            .collect();
+        // b[j] = conj(chirp[|j|]) circularly extended to length m.
+        let mut b = vec![Cpx::ZERO; m];
+        b[0] = chirp[0].conj();
+        for j in 1..n {
+            b[j] = chirp[j].conj();
+            b[m - j] = chirp[j].conj();
+        }
+        let mut scratch = fft_m.scratch();
+        fft_m.forward(&mut b, &mut scratch);
+        let inv_m = 1.0 / m as f64;
+        for v in &mut b {
+            *v = v.scale(inv_m);
+        }
+        Fft {
+            n,
+            kind: FftKind::Bluestein {
+                fft_m,
+                chirp,
+                bfreq: b,
+            },
+        }
+    }
+
+    /// Transform length.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Allocates scratch sized for this plan.
+    pub fn scratch(&self) -> FftScratch {
+        match &self.kind {
+            FftKind::Radix2 { .. } => FftScratch::default(),
+            FftKind::Bluestein { fft_m, .. } => FftScratch {
+                conv: vec![Cpx::ZERO; fft_m.len()],
+                line: Vec::new(),
+                line2: Vec::new(),
+            },
+        }
+    }
+
+    /// In-place forward DFT: `X[k] = sum_j x[j] e^{-2 pi i j k / n}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != n` or `scratch` was not sized by
+    /// [`Fft::scratch`] for this plan.
+    pub fn forward(&self, data: &mut [Cpx], scratch: &mut FftScratch) {
+        assert_eq!(data.len(), self.n, "FFT length mismatch");
+        match &self.kind {
+            FftKind::Radix2 { rev, twiddle } => radix2_forward(data, rev, twiddle),
+            FftKind::Bluestein {
+                fft_m,
+                chirp,
+                bfreq,
+            } => {
+                let m = fft_m.len();
+                let conv = &mut scratch.conv;
+                assert_eq!(conv.len(), m, "scratch not sized for this plan");
+                // a[j] = x[j] * chirp[j], zero-padded to m.
+                for j in 0..self.n {
+                    conv[j] = data[j] * chirp[j];
+                }
+                for v in conv[self.n..].iter_mut() {
+                    *v = Cpx::ZERO;
+                }
+                // Circular convolution with the precomputed chirp filter.
+                let mut inner = FftScratch::default();
+                fft_m.forward(conv, &mut inner);
+                for (v, &b) in conv.iter_mut().zip(bfreq.iter()) {
+                    *v = *v * b;
+                }
+                // Inverse FFT via conjugation; bfreq carries the 1/m.
+                for v in conv.iter_mut() {
+                    *v = v.conj();
+                }
+                fft_m.forward(conv, &mut inner);
+                for (x, (&c, &w)) in data.iter_mut().zip(conv.iter().zip(chirp.iter())) {
+                    *x = c.conj() * w;
+                }
+            }
+        }
+    }
+
+    /// In-place inverse DFT (unitary up to the conventional `1/n`):
+    /// `x[j] = (1/n) sum_k X[k] e^{+2 pi i j k / n}`.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Fft::forward`].
+    pub fn inverse(&self, data: &mut [Cpx], scratch: &mut FftScratch) {
+        for v in data.iter_mut() {
+            *v = v.conj();
+        }
+        self.forward(data, scratch);
+        let inv_n = 1.0 / self.n as f64;
+        for v in data.iter_mut() {
+            *v = v.conj().scale(inv_n);
+        }
+    }
+}
+
+/// Iterative radix-2 DIT butterfly network. `rev` and `twiddle` come
+/// from the plan; `data.len()` is a power of two. The first two stages
+/// are specialized: their twiddles are `1` and `-i`, so they need no
+/// complex multiplies.
+fn radix2_forward(data: &mut [Cpx], rev: &[u32], twiddle: &[Cpx]) {
+    let n = data.len();
+    for i in 0..n {
+        let j = rev[i] as usize;
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+    // Stage len = 2: w = 1.
+    if n >= 2 {
+        let mut i = 0;
+        while i < n {
+            let a = data[i];
+            let b = data[i + 1];
+            data[i] = a + b;
+            data[i + 1] = a - b;
+            i += 2;
+        }
+    }
+    // Stage len = 4: twiddles 1 and -i (multiply by -i = (im, -re)).
+    if n >= 4 {
+        let mut base = 0;
+        while base < n {
+            let a0 = data[base];
+            let a1 = data[base + 1];
+            let a2 = data[base + 2];
+            let a3 = data[base + 3];
+            let b3 = Cpx::new(a3.im, -a3.re);
+            data[base] = a0 + a2;
+            data[base + 2] = a0 - a2;
+            data[base + 1] = a1 + b3;
+            data[base + 3] = a1 - b3;
+            base += 4;
+        }
+    }
+    let mut len = 8;
+    while len <= n {
+        let half = len / 2;
+        let step = n / len;
+        let mut base = 0;
+        while base < n {
+            let mut tw = 0;
+            for i in base..base + half {
+                let w = twiddle[tw];
+                let odd = data[i + half] * w;
+                let even = data[i];
+                data[i] = even + odd;
+                data[i + half] = even - odd;
+                tw += step;
+            }
+            base += len;
+        }
+        len <<= 1;
+    }
+}
+
+/// An orthonormal DCT-II (forward) / DCT-III (inverse) plan of length
+/// `n`, computed through one size-`n` DFT.
+///
+/// Forward: with Makhoul's even permutation `v[i] = x[2i]`,
+/// `v[n-1-i] = x[2i+1]`, the DCT-II is
+/// `C[k] = Re(e^{-i pi k / 2n} DFT(v)[k])`, then orthonormal scaling.
+/// Inverse runs the same pipeline backwards.
+#[derive(Clone, Debug)]
+pub struct DctPlan {
+    n: usize,
+    fft: Fft,
+    /// `perm[i]` = source index in `x` for `v[i]`.
+    perm: Vec<u32>,
+    /// `e^{-i pi k / 2n}` for `k < n`.
+    shift: Vec<Cpx>,
+    /// Orthonormal scale per coefficient: `sqrt(1/n)` for k = 0, else
+    /// `sqrt(2/n)`.
+    scale: Vec<f64>,
+}
+
+// Emptiness is unrepresentable (lengths are validated positive at
+// construction), so a `len`-only API is deliberate.
+#[allow(clippy::len_without_is_empty)]
+impl DctPlan {
+    /// Plans the transform for length `n >= 1`.
+    pub fn new(n: usize) -> DctPlan {
+        assert!(n > 0, "transform length must be positive");
+        let mut perm = vec![0u32; n];
+        let half = n.div_ceil(2);
+        for i in 0..half {
+            perm[i] = 2 * i as u32;
+        }
+        for i in 0..n / 2 {
+            perm[n - 1 - i] = 2 * i as u32 + 1;
+        }
+        let shift = (0..n)
+            .map(|k| Cpx::cis(-PI * k as f64 / (2.0 * n as f64)))
+            .collect();
+        let mut scale = vec![(2.0 / n as f64).sqrt(); n];
+        scale[0] = (1.0 / n as f64).sqrt();
+        DctPlan {
+            n,
+            fft: Fft::new(n),
+            perm,
+            shift,
+            scale,
+        }
+    }
+
+    /// Transform length.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Allocates scratch sized for this plan.
+    pub fn scratch(&self) -> FftScratch {
+        let mut s = self.fft.scratch();
+        s.line = vec![Cpx::ZERO; self.n];
+        s.line2 = vec![Cpx::ZERO; self.n];
+        s
+    }
+
+    /// Orthonormal DCT-II: `x` (space domain) into `out` (coefficients).
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatches or scratch from another plan.
+    pub fn forward_into(&self, x: &[f64], out: &mut [f64], scratch: &mut FftScratch) {
+        assert_eq!(x.len(), self.n, "input length mismatch");
+        assert_eq!(out.len(), self.n, "output length mismatch");
+        assert_eq!(
+            scratch.line.len(),
+            self.n,
+            "scratch not sized for this plan"
+        );
+        let mut line = std::mem::take(&mut scratch.line);
+        for (v, &p) in line.iter_mut().zip(self.perm.iter()) {
+            *v = Cpx::new(x[p as usize], 0.0);
+        }
+        self.fft.forward(&mut line, scratch);
+        for k in 0..self.n {
+            out[k] = (self.shift[k] * line[k]).re * self.scale[k];
+        }
+        scratch.line = line;
+    }
+
+    /// Orthonormal DCT-III (the inverse of [`DctPlan::forward_into`]):
+    /// coefficients `s` into space-domain `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatches or scratch from another plan.
+    pub fn inverse_into(&self, s: &[f64], out: &mut [f64], scratch: &mut FftScratch) {
+        assert_eq!(s.len(), self.n, "input length mismatch");
+        assert_eq!(out.len(), self.n, "output length mismatch");
+        assert_eq!(
+            scratch.line.len(),
+            self.n,
+            "scratch not sized for this plan"
+        );
+        let mut line = std::mem::take(&mut scratch.line);
+        // Rebuild the complex spectrum V[k] = e^{+i pi k/2n} (C[k] - i C[n-k])
+        // from the real DCT coefficients (C = unnormalized DCT-II values).
+        let c0 = s[0] / self.scale[0];
+        line[0] = Cpx::new(c0, 0.0);
+        for k in 1..self.n {
+            let ck = s[k] / self.scale[k];
+            let cnk = s[self.n - k] / self.scale[self.n - k];
+            line[k] = self.shift[k].conj() * Cpx::new(ck, -cnk);
+        }
+        self.fft.inverse(&mut line, scratch);
+        for (i, &p) in self.perm.iter().enumerate() {
+            out[p as usize] = line[i].re;
+        }
+        scratch.line = line;
+    }
+
+    /// Pair-packed forward DCT-II: transforms **two** real lines with a
+    /// single complex DFT by packing them as real/imaginary parts — the
+    /// classic two-for-one real-FFT trick, halving the dominant cost of
+    /// batched 2-D transforms.
+    ///
+    /// `load(i)` must return sample `i` of both lines; `store(k, c1, c2)`
+    /// receives coefficient `k` of each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scratch` came from another plan.
+    pub fn forward_pair_with(
+        &self,
+        scratch: &mut FftScratch,
+        load: impl Fn(usize) -> (f64, f64),
+        mut store: impl FnMut(usize, f64, f64),
+    ) {
+        let n = self.n;
+        assert_eq!(scratch.line.len(), n, "scratch not sized for this plan");
+        let mut line = std::mem::take(&mut scratch.line);
+        for (v, &p) in line.iter_mut().zip(self.perm.iter()) {
+            let (a, b) = load(p as usize);
+            *v = Cpx::new(a, b);
+        }
+        self.fft.forward(&mut line, scratch);
+        // With V = DFT(v_a + i v_b): A[k] = (V[k] + conj(V[n-k]))/2 and
+        // B[k] = (V[k] - conj(V[n-k]))/2i are the individual spectra.
+        store(0, line[0].re * self.scale[0], line[0].im * self.scale[0]);
+        for k in 1..n {
+            let vk = line[k];
+            let vm = line[n - k];
+            let a = Cpx::new(vk.re + vm.re, vk.im - vm.im).scale(0.5);
+            let b = Cpx::new(vk.im + vm.im, vm.re - vk.re).scale(0.5);
+            let sh = self.shift[k];
+            store(k, (sh * a).re * self.scale[k], (sh * b).re * self.scale[k]);
+        }
+        scratch.line = line;
+    }
+
+    /// Pair-packed inverse DCT-III: reconstructs **two** real lines with
+    /// a single complex inverse DFT (see [`Self::forward_pair_with`]).
+    ///
+    /// `load(k)` must return coefficient `k` of both lines;
+    /// `store(i, x1, x2)` receives sample `i` of each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scratch` came from another plan.
+    pub fn inverse_pair_with(
+        &self,
+        scratch: &mut FftScratch,
+        load: impl Fn(usize) -> (f64, f64),
+        mut store: impl FnMut(usize, f64, f64),
+    ) {
+        let n = self.n;
+        assert_eq!(scratch.line.len(), n, "scratch not sized for this plan");
+        assert_eq!(scratch.line2.len(), n, "scratch not sized for this plan");
+        let mut line = std::mem::take(&mut scratch.line);
+        let mut packed = std::mem::take(&mut scratch.line2);
+        // P[k] = (C1[k] + i C2[k]) / scale[k]; by linearity the packed
+        // spectrum is V[k] = conj(shift[k]) (P[k] - i P[n-k]), V[0] = P[0].
+        for (k, p) in packed.iter_mut().enumerate() {
+            let (c1, c2) = load(k);
+            let inv = 1.0 / self.scale[k];
+            *p = Cpx::new(c1 * inv, c2 * inv);
+        }
+        line[0] = packed[0];
+        for k in 1..n {
+            let p = packed[k];
+            let q = packed[n - k];
+            // p - i q = (p.re + q.im, p.im - q.re)
+            line[k] = self.shift[k].conj() * Cpx::new(p.re + q.im, p.im - q.re);
+        }
+        self.fft.inverse(&mut line, scratch);
+        for (i, &p) in self.perm.iter().enumerate() {
+            store(p as usize, line[i].re, line[i].im);
+        }
+        scratch.line = line;
+        scratch.line2 = packed;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Naive O(n^2) DFT oracle.
+    fn dft_naive(x: &[Cpx]) -> Vec<Cpx> {
+        let n = x.len();
+        (0..n)
+            .map(|k| {
+                let mut acc = Cpx::ZERO;
+                for (j, &v) in x.iter().enumerate() {
+                    let w = Cpx::cis(-2.0 * PI * (j * k) as f64 / n as f64);
+                    acc = acc + v * w;
+                }
+                acc
+            })
+            .collect()
+    }
+
+    fn ramp(n: usize) -> Vec<Cpx> {
+        (0..n)
+            .map(|i| Cpx::new((i as f64 * 0.7).sin(), (i as f64 * 0.3).cos()))
+            .collect()
+    }
+
+    #[test]
+    fn radix2_matches_naive_dft() {
+        for n in [1usize, 2, 4, 8, 32, 128] {
+            let fft = Fft::new(n);
+            let mut data = ramp(n);
+            let want = dft_naive(&data);
+            let mut scratch = fft.scratch();
+            fft.forward(&mut data, &mut scratch);
+            for (a, b) in data.iter().zip(&want) {
+                assert!(
+                    (a.re - b.re).abs() < 1e-9 && (a.im - b.im).abs() < 1e-9,
+                    "n={n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bluestein_matches_naive_dft() {
+        for n in [3usize, 5, 6, 7, 12, 15, 33, 100, 257] {
+            let fft = Fft::new(n);
+            let mut data = ramp(n);
+            let want = dft_naive(&data);
+            let mut scratch = fft.scratch();
+            fft.forward(&mut data, &mut scratch);
+            for (a, b) in data.iter().zip(&want) {
+                assert!(
+                    (a.re - b.re).abs() < 1e-8 && (a.im - b.im).abs() < 1e-8,
+                    "n={n}: {a:?} vs {b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn forward_inverse_roundtrip() {
+        for n in [1usize, 2, 7, 16, 27, 64, 100] {
+            let fft = Fft::new(n);
+            let orig = ramp(n);
+            let mut data = orig.clone();
+            let mut scratch = fft.scratch();
+            fft.forward(&mut data, &mut scratch);
+            fft.inverse(&mut data, &mut scratch);
+            for (a, b) in data.iter().zip(&orig) {
+                assert!(
+                    (a.re - b.re).abs() < 1e-10 && (a.im - b.im).abs() < 1e-10,
+                    "n={n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dct_plan_roundtrip() {
+        for n in [1usize, 2, 3, 8, 17, 32, 100, 257] {
+            let plan = DctPlan::new(n);
+            let x: Vec<f64> = (0..n).map(|i| ((i * 13 % 7) as f64) - 3.0).collect();
+            let mut coeffs = vec![0.0; n];
+            let mut back = vec![0.0; n];
+            let mut scratch = plan.scratch();
+            plan.forward_into(&x, &mut coeffs, &mut scratch);
+            plan.inverse_into(&coeffs, &mut back, &mut scratch);
+            for (a, b) in x.iter().zip(&back) {
+                assert!((a - b).abs() < 1e-10, "n={n}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn dct_plan_parseval() {
+        let n = 96;
+        let plan = DctPlan::new(n);
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.31).sin() * 2.0).collect();
+        let mut coeffs = vec![0.0; n];
+        let mut scratch = plan.scratch();
+        plan.forward_into(&x, &mut coeffs, &mut scratch);
+        let ex: f64 = x.iter().map(|v| v * v).sum();
+        let ec: f64 = coeffs.iter().map(|v| v * v).sum();
+        assert!((ex - ec).abs() < 1e-9, "{ex} vs {ec}");
+    }
+
+    #[test]
+    fn scratch_reuse_is_clean() {
+        // Two applies through the same scratch give identical results.
+        let plan = DctPlan::new(100);
+        let x: Vec<f64> = (0..100).map(|i| (i as f64).cos()).collect();
+        let mut scratch = plan.scratch();
+        let mut a = vec![0.0; 100];
+        let mut b = vec![0.0; 100];
+        plan.forward_into(&x, &mut a, &mut scratch);
+        plan.forward_into(&x, &mut b, &mut scratch);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pair_forward_matches_two_singles() {
+        for n in [2usize, 8, 17, 33, 64, 100] {
+            let plan = DctPlan::new(n);
+            let x1: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).sin()).collect();
+            let x2: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).cos() - 0.5).collect();
+            let mut scratch = plan.scratch();
+            let mut a1 = vec![0.0; n];
+            let mut a2 = vec![0.0; n];
+            plan.forward_into(&x1, &mut a1, &mut scratch);
+            plan.forward_into(&x2, &mut a2, &mut scratch);
+            let mut b1 = vec![0.0; n];
+            let mut b2 = vec![0.0; n];
+            plan.forward_pair_with(
+                &mut scratch,
+                |i| (x1[i], x2[i]),
+                |k, c1, c2| {
+                    b1[k] = c1;
+                    b2[k] = c2;
+                },
+            );
+            for k in 0..n {
+                assert!((a1[k] - b1[k]).abs() < 1e-10, "n={n} line 1 k={k}");
+                assert!((a2[k] - b2[k]).abs() < 1e-10, "n={n} line 2 k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn pair_inverse_matches_two_singles() {
+        for n in [2usize, 8, 17, 33, 64, 100] {
+            let plan = DctPlan::new(n);
+            let s1: Vec<f64> = (0..n).map(|i| ((i * 7 % 5) as f64) - 2.0).collect();
+            let s2: Vec<f64> = (0..n).map(|i| ((i * 3 % 11) as f64) * 0.25).collect();
+            let mut scratch = plan.scratch();
+            let mut a1 = vec![0.0; n];
+            let mut a2 = vec![0.0; n];
+            plan.inverse_into(&s1, &mut a1, &mut scratch);
+            plan.inverse_into(&s2, &mut a2, &mut scratch);
+            let mut b1 = vec![0.0; n];
+            let mut b2 = vec![0.0; n];
+            plan.inverse_pair_with(
+                &mut scratch,
+                |k| (s1[k], s2[k]),
+                |i, v1, v2| {
+                    b1[i] = v1;
+                    b2[i] = v2;
+                },
+            );
+            for i in 0..n {
+                assert!((a1[i] - b1[i]).abs() < 1e-10, "n={n} line 1 i={i}");
+                assert!((a2[i] - b2[i]).abs() < 1e-10, "n={n} line 2 i={i}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length must be positive")]
+    fn rejects_zero_length() {
+        let _ = Fft::new(0);
+    }
+}

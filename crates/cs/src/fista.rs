@@ -6,8 +6,14 @@
 //! selection), so the step size is fixed at 1 and no backtracking is
 //! needed. With small `lambda` the solution approximates basis pursuit,
 //! the l1 program in the paper's Appendix A (Eq. 7).
+//!
+//! Two entry points: [`fista`] is the convenience form that allocates a
+//! fresh [`Workspace`] per call; [`fista_with`] takes a caller-owned
+//! workspace and performs **no heap allocation in steady state** (the
+//! only allocation per solve is the result's coefficient vector).
 
 use crate::measure::MeasurementOperator;
+use crate::workspace::Workspace;
 
 /// Configuration for [`fista`].
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -80,34 +86,55 @@ pub struct FistaResult {
 /// assert!((result.coefficients[9] - 3.0).abs() < 0.1);
 /// ```
 pub fn fista(op: &MeasurementOperator<'_>, y: &[f64], cfg: &FistaConfig) -> FistaResult {
+    let mut ws = Workspace::for_operator(op);
+    fista_with(op, y, cfg, &mut ws)
+}
+
+/// Runs FISTA through a caller-owned [`Workspace`].
+///
+/// After the workspace has warmed up to this problem shape (one call, or
+/// [`Workspace::ensure`]), iterations perform no heap allocation; the
+/// solve's only allocation is the returned coefficient vector.
+///
+/// # Panics
+///
+/// Same conditions as [`fista`].
+pub fn fista_with(
+    op: &MeasurementOperator<'_>,
+    y: &[f64],
+    cfg: &FistaConfig,
+    ws: &mut Workspace,
+) -> FistaResult {
     assert_eq!(y.len(), op.measurement_len(), "measurement length mismatch");
     assert!(cfg.max_iter > 0, "max_iter must be positive");
     assert!(cfg.lambda > 0.0, "lambda must be positive");
+    ws.ensure(op);
 
     let n = op.signal_len();
     let lambda = if cfg.relative_lambda {
-        let aty = op.adjoint(y);
-        let max_corr = aty.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        op.adjoint_into(y, &mut ws.grad, &mut ws.op);
+        let max_corr = ws.grad.iter().fold(0.0f64, |m, v| m.max(v.abs()));
         (cfg.lambda * max_corr).max(f64::MIN_POSITIVE)
     } else {
         cfg.lambda
     };
 
-    let mut s = vec![0.0; n]; // current iterate
-    let mut z = vec![0.0; n]; // momentum point
+    ws.s.fill(0.0); // current iterate
+    ws.z.fill(0.0); // momentum point
     let mut t = 1.0f64;
     let mut iterations = 0;
 
     for it in 0..cfg.max_iter {
         iterations = it + 1;
         // Gradient step at z: grad = A^T (A z - y).
-        let az = op.forward(&z);
-        let resid: Vec<f64> = az.iter().zip(y.iter()).map(|(a, b)| a - b).collect();
-        let grad = op.adjoint(&resid);
+        op.forward_into(&ws.z, &mut ws.az, &mut ws.op);
+        for ((r, &a), &b) in ws.resid.iter_mut().zip(ws.az.iter()).zip(y.iter()) {
+            *r = a - b;
+        }
+        op.adjoint_into(&ws.resid, &mut ws.grad, &mut ws.op);
         // Proximal (soft-threshold) step with unit step size.
-        let mut s_next = vec![0.0; n];
         for i in 0..n {
-            s_next[i] = soft_threshold(z[i] - grad[i], lambda);
+            ws.s_next[i] = soft_threshold(ws.z[i] - ws.grad[i], lambda);
         }
         // Momentum update.
         let t_next = 0.5 * (1.0 + (1.0 + 4.0 * t * t).sqrt());
@@ -115,12 +142,12 @@ pub fn fista(op: &MeasurementOperator<'_>, y: &[f64], cfg: &FistaConfig) -> Fist
         let mut max_delta = 0.0f64;
         let mut max_mag = 0.0f64;
         for i in 0..n {
-            let delta = s_next[i] - s[i];
-            z[i] = s_next[i] + beta * delta;
+            let delta = ws.s_next[i] - ws.s[i];
+            ws.z[i] = ws.s_next[i] + beta * delta;
             max_delta = max_delta.max(delta.abs());
-            max_mag = max_mag.max(s_next[i].abs());
+            max_mag = max_mag.max(ws.s_next[i].abs());
         }
-        s = s_next;
+        std::mem::swap(&mut ws.s, &mut ws.s_next);
         t = t_next;
         if max_delta <= cfg.tol * max_mag.max(1e-12) {
             break;
@@ -128,19 +155,20 @@ pub fn fista(op: &MeasurementOperator<'_>, y: &[f64], cfg: &FistaConfig) -> Fist
     }
 
     if cfg.debias_iters > 0 {
-        debias(op, y, &mut s, cfg.debias_iters);
+        debias(op, y, cfg.debias_iters, ws);
     }
 
-    let final_resid: Vec<f64> = op
-        .forward(&s)
+    op.forward_into(&ws.s, &mut ws.az, &mut ws.op);
+    let residual_norm = ws
+        .az
         .iter()
         .zip(y.iter())
-        .map(|(a, b)| a - b)
-        .collect();
-    let residual_norm = final_resid.iter().map(|r| r * r).sum::<f64>().sqrt();
-    let support_size = s.iter().filter(|v| **v != 0.0).count();
+        .map(|(a, b)| (a - b) * (a - b))
+        .sum::<f64>()
+        .sqrt();
+    let support_size = ws.s.iter().filter(|v| **v != 0.0).count();
     FistaResult {
-        coefficients: s,
+        coefficients: ws.s.clone(),
         iterations,
         residual_norm,
         support_size,
@@ -148,25 +176,28 @@ pub fn fista(op: &MeasurementOperator<'_>, y: &[f64], cfg: &FistaConfig) -> Fist
 }
 
 /// Gradient descent restricted to the current support (l1 term dropped),
-/// correcting the soft-threshold shrinkage bias.
-fn debias(op: &MeasurementOperator<'_>, y: &[f64], s: &mut [f64], iters: usize) {
-    let support: Vec<usize> = s
-        .iter()
-        .enumerate()
-        .filter(|(_, v)| **v != 0.0)
-        .map(|(i, _)| i)
-        .collect();
-    if support.is_empty() {
+/// correcting the soft-threshold shrinkage bias. Operates on `ws.s`.
+fn debias(op: &MeasurementOperator<'_>, y: &[f64], iters: usize, ws: &mut Workspace) {
+    ws.support.clear();
+    ws.support.extend(
+        ws.s.iter()
+            .enumerate()
+            .filter(|(_, v)| **v != 0.0)
+            .map(|(i, _)| i),
+    );
+    if ws.support.is_empty() {
         return;
     }
     for _ in 0..iters {
-        let az = op.forward(s);
-        let resid: Vec<f64> = az.iter().zip(y.iter()).map(|(a, b)| a - b).collect();
-        let grad = op.adjoint(&resid);
+        op.forward_into(&ws.s, &mut ws.az, &mut ws.op);
+        for ((r, &a), &b) in ws.resid.iter_mut().zip(ws.az.iter()).zip(y.iter()) {
+            *r = a - b;
+        }
+        op.adjoint_into(&ws.resid, &mut ws.grad, &mut ws.op);
         let mut max_step = 0.0f64;
-        for &i in &support {
-            s[i] -= grad[i];
-            max_step = max_step.max(grad[i].abs());
+        for &i in &ws.support {
+            ws.s[i] -= ws.grad[i];
+            max_step = max_step.max(ws.grad[i].abs());
         }
         if max_step < 1e-12 {
             break;

@@ -6,6 +6,7 @@
 
 use crate::fista::{soft_threshold, FistaConfig, FistaResult};
 use crate::measure::MeasurementOperator;
+use crate::workspace::Workspace;
 
 /// Runs ISTA with the same configuration type as FISTA.
 ///
@@ -16,49 +17,69 @@ use crate::measure::MeasurementOperator;
 ///
 /// Panics under the same conditions as [`crate::fista::fista`].
 pub fn ista(op: &MeasurementOperator<'_>, y: &[f64], cfg: &FistaConfig) -> FistaResult {
+    let mut ws = Workspace::for_operator(op);
+    ista_with(op, y, cfg, &mut ws)
+}
+
+/// Runs ISTA through a caller-owned [`Workspace`]; iterations are
+/// heap-allocation-free once the workspace fits the problem shape.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`crate::fista::fista`].
+pub fn ista_with(
+    op: &MeasurementOperator<'_>,
+    y: &[f64],
+    cfg: &FistaConfig,
+    ws: &mut Workspace,
+) -> FistaResult {
     assert_eq!(y.len(), op.measurement_len(), "measurement length mismatch");
     assert!(cfg.max_iter > 0, "max_iter must be positive");
     assert!(cfg.lambda > 0.0, "lambda must be positive");
+    ws.ensure(op);
 
     let n = op.signal_len();
     let lambda = if cfg.relative_lambda {
-        let aty = op.adjoint(y);
-        let max_corr = aty.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        op.adjoint_into(y, &mut ws.grad, &mut ws.op);
+        let max_corr = ws.grad.iter().fold(0.0f64, |m, v| m.max(v.abs()));
         (cfg.lambda * max_corr).max(f64::MIN_POSITIVE)
     } else {
         cfg.lambda
     };
 
-    let mut s = vec![0.0; n];
+    ws.s.fill(0.0);
     let mut iterations = 0;
     for it in 0..cfg.max_iter {
         iterations = it + 1;
-        let az = op.forward(&s);
-        let resid: Vec<f64> = az.iter().zip(y.iter()).map(|(a, b)| a - b).collect();
-        let grad = op.adjoint(&resid);
+        op.forward_into(&ws.s, &mut ws.az, &mut ws.op);
+        for ((r, &a), &b) in ws.resid.iter_mut().zip(ws.az.iter()).zip(y.iter()) {
+            *r = a - b;
+        }
+        op.adjoint_into(&ws.resid, &mut ws.grad, &mut ws.op);
         let mut max_delta = 0.0f64;
         let mut max_mag = 0.0f64;
         for i in 0..n {
-            let next = soft_threshold(s[i] - grad[i], lambda);
-            max_delta = max_delta.max((next - s[i]).abs());
+            let next = soft_threshold(ws.s[i] - ws.grad[i], lambda);
+            max_delta = max_delta.max((next - ws.s[i]).abs());
             max_mag = max_mag.max(next.abs());
-            s[i] = next;
+            ws.s[i] = next;
         }
         if max_delta <= cfg.tol * max_mag.max(1e-12) {
             break;
         }
     }
 
-    let final_resid: Vec<f64> = op
-        .forward(&s)
+    op.forward_into(&ws.s, &mut ws.az, &mut ws.op);
+    let residual_norm = ws
+        .az
         .iter()
         .zip(y.iter())
-        .map(|(a, b)| a - b)
-        .collect();
-    let residual_norm = final_resid.iter().map(|r| r * r).sum::<f64>().sqrt();
-    let support_size = s.iter().filter(|v| **v != 0.0).count();
+        .map(|(a, b)| (a - b) * (a - b))
+        .sum::<f64>()
+        .sqrt();
+    let support_size = ws.s.iter().filter(|v| **v != 0.0).count();
     FistaResult {
-        coefficients: s,
+        coefficients: ws.s.clone(),
         iterations,
         residual_norm,
         support_size,

@@ -2,14 +2,20 @@
 //!
 //! The mathematical core of OSCAR (paper §4 and Appendix A):
 //!
-//! * [`dct`] — orthonormal DCT-II/III in 1-D and separable 2-D form, the
-//!   sparsifying basis `Ψ`;
+//! * [`dct`] — orthonormal DCT-II/III in 1-D, separable 2-D, and N-D
+//!   form, the sparsifying basis `Ψ`, with interchangeable dense
+//!   (O(n²), tiny sizes + test oracle) and FFT (O(n log n), default
+//!   from `n >= 32`) kernels;
+//! * [`fft`] — the radix-2 + Bluestein FFT machinery behind the fast
+//!   kernel;
 //! * [`measure`] — random sampling patterns and the measurement operator
 //!   `A = C Ψ` with its adjoint;
 //! * [`fista`] — FISTA solver for the l1 (LASSO) recovery program, the
 //!   workhorse reconstruction routine;
 //! * [`omp`] — orthogonal matching pursuit, the greedy alternative used in
 //!   the recovery-ablation benchmark;
+//! * [`workspace`] — reusable scratch making the solver hot loops
+//!   allocation-free in steady state;
 //! * [`analysis`] — DCT energy-compaction metrics (Table 4).
 //!
 //! # Example
@@ -40,17 +46,20 @@
 
 pub mod analysis;
 pub mod dct;
+pub mod fft;
 pub mod fista;
 pub mod ista;
 pub mod measure;
 pub mod omp;
+pub mod workspace;
 
 /// Glob-import of the most used types.
 pub mod prelude {
     pub use crate::analysis::{dct_energy_fraction_99, energy_fraction, keep_top_k};
-    pub use crate::dct::{Dct1d, Dct2d};
-    pub use crate::fista::{fista, FistaConfig, FistaResult};
-    pub use crate::ista::ista;
+    pub use crate::dct::{Dct1d, Dct2d, DctNd, FAST_DCT_THRESHOLD};
+    pub use crate::fista::{fista, fista_with, FistaConfig, FistaResult};
+    pub use crate::ista::{ista, ista_with};
     pub use crate::measure::{MeasurementOperator, SamplePattern};
-    pub use crate::omp::{omp, OmpConfig, OmpResult};
+    pub use crate::omp::{omp, omp_with, OmpConfig, OmpResult};
+    pub use crate::workspace::Workspace;
 }

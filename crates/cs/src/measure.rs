@@ -6,6 +6,7 @@
 //! lets the FISTA solver use a unit step size with no line search.
 
 use crate::dct::Dct2d;
+use crate::workspace::OperatorScratch;
 use rand::seq::SliceRandom;
 use rand::Rng;
 
@@ -35,13 +36,11 @@ impl SamplePattern {
     /// # Panics
     ///
     /// Panics unless `0 < fraction <= 1`.
-    pub fn random<R: Rng + ?Sized>(
-        rows: usize,
-        cols: usize,
-        fraction: f64,
-        rng: &mut R,
-    ) -> Self {
-        assert!(fraction > 0.0 && fraction <= 1.0, "fraction must be in (0,1]");
+    pub fn random<R: Rng + ?Sized>(rows: usize, cols: usize, fraction: f64, rng: &mut R) -> Self {
+        assert!(
+            fraction > 0.0 && fraction <= 1.0,
+            "fraction must be in (0,1]"
+        );
         let total = rows * cols;
         let m = ((fraction * total as f64).ceil() as usize).clamp(1, total);
         Self::random_count(rows, cols, m, rng)
@@ -52,19 +51,18 @@ impl SamplePattern {
     /// # Panics
     ///
     /// Panics unless `0 < m <= rows * cols`.
-    pub fn random_count<R: Rng + ?Sized>(
-        rows: usize,
-        cols: usize,
-        m: usize,
-        rng: &mut R,
-    ) -> Self {
+    pub fn random_count<R: Rng + ?Sized>(rows: usize, cols: usize, m: usize, rng: &mut R) -> Self {
         let total = rows * cols;
         assert!(m > 0 && m <= total, "sample count out of range");
         let mut all: Vec<usize> = (0..total).collect();
         all.shuffle(rng);
         let mut indices = all[..m].to_vec();
         indices.sort_unstable();
-        SamplePattern { rows, cols, indices }
+        SamplePattern {
+            rows,
+            cols,
+            indices,
+        }
     }
 
     /// Builds a pattern from explicit flat indices (deduplicated, sorted).
@@ -80,7 +78,11 @@ impl SamplePattern {
             *indices.last().unwrap() < rows * cols,
             "index out of grid range"
         );
-        SamplePattern { rows, cols, indices }
+        SamplePattern {
+            rows,
+            cols,
+            indices,
+        }
     }
 
     /// Grid rows.
@@ -171,25 +173,73 @@ impl<'a> MeasurementOperator<'a> {
         self.pattern.num_samples()
     }
 
+    /// The sparsifying transform this operator couples to.
+    pub fn dct(&self) -> &Dct2d {
+        self.dct
+    }
+
+    /// The sampling pattern this operator couples to.
+    pub fn pattern(&self) -> &SamplePattern {
+        self.pattern
+    }
+
     /// Applies `A s = C Ψ s`: coefficients -> sampled landscape values.
+    ///
+    /// Convenience wrapper allocating transient scratch; the solver hot
+    /// loop uses [`Self::forward_into`].
     pub fn forward(&self, s: &[f64]) -> Vec<f64> {
-        let x = self.dct.inverse(s);
-        self.pattern.gather(&x)
+        let mut out = vec![0.0; self.measurement_len()];
+        let mut scratch = OperatorScratch::new(self.dct);
+        self.forward_into(s, &mut out, &mut scratch);
+        out
+    }
+
+    /// Zero-allocation `A s`: writes the `m` sampled values into `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatches or scratch sized for another grid.
+    pub fn forward_into(&self, s: &[f64], out: &mut [f64], scratch: &mut OperatorScratch) {
+        assert_eq!(s.len(), self.dct.len(), "signal length mismatch");
+        assert_eq!(
+            out.len(),
+            self.pattern.num_samples(),
+            "output length mismatch"
+        );
+        self.dct
+            .inverse_into(s, &mut scratch.grid, &mut scratch.dct);
+        for (o, &idx) in out.iter_mut().zip(self.pattern.indices().iter()) {
+            *o = scratch.grid[idx];
+        }
     }
 
     /// Applies the adjoint `A^T y = Ψ^T C^T y`: residuals -> coefficient
-    /// gradient.
+    /// gradient (transient-scratch wrapper over [`Self::adjoint_into`]).
     pub fn adjoint(&self, y: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; self.signal_len()];
+        let mut scratch = OperatorScratch::new(self.dct);
+        self.adjoint_into(y, &mut out, &mut scratch);
+        out
+    }
+
+    /// Zero-allocation `A^T y`: writes the `n` coefficient-domain values
+    /// into `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatches or scratch sized for another grid.
+    pub fn adjoint_into(&self, y: &[f64], out: &mut [f64], scratch: &mut OperatorScratch) {
         assert_eq!(
             y.len(),
             self.pattern.num_samples(),
             "measurement length mismatch"
         );
-        let mut scattered = vec![0.0; self.dct.len()];
+        assert_eq!(out.len(), self.dct.len(), "output length mismatch");
+        scratch.grid.fill(0.0);
         for (&idx, &v) in self.pattern.indices().iter().zip(y.iter()) {
-            scattered[idx] = v;
+            scratch.grid[idx] = v;
         }
-        self.dct.forward(&scattered)
+        self.dct.forward_into(&scratch.grid, out, &mut scratch.dct);
     }
 }
 

@@ -6,6 +6,7 @@
 //! support (via normal equations + Cholesky).
 
 use crate::measure::MeasurementOperator;
+use crate::workspace::Workspace;
 
 /// Configuration for [`omp`].
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -42,28 +43,59 @@ pub struct OmpResult {
 ///
 /// Panics if `y.len()` mismatches the operator or `max_atoms == 0`.
 pub fn omp(op: &MeasurementOperator<'_>, y: &[f64], cfg: &OmpConfig) -> OmpResult {
+    let mut ws = Workspace::for_operator(op);
+    omp_with(op, y, cfg, &mut ws)
+}
+
+/// Runs OMP through a caller-owned [`Workspace`].
+///
+/// All per-iteration state (residual, correlations, atom columns, Gram
+/// matrix, Cholesky factor) lives in reserved workspace storage, so a
+/// warmed-up workspace makes iterations heap-allocation-free. The Gram
+/// matrix is updated incrementally — one new row per selected atom —
+/// instead of being recomputed from scratch each round.
+///
+/// # Panics
+///
+/// Panics if `y.len()` mismatches the operator or `max_atoms == 0`.
+pub fn omp_with(
+    op: &MeasurementOperator<'_>,
+    y: &[f64],
+    cfg: &OmpConfig,
+    ws: &mut Workspace,
+) -> OmpResult {
     assert_eq!(y.len(), op.measurement_len(), "measurement length mismatch");
     assert!(cfg.max_atoms > 0, "max_atoms must be positive");
+    ws.ensure(op);
     let n = op.signal_len();
     let m = op.measurement_len();
     let max_atoms = cfg.max_atoms.min(m).min(n);
 
-    let mut residual = y.to_vec();
-    let mut support: Vec<usize> = Vec::new();
-    let mut atoms: Vec<Vec<f64>> = Vec::new(); // columns of A on the support
-    let mut coef_on_support: Vec<f64> = Vec::new();
+    ws.resid.copy_from_slice(y);
+    ws.support.clear();
+    // Flat `k x m` atom storage and `max_atoms^2` factor storage,
+    // reserved up front so pushes never reallocate mid-solve.
+    ws.atoms.clear();
+    ws.atoms.reserve(max_atoms * m);
+    ws.gram.clear();
+    ws.gram.reserve(max_atoms * max_atoms);
+    ws.chol.clear();
+    ws.chol.resize(max_atoms * max_atoms, 0.0);
+    ws.rhs.clear();
+    ws.rhs.reserve(max_atoms);
+    ws.coef.clear();
+    ws.coef.reserve(max_atoms);
 
     for _ in 0..max_atoms {
-        let rnorm = norm(&residual);
-        if rnorm < cfg.residual_tol {
+        if norm(&ws.resid) < cfg.residual_tol {
             break;
         }
         // Most correlated atom: argmax |A^T r|.
-        let corr = op.adjoint(&residual);
+        op.adjoint_into(&ws.resid, &mut ws.grad, &mut ws.op);
         let mut best = None;
         let mut best_val = 0.0;
-        for (i, &c) in corr.iter().enumerate() {
-            if support.contains(&i) {
+        for (i, &c) in ws.grad.iter().enumerate() {
+            if ws.support.contains(&i) {
                 continue;
             }
             if c.abs() > best_val {
@@ -75,47 +107,56 @@ pub fn omp(op: &MeasurementOperator<'_>, y: &[f64], cfg: &OmpConfig) -> OmpResul
         if best_val < 1e-14 {
             break;
         }
-        support.push(j);
-        atoms.push(atom_column(op, j));
 
-        // Least squares on the support via normal equations.
-        let k = support.len();
-        let mut gram = vec![0.0; k * k];
-        let mut rhs = vec![0.0; k];
-        for a in 0..k {
-            rhs[a] = dot(&atoms[a], y);
-            for b in a..k {
-                let g = dot(&atoms[a], &atoms[b]);
-                gram[a * k + b] = g;
-                gram[b * k + a] = g;
+        // Materialize column j of A via e_j (reusing the iterate buffer).
+        let k = ws.support.len();
+        ws.support.push(j);
+        ws.s.fill(0.0);
+        ws.s[j] = 1.0;
+        op.forward_into(&ws.s, &mut ws.az, &mut ws.op);
+        ws.atoms.extend_from_slice(&ws.az);
+
+        // Grow the Gram matrix by one symmetric row: re-lay the old
+        // `k x k` block into the new `(k+1) x (k+1)` geometry (back to
+        // front so it can run in place), then append the new products.
+        let new_atom = &ws.atoms[k * m..(k + 1) * m];
+        ws.gram.resize((k + 1) * (k + 1), 0.0);
+        for a in (0..k).rev() {
+            for b in (0..k).rev() {
+                ws.gram[a * (k + 1) + b] = ws.gram[a * k + b];
             }
         }
-        coef_on_support = cholesky_solve(&gram, &rhs, k);
+        for a in 0..k {
+            let g = dot(&ws.atoms[a * m..(a + 1) * m], new_atom);
+            ws.gram[a * (k + 1) + k] = g;
+            ws.gram[k * (k + 1) + a] = g;
+        }
+        ws.gram[k * (k + 1) + k] = dot(new_atom, new_atom);
+        ws.rhs.push(dot(new_atom, y));
+
+        // Least squares on the support via normal equations.
+        let k = k + 1;
+        ws.coef.resize(k, 0.0);
+        cholesky_solve_into(&ws.gram, &ws.rhs, k, &mut ws.chol, &mut ws.coef);
 
         // New residual.
-        residual = y.to_vec();
-        for (a, &c) in coef_on_support.iter().enumerate() {
-            for (r, &v) in residual.iter_mut().zip(atoms[a].iter()) {
+        ws.resid.copy_from_slice(y);
+        for (a, &c) in ws.coef.iter().enumerate() {
+            for (r, &v) in ws.resid.iter_mut().zip(ws.atoms[a * m..(a + 1) * m].iter()) {
                 *r -= c * v;
             }
         }
     }
 
     let mut coefficients = vec![0.0; n];
-    for (&j, &c) in support.iter().zip(coef_on_support.iter()) {
+    for (&j, &c) in ws.support.iter().zip(ws.coef.iter()) {
         coefficients[j] = c;
     }
     OmpResult {
         coefficients,
-        support,
-        residual_norm: norm(&residual),
+        support: ws.support.clone(),
+        residual_norm: norm(&ws.resid),
     }
-}
-
-fn atom_column(op: &MeasurementOperator<'_>, j: usize) -> Vec<f64> {
-    let mut e = vec![0.0; op.signal_len()];
-    e[j] = 1.0;
-    op.forward(&e)
 }
 
 fn dot(a: &[f64], b: &[f64]) -> f64 {
@@ -128,8 +169,9 @@ fn norm(a: &[f64]) -> f64 {
 
 /// Solves `G x = b` for symmetric positive-definite `G` (row-major `k x k`)
 /// by Cholesky decomposition, with a tiny diagonal ridge for robustness.
-fn cholesky_solve(g: &[f64], b: &[f64], k: usize) -> Vec<f64> {
-    let mut l = vec![0.0; k * k];
+/// `l` provides factor storage (at least `k * k`); the solution lands in
+/// `x` (length `k`), which doubles as the substitution buffer.
+fn cholesky_solve_into(g: &[f64], b: &[f64], k: usize, l: &mut [f64], x: &mut [f64]) {
     let ridge = 1e-12;
     for i in 0..k {
         for j in 0..=i {
@@ -147,25 +189,22 @@ fn cholesky_solve(g: &[f64], b: &[f64], k: usize) -> Vec<f64> {
             }
         }
     }
-    // Forward substitution L z = b.
-    let mut z = vec![0.0; k];
+    // Forward substitution L z = b (z stored in x).
     for i in 0..k {
         let mut sum = b[i];
         for p in 0..i {
-            sum -= l[i * k + p] * z[p];
+            sum -= l[i * k + p] * x[p];
         }
-        z[i] = sum / l[i * k + i];
+        x[i] = sum / l[i * k + i];
     }
-    // Back substitution L^T x = z.
-    let mut x = vec![0.0; k];
+    // Back substitution L^T x = z, in place.
     for i in (0..k).rev() {
-        let mut sum = z[i];
+        let mut sum = x[i];
         for p in i + 1..k {
             sum -= l[p * k + i] * x[p];
         }
         x[i] = sum / l[i * k + i];
     }
-    x
 }
 
 #[cfg(test)]
@@ -181,7 +220,9 @@ mod tests {
         // G = [[4,2],[2,3]], b = [2,1] -> x = [0.5, 0]
         let g = vec![4.0, 2.0, 2.0, 3.0];
         let b = vec![2.0, 1.0];
-        let x = cholesky_solve(&g, &b, 2);
+        let mut l = vec![0.0; 4];
+        let mut x = vec![0.0; 2];
+        cholesky_solve_into(&g, &b, 2, &mut l, &mut x);
         assert!((x[0] - 0.5).abs() < 1e-9 && x[1].abs() < 1e-9, "{x:?}");
     }
 

@@ -1,0 +1,199 @@
+//! Reusable scratch buffers for the solver stack.
+//!
+//! Every FISTA iteration applies the measurement operator (a 2-D DCT +
+//! gather) and its adjoint (scatter + 2-D DCT), each needing full-grid
+//! and measurement-sized temporaries. The seed implementation allocated
+//! ~5 fresh `Vec`s per iteration; a [`Workspace`] owns all of them, so
+//! the `*_with` solver entry points ([`crate::fista::fista_with`],
+//! [`crate::ista::ista_with`], [`crate::omp::omp_with`]) perform **no
+//! heap allocation in steady state** — verified by the
+//! allocation-counting test in `crates/cs/tests/alloc.rs`. (With more
+//! than one `oscar-par` worker, the scoped thread spawns inside large
+//! parallel transforms do allocate; see the `oscar-par` crate docs.)
+//!
+//! A workspace is keyed by buffer sizes only, so one instance can be
+//! reused across solves, operators, and sampling patterns;
+//! [`Workspace::ensure`] regrows buffers on first use with a new
+//! problem shape and is a no-op afterwards.
+
+use crate::dct::{Dct2d, Dct2dScratch};
+use crate::measure::MeasurementOperator;
+
+/// Scratch for one forward or adjoint application of a
+/// [`MeasurementOperator`]: the full-grid landscape buffer plus the 2-D
+/// DCT's internal scratch.
+#[derive(Debug)]
+pub struct OperatorScratch {
+    /// Full-grid buffer (`signal_len` entries) holding `Ψ s` or the
+    /// scattered residual.
+    pub(crate) grid: Vec<f64>,
+    /// Separable-transform scratch sized for the operator's grid.
+    pub(crate) dct: Dct2dScratch,
+    /// Transform the scratch was sized for: (rows, cols, per-axis
+    /// kernel kinds). Dense and FFT kernels of the same grid need
+    /// differently shaped scratch, so the kernel identity is part of
+    /// the key.
+    key: (usize, usize, (bool, bool)),
+}
+
+impl OperatorScratch {
+    /// Builds scratch sized for `dct`'s grid.
+    pub fn new(dct: &Dct2d) -> Self {
+        OperatorScratch {
+            grid: vec![0.0; dct.len()],
+            dct: dct.make_scratch(),
+            key: (dct.rows(), dct.cols(), dct.kernel_kinds()),
+        }
+    }
+
+    /// Rebuilds for a different transform (grid size or kernel) if
+    /// needed.
+    fn ensure(&mut self, dct: &Dct2d) {
+        if self.key != (dct.rows(), dct.cols(), dct.kernel_kinds()) {
+            *self = OperatorScratch::new(dct);
+        }
+    }
+}
+
+/// All scratch state a sparse-recovery solve needs. See the module docs.
+#[derive(Debug)]
+pub struct Workspace {
+    /// Operator-apply scratch.
+    pub(crate) op: OperatorScratch,
+    /// Current iterate (signal length `n`).
+    pub(crate) s: Vec<f64>,
+    /// Momentum point (FISTA) — `n`.
+    pub(crate) z: Vec<f64>,
+    /// Next iterate under construction — `n`.
+    pub(crate) s_next: Vec<f64>,
+    /// Gradient / correlation buffer — `n`.
+    pub(crate) grad: Vec<f64>,
+    /// Recovered support indices (debias step, OMP).
+    pub(crate) support: Vec<usize>,
+    /// Operator output `A s` (measurement length `m`).
+    pub(crate) az: Vec<f64>,
+    /// Residual `A s - y` — `m`.
+    pub(crate) resid: Vec<f64>,
+    /// OMP: selected atom columns, flattened `k * m`.
+    pub(crate) atoms: Vec<f64>,
+    /// OMP: Gram matrix of the selected atoms, `k * k`.
+    pub(crate) gram: Vec<f64>,
+    /// OMP: Cholesky factor scratch, `k * k`.
+    pub(crate) chol: Vec<f64>,
+    /// OMP: right-hand side / substitution scratch, `k` each.
+    pub(crate) rhs: Vec<f64>,
+    /// OMP: least-squares solution on the support, `k`.
+    pub(crate) coef: Vec<f64>,
+}
+
+impl Workspace {
+    /// Builds a workspace sized for `op`.
+    pub fn for_operator(op: &MeasurementOperator<'_>) -> Self {
+        let n = op.signal_len();
+        let m = op.measurement_len();
+        Workspace {
+            op: OperatorScratch::new(op.dct()),
+            s: vec![0.0; n],
+            z: vec![0.0; n],
+            s_next: vec![0.0; n],
+            grad: vec![0.0; n],
+            support: Vec::new(),
+            az: vec![0.0; m],
+            resid: vec![0.0; m],
+            atoms: Vec::new(),
+            gram: Vec::new(),
+            chol: Vec::new(),
+            rhs: Vec::new(),
+            coef: Vec::new(),
+        }
+    }
+
+    /// Regrows buffers for `op`'s dimensions; a no-op when they already
+    /// fit (the steady-state case).
+    pub fn ensure(&mut self, op: &MeasurementOperator<'_>) {
+        let n = op.signal_len();
+        let m = op.measurement_len();
+        self.op.ensure(op.dct());
+        if self.s.len() != n {
+            for v in [&mut self.s, &mut self.z, &mut self.s_next, &mut self.grad] {
+                v.resize(n, 0.0);
+            }
+        }
+        if self.az.len() != m {
+            self.az.resize(m, 0.0);
+            self.resid.resize(m, 0.0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure::SamplePattern;
+
+    #[test]
+    fn workspace_sizes_match_operator() {
+        let dct = Dct2d::new(6, 9);
+        let pattern = SamplePattern::from_indices(6, 9, vec![0, 5, 17, 53]);
+        let op = MeasurementOperator::new(&dct, &pattern);
+        let ws = Workspace::for_operator(&op);
+        assert_eq!(ws.s.len(), 54);
+        assert_eq!(ws.az.len(), 4);
+    }
+
+    #[test]
+    fn ensure_adapts_across_kernel_kinds() {
+        use crate::fista::{fista_with, FistaConfig};
+        use crate::measure::SamplePattern;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        // Same grid shape, different kernels: a workspace warmed on the
+        // dense operator must rebuild its transform scratch for the FFT
+        // operator instead of tripping the plan-size assertions.
+        let dense = Dct2d::new_dense(40, 40);
+        let fast = Dct2d::new_fast(40, 40);
+        let mut rng = StdRng::seed_from_u64(3);
+        let pattern = SamplePattern::random(40, 40, 0.3, &mut rng);
+        let mut coeffs = vec![0.0; 1600];
+        coeffs[7] = 2.0;
+        let full = dense.inverse(&coeffs);
+        let y = pattern.gather(&full);
+        let cfg = FistaConfig {
+            max_iter: 50,
+            debias_iters: 0,
+            ..FistaConfig::default()
+        };
+
+        let op_dense = MeasurementOperator::new(&dense, &pattern);
+        let op_fast = MeasurementOperator::new(&fast, &pattern);
+        let mut ws = Workspace::for_operator(&op_dense);
+        let a = fista_with(&op_dense, &y, &cfg, &mut ws);
+        let b = fista_with(&op_fast, &y, &cfg, &mut ws);
+        let c = fista_with(&op_dense, &y, &cfg, &mut ws);
+        for ((x, y2), z) in a
+            .coefficients
+            .iter()
+            .zip(&b.coefficients)
+            .zip(&c.coefficients)
+        {
+            assert!((x - y2).abs() < 1e-9 && (x - z).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn ensure_adapts_to_new_operator() {
+        let dct_a = Dct2d::new(4, 4);
+        let pat_a = SamplePattern::from_indices(4, 4, vec![1, 2]);
+        let op_a = MeasurementOperator::new(&dct_a, &pat_a);
+        let mut ws = Workspace::for_operator(&op_a);
+
+        let dct_b = Dct2d::new(8, 10);
+        let pat_b = SamplePattern::from_indices(8, 10, vec![0, 9, 40, 41, 66]);
+        let op_b = MeasurementOperator::new(&dct_b, &pat_b);
+        ws.ensure(&op_b);
+        assert_eq!(ws.s.len(), 80);
+        assert_eq!(ws.az.len(), 5);
+        assert_eq!(ws.op.grid.len(), 80);
+    }
+}

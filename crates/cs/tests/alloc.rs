@@ -1,0 +1,157 @@
+//! Steady-state allocation audit for the solver hot path.
+//!
+//! The PR's contract: once a [`Workspace`] has warmed up, FISTA/ISTA
+//! iterations perform **zero heap allocation** — every transform and
+//! operator apply goes through the `_into` APIs. This test pins that
+//! with a counting global allocator: a warmed-up `fista_with` solve may
+//! allocate only the result it returns, independent of iteration count
+//! and grid size.
+
+use oscar_cs::dct::Dct2d;
+use oscar_cs::fista::{fista_with, FistaConfig};
+use oscar_cs::ista::ista_with;
+use oscar_cs::measure::{MeasurementOperator, SamplePattern};
+use oscar_cs::workspace::Workspace;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn alloc_count() -> usize {
+    ALLOC_CALLS.load(Ordering::Relaxed)
+}
+
+/// A 64x64 problem with a handful of DCT spikes, sampled at 25%.
+fn setup() -> (Dct2d, SamplePattern, Vec<f64>) {
+    let dct = Dct2d::new(64, 64);
+    assert!(dct.is_fast(), "64x64 must take the FFT path");
+    let mut coeffs = vec![0.0; 64 * 64];
+    for (i, v) in [
+        (0usize, 5.0),
+        (13, -2.0),
+        (64, 1.5),
+        (200, 0.8),
+        (901, -0.6),
+    ] {
+        coeffs[i] = v;
+    }
+    let full = dct.inverse(&coeffs);
+    let mut rng = StdRng::seed_from_u64(42);
+    let pattern = SamplePattern::random(64, 64, 0.25, &mut rng);
+    let y = pattern.gather(&full);
+    (dct, pattern, y)
+}
+
+#[test]
+fn warmed_fista_solve_is_allocation_free_modulo_result() {
+    // Pin the parallel helpers to one worker: thread spawning allocates,
+    // and the audit is about the solver itself. (First use caches it.)
+    std::env::set_var("OSCAR_THREADS", "1");
+    assert_eq!(oscar_par::max_threads(), 1);
+
+    let (dct, pattern, y) = setup();
+    let op = MeasurementOperator::new(&dct, &pattern);
+    // Fixed iteration budget so the measured work is substantial.
+    let cfg = FistaConfig {
+        max_iter: 100,
+        tol: 0.0,
+        debias_iters: 25,
+        ..FistaConfig::default()
+    };
+
+    let mut ws = Workspace::for_operator(&op);
+    let warm = fista_with(&op, &y, &cfg, &mut ws); // warm-up: sizes settle
+
+    let before = alloc_count();
+    let result = fista_with(&op, &y, &cfg, &mut ws);
+    let during = alloc_count() - before;
+
+    // The only permitted allocations are the returned FistaResult's
+    // coefficient vector (plus nothing proportional to iterations: 125
+    // operator applies ran in the measured window).
+    assert!(
+        during <= 4,
+        "steady-state FISTA made {during} allocations; hot loop must make none"
+    );
+    assert_eq!(result.iterations, warm.iterations);
+    assert!((result.residual_norm - warm.residual_norm).abs() < 1e-12);
+}
+
+#[test]
+fn warmed_ista_solve_is_allocation_free_modulo_result() {
+    std::env::set_var("OSCAR_THREADS", "1");
+    let (dct, pattern, y) = setup();
+    let op = MeasurementOperator::new(&dct, &pattern);
+    let cfg = FistaConfig {
+        max_iter: 60,
+        tol: 0.0,
+        debias_iters: 0,
+        ..FistaConfig::default()
+    };
+    let mut ws = Workspace::for_operator(&op);
+    let _ = ista_with(&op, &y, &cfg, &mut ws);
+
+    let before = alloc_count();
+    let _ = ista_with(&op, &y, &cfg, &mut ws);
+    let during = alloc_count() - before;
+    assert!(
+        during <= 4,
+        "steady-state ISTA made {during} allocations; hot loop must make none"
+    );
+}
+
+#[test]
+fn workspace_reuse_across_patterns_stays_quiet_once_sized() {
+    std::env::set_var("OSCAR_THREADS", "1");
+    let (dct, _, _) = setup();
+    let cfg = FistaConfig {
+        max_iter: 30,
+        tol: 0.0,
+        debias_iters: 0,
+        ..FistaConfig::default()
+    };
+    let mut rng = StdRng::seed_from_u64(7);
+    // Warm with the largest measurement count, then solve a smaller one.
+    let big = SamplePattern::random(64, 64, 0.3, &mut rng);
+    let small = SamplePattern::random(64, 64, 0.2, &mut rng);
+    let mut coeffs = vec![0.0; 64 * 64];
+    coeffs[5] = 2.0;
+    let full = dct.inverse(&coeffs);
+
+    let op_big = MeasurementOperator::new(&dct, &big);
+    let op_small = MeasurementOperator::new(&dct, &small);
+    let y_big = big.gather(&full);
+    let y_small = small.gather(&full);
+
+    let mut ws = Workspace::for_operator(&op_big);
+    let _ = fista_with(&op_big, &y_big, &cfg, &mut ws);
+    let _ = fista_with(&op_small, &y_small, &cfg, &mut ws); // resize happens here
+
+    let before = alloc_count();
+    let _ = fista_with(&op_small, &y_small, &cfg, &mut ws);
+    let during = alloc_count() - before;
+    assert!(during <= 4, "re-used workspace made {during} allocations");
+}

@@ -69,7 +69,7 @@ proptest! {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let dct = Dct2d::new(8, 8);
         let mut coeffs = vec![0.0; 64];
-        coeffs[rng.gen_range(0..64)] = rng.gen_range(0.5..3.0);
+        coeffs[rng.gen_range(0usize..64)] = rng.gen_range(0.5..3.0);
         let full = dct.inverse(&coeffs);
         let pattern = SamplePattern::random(8, 8, 0.4, &mut rng);
         let y = pattern.gather(&full);
@@ -111,7 +111,7 @@ proptest! {
         let dct = Dct2d::new(8, 8);
         let mut coeffs = vec![0.0; 64];
         for _ in 0..5 {
-            let i = rng.gen_range(0..64);
+            let i = rng.gen_range(0usize..64);
             coeffs[i] = rng.gen_range(-2.0..2.0);
         }
         let full = dct.inverse(&coeffs);
@@ -121,5 +121,129 @@ proptest! {
         let small = omp(&op, &y, &OmpConfig { max_atoms: 2, residual_tol: 0.0 });
         let large = omp(&op, &y, &OmpConfig { max_atoms: 8, residual_tol: 0.0 });
         prop_assert!(large.residual_norm <= small.residual_norm + 1e-9);
+    }
+}
+
+/// FFT-kernel vs dense-kernel equivalence and transform invariants for
+/// the sizes the acceptance criteria pin: every n in 1..=64 plus 100,
+/// 128 (power of two) and 257 (prime, exercises Bluestein).
+mod fft_vs_dense {
+    use oscar_cs::dct::{Dct1d, Dct2d, DctNd};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    const SIZES: &[usize] = &[
+        1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21, 22, 23, 24, 25,
+        26, 27, 28, 29, 30, 31, 32, 33, 34, 35, 36, 37, 38, 39, 40, 41, 42, 43, 44, 45, 46, 47, 48,
+        49, 50, 51, 52, 53, 54, 55, 56, 57, 58, 59, 60, 61, 62, 63, 64, 100, 128, 257,
+    ];
+
+    fn random_signal(n: usize, rng: &mut StdRng) -> Vec<f64> {
+        (0..n).map(|_| rng.gen_range(-2.0..2.0)).collect()
+    }
+
+    #[test]
+    fn fft_forward_matches_dense_oracle_to_1e10() {
+        let mut rng = StdRng::seed_from_u64(101);
+        for &n in SIZES {
+            let dense = Dct1d::new_dense(n);
+            let fast = Dct1d::new_fast(n);
+            let x = random_signal(n, &mut rng);
+            let a = dense.forward(&x);
+            let b = fast.forward(&x);
+            for (i, (u, v)) in a.iter().zip(&b).enumerate() {
+                assert!(
+                    (u - v).abs() < 1e-10,
+                    "n={n} coeff {i}: dense {u} vs fft {v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fft_inverse_matches_dense_oracle_to_1e10() {
+        let mut rng = StdRng::seed_from_u64(102);
+        for &n in SIZES {
+            let dense = Dct1d::new_dense(n);
+            let fast = Dct1d::new_fast(n);
+            let s = random_signal(n, &mut rng);
+            let a = dense.inverse(&s);
+            let b = fast.inverse(&s);
+            for (i, (u, v)) in a.iter().zip(&b).enumerate() {
+                assert!(
+                    (u - v).abs() < 1e-10,
+                    "n={n} sample {i}: dense {u} vs fft {v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fft_roundtrip_identity_to_1e10() {
+        let mut rng = StdRng::seed_from_u64(103);
+        for &n in SIZES {
+            let fast = Dct1d::new_fast(n);
+            let x = random_signal(n, &mut rng);
+            let y = fast.inverse(&fast.forward(&x));
+            for (a, b) in x.iter().zip(&y) {
+                assert!((a - b).abs() < 1e-10, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn dct2d_roundtrip_non_pow2_non_square() {
+        let mut rng = StdRng::seed_from_u64(104);
+        // Mix of non-power-of-two, non-square, production, and skinny grids.
+        for &(rows, cols) in &[
+            (5usize, 9usize),
+            (33, 47),
+            (50, 100),
+            (144, 225),
+            (1, 257),
+            (100, 3),
+            (64, 64),
+        ] {
+            let dct = Dct2d::new(rows, cols);
+            let x = random_signal(rows * cols, &mut rng);
+            let y = dct.inverse(&dct.forward(&x));
+            for (a, b) in x.iter().zip(&y) {
+                assert!((a - b).abs() < 1e-10, "grid {rows}x{cols}");
+            }
+        }
+    }
+
+    #[test]
+    fn dct2d_fast_matches_dense_on_grids() {
+        let mut rng = StdRng::seed_from_u64(105);
+        for &(rows, cols) in &[(33usize, 50usize), (50, 100), (40, 257)] {
+            let dense = Dct2d::new_dense(rows, cols);
+            let fast = Dct2d::new_fast(rows, cols);
+            let x = random_signal(rows * cols, &mut rng);
+            let a = dense.forward(&x);
+            let b = fast.forward(&x);
+            for (u, v) in a.iter().zip(&b) {
+                assert!((u - v).abs() < 1e-9, "grid {rows}x{cols}");
+            }
+        }
+    }
+
+    #[test]
+    fn dctnd_roundtrip_non_pow2_non_square() {
+        let mut rng = StdRng::seed_from_u64(106);
+        for shape in [
+            vec![7usize],
+            vec![5, 7],
+            vec![12, 15, 10],
+            vec![3, 33, 5],
+            vec![2, 3, 5, 7],
+        ] {
+            let dct = DctNd::new(&shape);
+            let x = random_signal(dct.len(), &mut rng);
+            let y = dct.inverse(&dct.forward(&x));
+            for (a, b) in x.iter().zip(&y) {
+                assert!((a - b).abs() < 1e-10, "shape {shape:?}");
+            }
+        }
     }
 }

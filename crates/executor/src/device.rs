@@ -14,9 +14,9 @@ use oscar_problems::ansatz::Ansatz;
 use oscar_problems::ising::IsingProblem;
 use oscar_qsim::circuit::GateCounts;
 use oscar_qsim::qaoa::QaoaEvaluator;
-use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Mutex;
 
 /// A simulated quantum processing unit executing QAOA circuits.
 ///
@@ -110,7 +110,7 @@ impl QpuDevice {
         let (ideal, var) = self.evaluator.moments(betas, gammas);
         let mixed = self.evaluator.diagonal_mean();
         let scaled = self.noise.scaled(scale);
-        let mut rng = self.rng.lock();
+        let mut rng = self.lock_rng();
         scaled.noisy_expectation(ideal, var, mixed, self.counts, &mut *rng)
     }
 
@@ -118,9 +118,15 @@ impl QpuDevice {
     /// execution), in simulated seconds.
     pub fn execute_timed(&self, betas: &[f64], gammas: &[f64]) -> (f64, f64) {
         let value = self.execute(betas, gammas);
-        let mut rng = self.rng.lock();
+        let mut rng = self.lock_rng();
         let latency = self.latency.sample(&mut *rng);
         (value, latency)
+    }
+
+    /// Locks the device RNG, tolerating poisoning (a panicked worker must
+    /// not wedge every later execution).
+    fn lock_rng(&self) -> std::sync::MutexGuard<'_, StdRng> {
+        self.rng.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     /// Executes with zero-noise extrapolation: measures at each of the
@@ -150,7 +156,14 @@ mod tests {
     #[test]
     fn ideal_device_matches_evaluator() {
         let p = problem();
-        let qpu = QpuDevice::new("ideal", &p, 1, NoiseModel::ideal(), LatencyModel::instant(), 0);
+        let qpu = QpuDevice::new(
+            "ideal",
+            &p,
+            1,
+            NoiseModel::ideal(),
+            LatencyModel::instant(),
+            0,
+        );
         let direct = p.qaoa_evaluator().expectation(&[0.3], &[0.7]);
         assert!((qpu.execute(&[0.3], &[0.7]) - direct).abs() < 1e-12);
     }
@@ -190,7 +203,10 @@ mod tests {
         );
         let e1 = q1.execute(&[0.25], &[0.5]);
         let e2 = q2.execute(&[0.25], &[0.5]);
-        assert!((e1 - e2).abs() > 1e-4, "devices should differ: {e1} vs {e2}");
+        assert!(
+            (e1 - e2).abs() > 1e-4,
+            "devices should differ: {e1} vs {e2}"
+        );
     }
 
     #[test]

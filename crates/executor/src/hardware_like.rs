@@ -177,15 +177,8 @@ mod tests {
             white_std: 0.0,
             ..HardwareLikeConfig::default()
         };
-        let (noisy, ideal) = hardware_like_landscape(
-            &problem(),
-            15,
-            15,
-            (-0.6, 0.6),
-            (0.0, 1.5),
-            &cfg,
-            &mut rng,
-        );
+        let (noisy, ideal) =
+            hardware_like_landscape(&problem(), 15, 15, (-0.6, 0.6), (0.0, 1.5), &cfg, &mut rng);
         let range = |v: &[f64]| {
             v.iter().copied().fold(f64::NEG_INFINITY, f64::max)
                 - v.iter().copied().fold(f64::INFINITY, f64::min)

@@ -51,6 +51,7 @@ pub mod prelude {
     pub use crate::latency::{LatencyModel, LatencyStats};
     pub use crate::ncm::NoiseCompensationModel;
     pub use crate::parallel::{
-        execute_round_robin, execute_split, makespan, within_timeout, Job, Outcome,
+        execute_round_robin, execute_split, makespan, split_boundaries, within_timeout, Job,
+        Outcome,
     };
 }

@@ -3,10 +3,10 @@
 //! OSCAR decouples the optimizer from circuit execution, so landscape
 //! samples are independent jobs that can run on `k` devices concurrently.
 //! This module distributes jobs across devices (real OS threads via
-//! crossbeam), tracks *simulated* completion times from each device's
-//! latency model, and supports eager reconstruction: dropping straggler
-//! samples past a soft timeout (paper §5.2) instead of waiting out the
-//! tail.
+//! `std::thread::scope`), tracks *simulated* completion times from each
+//! device's latency model, and supports eager reconstruction: dropping
+//! straggler samples past a soft timeout (paper §5.2) instead of waiting
+//! out the tail.
 
 use crate::device::QpuDevice;
 
@@ -44,6 +44,14 @@ pub struct Outcome {
 /// `shares[0]` fraction, and so on — matching the paper's "X% of samples
 /// come from QPU-1" experimental axis.
 ///
+/// Chunk sizes are apportioned with the largest-remainder method, so for
+/// *any* valid share vector every job is assigned to exactly one device
+/// and each device's count differs from its exact proportional share
+/// `shares[d] * jobs.len()` by less than one job. (The previous
+/// cumulative-rounding scheme could starve a middle device of a job that
+/// its share entitled it to when neighbours' remainders both rounded in
+/// the same direction.)
+///
 /// # Panics
 ///
 /// Panics if `devices` is empty, shares length mismatches, shares are
@@ -51,40 +59,58 @@ pub struct Outcome {
 pub fn execute_split(devices: &[&QpuDevice], shares: &[f64], jobs: &[Job]) -> Vec<Outcome> {
     assert!(!devices.is_empty(), "need at least one device");
     assert_eq!(devices.len(), shares.len(), "one share per device");
-    assert!(shares.iter().all(|&s| s >= 0.0), "shares must be non-negative");
+    assert!(
+        shares.iter().all(|&s| s >= 0.0),
+        "shares must be non-negative"
+    );
     let total: f64 = shares.iter().sum();
     assert!((total - 1.0).abs() < 1e-6, "shares must sum to 1");
 
-    // Partition the job list into contiguous chunks per device.
-    let mut boundaries = Vec::with_capacity(devices.len() + 1);
-    boundaries.push(0usize);
-    let mut acc = 0.0;
-    for (d, &s) in shares.iter().enumerate() {
-        acc += s;
-        let end = if d + 1 == shares.len() {
-            jobs.len()
-        } else {
-            (acc * jobs.len() as f64).round() as usize
-        };
-        boundaries.push(end.clamp(*boundaries.last().unwrap(), jobs.len()));
-    }
-
+    let boundaries = split_boundaries(shares, jobs.len());
     let mut results: Vec<Vec<Outcome>> = Vec::new();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for (d, device) in devices.iter().enumerate() {
             let chunk = &jobs[boundaries[d]..boundaries[d + 1]];
-            handles.push(scope.spawn(move |_| run_device_queue(device, d, chunk)));
+            handles.push(scope.spawn(move || run_device_queue(device, d, chunk)));
         }
         for h in handles {
             results.push(h.join().expect("device thread panicked"));
         }
-    })
-    .expect("crossbeam scope failed");
+    });
 
     let mut flat: Vec<Outcome> = results.into_iter().flatten().collect();
     flat.sort_by_key(|o| o.index);
     flat
+}
+
+/// Contiguous chunk boundaries for `n` jobs under `shares`, apportioned
+/// by the largest-remainder (Hamilton) method: device `d` receives
+/// `floor(shares[d] * n)` jobs plus at most one of the leftover jobs,
+/// handed out in order of descending fractional remainder (ties broken
+/// by device index). The returned vector has `shares.len() + 1` entries
+/// with `boundaries[0] == 0` and `boundaries[last] == n`.
+pub fn split_boundaries(shares: &[f64], n: usize) -> Vec<usize> {
+    let quotas: Vec<f64> = shares.iter().map(|&s| s * n as f64).collect();
+    let mut counts: Vec<usize> = quotas.iter().map(|&q| q.floor() as usize).collect();
+    let assigned: usize = counts.iter().sum();
+    // Distribute the remaining jobs by largest fractional remainder.
+    let mut order: Vec<usize> = (0..shares.len()).collect();
+    order.sort_by(|&a, &b| {
+        let ra = quotas[a] - quotas[a].floor();
+        let rb = quotas[b] - quotas[b].floor();
+        rb.partial_cmp(&ra).unwrap().then(a.cmp(&b))
+    });
+    for &d in order.iter().take(n.saturating_sub(assigned)) {
+        counts[d] += 1;
+    }
+    let mut boundaries = Vec::with_capacity(shares.len() + 1);
+    boundaries.push(0usize);
+    for &c in &counts {
+        boundaries.push(boundaries.last().unwrap() + c);
+    }
+    debug_assert_eq!(*boundaries.last().unwrap(), n);
+    boundaries
 }
 
 /// Round-robin variant: job `i` goes to device `i % k`. Balances load when
@@ -93,26 +119,19 @@ pub fn execute_round_robin(devices: &[&QpuDevice], jobs: &[Job]) -> Vec<Outcome>
     assert!(!devices.is_empty(), "need at least one device");
     let k = devices.len();
     let chunks: Vec<Vec<Job>> = (0..k)
-        .map(|d| {
-            jobs.iter()
-                .skip(d)
-                .step_by(k)
-                .cloned()
-                .collect::<Vec<_>>()
-        })
+        .map(|d| jobs.iter().skip(d).step_by(k).cloned().collect::<Vec<_>>())
         .collect();
     let mut results: Vec<Vec<Outcome>> = Vec::new();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for (d, device) in devices.iter().enumerate() {
             let chunk = &chunks[d];
-            handles.push(scope.spawn(move |_| run_device_queue(device, d, chunk)));
+            handles.push(scope.spawn(move || run_device_queue(device, d, chunk)));
         }
         for h in handles {
             results.push(h.join().expect("device thread panicked"));
         }
-    })
-    .expect("crossbeam scope failed");
+    });
     let mut flat: Vec<Outcome> = results.into_iter().flatten().collect();
     flat.sort_by_key(|o| o.index);
     flat

@@ -95,3 +95,56 @@ proptest! {
         }
     }
 }
+
+/// Chunk-boundary apportionment invariants of `execute_split` /
+/// `split_boundaries`, over random share vectors (the satellite fix for
+/// the seed's cumulative-rounding scheme).
+mod split_apportionment {
+    use oscar_executor::prelude::split_boundaries;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Every job is assigned to exactly one contiguous chunk, and each
+        /// device's count differs from its exact proportional share by
+        /// less than one job — for any normalized share vector, including
+        /// ones with zero entries.
+        #[test]
+        fn boundaries_partition_exactly(seed in 0u64..10_000, devices in 1usize..7, n in 0usize..200) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            // Random non-negative weights, some forced to zero, normalized.
+            let mut weights: Vec<f64> = (0..devices)
+                .map(|_| if rng.gen_range(0.0..1.0) < 0.2 { 0.0 } else { rng.gen_range(0.0..1.0) })
+                .collect();
+            let total: f64 = weights.iter().sum();
+            if total == 0.0 {
+                weights[0] = 1.0;
+            }
+            let total: f64 = weights.iter().sum();
+            for w in &mut weights {
+                *w /= total;
+            }
+
+            let bounds = split_boundaries(&weights, n);
+            prop_assert_eq!(bounds.len(), devices + 1);
+            prop_assert_eq!(bounds[0], 0);
+            prop_assert_eq!(*bounds.last().unwrap(), n);
+            // Monotone boundaries <=> disjoint contiguous chunks covering 0..n.
+            for w in bounds.windows(2) {
+                prop_assert!(w[0] <= w[1]);
+            }
+            // Largest-remainder quota property: |count - share*n| < 1.
+            for (d, &share) in weights.iter().enumerate() {
+                let count = (bounds[d + 1] - bounds[d]) as f64;
+                let quota = share * n as f64;
+                prop_assert!(
+                    (count - quota).abs() < 1.0,
+                    "device {} got {} jobs for quota {}", d, count, quota
+                );
+            }
+        }
+    }
+}

@@ -240,8 +240,7 @@ mod tests {
             readout: oscar_qsim::noise::ReadoutError::ideal(),
             shots: None,
         };
-        let analytic =
-            model.noisy_expectation(1.0, 0.0, 0.0, c.gate_counts(), &mut rng);
+        let analytic = model.noisy_expectation(1.0, 0.0, 0.0, c.gate_counts(), &mut rng);
         assert!(
             (trajectory - analytic).abs() < 0.03,
             "trajectory {trajectory} vs analytic {analytic}"
@@ -250,8 +249,7 @@ mod tests {
 
     #[test]
     fn readout_damps_further() {
-        let m = NoiseModel::depolarizing(0.0, 0.0)
-            .with_readout(ReadoutError::new(0.05, 0.05));
+        let m = NoiseModel::depolarizing(0.0, 0.0).with_readout(ReadoutError::new(0.05, 0.05));
         let mut rng = StdRng::seed_from_u64(2);
         let e = m.noisy_expectation(1.0, 0.0, 0.0, GateCounts::default(), &mut rng);
         assert!((e - 0.81).abs() < 1e-12, "expected (1-0.1)^2, got {e}");

@@ -221,7 +221,11 @@ mod tests {
         // the weights sum to 1.
         for zne in [ZneConfig::richardson_123(), ZneConfig::linear_13()] {
             let s: f64 = zne.weights().iter().sum();
-            assert!((s - 1.0).abs() < 1e-12, "{:?} sums to {s}", zne.extrapolation);
+            assert!(
+                (s - 1.0).abs() < 1e-12,
+                "{:?} sums to {s}",
+                zne.extrapolation
+            );
             let e = zne.extrapolate(&mut |_| 0.7);
             assert!((e - 0.7).abs() < 1e-12);
         }

@@ -164,13 +164,12 @@ fn rebuild_simplex<F: FnMut(&[f64]) -> f64>(
 /// partial pivoting; `None` when (numerically) singular.
 fn solve_linear(rows: &[Vec<f64>], rhs: &[f64]) -> Option<Vec<f64>> {
     let n = rhs.len();
-    let mut a: Vec<Vec<f64>> = rows.iter().cloned().collect();
+    let mut a: Vec<Vec<f64>> = rows.to_vec();
     let mut b = rhs.to_vec();
     for col in 0..n {
         // Pivot.
-        let pivot = (col..n).max_by(|&i, &j| {
-            a[i][col].abs().partial_cmp(&a[j][col].abs()).unwrap()
-        })?;
+        let pivot =
+            (col..n).max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).unwrap())?;
         if a[pivot][col].abs() < 1e-12 {
             return None;
         }

@@ -12,11 +12,7 @@
 /// # Panics
 ///
 /// Panics if `eps <= 0`.
-pub fn central_difference(
-    f: &mut dyn FnMut(&[f64]) -> f64,
-    x: &[f64],
-    eps: f64,
-) -> Vec<f64> {
+pub fn central_difference(f: &mut dyn FnMut(&[f64]) -> f64, x: &[f64], eps: f64) -> Vec<f64> {
     assert!(eps > 0.0, "step must be positive");
     let mut grad = vec![0.0; x.len()];
     let mut probe = x.to_vec();

@@ -59,7 +59,10 @@ impl Optimizer for NelderMead {
             let spread = (worst.1 - best.1).abs();
             let max_coord_spread = (0..dim)
                 .map(|i| {
-                    let lo = simplex.iter().map(|(v, _)| v[i]).fold(f64::INFINITY, f64::min);
+                    let lo = simplex
+                        .iter()
+                        .map(|(v, _)| v[i])
+                        .fold(f64::INFINITY, f64::min);
                     let hi = simplex
                         .iter()
                         .map(|(v, _)| v[i])
@@ -160,8 +163,7 @@ mod tests {
             max_queries: 20_000,
             ..NelderMead::default()
         };
-        let mut f =
-            |x: &[f64]| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2);
+        let mut f = |x: &[f64]| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2);
         let res = nm.minimize(&mut f, &[-1.2, 1.0]);
         assert!(res.fx < 1e-4, "fx {}", res.fx);
     }

@@ -1,0 +1,320 @@
+//! # oscar-par — scoped data-parallel helpers
+//!
+//! A small, dependency-free stand-in for the slice-parallel subset of
+//! `rayon` that the OSCAR hot paths need (this build environment has no
+//! crates.io access, so rayon itself cannot be used). Built on
+//! `std::thread::scope`:
+//!
+//! * [`for_each_chunk_mut`] — split a slice into per-thread contiguous
+//!   chunks (aligned to a granule) and process them concurrently;
+//! * [`for_each_chunk_mut_with`] — the same, with one reusable scratch
+//!   object per worker so steady-state callers stay allocation-free;
+//! * [`for_each_zip_chunks_mut`] — process two equal-length slices in
+//!   lock-step chunks (butterfly halves of a gate kernel);
+//! * [`join`] — run two closures concurrently.
+//!
+//! All helpers degrade to serial execution when the machine has one
+//! core, when the work is below the caller's threshold, or when called
+//! from inside another `oscar-par` region (no nested oversubscription).
+//! Results are bit-identical to the serial path: parallelism only
+//! changes *who* computes each disjoint chunk, never the arithmetic.
+//!
+//! **Known limitation:** each helper call spawns fresh scoped threads
+//! (~10–50 µs plus a stack allocation per worker) rather than drawing
+//! from a persistent pool. Callers gate on work size so the spawn cost
+//! stays small relative to a chunk, but on multi-core hosts a tight
+//! loop of parallel applies (e.g. a FISTA solve) pays it per call —
+//! and strict allocation-freedom only holds with a single worker
+//! (`OSCAR_THREADS=1`). A lazily initialized worker pool is the
+//! natural upgrade if this crate outlives its rayon stand-in role.
+
+#![warn(missing_docs)]
+
+use std::cell::Cell;
+use std::sync::OnceLock;
+
+thread_local! {
+    static IN_PARALLEL: Cell<bool> = const { Cell::new(false) };
+}
+
+/// RAII marker for "this thread is inside a parallel region". Restores
+/// the previous value on drop, so nested serial fallbacks do not clear
+/// an enclosing region's flag.
+struct RegionGuard {
+    prev: bool,
+}
+
+impl RegionGuard {
+    fn enter() -> Self {
+        RegionGuard {
+            prev: IN_PARALLEL.with(|f| f.replace(true)),
+        }
+    }
+}
+
+impl Drop for RegionGuard {
+    fn drop(&mut self) {
+        let prev = self.prev;
+        IN_PARALLEL.with(|f| f.set(prev));
+    }
+}
+
+/// The worker budget: `OSCAR_THREADS` if set, else the machine's
+/// available parallelism.
+pub fn max_threads() -> usize {
+    static CACHE: OnceLock<usize> = OnceLock::new();
+    *CACHE.get_or_init(|| {
+        if let Ok(v) = std::env::var("OSCAR_THREADS") {
+            if let Ok(n) = v.parse::<usize>() {
+                return n.max(1);
+            }
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// `true` when the current thread is already inside an `oscar-par`
+/// parallel region (helpers then run serially to avoid nesting).
+pub fn in_parallel_region() -> bool {
+    IN_PARALLEL.with(|f| f.get())
+}
+
+/// Runs `a` and `b` concurrently and returns both results.
+///
+/// Falls back to sequential execution on single-core machines or inside
+/// an existing parallel region.
+pub fn join<RA: Send, RB: Send>(
+    a: impl FnOnce() -> RA + Send,
+    b: impl FnOnce() -> RB + Send,
+) -> (RA, RB) {
+    if max_threads() < 2 || in_parallel_region() {
+        return (a(), b());
+    }
+    std::thread::scope(|scope| {
+        let hb = scope.spawn(|| {
+            let _guard = RegionGuard::enter();
+            b()
+        });
+        let ra = a();
+        (ra, hb.join().expect("oscar-par worker panicked"))
+    })
+}
+
+/// Splits `data` into at most `workers` contiguous chunks whose lengths
+/// are multiples of `granule` (except possibly the last) and calls
+/// `f(offset, chunk)` for each, concurrently.
+///
+/// `granule` is the indivisible unit of work — a matrix row, a
+/// `2 * stride` butterfly block — so a caller's index arithmetic stays
+/// valid inside each chunk. `offset` is the chunk's starting index in
+/// `data`.
+///
+/// # Panics
+///
+/// Panics if `granule == 0`.
+pub fn for_each_chunk_mut<T: Send>(
+    data: &mut [T],
+    granule: usize,
+    f: impl Fn(usize, &mut [T]) + Sync,
+) {
+    let workers = plan_workers(data.len(), granule);
+    let mut scratch = vec![(); workers.max(1)];
+    run_chunks_with(
+        data,
+        granule,
+        workers,
+        &mut scratch,
+        &|offset, chunk, _: &mut ()| f(offset, chunk),
+    );
+}
+
+/// Like [`for_each_chunk_mut`], but hands each worker a dedicated
+/// scratch object from `scratch` (one per worker; the chunk count is
+/// capped at `scratch.len()`), enabling allocation-free parallel
+/// kernels.
+///
+/// # Panics
+///
+/// Panics if `granule == 0` or `scratch` is empty.
+pub fn for_each_chunk_mut_with<T: Send, S: Send>(
+    data: &mut [T],
+    granule: usize,
+    scratch: &mut [S],
+    f: impl Fn(usize, &mut [T], &mut S) + Sync,
+) {
+    assert!(!scratch.is_empty(), "need at least one scratch object");
+    let workers = plan_workers(data.len(), granule).min(scratch.len());
+    run_chunks_with(data, granule, workers, scratch, &f);
+}
+
+/// Processes two equal-length slices in matching contiguous chunks:
+/// `f(offset, a_chunk, b_chunk)`. Used for butterfly kernels where
+/// element `i` of `a` pairs with element `i` of `b`.
+///
+/// # Panics
+///
+/// Panics if the slices' lengths differ or `granule == 0`.
+pub fn for_each_zip_chunks_mut<T: Send>(
+    a: &mut [T],
+    b: &mut [T],
+    granule: usize,
+    f: impl Fn(usize, &mut [T], &mut [T]) + Sync,
+) {
+    assert_eq!(a.len(), b.len(), "zip slices must match");
+    let workers = plan_workers(a.len(), granule);
+    if workers < 2 {
+        let _guard = RegionGuard::enter();
+        f(0, a, b);
+        return;
+    }
+    let chunk_len = chunk_len_for(a.len(), granule, workers);
+    std::thread::scope(|scope| {
+        let mut offset = 0usize;
+        for (ca, cb) in a.chunks_mut(chunk_len).zip(b.chunks_mut(chunk_len)) {
+            let off = offset;
+            offset += ca.len();
+            let f = &f;
+            scope.spawn(move || {
+                let _guard = RegionGuard::enter();
+                f(off, ca, cb);
+            });
+        }
+    });
+}
+
+/// Number of workers worth using for `len` items of `granule`-sized
+/// units: 1 (serial) unless multiple granules exist and we are not
+/// already parallel.
+fn plan_workers(len: usize, granule: usize) -> usize {
+    assert!(granule > 0, "granule must be positive");
+    if in_parallel_region() {
+        return 1;
+    }
+    let units = len.div_ceil(granule);
+    max_threads().min(units).max(1)
+}
+
+/// Chunk length: the granule multiple closest to an even split.
+fn chunk_len_for(len: usize, granule: usize, workers: usize) -> usize {
+    let units = len.div_ceil(granule);
+    let units_per_chunk = units.div_ceil(workers);
+    (units_per_chunk * granule).max(granule)
+}
+
+fn run_chunks_with<T: Send, S: Send>(
+    data: &mut [T],
+    granule: usize,
+    workers: usize,
+    scratch: &mut [S],
+    f: &(impl Fn(usize, &mut [T], &mut S) + Sync),
+) {
+    if workers < 2 || data.len() <= granule {
+        let _guard = RegionGuard::enter();
+        f(0, data, &mut scratch[0]);
+        return;
+    }
+    let chunk_len = chunk_len_for(data.len(), granule, workers);
+    std::thread::scope(|scope| {
+        let mut offset = 0usize;
+        for (chunk, s) in data.chunks_mut(chunk_len).zip(scratch.iter_mut()) {
+            let off = offset;
+            offset += chunk.len();
+            scope.spawn(move || {
+                let _guard = RegionGuard::enter();
+                f(off, chunk, s);
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunked_map_covers_every_element() {
+        let mut v: Vec<u64> = (0..10_000).collect();
+        for_each_chunk_mut(&mut v, 7, |offset, chunk| {
+            for (i, x) in chunk.iter_mut().enumerate() {
+                assert_eq!(*x, (offset + i) as u64, "chunk offset wrong");
+                *x *= 2;
+            }
+        });
+        assert!(v.iter().enumerate().all(|(i, &x)| x == 2 * i as u64));
+    }
+
+    #[test]
+    fn granule_alignment_respected() {
+        let mut v = vec![0u8; 1000];
+        for_each_chunk_mut(&mut v, 32, |offset, chunk| {
+            assert_eq!(offset % 32, 0, "chunk must start on a granule");
+            if offset + chunk.len() != 1000 {
+                assert_eq!(
+                    chunk.len() % 32,
+                    0,
+                    "non-final chunk must be granule-aligned"
+                );
+            }
+        });
+    }
+
+    #[test]
+    fn scratch_variant_gives_each_worker_private_state() {
+        let mut v = vec![1u64; 4096];
+        let mut scratch: Vec<u64> = vec![0; max_threads().max(1)];
+        for_each_chunk_mut_with(&mut v, 1, &mut scratch, |_, chunk, acc| {
+            *acc += chunk.iter().sum::<u64>();
+        });
+        assert_eq!(scratch.iter().sum::<u64>(), 4096);
+    }
+
+    #[test]
+    fn zip_chunks_pair_matching_indices() {
+        let mut a: Vec<usize> = (0..512).collect();
+        let mut b: Vec<usize> = (512..1024).collect();
+        for_each_zip_chunks_mut(&mut a, &mut b, 8, |offset, ca, cb| {
+            for i in 0..ca.len() {
+                assert_eq!(ca[i], offset + i);
+                assert_eq!(cb[i], 512 + offset + i);
+                ca[i] += cb[i];
+            }
+        });
+        assert!(a.iter().enumerate().all(|(i, &x)| x == 512 + 2 * i));
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 2 + 2, || "ok");
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn nested_regions_run_serially_without_deadlock() {
+        let mut outer = vec![0u32; 256];
+        for_each_chunk_mut(&mut outer, 16, |_, chunk| {
+            // A nested call must not spawn; it should just run inline.
+            for_each_chunk_mut(chunk, 4, |_, inner| {
+                for x in inner {
+                    *x += 1;
+                }
+            });
+            assert!(in_parallel_region());
+        });
+        assert!(outer.iter().all(|&x| x == 1));
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let mut empty: Vec<u8> = Vec::new();
+        for_each_chunk_mut(&mut empty, 4, |_, chunk| {
+            assert!(chunk.is_empty());
+        });
+        let mut one = vec![7u8];
+        for_each_chunk_mut(&mut one, 4, |off, chunk| {
+            assert_eq!((off, chunk.len()), (0, 1));
+        });
+    }
+}

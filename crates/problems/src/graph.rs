@@ -52,7 +52,10 @@ impl Graph {
                 w[0].1
             );
         }
-        Graph { n, edges: normalized }
+        Graph {
+            n,
+            edges: normalized,
+        }
     }
 
     /// Number of vertices.
@@ -138,11 +141,14 @@ impl Graph {
     /// within an internal retry budget (overwhelmingly unlikely for the
     /// small `d` used here).
     pub fn random_regular<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R) -> Self {
-        assert!(n * d % 2 == 0, "n*d must be even for a d-regular graph");
+        assert!(
+            (n * d).is_multiple_of(2),
+            "n*d must be even for a d-regular graph"
+        );
         assert!(d < n, "degree must be below vertex count");
         'attempt: for _ in 0..1000 {
             // Stubs: d copies of each vertex, paired uniformly at random.
-            let mut stubs: Vec<usize> = (0..n).flat_map(|v| std::iter::repeat(v).take(d)).collect();
+            let mut stubs: Vec<usize> = (0..n).flat_map(|v| std::iter::repeat_n(v, d)).collect();
             stubs.shuffle(rng);
             let mut seen = std::collections::HashSet::new();
             let mut edges = Vec::with_capacity(n * d / 2);

@@ -63,8 +63,13 @@ impl IsingProblem {
     /// A Sherrington–Kirkpatrick instance with ±1 couplings on the complete
     /// graph (the convention of the Google QAOA dataset).
     pub fn sk_model<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Self {
-        let graph = Graph::complete(n, 1.0)
-            .with_random_weights(rng, |r| if r.gen::<bool>() { 1.0 } else { -1.0 });
+        let graph = Graph::complete(n, 1.0).with_random_weights(rng, |r| {
+            if r.gen::<bool>() {
+                1.0
+            } else {
+                -1.0
+            }
+        });
         IsingProblem {
             kind: IsingKind::SherringtonKirkpatrick,
             graph,

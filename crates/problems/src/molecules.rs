@@ -89,7 +89,7 @@ pub fn ground_state_energy(h: &PauliSum) -> f64 {
     // Deterministic perturbation to avoid starting orthogonal to the
     // ground state.
     for (i, amp) in v.iter_mut().enumerate() {
-        *amp = *amp + C64::new(1e-3 * ((i * 37 % 11) as f64 - 5.0), 0.0);
+        *amp += C64::new(1e-3 * ((i * 37 % 11) as f64 - 5.0), 0.0);
     }
     normalize(&mut v);
     let mut energy = 0.0;
@@ -180,7 +180,11 @@ mod tests {
         let e_gs = ground_state_energy(&h);
         assert!(e_hf > e_gs);
         // Analytic correlation energy for this Hamiltonian: 0.0784.
-        assert!(e_hf - e_gs < 0.1, "correlation energy too large: {}", e_hf - e_gs);
+        assert!(
+            e_hf - e_gs < 0.1,
+            "correlation energy too large: {}",
+            e_hf - e_gs
+        );
     }
 
     #[test]

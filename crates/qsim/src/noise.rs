@@ -120,7 +120,11 @@ fn inject_gate_noise<R: Rng + ?Sized>(
     rng: &mut R,
 ) {
     let qubits = op.qubits();
-    let p = if op.is_two_qubit() { noise.p2 } else { noise.p1 };
+    let p = if op.is_two_qubit() {
+        noise.p2
+    } else {
+        noise.p1
+    };
     if p == 0.0 {
         return;
     }
@@ -217,14 +221,8 @@ mod tests {
         c.push(Op::Rx(0, Param::Var(0)));
         let diag = vec![1.0, -1.0, -1.0, 1.0];
         let mut rng = StdRng::seed_from_u64(1);
-        let noisy = noisy_expectation_diagonal(
-            &c,
-            &[0.4],
-            &diag,
-            DepolarizingNoise::ideal(),
-            1,
-            &mut rng,
-        );
+        let noisy =
+            noisy_expectation_diagonal(&c, &[0.4], &diag, DepolarizingNoise::ideal(), 1, &mut rng);
         let exact = c.run(&[0.4]).expectation_diagonal(&diag);
         assert!((noisy - exact).abs() < 1e-12);
     }

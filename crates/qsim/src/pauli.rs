@@ -327,7 +327,10 @@ impl PauliSum {
     /// Panics if the observable is not diagonal or `n > 30`.
     pub fn diagonal(&self) -> Vec<f64> {
         assert!(self.is_diagonal(), "observable has off-diagonal terms");
-        assert!(self.n <= 30, "diagonal materialization limited to 30 qubits");
+        assert!(
+            self.n <= 30,
+            "diagonal materialization limited to 30 qubits"
+        );
         let dim = 1usize << self.n;
         let mut d = vec![self.constant; dim];
         for t in &self.terms {

@@ -9,7 +9,7 @@
 //! `O(p · n · 2^n)` with no allocation beyond one state vector.
 
 use crate::complex::C64;
-use crate::state::MAX_QUBITS;
+use crate::state::{for_each_amp_indexed, MAX_QUBITS, PAR_MIN_AMPS};
 
 /// Precomputed QAOA evaluator for a fixed diagonal cost function.
 ///
@@ -118,36 +118,63 @@ impl QaoaEvaluator {
         }
         amps.iter().map(|a| a.norm_sqr()).collect()
     }
-
 }
 
-/// Applies `amps[b] *= e^{-i γ diag[b]}` in place.
+/// Applies `amps[b] *= e^{-i γ diag[b]}` in place, chunked across
+/// workers for large registers.
 #[inline]
 fn apply_phase(amps: &mut [C64], diag: &[f64], gamma: f64) {
-    for (a, &d) in amps.iter_mut().zip(diag.iter()) {
-        *a *= C64::cis(-gamma * d);
+    for_each_amp_indexed(amps, |i, a| {
+        *a *= C64::cis(-gamma * diag[i]);
+    });
+}
+
+/// `[c, -i s; -i s, c]` butterflies over blocks of `2 * stride`.
+#[inline]
+fn mixer_blocks(amps: &mut [C64], stride: usize, c: f64, s: f64) {
+    let mut base = 0usize;
+    while base < amps.len() {
+        for i in base..base + stride {
+            let a0 = amps[i];
+            let a1 = amps[i + stride];
+            amps[i] = C64::new(c * a0.re + s * a1.im, c * a0.im - s * a1.re);
+            amps[i + stride] = C64::new(c * a1.re + s * a0.im, c * a1.im - s * a0.re);
+        }
+        base += stride << 1;
     }
 }
 
 /// Applies `RX(2β)` on every qubit: `e^{-i β X_q}` has matrix
-/// `[[cos β, -i sin β], [-i sin β, cos β]]`.
+/// `[[cos β, -i sin β], [-i sin β, cos β]]`. Each qubit pass splits
+/// across workers on large registers (block-aligned chunks for low
+/// qubits, zipped register halves for the top one).
 #[inline]
 fn apply_mixer(amps: &mut [C64], n: usize, beta: f64) {
     let c = beta.cos();
     let s = beta.sin();
+    let dim = amps.len();
+    let parallel = dim >= PAR_MIN_AMPS && !oscar_par::in_parallel_region();
     for q in 0..n {
         let stride = 1usize << q;
-        let dim = amps.len();
-        let mut base = 0usize;
-        while base < dim {
-            for i in base..base + stride {
-                let a0 = amps[i];
-                let a1 = amps[i + stride];
-                // [c, -i s; -i s, c] * [a0; a1]
-                amps[i] = C64::new(c * a0.re + s * a1.im, c * a0.im - s * a1.re);
-                amps[i + stride] = C64::new(c * a1.re + s * a0.im, c * a1.im - s * a0.re);
-            }
-            base += stride << 1;
+        if !parallel {
+            mixer_blocks(amps, stride, c, s);
+            continue;
+        }
+        let block = stride << 1;
+        if block <= dim / 2 {
+            oscar_par::for_each_chunk_mut(amps, block, |_, chunk| {
+                mixer_blocks(chunk, stride, c, s);
+            });
+        } else {
+            let (lo, hi) = amps.split_at_mut(stride);
+            oscar_par::for_each_zip_chunks_mut(lo, hi, 1 << 12, |_, la, ha| {
+                for (p0, p1) in la.iter_mut().zip(ha.iter_mut()) {
+                    let a0 = *p0;
+                    let a1 = *p1;
+                    *p0 = C64::new(c * a0.re + s * a1.im, c * a0.im - s * a1.re);
+                    *p1 = C64::new(c * a1.re + s * a0.im, c * a1.im - s * a0.re);
+                }
+            });
         }
     }
 }
@@ -229,7 +256,10 @@ mod tests {
         // E(β,γ) = -1/2 + sin(4β) sin(γ) / 2, so (β, γ) = (-π/8, π/2)
         // reaches the optimum -1 exactly.
         let eval = QaoaEvaluator::new(2, single_edge_diag());
-        let e = eval.expectation(&[-std::f64::consts::FRAC_PI_8], &[std::f64::consts::FRAC_PI_2]);
+        let e = eval.expectation(
+            &[-std::f64::consts::FRAC_PI_8],
+            &[std::f64::consts::FRAC_PI_2],
+        );
         assert!((e - (-1.0)).abs() < 1e-10, "expected -1, got {e}");
     }
 

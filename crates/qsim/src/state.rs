@@ -2,6 +2,11 @@
 //!
 //! Qubit `q` corresponds to bit `q` of the basis index (qubit 0 is the least
 //! significant bit). All gate applications are in-place and O(2^n).
+//!
+//! Registers with at least [`PAR_MIN_AMPS`] amplitudes split the
+//! diagonal and single-qubit gate kernels across worker threads
+//! (`oscar-par`); the arithmetic per amplitude is identical to the
+//! serial path, so results are bit-exact regardless of thread count.
 
 use crate::complex::C64;
 use crate::pauli::{PauliString, PauliSum};
@@ -11,6 +16,48 @@ use rand::Rng;
 ///
 /// 2^28 amplitudes = 4 GiB of `C64`; anything beyond is a configuration bug.
 pub const MAX_QUBITS: usize = 28;
+
+/// Registers with at least this many amplitudes (2^15 ⇒ 15+ qubits) run
+/// the chunked parallel gate kernels; smaller ones stay serial, where
+/// thread startup would dominate.
+pub const PAR_MIN_AMPS: usize = 1 << 15;
+
+/// Worker-chunk granule for embarrassingly parallel per-amplitude
+/// kernels (diagonal gates): big enough to amortize dispatch, small
+/// enough to balance load.
+const AMP_CHUNK: usize = 1 << 12;
+
+/// Applies `f(global_index, amplitude)` to every amplitude, splitting
+/// across workers for large registers.
+pub(crate) fn for_each_amp_indexed(amps: &mut [C64], f: impl Fn(usize, &mut C64) + Sync) {
+    if amps.len() >= PAR_MIN_AMPS && !oscar_par::in_parallel_region() {
+        oscar_par::for_each_chunk_mut(amps, AMP_CHUNK, |offset, chunk| {
+            for (k, a) in chunk.iter_mut().enumerate() {
+                f(offset + k, a);
+            }
+        });
+    } else {
+        for (i, a) in amps.iter_mut().enumerate() {
+            f(i, a);
+        }
+    }
+}
+
+/// Serial butterfly pass for a single-qubit unitary over contiguous
+/// blocks of `2 * stride` amplitudes (each block pairs `i` with
+/// `i + stride`).
+fn single_qubit_blocks(amps: &mut [C64], stride: usize, u: [[C64; 2]; 2]) {
+    let mut base = 0usize;
+    while base < amps.len() {
+        for i in base..base + stride {
+            let a0 = amps[i];
+            let a1 = amps[i + stride];
+            amps[i] = u[0][0] * a0 + u[0][1] * a1;
+            amps[i + stride] = u[1][0] * a0 + u[1][1] * a1;
+        }
+        base += stride << 1;
+    }
+}
 
 /// A pure quantum state over `n` qubits stored as `2^n` complex amplitudes.
 ///
@@ -125,16 +172,30 @@ impl StateVector {
         assert!(q < self.n, "qubit index out of range");
         let stride = 1usize << q;
         let dim = self.amps.len();
-        let mut base = 0usize;
-        while base < dim {
-            for i in base..base + stride {
-                let a0 = self.amps[i];
-                let a1 = self.amps[i + stride];
-                self.amps[i] = u[0][0] * a0 + u[0][1] * a1;
-                self.amps[i + stride] = u[1][0] * a0 + u[1][1] * a1;
+        if dim >= PAR_MIN_AMPS && !oscar_par::in_parallel_region() {
+            let block = stride << 1;
+            if block <= dim / 2 {
+                // Many independent butterfly blocks: chunk on block
+                // boundaries so each worker owns whole blocks.
+                oscar_par::for_each_chunk_mut(&mut self.amps, block, |_, chunk| {
+                    single_qubit_blocks(chunk, stride, u);
+                });
+            } else {
+                // q is the top qubit: one block spanning the register.
+                // Its halves pair element-wise, so zip them in chunks.
+                let (lo, hi) = self.amps.split_at_mut(stride);
+                oscar_par::for_each_zip_chunks_mut(lo, hi, AMP_CHUNK, |_, la, ha| {
+                    for (a0, a1) in la.iter_mut().zip(ha.iter_mut()) {
+                        let x0 = *a0;
+                        let x1 = *a1;
+                        *a0 = u[0][0] * x0 + u[0][1] * x1;
+                        *a1 = u[1][0] * x0 + u[1][1] * x1;
+                    }
+                });
             }
-            base += stride << 1;
+            return;
         }
+        single_qubit_blocks(&mut self.amps, stride, u);
     }
 
     /// Hadamard gate.
@@ -216,9 +277,9 @@ impl StateVector {
         let p0 = C64::cis(-theta / 2.0);
         let p1 = C64::cis(theta / 2.0);
         let bit = 1usize << q;
-        for (i, a) in self.amps.iter_mut().enumerate() {
+        for_each_amp_indexed(&mut self.amps, |i, a| {
             *a = if i & bit == 0 { p0 * *a } else { p1 * *a };
-        }
+        });
     }
 
     /// Controlled-NOT with `control` and `target` qubits.
@@ -241,11 +302,11 @@ impl StateVector {
     pub fn cz(&mut self, a: usize, b: usize) {
         assert!(a < self.n && b < self.n && a != b);
         let mask = (1usize << a) | (1usize << b);
-        for (i, amp) in self.amps.iter_mut().enumerate() {
+        for_each_amp_indexed(&mut self.amps, |i, amp| {
             if i & mask == mask {
                 *amp = -*amp;
             }
-        }
+        });
     }
 
     /// Two-qubit ZZ rotation `exp(-i theta Z_a Z_b / 2)` (diagonal, fast).
@@ -255,10 +316,14 @@ impl StateVector {
         let bbit = 1usize << b;
         let ppos = C64::cis(-theta / 2.0); // eigenvalue +1 subspace
         let pneg = C64::cis(theta / 2.0);
-        for (i, amp) in self.amps.iter_mut().enumerate() {
+        for_each_amp_indexed(&mut self.amps, |i, amp| {
             let parity = ((i & abit != 0) as u8) ^ ((i & bbit != 0) as u8);
-            *amp = if parity == 0 { ppos * *amp } else { pneg * *amp };
-        }
+            *amp = if parity == 0 {
+                ppos * *amp
+            } else {
+                pneg * *amp
+            };
+        });
     }
 
     /// Multiplies each amplitude by `exp(-i * gamma * diag[b])`.
@@ -271,9 +336,9 @@ impl StateVector {
     /// Panics if `diag.len() != 2^n`.
     pub fn apply_diagonal_phase(&mut self, diag: &[f64], gamma: f64) {
         assert_eq!(diag.len(), self.amps.len(), "diagonal length mismatch");
-        for (a, &d) in self.amps.iter_mut().zip(diag.iter()) {
-            *a *= C64::cis(-gamma * d);
-        }
+        for_each_amp_indexed(&mut self.amps, |i, a| {
+            *a *= C64::cis(-gamma * diag[i]);
+        });
     }
 
     /// Applies `exp(-i theta/2 * P)` for a Pauli string `P` (coefficient

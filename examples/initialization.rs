@@ -26,10 +26,7 @@ fn main() {
 
     let mut run = |name: &str, optimizer: &dyn Optimizer| {
         let mut circuit_obj = |p: &[f64]| eval.expectation(&[p[0]], &[p[1]]);
-        let random_init = [
-            rng.gen_range(-0.7..0.7),
-            rng.gen_range(-1.5..1.5),
-        ];
+        let random_init = [rng.gen_range(-0.7..0.7), rng.gen_range(-1.5..1.5)];
         let cmp = compare_initialization(
             optimizer,
             &report.landscape,
@@ -54,7 +51,11 @@ fn main() {
         (cmp.random_queries, cmp.oscar_total_queries())
     };
 
-    let adam = Adam { max_iter: 500, grad_tol: 1e-3, ..Adam::default() };
+    let adam = Adam {
+        max_iter: 500,
+        grad_tol: 1e-3,
+        ..Adam::default()
+    };
     let (adam_rand, adam_oscar) = run("ADAM", &adam);
     let cobyla = Cobyla::default();
     let (_cob_rand, _cob_oscar) = run("COBYLA", &cobyla);

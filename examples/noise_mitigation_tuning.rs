@@ -26,15 +26,21 @@ fn main() {
     let device = QpuDevice::new("noisy-qpu", &problem, 1, noise, LatencyModel::instant(), 1);
 
     let grid = Grid2d::small_p1(20, 28);
-    println!("generating unmitigated / Richardson / linear landscapes on a {}x{} grid...",
-        grid.rows(), grid.cols());
+    println!(
+        "generating unmitigated / Richardson / linear landscapes on a {}x{} grid...",
+        grid.rows(),
+        grid.cols()
+    );
     let set = ZneLandscapes::generate(&device, grid);
 
     let original = set.metrics();
     let mut rng = rand::rngs::StdRng::seed_from_u64(8);
     let reconstructed = set.reconstructed_metrics(&Reconstructor::default(), 0.3, &mut rng);
 
-    println!("\n{:<22}{:>14}{:>14}{:>14}", "metric", "unmitigated", "Richardson", "linear");
+    println!(
+        "\n{:<22}{:>14}{:>14}{:>14}",
+        "metric", "unmitigated", "Richardson", "linear"
+    );
     let row = |name: &str, m: &MitigationMetrics, f: fn(&LandscapeMetrics) -> f64| {
         println!(
             "{:<22}{:>14.4}{:>14.4}{:>14.4}",
@@ -46,11 +52,15 @@ fn main() {
     };
     println!("-- original landscapes --");
     row("second derivative", &original, |m| m.second_derivative);
-    row("variance of gradient", &original, |m| m.variance_of_gradients);
+    row("variance of gradient", &original, |m| {
+        m.variance_of_gradients
+    });
     row("variance", &original, |m| m.variance);
     println!("-- OSCAR reconstructions (30% samples) --");
     row("second derivative", &reconstructed, |m| m.second_derivative);
-    row("variance of gradient", &reconstructed, |m| m.variance_of_gradients);
+    row("variance of gradient", &reconstructed, |m| {
+        m.variance_of_gradients
+    });
     row("variance", &reconstructed, |m| m.variance);
 
     // The actionable conclusion (Figure 10): Richardson is far rougher.

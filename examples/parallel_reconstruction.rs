@@ -51,7 +51,11 @@ fn main() {
         .enumerate()
         .map(|(i, &flat)| {
             let (b, g) = grid.point(flat);
-            Job { index: i, betas: vec![b], gammas: vec![g] }
+            Job {
+                index: i,
+                betas: vec![b],
+                gammas: vec![g],
+            }
         })
         .collect();
     let outcomes = execute_split(&[&qpu1, &qpu2], &[0.5, 0.5], &jobs);
@@ -72,7 +76,10 @@ fn main() {
     let ncm = NoiseCompensationModel::fit(&xs, &ys);
     println!(
         "NCM: slope {:.3}, intercept {:.3}, R^2 {:.4} (trained on {} pairs)",
-        ncm.slope(), ncm.intercept(), ncm.r_squared(), xs.len()
+        ncm.slope(),
+        ncm.intercept(),
+        ncm.r_squared(),
+        xs.len()
     );
 
     // Reconstruct with and without compensation.
@@ -80,7 +87,13 @@ fn main() {
     let raw: Vec<f64> = outcomes.iter().map(|o| o.value).collect();
     let compensated: Vec<f64> = outcomes
         .iter()
-        .map(|o| if o.device == 1 { ncm.transform(o.value) } else { o.value })
+        .map(|o| {
+            if o.device == 1 {
+                ncm.transform(o.value)
+            } else {
+                o.value
+            }
+        })
         .collect();
     let (l_raw, _) = oscar.reconstruct(&grid, &pattern, &raw);
     let (l_ncm, _) = oscar.reconstruct(&grid, &pattern, &compensated);
@@ -95,7 +108,13 @@ fn main() {
     let eager_pattern = SamplePattern::from_indices(grid.rows(), grid.cols(), kept_idx);
     let eager_vals: Vec<f64> = kept
         .iter()
-        .map(|o| if o.device == 1 { ncm.transform(o.value) } else { o.value })
+        .map(|o| {
+            if o.device == 1 {
+                ncm.transform(o.value)
+            } else {
+                o.value
+            }
+        })
         .collect();
     let (l_eager, _) = oscar.reconstruct(&grid, &eager_pattern, &eager_vals);
     let e_eager = nrmse(target.values(), l_eager.values());

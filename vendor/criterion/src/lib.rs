@@ -1,0 +1,331 @@
+//! Offline API-compatible subset of the `criterion` benchmark harness.
+//!
+//! Implements the surface the workspace benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`,
+//! [`BenchmarkId`], [`black_box`], and the `criterion_group!` /
+//! `criterion_main!` macros — with a simple but honest wall-clock
+//! measurement loop: warm-up, then `sample_size` samples of
+//! auto-calibrated batches, reporting min / median / mean.
+//!
+//! `cargo bench -- --test` runs every benchmark exactly once (smoke
+//! mode), matching upstream's behavior for CI.
+
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifies one benchmark within a group, e.g. `forward/50x100`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new<P: std::fmt::Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Identifier from the parameter alone.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Drives timed iterations of one benchmark.
+pub struct Bencher<'a> {
+    cfg: &'a MeasureConfig,
+    result: Option<Sample>,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Sample {
+    min: Duration,
+    median: Duration,
+    mean: Duration,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, running it in calibrated batches.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.cfg.smoke {
+            let start = Instant::now();
+            black_box(routine());
+            let d = start.elapsed();
+            self.result = Some(Sample {
+                min: d,
+                median: d,
+                mean: d,
+            });
+            return;
+        }
+        // Calibrate: how many iterations fit in ~target_sample_time?
+        let mut iters_per_sample = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= self.cfg.target_sample_time || iters_per_sample >= 1 << 20 {
+                break;
+            }
+            let scale = (self.cfg.target_sample_time.as_secs_f64()
+                / elapsed.as_secs_f64().max(1e-9))
+            .clamp(1.5, 100.0);
+            iters_per_sample = ((iters_per_sample as f64 * scale).ceil() as u64).max(2);
+        }
+        let mut samples = Vec::with_capacity(self.cfg.sample_size);
+        for _ in 0..self.cfg.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            samples.push(start.elapsed() / iters_per_sample as u32);
+        }
+        samples.sort_unstable();
+        let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+        self.result = Some(Sample {
+            min: samples[0],
+            median: samples[samples.len() / 2],
+            mean,
+        });
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct MeasureConfig {
+    sample_size: usize,
+    target_sample_time: Duration,
+    smoke: bool,
+}
+
+impl Default for MeasureConfig {
+    fn default() -> Self {
+        MeasureConfig {
+            sample_size: 20,
+            target_sample_time: Duration::from_millis(40),
+            smoke: false,
+        }
+    }
+}
+
+/// The top-level benchmark context handed to `criterion_group!` targets.
+pub struct Criterion {
+    cfg: MeasureConfig,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let smoke = std::env::args().any(|a| a == "--test");
+        Criterion {
+            cfg: MeasureConfig {
+                smoke,
+                ..MeasureConfig::default()
+            },
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            cfg: self.cfg,
+            _parent: std::marker::PhantomData,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(&self.cfg, name, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing configuration; created by
+/// [`Criterion::benchmark_group`].
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    cfg: MeasureConfig,
+    _parent: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timing samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.cfg.sample_size = n.max(2);
+        self
+    }
+
+    /// Overrides the per-sample measurement time budget.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.cfg.target_sample_time = t;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<I: Into<BenchmarkId>, F: FnMut(&mut Bencher<'_>)>(
+        &mut self,
+        id: I,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        run_one(&self.cfg, &format!("{}/{}", self.name, id), f);
+        self
+    }
+
+    /// Runs one benchmark that borrows an input value.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher<'_>, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&self.cfg, &format!("{}/{}", self.name, id), |b| f(b, input));
+        self
+    }
+
+    /// Finishes the group (report flushing is immediate here; kept for
+    /// API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher<'_>)>(cfg: &MeasureConfig, label: &str, mut f: F) {
+    let mut b = Bencher { cfg, result: None };
+    f(&mut b);
+    let mut line = String::new();
+    match b.result {
+        Some(s) if cfg.smoke => {
+            let _ = write!(line, "test {label:<56} ... ok ({})", fmt_duration(s.median));
+        }
+        Some(s) => {
+            let _ = write!(
+                line,
+                "{label:<60} time: [{} {} {}]",
+                fmt_duration(s.min),
+                fmt_duration(s.median),
+                fmt_duration(s.mean)
+            );
+        }
+        None => {
+            let _ = write!(line, "{label:<60} (no measurement)");
+        }
+    }
+    println!("{line}");
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring upstream criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(
+            BenchmarkId::new("forward", "50x100").to_string(),
+            "forward/50x100"
+        );
+        assert_eq!(BenchmarkId::from_parameter(12).to_string(), "12");
+    }
+
+    #[test]
+    fn smoke_mode_runs_once() {
+        let cfg = MeasureConfig {
+            smoke: true,
+            ..MeasureConfig::default()
+        };
+        let mut count = 0usize;
+        run_one(&cfg, "counted", |b| {
+            b.iter(|| count += 1);
+        });
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn measurement_produces_positive_times() {
+        let cfg = MeasureConfig {
+            sample_size: 3,
+            target_sample_time: Duration::from_micros(200),
+            smoke: false,
+        };
+        let mut b = Bencher {
+            cfg: &cfg,
+            result: None,
+        };
+        b.iter(|| black_box((0..100).sum::<u64>()));
+        let s = b.result.expect("sample recorded");
+        assert!(s.min <= s.median && s.median <= s.mean * 2);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(12)), "12 ns");
+        assert!(fmt_duration(Duration::from_micros(12)).ends_with("µs"));
+        assert!(fmt_duration(Duration::from_millis(12)).ends_with("ms"));
+        assert!(fmt_duration(Duration::from_secs(2)).ends_with(" s"));
+    }
+}
