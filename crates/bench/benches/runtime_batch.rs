@@ -1,0 +1,65 @@
+//! Batch-runtime throughput: a stream of reconstruction jobs through
+//! the `BatchRuntime` (persistent pool + landscape cache + scheduler)
+//! vs the same jobs run uncached one at a time — the amortization the
+//! runtime subsystem exists to provide.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use oscar_core::grid::Grid2d;
+use oscar_problems::ising::IsingProblem;
+use oscar_runtime::job::{run_job, JobSpec};
+use oscar_runtime::scheduler::{BatchRuntime, RuntimeConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// 8 jobs over 2 instances × 2 grids: enough repeats for the landscape
+/// cache to matter while staying fast in CI smoke mode.
+fn batch() -> Vec<JobSpec> {
+    let problems: Vec<IsingProblem> = (0..2u64)
+        .map(|k| {
+            let mut rng = StdRng::seed_from_u64(60 + k);
+            IsingProblem::random_3_regular(8, &mut rng)
+        })
+        .collect();
+    let grids = [Grid2d::small_p1(12, 16), Grid2d::small_p1(16, 20)];
+    (0..8usize)
+        .map(|j| {
+            let mut spec = JobSpec::new(
+                problems[j % 2].clone(),
+                grids[(j / 2) % 2],
+                0.25,
+                3000 + j as u64,
+            );
+            spec.optimize = false; // isolate the pipeline the runtime amortizes
+            spec
+        })
+        .collect()
+}
+
+fn bench_runtime_batch(c: &mut Criterion) {
+    let specs = batch();
+    let mut group = c.benchmark_group("runtime_batch");
+    group.sample_size(10);
+
+    group.bench_function("sequential_uncached_8_jobs", |b| {
+        b.iter(|| {
+            let results: Vec<_> = specs.iter().map(|s| run_job(s, None)).collect();
+            results
+        })
+    });
+
+    // The runtime persists across iterations, as it would in a service:
+    // after the first iteration every landscape is cache-resident and
+    // the pool is warm.
+    let runtime = BatchRuntime::new(RuntimeConfig {
+        concurrency: oscar_par::max_threads(),
+        landscape_cache_capacity: 8,
+    });
+    group.bench_function("scheduled_cached_8_jobs", |b| {
+        b.iter(|| runtime.run_batch(specs.clone()))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_runtime_batch);
+criterion_main!(benches);

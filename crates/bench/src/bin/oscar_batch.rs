@@ -1,0 +1,281 @@
+//! `oscar-batch` — drive the batch runtime end to end.
+//!
+//! Reads a job list (or synthesizes one), runs every job through the
+//! full pipeline (landscape sampling → CS reconstruction →
+//! optimization) on the [`oscar_runtime::BatchRuntime`], and reports
+//! per-job latency plus aggregate throughput. With `--compare` the same
+//! batch also runs sequentially and the outputs are verified
+//! bit-identical.
+//!
+//! ```text
+//! oscar-batch [--file PATH] [--jobs N] [--concurrency N]
+//!             [--fraction F] [--no-optimize] [--compare]
+//! ```
+//!
+//! Job-list format (one job per line, `#` comments):
+//!
+//! ```text
+//! # qubits  seed  rows  cols  fraction
+//! 10        1     20    30    0.15
+//! 12        2     25    40    0.12
+//! ```
+//!
+//! `qubits` must be even (3-regular MaxCut instances); `seed` feeds
+//! both instance generation and the sampling pattern.
+
+use oscar_bench::print_header;
+use oscar_core::grid::Grid2d;
+use oscar_problems::ising::IsingProblem;
+use oscar_runtime::job::{run_job, JobResult, JobSpec};
+use oscar_runtime::scheduler::{BatchRuntime, RuntimeConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+struct Options {
+    file: Option<String>,
+    jobs: usize,
+    concurrency: usize,
+    fraction: f64,
+    optimize: bool,
+    compare: bool,
+}
+
+fn usage_and_exit(code: i32) -> ! {
+    eprintln!(
+        "usage: oscar-batch [--file PATH] [--jobs N] [--concurrency N]\n\
+         \x20                  [--fraction F] [--no-optimize] [--compare]\n\
+         \n\
+         --file PATH      job list: lines of `qubits seed rows cols fraction`\n\
+         --jobs N         synthetic batch size when no file is given (default 16)\n\
+         --concurrency N  executor threads (default: OSCAR_THREADS / cores)\n\
+         --fraction F     sampling fraction for synthetic jobs (default 0.25)\n\
+         --no-optimize    skip the per-job optimization stage\n\
+         --compare        also run sequentially; verify bit-identical results"
+    );
+    std::process::exit(code);
+}
+
+fn parse_options() -> Options {
+    let mut opts = Options {
+        file: None,
+        jobs: 16,
+        concurrency: oscar_par::max_threads(),
+        fraction: 0.25,
+        optimize: true,
+        compare: false,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |i: &mut usize, flag: &str| -> String {
+        *i += 1;
+        args.get(*i).cloned().unwrap_or_else(|| {
+            eprintln!("error: {flag} needs a value");
+            usage_and_exit(2);
+        })
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--file" => opts.file = Some(value(&mut i, "--file")),
+            "--jobs" => {
+                opts.jobs = value(&mut i, "--jobs").parse().unwrap_or_else(|_| {
+                    eprintln!("error: --jobs needs an integer");
+                    usage_and_exit(2);
+                })
+            }
+            "--concurrency" => {
+                opts.concurrency = value(&mut i, "--concurrency").parse().unwrap_or_else(|_| {
+                    eprintln!("error: --concurrency needs an integer");
+                    usage_and_exit(2);
+                })
+            }
+            "--fraction" => {
+                opts.fraction = value(&mut i, "--fraction").parse().unwrap_or_else(|_| {
+                    eprintln!("error: --fraction needs a number in (0,1]");
+                    usage_and_exit(2);
+                })
+            }
+            "--no-optimize" => opts.optimize = false,
+            "--compare" => opts.compare = true,
+            "--help" | "-h" => usage_and_exit(0),
+            other => {
+                eprintln!("error: unknown argument '{other}'");
+                usage_and_exit(2);
+            }
+        }
+        i += 1;
+    }
+    opts
+}
+
+/// Parses the job-list file format (see module docs).
+fn load_jobs(path: &str, optimize: bool) -> Vec<JobSpec> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("error: cannot read job list '{path}': {e}");
+        std::process::exit(2);
+    });
+    let mut specs = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        let parsed: Option<(usize, u64, usize, usize, f64)> = (|| {
+            if fields.len() != 5 {
+                return None;
+            }
+            Some((
+                fields[0].parse().ok()?,
+                fields[1].parse().ok()?,
+                fields[2].parse().ok()?,
+                fields[3].parse().ok()?,
+                fields[4].parse().ok()?,
+            ))
+        })();
+        let Some((qubits, seed, rows, cols, fraction)) = parsed else {
+            eprintln!(
+                "error: {path}:{}: expected `qubits seed rows cols fraction`, got '{line}'",
+                lineno + 1
+            );
+            std::process::exit(2);
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let problem = IsingProblem::try_random_3_regular(qubits, &mut rng).unwrap_or_else(|e| {
+            eprintln!("error: {path}:{}: {e}", lineno + 1);
+            std::process::exit(2);
+        });
+        let mut spec = JobSpec::new(problem, Grid2d::small_p1(rows, cols), fraction, seed);
+        spec.optimize = optimize;
+        specs.push(spec);
+    }
+    if specs.is_empty() {
+        eprintln!("error: job list '{path}' contains no jobs");
+        std::process::exit(2);
+    }
+    specs
+}
+
+/// Synthesizes a batch: `n` jobs cycling through 4 problem instances
+/// and 4 grids, so the landscape cache has real repeats to dedupe.
+fn synthetic_jobs(n: usize, fraction: f64, optimize: bool) -> Vec<JobSpec> {
+    let problems: Vec<IsingProblem> = (0..4u64)
+        .map(|k| {
+            let mut rng = StdRng::seed_from_u64(40 + k);
+            IsingProblem::try_random_3_regular(8 + 2 * k as usize, &mut rng)
+                .expect("even-qubit 3-regular instances are feasible")
+        })
+        .collect();
+    let grids = [
+        Grid2d::small_p1(16, 20),
+        Grid2d::small_p1(20, 24),
+        Grid2d::small_p1(18, 28),
+        Grid2d::small_p1(24, 30),
+    ];
+    (0..n)
+        .map(|j| {
+            let k = j % 4;
+            let mut spec = JobSpec::new(
+                problems[k].clone(),
+                grids[k],
+                fraction,
+                2000 + j as u64 * 13,
+            );
+            spec.optimize = optimize;
+            spec
+        })
+        .collect()
+}
+
+fn describe(spec: &JobSpec) -> String {
+    format!(
+        "{}q {}x{}",
+        spec.problem.num_qubits(),
+        spec.grid.rows(),
+        spec.grid.cols()
+    )
+}
+
+fn main() {
+    let opts = parse_options();
+    print_header("oscar-batch", "batch runtime throughput");
+    let specs = match &opts.file {
+        Some(path) => load_jobs(path, opts.optimize),
+        None => synthetic_jobs(opts.jobs, opts.fraction, opts.optimize),
+    };
+    println!(
+        "{} jobs, concurrency {}, pool budget {} thread(s)\n",
+        specs.len(),
+        opts.concurrency,
+        oscar_par::max_threads()
+    );
+
+    let runtime = BatchRuntime::new(RuntimeConfig {
+        concurrency: opts.concurrency,
+        ..RuntimeConfig::default()
+    });
+    let t0 = Instant::now();
+    let results = runtime.run_batch(specs.clone());
+    let batch_wall = t0.elapsed();
+
+    println!(
+        "{:>4}  {:<10}{:>9}{:>7}{:>9}{:>7}{:>11}",
+        "job", "workload", "samples", "iters", "nrmse", "cache", "latency"
+    );
+    for (spec, r) in specs.iter().zip(&results) {
+        println!(
+            "{:>4}  {:<10}{:>9}{:>7}{:>9.4}{:>7}{:>10.1}ms",
+            r.job_id,
+            describe(spec),
+            r.samples_used,
+            r.solver_iterations,
+            r.nrmse,
+            if r.landscape_cache_hit { "hit" } else { "miss" },
+            r.wall.as_secs_f64() * 1e3,
+        );
+    }
+    let cache = runtime.cache_stats();
+    let throughput = results.len() as f64 / batch_wall.as_secs_f64();
+    println!(
+        "\nbatch wall {:.2}s  throughput {throughput:.2} jobs/s  \
+         landscape cache {} hits / {} misses",
+        batch_wall.as_secs_f64(),
+        cache.hits,
+        cache.misses
+    );
+    let pool = oscar_par::pool::global().stats();
+    println!(
+        "worker pool: {} thread budget, {} spawned (steady state spawns none), {} regions",
+        pool.threads, pool.threads_spawned, pool.regions_run
+    );
+
+    if opts.compare {
+        let t1 = Instant::now();
+        let sequential: Vec<JobResult> = specs.iter().map(|s| run_job(s, None)).collect();
+        let seq_wall = t1.elapsed();
+        let mut drift = 0usize;
+        for (seq, sched) in sequential.iter().zip(&results) {
+            if seq.reconstruction.values() != sched.reconstruction.values()
+                || seq.nrmse.to_bits() != sched.nrmse.to_bits()
+                || seq.best_point != sched.best_point
+            {
+                drift += 1;
+            }
+        }
+        println!(
+            "\nsequential (uncached, one job at a time) wall {:.2}s  \
+             runtime speedup {:.2}x  bit-identical: {}",
+            seq_wall.as_secs_f64(),
+            seq_wall.as_secs_f64() / batch_wall.as_secs_f64(),
+            if drift == 0 {
+                "yes".to_string()
+            } else {
+                format!("NO ({drift} jobs drifted)")
+            }
+        );
+        if drift > 0 {
+            eprintln!("error: scheduled results drifted from sequential execution");
+            std::process::exit(1);
+        }
+    }
+}

@@ -25,8 +25,19 @@ const MIXES: [(f64, &str); 4] = [
     (1.0, "100%-0%"),
 ];
 
-fn device(name: &str, problem: &IsingProblem, seed: u64) -> QpuDevice {
-    let noise = match name {
+/// Every device name this harness can simulate. Keep in sync with
+/// [`noise_for`].
+const KNOWN_DEVICES: [&str; 6] = [
+    "ideal sim",
+    "noisy sim-i",
+    "noisy sim-ii",
+    "noisy sim",
+    "ibm perth",
+    "ibm lagos",
+];
+
+fn noise_for(name: &str) -> Option<NoiseModel> {
+    Some(match name {
         "ideal sim" => NoiseModel::ideal(),
         "noisy sim-i" => NoiseModel::depolarizing(0.001, 0.005),
         "noisy sim-ii" => NoiseModel::depolarizing(0.003, 0.007),
@@ -37,8 +48,18 @@ fn device(name: &str, problem: &IsingProblem, seed: u64) -> QpuDevice {
         "ibm lagos" => NoiseModel::depolarizing(0.0005, 0.006)
             .with_readout(ReadoutError::new(0.012, 0.015))
             .with_shots(4096),
-        other => panic!("unknown device {other}"),
-    };
+        _ => return None,
+    })
+}
+
+fn device(name: &str, problem: &IsingProblem, seed: u64) -> QpuDevice {
+    let noise = noise_for(name).unwrap_or_else(|| {
+        eprintln!(
+            "error: unknown device '{name}'.\nvalid devices: {}",
+            KNOWN_DEVICES.join(", ")
+        );
+        std::process::exit(2);
+    });
     // Mix the device name into the seed so distinct devices draw distinct
     // shot-noise streams even in the same table position.
     let name_salt: u64 = name.bytes().map(|b| b as u64).sum();

@@ -99,6 +99,23 @@ impl Reconstructor {
         self.report_from_samples(truth, pattern, &samples)
     }
 
+    /// Job-level deterministic entry point: like
+    /// [`Self::reconstruct_fraction`], but drawing the sampling pattern
+    /// from a dedicated RNG seeded with `seed`, so one `(truth,
+    /// fraction, seed)` triple always produces bit-identical output —
+    /// the contract `oscar-runtime` batch jobs rely on regardless of
+    /// scheduling order or worker count.
+    pub fn reconstruct_fraction_seeded(
+        &self,
+        truth: &Landscape,
+        fraction: f64,
+        seed: u64,
+    ) -> ReconstructionReport {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        self.reconstruct_fraction(truth, fraction, &mut rng)
+    }
+
     /// Like [`Self::reconstruct_fraction`], but with measured sample values
     /// supplied by a (possibly noisy) execution closure instead of gathered
     /// from the truth: `measure(beta, gamma)`.

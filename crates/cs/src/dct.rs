@@ -19,6 +19,7 @@
 //! across rows (via `oscar-par`) on grids large enough to pay for it.
 
 use crate::fft::{DctPlan, FftScratch};
+use std::sync::Arc;
 
 /// Transform sides at or above this length default to the FFT kernel.
 ///
@@ -40,8 +41,10 @@ enum Kernel {
     /// Row-major `n x n` orthonormal DCT-II matrix: `mat[k*n + i]` is the
     /// weight of sample `i` in coefficient `k`.
     Dense(Vec<f64>),
-    /// FFT-backed O(n log n) plan.
-    Fast(Box<DctPlan>),
+    /// FFT-backed O(n log n) plan, shared per size through
+    /// [`crate::plan_cache`] so concurrent transforms of the same length
+    /// reuse one set of twiddles/chirps.
+    Fast(Arc<DctPlan>),
 }
 
 /// A 1-D orthonormal DCT of size `n`.
@@ -110,7 +113,10 @@ impl Dct1d {
         }
     }
 
-    /// Builds the FFT-backed O(n log n) kernel regardless of size.
+    /// Builds the FFT-backed O(n log n) kernel regardless of size. The
+    /// plan comes from the process-wide [`crate::plan_cache`], so
+    /// repeated constructions at one size share twiddles and Bluestein
+    /// chirps instead of replanning.
     ///
     /// # Panics
     ///
@@ -119,7 +125,7 @@ impl Dct1d {
         assert!(n > 0, "transform length must be positive");
         Dct1d {
             n,
-            kernel: Kernel::Fast(Box::new(DctPlan::new(n))),
+            kernel: Kernel::Fast(crate::plan_cache::plan(n)),
         }
     }
 

@@ -8,6 +8,8 @@
 //!   from `n >= 32`) kernels;
 //! * [`fft`] — the radix-2 + Bluestein FFT machinery behind the fast
 //!   kernel;
+//! * [`plan_cache`] — process-wide per-size plan cache so concurrent
+//!   jobs at the same grid side share twiddles and Bluestein chirps;
 //! * [`measure`] — random sampling patterns and the measurement operator
 //!   `A = C Ψ` with its adjoint;
 //! * [`fista`] — FISTA solver for the l1 (LASSO) recovery program, the
@@ -51,6 +53,7 @@ pub mod fista;
 pub mod ista;
 pub mod measure;
 pub mod omp;
+pub mod plan_cache;
 pub mod workspace;
 
 /// Glob-import of the most used types.

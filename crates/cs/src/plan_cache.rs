@@ -1,0 +1,146 @@
+//! Process-wide cache of FFT-backed DCT plans, keyed by transform
+//! length.
+//!
+//! Planning a [`DctPlan`] is much more expensive than applying it: the
+//! radix-2 path precomputes a bit-reversal table and twiddle factors,
+//! and the Bluestein path additionally runs a full-size FFT over the
+//! chirp filter. A stream of reconstruction jobs at the same grid side
+//! (the common case for `oscar-runtime` batches — the paper's grids are
+//! 50×100 and 144×225) would otherwise replan identical twiddles and
+//! chirps per job.
+//!
+//! [`plan`] returns an `Arc<DctPlan>` shared by every transform of the
+//! same length in the process. Plans are immutable after construction
+//! and applies keep all mutable state in caller-owned scratch, so
+//! sharing one plan across concurrently running jobs is safe and
+//! lock-free at apply time (the cache lock is only taken at
+//! construction).
+//!
+//! The cache is unbounded by design: entries are keyed by grid side, of
+//! which a deployment sees a handful, and each entry is O(n) floats.
+//! [`clear`] exists for tests and long-lived processes that churn
+//! through many distinct sizes.
+
+use crate::fft::DctPlan;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Counters describing cache effectiveness.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Plans currently cached.
+    pub entries: usize,
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to plan.
+    pub misses: u64,
+}
+
+struct State {
+    plans: HashMap<usize, Arc<DctPlan>>,
+    hits: u64,
+    misses: u64,
+}
+
+fn state() -> &'static Mutex<State> {
+    static STATE: OnceLock<Mutex<State>> = OnceLock::new();
+    STATE.get_or_init(|| {
+        Mutex::new(State {
+            plans: HashMap::new(),
+            hits: 0,
+            misses: 0,
+        })
+    })
+}
+
+/// Returns the shared plan for length `n`, planning it on first use.
+///
+/// # Panics
+///
+/// Panics if `n == 0` (propagated from [`DctPlan::new`]).
+pub fn plan(n: usize) -> Arc<DctPlan> {
+    {
+        let mut s = state().lock().unwrap();
+        if let Some(p) = s.plans.get(&n).map(Arc::clone) {
+            s.hits += 1;
+            return p;
+        }
+        s.misses += 1;
+    }
+    // Plan outside the lock: Bluestein planning at large n is slow, and
+    // concurrent first requests for *different* sizes should not
+    // serialize. Concurrent first requests for the same size may both
+    // plan; the first insert wins and the duplicate is dropped.
+    let fresh = Arc::new(DctPlan::new(n));
+    let mut s = state().lock().unwrap();
+    Arc::clone(s.plans.entry(n).or_insert(fresh))
+}
+
+/// Snapshot of the cache counters.
+pub fn stats() -> PlanCacheStats {
+    let s = state().lock().unwrap();
+    PlanCacheStats {
+        entries: s.plans.len(),
+        hits: s.hits,
+        misses: s.misses,
+    }
+}
+
+/// Drops every cached plan and resets the counters. Outstanding
+/// `Arc<DctPlan>` handles stay valid; subsequent lookups replan.
+pub fn clear() {
+    let mut s = state().lock().unwrap();
+    s.plans.clear();
+    s.hits = 0;
+    s.misses = 0;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_length_shares_one_plan() {
+        let a = plan(4096);
+        let b = plan(4096);
+        assert!(Arc::ptr_eq(&a, &b), "same-size plans must be shared");
+        assert_eq!(a.len(), 4096);
+    }
+
+    #[test]
+    fn distinct_lengths_get_distinct_plans() {
+        let a = plan(2048);
+        let b = plan(1024);
+        assert_eq!(a.len(), 2048);
+        assert_eq!(b.len(), 1024);
+    }
+
+    #[test]
+    fn stats_count_hits_and_misses() {
+        // Use lengths no other test touches so counts are attributable
+        // even with tests running concurrently in one process.
+        let before = stats();
+        let _ = plan(777);
+        let _ = plan(777);
+        let _ = plan(777);
+        let after = stats();
+        assert!(after.misses > before.misses);
+        assert!(after.hits >= before.hits + 2);
+    }
+
+    #[test]
+    fn concurrent_lookups_converge_to_one_plan() {
+        let handles: Vec<_> = (0..8).map(|_| std::thread::spawn(|| plan(555))).collect();
+        let plans: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        // All handles must agree with the cached winner.
+        let cached = plan(555);
+        for p in &plans {
+            // Losers of the insert race may hold a private duplicate;
+            // correctness only needs equal length and the cache settling
+            // on a single entry.
+            assert_eq!(p.len(), cached.len());
+        }
+        let s = stats();
+        assert!(s.entries >= 1);
+    }
+}

@@ -1,9 +1,8 @@
-//! # oscar-par — scoped data-parallel helpers
+//! # oscar-par — data-parallel helpers on a persistent worker pool
 //!
 //! A small, dependency-free stand-in for the slice-parallel subset of
 //! `rayon` that the OSCAR hot paths need (this build environment has no
-//! crates.io access, so rayon itself cannot be used). Built on
-//! `std::thread::scope`:
+//! crates.io access, so rayon itself cannot be used):
 //!
 //! * [`for_each_chunk_mut`] — split a slice into per-thread contiguous
 //!   chunks (aligned to a granule) and process them concurrently;
@@ -13,25 +12,31 @@
 //!   lock-step chunks (butterfly halves of a gate kernel);
 //! * [`join`] — run two closures concurrently.
 //!
+//! Since PR 2 all helpers execute on a **lazily initialized persistent
+//! worker pool** ([`pool::WorkerPool`]) instead of spawning fresh scoped
+//! threads per call: the global pool spawns `max_threads() - 1` workers
+//! on the first parallel region and reuses them for the life of the
+//! process, so a tight loop of parallel applies (a FISTA solve, a batch
+//! of landscape evaluations) pays zero spawn cost in steady state. Idle
+//! workers steal chunks from any active region, so concurrent callers
+//! (e.g. several `oscar-runtime` batch jobs) share one set of threads
+//! without oversubscription.
+//!
 //! All helpers degrade to serial execution when the machine has one
 //! core, when the work is below the caller's threshold, or when called
 //! from inside another `oscar-par` region (no nested oversubscription).
 //! Results are bit-identical to the serial path: parallelism only
-//! changes *who* computes each disjoint chunk, never the arithmetic.
-//!
-//! **Known limitation:** each helper call spawns fresh scoped threads
-//! (~10–50 µs plus a stack allocation per worker) rather than drawing
-//! from a persistent pool. Callers gate on work size so the spawn cost
-//! stays small relative to a chunk, but on multi-core hosts a tight
-//! loop of parallel applies (e.g. a FISTA solve) pays it per call —
-//! and strict allocation-freedom only holds with a single worker
-//! (`OSCAR_THREADS=1`). A lazily initialized worker pool is the
-//! natural upgrade if this crate outlives its rayon stand-in role.
+//! changes *who* computes each disjoint chunk, never the arithmetic or
+//! the chunk boundaries.
 
 #![warn(missing_docs)]
 
 use std::cell::Cell;
 use std::sync::OnceLock;
+
+pub mod pool;
+
+pub use pool::{PoolStats, WorkerPool};
 
 thread_local! {
     static IN_PARALLEL: Cell<bool> = const { Cell::new(false) };
@@ -40,12 +45,12 @@ thread_local! {
 /// RAII marker for "this thread is inside a parallel region". Restores
 /// the previous value on drop, so nested serial fallbacks do not clear
 /// an enclosing region's flag.
-struct RegionGuard {
+pub(crate) struct RegionGuard {
     prev: bool,
 }
 
 impl RegionGuard {
-    fn enter() -> Self {
+    pub(crate) fn enter() -> Self {
         RegionGuard {
             prev: IN_PARALLEL.with(|f| f.replace(true)),
         }
@@ -60,7 +65,8 @@ impl Drop for RegionGuard {
 }
 
 /// The worker budget: `OSCAR_THREADS` if set, else the machine's
-/// available parallelism.
+/// available parallelism. Read once per process; it sizes the global
+/// worker pool ([`pool::global`]).
 pub fn max_threads() -> usize {
     static CACHE: OnceLock<usize> = OnceLock::new();
     *CACHE.get_or_init(|| {
@@ -81,7 +87,8 @@ pub fn in_parallel_region() -> bool {
     IN_PARALLEL.with(|f| f.get())
 }
 
-/// Runs `a` and `b` concurrently and returns both results.
+/// Runs `a` and `b` concurrently on the global pool and returns both
+/// results.
 ///
 /// Falls back to sequential execution on single-core machines or inside
 /// an existing parallel region.
@@ -89,22 +96,12 @@ pub fn join<RA: Send, RB: Send>(
     a: impl FnOnce() -> RA + Send,
     b: impl FnOnce() -> RB + Send,
 ) -> (RA, RB) {
-    if max_threads() < 2 || in_parallel_region() {
-        return (a(), b());
-    }
-    std::thread::scope(|scope| {
-        let hb = scope.spawn(|| {
-            let _guard = RegionGuard::enter();
-            b()
-        });
-        let ra = a();
-        (ra, hb.join().expect("oscar-par worker panicked"))
-    })
+    pool::global().join(a, b)
 }
 
-/// Splits `data` into at most `workers` contiguous chunks whose lengths
-/// are multiples of `granule` (except possibly the last) and calls
-/// `f(offset, chunk)` for each, concurrently.
+/// Splits `data` into at most `max_threads()` contiguous chunks whose
+/// lengths are multiples of `granule` (except possibly the last) and
+/// calls `f(offset, chunk)` for each, concurrently on the global pool.
 ///
 /// `granule` is the indivisible unit of work — a matrix row, a
 /// `2 * stride` butterfly block — so a caller's index arithmetic stays
@@ -119,15 +116,7 @@ pub fn for_each_chunk_mut<T: Send>(
     granule: usize,
     f: impl Fn(usize, &mut [T]) + Sync,
 ) {
-    let workers = plan_workers(data.len(), granule);
-    let mut scratch = vec![(); workers.max(1)];
-    run_chunks_with(
-        data,
-        granule,
-        workers,
-        &mut scratch,
-        &|offset, chunk, _: &mut ()| f(offset, chunk),
-    );
+    pool::global().for_each_chunk_mut(data, granule, f);
 }
 
 /// Like [`for_each_chunk_mut`], but hands each worker a dedicated
@@ -144,14 +133,13 @@ pub fn for_each_chunk_mut_with<T: Send, S: Send>(
     scratch: &mut [S],
     f: impl Fn(usize, &mut [T], &mut S) + Sync,
 ) {
-    assert!(!scratch.is_empty(), "need at least one scratch object");
-    let workers = plan_workers(data.len(), granule).min(scratch.len());
-    run_chunks_with(data, granule, workers, scratch, &f);
+    pool::global().for_each_chunk_mut_with(data, granule, scratch, f);
 }
 
 /// Processes two equal-length slices in matching contiguous chunks:
-/// `f(offset, a_chunk, b_chunk)`. Used for butterfly kernels where
-/// element `i` of `a` pairs with element `i` of `b`.
+/// `f(offset, a_chunk, b_chunk)`, concurrently on the global pool. Used
+/// for butterfly kernels where element `i` of `a` pairs with element
+/// `i` of `b`.
 ///
 /// # Panics
 ///
@@ -162,71 +150,14 @@ pub fn for_each_zip_chunks_mut<T: Send>(
     granule: usize,
     f: impl Fn(usize, &mut [T], &mut [T]) + Sync,
 ) {
-    assert_eq!(a.len(), b.len(), "zip slices must match");
-    let workers = plan_workers(a.len(), granule);
-    if workers < 2 {
-        let _guard = RegionGuard::enter();
-        f(0, a, b);
-        return;
-    }
-    let chunk_len = chunk_len_for(a.len(), granule, workers);
-    std::thread::scope(|scope| {
-        let mut offset = 0usize;
-        for (ca, cb) in a.chunks_mut(chunk_len).zip(b.chunks_mut(chunk_len)) {
-            let off = offset;
-            offset += ca.len();
-            let f = &f;
-            scope.spawn(move || {
-                let _guard = RegionGuard::enter();
-                f(off, ca, cb);
-            });
-        }
-    });
-}
-
-/// Number of workers worth using for `len` items of `granule`-sized
-/// units: 1 (serial) unless multiple granules exist and we are not
-/// already parallel.
-fn plan_workers(len: usize, granule: usize) -> usize {
-    assert!(granule > 0, "granule must be positive");
-    if in_parallel_region() {
-        return 1;
-    }
-    let units = len.div_ceil(granule);
-    max_threads().min(units).max(1)
+    pool::global().for_each_zip_chunks_mut(a, b, granule, f);
 }
 
 /// Chunk length: the granule multiple closest to an even split.
-fn chunk_len_for(len: usize, granule: usize, workers: usize) -> usize {
+pub(crate) fn chunk_len_for(len: usize, granule: usize, workers: usize) -> usize {
     let units = len.div_ceil(granule);
     let units_per_chunk = units.div_ceil(workers);
     (units_per_chunk * granule).max(granule)
-}
-
-fn run_chunks_with<T: Send, S: Send>(
-    data: &mut [T],
-    granule: usize,
-    workers: usize,
-    scratch: &mut [S],
-    f: &(impl Fn(usize, &mut [T], &mut S) + Sync),
-) {
-    if workers < 2 || data.len() <= granule {
-        let _guard = RegionGuard::enter();
-        f(0, data, &mut scratch[0]);
-        return;
-    }
-    let chunk_len = chunk_len_for(data.len(), granule, workers);
-    std::thread::scope(|scope| {
-        let mut offset = 0usize;
-        for (chunk, s) in data.chunks_mut(chunk_len).zip(scratch.iter_mut()) {
-            let off = offset;
-            offset += chunk.len();
-            scope.spawn(move || {
-                let _guard = RegionGuard::enter();
-                f(off, chunk, s);
-            });
-        }
-    });
 }
 
 #[cfg(test)]

@@ -1,0 +1,588 @@
+//! The persistent worker pool behind every `oscar-par` helper.
+//!
+//! PR 1's helpers spawned fresh scoped threads per call (~10–50 µs plus a
+//! stack allocation per worker), which a tight loop of parallel applies —
+//! a FISTA solve, a batch of landscape evaluations — pays on every call.
+//! This module replaces the per-call spawns with a [`WorkerPool`]:
+//!
+//! * **Lazily initialized, persistent workers.** The global pool
+//!   ([`global`]) spawns `max_threads() - 1` OS threads on the first
+//!   parallel region and reuses them forever after; steady-state parallel
+//!   applies spawn no threads at all ([`WorkerPool::stats`] exposes the
+//!   spawn counter so tests can pin this).
+//! * **Chunk-level work stealing.** A parallel call installs a *region*
+//!   — a finite set of indexed tasks (the chunks) behind an atomic
+//!   cursor — in the pool's shared queue. Idle workers steal tasks from
+//!   any active region, so concurrent regions (e.g. several batch jobs
+//!   reconstructing at once) share the same workers without
+//!   oversubscription. The submitting thread participates too, so a
+//!   region always makes progress even with zero free workers.
+//! * **Bit-identical results.** Chunk geometry is computed exactly as in
+//!   the serial path; stealing only changes *who* computes each disjoint
+//!   chunk, never the arithmetic or the chunk boundaries.
+//!
+//! `OSCAR_THREADS` still bounds the global pool. Explicitly sized pools
+//! ([`WorkerPool::with_threads`]) exist so tests can compare 1-, 2- and
+//! 4-worker execution inside one process; they join their workers on
+//! drop.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+use crate::{chunk_len_for, in_parallel_region, RegionGuard};
+
+/// Snapshot of a pool's lifetime counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Configured worker budget (including the participating caller).
+    pub threads: usize,
+    /// OS threads ever spawned by this pool. Constant after warm-up:
+    /// steady-state parallel applies reuse the same workers.
+    pub threads_spawned: usize,
+    /// Parallel regions executed (serial fallbacks not counted).
+    pub regions_run: usize,
+    /// Tasks (chunks) executed across all regions.
+    pub tasks_run: usize,
+}
+
+/// One parallel call: `ntasks` indexed tasks behind an atomic cursor.
+///
+/// Lives on the submitting thread's stack for the duration of the call;
+/// the pool's queue holds a raw pointer to it. The submitter only
+/// returns (and thus frees the region) after `completed == ntasks` and
+/// `pinned == 0`, so workers never observe a dangling region.
+struct Region {
+    /// Type-erased task body; `run(i)` executes task `i`. The pointee
+    /// outlives the region (it lives in the caller of [`WorkerPool::run`]).
+    run: *const (dyn Fn(usize) + Sync),
+    ntasks: usize,
+    /// Next task index to hand out (may grow past `ntasks`).
+    cursor: AtomicUsize,
+    /// Tasks finished.
+    completed: AtomicUsize,
+    /// Workers currently holding a reference to this region.
+    pinned: AtomicUsize,
+    /// First panic payload from any task, re-thrown on the submitter.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    /// Completion signaling (the submitter waits here).
+    sync: Mutex<()>,
+    cv: Condvar,
+}
+
+/// Raw region pointer made Send/Sync for the queue. Safety: see
+/// [`Region`] — the submitter keeps the pointee alive until the queue
+/// entry is removed and no worker is pinned.
+struct RegionPtr(*const Region);
+unsafe impl Send for RegionPtr {}
+
+struct Inner {
+    threads: usize,
+    /// Active regions; workers scan for one with remaining tasks.
+    queue: Mutex<Vec<RegionPtr>>,
+    /// Signaled when a region is installed or shutdown begins.
+    cv: Condvar,
+    shutdown: AtomicBool,
+    started: AtomicBool,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+    threads_spawned: AtomicUsize,
+    regions_run: AtomicUsize,
+    tasks_run: AtomicUsize,
+}
+
+/// A persistent pool of worker threads executing chunked parallel
+/// regions (see the [module docs](self)).
+pub struct WorkerPool {
+    inner: Arc<Inner>,
+}
+
+impl WorkerPool {
+    /// Creates a pool with a worker budget of `threads` (the submitting
+    /// caller counts as one; `threads - 1` OS workers are spawned lazily
+    /// on the first parallel region). `threads <= 1` means fully serial.
+    pub fn with_threads(threads: usize) -> Self {
+        WorkerPool {
+            inner: Arc::new(Inner {
+                threads: threads.max(1),
+                queue: Mutex::new(Vec::new()),
+                cv: Condvar::new(),
+                shutdown: AtomicBool::new(false),
+                started: AtomicBool::new(false),
+                handles: Mutex::new(Vec::new()),
+                threads_spawned: AtomicUsize::new(0),
+                regions_run: AtomicUsize::new(0),
+                tasks_run: AtomicUsize::new(0),
+            }),
+        }
+    }
+
+    /// The worker budget (including the participating caller).
+    pub fn threads(&self) -> usize {
+        self.inner.threads
+    }
+
+    /// Lifetime counters (spawns, regions, tasks).
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            threads: self.inner.threads,
+            threads_spawned: self.inner.threads_spawned.load(Ordering::Relaxed),
+            regions_run: self.inner.regions_run.load(Ordering::Relaxed),
+            tasks_run: self.inner.tasks_run.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Spawns the persistent workers once (no-op afterwards).
+    fn ensure_workers(&self) {
+        if self.inner.started.load(Ordering::Acquire) || self.inner.threads < 2 {
+            return;
+        }
+        let mut handles = self.inner.handles.lock().unwrap();
+        if self.inner.started.load(Ordering::Acquire) {
+            return;
+        }
+        for k in 0..self.inner.threads - 1 {
+            let inner = Arc::clone(&self.inner);
+            let handle = std::thread::Builder::new()
+                .name(format!("oscar-pool-{k}"))
+                .spawn(move || worker_loop(&inner))
+                .expect("failed to spawn pool worker");
+            handles.push(handle);
+            self.inner.threads_spawned.fetch_add(1, Ordering::Relaxed);
+        }
+        self.inner.started.store(true, Ordering::Release);
+    }
+
+    /// Executes `ntasks` indexed tasks across the pool, blocking until
+    /// all have finished. Falls back to inline serial execution for a
+    /// single task, a serial pool, or a nested call.
+    ///
+    /// The closure must tolerate being called from any worker thread
+    /// with distinct indices in `0..ntasks` (each index exactly once).
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the first panic of any task on the calling thread.
+    pub(crate) fn run(&self, ntasks: usize, run: &(dyn Fn(usize) + Sync)) {
+        if ntasks == 0 {
+            return;
+        }
+        if ntasks == 1 || self.inner.threads < 2 || in_parallel_region() {
+            let _guard = RegionGuard::enter();
+            for i in 0..ntasks {
+                run(i);
+            }
+            return;
+        }
+        self.ensure_workers();
+        // SAFETY: erase the borrow's lifetime so the raw pointer can sit
+        // in the queue; `run` stays alive until this function returns,
+        // and the wait loop below guarantees no worker touches the
+        // region after that.
+        let run_erased: *const (dyn Fn(usize) + Sync) = unsafe {
+            std::mem::transmute::<*const (dyn Fn(usize) + Sync + '_), *const (dyn Fn(usize) + Sync)>(
+                run as *const (dyn Fn(usize) + Sync + '_),
+            )
+        };
+        let region = Region {
+            run: run_erased,
+            ntasks,
+            cursor: AtomicUsize::new(0),
+            completed: AtomicUsize::new(0),
+            pinned: AtomicUsize::new(0),
+            panic: Mutex::new(None),
+            sync: Mutex::new(()),
+            cv: Condvar::new(),
+        };
+        // Install the region and wake sleeping workers.
+        {
+            let mut queue = self.inner.queue.lock().unwrap();
+            queue.push(RegionPtr(&region as *const Region));
+        }
+        self.inner.cv.notify_all();
+        // Participate: the submitter executes tasks like any worker, so
+        // the region progresses even when every worker is busy elsewhere.
+        execute_tasks(&region, &self.inner);
+        // Wait until every task is done AND no worker still holds the
+        // region pointer (it is about to go out of scope).
+        {
+            let mut guard = region.sync.lock().unwrap();
+            while region.completed.load(Ordering::Acquire) < ntasks
+                || region.pinned.load(Ordering::Acquire) > 0
+            {
+                guard = region.cv.wait(guard).unwrap();
+            }
+        }
+        {
+            let mut queue = self.inner.queue.lock().unwrap();
+            queue.retain(|p| !std::ptr::addr_eq(p.0, &region as *const Region));
+        }
+        self.inner.regions_run.fetch_add(1, Ordering::Relaxed);
+        let payload = region.panic.lock().unwrap().take();
+        if let Some(payload) = payload {
+            resume_unwind(payload);
+        }
+    }
+
+    /// Pool-scoped form of [`crate::for_each_chunk_mut`]: identical
+    /// chunk geometry and results, executed on this pool's workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `granule == 0`.
+    pub fn for_each_chunk_mut<T: Send>(
+        &self,
+        data: &mut [T],
+        granule: usize,
+        f: impl Fn(usize, &mut [T]) + Sync,
+    ) {
+        let workers = self.plan_workers(data.len(), granule);
+        if workers < 2 || data.len() <= granule {
+            let _guard = RegionGuard::enter();
+            f(0, data);
+            return;
+        }
+        let len = data.len();
+        let chunk_len = chunk_len_for(len, granule, workers);
+        let ntasks = len.div_ceil(chunk_len);
+        let base = data.as_mut_ptr() as usize;
+        self.run(ntasks, &|i| {
+            let start = i * chunk_len;
+            let end = ((i + 1) * chunk_len).min(len);
+            // SAFETY: task indices are distinct, so `[start, end)` ranges
+            // are disjoint; `run` blocks until all tasks finish, so the
+            // borrow of `data` outlives every access. T: Send allows the
+            // chunk to be processed on another thread.
+            let chunk =
+                unsafe { std::slice::from_raw_parts_mut((base as *mut T).add(start), end - start) };
+            f(start, chunk);
+        });
+    }
+
+    /// Pool-scoped form of [`crate::for_each_chunk_mut_with`]: one
+    /// scratch object per task, chunk count capped at `scratch.len()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `granule == 0` or `scratch` is empty.
+    pub fn for_each_chunk_mut_with<T: Send, S: Send>(
+        &self,
+        data: &mut [T],
+        granule: usize,
+        scratch: &mut [S],
+        f: impl Fn(usize, &mut [T], &mut S) + Sync,
+    ) {
+        assert!(!scratch.is_empty(), "need at least one scratch object");
+        let workers = self.plan_workers(data.len(), granule).min(scratch.len());
+        if workers < 2 || data.len() <= granule {
+            let _guard = RegionGuard::enter();
+            f(0, data, &mut scratch[0]);
+            return;
+        }
+        let len = data.len();
+        let chunk_len = chunk_len_for(len, granule, workers);
+        let ntasks = len.div_ceil(chunk_len);
+        debug_assert!(ntasks <= scratch.len());
+        let base = data.as_mut_ptr() as usize;
+        let scratch_base = scratch.as_mut_ptr() as usize;
+        self.run(ntasks, &|i| {
+            let start = i * chunk_len;
+            let end = ((i + 1) * chunk_len).min(len);
+            // SAFETY: disjoint data ranges and distinct scratch slots per
+            // task index; borrows outlive the blocking `run` call.
+            let chunk =
+                unsafe { std::slice::from_raw_parts_mut((base as *mut T).add(start), end - start) };
+            let scr = unsafe { &mut *(scratch_base as *mut S).add(i) };
+            f(start, chunk, scr);
+        });
+    }
+
+    /// Pool-scoped form of [`crate::for_each_zip_chunks_mut`]: matching
+    /// chunks of two equal-length slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices' lengths differ or `granule == 0`.
+    pub fn for_each_zip_chunks_mut<T: Send>(
+        &self,
+        a: &mut [T],
+        b: &mut [T],
+        granule: usize,
+        f: impl Fn(usize, &mut [T], &mut [T]) + Sync,
+    ) {
+        assert_eq!(a.len(), b.len(), "zip slices must match");
+        let workers = self.plan_workers(a.len(), granule);
+        if workers < 2 {
+            let _guard = RegionGuard::enter();
+            f(0, a, b);
+            return;
+        }
+        let len = a.len();
+        let chunk_len = chunk_len_for(len, granule, workers);
+        let ntasks = len.div_ceil(chunk_len);
+        let a_base = a.as_mut_ptr() as usize;
+        let b_base = b.as_mut_ptr() as usize;
+        self.run(ntasks, &|i| {
+            let start = i * chunk_len;
+            let end = ((i + 1) * chunk_len).min(len);
+            // SAFETY: disjoint ranges per task in both slices; borrows
+            // outlive the blocking `run` call.
+            let ca = unsafe {
+                std::slice::from_raw_parts_mut((a_base as *mut T).add(start), end - start)
+            };
+            let cb = unsafe {
+                std::slice::from_raw_parts_mut((b_base as *mut T).add(start), end - start)
+            };
+            f(start, ca, cb);
+        });
+    }
+
+    /// Pool-scoped form of [`crate::join`]: runs `a` and `b` concurrently
+    /// (one on the caller, one stolen by a worker when available).
+    pub fn join<RA: Send, RB: Send>(
+        &self,
+        a: impl FnOnce() -> RA + Send,
+        b: impl FnOnce() -> RB + Send,
+    ) -> (RA, RB) {
+        if self.inner.threads < 2 || in_parallel_region() {
+            return (a(), b());
+        }
+        let fa = Mutex::new(Some(a));
+        let fb = Mutex::new(Some(b));
+        let ra: Mutex<Option<RA>> = Mutex::new(None);
+        let rb: Mutex<Option<RB>> = Mutex::new(None);
+        self.run(2, &|i| {
+            if i == 0 {
+                let f = fa.lock().unwrap().take().expect("task 0 runs once");
+                *ra.lock().unwrap() = Some(f());
+            } else {
+                let f = fb.lock().unwrap().take().expect("task 1 runs once");
+                *rb.lock().unwrap() = Some(f());
+            }
+        });
+        (
+            ra.into_inner().unwrap().expect("join task 0 completed"),
+            rb.into_inner().unwrap().expect("join task 1 completed"),
+        )
+    }
+
+    /// Worker budget for `len` items of `granule`-sized units on this
+    /// pool: 1 (serial) unless multiple units exist and we are not
+    /// already inside a parallel region.
+    fn plan_workers(&self, len: usize, granule: usize) -> usize {
+        assert!(granule > 0, "granule must be positive");
+        if in_parallel_region() {
+            return 1;
+        }
+        let units = len.div_ceil(granule);
+        self.inner.threads.min(units).max(1)
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.inner.shutdown.store(true, Ordering::Release);
+        // Lock/unlock pairs with workers' wait to avoid a missed wakeup.
+        drop(self.inner.queue.lock().unwrap());
+        self.inner.cv.notify_all();
+        let handles: Vec<_> = self.inner.handles.lock().unwrap().drain(..).collect();
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("threads", &self.inner.threads)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+/// The process-wide pool used by the free helpers in the crate root.
+/// Sized by [`crate::max_threads`] (`OSCAR_THREADS` or the machine's
+/// available parallelism); workers spawn on the first parallel region
+/// and persist for the life of the process.
+pub fn global() -> &'static WorkerPool {
+    static POOL: OnceLock<WorkerPool> = OnceLock::new();
+    POOL.get_or_init(|| WorkerPool::with_threads(crate::max_threads()))
+}
+
+/// Steals tasks from `region` until its cursor is exhausted. Runs on
+/// both workers and the submitting thread; marks the thread as inside a
+/// parallel region so nested helper calls degrade to serial.
+fn execute_tasks(region: &Region, inner: &Inner) {
+    let _guard = RegionGuard::enter();
+    loop {
+        let i = region.cursor.fetch_add(1, Ordering::AcqRel);
+        if i >= region.ntasks {
+            return;
+        }
+        // SAFETY: the submitter keeps the closure alive until every task
+        // completed (it blocks in `run`).
+        let task = unsafe { &*region.run };
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| task(i))) {
+            let mut slot = region.panic.lock().unwrap();
+            if slot.is_none() {
+                *slot = Some(payload);
+            }
+        }
+        inner.tasks_run.fetch_add(1, Ordering::Relaxed);
+        let done = region.completed.fetch_add(1, Ordering::AcqRel) + 1;
+        if done == region.ntasks {
+            // Notify under the region lock, pairing with the submitter's
+            // locked wait (here the region cannot be freed yet — a worker
+            // is still pinned, or we *are* the submitter — but keeping
+            // every notify lock-held makes the teardown order uniform).
+            let guard = region.sync.lock().unwrap();
+            region.cv.notify_all();
+            drop(guard);
+        }
+    }
+}
+
+/// Worker main loop: sleep until a region has work, steal its tasks,
+/// repeat. Exits on pool shutdown.
+fn worker_loop(inner: &Inner) {
+    loop {
+        let region_ptr = {
+            let mut queue = inner.queue.lock().unwrap();
+            loop {
+                if inner.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                let found = queue.iter().find(|p| {
+                    // SAFETY: entries are removed from the queue before
+                    // their region is freed, and only after `pinned == 0`;
+                    // we read under the queue lock that removal also takes.
+                    let region = unsafe { &*p.0 };
+                    region.cursor.load(Ordering::Acquire) < region.ntasks
+                });
+                if let Some(p) = found {
+                    // Pin under the queue lock so the submitter cannot
+                    // free the region while we hold the pointer.
+                    let region = unsafe { &*p.0 };
+                    region.pinned.fetch_add(1, Ordering::AcqRel);
+                    break RegionPtr(p.0);
+                }
+                queue = inner.cv.wait(queue).unwrap();
+            }
+        };
+        // SAFETY: pinned above; the submitter waits for `pinned == 0`.
+        let region = unsafe { &*region_ptr.0 };
+        execute_tasks(region, inner);
+        // Unpin and notify while holding the region's lock: the
+        // submitter re-checks its wait condition only under this lock,
+        // so it cannot observe `pinned == 0`, return, and free the
+        // stack-allocated region while we still touch it. The unlock is
+        // our final access.
+        let guard = region.sync.lock().unwrap();
+        region.pinned.fetch_sub(1, Ordering::AcqRel);
+        region.cv.notify_all();
+        drop(guard);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_runs_every_task_exactly_once() {
+        let pool = WorkerPool::with_threads(4);
+        let hits: Vec<AtomicUsize> = (0..64).map(|_| AtomicUsize::new(0)).collect();
+        pool.run(64, &|i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn serial_pool_never_spawns() {
+        let pool = WorkerPool::with_threads(1);
+        let mut v = vec![1u64; 4096];
+        pool.for_each_chunk_mut(&mut v, 16, |_, chunk| {
+            for x in chunk {
+                *x += 1;
+            }
+        });
+        assert!(v.iter().all(|&x| x == 2));
+        assert_eq!(pool.stats().threads_spawned, 0);
+    }
+
+    #[test]
+    fn workers_spawn_once_and_are_reused() {
+        let pool = WorkerPool::with_threads(3);
+        let mut v = vec![0u64; 10_000];
+        for round in 0..20 {
+            pool.for_each_chunk_mut(&mut v, 8, |offset, chunk| {
+                for (k, x) in chunk.iter_mut().enumerate() {
+                    *x += (offset + k + round) as u64;
+                }
+            });
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.threads_spawned, 2, "exactly threads-1 spawns");
+        assert!(stats.regions_run >= 20);
+    }
+
+    #[test]
+    fn panics_propagate_to_submitter() {
+        let pool = WorkerPool::with_threads(2);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(8, &|i| {
+                if i == 5 {
+                    panic!("task 5 exploded");
+                }
+            });
+        }));
+        assert!(result.is_err(), "panic must reach the submitter");
+        // The pool stays usable after a panicked region.
+        let mut v = vec![0u8; 256];
+        pool.for_each_chunk_mut(&mut v, 4, |_, chunk| chunk.fill(1));
+        assert!(v.iter().all(|&x| x == 1));
+    }
+
+    #[test]
+    fn concurrent_submitters_share_the_pool() {
+        let pool = Arc::new(WorkerPool::with_threads(4));
+        let mut joins = Vec::new();
+        for t in 0..4u64 {
+            let pool = Arc::clone(&pool);
+            joins.push(std::thread::spawn(move || {
+                let mut v = vec![0u64; 8192];
+                pool.for_each_chunk_mut(&mut v, 32, |offset, chunk| {
+                    for (k, x) in chunk.iter_mut().enumerate() {
+                        *x = t * 1_000_000 + (offset + k) as u64;
+                    }
+                });
+                v
+            }));
+        }
+        for (t, join) in joins.into_iter().enumerate() {
+            let v = join.join().expect("submitter thread");
+            assert!(v
+                .iter()
+                .enumerate()
+                .all(|(i, &x)| x == t as u64 * 1_000_000 + i as u64));
+        }
+    }
+
+    #[test]
+    fn nested_calls_degrade_to_serial() {
+        let pool = WorkerPool::with_threads(4);
+        let mut outer = vec![0u32; 1024];
+        pool.for_each_chunk_mut(&mut outer, 8, |_, chunk| {
+            assert!(in_parallel_region());
+            let inner_pool = global();
+            inner_pool.for_each_chunk_mut(chunk, 2, |_, c| {
+                for x in c {
+                    *x += 1;
+                }
+            });
+        });
+        assert!(outer.iter().all(|&x| x == 1));
+    }
+}

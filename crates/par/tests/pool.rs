@@ -1,0 +1,144 @@
+//! Pool correctness pins: results bit-identical to serial for worker
+//! budgets of 1, 2 and 4, and zero thread spawns in steady state.
+
+use oscar_par::WorkerPool;
+
+/// A deterministic but non-trivial per-element float computation keyed
+/// by the global index, so any chunk/offset mix-up changes bits.
+fn reference(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| {
+            let x = i as f64 * 0.137 + 0.25;
+            (x.sin() * 1e3).mul_add(0.5, x.sqrt()) / (1.0 + x.cos().abs())
+        })
+        .collect()
+}
+
+fn compute_with_pool(pool: &WorkerPool, n: usize, granule: usize) -> Vec<f64> {
+    let mut out = vec![0.0f64; n];
+    pool.for_each_chunk_mut(&mut out, granule, |offset, chunk| {
+        for (k, v) in chunk.iter_mut().enumerate() {
+            let i = offset + k;
+            let x = i as f64 * 0.137 + 0.25;
+            *v = (x.sin() * 1e3).mul_add(0.5, x.sqrt()) / (1.0 + x.cos().abs());
+        }
+    });
+    out
+}
+
+#[test]
+fn chunked_results_bit_identical_across_thread_counts() {
+    // The serial reference is computed inline with no pool at all; the
+    // 1-, 2- and 4-worker pools must reproduce it bit for bit, for both
+    // granule-aligned and ragged sizes.
+    for &(n, granule) in &[(10_000usize, 7usize), (4096, 32), (513, 64), (1, 4)] {
+        let want = reference(n);
+        for threads in [1usize, 2, 4] {
+            let pool = WorkerPool::with_threads(threads);
+            let got = compute_with_pool(&pool, n, granule);
+            assert!(
+                want.iter()
+                    .zip(&got)
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "threads={threads} n={n} granule={granule}: drift from serial"
+            );
+        }
+    }
+}
+
+#[test]
+fn zip_results_bit_identical_across_thread_counts() {
+    let n = 8192;
+    let serial: (Vec<f64>, Vec<f64>) = {
+        let mut a: Vec<f64> = (0..n).map(|i| (i as f64 * 0.31).sin()).collect();
+        let mut b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.17).cos()).collect();
+        for i in 0..n {
+            let (x, y) = (a[i], b[i]);
+            a[i] = x * y + x;
+            b[i] = x - y * y;
+        }
+        (a, b)
+    };
+    for threads in [1usize, 2, 4] {
+        let pool = WorkerPool::with_threads(threads);
+        let mut a: Vec<f64> = (0..n).map(|i| (i as f64 * 0.31).sin()).collect();
+        let mut b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.17).cos()).collect();
+        pool.for_each_zip_chunks_mut(&mut a, &mut b, 16, |_, ca, cb| {
+            for i in 0..ca.len() {
+                let (x, y) = (ca[i], cb[i]);
+                ca[i] = x * y + x;
+                cb[i] = x - y * y;
+            }
+        });
+        assert!(
+            serial
+                .0
+                .iter()
+                .zip(&a)
+                .chain(serial.1.iter().zip(&b))
+                .all(|(u, v)| u.to_bits() == v.to_bits()),
+            "threads={threads}: zip drift from serial"
+        );
+    }
+}
+
+#[test]
+fn scratch_variant_totals_match_across_thread_counts() {
+    let n = 65_536u64;
+    let want: u64 = (0..n).map(|i| i * i % 977).sum();
+    for threads in [1usize, 2, 4] {
+        let pool = WorkerPool::with_threads(threads);
+        let mut data: Vec<u64> = (0..n).collect();
+        let mut partials = vec![0u64; threads];
+        pool.for_each_chunk_mut_with(&mut data, 64, &mut partials, |_, chunk, acc| {
+            *acc += chunk.iter().map(|&i| i * i % 977).sum::<u64>();
+        });
+        assert_eq!(
+            partials.iter().sum::<u64>(),
+            want,
+            "threads={threads}: partial sums lost work"
+        );
+    }
+}
+
+#[test]
+fn steady_state_applies_spawn_no_new_threads() {
+    let pool = WorkerPool::with_threads(4);
+    let mut v = vec![0.0f64; 50_000];
+    // Warm-up: the first region spawns the persistent workers.
+    pool.for_each_chunk_mut(&mut v, 50, |off, chunk| {
+        for (k, x) in chunk.iter_mut().enumerate() {
+            *x = (off + k) as f64;
+        }
+    });
+    let after_warmup = pool.stats().threads_spawned;
+    assert_eq!(after_warmup, 3, "4-thread pool spawns exactly 3 workers");
+
+    // 200 steady-state parallel applies: the spawn counter must not move.
+    for round in 0..200 {
+        pool.for_each_chunk_mut(&mut v, 50, |_, chunk| {
+            for x in chunk.iter_mut() {
+                *x += round as f64;
+            }
+        });
+    }
+    let stats = pool.stats();
+    assert_eq!(
+        stats.threads_spawned, after_warmup,
+        "steady-state parallel applies must not spawn threads"
+    );
+    assert!(stats.regions_run >= 200, "regions should run on the pool");
+}
+
+#[test]
+fn join_bit_identical_and_pool_backed() {
+    let pool = WorkerPool::with_threads(2);
+    let (a, b) = pool.join(
+        || (0..1000).map(|i| (i as f64).sqrt()).sum::<f64>(),
+        || (0..1000).map(|i| (i as f64).cbrt()).sum::<f64>(),
+    );
+    let sa: f64 = (0..1000).map(|i| (i as f64).sqrt()).sum();
+    let sb: f64 = (0..1000).map(|i| (i as f64).cbrt()).sum();
+    assert_eq!(a.to_bits(), sa.to_bits());
+    assert_eq!(b.to_bits(), sb.to_bits());
+}

@@ -5,6 +5,52 @@
 use rand::seq::SliceRandom;
 use rand::Rng;
 
+/// Why sampling a random d-regular graph failed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RegularGraphError {
+    /// No d-regular graph on `n` vertices exists: `n * d` is odd or
+    /// `d >= n`.
+    Infeasible {
+        /// Requested vertex count.
+        n: usize,
+        /// Requested degree.
+        d: usize,
+    },
+    /// The configuration model produced self-loops or multi-edges on
+    /// every attempt within the retry budget. Overwhelmingly unlikely
+    /// for the small degrees used here (per-attempt success probability
+    /// is roughly `e^{-(d²-1)/4}`, so 1000 attempts at d = 3 fail with
+    /// probability below 1e-90) — but a caller with adversarial
+    /// parameters gets an error instead of a crash.
+    RetriesExhausted {
+        /// Requested vertex count.
+        n: usize,
+        /// Requested degree.
+        d: usize,
+        /// Attempts made before giving up.
+        attempts: usize,
+    },
+}
+
+impl std::fmt::Display for RegularGraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            RegularGraphError::Infeasible { n, d } => write!(
+                f,
+                "no {d}-regular graph on {n} vertices exists \
+                 (need n*d even and d < n)"
+            ),
+            RegularGraphError::RetriesExhausted { n, d, attempts } => write!(
+                f,
+                "failed to sample a {d}-regular graph on {n} vertices \
+                 after {attempts} attempts"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RegularGraphError {}
+
 /// An undirected weighted graph on `n` vertices.
 ///
 /// # Examples
@@ -135,18 +181,21 @@ impl Graph {
     /// A uniformly random `d`-regular graph via the configuration (pairing)
     /// model with rejection of self-loops/multi-edges.
     ///
-    /// # Panics
-    ///
-    /// Panics if `n * d` is odd, `d >= n`, or a valid pairing is not found
-    /// within an internal retry budget (overwhelmingly unlikely for the
-    /// small `d` used here).
-    pub fn random_regular<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R) -> Self {
-        assert!(
-            (n * d).is_multiple_of(2),
-            "n*d must be even for a d-regular graph"
-        );
-        assert!(d < n, "degree must be below vertex count");
-        'attempt: for _ in 0..1000 {
+    /// Returns [`RegularGraphError::Infeasible`] when no such graph
+    /// exists (`n * d` odd or `d >= n`) and
+    /// [`RegularGraphError::RetriesExhausted`] if no valid pairing is
+    /// found within the retry budget (see that variant's docs: for the
+    /// small degrees used here this is vanishingly unlikely).
+    pub fn random_regular<R: Rng + ?Sized>(
+        n: usize,
+        d: usize,
+        rng: &mut R,
+    ) -> Result<Self, RegularGraphError> {
+        const ATTEMPTS: usize = 1000;
+        if !(n * d).is_multiple_of(2) || d >= n {
+            return Err(RegularGraphError::Infeasible { n, d });
+        }
+        'attempt: for _ in 0..ATTEMPTS {
             // Stubs: d copies of each vertex, paired uniformly at random.
             let mut stubs: Vec<usize> = (0..n).flat_map(|v| std::iter::repeat_n(v, d)).collect();
             stubs.shuffle(rng);
@@ -163,9 +212,13 @@ impl Graph {
                 }
                 edges.push((key.0, key.1, 1.0));
             }
-            return Graph::new(n, edges);
+            return Ok(Graph::new(n, edges));
         }
-        panic!("failed to sample a {d}-regular graph on {n} vertices");
+        Err(RegularGraphError::RetriesExhausted {
+            n,
+            d,
+            attempts: ATTEMPTS,
+        })
     }
 
     /// Assigns each edge an independent weight drawn from `draw`.
@@ -248,7 +301,7 @@ mod tests {
     fn random_regular_is_regular() {
         let mut rng = StdRng::seed_from_u64(42);
         for _ in 0..5 {
-            let g = Graph::random_regular(12, 3, &mut rng);
+            let g = Graph::random_regular(12, 3, &mut rng).expect("feasible parameters");
             assert!(g.is_regular(3), "graph not 3-regular");
             assert_eq!(g.num_edges(), 18);
         }
@@ -256,9 +309,36 @@ mod tests {
 
     #[test]
     fn random_regular_varies_with_seed() {
-        let g1 = Graph::random_regular(10, 3, &mut StdRng::seed_from_u64(1));
-        let g2 = Graph::random_regular(10, 3, &mut StdRng::seed_from_u64(2));
+        let g1 = Graph::random_regular(10, 3, &mut StdRng::seed_from_u64(1)).unwrap();
+        let g2 = Graph::random_regular(10, 3, &mut StdRng::seed_from_u64(2)).unwrap();
         assert_ne!(g1, g2);
+    }
+
+    #[test]
+    fn random_regular_rejects_infeasible_parameters() {
+        let mut rng = StdRng::seed_from_u64(1);
+        // n*d odd.
+        assert_eq!(
+            Graph::random_regular(5, 3, &mut rng),
+            Err(RegularGraphError::Infeasible { n: 5, d: 3 })
+        );
+        // d >= n.
+        assert_eq!(
+            Graph::random_regular(4, 4, &mut rng),
+            Err(RegularGraphError::Infeasible { n: 4, d: 4 })
+        );
+        let msg = RegularGraphError::Infeasible { n: 5, d: 3 }.to_string();
+        assert!(
+            msg.contains("3-regular") && msg.contains("5 vertices"),
+            "{msg}"
+        );
+        let msg = RegularGraphError::RetriesExhausted {
+            n: 8,
+            d: 3,
+            attempts: 1000,
+        }
+        .to_string();
+        assert!(msg.contains("1000 attempts"), "{msg}");
     }
 
     #[test]

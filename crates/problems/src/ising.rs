@@ -6,7 +6,7 @@
 //! cost diagonal for the fast QAOA evaluator, and the [`PauliSum`] form for
 //! generic ansatzes.
 
-use crate::graph::Graph;
+use crate::graph::{Graph, RegularGraphError};
 use oscar_qsim::pauli::{PauliString, PauliSum};
 use oscar_qsim::qaoa::QaoaEvaluator;
 use rand::Rng;
@@ -51,8 +51,27 @@ impl IsingProblem {
     }
 
     /// MaxCut on a random 3-regular graph.
+    ///
+    /// Infallible convenience for the tests, benchmarks and examples
+    /// that always pass feasible parameters; services validating
+    /// user-supplied sizes should use [`Self::try_random_3_regular`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when sampling fails ([`RegularGraphError`]): `n` odd,
+    /// `n <= 3`, or — with probability below 1e-90 — the internal retry
+    /// budget is exhausted.
     pub fn random_3_regular<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Self {
-        IsingProblem::max_cut(Graph::random_regular(n, 3, rng))
+        Self::try_random_3_regular(n, rng).unwrap_or_else(|e| panic!("random_3_regular({n}): {e}"))
+    }
+
+    /// MaxCut on a random 3-regular graph, propagating sampling
+    /// failures instead of panicking.
+    pub fn try_random_3_regular<R: Rng + ?Sized>(
+        n: usize,
+        rng: &mut R,
+    ) -> Result<Self, RegularGraphError> {
+        Ok(IsingProblem::max_cut(Graph::random_regular(n, 3, rng)?))
     }
 
     /// MaxCut on a `rows x cols` mesh graph.

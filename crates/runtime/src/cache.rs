@@ -1,0 +1,480 @@
+//! Bounded LRU caching for landscapes (and anything else hashable).
+//!
+//! A batch of reconstruction jobs frequently revisits the same
+//! `(problem, grid, seed)` triple — parameter sweeps vary the sampling
+//! seed or solver config while the ground-truth landscape (a full grid
+//! of circuit evaluations, by far the most expensive pipeline stage)
+//! stays fixed. [`LandscapeCache`] dedupes those repeats behind a
+//! bounded [`LruCache`].
+
+use oscar_core::grid::Grid2d;
+use oscar_core::landscape::Landscape;
+use oscar_problems::ising::IsingProblem;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, HashSet};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Counters describing cache effectiveness.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Entries currently resident.
+    pub len: usize,
+    /// Maximum resident entries.
+    pub capacity: usize,
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+}
+
+struct Slot<V> {
+    value: V,
+    last_used: u64,
+}
+
+/// A bounded least-recently-used map. Simple by intent: recency is a
+/// monotonic tick per access and eviction scans for the minimum, which
+/// is O(len) — fine for the small capacities a landscape cache uses
+/// (tens of entries, each worth milliseconds-to-seconds of recompute).
+pub struct LruCache<K: Eq + Hash + Clone, V: Clone> {
+    capacity: usize,
+    map: HashMap<K, Slot<V>>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
+    /// Creates a cache holding at most `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        LruCache {
+            capacity,
+            map: HashMap::new(),
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Looks up `key`, marking it most-recently-used on a hit.
+    pub fn get(&mut self, key: &K) -> Option<V> {
+        let found = self.get_untracked(key);
+        if found.is_some() {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+        }
+        found
+    }
+
+    /// Like [`Self::get`] but without touching the hit/miss counters —
+    /// for callers that retry one logical lookup several times (e.g.
+    /// waiting out another thread's in-flight computation) and account
+    /// for it themselves.
+    pub fn get_untracked(&mut self, key: &K) -> Option<V> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(key).map(|slot| {
+            slot.last_used = tick;
+            slot.value.clone()
+        })
+    }
+
+    /// Inserts `key -> value`, evicting the least-recently-used entry
+    /// when the cache is full and `key` is new. An existing key is
+    /// overwritten (and refreshed) without eviction.
+    pub fn insert(&mut self, key: K, value: V) {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(slot) = self.map.get_mut(&key) {
+            slot.value = value;
+            slot.last_used = tick;
+            return;
+        }
+        if self.map.len() >= self.capacity {
+            if let Some(oldest) = self
+                .map
+                .iter()
+                .min_by_key(|(_, slot)| slot.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                self.map.remove(&oldest);
+                self.evictions += 1;
+            }
+        }
+        self.map.insert(
+            key,
+            Slot {
+                value,
+                last_used: tick,
+            },
+        );
+    }
+
+    /// `true` when `key` is resident (without touching recency).
+    pub fn contains(&self, key: &K) -> bool {
+        self.map.contains_key(key)
+    }
+
+    /// Entries currently resident.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            len: self.map.len(),
+            capacity: self.capacity,
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+        }
+    }
+
+    /// Drops every entry (counters keep accumulating).
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+}
+
+/// Cache key for a ground-truth landscape: a fingerprint of the problem
+/// couplings, the exact grid, and the generation seed (0 for exact
+/// noiseless evaluation; noisy executors fold their shot-noise seed in
+/// so distinct noise streams do not collide).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct LandscapeKey {
+    problem: u64,
+    grid: [u64; 6],
+    seed: u64,
+}
+
+impl LandscapeKey {
+    /// Builds the key for `(problem, grid, seed)`.
+    pub fn new(problem: &IsingProblem, grid: &Grid2d, seed: u64) -> Self {
+        LandscapeKey {
+            problem: problem_fingerprint(problem),
+            grid: grid_bits(grid),
+            seed,
+        }
+    }
+}
+
+/// Stable fingerprint of an Ising instance: kind, vertex count, and the
+/// exact edge list including weight bit patterns.
+pub fn problem_fingerprint(problem: &IsingProblem) -> u64 {
+    let mut h = DefaultHasher::new();
+    format!("{:?}", problem.kind()).hash(&mut h);
+    problem.num_qubits().hash(&mut h);
+    for &(a, b, w) in problem.graph().edges() {
+        a.hash(&mut h);
+        b.hash(&mut h);
+        w.to_bits().hash(&mut h);
+    }
+    h.finish()
+}
+
+fn grid_bits(grid: &Grid2d) -> [u64; 6] {
+    [
+        grid.beta.lo.to_bits(),
+        grid.beta.hi.to_bits(),
+        grid.beta.n as u64,
+        grid.gamma.lo.to_bits(),
+        grid.gamma.hi.to_bits(),
+        grid.gamma.n as u64,
+    ]
+}
+
+/// A thread-safe bounded LRU of ground-truth landscapes, shared by
+/// every executor of a [`crate::scheduler::BatchRuntime`].
+///
+/// Values are `Arc<Landscape>`, so a hit costs one reference bump and
+/// concurrent jobs read the same buffer. Misses are deduplicated
+/// in-flight: when several executors request the same key at once (the
+/// common shape of a batch sweeping sampling seeds over one instance),
+/// exactly one computes while the rest wait for its result — repeat
+/// sampling requests never duplicate the expensive grid evaluation.
+pub struct LandscapeCache {
+    inner: Mutex<LruCache<LandscapeKey, Arc<Landscape>>>,
+    /// Keys currently being computed by some thread.
+    pending: Mutex<HashSet<LandscapeKey>>,
+    /// Signaled whenever a pending computation finishes (or unwinds).
+    pending_cv: Condvar,
+    /// One hit or miss per [`Self::get_or_compute`] call, counted here
+    /// rather than in the LRU so a waiter's retries are not
+    /// double-counted: a call is a miss iff it ran the producer.
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// Removes the claim on unwind too, so a panicking producer does not
+/// strand its waiters.
+struct PendingClaim<'a> {
+    cache: &'a LandscapeCache,
+    key: LandscapeKey,
+}
+
+impl Drop for PendingClaim<'_> {
+    fn drop(&mut self) {
+        self.cache.pending.lock().unwrap().remove(&self.key);
+        self.cache.pending_cv.notify_all();
+    }
+}
+
+impl LandscapeCache {
+    /// Creates a cache bounded to `capacity` landscapes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        LandscapeCache {
+            inner: Mutex::new(LruCache::new(capacity)),
+            pending: Mutex::new(HashSet::new()),
+            pending_cv: Condvar::new(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Returns the cached landscape for `key`, or computes it with
+    /// `produce` and caches the result. The second return value is
+    /// `true` on a cache hit (including waiting out another thread's
+    /// in-flight computation of the same key).
+    pub fn get_or_compute(
+        &self,
+        key: LandscapeKey,
+        produce: impl FnOnce() -> Landscape,
+    ) -> (Arc<Landscape>, bool) {
+        loop {
+            if let Some(hit) = self.inner.lock().unwrap().get_untracked(&key) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return (hit, true);
+            }
+            {
+                let mut pending = self.pending.lock().unwrap();
+                // Re-check the cache under the pending lock: a producer
+                // inserts its value *before* releasing its claim (which
+                // needs this lock), so if the key is neither cached nor
+                // pending here, no producer exists and we safely become
+                // one. Without this, a producer finishing between our
+                // probe and this point would let us recompute the value.
+                if let Some(hit) = self.inner.lock().unwrap().get_untracked(&key) {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return (hit, true);
+                }
+                if pending.contains(&key) {
+                    // Another thread is computing this key: wait for it
+                    // and re-check the cache (on the rare eviction before
+                    // we reread, we loop around and become the producer).
+                    let _g = self.pending_cv.wait(pending).unwrap();
+                    continue;
+                }
+                pending.insert(key);
+            }
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            let claim = PendingClaim { cache: self, key };
+            // Compute outside the locks: landscape generation is the
+            // heavy stage and runs data-parallel on the worker pool;
+            // holding a cache lock would serialize unrelated jobs.
+            let fresh = Arc::new(produce());
+            self.inner.lock().unwrap().insert(key, Arc::clone(&fresh));
+            drop(claim);
+            return (fresh, false);
+        }
+    }
+
+    /// Counter snapshot: hits/misses are per [`Self::get_or_compute`]
+    /// call (a call is a miss iff it ran the producer); len, capacity
+    /// and evictions come from the underlying LRU.
+    pub fn stats(&self) -> CacheStats {
+        let mut stats = self.inner.lock().unwrap().stats();
+        stats.hits = self.hits.load(Ordering::Relaxed);
+        stats.misses = self.misses.load(Ordering::Relaxed);
+        stats
+    }
+
+    /// Drops every cached landscape.
+    pub fn clear(&self) {
+        self.inner.lock().unwrap().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_returns_inserted_value() {
+        let mut lru: LruCache<u32, String> = LruCache::new(4);
+        lru.insert(1, "one".into());
+        lru.insert(2, "two".into());
+        assert_eq!(lru.get(&1).as_deref(), Some("one"));
+        assert_eq!(lru.get(&3), None);
+        let s = lru.stats();
+        assert_eq!((s.hits, s.misses, s.len), (1, 1, 2));
+    }
+
+    #[test]
+    fn eviction_removes_least_recently_used() {
+        let mut lru: LruCache<u32, u32> = LruCache::new(3);
+        lru.insert(1, 10);
+        lru.insert(2, 20);
+        lru.insert(3, 30);
+        // Touch 1 and 3 so 2 is the LRU entry.
+        assert!(lru.get(&1).is_some());
+        assert!(lru.get(&3).is_some());
+        lru.insert(4, 40);
+        assert!(!lru.contains(&2), "LRU entry must be evicted");
+        assert!(lru.contains(&1) && lru.contains(&3) && lru.contains(&4));
+        assert_eq!(lru.stats().evictions, 1);
+        assert_eq!(lru.len(), 3);
+    }
+
+    #[test]
+    fn reinsert_refreshes_without_eviction() {
+        let mut lru: LruCache<u32, u32> = LruCache::new(2);
+        lru.insert(1, 10);
+        lru.insert(2, 20);
+        lru.insert(1, 11); // overwrite, no eviction
+        assert_eq!(lru.stats().evictions, 0);
+        assert_eq!(lru.get(&1), Some(11));
+        // 2 is now LRU (1 was refreshed by overwrite + get).
+        lru.insert(3, 30);
+        assert!(!lru.contains(&2));
+    }
+
+    #[test]
+    fn capacity_one_always_holds_newest() {
+        let mut lru: LruCache<u32, u32> = LruCache::new(1);
+        for i in 0..10 {
+            lru.insert(i, i);
+            assert_eq!(lru.get(&i), Some(i));
+        }
+        assert_eq!(lru.len(), 1);
+        assert_eq!(lru.stats().evictions, 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn rejects_zero_capacity() {
+        let _: LruCache<u8, u8> = LruCache::new(0);
+    }
+
+    #[test]
+    fn landscape_keys_separate_problems_grids_and_seeds() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(1);
+        let p1 = IsingProblem::random_3_regular(8, &mut rng);
+        let p2 = IsingProblem::random_3_regular(8, &mut rng);
+        let g1 = Grid2d::small_p1(10, 12);
+        let g2 = Grid2d::small_p1(10, 14);
+        let base = LandscapeKey::new(&p1, &g1, 0);
+        assert_eq!(base, LandscapeKey::new(&p1, &g1, 0));
+        assert_ne!(base, LandscapeKey::new(&p2, &g1, 0));
+        assert_ne!(base, LandscapeKey::new(&p1, &g2, 0));
+        assert_ne!(base, LandscapeKey::new(&p1, &g1, 1));
+    }
+
+    #[test]
+    fn landscape_cache_dedupes_computation() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(5);
+        let problem = IsingProblem::random_3_regular(6, &mut rng);
+        let grid = Grid2d::small_p1(6, 8);
+        let cache = LandscapeCache::new(4);
+        let key = LandscapeKey::new(&problem, &grid, 0);
+        let mut computes = 0;
+        let (a, hit_a) = cache.get_or_compute(key, || {
+            computes += 1;
+            Landscape::from_qaoa(grid, &problem.qaoa_evaluator())
+        });
+        let (b, hit_b) = cache.get_or_compute(key, || {
+            computes += 1;
+            Landscape::from_qaoa(grid, &problem.qaoa_evaluator())
+        });
+        assert!(!hit_a && hit_b);
+        assert_eq!(computes, 1, "second lookup must be served from cache");
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn concurrent_misses_compute_once() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let mut rng = StdRng::seed_from_u64(6);
+        let problem = IsingProblem::random_3_regular(6, &mut rng);
+        let grid = Grid2d::small_p1(8, 10);
+        let cache = Arc::new(LandscapeCache::new(4));
+        let computes = Arc::new(AtomicUsize::new(0));
+        let key = LandscapeKey::new(&problem, &grid, 0);
+        let handles: Vec<_> = (0..6)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                let computes = Arc::clone(&computes);
+                let problem = problem.clone();
+                std::thread::spawn(move || {
+                    cache.get_or_compute(key, || {
+                        computes.fetch_add(1, Ordering::Relaxed);
+                        Landscape::from_qaoa(grid, &problem.qaoa_evaluator())
+                    })
+                })
+            })
+            .collect();
+        let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(
+            computes.load(Ordering::Relaxed),
+            1,
+            "in-flight dedup must collapse concurrent misses into one compute"
+        );
+        assert_eq!(results.iter().filter(|(_, hit)| !hit).count(), 1);
+        for (l, _) in &results {
+            assert!(Arc::ptr_eq(l, &results[0].0));
+        }
+    }
+
+    #[test]
+    fn panicking_producer_does_not_strand_waiters() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(8);
+        let problem = IsingProblem::random_3_regular(4, &mut rng);
+        let grid = Grid2d::small_p1(6, 6);
+        let cache = LandscapeCache::new(2);
+        let key = LandscapeKey::new(&problem, &grid, 0);
+        let boom = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            cache.get_or_compute(key, || panic!("producer died"));
+        }));
+        assert!(boom.is_err());
+        // The pending claim must have been released: a retry computes.
+        let (l, hit) = cache.get_or_compute(key, || {
+            Landscape::from_qaoa(grid, &problem.qaoa_evaluator())
+        });
+        assert!(!hit);
+        assert_eq!(l.values().len(), 36);
+    }
+}

@@ -1,0 +1,71 @@
+//! # oscar-runtime — persistent runtime for streams of reconstructions
+//!
+//! PR 1 made a *single* reconstruction fast; this crate is the layer
+//! that makes a *stream* of them fast. It amortizes three kinds of
+//! state across jobs that the per-call pipeline used to rebuild every
+//! time:
+//!
+//! * **Threads** — all data-parallel kernels run on the lazily
+//!   initialized persistent worker pool in `oscar-par`
+//!   ([`oscar_par::pool`]): chunk-stealing workers spawned once per
+//!   process, shared by every concurrent job, zero spawn cost per
+//!   parallel apply in steady state.
+//! * **FFT/DCT plans** — twiddle factors and Bluestein chirps are
+//!   cached per transform size ([`oscar_cs::plan_cache`]), so a batch
+//!   of jobs at one grid side plans once.
+//! * **Landscapes** — ground-truth landscapes (a full grid of circuit
+//!   evaluations, the most expensive stage) live in a bounded LRU
+//!   ([`cache::LandscapeCache`]) keyed by `(problem, grid, seed)`, so
+//!   parameter sweeps that revisit an instance skip straight to
+//!   reconstruction.
+//!
+//! On top sits the [`scheduler::BatchRuntime`]: a bounded-concurrency
+//! batch scheduler with a submit/handle API that pipelines *landscape
+//! sampling → CS reconstruction → optimization* per job
+//! ([`job::run_job`]) and drains many jobs across the pool. Results
+//! are deterministic: a [`job::JobSpec`] fully determines its
+//! [`job::JobResult`], bit-identical whether the job runs inline,
+//! alone, or interleaved with dozens of others.
+//!
+//! The `oscar-batch` binary (in `oscar-bench`) drives this end to end
+//! from a job-list file and reports per-job latency and aggregate
+//! throughput.
+//!
+//! # Example
+//!
+//! ```
+//! use oscar_runtime::job::JobSpec;
+//! use oscar_runtime::scheduler::{BatchRuntime, RuntimeConfig};
+//! use oscar_core::grid::Grid2d;
+//! use oscar_problems::ising::IsingProblem;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let problem = IsingProblem::random_3_regular(6, &mut rng);
+//! let runtime = BatchRuntime::new(RuntimeConfig {
+//!     concurrency: 2,
+//!     ..RuntimeConfig::default()
+//! });
+//! // Four sampling seeds over one instance: the ground-truth landscape
+//! // is computed once and served from the cache three times.
+//! let jobs = (0..4).map(|seed| {
+//!     JobSpec::new(problem.clone(), Grid2d::small_p1(10, 12), 0.3, seed)
+//! });
+//! let results = runtime.run_batch(jobs);
+//! assert_eq!(results.len(), 4);
+//! assert!(results.iter().all(|r| r.nrmse < 0.3));
+//! // In-flight dedup: exactly one job computes the landscape, the
+//! // other three hit (waiting out the computation counts as a hit).
+//! assert!(runtime.cache_stats().hits >= 3);
+//! assert_eq!(runtime.cache_stats().misses, 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod job;
+pub mod scheduler;
+
+pub use cache::{CacheStats, LandscapeCache, LandscapeKey, LruCache};
+pub use job::{run_job, JobResult, JobSpec};
+pub use scheduler::{BatchRuntime, JobHandle, RuntimeConfig};

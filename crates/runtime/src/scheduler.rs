@@ -1,0 +1,212 @@
+//! The batch job scheduler: bounded-concurrency execution of many
+//! reconstruction jobs over the shared worker pool.
+//!
+//! [`BatchRuntime`] owns a small set of persistent *executor* threads
+//! (the concurrency bound) draining a FIFO queue of [`JobSpec`]s. Each
+//! executor runs one job at a time through the full pipeline
+//! ([`crate::job::run_job`]); the data-parallel stages inside a job
+//! (landscape evaluation, large-grid DCT passes) delegate to the global
+//! `oscar-par` worker pool, whose chunk-stealing workers are shared by
+//! every concurrently running job — so job-level and data-level
+//! parallelism compose without oversubscribing the machine.
+//!
+//! Submission is asynchronous: [`BatchRuntime::submit`] returns a
+//! [`JobHandle`] immediately; [`JobHandle::wait`] blocks for that job's
+//! [`JobResult`]. [`BatchRuntime::run_batch`] is the synchronous
+//! convenience that submits a whole batch and returns results in
+//! submission order.
+
+use crate::cache::{CacheStats, LandscapeCache};
+use crate::job::{run_job, JobResult, JobSpec};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Scheduler configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct RuntimeConfig {
+    /// Jobs running simultaneously (executor threads). Defaults to the
+    /// `oscar-par` worker budget (`OSCAR_THREADS` or the machine's
+    /// available parallelism).
+    pub concurrency: usize,
+    /// Ground-truth landscapes kept resident in the LRU cache.
+    pub landscape_cache_capacity: usize,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            concurrency: oscar_par::max_threads(),
+            landscape_cache_capacity: 32,
+        }
+    }
+}
+
+struct QueuedJob {
+    id: u64,
+    spec: JobSpec,
+    tx: Sender<JobResult>,
+}
+
+struct SchedInner {
+    queue: Mutex<VecDeque<QueuedJob>>,
+    cv: Condvar,
+    shutdown: AtomicBool,
+    cache: LandscapeCache,
+    submitted: AtomicU64,
+    completed: AtomicU64,
+}
+
+/// A persistent batch scheduler (see the [module docs](self)).
+///
+/// Dropping the runtime shuts it down: executors finish the job they
+/// are on, remaining queued jobs are abandoned (their handles' `wait`
+/// panics with a clear message). Prefer draining with
+/// [`Self::run_batch`] or by waiting every handle before drop.
+pub struct BatchRuntime {
+    inner: Arc<SchedInner>,
+    executors: Vec<JoinHandle<()>>,
+}
+
+/// A claim ticket for one submitted job.
+pub struct JobHandle {
+    id: u64,
+    rx: Receiver<JobResult>,
+}
+
+impl JobHandle {
+    /// The scheduler-assigned job id (submission order, starting at 1).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Blocks until the job finishes and returns its result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the runtime was dropped (or an executor died) before
+    /// the job completed.
+    pub fn wait(self) -> JobResult {
+        self.rx
+            .recv()
+            .expect("runtime shut down before the job completed")
+    }
+}
+
+impl BatchRuntime {
+    /// Starts a runtime with `config.concurrency` executor threads.
+    pub fn new(config: RuntimeConfig) -> Self {
+        let inner = Arc::new(SchedInner {
+            queue: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            cache: LandscapeCache::new(config.landscape_cache_capacity.max(1)),
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+        });
+        let executors = (0..config.concurrency.max(1))
+            .map(|k| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("oscar-exec-{k}"))
+                    .spawn(move || executor_loop(&inner))
+                    .expect("failed to spawn executor thread")
+            })
+            .collect();
+        BatchRuntime { inner, executors }
+    }
+
+    /// Starts a runtime with the default configuration.
+    pub fn with_concurrency(concurrency: usize) -> Self {
+        BatchRuntime::new(RuntimeConfig {
+            concurrency,
+            ..RuntimeConfig::default()
+        })
+    }
+
+    /// Enqueues a job and returns its handle immediately.
+    pub fn submit(&self, spec: JobSpec) -> JobHandle {
+        let id = self.inner.submitted.fetch_add(1, Ordering::Relaxed) + 1;
+        let (tx, rx) = channel();
+        {
+            let mut queue = self.inner.queue.lock().unwrap();
+            queue.push_back(QueuedJob { id, spec, tx });
+        }
+        self.inner.cv.notify_one();
+        JobHandle { id, rx }
+    }
+
+    /// Submits every spec and waits for all results, returned in
+    /// submission order.
+    pub fn run_batch(&self, specs: impl IntoIterator<Item = JobSpec>) -> Vec<JobResult> {
+        let handles: Vec<JobHandle> = specs.into_iter().map(|s| self.submit(s)).collect();
+        handles.into_iter().map(JobHandle::wait).collect()
+    }
+
+    /// Landscape-cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.inner.cache.stats()
+    }
+
+    /// Jobs submitted so far.
+    pub fn submitted(&self) -> u64 {
+        self.inner.submitted.load(Ordering::Relaxed)
+    }
+
+    /// Jobs completed so far.
+    pub fn completed(&self) -> u64 {
+        self.inner.completed.load(Ordering::Relaxed)
+    }
+
+    /// The concurrency bound (number of executors).
+    pub fn concurrency(&self) -> usize {
+        self.executors.len()
+    }
+}
+
+impl Drop for BatchRuntime {
+    fn drop(&mut self) {
+        self.inner.shutdown.store(true, Ordering::Release);
+        // Lock/unlock pairs with executors' wait to avoid missed wakeups.
+        drop(self.inner.queue.lock().unwrap());
+        self.inner.cv.notify_all();
+        for handle in self.executors.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for BatchRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BatchRuntime")
+            .field("concurrency", &self.executors.len())
+            .field("submitted", &self.submitted())
+            .field("completed", &self.completed())
+            .field("cache", &self.cache_stats())
+            .finish()
+    }
+}
+
+fn executor_loop(inner: &SchedInner) {
+    loop {
+        let job = {
+            let mut queue = inner.queue.lock().unwrap();
+            loop {
+                if inner.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                if let Some(job) = queue.pop_front() {
+                    break job;
+                }
+                queue = inner.cv.wait(queue).unwrap();
+            }
+        };
+        let mut result = run_job(&job.spec, Some(&inner.cache));
+        result.job_id = job.id;
+        inner.completed.fetch_add(1, Ordering::Relaxed);
+        // A dropped handle just means nobody is waiting for this result.
+        let _ = job.tx.send(result);
+    }
+}

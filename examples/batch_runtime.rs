@@ -1,0 +1,70 @@
+//! Batch runtime in ~40 lines: submit a sweep of reconstruction jobs,
+//! collect handles out of order, and watch the landscape cache dedupe
+//! repeated instances.
+//!
+//! Run with: `cargo run --release --example batch_runtime`
+//! (try `OSCAR_THREADS=4` to size the worker pool explicitly).
+
+use oscar::core::grid::Grid2d;
+use oscar::problems::ising::IsingProblem;
+use oscar::runtime::job::JobSpec;
+use oscar::runtime::scheduler::{BatchRuntime, RuntimeConfig};
+use rand::SeedableRng;
+
+fn main() {
+    // Two MaxCut instances; each is reconstructed under four sampling
+    // seeds — a typical "how stable is my reconstruction?" sweep.
+    let problems: Vec<IsingProblem> = (0..2u64)
+        .map(|k| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(10 + k);
+            IsingProblem::random_3_regular(10, &mut rng)
+        })
+        .collect();
+    let grid = Grid2d::small_p1(20, 28);
+
+    let runtime = BatchRuntime::new(RuntimeConfig {
+        concurrency: 4,
+        landscape_cache_capacity: 8,
+    });
+
+    let handles: Vec<_> = problems
+        .iter()
+        .flat_map(|p| {
+            (0..4u64).map(|seed| runtime.submit(JobSpec::new(p.clone(), grid, 0.2, seed)))
+        })
+        .collect();
+
+    println!(
+        "submitted {} jobs to {} executors",
+        handles.len(),
+        runtime.concurrency()
+    );
+    for handle in handles {
+        let r = handle.wait();
+        println!(
+            "job {:>2}: nrmse {:.4}  best {:.3} @ ({:+.3}, {:+.3})  {} ({:.1} ms)",
+            r.job_id,
+            r.nrmse,
+            r.best_value,
+            r.best_point[0],
+            r.best_point[1],
+            if r.landscape_cache_hit {
+                "cache hit "
+            } else {
+                "cache miss"
+            },
+            r.wall.as_secs_f64() * 1e3,
+        );
+    }
+
+    let cache = runtime.cache_stats();
+    let pool = oscar::par::pool::global().stats();
+    println!(
+        "\nlandscape cache: {} hits / {} misses (2 instances served 8 jobs)",
+        cache.hits, cache.misses
+    );
+    println!(
+        "worker pool: budget {}, spawned {} (persistent; steady state spawns none)",
+        pool.threads, pool.threads_spawned
+    );
+}

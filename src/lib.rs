@@ -10,7 +10,10 @@
 //! * [`optim`] — ADAM, COBYLA, Nelder–Mead, SPSA with query accounting;
 //! * [`mitigation`] — noise models, ZNE, readout mitigation;
 //! * [`executor`] — multi-QPU devices, latency model, NCM, eager sampling;
-//! * [`core`] — the OSCAR reconstruction pipeline and use cases.
+//! * [`core`] — the OSCAR reconstruction pipeline and use cases;
+//! * [`par`] — persistent worker pool and data-parallel helpers;
+//! * [`runtime`] — batch job scheduler and plan/landscape caching for
+//!   streams of reconstructions.
 //!
 //! # Quickstart
 //!
@@ -34,5 +37,7 @@ pub use oscar_cs as cs;
 pub use oscar_executor as executor;
 pub use oscar_mitigation as mitigation;
 pub use oscar_optim as optim;
+pub use oscar_par as par;
 pub use oscar_problems as problems;
 pub use oscar_qsim as qsim;
+pub use oscar_runtime as runtime;
