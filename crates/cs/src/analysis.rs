@@ -37,7 +37,11 @@ pub fn energy_fraction(coeffs: &[f64], energy_fraction: f64) -> f64 {
         // The zero signal is "fully captured" by a single (zero) term.
         return 1.0 / coeffs.len() as f64;
     }
-    energies.sort_by(|a, b| b.partial_cmp(a).unwrap());
+    // total_cmp, not partial_cmp: a NaN coefficient (e.g. a landscape
+    // from a misbehaving noisy device) must degrade deterministically
+    // (NaN energies sort first, the cumulative sum goes NaN, and the
+    // function returns 1.0) instead of panicking mid-batch.
+    energies.sort_by(|a, b| b.total_cmp(a));
     let target = energy_fraction * total;
     let mut acc = 0.0;
     for (i, e) in energies.iter().enumerate() {
@@ -68,7 +72,9 @@ pub fn keep_top_k(coeffs: &[f64], k: usize) -> Vec<f64> {
         return coeffs.to_vec();
     }
     let mut order: Vec<usize> = (0..coeffs.len()).collect();
-    order.sort_by(|&a, &b| coeffs[b].abs().partial_cmp(&coeffs[a].abs()).unwrap());
+    // total_cmp so NaN inputs sort deterministically (largest) instead
+    // of panicking; a NaN coefficient counts as "large" and is kept.
+    order.sort_by(|&a, &b| coeffs[b].abs().total_cmp(&coeffs[a].abs()));
     let mut out = vec![0.0; coeffs.len()];
     for &i in order.iter().take(k) {
         out[i] = coeffs[i];
@@ -139,5 +145,25 @@ mod tests {
     #[should_panic(expected = "energy fraction must be in (0,1]")]
     fn rejects_invalid_energy_fraction() {
         let _ = energy_fraction(&[1.0], 0.0);
+    }
+
+    #[test]
+    fn nan_input_degrades_deterministically() {
+        // Regression: these used to panic via partial_cmp().unwrap()
+        // when a noisy-device landscape produced a NaN. Both calls must
+        // return (not panic), identically on every run.
+        let c = vec![1.0, f64::NAN, 3.0, 0.5];
+        let f1 = energy_fraction(&c, 0.99);
+        let f2 = energy_fraction(&c, 0.99);
+        assert_eq!(f1.to_bits(), f2.to_bits(), "must be deterministic");
+        assert_eq!(f1, 1.0, "NaN energy never reaches the target");
+
+        let kept = keep_top_k(&c, 2);
+        assert_eq!(kept.len(), 4);
+        // NaN sorts as the largest magnitude and is kept; the true
+        // largest finite coefficient fills the second slot.
+        assert!(kept[1].is_nan());
+        assert_eq!(kept[2], 3.0);
+        assert_eq!((kept[0], kept[3]), (0.0, 0.0));
     }
 }

@@ -18,7 +18,7 @@
 //! allocation in steady state, and the 2-D passes run data-parallel
 //! across rows (via `oscar-par`) on grids large enough to pay for it.
 
-use crate::fft::{DctPlan, FftScratch};
+use crate::fft::{DctPlan, FftScratch, FftStrategy};
 use std::sync::Arc;
 
 /// Transform sides at or above this length default to the FFT kernel.
@@ -115,8 +115,10 @@ impl Dct1d {
 
     /// Builds the FFT-backed O(n log n) kernel regardless of size. The
     /// plan comes from the process-wide [`crate::plan_cache`], so
-    /// repeated constructions at one size share twiddles and Bluestein
-    /// chirps instead of replanning.
+    /// repeated constructions at one size share twiddles and chirps
+    /// instead of replanning; the cached plan uses the cheapest DFT
+    /// decomposition for `n` (mixed-radix for any size with a prime
+    /// factor `<= 31`; see [`FftStrategy`]).
     ///
     /// # Panics
     ///
@@ -129,6 +131,22 @@ impl Dct1d {
         }
     }
 
+    /// Builds an FFT kernel forced onto the whole-length Bluestein
+    /// decomposition — the pre-mixed-radix baseline for benchmarks and
+    /// oracle tests. Not cached: the plan cache holds the cheapest
+    /// decomposition per size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new_bluestein(n: usize) -> Self {
+        assert!(n > 0, "transform length must be positive");
+        Dct1d {
+            n,
+            kernel: Kernel::Fast(Arc::new(DctPlan::new_bluestein(n))),
+        }
+    }
+
     /// Transform length.
     pub fn len(&self) -> usize {
         self.n
@@ -137,6 +155,24 @@ impl Dct1d {
     /// `true` when this instance uses the FFT kernel.
     pub fn is_fast(&self) -> bool {
         matches!(self.kernel, Kernel::Fast(_))
+    }
+
+    /// The DFT decomposition behind the FFT kernel (`None` for the
+    /// dense matrix kernel).
+    pub fn strategy(&self) -> Option<FftStrategy> {
+        self.fast_plan().map(DctPlan::strategy)
+    }
+
+    /// Scratch-compatibility id: dense and each FFT decomposition need
+    /// differently shaped scratch, so the kernel identity participates
+    /// in workspace keys.
+    pub(crate) fn kernel_id(&self) -> u8 {
+        match self.strategy() {
+            None => 0,
+            Some(FftStrategy::Radix2) => 1,
+            Some(FftStrategy::MixedRadix) => 2,
+            Some(FftStrategy::Bluestein) => 3,
+        }
     }
 
     /// The FFT plan, when this instance uses the FFT kernel (for the
@@ -317,6 +353,18 @@ impl Dct2d {
         }
     }
 
+    /// Builds the transform with whole-length Bluestein FFT kernels on
+    /// both axes — the pre-mixed-radix baseline benchmarked against the
+    /// default in `benches/fft_mixed_radix.rs`.
+    pub fn new_bluestein(rows: usize, cols: usize) -> Self {
+        Dct2d {
+            rows,
+            cols,
+            row_t: Dct1d::new_bluestein(cols),
+            col_t: Dct1d::new_bluestein(rows),
+        }
+    }
+
     /// Grid rows.
     pub fn rows(&self) -> usize {
         self.rows
@@ -337,11 +385,12 @@ impl Dct2d {
         self.row_t.is_fast() && self.col_t.is_fast()
     }
 
-    /// Per-axis kernel identity `(row_fast, col_fast)` — part of the
-    /// scratch-compatibility key (dense and FFT kernels of the same
-    /// grid size need differently shaped scratch).
-    pub(crate) fn kernel_kinds(&self) -> (bool, bool) {
-        (self.row_t.is_fast(), self.col_t.is_fast())
+    /// Per-axis kernel identity `(row_id, col_id)` — part of the
+    /// scratch-compatibility key (the dense kernel and each FFT
+    /// decomposition of the same grid size need differently shaped
+    /// scratch; see [`Dct1d::kernel_id`]).
+    pub(crate) fn kernel_kinds(&self) -> (u8, u8) {
+        (self.row_t.kernel_id(), self.col_t.kernel_id())
     }
 
     /// Allocates reusable apply-time scratch for this grid.
@@ -805,7 +854,7 @@ mod tests {
             .collect();
         let s = dct.forward(&x);
         let mut sorted: Vec<f64> = s.iter().map(|v| v.abs()).collect();
-        sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        sorted.sort_by(|a, b| b.total_cmp(a));
         // All the energy should be in exactly one coefficient.
         assert!(sorted[0] > 1.0);
         assert!(sorted[1] < 1e-10);

@@ -6,10 +6,14 @@
 //!   form, the sparsifying basis `Ψ`, with interchangeable dense
 //!   (O(n²), tiny sizes + test oracle) and FFT (O(n log n), default
 //!   from `n >= 32`) kernels;
-//! * [`fft`] — the radix-2 + Bluestein FFT machinery behind the fast
-//!   kernel;
+//! * [`fft`] — the FFT machinery behind the fast kernel: radix-2 for
+//!   powers of two, Stockham mixed-radix (dedicated 2/3/4/5
+//!   butterflies) for every other size with a prime factor `<= 31` —
+//!   which covers the paper's 50/100/144/225 grid sides natively — and
+//!   Bluestein chirp-z only for large-prime lengths;
 //! * [`plan_cache`] — process-wide per-size plan cache so concurrent
-//!   jobs at the same grid side share twiddles and Bluestein chirps;
+//!   jobs at the same grid side share twiddle/chirp tables, each on
+//!   the cheapest decomposition for its size;
 //! * [`measure`] — random sampling patterns and the measurement operator
 //!   `A = C Ψ` with its adjoint;
 //! * [`fista`] — FISTA solver for the l1 (LASSO) recovery program, the

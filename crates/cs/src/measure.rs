@@ -339,4 +339,36 @@ mod tests {
     fn rejects_out_of_range_index() {
         let _ = SamplePattern::from_indices(2, 2, vec![4]);
     }
+
+    #[test]
+    #[should_panic(expected = "pattern needs at least one index")]
+    fn from_indices_rejects_empty_list() {
+        let _ = SamplePattern::from_indices(3, 3, vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "index out of grid range")]
+    fn from_indices_rejects_out_of_range_among_valid() {
+        // One bad index hiding in an otherwise valid, unsorted list
+        // still panics (the check runs after sort, on the maximum).
+        let _ = SamplePattern::from_indices(3, 4, vec![0, 7, 12, 3]);
+    }
+
+    #[test]
+    fn from_indices_dedups_and_sorts_duplicate_heavy_input() {
+        // Heavily duplicated, reverse-ordered input collapses to the
+        // sorted distinct index set; m and the fraction follow suit.
+        let p = SamplePattern::from_indices(2, 3, vec![5, 5, 5, 2, 2, 0, 5, 0, 2, 5]);
+        assert_eq!(p.indices(), &[0, 2, 5]);
+        assert_eq!(p.num_samples(), 3);
+        assert!((p.fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_indices_boundary_index_is_accepted() {
+        // rows*cols - 1 is the last valid flat index.
+        let p = SamplePattern::from_indices(2, 3, vec![5]);
+        assert_eq!(p.indices(), &[5]);
+        assert_eq!(p.coords(), vec![(1, 2)]);
+    }
 }

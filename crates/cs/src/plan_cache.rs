@@ -3,11 +3,15 @@
 //!
 //! Planning a [`DctPlan`] is much more expensive than applying it: the
 //! radix-2 path precomputes a bit-reversal table and twiddle factors,
-//! and the Bluestein path additionally runs a full-size FFT over the
-//! chirp filter. A stream of reconstruction jobs at the same grid side
-//! (the common case for `oscar-runtime` batches — the paper's grids are
-//! 50×100 and 144×225) would otherwise replan identical twiddles and
-//! chirps per job.
+//! the mixed-radix path builds a per-stage twiddle table from the
+//! size's factorization, and the Bluestein path additionally runs a
+//! full-size FFT over the chirp filter. A stream of reconstruction
+//! jobs at the same grid side (the common case for `oscar-runtime`
+//! batches — the paper's grids are 50×100 and 144×225) would otherwise
+//! replan identical tables per job. Each cached plan uses the cheapest
+//! decomposition for its size (`DctPlan::new` picks it), so every
+//! consumer of the cache gets e.g. the dedicated 2·3·5 butterflies at
+//! the paper's sides for free.
 //!
 //! [`plan`] returns an `Arc<DctPlan>` shared by every transform of the
 //! same length in the process. Plans are immutable after construction
@@ -23,7 +27,7 @@
 
 use crate::fft::DctPlan;
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 
 /// Counters describing cache effectiveness.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -42,6 +46,13 @@ struct State {
     misses: u64,
 }
 
+/// Locks the cache state, recovering from poison: the map and counters
+/// are valid after any unwind, so a worker that panicked while holding
+/// the lock must not cascade into every later transform.
+fn lock_state() -> std::sync::MutexGuard<'static, State> {
+    state().lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 fn state() -> &'static Mutex<State> {
     static STATE: OnceLock<Mutex<State>> = OnceLock::new();
     STATE.get_or_init(|| {
@@ -55,12 +66,17 @@ fn state() -> &'static Mutex<State> {
 
 /// Returns the shared plan for length `n`, planning it on first use.
 ///
+/// Robust to a panicking worker: the cache holds only plain maps and
+/// counters that every lock/unlock leaves valid, so a poisoned mutex is
+/// recovered (`PoisonError::into_inner`) instead of cascading the
+/// original panic into every later transform in the process.
+///
 /// # Panics
 ///
 /// Panics if `n == 0` (propagated from [`DctPlan::new`]).
 pub fn plan(n: usize) -> Arc<DctPlan> {
     {
-        let mut s = state().lock().unwrap();
+        let mut s = lock_state();
         if let Some(p) = s.plans.get(&n).map(Arc::clone) {
             s.hits += 1;
             return p;
@@ -72,13 +88,13 @@ pub fn plan(n: usize) -> Arc<DctPlan> {
     // serialize. Concurrent first requests for the same size may both
     // plan; the first insert wins and the duplicate is dropped.
     let fresh = Arc::new(DctPlan::new(n));
-    let mut s = state().lock().unwrap();
+    let mut s = lock_state();
     Arc::clone(s.plans.entry(n).or_insert(fresh))
 }
 
 /// Snapshot of the cache counters.
 pub fn stats() -> PlanCacheStats {
-    let s = state().lock().unwrap();
+    let s = lock_state();
     PlanCacheStats {
         entries: s.plans.len(),
         hits: s.hits,
@@ -89,7 +105,7 @@ pub fn stats() -> PlanCacheStats {
 /// Drops every cached plan and resets the counters. Outstanding
 /// `Arc<DctPlan>` handles stay valid; subsequent lookups replan.
 pub fn clear() {
-    let mut s = state().lock().unwrap();
+    let mut s = lock_state();
     s.plans.clear();
     s.hits = 0;
     s.misses = 0;
@@ -126,6 +142,23 @@ mod tests {
         let after = stats();
         assert!(after.misses > before.misses);
         assert!(after.hits >= before.hits + 2);
+    }
+
+    #[test]
+    fn poisoned_lock_recovers_instead_of_cascading() {
+        // A thread panicking while holding the cache lock poisons it;
+        // every entry point must keep working afterwards instead of
+        // bricking all future transforms in the process.
+        let poison = std::panic::catch_unwind(|| {
+            let _guard = lock_state();
+            panic!("worker died while planning");
+        });
+        assert!(poison.is_err());
+        let p = plan(444);
+        assert_eq!(p.len(), 444);
+        let q = plan(444);
+        assert!(Arc::ptr_eq(&p, &q), "cache must still dedupe after poison");
+        let _ = stats();
     }
 
     #[test]

@@ -30,10 +30,11 @@ pub struct OperatorScratch {
     /// Separable-transform scratch sized for the operator's grid.
     pub(crate) dct: Dct2dScratch,
     /// Transform the scratch was sized for: (rows, cols, per-axis
-    /// kernel kinds). Dense and FFT kernels of the same grid need
+    /// kernel ids). The dense kernel and each FFT decomposition
+    /// (radix-2 / mixed-radix / Bluestein) of the same grid need
     /// differently shaped scratch, so the kernel identity is part of
     /// the key.
-    key: (usize, usize, (bool, bool)),
+    key: (usize, usize, (u8, u8)),
 }
 
 impl OperatorScratch {
@@ -178,6 +179,16 @@ mod tests {
             .zip(&c.coefficients)
         {
             assert!((x - y2).abs() < 1e-9 && (x - z).abs() < 1e-12);
+        }
+
+        // Same grid, same "fast" flag, different DFT decomposition:
+        // the kernel id in the key must force a scratch rebuild when a
+        // mixed-radix-warmed workspace meets a Bluestein operator.
+        let blue = Dct2d::new_bluestein(40, 40);
+        let op_blue = MeasurementOperator::new(&blue, &pattern);
+        let d = fista_with(&op_blue, &y, &cfg, &mut ws);
+        for (x, w) in b.coefficients.iter().zip(&d.coefficients) {
+            assert!((x - w).abs() < 1e-9);
         }
     }
 

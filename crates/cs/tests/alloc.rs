@@ -101,6 +101,45 @@ fn warmed_fista_solve_is_allocation_free_modulo_result() {
 }
 
 #[test]
+fn warmed_fista_solve_on_mixed_radix_grid_is_allocation_free() {
+    // The paper's p=1 grid: both sides are non-power-of-two and
+    // 2·3·5-smooth, so this pins that the mixed-radix kernel's scratch
+    // (Stockham ping-pong buffer, gather block) is fully threaded
+    // through Workspace and never allocated at apply time.
+    std::env::set_var("OSCAR_THREADS", "1");
+    assert_eq!(oscar_par::max_threads(), 1);
+
+    let dct = Dct2d::new(50, 100);
+    assert!(dct.is_fast(), "50x100 must take the FFT path");
+    let mut coeffs = vec![0.0; 50 * 100];
+    for (i, v) in [(0usize, 5.0), (7, -2.0), (120, 1.5), (3003, 0.7)] {
+        coeffs[i] = v;
+    }
+    let full = dct.inverse(&coeffs);
+    let mut rng = StdRng::seed_from_u64(43);
+    let pattern = SamplePattern::random(50, 100, 0.15, &mut rng);
+    let y = pattern.gather(&full);
+    let op = MeasurementOperator::new(&dct, &pattern);
+    let cfg = FistaConfig {
+        max_iter: 40,
+        tol: 0.0,
+        debias_iters: 10,
+        ..FistaConfig::default()
+    };
+
+    let mut ws = Workspace::for_operator(&op);
+    let _ = fista_with(&op, &y, &cfg, &mut ws);
+
+    let before = alloc_count();
+    let _ = fista_with(&op, &y, &cfg, &mut ws);
+    let during = alloc_count() - before;
+    assert!(
+        during <= 4,
+        "steady-state mixed-radix FISTA made {during} allocations"
+    );
+}
+
+#[test]
 fn warmed_ista_solve_is_allocation_free_modulo_result() {
     std::env::set_var("OSCAR_THREADS", "1");
     let (dct, pattern, y) = setup();

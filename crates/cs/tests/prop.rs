@@ -125,8 +125,11 @@ proptest! {
 }
 
 /// FFT-kernel vs dense-kernel equivalence and transform invariants for
-/// the sizes the acceptance criteria pin: every n in 1..=64 plus 100,
-/// 128 (power of two) and 257 (prime, exercises Bluestein).
+/// the sizes the acceptance criteria pin: every n in 1..=64, every
+/// 2·3·5-smooth n up to 240 (the mixed-radix fast path, including the
+/// paper's exact grid sides 50, 100, 144, 225), sizes exercising the
+/// generic 7..=31 butterflies and the large-prime Bluestein sub-stage,
+/// plus 128 (power of two) and 257 (prime, whole-length Bluestein).
 mod fft_vs_dense {
     use oscar_cs::dct::{Dct1d, Dct2d, DctNd};
     use rand::rngs::StdRng;
@@ -138,6 +141,23 @@ mod fft_vs_dense {
         49, 50, 51, 52, 53, 54, 55, 56, 57, 58, 59, 60, 61, 62, 63, 64, 100, 128, 257,
     ];
 
+    /// Every 2·3·5-smooth size in 65..=240 (the 1..=64 range is already
+    /// fully covered by `SIZES`); all take the mixed-radix path on
+    /// dedicated butterflies. Includes the paper's sides 100, 144, 225.
+    const SMOOTH_240: &[usize] = &[
+        72, 75, 80, 81, 90, 96, 100, 108, 120, 125, 135, 144, 150, 160, 162, 180, 192, 200, 216,
+        225, 240,
+    ];
+
+    /// Sizes whose factorizations exercise the generic prime
+    /// butterflies (7..=31) and the Bluestein sub-stage for a large
+    /// prime cofactor (74 = 2·37, 111 = 3·37, 235 = 5·47).
+    const ROUGH_SIZES: &[usize] = &[74, 77, 91, 111, 143, 169, 187, 203, 217, 231, 235];
+
+    fn all_sizes() -> impl Iterator<Item = usize> {
+        SIZES.iter().chain(SMOOTH_240).chain(ROUGH_SIZES).copied()
+    }
+
     fn random_signal(n: usize, rng: &mut StdRng) -> Vec<f64> {
         (0..n).map(|_| rng.gen_range(-2.0..2.0)).collect()
     }
@@ -145,7 +165,7 @@ mod fft_vs_dense {
     #[test]
     fn fft_forward_matches_dense_oracle_to_1e10() {
         let mut rng = StdRng::seed_from_u64(101);
-        for &n in SIZES {
+        for n in all_sizes() {
             let dense = Dct1d::new_dense(n);
             let fast = Dct1d::new_fast(n);
             let x = random_signal(n, &mut rng);
@@ -163,7 +183,7 @@ mod fft_vs_dense {
     #[test]
     fn fft_inverse_matches_dense_oracle_to_1e10() {
         let mut rng = StdRng::seed_from_u64(102);
-        for &n in SIZES {
+        for n in all_sizes() {
             let dense = Dct1d::new_dense(n);
             let fast = Dct1d::new_fast(n);
             let s = random_signal(n, &mut rng);
@@ -181,7 +201,7 @@ mod fft_vs_dense {
     #[test]
     fn fft_roundtrip_identity_to_1e10() {
         let mut rng = StdRng::seed_from_u64(103);
-        for &n in SIZES {
+        for n in all_sizes() {
             let fast = Dct1d::new_fast(n);
             let x = random_signal(n, &mut rng);
             let y = fast.inverse(&fast.forward(&x));
@@ -216,7 +236,7 @@ mod fft_vs_dense {
     #[test]
     fn dct2d_fast_matches_dense_on_grids() {
         let mut rng = StdRng::seed_from_u64(105);
-        for &(rows, cols) in &[(33usize, 50usize), (50, 100), (40, 257)] {
+        for &(rows, cols) in &[(33usize, 50usize), (50, 100), (144, 225), (40, 257)] {
             let dense = Dct2d::new_dense(rows, cols);
             let fast = Dct2d::new_fast(rows, cols);
             let x = random_signal(rows * cols, &mut rng);

@@ -14,7 +14,7 @@ use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, HashSet};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 
 /// Counters describing cache effectiveness.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -215,6 +215,13 @@ fn grid_bits(grid: &Grid2d) -> [u64; 6] {
 /// common shape of a batch sweeping sampling seeds over one instance),
 /// exactly one computes while the rest wait for its result — repeat
 /// sampling requests never duplicate the expensive grid evaluation.
+///
+/// Panic-hardened: the internal mutexes guard plain map/set state that
+/// every lock/unlock leaves valid, so a worker that panicked while
+/// holding one (its own job is already lost) poisons nothing for the
+/// rest of the batch — poisoned guards are recovered
+/// (`PoisonError::into_inner`) instead of cascading the panic into
+/// every later lookup.
 pub struct LandscapeCache {
     inner: Mutex<LruCache<LandscapeKey, Arc<Landscape>>>,
     /// Keys currently being computed by some thread.
@@ -228,6 +235,13 @@ pub struct LandscapeCache {
     misses: AtomicU64,
 }
 
+/// Locks `m`, recovering from poison — shared by this crate's caches
+/// and the scheduler queue (see [`LandscapeCache`]'s panic-hardening
+/// note: every guarded structure is valid after any unwind).
+pub(crate) fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 /// Removes the claim on unwind too, so a panicking producer does not
 /// strand its waiters.
 struct PendingClaim<'a> {
@@ -237,7 +251,7 @@ struct PendingClaim<'a> {
 
 impl Drop for PendingClaim<'_> {
     fn drop(&mut self) {
-        self.cache.pending.lock().unwrap().remove(&self.key);
+        lock(&self.cache.pending).remove(&self.key);
         self.cache.pending_cv.notify_all();
     }
 }
@@ -268,19 +282,19 @@ impl LandscapeCache {
         produce: impl FnOnce() -> Landscape,
     ) -> (Arc<Landscape>, bool) {
         loop {
-            if let Some(hit) = self.inner.lock().unwrap().get_untracked(&key) {
+            if let Some(hit) = lock(&self.inner).get_untracked(&key) {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 return (hit, true);
             }
             {
-                let mut pending = self.pending.lock().unwrap();
+                let mut pending = lock(&self.pending);
                 // Re-check the cache under the pending lock: a producer
                 // inserts its value *before* releasing its claim (which
                 // needs this lock), so if the key is neither cached nor
                 // pending here, no producer exists and we safely become
                 // one. Without this, a producer finishing between our
                 // probe and this point would let us recompute the value.
-                if let Some(hit) = self.inner.lock().unwrap().get_untracked(&key) {
+                if let Some(hit) = lock(&self.inner).get_untracked(&key) {
                     self.hits.fetch_add(1, Ordering::Relaxed);
                     return (hit, true);
                 }
@@ -288,7 +302,10 @@ impl LandscapeCache {
                     // Another thread is computing this key: wait for it
                     // and re-check the cache (on the rare eviction before
                     // we reread, we loop around and become the producer).
-                    let _g = self.pending_cv.wait(pending).unwrap();
+                    let _g = self
+                        .pending_cv
+                        .wait(pending)
+                        .unwrap_or_else(PoisonError::into_inner);
                     continue;
                 }
                 pending.insert(key);
@@ -299,7 +316,7 @@ impl LandscapeCache {
             // heavy stage and runs data-parallel on the worker pool;
             // holding a cache lock would serialize unrelated jobs.
             let fresh = Arc::new(produce());
-            self.inner.lock().unwrap().insert(key, Arc::clone(&fresh));
+            lock(&self.inner).insert(key, Arc::clone(&fresh));
             drop(claim);
             return (fresh, false);
         }
@@ -309,7 +326,7 @@ impl LandscapeCache {
     /// call (a call is a miss iff it ran the producer); len, capacity
     /// and evictions come from the underlying LRU.
     pub fn stats(&self) -> CacheStats {
-        let mut stats = self.inner.lock().unwrap().stats();
+        let mut stats = lock(&self.inner).stats();
         stats.hits = self.hits.load(Ordering::Relaxed);
         stats.misses = self.misses.load(Ordering::Relaxed);
         stats
@@ -317,7 +334,7 @@ impl LandscapeCache {
 
     /// Drops every cached landscape.
     pub fn clear(&self) {
-        self.inner.lock().unwrap().clear();
+        lock(&self.inner).clear();
     }
 }
 
@@ -455,6 +472,41 @@ mod tests {
         for (l, _) in &results {
             assert!(Arc::ptr_eq(l, &results[0].0));
         }
+    }
+
+    #[test]
+    fn poisoned_locks_recover_instead_of_cascading() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        use std::panic::AssertUnwindSafe;
+        let mut rng = StdRng::seed_from_u64(12);
+        let problem = IsingProblem::random_3_regular(4, &mut rng);
+        let grid = Grid2d::small_p1(5, 5);
+        let cache = LandscapeCache::new(2);
+        // Poison both internal mutexes the way a dying worker would:
+        // panic while holding the guard.
+        for _ in 0..2 {
+            let _ = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                let _g = lock(&cache.inner);
+                panic!("worker died holding the LRU lock");
+            }));
+            let _ = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                let _g = cache.pending.lock().unwrap_or_else(PoisonError::into_inner);
+                panic!("worker died holding the pending lock");
+            }));
+        }
+        // Every entry point must still work: compute, hit, stats, clear.
+        let key = LandscapeKey::new(&problem, &grid, 0);
+        let (l, hit) = cache.get_or_compute(key, || {
+            Landscape::from_qaoa(grid, &problem.qaoa_evaluator())
+        });
+        assert!(!hit);
+        assert_eq!(l.values().len(), 25);
+        let (_, hit2) = cache.get_or_compute(key, || unreachable!("must be cached"));
+        assert!(hit2, "cache must still serve hits after poisoning");
+        assert_eq!(cache.stats().len, 1);
+        cache.clear();
+        assert_eq!(cache.stats().len, 0);
     }
 
     #[test]

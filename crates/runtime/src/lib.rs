@@ -10,9 +10,10 @@
 //!   ([`oscar_par::pool`]): chunk-stealing workers spawned once per
 //!   process, shared by every concurrent job, zero spawn cost per
 //!   parallel apply in steady state.
-//! * **FFT/DCT plans** — twiddle factors and Bluestein chirps are
-//!   cached per transform size ([`oscar_cs::plan_cache`]), so a batch
-//!   of jobs at one grid side plans once.
+//! * **FFT/DCT plans** — twiddle tables (mixed-radix stage tables,
+//!   Bluestein chirps) are cached per transform size
+//!   ([`oscar_cs::plan_cache`]), so a batch of jobs at one grid side
+//!   plans once, on the cheapest decomposition for that side.
 //! * **Landscapes** — ground-truth landscapes (a full grid of circuit
 //!   evaluations, the most expensive stage) live in a bounded LRU
 //!   ([`cache::LandscapeCache`]) keyed by `(problem, grid, seed)`, so
@@ -68,4 +69,4 @@ pub mod scheduler;
 
 pub use cache::{CacheStats, LandscapeCache, LandscapeKey, LruCache};
 pub use job::{run_job, JobResult, JobSpec};
-pub use scheduler::{BatchRuntime, JobHandle, RuntimeConfig};
+pub use scheduler::{BatchRuntime, JobHandle, JobLost, RuntimeConfig};

@@ -16,12 +16,12 @@
 //! convenience that submits a whole batch and returns results in
 //! submission order.
 
-use crate::cache::{CacheStats, LandscapeCache};
+use crate::cache::{lock, CacheStats, LandscapeCache};
 use crate::job::{run_job, JobResult, JobSpec};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 
 /// Scheduler configuration.
@@ -62,13 +62,42 @@ struct SchedInner {
 /// A persistent batch scheduler (see the [module docs](self)).
 ///
 /// Dropping the runtime shuts it down: executors finish the job they
-/// are on, remaining queued jobs are abandoned (their handles' `wait`
-/// panics with a clear message). Prefer draining with
+/// are on, remaining queued jobs are abandoned — their handles' `wait`
+/// returns `Err(`[`JobLost`]`)`. Prefer draining with
 /// [`Self::run_batch`] or by waiting every handle before drop.
 pub struct BatchRuntime {
     inner: Arc<SchedInner>,
     executors: Vec<JoinHandle<()>>,
 }
+
+/// Error returned by [`JobHandle::wait`] when a job can no longer
+/// produce a result: the runtime was dropped while the job was still
+/// queued, or the job itself panicked (the executor contains the panic
+/// and keeps draining the queue).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct JobLost {
+    id: u64,
+}
+
+impl JobLost {
+    /// The scheduler-assigned id of the lost job.
+    pub fn job_id(&self) -> u64 {
+        self.id
+    }
+}
+
+impl std::fmt::Display for JobLost {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "job {} was lost: the runtime shut down (or the job panicked) \
+             before it completed",
+            self.id
+        )
+    }
+}
+
+impl std::error::Error for JobLost {}
 
 /// A claim ticket for one submitted job.
 pub struct JobHandle {
@@ -82,16 +111,12 @@ impl JobHandle {
         self.id
     }
 
-    /// Blocks until the job finishes and returns its result.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the runtime was dropped (or an executor died) before
-    /// the job completed.
-    pub fn wait(self) -> JobResult {
-        self.rx
-            .recv()
-            .expect("runtime shut down before the job completed")
+    /// Blocks until the job finishes and returns its result, or
+    /// `Err(`[`JobLost`]`)` when the runtime was dropped with this job
+    /// still queued (or the job panicked) — callers can distinguish
+    /// shutdown from success instead of unwinding.
+    pub fn wait(self) -> Result<JobResult, JobLost> {
+        self.rx.recv().map_err(|_| JobLost { id: self.id })
     }
 }
 
@@ -131,7 +156,7 @@ impl BatchRuntime {
         let id = self.inner.submitted.fetch_add(1, Ordering::Relaxed) + 1;
         let (tx, rx) = channel();
         {
-            let mut queue = self.inner.queue.lock().unwrap();
+            let mut queue = lock(&self.inner.queue);
             queue.push_back(QueuedJob { id, spec, tx });
         }
         self.inner.cv.notify_one();
@@ -140,9 +165,20 @@ impl BatchRuntime {
 
     /// Submits every spec and waits for all results, returned in
     /// submission order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a batch job panicked (the executor contains the panic
+    /// and reports that job lost); the runtime itself stays alive for
+    /// the whole call, so that is the only way a batch job can be
+    /// lost. Use [`Self::submit`] + [`JobHandle::wait`] to handle
+    /// [`JobLost`] explicitly.
     pub fn run_batch(&self, specs: impl IntoIterator<Item = JobSpec>) -> Vec<JobResult> {
         let handles: Vec<JobHandle> = specs.into_iter().map(|s| self.submit(s)).collect();
-        handles.into_iter().map(JobHandle::wait).collect()
+        handles
+            .into_iter()
+            .map(|h| h.wait().expect("a batch job panicked before completing"))
+            .collect()
     }
 
     /// Landscape-cache counters.
@@ -170,7 +206,7 @@ impl Drop for BatchRuntime {
     fn drop(&mut self) {
         self.inner.shutdown.store(true, Ordering::Release);
         // Lock/unlock pairs with executors' wait to avoid missed wakeups.
-        drop(self.inner.queue.lock().unwrap());
+        drop(lock(&self.inner.queue));
         self.inner.cv.notify_all();
         for handle in self.executors.drain(..) {
             let _ = handle.join();
@@ -192,7 +228,7 @@ impl std::fmt::Debug for BatchRuntime {
 fn executor_loop(inner: &SchedInner) {
     loop {
         let job = {
-            let mut queue = inner.queue.lock().unwrap();
+            let mut queue = lock(&inner.queue);
             loop {
                 if inner.shutdown.load(Ordering::Acquire) {
                     return;
@@ -200,13 +236,23 @@ fn executor_loop(inner: &SchedInner) {
                 if let Some(job) = queue.pop_front() {
                     break job;
                 }
-                queue = inner.cv.wait(queue).unwrap();
+                queue = inner.cv.wait(queue).unwrap_or_else(PoisonError::into_inner);
             }
         };
-        let mut result = run_job(&job.spec, Some(&inner.cache));
-        result.job_id = job.id;
-        inner.completed.fetch_add(1, Ordering::Relaxed);
-        // A dropped handle just means nobody is waiting for this result.
-        let _ = job.tx.send(result);
+        // Contain a panicking job: the executor must survive to keep
+        // draining the queue — if it died instead, jobs still queued
+        // behind the poison pill would wait forever (their senders live
+        // in the queue, which the runtime keeps alive). The panicked
+        // job's sender is dropped without a send, so its handle's
+        // `wait` returns `Err(JobLost)`.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_job(&job.spec, Some(&inner.cache))
+        }));
+        if let Ok(mut result) = outcome {
+            result.job_id = job.id;
+            inner.completed.fetch_add(1, Ordering::Relaxed);
+            // A dropped handle just means nobody is waiting for this result.
+            let _ = job.tx.send(result);
+        }
     }
 }

@@ -130,7 +130,7 @@ fn handles_resolve_out_of_order_submissions() {
     for (k, handle) in handles.into_iter().enumerate().rev() {
         let id = handle.id();
         assert_eq!(id, k as u64 + 1);
-        let result = handle.wait();
+        let result = handle.wait().expect("runtime is alive: no job is lost");
         assert_eq!(result.job_id, id);
         assert!(result.nrmse.is_finite());
     }
@@ -186,4 +186,103 @@ fn dropping_runtime_with_queued_jobs_does_not_hang() {
         ));
     }
     drop(runtime);
+}
+
+#[test]
+fn dropped_runtime_reports_queued_jobs_as_lost() {
+    let mut rng = StdRng::seed_from_u64(10);
+    let slow_problem = IsingProblem::random_3_regular(10, &mut rng);
+    let quick_problem = IsingProblem::random_3_regular(4, &mut rng);
+    let runtime = BatchRuntime::with_concurrency(1);
+    // The first job is deliberately heavy (a 30x30 landscape of
+    // 10-qubit evaluations, hundreds of milliseconds) so the single
+    // executor is still inside it when the drop below raises the
+    // shutdown flag — the seven quick jobs behind it are deterministic
+    // abandonments.
+    let mut handles =
+        vec![runtime.submit(JobSpec::new(slow_problem, Grid2d::small_p1(30, 30), 0.2, 0))];
+    handles.extend((1..8).map(|seed| {
+        runtime.submit(JobSpec::new(
+            quick_problem.clone(),
+            Grid2d::small_p1(8, 10),
+            0.3,
+            seed,
+        ))
+    }));
+    // Drop with the queue still full: everything not yet started is
+    // abandoned and must surface as Err(JobLost) — not a panic, not a
+    // hang.
+    drop(runtime);
+    let mut lost = 0;
+    for handle in handles {
+        let id = handle.id();
+        match handle.wait() {
+            Ok(result) => assert_eq!(result.job_id, id),
+            Err(err) => {
+                assert_eq!(err.job_id(), id);
+                // The error is a std::error::Error with a useful message.
+                assert!(err.to_string().contains("shut down"));
+                lost += 1;
+            }
+        }
+    }
+    assert!(
+        lost >= 7,
+        "only the in-flight heavy job can complete, {lost} lost"
+    );
+}
+
+#[test]
+fn panicking_job_is_reported_lost_and_runtime_survives() {
+    let mut rng = StdRng::seed_from_u64(11);
+    let problem = IsingProblem::random_3_regular(4, &mut rng);
+    // Concurrency 1: the *only* executor must survive the poison job,
+    // or every job queued behind it would hang forever.
+    let runtime = BatchRuntime::with_concurrency(1);
+    // fraction > 1 violates the sampler's contract and panics
+    // mid-pipeline.
+    let mut poison = JobSpec::new(problem.clone(), Grid2d::small_p1(8, 10), 0.3, 1);
+    poison.fraction = 2.0;
+    let bad = runtime.submit(poison);
+    let good = runtime.submit(JobSpec::new(problem, Grid2d::small_p1(8, 10), 0.3, 2));
+    assert!(bad.wait().is_err(), "panicked job must surface as JobLost");
+    // The same executor contained the panic and keeps draining.
+    let result = good.wait().expect("healthy job still completes");
+    assert!(result.nrmse.is_finite());
+    assert_eq!(runtime.completed(), 1, "panicked job must not count");
+}
+
+#[test]
+fn dct_plans_are_reused_across_jobs() {
+    // Both grid sides are >= 32 (FFT kernels) and 2·3·5-smooth, so the
+    // jobs run on cached mixed-radix plans; the plan Arc observed
+    // before the batch must still be the cached one afterwards.
+    use oscar_cs::fft::FftStrategy;
+    let before_36 = oscar_cs::plan_cache::plan(36);
+    let before_45 = oscar_cs::plan_cache::plan(45);
+    assert_eq!(before_36.strategy(), FftStrategy::MixedRadix);
+    assert_eq!(before_45.strategy(), FftStrategy::MixedRadix);
+    let stats_before = oscar_cs::plan_cache::stats();
+
+    let mut rng = StdRng::seed_from_u64(12);
+    let problem = IsingProblem::random_3_regular(6, &mut rng);
+    let runtime = BatchRuntime::with_concurrency(2);
+    let specs: Vec<JobSpec> = (0..3)
+        .map(|seed| JobSpec::new(problem.clone(), Grid2d::small_p1(36, 45), 0.2, seed))
+        .collect();
+    let results = runtime.run_batch(specs);
+    assert_eq!(results.len(), 3);
+
+    let after_36 = oscar_cs::plan_cache::plan(36);
+    let after_45 = oscar_cs::plan_cache::plan(45);
+    assert!(
+        std::sync::Arc::ptr_eq(&before_36, &after_36),
+        "jobs must reuse the cached 36-plan, not replace it"
+    );
+    assert!(std::sync::Arc::ptr_eq(&before_45, &after_45));
+    let stats_after = oscar_cs::plan_cache::stats();
+    assert!(
+        stats_after.hits >= stats_before.hits + 2,
+        "batch jobs must hit the plan cache: {stats_before:?} -> {stats_after:?}"
+    );
 }

@@ -40,7 +40,9 @@ fn main() {
         runtime.concurrency()
     );
     for handle in handles {
-        let r = handle.wait();
+        // `wait` returns Err(JobLost) only if the runtime shut down (or
+        // an executor died) before the job ran; it is alive here.
+        let r = handle.wait().expect("runtime outlives every handle");
         println!(
             "job {:>2}: nrmse {:.4}  best {:.3} @ ({:+.3}, {:+.3})  {} ({:.1} ms)",
             r.job_id,
