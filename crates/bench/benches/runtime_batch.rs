@@ -55,7 +55,11 @@ fn bench_runtime_batch(c: &mut Criterion) {
         landscape_cache_capacity: 8,
     });
     group.bench_function("scheduled_cached_8_jobs", |b| {
-        b.iter(|| runtime.run_batch(specs.clone()))
+        b.iter(|| {
+            runtime
+                .run_batch(specs.clone())
+                .expect("no benchmark job panics")
+        })
     });
 
     group.finish();

@@ -3,13 +3,15 @@
 //! Reads a job list (or synthesizes one), runs every job through the
 //! full pipeline (landscape sampling → CS reconstruction →
 //! optimization) on the [`oscar_runtime::BatchRuntime`], and reports
-//! per-job latency plus aggregate throughput. With `--compare` the same
-//! batch also runs sequentially and the outputs are verified
-//! bit-identical.
+//! per-job latency plus aggregate throughput. With `--device` the
+//! stage-1 landscapes come from a noisy simulated device instead of
+//! exact simulation — deterministically, so `--compare` still verifies
+//! the scheduled batch bit-identical to an uncached sequential run.
 //!
 //! ```text
 //! oscar-batch [--file PATH] [--jobs N] [--concurrency N]
 //!             [--fraction F] [--no-optimize] [--compare]
+//!             [--device NAME] [--shots N] [--priority MODE]
 //! ```
 //!
 //! Job-list format (one job per line, `#` comments):
@@ -21,16 +23,41 @@
 //! ```
 //!
 //! `qubits` must be even (3-regular MaxCut instances); `seed` feeds
-//! both instance generation and the sampling pattern.
+//! instance generation, the sampling pattern, and — under `--device` —
+//! the per-job noise realization.
 
-use oscar_bench::print_header;
+use oscar_bench::{device_spec_or_exit, print_header};
 use oscar_core::grid::Grid2d;
 use oscar_problems::ising::IsingProblem;
 use oscar_runtime::job::{run_job, JobResult, JobSpec};
-use oscar_runtime::scheduler::{BatchRuntime, RuntimeConfig};
+use oscar_runtime::scheduler::{BatchRuntime, Priority, RuntimeConfig};
+use oscar_runtime::source::LandscapeSource;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Instant;
+
+/// How `--priority` assigns dispatch priorities across the batch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum PriorityMode {
+    Uniform(Priority),
+    /// Cycle low/normal/high by job index — a scheduling sweep that
+    /// exercises the priority queue while `--compare` pins results
+    /// unchanged.
+    Sweep,
+}
+
+impl PriorityMode {
+    fn for_job(self, index: usize) -> Priority {
+        match self {
+            PriorityMode::Uniform(p) => p,
+            PriorityMode::Sweep => match index % 3 {
+                0 => Priority::Low,
+                1 => Priority::Normal,
+                _ => Priority::High,
+            },
+        }
+    }
+}
 
 struct Options {
     file: Option<String>,
@@ -39,19 +66,28 @@ struct Options {
     fraction: f64,
     optimize: bool,
     compare: bool,
+    device: Option<String>,
+    shots: Option<usize>,
+    priority: PriorityMode,
 }
 
 fn usage_and_exit(code: i32) -> ! {
     eprintln!(
         "usage: oscar-batch [--file PATH] [--jobs N] [--concurrency N]\n\
          \x20                  [--fraction F] [--no-optimize] [--compare]\n\
+         \x20                  [--device NAME] [--shots N] [--priority MODE]\n\
          \n\
          --file PATH      job list: lines of `qubits seed rows cols fraction`\n\
          --jobs N         synthetic batch size when no file is given (default 16)\n\
          --concurrency N  executor threads (default: OSCAR_THREADS / cores)\n\
          --fraction F     sampling fraction for synthetic jobs (default 0.25)\n\
          --no-optimize    skip the per-job optimization stage\n\
-         --compare        also run sequentially; verify bit-identical results"
+         --compare        also run sequentially; verify bit-identical results\n\
+         --device NAME    noisy stage-1 landscapes from this device (deterministic\n\
+         \x20                  counter-based noise); default: exact noiseless\n\
+         --shots N        override the device's shot count (needs --device)\n\
+         --priority MODE  dispatch priority: low | normal | high | sweep\n\
+         \x20                  (sweep cycles all three across the batch; default normal)"
     );
     std::process::exit(code);
 }
@@ -64,6 +100,9 @@ fn parse_options() -> Options {
         fraction: 0.25,
         optimize: true,
         compare: false,
+        device: None,
+        shots: None,
+        priority: PriorityMode::Uniform(Priority::Normal),
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -97,6 +136,33 @@ fn parse_options() -> Options {
             }
             "--no-optimize" => opts.optimize = false,
             "--compare" => opts.compare = true,
+            "--device" => opts.device = Some(value(&mut i, "--device")),
+            "--shots" => {
+                let shots: usize = value(&mut i, "--shots").parse().unwrap_or_else(|_| {
+                    eprintln!("error: --shots needs a positive integer");
+                    usage_and_exit(2);
+                });
+                if shots == 0 {
+                    eprintln!("error: --shots must be positive");
+                    usage_and_exit(2);
+                }
+                opts.shots = Some(shots);
+            }
+            "--priority" => {
+                opts.priority = match value(&mut i, "--priority").as_str() {
+                    "low" => PriorityMode::Uniform(Priority::Low),
+                    "normal" => PriorityMode::Uniform(Priority::Normal),
+                    "high" => PriorityMode::Uniform(Priority::High),
+                    "sweep" => PriorityMode::Sweep,
+                    other => {
+                        eprintln!(
+                            "error: unknown priority mode '{other}' \
+                             (expected low, normal, high, or sweep)"
+                        );
+                        usage_and_exit(2);
+                    }
+                }
+            }
             "--help" | "-h" => usage_and_exit(0),
             other => {
                 eprintln!("error: unknown argument '{other}'");
@@ -105,11 +171,28 @@ fn parse_options() -> Options {
         }
         i += 1;
     }
+    if opts.shots.is_some() && opts.device.is_none() {
+        eprintln!("error: --shots needs --device");
+        usage_and_exit(2);
+    }
     opts
 }
 
-/// Parses the job-list file format (see module docs).
-fn load_jobs(path: &str, optimize: bool) -> Vec<JobSpec> {
+/// Resolves `--device`/`--shots` into a landscape source.
+fn landscape_source(opts: &Options) -> LandscapeSource {
+    match &opts.device {
+        None => LandscapeSource::Exact,
+        Some(name) => LandscapeSource::Noisy {
+            device: device_spec_or_exit(name),
+            shots: opts.shots,
+        },
+    }
+}
+
+/// Parses the job-list file format (see module docs). Under a noisy
+/// source, each line's `seed` doubles as its noise-realization seed, so
+/// distinct lines sweep distinct noise streams deterministically.
+fn load_jobs(path: &str, optimize: bool, source: &LandscapeSource) -> Vec<JobSpec> {
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
         eprintln!("error: cannot read job list '{path}': {e}");
         std::process::exit(2);
@@ -145,7 +228,9 @@ fn load_jobs(path: &str, optimize: bool) -> Vec<JobSpec> {
             eprintln!("error: {path}:{}: {e}", lineno + 1);
             std::process::exit(2);
         });
-        let mut spec = JobSpec::new(problem, Grid2d::small_p1(rows, cols), fraction, seed);
+        let mut spec = JobSpec::new(problem, Grid2d::small_p1(rows, cols), fraction, seed)
+            .with_source(source.clone())
+            .with_landscape_seed(seed);
         spec.optimize = optimize;
         specs.push(spec);
     }
@@ -158,7 +243,15 @@ fn load_jobs(path: &str, optimize: bool) -> Vec<JobSpec> {
 
 /// Synthesizes a batch: `n` jobs cycling through 4 problem instances
 /// and 4 grids, so the landscape cache has real repeats to dedupe.
-fn synthetic_jobs(n: usize, fraction: f64, optimize: bool) -> Vec<JobSpec> {
+/// Under a noisy source the noise-realization seed follows the instance
+/// (not the job), so the repeats still share one cached noisy
+/// landscape per instance.
+fn synthetic_jobs(
+    n: usize,
+    fraction: f64,
+    optimize: bool,
+    source: &LandscapeSource,
+) -> Vec<JobSpec> {
     let problems: Vec<IsingProblem> = (0..4u64)
         .map(|k| {
             let mut rng = StdRng::seed_from_u64(40 + k);
@@ -180,7 +273,9 @@ fn synthetic_jobs(n: usize, fraction: f64, optimize: bool) -> Vec<JobSpec> {
                 grids[k],
                 fraction,
                 2000 + j as u64 * 13,
-            );
+            )
+            .with_source(source.clone())
+            .with_landscape_seed(k as u64);
             spec.optimize = optimize;
             spec
         })
@@ -199,15 +294,24 @@ fn describe(spec: &JobSpec) -> String {
 fn main() {
     let opts = parse_options();
     print_header("oscar-batch", "batch runtime throughput");
+    let source = landscape_source(&opts);
     let specs = match &opts.file {
-        Some(path) => load_jobs(path, opts.optimize),
-        None => synthetic_jobs(opts.jobs, opts.fraction, opts.optimize),
+        Some(path) => load_jobs(path, opts.optimize, &source),
+        None => synthetic_jobs(opts.jobs, opts.fraction, opts.optimize, &source),
     };
     println!(
-        "{} jobs, concurrency {}, pool budget {} thread(s)\n",
+        "{} jobs, concurrency {}, pool budget {} thread(s), source {}{}\n",
         specs.len(),
         opts.concurrency,
-        oscar_par::max_threads()
+        oscar_par::max_threads(),
+        match &opts.device {
+            Some(name) => format!("noisy ({name})"),
+            None => "exact".to_string(),
+        },
+        match opts.shots {
+            Some(s) => format!(", {s} shots"),
+            None => String::new(),
+        },
     );
 
     let runtime = BatchRuntime::new(RuntimeConfig {
@@ -215,7 +319,21 @@ fn main() {
         ..RuntimeConfig::default()
     });
     let t0 = Instant::now();
-    let results = runtime.run_batch(specs.clone());
+    let handles: Vec<_> = specs
+        .iter()
+        .enumerate()
+        .map(|(j, s)| runtime.submit_with_priority(s.clone(), opts.priority.for_job(j)))
+        .collect();
+    let mut results = Vec::with_capacity(handles.len());
+    for handle in handles {
+        match handle.wait() {
+            Ok(r) => results.push(r),
+            Err(lost) => {
+                eprintln!("error: {lost}");
+                std::process::exit(1);
+            }
+        }
+    }
     let batch_wall = t0.elapsed();
 
     println!(

@@ -5,18 +5,15 @@
 //! class devices modeled with distinct depolarizing + readout + shot
 //! configurations.
 
-use oscar_bench::{print_header, seeded};
+use oscar_bench::{device_spec_or_exit, print_header, seeded};
 use oscar_core::grid::Grid2d;
 use oscar_core::landscape::Landscape;
 use oscar_core::metrics::nrmse;
 use oscar_core::reconstruct::Reconstructor;
 use oscar_cs::measure::SamplePattern;
 use oscar_executor::device::QpuDevice;
-use oscar_executor::latency::LatencyModel;
 use oscar_executor::ncm::NoiseCompensationModel;
-use oscar_mitigation::model::NoiseModel;
 use oscar_problems::ising::IsingProblem;
-use oscar_qsim::noise::ReadoutError;
 
 const MIXES: [(f64, &str); 4] = [
     (0.2, "20%-80%"),
@@ -25,52 +22,15 @@ const MIXES: [(f64, &str); 4] = [
     (1.0, "100%-0%"),
 ];
 
-/// Every device name this harness can simulate. Keep in sync with
-/// [`noise_for`].
-const KNOWN_DEVICES: [&str; 6] = [
-    "ideal sim",
-    "noisy sim-i",
-    "noisy sim-ii",
-    "noisy sim",
-    "ibm perth",
-    "ibm lagos",
-];
-
-fn noise_for(name: &str) -> Option<NoiseModel> {
-    Some(match name {
-        "ideal sim" => NoiseModel::ideal(),
-        "noisy sim-i" => NoiseModel::depolarizing(0.001, 0.005),
-        "noisy sim-ii" => NoiseModel::depolarizing(0.003, 0.007),
-        "noisy sim" => NoiseModel::depolarizing(0.002, 0.006).with_shots(4096),
-        "ibm perth" => NoiseModel::depolarizing(0.0008, 0.009)
-            .with_readout(ReadoutError::new(0.02, 0.025))
-            .with_shots(4096),
-        "ibm lagos" => NoiseModel::depolarizing(0.0005, 0.006)
-            .with_readout(ReadoutError::new(0.012, 0.015))
-            .with_shots(4096),
-        _ => return None,
-    })
-}
-
 fn device(name: &str, problem: &IsingProblem, seed: u64) -> QpuDevice {
-    let noise = noise_for(name).unwrap_or_else(|| {
-        eprintln!(
-            "error: unknown device '{name}'.\nvalid devices: {}",
-            KNOWN_DEVICES.join(", ")
-        );
-        std::process::exit(2);
-    });
+    // Device noise presets live in the shared registry
+    // (`oscar_executor::device::DeviceSpec::by_name`), which is also
+    // what `oscar-batch --device` resolves against.
+    let spec = device_spec_or_exit(name);
     // Mix the device name into the seed so distinct devices draw distinct
     // shot-noise streams even in the same table position.
     let name_salt: u64 = name.bytes().map(|b| b as u64).sum();
-    QpuDevice::new(
-        name,
-        problem,
-        1,
-        noise,
-        LatencyModel::instant(),
-        seed + name_salt * 131,
-    )
+    spec.build(problem, seed + name_salt * 131)
 }
 
 fn main() {

@@ -27,6 +27,20 @@ pub fn seeded(seed: u64) -> StdRng {
     StdRng::seed_from_u64(seed)
 }
 
+/// Resolves a device name against the shared registry
+/// ([`oscar_executor::device::DeviceSpec::by_name`]), or exits with
+/// status 2 listing the valid names — the common CLI failure path of
+/// every harness binary that takes a device argument.
+pub fn device_spec_or_exit(name: &str) -> oscar_executor::device::DeviceSpec {
+    oscar_executor::device::DeviceSpec::by_name(name).unwrap_or_else(|| {
+        eprintln!(
+            "error: unknown device '{name}'.\nvalid devices: {}",
+            oscar_executor::device::KNOWN_DEVICES.join(", ")
+        );
+        std::process::exit(2);
+    })
+}
+
 /// Generates `count` random 3-regular MaxCut instances on `n` qubits.
 pub fn maxcut_instances(count: usize, n: usize, seed: u64) -> Vec<IsingProblem> {
     let mut rng = seeded(seed);

@@ -49,6 +49,15 @@ impl Landscape {
     /// shareable evaluation closure; results are identical to
     /// [`Self::generate`] for any pure `f`.
     pub fn generate_par(grid: Grid2d, f: impl Fn(f64, f64) -> f64 + Sync) -> Self {
+        Landscape::generate_indexed_par(grid, |_, beta, gamma| f(beta, gamma))
+    }
+
+    /// Parallel generation where the closure also receives the flat
+    /// (row-major) point index — the hook for per-point seeded noise:
+    /// a counter-based draw keyed by the index makes the result
+    /// independent of chunk scheduling. Results are identical to a
+    /// serial index loop for any pure `f`.
+    pub fn generate_indexed_par(grid: Grid2d, f: impl Fn(usize, f64, f64) -> f64 + Sync) -> Self {
         let cols = grid.cols();
         let mut values = vec![0.0; grid.len()];
         oscar_par::for_each_chunk_mut(&mut values, cols, |offset, chunk| {
@@ -56,7 +65,7 @@ impl Landscape {
                 let i = offset + k;
                 let beta = grid.beta.value(i / cols);
                 let gamma = grid.gamma.value(i % cols);
-                *v = f(beta, gamma);
+                *v = f(i, beta, gamma);
             }
         });
         Landscape { grid, values }
@@ -197,6 +206,14 @@ mod tests {
         let l = Landscape::from_qaoa(grid, &eval);
         let (b, g) = grid.point(5);
         assert!((l.values()[5] - eval.expectation(&[b], &[g])).abs() < 1e-12);
+    }
+
+    #[test]
+    fn generate_indexed_par_passes_flat_indices() {
+        let grid = Grid2d::small_p1(5, 7);
+        let l = Landscape::generate_indexed_par(grid, |i, _, _| i as f64);
+        let expect: Vec<f64> = (0..grid.len()).map(|i| i as f64).collect();
+        assert_eq!(l.values(), &expect[..]);
     }
 
     #[test]

@@ -13,10 +13,113 @@ use oscar_mitigation::model::NoiseModel;
 use oscar_problems::ansatz::Ansatz;
 use oscar_problems::ising::IsingProblem;
 use oscar_qsim::circuit::GateCounts;
+use oscar_qsim::noise::ReadoutError;
 use oscar_qsim::qaoa::QaoaEvaluator;
+use oscar_qsim::rng::CounterRng;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
 use std::sync::Mutex;
+
+/// Every device name [`DeviceSpec::by_name`] can resolve. The entries
+/// are the paper's device/simulator lineup (Table 5): ideal and noisy
+/// simulators plus simulated stand-ins for the IBM Perth/Lagos
+/// machines.
+pub const KNOWN_DEVICES: [&str; 6] = [
+    "ideal sim",
+    "noisy sim-i",
+    "noisy sim-ii",
+    "noisy sim",
+    "ibm perth",
+    "ibm lagos",
+];
+
+/// A problem-independent description of a simulated device: everything
+/// needed to build a [`QpuDevice`] for any problem instance, and to
+/// fingerprint the device for cache keys.
+///
+/// Where [`QpuDevice`] is a live, problem-bound executor (it owns the
+/// transpiled gate counts and an evaluator), a `DeviceSpec` is the
+/// *recipe*: it travels inside job specs, hashes stably, and is cheap to
+/// clone.
+///
+/// # Examples
+///
+/// ```
+/// use oscar_executor::device::DeviceSpec;
+///
+/// let spec = DeviceSpec::by_name("ibm perth").unwrap();
+/// assert_eq!(spec.name, "ibm perth");
+/// assert!(DeviceSpec::by_name("ibm osaka").is_none());
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct DeviceSpec {
+    /// Device name (the registry key for known devices).
+    pub name: String,
+    /// Noise configuration the device applies to every execution.
+    pub noise: NoiseModel,
+    /// QAOA depth used when transpiling for physical gate counts.
+    pub p: usize,
+}
+
+impl DeviceSpec {
+    /// A custom device at QAOA depth 1.
+    pub fn new(name: &str, noise: NoiseModel) -> Self {
+        DeviceSpec {
+            name: name.to_string(),
+            noise,
+            p: 1,
+        }
+    }
+
+    /// Looks up one of the [`KNOWN_DEVICES`] presets by name.
+    pub fn by_name(name: &str) -> Option<Self> {
+        let noise = match name {
+            "ideal sim" => NoiseModel::ideal(),
+            "noisy sim-i" => NoiseModel::depolarizing(0.001, 0.005),
+            "noisy sim-ii" => NoiseModel::depolarizing(0.003, 0.007),
+            "noisy sim" => NoiseModel::depolarizing(0.002, 0.006).with_shots(4096),
+            "ibm perth" => NoiseModel::depolarizing(0.0008, 0.009)
+                .with_readout(ReadoutError::new(0.02, 0.025))
+                .with_shots(4096),
+            "ibm lagos" => NoiseModel::depolarizing(0.0005, 0.006)
+                .with_readout(ReadoutError::new(0.012, 0.015))
+                .with_shots(4096),
+            _ => return None,
+        };
+        Some(DeviceSpec::new(name, noise))
+    }
+
+    /// Stable fingerprint of the spec (name, exact noise bit patterns,
+    /// depth) — folds into landscape cache keys so landscapes from
+    /// different devices never collide.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        self.name.hash(&mut h);
+        self.noise.depolarizing.p1.to_bits().hash(&mut h);
+        self.noise.depolarizing.p2.to_bits().hash(&mut h);
+        self.noise.readout.p01.to_bits().hash(&mut h);
+        self.noise.readout.p10.to_bits().hash(&mut h);
+        self.noise.shots.hash(&mut h);
+        self.p.hash(&mut h);
+        h.finish()
+    }
+
+    /// Builds the live device for `problem` (instant latency, internal
+    /// RNG seeded with `seed`; the deterministic
+    /// [`QpuDevice::execute_at`] path ignores that internal stream).
+    pub fn build(&self, problem: &IsingProblem, seed: u64) -> QpuDevice {
+        QpuDevice::new(
+            &self.name,
+            problem,
+            self.p,
+            self.noise,
+            LatencyModel::instant(),
+            seed,
+        )
+    }
+}
 
 /// A simulated quantum processing unit executing QAOA circuits.
 ///
@@ -112,6 +215,38 @@ impl QpuDevice {
         let scaled = self.noise.scaled(scale);
         let mut rng = self.lock_rng();
         scaled.noisy_expectation(ideal, var, mixed, self.counts, &mut *rng)
+    }
+
+    /// Executes with noise drawn from a caller-provided generator instead
+    /// of the device's internal mutex-guarded stream.
+    ///
+    /// The internal stream makes a point's value depend on how many
+    /// executions happened before it — order-dependent and therefore
+    /// useless for results that must be reproducible under concurrency.
+    /// This path leaves ordering to the caller: pass an RNG derived from
+    /// the draw site (see [`Self::execute_at`]) and the value is a pure
+    /// function of `(angles, rng state)`.
+    pub fn execute_with_rng<R: Rng + ?Sized>(
+        &self,
+        betas: &[f64],
+        gammas: &[f64],
+        rng: &mut R,
+    ) -> f64 {
+        let (ideal, var) = self.evaluator.moments(betas, gammas);
+        let mixed = self.evaluator.diagonal_mean();
+        self.noise
+            .noisy_expectation(ideal, var, mixed, self.counts, rng)
+    }
+
+    /// Deterministic noisy execution: noise is drawn from a
+    /// [`CounterRng`] keyed by `(seed, stream)`, so the returned value is
+    /// a pure function of `(angles, seed, stream)` — identical no matter
+    /// how many other executions ran before it, on how many threads.
+    ///
+    /// Callers evaluating a landscape pass the experiment seed and the
+    /// flat grid-point index as the stream.
+    pub fn execute_at(&self, betas: &[f64], gammas: &[f64], seed: u64, stream: u64) -> f64 {
+        self.execute_with_rng(betas, gammas, &mut CounterRng::new(seed, stream))
     }
 
     /// Executes and also samples the simulated job latency (queue +
@@ -256,6 +391,54 @@ mod tests {
             (mitigated - ideal).abs() < (raw - ideal).abs(),
             "ZNE {mitigated} should beat raw {raw} (ideal {ideal})"
         );
+    }
+
+    #[test]
+    fn execute_at_is_order_independent() {
+        let p = problem();
+        let noise = NoiseModel::depolarizing(0.002, 0.006).with_shots(512);
+        let qpu = QpuDevice::new("det", &p, 1, noise, LatencyModel::instant(), 0);
+        let reference = qpu.execute_at(&[0.2], &[0.6], 7, 3);
+        // Burn the internal stream and hit other (seed, stream) pairs:
+        // the deterministic path must not care.
+        for k in 0..10 {
+            let _ = qpu.execute(&[0.1], &[0.1]);
+            let _ = qpu.execute_at(&[0.2], &[0.6], 7, 100 + k);
+        }
+        assert_eq!(
+            qpu.execute_at(&[0.2], &[0.6], 7, 3).to_bits(),
+            reference.to_bits()
+        );
+        // Distinct seeds and streams give distinct noise realizations.
+        assert_ne!(qpu.execute_at(&[0.2], &[0.6], 8, 3), reference);
+        assert_ne!(qpu.execute_at(&[0.2], &[0.6], 7, 4), reference);
+    }
+
+    #[test]
+    fn device_spec_registry_resolves_every_known_name() {
+        for name in KNOWN_DEVICES {
+            let spec = DeviceSpec::by_name(name).unwrap_or_else(|| panic!("missing {name}"));
+            assert_eq!(spec.name, name);
+            let qpu = spec.build(&problem(), 0);
+            assert!(qpu.execute_at(&[0.2], &[0.5], 1, 0).is_finite());
+        }
+        assert!(DeviceSpec::by_name("ibm osaka").is_none());
+    }
+
+    #[test]
+    fn device_spec_fingerprints_separate_devices() {
+        let mut seen = std::collections::HashSet::new();
+        for name in KNOWN_DEVICES {
+            assert!(
+                seen.insert(DeviceSpec::by_name(name).unwrap().fingerprint()),
+                "fingerprint collision for {name}"
+            );
+        }
+        // The fingerprint tracks the noise config, not just the name.
+        let a = DeviceSpec::new("x", NoiseModel::depolarizing(0.001, 0.005));
+        let b = DeviceSpec::new("x", NoiseModel::depolarizing(0.001, 0.005).with_shots(1024));
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.fingerprint(), a.clone().fingerprint());
     }
 
     #[test]

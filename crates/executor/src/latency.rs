@@ -106,7 +106,11 @@ impl LatencyStats {
     pub fn from_samples(samples: &[f64]) -> Self {
         assert!(!samples.is_empty(), "need at least one sample");
         let mut sorted = samples.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        // total_cmp, not partial_cmp: a NaN sample (e.g. a latency
+        // derived from a degenerate noise draw) must degrade the stats
+        // deterministically — NaN sorts above every number and surfaces
+        // in `max` — instead of panicking the whole batch.
+        sorted.sort_by(f64::total_cmp);
         let pick = |q: f64| sorted[((sorted.len() - 1) as f64 * q).round() as usize];
         LatencyStats {
             median: pick(0.5),
@@ -168,5 +172,18 @@ mod tests {
     #[should_panic(expected = "need at least one sample")]
     fn stats_reject_empty() {
         let _ = LatencyStats::from_samples(&[]);
+    }
+
+    #[test]
+    fn stats_tolerate_nan_samples() {
+        // Regression: this used to panic via partial_cmp().unwrap().
+        // NaN sorts above every finite sample (total_cmp order), so it
+        // lands in `max` while the low quantiles stay finite.
+        let s = LatencyStats::from_samples(&[2.0, f64::NAN, 1.0, 3.0, 4.0]);
+        assert_eq!(s.median, 3.0);
+        assert!(s.max.is_nan(), "NaN must surface in max, got {}", s.max);
+
+        let all_nan = LatencyStats::from_samples(&[f64::NAN, f64::NAN]);
+        assert!(all_nan.median.is_nan() && all_nan.max.is_nan());
     }
 }

@@ -96,10 +96,14 @@ pub fn split_boundaries(shares: &[f64], n: usize) -> Vec<usize> {
     let assigned: usize = counts.iter().sum();
     // Distribute the remaining jobs by largest fractional remainder.
     let mut order: Vec<usize> = (0..shares.len()).collect();
+    // total_cmp so a NaN share (caller bugs reach here via the public
+    // `split_boundaries`) yields a deterministic apportionment instead
+    // of a sort panic; `execute_split` still rejects NaN shares up
+    // front via its sum check.
     order.sort_by(|&a, &b| {
         let ra = quotas[a] - quotas[a].floor();
         let rb = quotas[b] - quotas[b].floor();
-        rb.partial_cmp(&ra).unwrap().then(a.cmp(&b))
+        rb.total_cmp(&ra).then(a.cmp(&b))
     });
     for &d in order.iter().take(n.saturating_sub(assigned)) {
         counts[d] += 1;
@@ -277,6 +281,24 @@ mod tests {
         let kept = within_timeout(&out, total * 0.5);
         assert!(!kept.is_empty() && kept.len() < out.len());
         assert!(kept.iter().all(|o| o.completion_time <= total * 0.5));
+    }
+
+    #[test]
+    fn split_boundaries_tolerate_nan_share() {
+        // Regression: a NaN share used to panic the remainder sort via
+        // partial_cmp().unwrap(). It must now apportion
+        // deterministically: the NaN quota floors to zero jobs and the
+        // boundary invariants still hold.
+        let b = split_boundaries(&[f64::NAN, 0.5, 0.5], 10);
+        assert_eq!(b.len(), 4);
+        assert_eq!(b[0], 0);
+        assert_eq!(*b.last().unwrap(), 10);
+        assert!(
+            b.windows(2).all(|w| w[0] <= w[1]),
+            "boundaries not monotone: {b:?}"
+        );
+        // Deterministic across calls.
+        assert_eq!(b, split_boundaries(&[f64::NAN, 0.5, 0.5], 10));
     }
 
     #[test]

@@ -11,6 +11,9 @@
 //! * [`circuit::Circuit`] — parameterized circuits with hardware gate
 //!   counting and ZNE-style gate folding;
 //! * [`noise`] — trajectory-based depolarizing noise and readout error;
+//! * [`rng::CounterRng`] — counter-based RNG whose stream is a pure
+//!   function of `(seed, stream)`, for noise draws that must not depend
+//!   on evaluation order;
 //! * [`qaoa::QaoaEvaluator`] — the fast path for diagonal cost Hamiltonians
 //!   that makes dense landscape grids tractable.
 //!
@@ -34,6 +37,7 @@ pub mod complex;
 pub mod noise;
 pub mod pauli;
 pub mod qaoa;
+pub mod rng;
 pub mod sampling;
 pub mod state;
 
@@ -44,6 +48,7 @@ pub mod prelude {
     pub use crate::noise::{DepolarizingNoise, ReadoutError};
     pub use crate::pauli::{Pauli, PauliString, PauliSum};
     pub use crate::qaoa::QaoaEvaluator;
+    pub use crate::rng::CounterRng;
     pub use crate::sampling::{measure_qubit, project_qubit, Counts};
     pub use crate::state::StateVector;
 }

@@ -7,6 +7,7 @@
 //! stays fixed. [`LandscapeCache`] dedupes those repeats behind a
 //! bounded [`LruCache`].
 
+use crate::source::LandscapeSource;
 use oscar_core::grid::Grid2d;
 use oscar_core::landscape::Landscape;
 use oscar_problems::ising::IsingProblem;
@@ -160,24 +161,44 @@ impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
 }
 
 /// Cache key for a ground-truth landscape: a fingerprint of the problem
-/// couplings, the exact grid, and the generation seed (0 for exact
-/// noiseless evaluation; noisy executors fold their shot-noise seed in
-/// so distinct noise streams do not collide).
+/// couplings, the exact grid, the landscape source, and the generation
+/// seed.
+///
+/// The source fingerprint ([`LandscapeSource::fingerprint`]) keeps exact
+/// and noisy entries — and noisy entries from different devices — from
+/// ever colliding. For the [`LandscapeSource::Exact`] source the seed is
+/// **normalized to 0**: exact evaluation ignores `landscape_seed`, so
+/// two exact jobs differing only there would otherwise fill the cache
+/// with duplicate identical landscapes (each a full grid of circuit
+/// evaluations) and recompute what is already resident.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct LandscapeKey {
     problem: u64,
     grid: [u64; 6],
+    source: u64,
     seed: u64,
 }
 
 impl LandscapeKey {
-    /// Builds the key for `(problem, grid, seed)`.
-    pub fn new(problem: &IsingProblem, grid: &Grid2d, seed: u64) -> Self {
+    /// Builds the key for `(problem, grid, source, landscape_seed)`.
+    pub fn new(
+        problem: &IsingProblem,
+        grid: &Grid2d,
+        source: &LandscapeSource,
+        landscape_seed: u64,
+    ) -> Self {
         LandscapeKey {
             problem: problem_fingerprint(problem),
             grid: grid_bits(grid),
-            seed,
+            source: source.fingerprint(),
+            // Exact evaluation is seed-independent; see the type docs.
+            seed: if source.is_exact() { 0 } else { landscape_seed },
         }
+    }
+
+    /// The key for an exact noiseless landscape of `(problem, grid)`.
+    pub fn exact(problem: &IsingProblem, grid: &Grid2d) -> Self {
+        LandscapeKey::new(problem, grid, &LandscapeSource::Exact, 0)
     }
 }
 
@@ -408,11 +429,34 @@ mod tests {
         let p2 = IsingProblem::random_3_regular(8, &mut rng);
         let g1 = Grid2d::small_p1(10, 12);
         let g2 = Grid2d::small_p1(10, 14);
-        let base = LandscapeKey::new(&p1, &g1, 0);
-        assert_eq!(base, LandscapeKey::new(&p1, &g1, 0));
-        assert_ne!(base, LandscapeKey::new(&p2, &g1, 0));
-        assert_ne!(base, LandscapeKey::new(&p1, &g2, 0));
-        assert_ne!(base, LandscapeKey::new(&p1, &g1, 1));
+        let base = LandscapeKey::exact(&p1, &g1);
+        assert_eq!(base, LandscapeKey::exact(&p1, &g1));
+        assert_ne!(base, LandscapeKey::exact(&p2, &g1));
+        assert_ne!(base, LandscapeKey::exact(&p1, &g2));
+    }
+
+    #[test]
+    fn exact_keys_normalize_landscape_seed_noisy_keys_keep_it() {
+        use oscar_executor::device::DeviceSpec;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(2);
+        let p = IsingProblem::random_3_regular(8, &mut rng);
+        let g = Grid2d::small_p1(10, 12);
+        let exact = LandscapeSource::Exact;
+        // Exact evaluation ignores the seed, so the key must too.
+        assert_eq!(
+            LandscapeKey::new(&p, &g, &exact, 0),
+            LandscapeKey::new(&p, &g, &exact, 99)
+        );
+        // Noisy sources keep the seed (distinct noise realizations) and
+        // never collide with exact keys or with other devices.
+        let perth = LandscapeSource::noisy(DeviceSpec::by_name("ibm perth").unwrap());
+        let lagos = LandscapeSource::noisy(DeviceSpec::by_name("ibm lagos").unwrap());
+        let n0 = LandscapeKey::new(&p, &g, &perth, 0);
+        assert_ne!(n0, LandscapeKey::new(&p, &g, &perth, 1));
+        assert_ne!(n0, LandscapeKey::new(&p, &g, &exact, 0));
+        assert_ne!(n0, LandscapeKey::new(&p, &g, &lagos, 0));
     }
 
     #[test]
@@ -423,7 +467,7 @@ mod tests {
         let problem = IsingProblem::random_3_regular(6, &mut rng);
         let grid = Grid2d::small_p1(6, 8);
         let cache = LandscapeCache::new(4);
-        let key = LandscapeKey::new(&problem, &grid, 0);
+        let key = LandscapeKey::exact(&problem, &grid);
         let mut computes = 0;
         let (a, hit_a) = cache.get_or_compute(key, || {
             computes += 1;
@@ -448,7 +492,7 @@ mod tests {
         let grid = Grid2d::small_p1(8, 10);
         let cache = Arc::new(LandscapeCache::new(4));
         let computes = Arc::new(AtomicUsize::new(0));
-        let key = LandscapeKey::new(&problem, &grid, 0);
+        let key = LandscapeKey::exact(&problem, &grid);
         let handles: Vec<_> = (0..6)
             .map(|_| {
                 let cache = Arc::clone(&cache);
@@ -496,7 +540,7 @@ mod tests {
             }));
         }
         // Every entry point must still work: compute, hit, stats, clear.
-        let key = LandscapeKey::new(&problem, &grid, 0);
+        let key = LandscapeKey::exact(&problem, &grid);
         let (l, hit) = cache.get_or_compute(key, || {
             Landscape::from_qaoa(grid, &problem.qaoa_evaluator())
         });
@@ -517,7 +561,7 @@ mod tests {
         let problem = IsingProblem::random_3_regular(4, &mut rng);
         let grid = Grid2d::small_p1(6, 6);
         let cache = LandscapeCache::new(2);
-        let key = LandscapeKey::new(&problem, &grid, 0);
+        let key = LandscapeKey::exact(&problem, &grid);
         let boom = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             cache.get_or_compute(key, || panic!("producer died"));
         }));

@@ -5,8 +5,10 @@
 //!
 //! 1. **Landscape sampling** — evaluate (or fetch from the
 //!    [`crate::cache::LandscapeCache`]) the ground-truth landscape over
-//!    the job's grid; grid points run data-parallel on the shared
-//!    worker pool.
+//!    the job's grid, through the spec's [`LandscapeSource`]: exact
+//!    noiseless simulation or a noisy simulated device with
+//!    deterministic counter-based per-point noise. Grid points run
+//!    data-parallel on the shared worker pool either way.
 //! 2. **CS reconstruction** — sample `fraction` of the grid with the
 //!    job's seed and recover the full landscape by FISTA
 //!    ([`Reconstructor::reconstruct_fraction_seeded`]).
@@ -19,6 +21,7 @@
 //! executor, or interleaved with 63 other jobs on four executors.
 
 use crate::cache::{LandscapeCache, LandscapeKey};
+use crate::source::LandscapeSource;
 use oscar_core::grid::Grid2d;
 use oscar_core::landscape::Landscape;
 use oscar_core::reconstruct::Reconstructor;
@@ -41,10 +44,16 @@ pub struct JobSpec {
     /// differ only here share a cached landscape but sample it
     /// differently.
     pub seed: u64,
-    /// Cache-key seed for landscape generation (stage 1); keep `0` for
-    /// exact noiseless evaluation. A noisy executor variant would fold
-    /// its shot-noise seed in here so distinct streams do not collide
-    /// in the cache.
+    /// Where stage 1's ground-truth landscape comes from: exact
+    /// noiseless evaluation (the default) or a noisy simulated device
+    /// with deterministic per-point noise.
+    pub source: LandscapeSource,
+    /// Noise-realization seed for stage 1 when [`Self::source`] is
+    /// noisy: every grid point draws from a counter-based stream keyed
+    /// by `(landscape_seed, point_index)`, so two jobs with the same
+    /// seed share one bit-identical noisy landscape (and one cache
+    /// entry). Ignored — and normalized to 0 in cache keys — for the
+    /// exact source.
     pub landscape_seed: u64,
     /// Sparse-recovery solver settings.
     pub fista: FistaConfig,
@@ -61,10 +70,23 @@ impl JobSpec {
             grid,
             fraction,
             seed,
+            source: LandscapeSource::Exact,
             landscape_seed: 0,
             fista: FistaConfig::default(),
             optimize: true,
         }
+    }
+
+    /// Replaces the landscape source (builder-style).
+    pub fn with_source(mut self, source: LandscapeSource) -> Self {
+        self.source = source;
+        self
+    }
+
+    /// Replaces the stage-1 noise-realization seed (builder-style).
+    pub fn with_landscape_seed(mut self, landscape_seed: u64) -> Self {
+        self.landscape_seed = landscape_seed;
+        self
     }
 }
 
@@ -73,6 +95,12 @@ impl JobSpec {
 pub struct JobResult {
     /// Submission id (0 for jobs run outside a scheduler).
     pub job_id: u64,
+    /// Order in which the scheduler *started* this job (1-based; 0 for
+    /// jobs run outside a scheduler). Diagnostic only — it pins
+    /// priority ordering in tests — and deliberately excluded from
+    /// determinism comparisons: with several executors the start order
+    /// depends on timing, while the result payload never does.
+    pub dispatch_seq: u64,
     /// The reconstructed landscape.
     pub reconstruction: Landscape,
     /// NRMSE against the ground truth (paper Eq. 1).
@@ -98,10 +126,13 @@ pub struct JobResult {
 pub fn run_job(spec: &JobSpec, cache: Option<&LandscapeCache>) -> JobResult {
     let started = Instant::now();
     let grid = spec.grid;
-    let generate = || Landscape::from_qaoa(grid, &spec.problem.qaoa_evaluator());
+    let generate = || {
+        spec.source
+            .generate(&spec.problem, grid, spec.landscape_seed)
+    };
     let (truth, cache_hit) = match cache {
         Some(cache) => {
-            let key = LandscapeKey::new(&spec.problem, &grid, spec.landscape_seed);
+            let key = LandscapeKey::new(&spec.problem, &grid, &spec.source, spec.landscape_seed);
             cache.get_or_compute(key, generate)
         }
         None => (std::sync::Arc::new(generate()), false),
@@ -121,6 +152,7 @@ pub fn run_job(spec: &JobSpec, cache: Option<&LandscapeCache>) -> JobResult {
 
     JobResult {
         job_id: 0,
+        dispatch_seq: 0,
         reconstruction: report.landscape,
         nrmse: report.nrmse,
         samples_used: report.samples_used,
@@ -167,6 +199,51 @@ mod tests {
             assert_eq!(plain.reconstruction.values(), r.reconstruction.values());
             assert_eq!(plain.nrmse.to_bits(), r.nrmse.to_bits());
         }
+    }
+
+    #[test]
+    fn exact_jobs_with_distinct_landscape_seeds_share_one_cache_entry() {
+        // Regression: `run_job` used to fold the unused landscape_seed
+        // into the cache key, so exact specs differing only there filled
+        // the cache with duplicate identical landscapes and recomputed
+        // each one.
+        let cache = LandscapeCache::new(4);
+        let a = run_job(&spec(7), Some(&cache));
+        let b = run_job(&spec(7).with_landscape_seed(99), Some(&cache));
+        assert!(!a.landscape_cache_hit);
+        assert!(
+            b.landscape_cache_hit,
+            "seed-only variation must hit the shared exact entry"
+        );
+        let stats = cache.stats();
+        assert_eq!(
+            (stats.len, stats.misses, stats.hits),
+            (1, 1, 1),
+            "{stats:?}"
+        );
+    }
+
+    #[test]
+    fn noisy_job_runs_and_differs_from_exact() {
+        use oscar_executor::device::DeviceSpec;
+        let exact = spec(7);
+        let noisy = spec(7)
+            .with_source(LandscapeSource::noisy(
+                DeviceSpec::by_name("noisy sim").unwrap(),
+            ))
+            .with_landscape_seed(3);
+        let e = run_job(&exact, None);
+        let n = run_job(&noisy, None);
+        assert!(n.nrmse.is_finite());
+        assert_ne!(
+            e.reconstruction.values(),
+            n.reconstruction.values(),
+            "noisy source must reconstruct a different landscape"
+        );
+        // Determinism: the same noisy spec reproduces bit-identically.
+        let n2 = run_job(&noisy, None);
+        assert_eq!(n.reconstruction.values(), n2.reconstruction.values());
+        assert_eq!(n.nrmse.to_bits(), n2.nrmse.to_bits());
     }
 
     #[test]

@@ -21,12 +21,18 @@
 //!   reconstruction.
 //!
 //! On top sits the [`scheduler::BatchRuntime`]: a bounded-concurrency
-//! batch scheduler with a submit/handle API that pipelines *landscape
-//! sampling → CS reconstruction → optimization* per job
-//! ([`job::run_job`]) and drains many jobs across the pool. Results
-//! are deterministic: a [`job::JobSpec`] fully determines its
-//! [`job::JobResult`], bit-identical whether the job runs inline,
-//! alone, or interleaved with dozens of others.
+//! batch scheduler with a submit/handle API — priority levels
+//! ([`scheduler::Priority`]) with FIFO tie-break and cheap per-job
+//! cancellation ([`scheduler::JobHandle::cancel`]) — that pipelines
+//! *landscape sampling → CS reconstruction → optimization* per job
+//! ([`job::run_job`]) and drains many jobs across the pool. Stage 1
+//! runs through the spec's [`source::LandscapeSource`]: exact
+//! noiseless simulation, or a noisy simulated device whose per-point
+//! noise comes from a counter-based RNG keyed by `(landscape_seed,
+//! point_index)`. Results are deterministic either way: a
+//! [`job::JobSpec`] fully determines its [`job::JobResult`],
+//! bit-identical whether the job runs inline, alone, or interleaved
+//! with dozens of others on any number of executors.
 //!
 //! The `oscar-batch` binary (in `oscar-bench`) drives this end to end
 //! from a job-list file and reports per-job latency and aggregate
@@ -52,7 +58,7 @@
 //! let jobs = (0..4).map(|seed| {
 //!     JobSpec::new(problem.clone(), Grid2d::small_p1(10, 12), 0.3, seed)
 //! });
-//! let results = runtime.run_batch(jobs);
+//! let results = runtime.run_batch(jobs).expect("no job panicked");
 //! assert_eq!(results.len(), 4);
 //! assert!(results.iter().all(|r| r.nrmse < 0.3));
 //! // In-flight dedup: exactly one job computes the landscape, the
@@ -66,7 +72,9 @@
 pub mod cache;
 pub mod job;
 pub mod scheduler;
+pub mod source;
 
 pub use cache::{CacheStats, LandscapeCache, LandscapeKey, LruCache};
 pub use job::{run_job, JobResult, JobSpec};
-pub use scheduler::{BatchRuntime, JobHandle, JobLost, RuntimeConfig};
+pub use scheduler::{BatchRuntime, JobHandle, JobLost, Priority, RuntimeConfig};
+pub use source::LandscapeSource;

@@ -2,24 +2,31 @@
 //! reconstruction jobs over the shared worker pool.
 //!
 //! [`BatchRuntime`] owns a small set of persistent *executor* threads
-//! (the concurrency bound) draining a FIFO queue of [`JobSpec`]s. Each
-//! executor runs one job at a time through the full pipeline
-//! ([`crate::job::run_job`]); the data-parallel stages inside a job
-//! (landscape evaluation, large-grid DCT passes) delegate to the global
-//! `oscar-par` worker pool, whose chunk-stealing workers are shared by
-//! every concurrently running job — so job-level and data-level
-//! parallelism compose without oversubscribing the machine.
+//! (the concurrency bound) draining a priority queue of [`JobSpec`]s:
+//! higher-[`Priority`] jobs dispatch first, equal priorities in FIFO
+//! submission order. Each executor runs one job at a time through the
+//! full pipeline ([`crate::job::run_job`]); the data-parallel stages
+//! inside a job (landscape evaluation, large-grid DCT passes) delegate
+//! to the global `oscar-par` worker pool, whose chunk-stealing workers
+//! are shared by every concurrently running job — so job-level and
+//! data-level parallelism compose without oversubscribing the machine.
+//!
+//! Priorities and cancellation change *when* (and whether) a job runs,
+//! never *what* it computes: a [`crate::job::JobResult`] is a pure
+//! function of its spec, so results stay bit-identical under any
+//! dispatch order.
 //!
 //! Submission is asynchronous: [`BatchRuntime::submit`] returns a
 //! [`JobHandle`] immediately; [`JobHandle::wait`] blocks for that job's
-//! [`JobResult`]. [`BatchRuntime::run_batch`] is the synchronous
+//! [`JobResult`]; [`JobHandle::cancel`] drops a still-queued job without
+//! running it. [`BatchRuntime::run_batch`] is the synchronous
 //! convenience that submits a whole batch and returns results in
 //! submission order.
 
 use crate::cache::{lock, CacheStats, LandscapeCache};
 use crate::job::{run_job, JobResult, JobSpec};
-use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
@@ -44,19 +51,74 @@ impl Default for RuntimeConfig {
     }
 }
 
-struct QueuedJob {
-    id: u64,
-    spec: JobSpec,
-    tx: Sender<JobResult>,
+/// Dispatch priority of a submitted job. Higher priorities leave the
+/// queue first; jobs of equal priority dispatch in submission order
+/// (FIFO tie-break), so a stream of same-priority jobs behaves exactly
+/// like the pre-priority scheduler.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Priority {
+    /// Background work: dispatched only when nothing else waits.
+    Low,
+    /// The default.
+    #[default]
+    Normal,
+    /// Latency-sensitive work: jumps ahead of every queued non-high job.
+    High,
 }
 
+/// Job lifecycle, shared between a queue entry and its [`JobHandle`].
+/// Transitions: `QUEUED -> RUNNING -> DONE` for the normal path;
+/// `QUEUED -> CANCELLED` for a cancel that wins the race with dispatch;
+/// `RUNNING -> CANCEL_REQUESTED -> DONE` when cancel arrives too late
+/// (the job is not interrupted; the mark is observable but the result
+/// is still delivered).
+const QUEUED: u8 = 0;
+const RUNNING: u8 = 1;
+const DONE: u8 = 2;
+const CANCELLED: u8 = 3;
+const CANCEL_REQUESTED: u8 = 4;
+
+struct QueuedJob {
+    id: u64,
+    priority: Priority,
+    spec: JobSpec,
+    tx: Sender<JobResult>,
+    state: Arc<AtomicU8>,
+}
+
+// The heap is a max-heap: order by priority, then by *reversed* id so
+// the smallest (earliest-submitted) id wins among equal priorities.
+impl Ord for QueuedJob {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.priority
+            .cmp(&other.priority)
+            .then_with(|| other.id.cmp(&self.id))
+    }
+}
+
+impl PartialOrd for QueuedJob {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl PartialEq for QueuedJob {
+    fn eq(&self, other: &Self) -> bool {
+        self.id == other.id
+    }
+}
+
+impl Eq for QueuedJob {}
+
 struct SchedInner {
-    queue: Mutex<VecDeque<QueuedJob>>,
+    queue: Mutex<BinaryHeap<QueuedJob>>,
     cv: Condvar,
     shutdown: AtomicBool,
     cache: LandscapeCache,
     submitted: AtomicU64,
+    dispatched: AtomicU64,
     completed: AtomicU64,
+    cancelled: AtomicU64,
 }
 
 /// A persistent batch scheduler (see the [module docs](self)).
@@ -71,12 +133,13 @@ pub struct BatchRuntime {
 }
 
 /// Error returned by [`JobHandle::wait`] when a job can no longer
-/// produce a result: the runtime was dropped while the job was still
-/// queued, or the job itself panicked (the executor contains the panic
-/// and keeps draining the queue).
+/// produce a result: it was cancelled while queued, the runtime was
+/// dropped while the job was still queued, or the job itself panicked
+/// (the executor contains the panic and keeps draining the queue).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct JobLost {
     id: u64,
+    cancelled: bool,
 }
 
 impl JobLost {
@@ -84,16 +147,26 @@ impl JobLost {
     pub fn job_id(&self) -> u64 {
         self.id
     }
+
+    /// `true` when the job was lost because [`JobHandle::cancel`]
+    /// dropped it from the queue before it ran.
+    pub fn was_cancelled(&self) -> bool {
+        self.cancelled
+    }
 }
 
 impl std::fmt::Display for JobLost {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "job {} was lost: the runtime shut down (or the job panicked) \
-             before it completed",
-            self.id
-        )
+        if self.cancelled {
+            write!(f, "job {} was cancelled before it ran", self.id)
+        } else {
+            write!(
+                f,
+                "job {} was lost: the runtime shut down (or the job panicked) \
+                 before it completed",
+                self.id
+            )
+        }
     }
 }
 
@@ -103,6 +176,7 @@ impl std::error::Error for JobLost {}
 pub struct JobHandle {
     id: u64,
     rx: Receiver<JobResult>,
+    state: Arc<AtomicU8>,
 }
 
 impl JobHandle {
@@ -112,11 +186,48 @@ impl JobHandle {
     }
 
     /// Blocks until the job finishes and returns its result, or
-    /// `Err(`[`JobLost`]`)` when the runtime was dropped with this job
-    /// still queued (or the job panicked) — callers can distinguish
-    /// shutdown from success instead of unwinding.
+    /// `Err(`[`JobLost`]`)` when it never will: the job was cancelled
+    /// while queued, the runtime was dropped with it still queued, or
+    /// it panicked — callers can distinguish every no-result path from
+    /// success instead of unwinding.
     pub fn wait(self) -> Result<JobResult, JobLost> {
-        self.rx.recv().map_err(|_| JobLost { id: self.id })
+        self.rx.recv().map_err(|_| JobLost {
+            id: self.id,
+            cancelled: self.state.load(Ordering::Acquire) == CANCELLED,
+        })
+    }
+
+    /// Requests cancellation. Returns `true` when the job was still
+    /// queued and is now dropped: it will never run, costs nothing
+    /// further, and [`Self::wait`] reports it as a cancelled
+    /// [`JobLost`]. Returns `false` when the job already started (it is
+    /// *marked* cancel-requested but not interrupted — its result is
+    /// still computed and delivered) or already finished.
+    ///
+    /// Cheap either way: one atomic transition; the queue entry is
+    /// discarded lazily when an executor pops it.
+    pub fn cancel(&self) -> bool {
+        if self
+            .state
+            .compare_exchange(QUEUED, CANCELLED, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+        {
+            return true;
+        }
+        // Too late to drop it; leave a mark on a still-running job.
+        let _ = self.state.compare_exchange(
+            RUNNING,
+            CANCEL_REQUESTED,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        );
+        false
+    }
+
+    /// `true` once the job's result has been computed (it may still be
+    /// waiting in the channel until [`Self::wait`] collects it).
+    pub fn is_finished(&self) -> bool {
+        self.state.load(Ordering::Acquire) == DONE
     }
 }
 
@@ -124,12 +235,14 @@ impl BatchRuntime {
     /// Starts a runtime with `config.concurrency` executor threads.
     pub fn new(config: RuntimeConfig) -> Self {
         let inner = Arc::new(SchedInner {
-            queue: Mutex::new(VecDeque::new()),
+            queue: Mutex::new(BinaryHeap::new()),
             cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
             cache: LandscapeCache::new(config.landscape_cache_capacity.max(1)),
             submitted: AtomicU64::new(0),
+            dispatched: AtomicU64::new(0),
             completed: AtomicU64::new(0),
+            cancelled: AtomicU64::new(0),
         });
         let executors = (0..config.concurrency.max(1))
             .map(|k| {
@@ -151,34 +264,48 @@ impl BatchRuntime {
         })
     }
 
-    /// Enqueues a job and returns its handle immediately.
+    /// Enqueues a job at [`Priority::Normal`] and returns its handle
+    /// immediately.
     pub fn submit(&self, spec: JobSpec) -> JobHandle {
-        let id = self.inner.submitted.fetch_add(1, Ordering::Relaxed) + 1;
-        let (tx, rx) = channel();
-        {
-            let mut queue = lock(&self.inner.queue);
-            queue.push_back(QueuedJob { id, spec, tx });
-        }
-        self.inner.cv.notify_one();
-        JobHandle { id, rx }
+        self.submit_with_priority(spec, Priority::Normal)
     }
 
-    /// Submits every spec and waits for all results, returned in
-    /// submission order.
+    /// Enqueues a job at `priority` and returns its handle immediately.
+    /// Among queued jobs, higher priority dispatches first; equal
+    /// priorities dispatch in submission order.
+    pub fn submit_with_priority(&self, spec: JobSpec, priority: Priority) -> JobHandle {
+        let id = self.inner.submitted.fetch_add(1, Ordering::Relaxed) + 1;
+        let (tx, rx) = channel();
+        let state = Arc::new(AtomicU8::new(QUEUED));
+        {
+            let mut queue = lock(&self.inner.queue);
+            queue.push(QueuedJob {
+                id,
+                priority,
+                spec,
+                tx,
+                state: Arc::clone(&state),
+            });
+        }
+        self.inner.cv.notify_one();
+        JobHandle { id, rx, state }
+    }
+
+    /// Submits every spec at [`Priority::Normal`] and waits for all
+    /// results, returned in submission order.
     ///
-    /// # Panics
-    ///
-    /// Panics if a batch job panicked (the executor contains the panic
-    /// and reports that job lost); the runtime itself stays alive for
-    /// the whole call, so that is the only way a batch job can be
-    /// lost. Use [`Self::submit`] + [`JobHandle::wait`] to handle
-    /// [`JobLost`] explicitly.
-    pub fn run_batch(&self, specs: impl IntoIterator<Item = JobSpec>) -> Vec<JobResult> {
+    /// Returns `Err(`[`JobLost`]`)` carrying the first failed job's id
+    /// if any job panicked (the executor contains the panic, reports
+    /// that job lost, and keeps draining the rest); the runtime itself
+    /// stays alive for the whole call, so a panicked job is the only
+    /// way a batch job can be lost. Use [`Self::submit`] +
+    /// [`JobHandle::wait`] for per-job error handling.
+    pub fn run_batch(
+        &self,
+        specs: impl IntoIterator<Item = JobSpec>,
+    ) -> Result<Vec<JobResult>, JobLost> {
         let handles: Vec<JobHandle> = specs.into_iter().map(|s| self.submit(s)).collect();
-        handles
-            .into_iter()
-            .map(|h| h.wait().expect("a batch job panicked before completing"))
-            .collect()
+        handles.into_iter().map(|h| h.wait()).collect()
     }
 
     /// Landscape-cache counters.
@@ -194,6 +321,12 @@ impl BatchRuntime {
     /// Jobs completed so far.
     pub fn completed(&self) -> u64 {
         self.inner.completed.load(Ordering::Relaxed)
+    }
+
+    /// Jobs dropped from the queue by [`JobHandle::cancel`] before they
+    /// ran.
+    pub fn cancelled(&self) -> u64 {
+        self.inner.cancelled.load(Ordering::Relaxed)
     }
 
     /// The concurrency bound (number of executors).
@@ -220,6 +353,7 @@ impl std::fmt::Debug for BatchRuntime {
             .field("concurrency", &self.executors.len())
             .field("submitted", &self.submitted())
             .field("completed", &self.completed())
+            .field("cancelled", &self.cancelled())
             .field("cache", &self.cache_stats())
             .finish()
     }
@@ -233,12 +367,24 @@ fn executor_loop(inner: &SchedInner) {
                 if inner.shutdown.load(Ordering::Acquire) {
                     return;
                 }
-                if let Some(job) = queue.pop_front() {
+                if let Some(job) = queue.pop() {
                     break job;
                 }
                 queue = inner.cv.wait(queue).unwrap_or_else(PoisonError::into_inner);
             }
         };
+        // Claim the job. A cancel that won the race left CANCELLED
+        // here: discard the entry (dropping its sender wakes the
+        // handle's `wait` with the cancelled error) and keep draining.
+        if job
+            .state
+            .compare_exchange(QUEUED, RUNNING, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            inner.cancelled.fetch_add(1, Ordering::Relaxed);
+            continue;
+        }
+        let seq = inner.dispatched.fetch_add(1, Ordering::Relaxed) + 1;
         // Contain a panicking job: the executor must survive to keep
         // draining the queue — if it died instead, jobs still queued
         // behind the poison pill would wait forever (their senders live
@@ -250,9 +396,13 @@ fn executor_loop(inner: &SchedInner) {
         }));
         if let Ok(mut result) = outcome {
             result.job_id = job.id;
+            result.dispatch_seq = seq;
             inner.completed.fetch_add(1, Ordering::Relaxed);
+            job.state.store(DONE, Ordering::Release);
             // A dropped handle just means nobody is waiting for this result.
             let _ = job.tx.send(result);
+        } else {
+            job.state.store(DONE, Ordering::Release);
         }
     }
 }

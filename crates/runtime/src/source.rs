@@ -1,0 +1,201 @@
+//! Where a job's stage-1 landscape comes from: exact simulation or a
+//! noisy simulated device.
+//!
+//! The paper's central workload reconstructs *noisy* QAOA landscapes
+//! from sparse device executions; [`LandscapeSource`] is the runtime's
+//! switch between the exact noiseless evaluator and a
+//! [`QpuDevice`]-backed noisy evaluation. Noisy landscapes are
+//! **deterministic under concurrency**: every grid point draws its
+//! noise from a counter-based RNG keyed by `(landscape_seed,
+//! point_index)` ([`oscar_qsim::rng::CounterRng`]), so the landscape is
+//! bit-identical no matter how the worker pool interleaves points or
+//! how many executors run jobs — the property the batch cache and the
+//! `--compare` harness rely on. (The device's internal mutex-guarded
+//! RNG stream, by contrast, is execution-order-dependent and is not
+//! used here.)
+
+use oscar_core::grid::Grid2d;
+use oscar_core::landscape::Landscape;
+use oscar_executor::device::DeviceSpec;
+use oscar_problems::ising::IsingProblem;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// How stage 1 evaluates the ground-truth landscape.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub enum LandscapeSource {
+    /// Exact noiseless evaluation (infinite shots, no gate errors).
+    /// `JobSpec::landscape_seed` is irrelevant for this source and is
+    /// normalized to 0 in cache keys, so exact jobs that differ only in
+    /// that field share one cached landscape.
+    #[default]
+    Exact,
+    /// Noisy evaluation through a simulated device.
+    Noisy {
+        /// The device whose noise configuration shapes every point.
+        device: DeviceSpec,
+        /// Overrides the device's shot count when set (a sweep axis the
+        /// paper's noisy experiments vary independently of the device).
+        shots: Option<usize>,
+    },
+}
+
+impl LandscapeSource {
+    /// A noisy source using the device's own shot count.
+    pub fn noisy(device: DeviceSpec) -> Self {
+        LandscapeSource::Noisy {
+            device,
+            shots: None,
+        }
+    }
+
+    /// `true` for the exact noiseless source.
+    pub fn is_exact(&self) -> bool {
+        matches!(self, LandscapeSource::Exact)
+    }
+
+    /// The device actually executed: the spec with any shot override
+    /// already folded into its noise model. `None` for [`Self::Exact`].
+    fn effective_device(&self) -> Option<DeviceSpec> {
+        match self {
+            LandscapeSource::Exact => None,
+            LandscapeSource::Noisy { device, shots } => Some(match shots {
+                Some(s) => DeviceSpec {
+                    noise: device.noise.with_shots(*s),
+                    ..device.clone()
+                },
+                None => device.clone(),
+            }),
+        }
+    }
+
+    /// Stable fingerprint folded into [`crate::cache::LandscapeKey`]:
+    /// 0 for [`Self::Exact`], a hash of the *effective* device
+    /// otherwise — exact and noisy entries can never collide, and a
+    /// shot override that merely restates the device's own shot count
+    /// hashes identically to no override (the landscapes are
+    /// bit-identical, so they must share one cache entry).
+    pub fn fingerprint(&self) -> u64 {
+        match self.effective_device() {
+            None => 0,
+            Some(spec) => {
+                let mut h = DefaultHasher::new();
+                // Domain tag keeps a pathological all-zero device hash
+                // from colliding with the exact source's 0.
+                "noisy".hash(&mut h);
+                spec.fingerprint().hash(&mut h);
+                h.finish()
+            }
+        }
+    }
+
+    /// Evaluates the ground-truth landscape for `problem` over `grid`.
+    ///
+    /// Deterministic: a pure function of `(self, problem, grid,
+    /// landscape_seed)`, bit-identical across worker counts and
+    /// evaluation orders. Grid points run data-parallel on the shared
+    /// worker pool for both sources.
+    pub fn generate(&self, problem: &IsingProblem, grid: Grid2d, landscape_seed: u64) -> Landscape {
+        match self.effective_device() {
+            None => Landscape::from_qaoa(grid, &problem.qaoa_evaluator()),
+            Some(spec) => {
+                // The internal-RNG seed is irrelevant: every point draws
+                // from its own (landscape_seed, index) counter stream.
+                let qpu = spec.build(problem, 0);
+                Landscape::generate_indexed_par(grid, |i, beta, gamma| {
+                    qpu.execute_at(&[beta], &[gamma], landscape_seed, i as u64)
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn problem() -> IsingProblem {
+        let mut rng = StdRng::seed_from_u64(21);
+        IsingProblem::random_3_regular(6, &mut rng)
+    }
+
+    fn perth() -> DeviceSpec {
+        DeviceSpec::by_name("ibm perth").expect("known device")
+    }
+
+    #[test]
+    fn noisy_generation_is_bit_stable() {
+        let p = problem();
+        let grid = Grid2d::small_p1(8, 10);
+        let source = LandscapeSource::noisy(perth());
+        let a = source.generate(&p, grid, 5);
+        let b = source.generate(&p, grid, 5);
+        assert_eq!(a.values(), b.values());
+        // A different landscape seed is a different noise realization.
+        let c = source.generate(&p, grid, 6);
+        assert_ne!(a.values(), c.values());
+    }
+
+    #[test]
+    fn noisy_differs_from_exact_but_correlates() {
+        let p = problem();
+        let grid = Grid2d::small_p1(10, 12);
+        let exact = LandscapeSource::Exact.generate(&p, grid, 0);
+        let noisy = LandscapeSource::noisy(perth()).generate(&p, grid, 1);
+        assert_ne!(exact.values(), noisy.values());
+        // The noisy landscape is the exact one damped toward the mixed
+        // mean plus bounded shot noise — it must stay in the same range
+        // neighborhood, not be garbage.
+        assert!(noisy.values().iter().all(|v| v.is_finite()));
+        let span = exact.max() - exact.min();
+        let noisy_span = noisy.max() - noisy.min();
+        assert!(noisy_span < span * 1.5, "{noisy_span} vs {span}");
+    }
+
+    #[test]
+    fn shot_override_changes_fingerprint_and_values() {
+        let p = problem();
+        let grid = Grid2d::small_p1(6, 8);
+        let base = LandscapeSource::noisy(perth());
+        let overridden = LandscapeSource::Noisy {
+            device: perth(),
+            shots: Some(64),
+        };
+        assert_ne!(base.fingerprint(), overridden.fingerprint());
+        let a = base.generate(&p, grid, 3);
+        let b = overridden.generate(&p, grid, 3);
+        assert_ne!(a.values(), b.values(), "64 shots must be noisier than 4096");
+    }
+
+    #[test]
+    fn redundant_shot_override_shares_the_no_override_fingerprint() {
+        // "ibm perth" already runs at 4096 shots: restating that as an
+        // override changes nothing about the landscape, so it must hash
+        // to the same cache key (the noisy analogue of the exact
+        // source's seed normalization).
+        let spelled_out = LandscapeSource::Noisy {
+            device: perth(),
+            shots: Some(4096),
+        };
+        let implicit = LandscapeSource::noisy(perth());
+        assert_eq!(spelled_out.fingerprint(), implicit.fingerprint());
+        let p = problem();
+        let grid = Grid2d::small_p1(6, 8);
+        assert_eq!(
+            spelled_out.generate(&p, grid, 3).values(),
+            implicit.generate(&p, grid, 3).values()
+        );
+    }
+
+    #[test]
+    fn exact_fingerprint_is_zero_and_noisy_is_not() {
+        assert_eq!(LandscapeSource::Exact.fingerprint(), 0);
+        assert_ne!(LandscapeSource::noisy(perth()).fingerprint(), 0);
+        assert_eq!(
+            LandscapeSource::noisy(perth()).fingerprint(),
+            LandscapeSource::noisy(perth()).fingerprint()
+        );
+    }
+}

@@ -1,0 +1,179 @@
+//! Determinism pins for noisy-device landscapes in the batch runtime:
+//! counter-based per-point noise makes a noisy job's result a pure
+//! function of its spec — bit-identical across executor counts, across
+//! cache hit/miss, and across scheduling order.
+
+use oscar_core::grid::Grid2d;
+use oscar_executor::device::DeviceSpec;
+use oscar_problems::ising::IsingProblem;
+use oscar_runtime::cache::LandscapeCache;
+use oscar_runtime::job::{run_job, JobResult, JobSpec};
+use oscar_runtime::scheduler::BatchRuntime;
+use oscar_runtime::source::LandscapeSource;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn device(name: &str) -> DeviceSpec {
+    DeviceSpec::by_name(name).unwrap_or_else(|| panic!("unknown device {name}"))
+}
+
+/// 16 noisy jobs: 2 instances × 2 devices × 2 noise seeds × 2 sampling
+/// seeds — every axis of the noisy sweep the paper's evaluation runs.
+fn noisy_batch() -> Vec<JobSpec> {
+    let problems: Vec<IsingProblem> = (0..2)
+        .map(|k| {
+            let mut rng = StdRng::seed_from_u64(300 + k);
+            IsingProblem::random_3_regular(6 + 2 * k as usize, &mut rng)
+        })
+        .collect();
+    let devices = [device("noisy sim"), device("ibm perth")];
+    let mut specs = Vec::new();
+    for (pi, problem) in problems.iter().enumerate() {
+        for d in &devices {
+            for landscape_seed in [1u64, 2] {
+                for seed in [10u64, 11] {
+                    specs.push(
+                        JobSpec::new(
+                            problem.clone(),
+                            Grid2d::small_p1(10, 12 + 2 * pi),
+                            0.3,
+                            seed,
+                        )
+                        .with_source(LandscapeSource::noisy(d.clone()))
+                        .with_landscape_seed(landscape_seed),
+                    );
+                }
+            }
+        }
+    }
+    assert_eq!(specs.len(), 16);
+    specs
+}
+
+fn assert_results_identical(a: &JobResult, b: &JobResult, ctx: &str) {
+    assert_eq!(
+        a.reconstruction.values(),
+        b.reconstruction.values(),
+        "{ctx}: reconstruction drifted"
+    );
+    assert_eq!(a.nrmse.to_bits(), b.nrmse.to_bits(), "{ctx}: nrmse drifted");
+    assert_eq!(a.samples_used, b.samples_used, "{ctx}: sampling drifted");
+    assert_eq!(
+        (a.best_point, a.best_value.to_bits()),
+        (b.best_point, b.best_value.to_bits()),
+        "{ctx}: optimization drifted"
+    );
+}
+
+#[test]
+fn noisy_jobs_bit_identical_across_1_and_4_executors() {
+    let specs = noisy_batch();
+    // Sequential uncached reference: the pure function of each spec.
+    let sequential: Vec<JobResult> = specs.iter().map(|s| run_job(s, None)).collect();
+
+    let one = BatchRuntime::with_concurrency(1)
+        .run_batch(specs.clone())
+        .expect("no job panics");
+    let four = BatchRuntime::with_concurrency(4)
+        .run_batch(specs)
+        .expect("no job panics");
+
+    for (i, ((seq, a), b)) in sequential.iter().zip(&one).zip(&four).enumerate() {
+        assert_results_identical(seq, a, &format!("job {i}, 1 executor vs sequential"));
+        assert_results_identical(a, b, &format!("job {i}, 1 vs 4 executors"));
+    }
+}
+
+#[test]
+fn noisy_cache_hit_is_bit_identical_to_miss() {
+    let spec = noisy_batch().remove(3);
+    let cache = LandscapeCache::new(4);
+    let uncached = run_job(&spec, None);
+    let miss = run_job(&spec, Some(&cache));
+    let hit = run_job(&spec, Some(&cache));
+    assert!(!miss.landscape_cache_hit && hit.landscape_cache_hit);
+    assert_results_identical(&uncached, &miss, "uncached vs cache miss");
+    assert_results_identical(&miss, &hit, "cache miss vs cache hit");
+}
+
+#[test]
+fn noisy_jobs_share_cache_entries_per_noise_realization() {
+    // Same (problem, grid, device, landscape_seed), different sampling
+    // seeds: one landscape computation serves both. A different
+    // landscape_seed — or device — is a genuinely different landscape.
+    let mut rng = StdRng::seed_from_u64(310);
+    let problem = IsingProblem::random_3_regular(6, &mut rng);
+    let grid = Grid2d::small_p1(10, 12);
+    let base = JobSpec::new(problem, grid, 0.3, 1)
+        .with_source(LandscapeSource::noisy(device("noisy sim")))
+        .with_landscape_seed(5);
+    let cache = LandscapeCache::new(8);
+
+    let a = run_job(&base, Some(&cache));
+    let mut resampled = base.clone();
+    resampled.seed = 2;
+    let b = run_job(&resampled, Some(&cache));
+    assert!(!a.landscape_cache_hit && b.landscape_cache_hit);
+    assert_eq!(cache.stats().len, 1);
+
+    let c = run_job(&base.clone().with_landscape_seed(6), Some(&cache));
+    assert!(!c.landscape_cache_hit, "new noise realization must miss");
+    let d = run_job(
+        &base.with_source(LandscapeSource::noisy(device("ibm perth"))),
+        Some(&cache),
+    );
+    assert!(!d.landscape_cache_hit, "different device must miss");
+    assert_eq!(cache.stats().len, 3);
+    // All three entries really are distinct landscapes.
+    assert_ne!(a.reconstruction.values(), c.reconstruction.values());
+    assert_ne!(a.reconstruction.values(), d.reconstruction.values());
+}
+
+#[test]
+fn exact_and_noisy_jobs_never_share_cache_entries() {
+    let mut rng = StdRng::seed_from_u64(320);
+    let problem = IsingProblem::random_3_regular(6, &mut rng);
+    let grid = Grid2d::small_p1(10, 12);
+    let cache = LandscapeCache::new(8);
+    let exact = JobSpec::new(problem.clone(), grid, 0.3, 1);
+    // landscape_seed 0 on the noisy spec: even the all-default seed must
+    // not collide with the exact entry (the source fingerprint splits
+    // them).
+    let noisy = JobSpec::new(problem, grid, 0.3, 1)
+        .with_source(LandscapeSource::noisy(device("noisy sim-ii")));
+
+    let e = run_job(&exact, Some(&cache));
+    let n = run_job(&noisy, Some(&cache));
+    assert!(!e.landscape_cache_hit);
+    assert!(!n.landscape_cache_hit, "noisy must not hit the exact entry");
+    assert_eq!(cache.stats().len, 2);
+    assert_ne!(e.reconstruction.values(), n.reconstruction.values());
+}
+
+#[test]
+fn mixed_exact_and_noisy_batch_matches_sequential() {
+    // Interleave exact and noisy jobs in one scheduled batch: the cache
+    // holds both kinds at once and nothing cross-contaminates.
+    let mut rng = StdRng::seed_from_u64(330);
+    let problem = IsingProblem::random_3_regular(8, &mut rng);
+    let grid = Grid2d::small_p1(12, 14);
+    let mut specs = Vec::new();
+    for seed in 0..3u64 {
+        specs.push(JobSpec::new(problem.clone(), grid, 0.25, seed));
+        specs.push(
+            JobSpec::new(problem.clone(), grid, 0.25, seed)
+                .with_source(LandscapeSource::noisy(device("ibm lagos")))
+                .with_landscape_seed(9),
+        );
+    }
+    let sequential: Vec<JobResult> = specs.iter().map(|s| run_job(s, None)).collect();
+    let runtime = BatchRuntime::with_concurrency(3);
+    let scheduled = runtime.run_batch(specs).expect("no job panics");
+    for (i, (seq, sched)) in sequential.iter().zip(&scheduled).enumerate() {
+        assert_results_identical(seq, sched, &format!("mixed job {i}"));
+    }
+    // 1 exact + 1 noisy landscape served all 6 jobs.
+    let stats = runtime.cache_stats();
+    assert_eq!(stats.misses, 2, "{stats:?}");
+    assert!(stats.hits >= 4, "{stats:?}");
+}

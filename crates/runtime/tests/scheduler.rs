@@ -6,10 +6,10 @@
 use oscar_core::grid::Grid2d;
 use oscar_problems::ising::IsingProblem;
 use oscar_runtime::job::{run_job, JobResult, JobSpec};
-use oscar_runtime::scheduler::{BatchRuntime, RuntimeConfig};
+use oscar_runtime::scheduler::{BatchRuntime, Priority, RuntimeConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// 64 mixed-size jobs: 4 problem instances (4–10 qubits) × 4 grids ×
 /// 4 sampling seeds, with two sampling fractions interleaved.
@@ -77,7 +77,7 @@ fn stress_64_mixed_jobs_bit_identical_to_sequential() {
         concurrency: 4,
         landscape_cache_capacity: 8,
     });
-    let scheduled = runtime.run_batch(specs.clone());
+    let scheduled = runtime.run_batch(specs.clone()).expect("no job panics");
 
     assert_eq!(scheduled.len(), sequential.len());
     for (i, (seq, sched)) in sequential.iter().zip(&scheduled).enumerate() {
@@ -104,8 +104,12 @@ fn stress_64_mixed_jobs_bit_identical_to_sequential() {
 #[test]
 fn rescheduling_the_same_batch_is_deterministic() {
     let specs: Vec<JobSpec> = mixed_batch().into_iter().take(16).collect();
-    let a = BatchRuntime::with_concurrency(3).run_batch(specs.clone());
-    let b = BatchRuntime::with_concurrency(2).run_batch(specs);
+    let a = BatchRuntime::with_concurrency(3)
+        .run_batch(specs.clone())
+        .expect("no job panics");
+    let b = BatchRuntime::with_concurrency(2)
+        .run_batch(specs)
+        .expect("no job panics");
     for (i, (x, y)) in a.iter().zip(&b).enumerate() {
         assert_results_identical(x, y, &format!("job {i} across concurrency 3 vs 2"));
     }
@@ -153,7 +157,7 @@ fn batch_throughput_beats_sequential_on_multicore() {
         landscape_cache_capacity: 8,
     });
     let t1 = Instant::now();
-    let scheduled = runtime.run_batch(specs);
+    let scheduled = runtime.run_batch(specs).expect("no job panics");
     let sched_wall = t1.elapsed();
 
     for (i, (seq, sched)) in sequential.iter().zip(&scheduled).enumerate() {
@@ -252,6 +256,136 @@ fn panicking_job_is_reported_lost_and_runtime_survives() {
     assert_eq!(runtime.completed(), 1, "panicked job must not count");
 }
 
+/// A deliberately heavy spec (a 30x30 landscape of 10-qubit
+/// evaluations, hundreds of milliseconds) that keeps a single executor
+/// busy while the test stages the queue behind it.
+fn blocker_spec(rng_seed: u64) -> JobSpec {
+    let mut rng = StdRng::seed_from_u64(rng_seed);
+    let problem = IsingProblem::random_3_regular(10, &mut rng);
+    JobSpec::new(problem, Grid2d::small_p1(30, 30), 0.2, 0)
+}
+
+fn quick_spec(rng_seed: u64, seed: u64) -> JobSpec {
+    let mut rng = StdRng::seed_from_u64(rng_seed);
+    let problem = IsingProblem::random_3_regular(4, &mut rng);
+    JobSpec::new(problem, Grid2d::small_p1(8, 10), 0.3, seed)
+}
+
+#[test]
+fn priority_order_pins_dispatch_high_first_fifo_within_level() {
+    // One executor, blocked on a heavy job while five more are staged:
+    // the queue must release them priority-first, FIFO within a level,
+    // regardless of submission order.
+    let runtime = BatchRuntime::with_concurrency(1);
+    let blocker = runtime.submit(blocker_spec(20));
+    let low_1 = runtime.submit_with_priority(quick_spec(21, 1), Priority::Low);
+    let normal_1 = runtime.submit(quick_spec(21, 2));
+    let high_1 = runtime.submit_with_priority(quick_spec(21, 3), Priority::High);
+    let high_2 = runtime.submit_with_priority(quick_spec(21, 4), Priority::High);
+    let low_2 = runtime.submit_with_priority(quick_spec(21, 5), Priority::Low);
+
+    let seq = |h: oscar_runtime::scheduler::JobHandle| {
+        h.wait()
+            .expect("runtime is alive; no job panics")
+            .dispatch_seq
+    };
+    // The heavy job occupies the executor while the rest stage, so the
+    // staged jobs drain strictly by priority, FIFO within a level:
+    // high_1, high_2, normal_1, low_1, low_2. (The blocker itself
+    // dispatches first in practice, but asserting only the relative
+    // order keeps the pin robust to scheduler wake-up jitter: the
+    // ordering below holds under every interleaving, because the
+    // executor can only pop a lower-priority staged job after every
+    // higher-priority one already dispatched.)
+    let order = [
+        seq(high_1),
+        seq(high_2),
+        seq(normal_1),
+        seq(low_1),
+        seq(low_2),
+    ];
+    assert!(
+        order.windows(2).all(|w| w[0] < w[1]),
+        "staged jobs must dispatch high->normal->low, FIFO within level: {order:?}"
+    );
+    let _ = seq(blocker);
+}
+
+#[test]
+fn priorities_do_not_change_results() {
+    // The same spec run at every priority level produces bit-identical
+    // payloads: priority is a scheduling knob, not a pipeline input.
+    let spec = quick_spec(22, 7);
+    let reference = run_job(&spec, None);
+    let runtime = BatchRuntime::with_concurrency(2);
+    for priority in [Priority::Low, Priority::Normal, Priority::High] {
+        let r = runtime
+            .submit_with_priority(spec.clone(), priority)
+            .wait()
+            .expect("runtime is alive");
+        assert_results_identical(&reference, &r, &format!("{priority:?}"));
+    }
+}
+
+#[test]
+fn cancelling_a_queued_job_drops_it_without_running() {
+    let runtime = BatchRuntime::with_concurrency(1);
+    let blocker = runtime.submit(blocker_spec(23));
+    let victim = runtime.submit(quick_spec(24, 1));
+    let survivor = runtime.submit(quick_spec(24, 2));
+
+    assert!(victim.cancel(), "still queued: cancel must win");
+    assert!(!victim.cancel(), "second cancel is a no-op");
+
+    // The queue keeps draining past the cancelled entry.
+    assert!(blocker.wait().is_ok());
+    assert!(survivor.wait().is_ok());
+    let err = victim.wait().expect_err("cancelled job has no result");
+    assert!(err.was_cancelled());
+    assert!(err.to_string().contains("cancelled"));
+
+    // The victim never consumed an executor: only blocker + survivor
+    // completed, and the drop was accounted.
+    assert_eq!(runtime.completed(), 2);
+    assert_eq!(runtime.cancelled(), 1);
+}
+
+#[test]
+fn cancelling_a_completed_job_still_delivers_its_result() {
+    let runtime = BatchRuntime::with_concurrency(1);
+    let handle = runtime.submit(quick_spec(25, 3));
+    // Wait out the race: the job is tiny, so it finishes quickly.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while !handle.is_finished() {
+        assert!(Instant::now() < deadline, "quick job never finished");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    assert!(!handle.cancel(), "a finished job cannot be cancelled");
+    let result = handle.wait().expect("result must still be delivered");
+    assert!(result.nrmse.is_finite());
+    assert_eq!(runtime.cancelled(), 0);
+}
+
+#[test]
+fn run_batch_reports_panicked_job_as_err() {
+    let runtime = BatchRuntime::with_concurrency(2);
+    // fraction > 1 violates the sampler's contract and panics
+    // mid-pipeline; run_batch must surface that as Err, not unwind.
+    let mut poison = quick_spec(26, 1);
+    poison.fraction = 2.0;
+    let specs = vec![quick_spec(26, 2), poison, quick_spec(26, 3)];
+    let err = runtime
+        .run_batch(specs)
+        .expect_err("a panicked batch job must surface as Err");
+    assert_eq!(err.job_id(), 2, "the poison job was the second submitted");
+    assert!(!err.was_cancelled());
+    // The runtime survives for the next batch.
+    let ok = runtime
+        .run_batch(vec![quick_spec(26, 4)])
+        .expect("healthy batch after a poisoned one");
+    assert_eq!(ok.len(), 1);
+}
+
 #[test]
 fn dct_plans_are_reused_across_jobs() {
     // Both grid sides are >= 32 (FFT kernels) and 2·3·5-smooth, so the
@@ -270,7 +404,7 @@ fn dct_plans_are_reused_across_jobs() {
     let specs: Vec<JobSpec> = (0..3)
         .map(|seed| JobSpec::new(problem.clone(), Grid2d::small_p1(36, 45), 0.2, seed))
         .collect();
-    let results = runtime.run_batch(specs);
+    let results = runtime.run_batch(specs).expect("no job panics");
     assert_eq!(results.len(), 3);
 
     let after_36 = oscar_cs::plan_cache::plan(36);

@@ -1,19 +1,25 @@
-//! Batch runtime in ~40 lines: submit a sweep of reconstruction jobs,
-//! collect handles out of order, and watch the landscape cache dedupe
-//! repeated instances.
+//! Batch runtime in ~60 lines: submit a sweep of reconstruction jobs —
+//! exact and noisy-device variants — collect handles out of order,
+//! cancel a job, and watch the landscape cache dedupe repeated
+//! instances.
 //!
 //! Run with: `cargo run --release --example batch_runtime`
 //! (try `OSCAR_THREADS=4` to size the worker pool explicitly).
 
 use oscar::core::grid::Grid2d;
+use oscar::executor::device::DeviceSpec;
 use oscar::problems::ising::IsingProblem;
 use oscar::runtime::job::JobSpec;
-use oscar::runtime::scheduler::{BatchRuntime, RuntimeConfig};
+use oscar::runtime::scheduler::{BatchRuntime, Priority, RuntimeConfig};
+use oscar::runtime::source::LandscapeSource;
 use rand::SeedableRng;
 
 fn main() {
     // Two MaxCut instances; each is reconstructed under four sampling
-    // seeds — a typical "how stable is my reconstruction?" sweep.
+    // seeds — a typical "how stable is my reconstruction?" sweep. Half
+    // the jobs run against exact landscapes, half against a noisy
+    // simulated IBM Perth whose per-point noise is counter-based, so
+    // every result is bit-reproducible no matter the interleaving.
     let problems: Vec<IsingProblem> = (0..2u64)
         .map(|k| {
             let mut rng = rand::rngs::StdRng::seed_from_u64(10 + k);
@@ -21,6 +27,7 @@ fn main() {
         })
         .collect();
     let grid = Grid2d::small_p1(20, 28);
+    let perth = DeviceSpec::by_name("ibm perth").expect("known device");
 
     let runtime = BatchRuntime::new(RuntimeConfig {
         concurrency: 4,
@@ -30,7 +37,20 @@ fn main() {
     let handles: Vec<_> = problems
         .iter()
         .flat_map(|p| {
-            (0..4u64).map(|seed| runtime.submit(JobSpec::new(p.clone(), grid, 0.2, seed)))
+            (0..4u64).map(|seed| {
+                let spec = JobSpec::new(p.clone(), grid, 0.2, seed);
+                // Odd seeds: noisy source, dispatched ahead of the
+                // exact jobs via priority (results are unaffected by
+                // dispatch order — only latency is).
+                if seed % 2 == 1 {
+                    let noisy = spec
+                        .with_source(LandscapeSource::noisy(perth.clone()))
+                        .with_landscape_seed(7);
+                    runtime.submit_with_priority(noisy, Priority::High)
+                } else {
+                    runtime.submit(spec)
+                }
+            })
         })
         .collect();
 
@@ -39,30 +59,57 @@ fn main() {
         handles.len(),
         runtime.concurrency()
     );
+
+    // One more job we change our mind about: cancelling while it is
+    // still queued drops it without running; if it sneaked onto an
+    // executor first, its result is simply delivered as usual.
+    let extra = runtime.submit_with_priority(
+        JobSpec::new(problems[0].clone(), grid, 0.2, 99),
+        Priority::Low,
+    );
+    let dropped = extra.cancel();
+    println!(
+        "extra job {}: {}",
+        extra.id(),
+        if dropped {
+            "cancelled while queued"
+        } else {
+            "already running; result will arrive"
+        }
+    );
+    match extra.wait() {
+        Ok(r) => println!("extra job completed anyway: nrmse {:.4}", r.nrmse),
+        Err(lost) => println!("extra job never ran: {lost}"),
+    }
+
     for handle in handles {
-        // `wait` returns Err(JobLost) only if the runtime shut down (or
-        // an executor died) before the job ran; it is alive here.
-        let r = handle.wait().expect("runtime outlives every handle");
-        println!(
-            "job {:>2}: nrmse {:.4}  best {:.3} @ ({:+.3}, {:+.3})  {} ({:.1} ms)",
-            r.job_id,
-            r.nrmse,
-            r.best_value,
-            r.best_point[0],
-            r.best_point[1],
-            if r.landscape_cache_hit {
-                "cache hit "
-            } else {
-                "cache miss"
-            },
-            r.wall.as_secs_f64() * 1e3,
-        );
+        // `wait` returns Err(JobLost) if the job was cancelled, the
+        // runtime shut down early, or the job panicked — report it
+        // instead of aborting the whole sweep.
+        match handle.wait() {
+            Ok(r) => println!(
+                "job {:>2}: nrmse {:.4}  best {:.3} @ ({:+.3}, {:+.3})  {} ({:.1} ms)",
+                r.job_id,
+                r.nrmse,
+                r.best_value,
+                r.best_point[0],
+                r.best_point[1],
+                if r.landscape_cache_hit {
+                    "cache hit "
+                } else {
+                    "cache miss"
+                },
+                r.wall.as_secs_f64() * 1e3,
+            ),
+            Err(lost) => eprintln!("job {} lost: {lost}", lost.job_id()),
+        }
     }
 
     let cache = runtime.cache_stats();
     let pool = oscar::par::pool::global().stats();
     println!(
-        "\nlandscape cache: {} hits / {} misses (2 instances served 8 jobs)",
+        "\nlandscape cache: {} hits / {} misses \
+         (2 instances x {{exact, noisy}} served 8 jobs)",
         cache.hits, cache.misses
     );
     println!(
