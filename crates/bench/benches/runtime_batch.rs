@@ -29,7 +29,8 @@ fn batch() -> Vec<JobSpec> {
                 0.25,
                 3000 + j as u64,
             );
-            spec.optimize = false; // isolate the pipeline the runtime amortizes
+            // Isolate the pipeline the runtime amortizes.
+            spec.descent = oscar_runtime::descent::Descent::None;
             spec
         })
         .collect()

@@ -1,14 +1,12 @@
 //! Figure 10: the three landscape metrics (second derivative, variance of
 //! gradient, variance) for unmitigated / Richardson / linear landscapes,
-//! original vs OSCAR-reconstructed.
+//! original vs OSCAR-reconstructed. Device from the shared registry
+//! (default "zne sim"; `--device NAME` overrides, unknown names exit 2).
 
-use oscar_bench::{full_scale, print_header, seeded};
+use oscar_bench::{device_from_args, full_scale, print_header, seeded};
 use oscar_core::grid::Grid2d;
 use oscar_core::reconstruct::Reconstructor;
 use oscar_core::usecases::mitigation::ZneLandscapes;
-use oscar_executor::device::QpuDevice;
-use oscar_executor::latency::LatencyModel;
-use oscar_mitigation::model::NoiseModel;
 use oscar_problems::ising::IsingProblem;
 
 fn main() {
@@ -16,11 +14,11 @@ fn main() {
     let n = if full_scale() { 16 } else { 12 };
     let mut rng = seeded(10_000);
     let problem = IsingProblem::random_3_regular(n, &mut rng);
-    let noise = NoiseModel::depolarizing(0.001, 0.02).with_shots(2048);
-    let device = QpuDevice::new("dev", &problem, 1, noise, LatencyModel::instant(), 4);
+    let spec = device_from_args("zne sim");
+    let device = spec.build(&problem, 4);
     let grid = Grid2d::small_p1(20, 30);
 
-    let set = ZneLandscapes::generate(&device, grid);
+    let set = ZneLandscapes::generate_seeded(&device, grid, 4);
     let original = set.metrics();
     let mut rng = seeded(10_001);
     let recon = set.reconstructed_metrics(&Reconstructor::default(), 0.3, &mut rng);

@@ -2,14 +2,13 @@
 //! the reconstructed landscape vs with circuit executions — ADAM and
 //! COBYLA, ideal and noisy, several instances.
 
-use oscar_bench::{full_scale, maxcut_instances, print_header, seeded, Quartiles};
+use oscar_bench::{
+    device_from_args, full_scale, maxcut_instances, print_header, seeded, Quartiles,
+};
 use oscar_core::grid::Grid2d;
 use oscar_core::landscape::Landscape;
 use oscar_core::reconstruct::Reconstructor;
 use oscar_core::usecases::optimizer_debug::compare_paths;
-use oscar_executor::device::QpuDevice;
-use oscar_executor::latency::LatencyModel;
-use oscar_mitigation::model::NoiseModel;
 use oscar_optim::adam::Adam;
 use oscar_optim::cobyla::Cobyla;
 use rand::Rng;
@@ -19,6 +18,10 @@ fn main() {
         "Figure 12",
         "endpoint distances: recon-optimization vs circuit",
     );
+    // The noisy rows' device, from the shared registry ("noisy sim-ii"
+    // is the paper's 0.003/0.007 depolarizing setting; `--device NAME`
+    // overrides, unknown names exit 2 with the lineup).
+    let noisy_spec = device_from_args("noisy sim-ii");
     let instances = if full_scale() { 8 } else { 4 };
     let qubit_sets: Vec<usize> = if full_scale() {
         vec![16, 20]
@@ -39,14 +42,7 @@ fn main() {
             let mut cobyla_d = Vec::new();
             for (pi, problem) in problems.iter().enumerate() {
                 let truth = if noisy {
-                    let dev = QpuDevice::new(
-                        "noisy",
-                        problem,
-                        1,
-                        NoiseModel::depolarizing(0.003, 0.007),
-                        LatencyModel::instant(),
-                        pi as u64,
-                    );
+                    let dev = noisy_spec.build(problem, pi as u64);
                     Landscape::generate(grid, |b, g| dev.execute(&[b], &[g]))
                 } else {
                     Landscape::from_qaoa(grid, &problem.qaoa_evaluator())

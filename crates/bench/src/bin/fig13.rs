@@ -2,14 +2,11 @@
 //! on a Richardson-extrapolated (jagged) landscape, gradient-free COBYLA
 //! outperforms gradient-based ADAM.
 
-use oscar_bench::{print_header, seeded};
+use oscar_bench::{device_from_args, print_header, seeded};
 use oscar_core::grid::Grid2d;
 use oscar_core::reconstruct::Reconstructor;
 use oscar_core::usecases::mitigation::ZneLandscapes;
 use oscar_core::usecases::optimizer_debug::optimize_on_reconstruction;
-use oscar_executor::device::QpuDevice;
-use oscar_executor::latency::LatencyModel;
-use oscar_mitigation::model::NoiseModel;
 use oscar_optim::adam::Adam;
 use oscar_optim::cobyla::Cobyla;
 use oscar_problems::ising::IsingProblem;
@@ -21,13 +18,15 @@ fn main() {
     );
     let mut rng = seeded(1300);
     let problem = IsingProblem::random_3_regular(12, &mut rng);
-    // Few shots: Richardson's {3,-3,1} weights amplify the shot noise
-    // 19x in variance, producing the salt-like jaggedness of Figure 9.
-    let noise = NoiseModel::depolarizing(0.001, 0.02).with_shots(192);
-    let device = QpuDevice::new("dev", &problem, 1, noise, LatencyModel::instant(), 5);
+    // Registry device (default "zne sim"; `--device` overrides, unknown
+    // names exit 2) cut to few shots: Richardson's {3,-3,1} weights
+    // amplify the shot noise 19x in variance, producing the salt-like
+    // jaggedness of Figure 9.
+    let spec = device_from_args("zne sim").with_shots(192);
+    let device = spec.build(&problem, 5);
     let grid = Grid2d::small_p1(20, 30);
 
-    let set = ZneLandscapes::generate(&device, grid);
+    let set = ZneLandscapes::generate_seeded(&device, grid, 5);
     let mut rng = seeded(1301);
     // Higher sampling fraction preserves the jaggedness the experiment
     // needs the optimizers to face.

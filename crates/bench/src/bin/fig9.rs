@@ -1,16 +1,14 @@
 //! Figure 9: Richardson vs linear ZNE landscapes (original and
-//! reconstructed) on a depth-1 landscape with depolarizing noise
-//! (1q 0.001, 2q 0.02) and finite shots.
+//! reconstructed) on a depth-1 landscape with depolarizing noise and
+//! finite shots (the registry's "zne sim"; override with
+//! `--device NAME` — unknown names exit 2 listing the lineup).
 
-use oscar_bench::{full_scale, print_header, seeded};
+use oscar_bench::{device_from_args, full_scale, print_header, seeded};
 use oscar_core::grid::Grid2d;
 use oscar_core::landscape::Landscape;
 use oscar_core::metrics::LandscapeMetrics;
 use oscar_core::reconstruct::Reconstructor;
 use oscar_core::usecases::mitigation::ZneLandscapes;
-use oscar_executor::device::QpuDevice;
-use oscar_executor::latency::LatencyModel;
-use oscar_mitigation::model::NoiseModel;
 use oscar_problems::ising::IsingProblem;
 
 fn main() {
@@ -18,8 +16,8 @@ fn main() {
     let n = if full_scale() { 16 } else { 12 };
     let mut rng = seeded(9900);
     let problem = IsingProblem::random_3_regular(n, &mut rng);
-    let noise = NoiseModel::depolarizing(0.001, 0.02).with_shots(2048);
-    let device = QpuDevice::new("zne-dev", &problem, 1, noise, LatencyModel::instant(), 3);
+    let spec = device_from_args("zne sim");
+    let device = spec.build(&problem, 3);
     let grid = if full_scale() {
         Grid2d::small_p1(40, 60)
     } else {
@@ -27,12 +25,13 @@ fn main() {
     };
 
     println!(
-        "generating landscapes ({} qubits, {}x{} grid)...",
+        "generating landscapes ({} qubits, {}x{} grid, device '{}')...",
         n,
         grid.rows(),
-        grid.cols()
+        grid.cols(),
+        spec.name
     );
-    let set = ZneLandscapes::generate(&device, grid);
+    let set = ZneLandscapes::generate_seeded(&device, grid, 3);
     let oscar = Reconstructor::default();
     let mut rng = seeded(9901);
     let rec_rich = oscar

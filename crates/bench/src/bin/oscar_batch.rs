@@ -1,17 +1,27 @@
 //! `oscar-batch` — drive the batch runtime end to end.
 //!
 //! Reads a job list (or synthesizes one), runs every job through the
-//! full pipeline (landscape sampling → CS reconstruction →
+//! full pipeline (landscape sampling → mitigation → CS reconstruction →
 //! optimization) on the [`oscar_runtime::BatchRuntime`], and reports
 //! per-job latency plus aggregate throughput. With `--device` the
 //! stage-1 landscapes come from a noisy simulated device instead of
-//! exact simulation — deterministically, so `--compare` still verifies
-//! the scheduled batch bit-identical to an uncached sequential run.
+//! exact simulation, `--mitigation` post-processes them (ZNE landscapes
+//! per noise factor, readout inversion, Gaussian smoothing), and
+//! `--optimizer` selects the stage-3 descent — all deterministically,
+//! so `--compare` still verifies the scheduled batch bit-identical to
+//! an uncached sequential run.
+//!
+//! Passing `sweep` to `--device`, `--mitigation`, and/or `--optimizer`
+//! switches to sweep mode: the job list becomes the cross product of
+//! the swept axes over one fixed instance, and the report becomes a
+//! paper-style table (Table 5 / Figure 10 shape) with one row per
+//! combination.
 //!
 //! ```text
 //! oscar-batch [--file PATH] [--jobs N] [--concurrency N]
 //!             [--fraction F] [--no-optimize] [--compare]
-//!             [--device NAME] [--shots N] [--priority MODE]
+//!             [--device NAME|sweep] [--shots N] [--priority MODE]
+//!             [--mitigation MODE|sweep] [--optimizer NAME|sweep]
 //! ```
 //!
 //! Job-list format (one job per line, `#` comments):
@@ -23,13 +33,15 @@
 //! ```
 //!
 //! `qubits` must be even (3-regular MaxCut instances); `seed` feeds
-//! instance generation, the sampling pattern, and — under `--device` —
-//! the per-job noise realization.
+//! instance generation, the sampling pattern, SPSA, and — under
+//! `--device` — the per-job noise realization.
 
 use oscar_bench::{device_spec_or_exit, print_header};
 use oscar_core::grid::Grid2d;
 use oscar_problems::ising::IsingProblem;
+use oscar_runtime::descent::Descent;
 use oscar_runtime::job::{run_job, JobResult, JobSpec};
+use oscar_runtime::mitigation::Mitigation;
 use oscar_runtime::scheduler::{BatchRuntime, Priority, RuntimeConfig};
 use oscar_runtime::source::LandscapeSource;
 use rand::rngs::StdRng;
@@ -59,35 +71,48 @@ impl PriorityMode {
     }
 }
 
+/// The noisy devices a `--device sweep` crosses (the registry's
+/// Table 5 lineup minus the exact-equivalent ideal simulator).
+const SWEEP_DEVICES: [&str; 3] = ["noisy sim", "ibm perth", "ibm lagos"];
+
 struct Options {
     file: Option<String>,
     jobs: usize,
     concurrency: usize,
     fraction: f64,
-    optimize: bool,
     compare: bool,
     device: Option<String>,
     shots: Option<usize>,
     priority: PriorityMode,
+    mitigation: String,
+    optimizer: String,
 }
 
 fn usage_and_exit(code: i32) -> ! {
     eprintln!(
         "usage: oscar-batch [--file PATH] [--jobs N] [--concurrency N]\n\
          \x20                  [--fraction F] [--no-optimize] [--compare]\n\
-         \x20                  [--device NAME] [--shots N] [--priority MODE]\n\
+         \x20                  [--device NAME|sweep] [--shots N] [--priority MODE]\n\
+         \x20                  [--mitigation MODE|sweep] [--optimizer NAME|sweep]\n\
          \n\
          --file PATH      job list: lines of `qubits seed rows cols fraction`\n\
          --jobs N         synthetic batch size when no file is given (default 16)\n\
          --concurrency N  executor threads (default: OSCAR_THREADS / cores)\n\
          --fraction F     sampling fraction for synthetic jobs (default 0.25)\n\
-         --no-optimize    skip the per-job optimization stage\n\
+         --no-optimize    skip the per-job optimization stage (= --optimizer none)\n\
          --compare        also run sequentially; verify bit-identical results\n\
          --device NAME    noisy stage-1 landscapes from this device (deterministic\n\
          \x20                  counter-based noise); default: exact noiseless\n\
          --shots N        override the device's shot count (needs --device)\n\
          --priority MODE  dispatch priority: low | normal | high | sweep\n\
-         \x20                  (sweep cycles all three across the batch; default normal)"
+         \x20                  (sweep cycles all three across the batch; default normal)\n\
+         --mitigation M   stage-1.5 mitigation: none | zne | zne-linear | readout |\n\
+         \x20                  gaussian (default none)\n\
+         --optimizer O    stage-3 descent: none | nelder-mead | adam | momentum |\n\
+         \x20                  spsa | cobyla | gradient-free (default nelder-mead)\n\
+         \n\
+         Passing `sweep` to --device, --mitigation, and/or --optimizer crosses\n\
+         the swept axes over one fixed instance and prints a paper-style table."
     );
     std::process::exit(code);
 }
@@ -98,11 +123,12 @@ fn parse_options() -> Options {
         jobs: 16,
         concurrency: oscar_par::max_threads(),
         fraction: 0.25,
-        optimize: true,
         compare: false,
         device: None,
         shots: None,
         priority: PriorityMode::Uniform(Priority::Normal),
+        mitigation: "none".to_string(),
+        optimizer: "nelder-mead".to_string(),
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -134,7 +160,7 @@ fn parse_options() -> Options {
                     usage_and_exit(2);
                 })
             }
-            "--no-optimize" => opts.optimize = false,
+            "--no-optimize" => opts.optimizer = "none".to_string(),
             "--compare" => opts.compare = true,
             "--device" => opts.device = Some(value(&mut i, "--device")),
             "--shots" => {
@@ -163,6 +189,8 @@ fn parse_options() -> Options {
                     }
                 }
             }
+            "--mitigation" => opts.mitigation = value(&mut i, "--mitigation"),
+            "--optimizer" => opts.optimizer = value(&mut i, "--optimizer"),
             "--help" | "-h" => usage_and_exit(0),
             other => {
                 eprintln!("error: unknown argument '{other}'");
@@ -178,21 +206,116 @@ fn parse_options() -> Options {
     opts
 }
 
-/// Resolves `--device`/`--shots` into a landscape source.
-fn landscape_source(opts: &Options) -> LandscapeSource {
-    match &opts.device {
+/// Resolves a device name (honoring `--shots`) into a landscape source.
+fn source_for(name: Option<&str>, shots: Option<usize>) -> LandscapeSource {
+    match name {
         None => LandscapeSource::Exact,
         Some(name) => LandscapeSource::Noisy {
             device: device_spec_or_exit(name),
-            shots: opts.shots,
+            shots,
         },
     }
+}
+
+/// Resolves `--mitigation` (sweep handled by the caller).
+fn mitigation_or_exit(name: &str) -> Mitigation {
+    Mitigation::by_name(name).unwrap_or_else(|| {
+        eprintln!(
+            "error: unknown mitigation '{name}'.\n\
+             valid modes: none, zne, zne-linear, readout, gaussian, sweep"
+        );
+        std::process::exit(2);
+    })
+}
+
+/// Resolves `--optimizer` (sweep handled by the caller).
+fn descent_or_exit(name: &str) -> Descent {
+    Descent::by_name(name).unwrap_or_else(|| {
+        eprintln!(
+            "error: unknown optimizer '{name}'.\n\
+             valid optimizers: none, nelder-mead, adam, momentum, spsa, \
+             cobyla, gradient-free, sweep"
+        );
+        std::process::exit(2);
+    })
+}
+
+/// One swept-axis combination (the row label of the sweep table).
+#[derive(Clone)]
+struct Combo {
+    device: Option<String>,
+    mitigation: Mitigation,
+    descent: Descent,
+}
+
+/// The cross product of the swept axes: `--device sweep` crosses the
+/// noisy Table 5 lineup, `--mitigation sweep` all five modes,
+/// `--optimizer sweep` all six optimizers; a non-swept axis contributes
+/// its single configured value.
+fn sweep_combos(opts: &Options) -> Vec<Combo> {
+    let devices: Vec<Option<String>> = match opts.device.as_deref() {
+        Some("sweep") => SWEEP_DEVICES.iter().map(|d| Some(d.to_string())).collect(),
+        other => vec![other.map(str::to_string)],
+    };
+    let mitigations: Vec<Mitigation> = match opts.mitigation.as_str() {
+        "sweep" => vec![
+            Mitigation::None,
+            Mitigation::zne_richardson(),
+            Mitigation::zne_linear(),
+            Mitigation::Readout,
+            Mitigation::gaussian(),
+        ],
+        name => vec![mitigation_or_exit(name)],
+    };
+    let descents: Vec<Descent> = match opts.optimizer.as_str() {
+        "sweep" => Descent::OPTIMIZERS.to_vec(),
+        name => vec![descent_or_exit(name)],
+    };
+    let mut combos = Vec::new();
+    for device in &devices {
+        for mitigation in &mitigations {
+            for descent in &descents {
+                combos.push(Combo {
+                    device: device.clone(),
+                    mitigation: mitigation.clone(),
+                    descent: *descent,
+                });
+            }
+        }
+    }
+    combos
+}
+
+/// Sweep-mode jobs: every combination over one fixed 10-qubit instance
+/// and grid, one sampling seed — so the landscape cache shares raw and
+/// per-factor landscapes across rows and the table isolates the
+/// mitigation/optimizer axes.
+fn sweep_jobs(opts: &Options, combos: &[Combo]) -> Vec<JobSpec> {
+    let mut rng = StdRng::seed_from_u64(40);
+    let problem =
+        IsingProblem::try_random_3_regular(10, &mut rng).expect("10-qubit 3-regular is feasible");
+    let grid = Grid2d::small_p1(16, 20);
+    combos
+        .iter()
+        .map(|combo| {
+            JobSpec::new(problem.clone(), grid, opts.fraction, 7)
+                .with_source(source_for(combo.device.as_deref(), opts.shots))
+                .with_landscape_seed(1)
+                .with_mitigation(combo.mitigation.clone())
+                .with_descent(combo.descent)
+        })
+        .collect()
 }
 
 /// Parses the job-list file format (see module docs). Under a noisy
 /// source, each line's `seed` doubles as its noise-realization seed, so
 /// distinct lines sweep distinct noise streams deterministically.
-fn load_jobs(path: &str, optimize: bool, source: &LandscapeSource) -> Vec<JobSpec> {
+fn load_jobs(
+    path: &str,
+    source: &LandscapeSource,
+    mitigation: &Mitigation,
+    descent: Descent,
+) -> Vec<JobSpec> {
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
         eprintln!("error: cannot read job list '{path}': {e}");
         std::process::exit(2);
@@ -228,11 +351,13 @@ fn load_jobs(path: &str, optimize: bool, source: &LandscapeSource) -> Vec<JobSpe
             eprintln!("error: {path}:{}: {e}", lineno + 1);
             std::process::exit(2);
         });
-        let mut spec = JobSpec::new(problem, Grid2d::small_p1(rows, cols), fraction, seed)
-            .with_source(source.clone())
-            .with_landscape_seed(seed);
-        spec.optimize = optimize;
-        specs.push(spec);
+        specs.push(
+            JobSpec::new(problem, Grid2d::small_p1(rows, cols), fraction, seed)
+                .with_source(source.clone())
+                .with_landscape_seed(seed)
+                .with_mitigation(mitigation.clone())
+                .with_descent(descent),
+        );
     }
     if specs.is_empty() {
         eprintln!("error: job list '{path}' contains no jobs");
@@ -249,8 +374,9 @@ fn load_jobs(path: &str, optimize: bool, source: &LandscapeSource) -> Vec<JobSpe
 fn synthetic_jobs(
     n: usize,
     fraction: f64,
-    optimize: bool,
     source: &LandscapeSource,
+    mitigation: &Mitigation,
+    descent: Descent,
 ) -> Vec<JobSpec> {
     let problems: Vec<IsingProblem> = (0..4u64)
         .map(|k| {
@@ -268,16 +394,16 @@ fn synthetic_jobs(
     (0..n)
         .map(|j| {
             let k = j % 4;
-            let mut spec = JobSpec::new(
+            JobSpec::new(
                 problems[k].clone(),
                 grids[k],
                 fraction,
                 2000 + j as u64 * 13,
             )
             .with_source(source.clone())
-            .with_landscape_seed(k as u64);
-            spec.optimize = optimize;
-            spec
+            .with_landscape_seed(k as u64)
+            .with_mitigation(mitigation.clone())
+            .with_descent(descent)
         })
         .collect()
 }
@@ -294,13 +420,30 @@ fn describe(spec: &JobSpec) -> String {
 fn main() {
     let opts = parse_options();
     print_header("oscar-batch", "batch runtime throughput");
-    let source = landscape_source(&opts);
-    let specs = match &opts.file {
-        Some(path) => load_jobs(path, opts.optimize, &source),
-        None => synthetic_jobs(opts.jobs, opts.fraction, opts.optimize, &source),
+    let sweeping = opts.device.as_deref() == Some("sweep")
+        || opts.mitigation == "sweep"
+        || opts.optimizer == "sweep";
+    if sweeping && opts.file.is_some() {
+        eprintln!("error: --file cannot be combined with a swept axis");
+        std::process::exit(2);
+    }
+
+    let (specs, combos) = if sweeping {
+        let combos = sweep_combos(&opts);
+        (sweep_jobs(&opts, &combos), Some(combos))
+    } else {
+        let source = source_for(opts.device.as_deref(), opts.shots);
+        let mitigation = mitigation_or_exit(&opts.mitigation);
+        let descent = descent_or_exit(&opts.optimizer);
+        let specs = match &opts.file {
+            Some(path) => load_jobs(path, &source, &mitigation, descent),
+            None => synthetic_jobs(opts.jobs, opts.fraction, &source, &mitigation, descent),
+        };
+        (specs, None)
     };
     println!(
-        "{} jobs, concurrency {}, pool budget {} thread(s), source {}{}\n",
+        "{} jobs, concurrency {}, pool budget {} thread(s), source {}{}, \
+         mitigation {}, optimizer {}\n",
         specs.len(),
         opts.concurrency,
         oscar_par::max_threads(),
@@ -312,6 +455,8 @@ fn main() {
             Some(s) => format!(", {s} shots"),
             None => String::new(),
         },
+        opts.mitigation,
+        opts.optimizer,
     );
 
     let runtime = BatchRuntime::new(RuntimeConfig {
@@ -336,21 +481,9 @@ fn main() {
     }
     let batch_wall = t0.elapsed();
 
-    println!(
-        "{:>4}  {:<10}{:>9}{:>7}{:>9}{:>7}{:>11}",
-        "job", "workload", "samples", "iters", "nrmse", "cache", "latency"
-    );
-    for (spec, r) in specs.iter().zip(&results) {
-        println!(
-            "{:>4}  {:<10}{:>9}{:>7}{:>9.4}{:>7}{:>10.1}ms",
-            r.job_id,
-            describe(spec),
-            r.samples_used,
-            r.solver_iterations,
-            r.nrmse,
-            if r.landscape_cache_hit { "hit" } else { "miss" },
-            r.wall.as_secs_f64() * 1e3,
-        );
+    match &combos {
+        Some(combos) => print_sweep_table(combos, &specs, &results),
+        None => print_job_table(&specs, &results),
     }
     let cache = runtime.cache_stats();
     let throughput = results.len() as f64 / batch_wall.as_secs_f64();
@@ -395,5 +528,46 @@ fn main() {
             eprintln!("error: scheduled results drifted from sequential execution");
             std::process::exit(1);
         }
+    }
+}
+
+/// The default per-job report.
+fn print_job_table(specs: &[JobSpec], results: &[JobResult]) {
+    println!(
+        "{:>4}  {:<10}{:>9}{:>7}{:>9}{:>7}{:>11}",
+        "job", "workload", "samples", "iters", "nrmse", "cache", "latency"
+    );
+    for (spec, r) in specs.iter().zip(results) {
+        println!(
+            "{:>4}  {:<10}{:>9}{:>7}{:>9.4}{:>7}{:>10.1}ms",
+            r.job_id,
+            describe(spec),
+            r.samples_used,
+            r.solver_iterations,
+            r.nrmse,
+            if r.landscape_cache_hit { "hit" } else { "miss" },
+            r.wall.as_secs_f64() * 1e3,
+        );
+    }
+}
+
+/// The paper-style sweep table: one row per device × mitigation ×
+/// optimizer combination.
+fn print_sweep_table(combos: &[Combo], specs: &[JobSpec], results: &[JobResult]) {
+    println!(
+        "{:<12}{:<12}{:<15}{:>9}{:>12}{:>7}{:>11}",
+        "device", "mitigation", "optimizer", "nrmse", "best value", "cache", "latency"
+    );
+    for ((combo, _spec), r) in combos.iter().zip(specs).zip(results) {
+        println!(
+            "{:<12}{:<12}{:<15}{:>9.4}{:>12.4}{:>7}{:>10.1}ms",
+            combo.device.as_deref().unwrap_or("exact"),
+            combo.mitigation.name(),
+            combo.descent.name(),
+            r.nrmse,
+            r.best_value,
+            if r.landscape_cache_hit { "hit" } else { "miss" },
+            r.wall.as_secs_f64() * 1e3,
+        );
     }
 }

@@ -41,6 +41,39 @@ pub fn device_spec_or_exit(name: &str) -> oscar_executor::device::DeviceSpec {
     })
 }
 
+/// Resolves the figure-harness `--device NAME` argument against the
+/// shared registry, defaulting to `default` when absent. The figure
+/// bins take no other arguments (scale comes from `OSCAR_FULL`), so
+/// anything unrecognized — including a typoed `--device` — exits with
+/// status 2 rather than silently running the default device. An
+/// unknown device name exits 2 listing the valid names (the table5 /
+/// oscar-batch failure path), so every bin agrees with the runtime on
+/// the Table 5 lineup.
+pub fn device_from_args(default: &str) -> oscar_executor::device::DeviceSpec {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut name = default.to_string();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--device" => {
+                name = args.get(i + 1).cloned().unwrap_or_else(|| {
+                    eprintln!("error: --device needs a value");
+                    std::process::exit(2);
+                });
+                i += 1;
+            }
+            other => {
+                eprintln!(
+                    "error: unknown argument '{other}' (this binary takes only --device NAME)"
+                );
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    device_spec_or_exit(&name)
+}
+
 /// Generates `count` random 3-regular MaxCut instances on `n` qubits.
 pub fn maxcut_instances(count: usize, n: usize, seed: u64) -> Vec<IsingProblem> {
     let mut rng = seeded(seed);

@@ -11,7 +11,70 @@ use crate::metrics::LandscapeMetrics;
 use crate::reconstruct::Reconstructor;
 use oscar_executor::device::QpuDevice;
 use oscar_mitigation::zne::ZneConfig;
+use oscar_qsim::rng::derive_seed;
 use rand::Rng;
+
+/// The noise-realization seed for one ZNE scale factor.
+///
+/// Each scale factor is a separate batch of circuit executions on real
+/// hardware, so each must draw *fresh* shot noise: reusing
+/// `landscape_seed` across factors would hand every factor identical
+/// Gaussian draws and let extrapolation cancel noise it cannot cancel
+/// physically. Factor `1.0` keeps the base seed unchanged, so the
+/// factor-1 landscape is bit-identical to the plain unscaled noisy
+/// landscape of the same seed — and can share its cache entry.
+pub fn zne_factor_seed(landscape_seed: u64, scale: f64) -> u64 {
+    if scale == 1.0 {
+        landscape_seed
+    } else {
+        derive_seed(landscape_seed, scale.to_bits())
+    }
+}
+
+/// Deterministic noise-scaled landscape: every grid point executes at
+/// ZNE noise scale `scale` with counter-based noise keyed by
+/// `(zne_factor_seed(landscape_seed, scale), point_index)`.
+///
+/// A pure function of `(device, grid, landscape_seed, scale)` —
+/// bit-identical across worker counts and evaluation orders, which is
+/// what lets the batch runtime cache one scale factor's landscape and
+/// share it between ZNE jobs.
+pub fn scaled_noisy_landscape(
+    device: &QpuDevice,
+    grid: Grid2d,
+    landscape_seed: u64,
+    scale: f64,
+) -> Landscape {
+    let seed = zne_factor_seed(landscape_seed, scale);
+    Landscape::generate_indexed_par(grid, |i, beta, gamma| {
+        device.execute_scaled_at(&[beta], &[gamma], scale, seed, i as u64)
+    })
+}
+
+/// Pointwise zero-noise extrapolation of per-factor landscapes: grid
+/// point `i` of the result is `zne.extrapolate_values` applied to point
+/// `i` of each factor landscape, in factor order.
+///
+/// # Panics
+///
+/// Panics if the landscape count does not match the config's factor
+/// count, or the landscapes' grids differ.
+pub fn extrapolated_landscape(zne: &ZneConfig, factors: &[&Landscape]) -> Landscape {
+    assert_eq!(
+        factors.len(),
+        zne.scale_factors.len(),
+        "one landscape per scale factor required"
+    );
+    let grid = *factors[0].grid();
+    assert!(
+        factors.iter().all(|l| *l.grid() == grid),
+        "factor landscapes must share one grid"
+    );
+    Landscape::generate_indexed_par(grid, |i, _, _| {
+        let values: Vec<f64> = factors.iter().map(|l| l.values()[i]).collect();
+        zne.extrapolate_values(&values)
+    })
+}
 
 /// A set of landscapes for one problem under different mitigation
 /// configurations.
@@ -44,6 +107,29 @@ impl ZneLandscapes {
         ZneLandscapes {
             ideal,
             unmitigated,
+            richardson,
+            linear,
+        }
+    }
+
+    /// Like [`Self::generate`], but with deterministic counter-based
+    /// noise keyed by `landscape_seed`: the result is a pure function
+    /// of `(device, grid, landscape_seed)`, bit-identical across runs,
+    /// worker counts, and evaluation orders (the device's internal
+    /// order-dependent RNG stream is bypassed). The batch runtime's
+    /// ZNE stage computes exactly these per-factor landscapes
+    /// ([`scaled_noisy_landscape`]), so figures regenerated through
+    /// this path agree with runtime sweeps.
+    pub fn generate_seeded(device: &QpuDevice, grid: Grid2d, landscape_seed: u64) -> Self {
+        let richardson_cfg = ZneConfig::richardson_123();
+        let linear_cfg = ZneConfig::linear_13();
+        let factor = |scale: f64| scaled_noisy_landscape(device, grid, landscape_seed, scale);
+        let (f1, f2, f3) = (factor(1.0), factor(2.0), factor(3.0));
+        let richardson = extrapolated_landscape(&richardson_cfg, &[&f1, &f2, &f3]);
+        let linear = extrapolated_landscape(&linear_cfg, &[&f1, &f3]);
+        ZneLandscapes {
+            ideal: Landscape::from_qaoa(grid, device.evaluator()),
+            unmitigated: f1,
             richardson,
             linear,
         }
@@ -140,6 +226,50 @@ mod tests {
             m.richardson.second_derivative,
             m.linear.second_derivative
         );
+    }
+
+    #[test]
+    fn seeded_generation_is_bit_stable_and_factor1_matches_unscaled() {
+        let dev = device(Some(1024));
+        let grid = Grid2d::small_p1(8, 10);
+        let a = ZneLandscapes::generate_seeded(&dev, grid, 5);
+        let b = ZneLandscapes::generate_seeded(&dev, grid, 5);
+        assert_eq!(a.unmitigated.values(), b.unmitigated.values());
+        assert_eq!(a.richardson.values(), b.richardson.values());
+        assert_eq!(a.linear.values(), b.linear.values());
+        // Another seed is a genuinely different noise realization.
+        let c = ZneLandscapes::generate_seeded(&dev, grid, 6);
+        assert_ne!(a.unmitigated.values(), c.unmitigated.values());
+        // Factor 1.0 keeps the base seed: the unmitigated landscape is
+        // exactly the scale-1 factor landscape.
+        let f1 = scaled_noisy_landscape(&dev, grid, 5, 1.0);
+        assert_eq!(a.unmitigated.values(), f1.values());
+        // Other factors draw fresh noise rather than replaying seed 5.
+        assert_eq!(zne_factor_seed(5, 1.0), 5);
+        assert_ne!(zne_factor_seed(5, 2.0), 5);
+        assert_ne!(zne_factor_seed(5, 2.0), zne_factor_seed(5, 3.0));
+    }
+
+    #[test]
+    fn extrapolated_landscape_matches_pointwise_extrapolation() {
+        let dev = device(None);
+        let grid = Grid2d::small_p1(6, 8);
+        let zne = ZneConfig::richardson_123();
+        let subs: Vec<Landscape> = zne
+            .scale_factors
+            .iter()
+            .map(|&c| scaled_noisy_landscape(&dev, grid, 3, c))
+            .collect();
+        let refs: Vec<&Landscape> = subs.iter().collect();
+        let combined = extrapolated_landscape(&zne, &refs);
+        for i in 0..grid.len() {
+            let vals: Vec<f64> = subs.iter().map(|l| l.values()[i]).collect();
+            assert_eq!(
+                combined.values()[i].to_bits(),
+                zne.extrapolate_values(&vals).to_bits(),
+                "point {i}"
+            );
+        }
     }
 
     #[test]

@@ -26,11 +26,12 @@ use std::sync::Mutex;
 /// are the paper's device/simulator lineup (Table 5): ideal and noisy
 /// simulators plus simulated stand-ins for the IBM Perth/Lagos
 /// machines.
-pub const KNOWN_DEVICES: [&str; 6] = [
+pub const KNOWN_DEVICES: [&str; 7] = [
     "ideal sim",
     "noisy sim-i",
     "noisy sim-ii",
     "noisy sim",
+    "zne sim",
     "ibm perth",
     "ibm lagos",
 ];
@@ -80,6 +81,10 @@ impl DeviceSpec {
             "noisy sim-i" => NoiseModel::depolarizing(0.001, 0.005),
             "noisy sim-ii" => NoiseModel::depolarizing(0.003, 0.007),
             "noisy sim" => NoiseModel::depolarizing(0.002, 0.006).with_shots(4096),
+            // Figures 9/10/13's ZNE device: heavy two-qubit noise plus
+            // finite shots, so Richardson's {3,-3,1} weights amplify the
+            // shot noise into the salt-like jaggedness the paper studies.
+            "zne sim" => NoiseModel::depolarizing(0.001, 0.02).with_shots(2048),
             "ibm perth" => NoiseModel::depolarizing(0.0008, 0.009)
                 .with_readout(ReadoutError::new(0.02, 0.025))
                 .with_shots(4096),
@@ -89,6 +94,20 @@ impl DeviceSpec {
             _ => return None,
         };
         Some(DeviceSpec::new(name, noise))
+    }
+
+    /// The same device with its shot count overridden to `shots` — the
+    /// sweep axis the paper's noisy experiments vary independently of
+    /// the device (fig bins and `oscar-batch --shots` both use it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shots == 0`.
+    pub fn with_shots(self, shots: usize) -> Self {
+        DeviceSpec {
+            noise: self.noise.with_shots(shots),
+            ..self
+        }
     }
 
     /// Stable fingerprint of the spec (name, exact noise bit patterns,
@@ -247,6 +266,40 @@ impl QpuDevice {
     /// flat grid-point index as the stream.
     pub fn execute_at(&self, betas: &[f64], gammas: &[f64], seed: u64, stream: u64) -> f64 {
         self.execute_with_rng(betas, gammas, &mut CounterRng::new(seed, stream))
+    }
+
+    /// Noise-scaled execution with a caller-provided generator — the
+    /// ZNE analogue of [`Self::execute_with_rng`]: the depolarizing
+    /// rates are amplified by `scale` (gate folding), while noise draws
+    /// come from `rng` instead of the order-dependent internal stream.
+    pub fn execute_scaled_with_rng<R: Rng + ?Sized>(
+        &self,
+        betas: &[f64],
+        gammas: &[f64],
+        scale: f64,
+        rng: &mut R,
+    ) -> f64 {
+        let (ideal, var) = self.evaluator.moments(betas, gammas);
+        let mixed = self.evaluator.diagonal_mean();
+        self.noise
+            .scaled(scale)
+            .noisy_expectation(ideal, var, mixed, self.counts, rng)
+    }
+
+    /// Deterministic noise-scaled execution: [`Self::execute_at`] at ZNE
+    /// noise scale `scale`. A pure function of `(angles, scale, seed,
+    /// stream)`; at `scale = 1.0` it is bit-identical to
+    /// [`Self::execute_at`], so an unscaled landscape and a ZNE
+    /// factor-1 landscape built from the same seed are the same values.
+    pub fn execute_scaled_at(
+        &self,
+        betas: &[f64],
+        gammas: &[f64],
+        scale: f64,
+        seed: u64,
+        stream: u64,
+    ) -> f64 {
+        self.execute_scaled_with_rng(betas, gammas, scale, &mut CounterRng::new(seed, stream))
     }
 
     /// Executes and also samples the simulated job latency (queue +
@@ -412,6 +465,34 @@ mod tests {
         // Distinct seeds and streams give distinct noise realizations.
         assert_ne!(qpu.execute_at(&[0.2], &[0.6], 8, 3), reference);
         assert_ne!(qpu.execute_at(&[0.2], &[0.6], 7, 4), reference);
+    }
+
+    #[test]
+    fn scaled_at_matches_execute_at_at_unit_scale() {
+        let p = problem();
+        let noise = NoiseModel::depolarizing(0.002, 0.006).with_shots(512);
+        let qpu = QpuDevice::new("det-zne", &p, 1, noise, LatencyModel::instant(), 0);
+        assert_eq!(
+            qpu.execute_scaled_at(&[0.2], &[0.6], 1.0, 7, 3).to_bits(),
+            qpu.execute_at(&[0.2], &[0.6], 7, 3).to_bits()
+        );
+        // Other scales are deterministic too, and genuinely scaled.
+        let a = qpu.execute_scaled_at(&[0.2], &[0.6], 3.0, 7, 3);
+        assert_eq!(
+            a.to_bits(),
+            qpu.execute_scaled_at(&[0.2], &[0.6], 3.0, 7, 3).to_bits()
+        );
+        assert_ne!(a.to_bits(), qpu.execute_at(&[0.2], &[0.6], 7, 3).to_bits());
+    }
+
+    #[test]
+    fn spec_with_shots_overrides_and_refingerprints() {
+        let base = DeviceSpec::by_name("zne sim").unwrap();
+        assert_eq!(base.noise.shots, Some(2048));
+        let few = base.clone().with_shots(192);
+        assert_eq!(few.noise.shots, Some(192));
+        assert_eq!(few.name, base.name);
+        assert_ne!(few.fingerprint(), base.fingerprint());
     }
 
     #[test]

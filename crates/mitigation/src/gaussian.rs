@@ -1,7 +1,111 @@
 //! Gaussian sampling via Box–Muller (the `rand` crate in the offline set
-//! ships only uniform distributions).
+//! ships only uniform distributions) and Gaussian landscape smoothing —
+//! the cheapest "mitigation" in the runtime's lineup: it spends no extra
+//! shots, it just filters shot noise out of an already-measured
+//! landscape at the cost of blurring genuine sharp features.
 
 use rand::Rng;
+
+/// A separable 2-D Gaussian smoothing filter with renormalized borders.
+///
+/// The kernel is the truncated discrete Gaussian `w_k ∝ exp(-k² / 2σ²)`
+/// for `|k| <= radius`. Near an edge the kernel is renormalized over
+/// the taps that remain in range (no zero padding, no wraparound), so
+/// the filter is an exact weighted *average* everywhere: constant
+/// inputs pass through unchanged to the last bit of rounding, and the
+/// output range never exceeds the input range.
+///
+/// # Examples
+///
+/// ```
+/// use oscar_mitigation::gaussian::GaussianFilter;
+///
+/// let flat = vec![2.5; 12];
+/// let smoothed = GaussianFilter::new(1.0).smooth_2d(&flat, 3, 4);
+/// for v in smoothed {
+///     assert!((v - 2.5).abs() < 1e-12);
+/// }
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct GaussianFilter {
+    sigma: f64,
+    weights: Vec<f64>,
+}
+
+impl GaussianFilter {
+    /// A filter of standard deviation `sigma` (in grid-cell units),
+    /// truncated at `ceil(3 sigma)` taps per side.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is not finite and positive.
+    pub fn new(sigma: f64) -> Self {
+        assert!(
+            sigma.is_finite() && sigma > 0.0,
+            "sigma must be finite and positive"
+        );
+        let radius = (3.0 * sigma).ceil() as usize;
+        let weights = (0..=radius)
+            .map(|k| (-((k * k) as f64) / (2.0 * sigma * sigma)).exp())
+            .collect();
+        GaussianFilter { sigma, weights }
+    }
+
+    /// The standard deviation this filter was built with.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Taps per side (the kernel covers `2 * radius + 1` cells).
+    pub fn radius(&self) -> usize {
+        self.weights.len() - 1
+    }
+
+    /// Smooths a row-major `rows x cols` field, one separable pass per
+    /// axis. Deterministic and order-independent: a pure function of
+    /// `(self, values)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != rows * cols` or either dimension is 0.
+    pub fn smooth_2d(&self, values: &[f64], rows: usize, cols: usize) -> Vec<f64> {
+        assert!(rows > 0 && cols > 0, "dimensions must be positive");
+        assert_eq!(values.len(), rows * cols, "field length mismatch");
+        let mut pass = vec![0.0; values.len()];
+        // Horizontal pass: smooth along each row.
+        for r in 0..rows {
+            let row = &values[r * cols..(r + 1) * cols];
+            for c in 0..cols {
+                pass[r * cols + c] = self.tap_1d(|k| row[k], c, cols);
+            }
+        }
+        // Vertical pass over the horizontal result.
+        let mut out = vec![0.0; values.len()];
+        for c in 0..cols {
+            for r in 0..rows {
+                out[r * cols + c] = self.tap_1d(|k| pass[k * cols + c], r, rows);
+            }
+        }
+        out
+    }
+
+    /// One output sample of the 1-D kernel centered at `i` over a line
+    /// of length `n`, renormalized over in-range taps.
+    fn tap_1d(&self, line: impl Fn(usize) -> f64, i: usize, n: usize) -> f64 {
+        let radius = self.radius() as isize;
+        let (mut acc, mut norm) = (0.0, 0.0);
+        for k in -radius..=radius {
+            let j = i as isize + k;
+            if j < 0 || j >= n as isize {
+                continue;
+            }
+            let w = self.weights[k.unsigned_abs()];
+            acc += w * line(j as usize);
+            norm += w;
+        }
+        acc / norm
+    }
+}
 
 /// Draws one sample from `N(mean, std^2)`.
 ///
@@ -57,5 +161,56 @@ mod tests {
     fn rejects_negative_std() {
         let mut rng = StdRng::seed_from_u64(1);
         let _ = sample_normal(&mut rng, 0.0, -1.0);
+    }
+
+    #[test]
+    fn filter_preserves_constants_including_borders() {
+        let f = GaussianFilter::new(1.5);
+        let field = vec![-3.25; 7 * 9];
+        for (i, v) in f.smooth_2d(&field, 7, 9).iter().enumerate() {
+            assert!((v + 3.25).abs() < 1e-12, "point {i}: {v}");
+        }
+    }
+
+    #[test]
+    fn filter_reduces_noise_variance_around_a_smooth_trend() {
+        // A plane plus deterministic pseudo-noise: smoothing must cut the
+        // deviation from the plane substantially.
+        let (rows, cols) = (16, 20);
+        let mut state = 9u64;
+        let mut noise = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 33) as f64 / (1u64 << 31) as f64 - 0.5
+        };
+        let plane = |r: usize, c: usize| 0.1 * r as f64 - 0.05 * c as f64;
+        let field: Vec<f64> = (0..rows * cols)
+            .map(|i| plane(i / cols, i % cols) + noise())
+            .collect();
+        let smoothed = GaussianFilter::new(1.0).smooth_2d(&field, rows, cols);
+        let dev = |v: &[f64]| {
+            v.iter()
+                .enumerate()
+                .map(|(i, x)| (x - plane(i / cols, i % cols)).powi(2))
+                .sum::<f64>()
+        };
+        let before = dev(&field);
+        let after = dev(&smoothed);
+        assert!(after < before * 0.5, "noise energy {before} -> {after}");
+    }
+
+    #[test]
+    fn filter_output_stays_within_input_range() {
+        let field: Vec<f64> = (0..60).map(|i| ((i * 37) % 11) as f64 - 5.0).collect();
+        let lo = field.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = field.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        for v in GaussianFilter::new(2.0).smooth_2d(&field, 6, 10) {
+            assert!(v >= lo - 1e-12 && v <= hi + 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma must be finite and positive")]
+    fn filter_rejects_zero_sigma() {
+        let _ = GaussianFilter::new(0.0);
     }
 }

@@ -8,9 +8,11 @@
 //!   trajectory reference in `oscar-qsim`);
 //! * [`zne`] — Zero-Noise Extrapolation with Richardson and linear
 //!   extrapolation (paper Figures 9–10);
-//! * [`readout`] — tensor-product readout-error inversion;
+//! * [`readout`] — tensor-product readout-error inversion (uniform or
+//!   per-qubit confusion matrices) and expectation-level damping
+//!   correction;
 //! * [`gaussian`] — Box–Muller normal sampling used by the shot-noise
-//!   model.
+//!   model, plus [`gaussian::GaussianFilter`] landscape smoothing.
 //!
 //! # Example
 //!
@@ -32,8 +34,8 @@ pub mod zne;
 
 /// Glob-import of the most used types.
 pub mod prelude {
-    pub use crate::gaussian::sample_normal;
+    pub use crate::gaussian::{sample_normal, GaussianFilter};
     pub use crate::model::NoiseModel;
-    pub use crate::readout::ReadoutMitigator;
+    pub use crate::readout::{correct_damped_expectation, ReadoutMitigator};
     pub use crate::zne::{Extrapolation, ZneConfig};
 }

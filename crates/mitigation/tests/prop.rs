@@ -109,4 +109,113 @@ proptest! {
         let b = sample_normal(&mut rng2, 0.0, std);
         prop_assert!((a - (b + mean)).abs() < 1e-12);
     }
+
+    /// ZNE recovers polynomial noise decays exactly whenever the decay's
+    /// degree is below the number of scale factors: Richardson through
+    /// `k` factors is exact on degree `k-1`, linear through any factor
+    /// count is exact on degree 1.
+    #[test]
+    fn zne_exact_on_polynomials_below_factor_count(
+        coeffs in prop::collection::vec(-1.0f64..1.0, 1..5),
+        extra_factors in 0usize..3,
+        base in 0.5f64..1.5,
+        step in 0.25f64..1.0,
+    ) {
+        let degree = coeffs.len() - 1;
+        let n_factors = coeffs.len() + extra_factors + 1; // > degree + 1
+        let factors: Vec<f64> = (0..n_factors).map(|i| base + i as f64 * step).collect();
+        let poly = |c: f64| coeffs.iter().rev().fold(0.0, |acc, k| acc * c + *k);
+        let rich = ZneConfig::new(factors.clone(), Extrapolation::Richardson);
+        let e = rich.extrapolate(&mut |c| poly(c));
+        prop_assert!(
+            (e - coeffs[0]).abs() < 1e-6 * (1.0 + coeffs[0].abs()),
+            "richardson degree {degree} through {n_factors} factors: {e} vs {}",
+            coeffs[0]
+        );
+        if degree <= 1 {
+            let lin = ZneConfig::new(factors, Extrapolation::Linear);
+            let e = lin.extrapolate(&mut |c| poly(c));
+            prop_assert!((e - coeffs[0]).abs() < 1e-8, "linear: {e} vs {}", coeffs[0]);
+        }
+    }
+
+    /// Readout corrupt -> mitigate round-trips the identity for *random
+    /// per-qubit stochastic matrices*, not just uniform error rates: each
+    /// qubit gets its own confusion matrix [[1-p01, p10], [p01, 1-p10]].
+    #[test]
+    fn per_qubit_readout_roundtrip_on_random_stochastic_matrices(
+        p01s in prop::collection::vec(0.0f64..0.35, 1..5),
+        p10s in prop::collection::vec(0.0f64..0.35, 1..5),
+        seed in 0u64..200,
+    ) {
+        use oscar_mitigation::readout::ReadoutMitigator;
+        use rand::{Rng, SeedableRng};
+        let n = p01s.len().min(p10s.len());
+        let errors: Vec<ReadoutError> = p01s[..n]
+            .iter()
+            .zip(&p10s[..n])
+            .map(|(&p01, &p10)| ReadoutError::new(p01, p10))
+            .collect();
+        let mit = ReadoutMitigator::per_qubit(errors);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let raw: Vec<f64> = (0..1usize << n).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let total: f64 = raw.iter().sum();
+        let ideal: Vec<f64> = raw.iter().map(|v| v / total).collect();
+        let corrupted = mit.corrupt_distribution(&ideal);
+        // Forward corruption by a stochastic matrix conserves probability.
+        prop_assert!((corrupted.iter().sum::<f64>() - 1.0).abs() < 1e-10);
+        let round = mit.mitigate_distribution(&corrupted);
+        for (a, b) in round.iter().zip(&ideal) {
+            prop_assert!((a - b).abs() < 1e-7, "{a} vs {b}");
+        }
+    }
+
+    /// Expectation-level readout correction inverts the model's damping
+    /// for any measured value and mixed mean.
+    #[test]
+    fn damped_expectation_correction_roundtrip(
+        ideal in -5.0f64..5.0,
+        mixed in -5.0f64..5.0,
+        p01 in 0.0f64..0.2,
+        p10 in 0.0f64..0.2,
+    ) {
+        use oscar_mitigation::readout::{correct_damped_expectation, damping_factor};
+        let error = ReadoutError::new(p01, p10);
+        let measured = mixed + damping_factor(error) * (ideal - mixed);
+        let corrected = correct_damped_expectation(measured, mixed, error);
+        prop_assert!((corrected - ideal).abs() < 1e-8 * (1.0 + ideal.abs()));
+    }
+
+    /// The Gaussian smoothing filter preserves constant fields exactly
+    /// (to rounding), for any sigma and field shape.
+    #[test]
+    fn gaussian_filter_preserves_constants(
+        value in -10.0f64..10.0,
+        sigma in 0.2f64..4.0,
+        rows in 1usize..12,
+        cols in 1usize..12,
+    ) {
+        let field = vec![value; rows * cols];
+        let smoothed = GaussianFilter::new(sigma).smooth_2d(&field, rows, cols);
+        for v in smoothed {
+            prop_assert!((v - value).abs() < 1e-9 * (1.0 + value.abs()), "{v} vs {value}");
+        }
+    }
+
+    /// Smoothing commutes with affine transforms of the field: filtering
+    /// `a*x + b` equals `a * filter(x) + b`.
+    #[test]
+    fn gaussian_filter_is_affine_equivariant(
+        field in prop::collection::vec(-2.0f64..2.0, 24..25),
+        a in -3.0f64..3.0,
+        b in -3.0f64..3.0,
+    ) {
+        let filter = GaussianFilter::new(1.0);
+        let direct = filter.smooth_2d(
+            &field.iter().map(|x| a * x + b).collect::<Vec<_>>(), 4, 6);
+        let composed = filter.smooth_2d(&field, 4, 6);
+        for (d, c) in direct.iter().zip(&composed) {
+            prop_assert!((d - (a * c + b)).abs() < 1e-9);
+        }
+    }
 }

@@ -9,6 +9,8 @@
 //! * [`nelder_mead::NelderMead`] — downhill simplex cross-check;
 //! * [`spsa::Spsa`] — stochastic perturbation optimizer for noisy
 //!   objectives;
+//! * [`pattern::PatternSearch`] — deterministic compass search, the
+//!   fully gradient-free baseline;
 //! * [`gradient`] — finite-difference and parameter-shift estimators;
 //! * [`objective`] — the [`objective::Optimizer`] trait, query counting and
 //!   optimization traces.
@@ -33,6 +35,7 @@ pub mod gradient;
 pub mod momentum;
 pub mod nelder_mead;
 pub mod objective;
+pub mod pattern;
 pub mod spsa;
 
 /// Glob-import of the most used types.
@@ -43,5 +46,6 @@ pub mod prelude {
     pub use crate::momentum::{BoundedObjective, MomentumGd};
     pub use crate::nelder_mead::NelderMead;
     pub use crate::objective::{CountingObjective, OptimResult, Optimizer};
+    pub use crate::pattern::PatternSearch;
     pub use crate::spsa::Spsa;
 }

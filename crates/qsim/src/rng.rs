@@ -29,6 +29,34 @@ fn mix(mut z: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Derives an independent sub-seed from `(seed, tag)`.
+///
+/// Experiments that need *several* independent noise realizations per
+/// `landscape_seed` — one per ZNE noise-scale factor, say — must not
+/// feed the same `(seed, stream)` pairs to [`CounterRng`] for each of
+/// them, or every realization would draw identical noise and
+/// extrapolation would cancel shot noise that real hardware re-rolls
+/// per execution. `derive_seed` maps a base seed and a realization tag
+/// (e.g. the scale factor's bit pattern) to a fresh seed whose counter
+/// streams are statistically independent of the base seed's.
+///
+/// The constant differs from [`CounterRng::new`]'s internal xor so
+/// `derive_seed(s, t)` never aliases the stream state of
+/// `CounterRng::new(s, t)`.
+///
+/// # Examples
+///
+/// ```
+/// use oscar_qsim::rng::derive_seed;
+///
+/// assert_eq!(derive_seed(7, 2), derive_seed(7, 2));
+/// assert_ne!(derive_seed(7, 2), derive_seed(7, 3));
+/// assert_ne!(derive_seed(7, 2), derive_seed(8, 2));
+/// ```
+pub fn derive_seed(seed: u64, tag: u64) -> u64 {
+    mix(mix(seed ^ 0xA076_1D64_78BD_642F) ^ tag.wrapping_mul(GOLDEN))
+}
+
 /// A counter-based RNG: the output stream is a pure function of a
 /// `(seed, stream)` pair.
 ///
@@ -137,6 +165,25 @@ mod tests {
         }
         let mean = acc / n as f64;
         assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn derived_seeds_are_distinct_and_stable() {
+        let mut seen = std::collections::HashSet::new();
+        for seed in 0..16u64 {
+            for tag in 0..16u64 {
+                let d = derive_seed(seed, tag);
+                assert_eq!(d, derive_seed(seed, tag));
+                assert!(seen.insert(d), "collision at ({seed}, {tag})");
+                // The derived seed must not alias the (seed, tag) counter
+                // stream itself, or a derived realization would replay the
+                // base realization's noise.
+                assert_ne!(
+                    CounterRng::new(d, 0).next_u64(),
+                    CounterRng::new(seed, tag).next_u64()
+                );
+            }
+        }
     }
 
     #[test]

@@ -161,8 +161,8 @@ impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
 }
 
 /// Cache key for a ground-truth landscape: a fingerprint of the problem
-/// couplings, the exact grid, the landscape source, and the generation
-/// seed.
+/// couplings, the exact grid, the landscape source, the generation
+/// seed, and the mitigation applied on top.
 ///
 /// The source fingerprint ([`LandscapeSource::fingerprint`]) keeps exact
 /// and noisy entries — and noisy entries from different devices — from
@@ -171,16 +171,26 @@ impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
 /// two exact jobs differing only there would otherwise fill the cache
 /// with duplicate identical landscapes (each a full grid of circuit
 /// evaluations) and recompute what is already resident.
+///
+/// The mitigation fingerprint
+/// ([`crate::mitigation::Mitigation::fingerprint`]) separates the
+/// *mitigated* landscape a job's stage 2 consumes from the raw landscape
+/// of the same `(device, seed)` — they are different fields and must
+/// share nothing — while ZNE's per-factor sub-landscapes get raw keys of
+/// *scaled* sources ([`Self::zne_factor`]) so they are shared by every
+/// job that measures the same factor.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct LandscapeKey {
     problem: u64,
     grid: [u64; 6],
     source: u64,
     seed: u64,
+    mitigation: u64,
 }
 
 impl LandscapeKey {
-    /// Builds the key for `(problem, grid, source, landscape_seed)`.
+    /// Builds the key for a raw (unmitigated) landscape of
+    /// `(problem, grid, source, landscape_seed)`.
     pub fn new(
         problem: &IsingProblem,
         grid: &Grid2d,
@@ -193,6 +203,41 @@ impl LandscapeKey {
             source: source.fingerprint(),
             // Exact evaluation is seed-independent; see the type docs.
             seed: if source.is_exact() { 0 } else { landscape_seed },
+            mitigation: 0,
+        }
+    }
+
+    /// The key of the *mitigated* landscape: [`Self::new`] with the
+    /// mitigation fingerprint folded in (`0` restates the raw key, so a
+    /// normalized-to-`None` mitigation shares the raw entry).
+    pub fn mitigated(
+        problem: &IsingProblem,
+        grid: &Grid2d,
+        source: &LandscapeSource,
+        landscape_seed: u64,
+        mitigation: u64,
+    ) -> Self {
+        LandscapeKey {
+            mitigation,
+            ..LandscapeKey::new(problem, grid, source, landscape_seed)
+        }
+    }
+
+    /// The key of one ZNE scale factor's sub-landscape: a *raw* key
+    /// whose source fingerprint is the scaled source
+    /// ([`LandscapeSource::scaled_fingerprint`]). Scale `1.0` restates
+    /// the plain raw key, so the factor-1 entry is shared with
+    /// unmitigated jobs over the same device and seed.
+    pub fn zne_factor(
+        problem: &IsingProblem,
+        grid: &Grid2d,
+        source: &LandscapeSource,
+        landscape_seed: u64,
+        scale: f64,
+    ) -> Self {
+        LandscapeKey {
+            source: source.scaled_fingerprint(scale),
+            ..LandscapeKey::new(problem, grid, source, landscape_seed)
         }
     }
 

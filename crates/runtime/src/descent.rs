@@ -1,0 +1,140 @@
+//! Stage 3 of the job pipeline: which optimizer descends the
+//! reconstructed landscape.
+//!
+//! PR 2 hardcoded Nelder–Mead; [`Descent`] opens the full `oscar-optim`
+//! lineup as a job axis — the paper's optimizer-selection use case
+//! (Figure 13, Table 6) run through the batch runtime. Every variant is
+//! deterministic given the job spec: the only stochastic member, SPSA,
+//! is seeded from the job's sampling seed, so a job's result stays a
+//! pure function of its [`crate::job::JobSpec`] on any executor count.
+
+use oscar_optim::adam::Adam;
+use oscar_optim::cobyla::Cobyla;
+use oscar_optim::momentum::MomentumGd;
+use oscar_optim::nelder_mead::NelderMead;
+use oscar_optim::objective::Optimizer;
+use oscar_optim::pattern::PatternSearch;
+use oscar_optim::spsa::Spsa;
+
+/// The optimizer a job's stage 3 dispatches to (or [`Descent::None`]
+/// to skip the stage and report the reconstruction's grid argmin —
+/// pure-reconstruction throughput runs).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Descent {
+    /// Skip stage 3; the best point is the reconstruction's argmin.
+    None,
+    /// Deterministic downhill simplex (the PR-2 default).
+    #[default]
+    NelderMead,
+    /// ADAM with finite-difference gradients (Qiskit-style defaults).
+    Adam,
+    /// Gradient descent with classical momentum.
+    Momentum,
+    /// Simultaneous perturbation stochastic approximation, seeded from
+    /// the job's sampling seed.
+    Spsa,
+    /// COBYLA-style linear-approximation trust region.
+    Cobyla,
+    /// Deterministic compass (pattern) search — fully gradient-free.
+    GradientFree,
+}
+
+impl Descent {
+    /// Every variant that actually optimizes, in a stable order (the
+    /// `oscar-batch` sweep axis).
+    pub const OPTIMIZERS: [Descent; 6] = [
+        Descent::NelderMead,
+        Descent::Adam,
+        Descent::Momentum,
+        Descent::Spsa,
+        Descent::Cobyla,
+        Descent::GradientFree,
+    ];
+
+    /// Resolves a CLI-style name: `none`, `nelder-mead`, `adam`,
+    /// `momentum`, `spsa`, `cobyla`, or `gradient-free`.
+    pub fn by_name(name: &str) -> Option<Self> {
+        Some(match name {
+            "none" => Descent::None,
+            "nelder-mead" => Descent::NelderMead,
+            "adam" => Descent::Adam,
+            "momentum" => Descent::Momentum,
+            "spsa" => Descent::Spsa,
+            "cobyla" => Descent::Cobyla,
+            "gradient-free" => Descent::GradientFree,
+            _ => return None,
+        })
+    }
+
+    /// The CLI-style name (the inverse of [`Self::by_name`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            Descent::None => "none",
+            Descent::NelderMead => "nelder-mead",
+            Descent::Adam => "adam",
+            Descent::Momentum => "momentum",
+            Descent::Spsa => "spsa",
+            Descent::Cobyla => "cobyla",
+            Descent::GradientFree => "gradient-free",
+        }
+    }
+
+    /// Builds the configured optimizer, or `None` for
+    /// [`Descent::None`]. `seed` feeds the stochastic member (SPSA);
+    /// deterministic optimizers ignore it.
+    pub fn optimizer(self, seed: u64) -> Option<Box<dyn Optimizer>> {
+        Some(match self {
+            Descent::None => return None,
+            Descent::NelderMead => Box::new(NelderMead::default()),
+            Descent::Adam => Box::new(Adam::default()),
+            Descent::Momentum => Box::new(MomentumGd::default()),
+            Descent::Spsa => Box::new(Spsa {
+                seed,
+                ..Spsa::default()
+            }),
+            Descent::Cobyla => Box::new(Cobyla::default()),
+            Descent::GradientFree => Box::new(PatternSearch::default()),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for d in [Descent::None].into_iter().chain(Descent::OPTIMIZERS) {
+            assert_eq!(Descent::by_name(d.name()), Some(d));
+        }
+        assert_eq!(Descent::by_name("sgd"), None);
+    }
+
+    #[test]
+    fn only_none_skips_the_stage() {
+        assert!(Descent::None.optimizer(0).is_none());
+        for d in Descent::OPTIMIZERS {
+            assert!(d.optimizer(0).is_some(), "{}", d.name());
+        }
+    }
+
+    #[test]
+    fn spsa_takes_the_job_seed() {
+        // 2-D so the Rademacher direction does not cancel out of the
+        // update (in 1-D it does, making every seed's path identical).
+        let quad = |x: &[f64]| x[0] * x[0] + 2.0 * x[1] * x[1];
+        let (mut f1, mut f2) = (quad, quad);
+        let a = Descent::Spsa
+            .optimizer(3)
+            .unwrap()
+            .minimize(&mut f1, &[1.0, 0.5]);
+        let b = Descent::Spsa
+            .optimizer(4)
+            .unwrap()
+            .minimize(&mut f2, &[1.0, 0.5]);
+        assert_ne!(
+            a.trace, b.trace,
+            "different job seeds must drive different SPSA paths"
+        );
+    }
+}

@@ -8,26 +8,34 @@
 //!    the job's grid, through the spec's [`LandscapeSource`]: exact
 //!    noiseless simulation or a noisy simulated device with
 //!    deterministic counter-based per-point noise. Grid points run
-//!    data-parallel on the shared worker pool either way.
+//!    data-parallel on the shared worker pool either way. The spec's
+//!    [`Mitigation`] is applied on top ([`mitigated_landscape`]): ZNE
+//!    measures one landscape per noise-scale factor (each individually
+//!    cached and shared across jobs) and extrapolates pointwise;
+//!    readout correction and Gaussian smoothing post-process the raw
+//!    landscape.
 //! 2. **CS reconstruction** — sample `fraction` of the grid with the
 //!    job's seed and recover the full landscape by FISTA
 //!    ([`Reconstructor::reconstruct_fraction_seeded`]).
 //! 3. **Optimization** — descend the spline-interpolated reconstruction
-//!    from its best grid point (deterministic Nelder–Mead), yielding
-//!    the suggested minimum the debugging use cases consume.
+//!    from its best grid point with the spec's [`Descent`] optimizer
+//!    (SPSA seeded from the job seed; [`Descent::None`] skips the
+//!    stage), yielding the suggested minimum the debugging use cases
+//!    consume.
 //!
 //! Every stage is deterministic given the [`JobSpec`], so a job's
 //! [`JobResult`] is bit-identical whether it runs inline, on one
 //! executor, or interleaved with 63 other jobs on four executors.
 
-use crate::cache::{LandscapeCache, LandscapeKey};
+use crate::cache::LandscapeCache;
+use crate::descent::Descent;
+use crate::mitigation::{mitigated_landscape, Mitigation};
 use crate::source::LandscapeSource;
 use oscar_core::grid::Grid2d;
 use oscar_core::landscape::Landscape;
 use oscar_core::reconstruct::Reconstructor;
 use oscar_core::usecases::optimizer_debug::optimize_on_reconstruction;
 use oscar_cs::fista::FistaConfig;
-use oscar_optim::nelder_mead::NelderMead;
 use oscar_problems::ising::IsingProblem;
 use std::time::{Duration, Instant};
 
@@ -55,15 +63,21 @@ pub struct JobSpec {
     /// entry). Ignored — and normalized to 0 in cache keys — for the
     /// exact source.
     pub landscape_seed: u64,
+    /// Error mitigation applied between landscape generation and CS
+    /// reconstruction. Defaults to [`Mitigation::None`].
+    pub mitigation: Mitigation,
     /// Sparse-recovery solver settings.
     pub fista: FistaConfig,
-    /// Run stage 3 (optimization on the reconstruction). On by
-    /// default; disable for pure-reconstruction throughput runs.
-    pub optimize: bool,
+    /// Stage-3 optimizer descending the reconstruction (SPSA seeded
+    /// from [`Self::seed`]). Defaults to [`Descent::NelderMead`];
+    /// [`Descent::None`] skips the stage for pure-reconstruction
+    /// throughput runs.
+    pub descent: Descent,
 }
 
 impl JobSpec {
-    /// A job with default solver settings and optimization enabled.
+    /// A job with default solver settings, no mitigation, and
+    /// Nelder–Mead optimization.
     pub fn new(problem: IsingProblem, grid: Grid2d, fraction: f64, seed: u64) -> Self {
         JobSpec {
             problem,
@@ -72,8 +86,9 @@ impl JobSpec {
             seed,
             source: LandscapeSource::Exact,
             landscape_seed: 0,
+            mitigation: Mitigation::None,
             fista: FistaConfig::default(),
-            optimize: true,
+            descent: Descent::NelderMead,
         }
     }
 
@@ -86,6 +101,18 @@ impl JobSpec {
     /// Replaces the stage-1 noise-realization seed (builder-style).
     pub fn with_landscape_seed(mut self, landscape_seed: u64) -> Self {
         self.landscape_seed = landscape_seed;
+        self
+    }
+
+    /// Replaces the mitigation stage (builder-style).
+    pub fn with_mitigation(mut self, mitigation: Mitigation) -> Self {
+        self.mitigation = mitigation;
+        self
+    }
+
+    /// Replaces the stage-3 optimizer (builder-style).
+    pub fn with_descent(mut self, descent: Descent) -> Self {
+        self.descent = descent;
         self
     }
 }
@@ -110,7 +137,7 @@ pub struct JobResult {
     /// FISTA iterations performed.
     pub solver_iterations: usize,
     /// Optimized `(beta, gamma)` minimum on the reconstruction
-    /// (stage 3; the reconstruction's argmin when `optimize` is off).
+    /// (stage 3; the reconstruction's argmin under [`Descent::None`]).
     pub best_point: [f64; 2],
     /// Objective value at `best_point`.
     pub best_value: f64,
@@ -126,28 +153,28 @@ pub struct JobResult {
 pub fn run_job(spec: &JobSpec, cache: Option<&LandscapeCache>) -> JobResult {
     let started = Instant::now();
     let grid = spec.grid;
-    let generate = || {
-        spec.source
-            .generate(&spec.problem, grid, spec.landscape_seed)
-    };
-    let (truth, cache_hit) = match cache {
-        Some(cache) => {
-            let key = LandscapeKey::new(&spec.problem, &grid, &spec.source, spec.landscape_seed);
-            cache.get_or_compute(key, generate)
-        }
-        None => (std::sync::Arc::new(generate()), false),
-    };
+    let (truth, cache_hit) = mitigated_landscape(
+        &spec.problem,
+        grid,
+        &spec.source,
+        spec.landscape_seed,
+        &spec.mitigation,
+        cache,
+    );
 
     let reconstructor = Reconstructor::new(spec.fista);
     let report = reconstructor.reconstruct_fraction_seeded(&truth, spec.fraction, spec.seed);
 
-    let (best_point, best_value) = if spec.optimize {
-        let (_, (b0, g0)) = report.landscape.argmin();
-        let run = optimize_on_reconstruction(&NelderMead::default(), &report.landscape, [b0, g0]);
-        ([run.x[0], run.x[1]], run.fx)
-    } else {
-        let (value, (b, g)) = report.landscape.argmin();
-        ([b, g], value)
+    let (best_point, best_value) = match spec.descent.optimizer(spec.seed) {
+        Some(optimizer) => {
+            let (_, (b0, g0)) = report.landscape.argmin();
+            let run = optimize_on_reconstruction(optimizer.as_ref(), &report.landscape, [b0, g0]);
+            ([run.x[0], run.x[1]], run.fx)
+        }
+        None => {
+            let (value, (b, g)) = report.landscape.argmin();
+            ([b, g], value)
+        }
     };
 
     JobResult {
@@ -250,13 +277,7 @@ mod tests {
     fn optimization_stage_improves_on_grid_argmin() {
         let s = spec(11);
         let with = run_job(&s, None);
-        let without = run_job(
-            &JobSpec {
-                optimize: false,
-                ..s.clone()
-            },
-            None,
-        );
+        let without = run_job(&s.clone().with_descent(Descent::None), None);
         // The spline descent must not be worse than the raw grid argmin
         // it starts from (evaluated on the same reconstruction).
         assert!(with.best_value <= without.best_value + 1e-9);
@@ -264,5 +285,56 @@ mod tests {
             with.reconstruction.values(),
             without.reconstruction.values()
         );
+    }
+
+    #[test]
+    fn every_descent_variant_runs_and_is_deterministic() {
+        let base = spec(13);
+        let reference = run_job(&base.clone().with_descent(Descent::None), None);
+        for descent in Descent::OPTIMIZERS {
+            let s = base.clone().with_descent(descent);
+            let a = run_job(&s, None);
+            let b = run_job(&s, None);
+            assert_eq!(
+                (a.best_point, a.best_value.to_bits()),
+                (b.best_point, b.best_value.to_bits()),
+                "{} must be deterministic",
+                descent.name()
+            );
+            // Stage 3 never changes stages 1–2.
+            assert_eq!(a.reconstruction.values(), reference.reconstruction.values());
+            // Descending from the argmin must not end above it.
+            assert!(
+                a.best_value <= reference.best_value + 1e-9,
+                "{}: {} vs argmin {}",
+                descent.name(),
+                a.best_value,
+                reference.best_value
+            );
+        }
+    }
+
+    #[test]
+    fn mitigated_job_runs_end_to_end_and_differs_from_raw() {
+        use oscar_executor::device::DeviceSpec;
+        let noisy = spec(7)
+            .with_source(LandscapeSource::noisy(
+                DeviceSpec::by_name("ibm perth").unwrap(),
+            ))
+            .with_landscape_seed(3);
+        let raw = run_job(&noisy, None);
+        let zne = run_job(
+            &noisy.clone().with_mitigation(Mitigation::zne_richardson()),
+            None,
+        );
+        assert!(zne.nrmse.is_finite());
+        assert_ne!(
+            raw.reconstruction.values(),
+            zne.reconstruction.values(),
+            "ZNE must reconstruct a different landscape"
+        );
+        let zne2 = run_job(&noisy.with_mitigation(Mitigation::zne_richardson()), None);
+        assert_eq!(zne.reconstruction.values(), zne2.reconstruction.values());
+        assert_eq!(zne.nrmse.to_bits(), zne2.nrmse.to_bits());
     }
 }

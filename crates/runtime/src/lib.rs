@@ -24,12 +24,17 @@
 //! batch scheduler with a submit/handle API — priority levels
 //! ([`scheduler::Priority`]) with FIFO tie-break and cheap per-job
 //! cancellation ([`scheduler::JobHandle::cancel`]) — that pipelines
-//! *landscape sampling → CS reconstruction → optimization* per job
-//! ([`job::run_job`]) and drains many jobs across the pool. Stage 1
-//! runs through the spec's [`source::LandscapeSource`]: exact
-//! noiseless simulation, or a noisy simulated device whose per-point
-//! noise comes from a counter-based RNG keyed by `(landscape_seed,
-//! point_index)`. Results are deterministic either way: a
+//! *landscape sampling → mitigation → CS reconstruction →
+//! optimization* per job ([`job::run_job`]) and drains many jobs
+//! across the pool. Stage 1 runs through the spec's
+//! [`source::LandscapeSource`]: exact noiseless simulation, or a noisy
+//! simulated device whose per-point noise comes from a counter-based
+//! RNG keyed by `(landscape_seed, point_index)`. The spec's
+//! [`mitigation::Mitigation`] then post-processes the landscape (ZNE
+//! with individually cached per-factor landscapes, readout inversion,
+//! Gaussian smoothing), and [`descent::Descent`] selects the stage-3
+//! optimizer (the full `oscar-optim` lineup, SPSA seeded from the job
+//! seed). Results are deterministic along every axis: a
 //! [`job::JobSpec`] fully determines its [`job::JobResult`],
 //! bit-identical whether the job runs inline, alone, or interleaved
 //! with dozens of others on any number of executors.
@@ -70,11 +75,15 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod descent;
 pub mod job;
+pub mod mitigation;
 pub mod scheduler;
 pub mod source;
 
 pub use cache::{CacheStats, LandscapeCache, LandscapeKey, LruCache};
+pub use descent::Descent;
 pub use job::{run_job, JobResult, JobSpec};
+pub use mitigation::{mitigated_landscape, Mitigation};
 pub use scheduler::{BatchRuntime, JobHandle, JobLost, Priority, RuntimeConfig};
 pub use source::LandscapeSource;

@@ -56,7 +56,7 @@ impl LandscapeSource {
 
     /// The device actually executed: the spec with any shot override
     /// already folded into its noise model. `None` for [`Self::Exact`].
-    fn effective_device(&self) -> Option<DeviceSpec> {
+    pub(crate) fn effective_device(&self) -> Option<DeviceSpec> {
         match self {
             LandscapeSource::Exact => None,
             LandscapeSource::Noisy { device, shots } => Some(match shots {
@@ -89,6 +89,29 @@ impl LandscapeSource {
         }
     }
 
+    /// Fingerprint of this source at ZNE noise scale `scale` — the
+    /// cache identity of one per-factor sub-landscape. Scale `1.0`
+    /// normalizes to [`Self::fingerprint`]: the factor-1 landscape *is*
+    /// the plain unscaled landscape (same seed, same noise draws), so a
+    /// ZNE job and a raw job over the same device share that entry.
+    /// The exact source is scale-independent (no noise to amplify) and
+    /// always fingerprints to 0.
+    pub fn scaled_fingerprint(&self, scale: f64) -> u64 {
+        if scale == 1.0 {
+            return self.fingerprint();
+        }
+        match self.effective_device() {
+            None => 0,
+            Some(spec) => {
+                let mut h = DefaultHasher::new();
+                "zne-scale".hash(&mut h);
+                spec.fingerprint().hash(&mut h);
+                scale.to_bits().hash(&mut h);
+                h.finish()
+            }
+        }
+    }
+
     /// Evaluates the ground-truth landscape for `problem` over `grid`.
     ///
     /// Deterministic: a pure function of `(self, problem, grid,
@@ -96,15 +119,35 @@ impl LandscapeSource {
     /// evaluation orders. Grid points run data-parallel on the shared
     /// worker pool for both sources.
     pub fn generate(&self, problem: &IsingProblem, grid: Grid2d, landscape_seed: u64) -> Landscape {
+        self.generate_scaled(problem, grid, landscape_seed, 1.0)
+    }
+
+    /// Evaluates the landscape at ZNE noise scale `scale` (depolarizing
+    /// rates amplified by gate folding; the per-factor noise seed is
+    /// derived so each factor draws fresh shot noise — see
+    /// [`oscar_core::usecases::mitigation::zne_factor_seed`]). At
+    /// `scale = 1.0` this is bit-identical to [`Self::generate`]; the
+    /// exact source ignores the scale entirely.
+    pub fn generate_scaled(
+        &self,
+        problem: &IsingProblem,
+        grid: Grid2d,
+        landscape_seed: u64,
+        scale: f64,
+    ) -> Landscape {
         match self.effective_device() {
             None => Landscape::from_qaoa(grid, &problem.qaoa_evaluator()),
             Some(spec) => {
                 // The internal-RNG seed is irrelevant: every point draws
-                // from its own (landscape_seed, index) counter stream.
+                // from its own counter stream keyed by the (derived)
+                // landscape seed and the flat point index.
                 let qpu = spec.build(problem, 0);
-                Landscape::generate_indexed_par(grid, |i, beta, gamma| {
-                    qpu.execute_at(&[beta], &[gamma], landscape_seed, i as u64)
-                })
+                oscar_core::usecases::mitigation::scaled_noisy_landscape(
+                    &qpu,
+                    grid,
+                    landscape_seed,
+                    scale,
+                )
             }
         }
     }
@@ -187,6 +230,38 @@ mod tests {
             spelled_out.generate(&p, grid, 3).values(),
             implicit.generate(&p, grid, 3).values()
         );
+    }
+
+    #[test]
+    fn scaled_generation_unit_scale_matches_generate() {
+        let p = problem();
+        let grid = Grid2d::small_p1(6, 8);
+        let source = LandscapeSource::noisy(perth());
+        assert_eq!(
+            source.generate(&p, grid, 4).values(),
+            source.generate_scaled(&p, grid, 4, 1.0).values()
+        );
+        // Higher scales damp harder and draw fresh noise.
+        let s3 = source.generate_scaled(&p, grid, 4, 3.0);
+        assert_ne!(source.generate(&p, grid, 4).values(), s3.values());
+        assert_eq!(
+            s3.values(),
+            source.generate_scaled(&p, grid, 4, 3.0).values(),
+            "scaled generation must be bit-stable"
+        );
+    }
+
+    #[test]
+    fn scaled_fingerprints_normalize_unit_scale_and_separate_factors() {
+        let source = LandscapeSource::noisy(perth());
+        assert_eq!(source.scaled_fingerprint(1.0), source.fingerprint());
+        assert_ne!(source.scaled_fingerprint(2.0), source.fingerprint());
+        assert_ne!(
+            source.scaled_fingerprint(2.0),
+            source.scaled_fingerprint(3.0)
+        );
+        // Exact sources are scale-independent.
+        assert_eq!(LandscapeSource::Exact.scaled_fingerprint(3.0), 0);
     }
 
     #[test]

@@ -1,17 +1,21 @@
 //! Determinism pins for noisy-device landscapes in the batch runtime:
 //! counter-based per-point noise makes a noisy job's result a pure
 //! function of its spec — bit-identical across executor counts, across
-//! cache hit/miss, and across scheduling order.
+//! cache hit/miss, across scheduling order, and across every mitigation
+//! and optimizer axis.
 
 use oscar_core::grid::Grid2d;
 use oscar_executor::device::DeviceSpec;
 use oscar_problems::ising::IsingProblem;
-use oscar_runtime::cache::LandscapeCache;
+use oscar_runtime::cache::{LandscapeCache, LandscapeKey};
+use oscar_runtime::descent::Descent;
 use oscar_runtime::job::{run_job, JobResult, JobSpec};
-use oscar_runtime::scheduler::BatchRuntime;
+use oscar_runtime::mitigation::{mitigated_landscape, Mitigation};
+use oscar_runtime::scheduler::{BatchRuntime, Priority};
 use oscar_runtime::source::LandscapeSource;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 
 fn device(name: &str) -> DeviceSpec {
     DeviceSpec::by_name(name).unwrap_or_else(|| panic!("unknown device {name}"))
@@ -148,6 +152,181 @@ fn exact_and_noisy_jobs_never_share_cache_entries() {
     assert!(!n.landscape_cache_hit, "noisy must not hit the exact entry");
     assert_eq!(cache.stats().len, 2);
     assert_ne!(e.reconstruction.values(), n.reconstruction.values());
+}
+
+/// 16 jobs crossing every new axis: raw and ZNE/readout/Gaussian
+/// mitigated stage 1 over exact and noisy sources, with the optimizer
+/// cycling through the full `Descent` lineup (SPSA included, seeded
+/// from the job seed).
+fn mitigated_batch() -> Vec<JobSpec> {
+    let problems: Vec<IsingProblem> = (0..2)
+        .map(|k| {
+            let mut rng = StdRng::seed_from_u64(400 + k);
+            IsingProblem::random_3_regular(6 + 2 * k as usize, &mut rng)
+        })
+        .collect();
+    let perth = device("ibm perth");
+    let mitigations = [
+        Mitigation::None,
+        Mitigation::zne_richardson(),
+        Mitigation::zne_linear(),
+        Mitigation::Readout,
+        Mitigation::gaussian(),
+    ];
+    let mut specs = Vec::new();
+    let mut j = 0u64;
+    for problem in &problems {
+        for mitigation in &mitigations {
+            // Exact and noisy variant of each mitigation (exact ZNE and
+            // readout normalize to raw — the pipeline must handle both).
+            for noisy in [false, true] {
+                if specs.len() == 16 {
+                    break;
+                }
+                let mut spec = JobSpec::new(problem.clone(), Grid2d::small_p1(10, 12), 0.3, 10 + j)
+                    .with_mitigation(mitigation.clone())
+                    .with_descent(Descent::OPTIMIZERS[j as usize % Descent::OPTIMIZERS.len()]);
+                if noisy {
+                    spec = spec
+                        .with_source(LandscapeSource::noisy(perth.clone()))
+                        .with_landscape_seed(2);
+                }
+                specs.push(spec);
+                j += 1;
+            }
+        }
+    }
+    assert_eq!(specs.len(), 16);
+    specs
+}
+
+#[test]
+fn mitigated_batch_bit_identical_across_executors_and_priorities() {
+    let specs = mitigated_batch();
+    // Sequential uncached reference: the pure function of each spec.
+    let sequential: Vec<JobResult> = specs.iter().map(|s| run_job(s, None)).collect();
+
+    let one = BatchRuntime::with_concurrency(1)
+        .run_batch(specs.clone())
+        .expect("no job panics");
+    let four = BatchRuntime::with_concurrency(4)
+        .run_batch(specs.clone())
+        .expect("no job panics");
+
+    // Reversed priorities: last-submitted jobs dispatch first. Results
+    // must not care.
+    let runtime = BatchRuntime::with_concurrency(4);
+    let handles: Vec<_> = specs
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let priority = match i % 3 {
+                0 => Priority::High,
+                1 => Priority::Normal,
+                _ => Priority::Low,
+            };
+            runtime.submit_with_priority(s.clone(), priority)
+        })
+        .collect();
+    let prioritized: Vec<JobResult> = handles
+        .into_iter()
+        .map(|h| h.wait().expect("no job panics"))
+        .collect();
+
+    for (i, seq) in sequential.iter().enumerate() {
+        assert_results_identical(seq, &one[i], &format!("job {i}, 1 executor vs sequential"));
+        assert_results_identical(&one[i], &four[i], &format!("job {i}, 1 vs 4 executors"));
+        assert_results_identical(
+            &four[i],
+            &prioritized[i],
+            &format!("job {i}, priority shuffle"),
+        );
+    }
+}
+
+#[test]
+fn mitigated_cache_hit_is_bit_identical_to_miss() {
+    for spec in mitigated_batch().into_iter().step_by(3) {
+        let cache = LandscapeCache::new(32);
+        let uncached = run_job(&spec, None);
+        let miss = run_job(&spec, Some(&cache));
+        let hit = run_job(&spec, Some(&cache));
+        assert!(!miss.landscape_cache_hit && hit.landscape_cache_hit);
+        assert_results_identical(&uncached, &miss, "uncached vs cache miss");
+        assert_results_identical(&miss, &hit, "cache miss vs cache hit");
+    }
+}
+
+#[test]
+fn zne_sub_landscapes_are_shared_across_jobs_and_with_raw() {
+    let mut rng = StdRng::seed_from_u64(410);
+    let problem = IsingProblem::random_3_regular(6, &mut rng);
+    let grid = Grid2d::small_p1(10, 12);
+    let source = LandscapeSource::noisy(device("ibm perth"));
+    let cache = LandscapeCache::new(16);
+
+    // Job 1: Richardson {1,2,3}. Populates 3 factor entries + 1 final.
+    let (rich, _) = mitigated_landscape(
+        &problem,
+        grid,
+        &source,
+        5,
+        &Mitigation::zne_richardson(),
+        Some(&cache),
+    );
+    let after_rich = cache.stats();
+    assert_eq!(after_rich.len, 4, "{after_rich:?}");
+
+    // Job 2: linear {1,3} over the same device/seed. Factors 1 and 3
+    // must be *hits* — no landscape generation, shared Arcs.
+    let (lin, _) = mitigated_landscape(
+        &problem,
+        grid,
+        &source,
+        5,
+        &Mitigation::zne_linear(),
+        Some(&cache),
+    );
+    let after_lin = cache.stats();
+    assert_eq!(after_lin.len, 5, "only the linear final entry is new");
+    assert_eq!(
+        after_lin.hits,
+        after_rich.hits + 2,
+        "both linear factors must be cache hits: {after_lin:?}"
+    );
+    assert_ne!(rich.values(), lin.values());
+
+    // Arc identity: the factor entries probed directly are the same
+    // allocations the jobs consumed; the factor-1 entry doubles as the
+    // raw noisy landscape.
+    let probe = |scale: f64| {
+        cache
+            .get_or_compute(
+                LandscapeKey::zne_factor(&problem, &grid, &source, 5, scale),
+                || unreachable!("factor {scale} must be resident"),
+            )
+            .0
+    };
+    let (f1a, f1b) = (probe(1.0), probe(1.0));
+    assert!(Arc::ptr_eq(&f1a, &f1b));
+    let (raw, raw_hit) =
+        mitigated_landscape(&problem, grid, &source, 5, &Mitigation::None, Some(&cache));
+    assert!(raw_hit, "raw job must hit the ZNE factor-1 entry");
+    assert!(
+        Arc::ptr_eq(&raw, &f1a),
+        "raw landscape and ZNE factor 1 must be one allocation"
+    );
+    // And a repeated Richardson job shares the final entry by identity.
+    let (rich2, rich2_hit) = mitigated_landscape(
+        &problem,
+        grid,
+        &source,
+        5,
+        &Mitigation::zne_richardson(),
+        Some(&cache),
+    );
+    assert!(rich2_hit);
+    assert!(Arc::ptr_eq(&rich, &rich2));
 }
 
 #[test]

@@ -38,7 +38,11 @@ fn mixed_batch() -> Vec<JobSpec> {
                     1000 + seed * 17 + (pi * 4 + gi) as u64,
                 );
                 // Mixed pipelines: half the jobs skip the optimize stage.
-                spec.optimize = seed % 2 == 0;
+                spec.descent = if seed % 2 == 0 {
+                    oscar_runtime::descent::Descent::NelderMead
+                } else {
+                    oscar_runtime::descent::Descent::None
+                };
                 specs.push(spec);
             }
         }

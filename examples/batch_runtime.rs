@@ -1,7 +1,8 @@
 //! Batch runtime in ~60 lines: submit a sweep of reconstruction jobs —
-//! exact and noisy-device variants — collect handles out of order,
-//! cancel a job, and watch the landscape cache dedupe repeated
-//! instances.
+//! exact, noisy-device, and ZNE-mitigated variants with different
+//! stage-3 optimizers — collect handles out of order, cancel a job,
+//! and watch the landscape cache dedupe repeated instances (including
+//! ZNE's per-factor sub-landscapes, shared with the raw noisy jobs).
 //!
 //! Run with: `cargo run --release --example batch_runtime`
 //! (try `OSCAR_THREADS=4` to size the worker pool explicitly).
@@ -9,7 +10,9 @@
 use oscar::core::grid::Grid2d;
 use oscar::executor::device::DeviceSpec;
 use oscar::problems::ising::IsingProblem;
+use oscar::runtime::descent::Descent;
 use oscar::runtime::job::JobSpec;
+use oscar::runtime::mitigation::Mitigation;
 use oscar::runtime::scheduler::{BatchRuntime, Priority, RuntimeConfig};
 use oscar::runtime::source::LandscapeSource;
 use rand::SeedableRng;
@@ -18,8 +21,10 @@ fn main() {
     // Two MaxCut instances; each is reconstructed under four sampling
     // seeds — a typical "how stable is my reconstruction?" sweep. Half
     // the jobs run against exact landscapes, half against a noisy
-    // simulated IBM Perth whose per-point noise is counter-based, so
-    // every result is bit-reproducible no matter the interleaving.
+    // simulated IBM Perth whose per-point noise is counter-based; the
+    // noisy half alternates raw and Richardson-ZNE-mitigated stage 1,
+    // and the optimizer cycles through the `Descent` lineup — every
+    // result stays bit-reproducible no matter the interleaving.
     let problems: Vec<IsingProblem> = (0..2u64)
         .map(|k| {
             let mut rng = rand::rngs::StdRng::seed_from_u64(10 + k);
@@ -31,21 +36,30 @@ fn main() {
 
     let runtime = BatchRuntime::new(RuntimeConfig {
         concurrency: 4,
-        landscape_cache_capacity: 8,
+        landscape_cache_capacity: 16,
     });
 
     let handles: Vec<_> = problems
         .iter()
         .flat_map(|p| {
             (0..4u64).map(|seed| {
-                let spec = JobSpec::new(p.clone(), grid, 0.2, seed);
+                let descent = Descent::OPTIMIZERS[seed as usize % Descent::OPTIMIZERS.len()];
+                let spec = JobSpec::new(p.clone(), grid, 0.2, seed).with_descent(descent);
                 // Odd seeds: noisy source, dispatched ahead of the
                 // exact jobs via priority (results are unaffected by
-                // dispatch order — only latency is).
+                // dispatch order — only latency is). Every other noisy
+                // job mitigates with Richardson ZNE; its factor-1
+                // landscape is the raw jobs' landscape, shared in cache.
                 if seed % 2 == 1 {
+                    let mitigation = if seed % 4 == 1 {
+                        Mitigation::zne_richardson()
+                    } else {
+                        Mitigation::None
+                    };
                     let noisy = spec
                         .with_source(LandscapeSource::noisy(perth.clone()))
-                        .with_landscape_seed(7);
+                        .with_landscape_seed(7)
+                        .with_mitigation(mitigation);
                     runtime.submit_with_priority(noisy, Priority::High)
                 } else {
                     runtime.submit(spec)
@@ -109,7 +123,8 @@ fn main() {
     let pool = oscar::par::pool::global().stats();
     println!(
         "\nlandscape cache: {} hits / {} misses \
-         (2 instances x {{exact, noisy}} served 8 jobs)",
+         (2 instances x {{exact, noisy raw, noisy ZNE}} served 8 jobs; \
+         the ZNE jobs' factor-1 landscapes are the raw noisy entries)",
         cache.hits, cache.misses
     );
     println!(

@@ -1,5 +1,7 @@
 //! End-to-end integration tests spanning all crates: the full OSCAR
-//! pipeline on small-but-real workloads.
+//! pipeline on small-but-real workloads, plus the golden regression
+//! suite that pins the batch pipeline's observable numbers on the
+//! paper's 50×100 grid.
 
 use oscar::core::prelude::*;
 use oscar::executor::prelude::*;
@@ -13,6 +15,114 @@ use rand::SeedableRng;
 fn problem(n: usize, seed: u64) -> IsingProblem {
     let mut rng = StdRng::seed_from_u64(seed);
     IsingProblem::random_3_regular(n, &mut rng)
+}
+
+/// Golden values for one pinned pipeline run (see
+/// [`golden_pipeline_numbers_on_the_papers_grid`]).
+struct Golden {
+    name: &'static str,
+    nrmse: f64,
+    argmin: [f64; 2],
+    argmin_value: f64,
+    best_value: f64,
+}
+
+/// Golden end-to-end regression: for fixed seeds on the paper's 50×100
+/// p=1 grid, the reconstruction error, reconstruction argmin, and
+/// stage-3 optimizer best-value of one exact, one noisy ("ibm perth"),
+/// and one ZNE-mitigated job are pinned to known-good numbers, so any
+/// future refactor of the transform/solver/mitigation/optimizer stack
+/// diffs against them instead of only against itself.
+///
+/// Tolerances: argmin coordinates are grid points (pinned tight);
+/// error/value floats allow 1e-6 relative slack for libm variation
+/// across platforms. Every stage is deterministic, so a legitimate
+/// refactor that changes these numbers must update them *knowingly*.
+#[test]
+fn golden_pipeline_numbers_on_the_papers_grid() {
+    use oscar::runtime::job::{run_job, JobSpec};
+    use oscar::runtime::mitigation::Mitigation;
+    use oscar::runtime::source::LandscapeSource;
+
+    let p = problem(10, 42);
+    let grid = Grid2d::small_p1(50, 100);
+    let perth = oscar::executor::device::DeviceSpec::by_name("ibm perth").expect("known device");
+    let exact = JobSpec::new(p.clone(), grid, 0.1, 5);
+    let noisy = JobSpec::new(p.clone(), grid, 0.1, 5)
+        .with_source(LandscapeSource::noisy(perth))
+        .with_landscape_seed(3);
+    let zne = noisy.clone().with_mitigation(Mitigation::zne_richardson());
+
+    let goldens = [
+        (
+            exact,
+            Golden {
+                name: "exact",
+                nrmse: 4.116557964577614e-2,
+                argmin: [-4.007133486721675e-1, 5.870652938526382e-1],
+                argmin_value: -1.007222512879648e1,
+                best_value: -1.0073541420077637e1,
+            },
+        ),
+        (
+            noisy,
+            Golden {
+                name: "noisy ibm perth",
+                nrmse: 5.130972566405576e-2,
+                argmin: [-4.007133486721675e-1, 5.870652938526382e-1],
+                argmin_value: -9.187071250739008e0,
+                best_value: -9.187896972531984e0,
+            },
+        ),
+        (
+            zne,
+            Golden {
+                name: "zne richardson",
+                nrmse: 1.086206057744128e-1,
+                argmin: [-4.007133486721675e-1, 5.870652938526382e-1],
+                argmin_value: -9.773983424146747e0,
+                best_value: -9.77440834587305e0,
+            },
+        ),
+    ];
+
+    let close = |a: f64, b: f64, tol: f64| (a - b).abs() <= tol * (1.0 + b.abs());
+    for (spec, golden) in goldens {
+        let r = run_job(&spec, None);
+        assert_eq!(r.samples_used, 500, "{}: sampling budget", golden.name);
+        assert!(
+            close(r.nrmse, golden.nrmse, 1e-6),
+            "{}: nrmse {} drifted from golden {}",
+            golden.name,
+            r.nrmse,
+            golden.nrmse
+        );
+        let (argmin_value, (b, g)) = r.reconstruction.argmin();
+        assert!(
+            close(b, golden.argmin[0], 1e-9) && close(g, golden.argmin[1], 1e-9),
+            "{}: argmin ({b}, {g}) drifted from golden {:?}",
+            golden.name,
+            golden.argmin
+        );
+        assert!(
+            close(argmin_value, golden.argmin_value, 1e-6),
+            "{}: argmin value {argmin_value} drifted from golden {}",
+            golden.name,
+            golden.argmin_value
+        );
+        assert!(
+            close(r.best_value, golden.best_value, 1e-6),
+            "{}: optimizer best value {} drifted from golden {}",
+            golden.name,
+            r.best_value,
+            golden.best_value
+        );
+        assert!(
+            r.best_value <= argmin_value + 1e-9,
+            "{}: stage 3 must not end above the grid argmin",
+            golden.name
+        );
+    }
 }
 
 #[test]
