@@ -17,11 +17,21 @@
 //! paper-style table (Table 5 / Figure 10 shape) with one row per
 //! combination.
 //!
+//! With `--connect ADDR` the batch is not run in-process at all:
+//! every job is submitted to a running `oscar-serve` daemon (Unix
+//! socket path or `host:port`) over the line-delimited JSON protocol,
+//! admission rejects are retried after the server's `retry_after_ms`
+//! hint, and `--compare` verifies each served checksum against a local
+//! `run_job` of the same parameters — the daemon's bit-identical
+//! contract, end to end. `--drain` asks the daemon to drain and shut
+//! down after the batch.
+//!
 //! ```text
 //! oscar-batch [--file PATH] [--jobs N] [--concurrency N]
 //!             [--fraction F] [--no-optimize] [--compare]
 //!             [--device NAME|sweep] [--shots N] [--priority MODE]
 //!             [--mitigation MODE|sweep] [--optimizer NAME|sweep]
+//!             [--connect ADDR] [--drain]
 //! ```
 //!
 //! Job-list format (one job per line, `#` comments):
@@ -44,6 +54,7 @@ use oscar_runtime::job::{run_job, JobResult, JobSpec};
 use oscar_runtime::mitigation::Mitigation;
 use oscar_runtime::scheduler::{BatchRuntime, Priority, RuntimeConfig};
 use oscar_runtime::source::LandscapeSource;
+use oscar_serve::SubmitReq;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Instant;
@@ -86,6 +97,8 @@ struct Options {
     priority: PriorityMode,
     mitigation: String,
     optimizer: String,
+    connect: Option<String>,
+    drain: bool,
 }
 
 fn usage_and_exit(code: i32) -> ! {
@@ -94,6 +107,7 @@ fn usage_and_exit(code: i32) -> ! {
          \x20                  [--fraction F] [--no-optimize] [--compare]\n\
          \x20                  [--device NAME|sweep] [--shots N] [--priority MODE]\n\
          \x20                  [--mitigation MODE|sweep] [--optimizer NAME|sweep]\n\
+         \x20                  [--connect ADDR] [--drain]\n\
          \n\
          --file PATH      job list: lines of `qubits seed rows cols fraction`\n\
          --jobs N         synthetic batch size when no file is given (default 16)\n\
@@ -110,6 +124,11 @@ fn usage_and_exit(code: i32) -> ! {
          \x20                  gaussian (default none)\n\
          --optimizer O    stage-3 descent: none | nelder-mead | adam | momentum |\n\
          \x20                  spsa | cobyla | gradient-free (default nelder-mead)\n\
+         --connect ADDR   submit the batch to a running oscar-serve daemon\n\
+         \x20                  (Unix socket path or host:port) instead of in-process;\n\
+         \x20                  admission rejects are retried per retry_after_ms\n\
+         --drain          after the batch, ask the daemon to drain and shut down\n\
+         \x20                  (needs --connect)\n\
          \n\
          Passing `sweep` to --device, --mitigation, and/or --optimizer crosses\n\
          the swept axes over one fixed instance and prints a paper-style table."
@@ -129,6 +148,8 @@ fn parse_options() -> Options {
         priority: PriorityMode::Uniform(Priority::Normal),
         mitigation: "none".to_string(),
         optimizer: "nelder-mead".to_string(),
+        connect: None,
+        drain: false,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -191,6 +212,8 @@ fn parse_options() -> Options {
             }
             "--mitigation" => opts.mitigation = value(&mut i, "--mitigation"),
             "--optimizer" => opts.optimizer = value(&mut i, "--optimizer"),
+            "--connect" => opts.connect = Some(value(&mut i, "--connect")),
+            "--drain" => opts.drain = true,
             "--help" | "-h" => usage_and_exit(0),
             other => {
                 eprintln!("error: unknown argument '{other}'");
@@ -201,6 +224,10 @@ fn parse_options() -> Options {
     }
     if opts.shots.is_some() && opts.device.is_none() {
         eprintln!("error: --shots needs --device");
+        usage_and_exit(2);
+    }
+    if opts.drain && opts.connect.is_none() {
+        eprintln!("error: --drain needs --connect");
         usage_and_exit(2);
     }
     opts
@@ -417,6 +444,223 @@ fn describe(spec: &JobSpec) -> String {
     )
 }
 
+/// Builds the wire requests for connect mode — the same parameters
+/// [`synthetic_jobs`] / [`load_jobs`] feed into [`JobSpec`]s, expressed
+/// as [`SubmitReq`]s so the daemon rebuilds identical specs.
+fn connect_requests(opts: &Options) -> Vec<SubmitReq> {
+    let mitigation = mitigation_or_exit(&opts.mitigation);
+    let descent = descent_or_exit(&opts.optimizer);
+    let fill = |mut req: SubmitReq, index: usize| -> SubmitReq {
+        req.device = opts.device.clone();
+        req.shots = opts.shots;
+        req.mitigation = mitigation.clone();
+        req.descent = descent;
+        req.priority = Some(opts.priority.for_job(index));
+        req
+    };
+    match &opts.file {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("error: cannot read job list '{path}': {e}");
+                std::process::exit(2);
+            });
+            let mut reqs = Vec::new();
+            for line in text.lines() {
+                let line = line.split('#').next().unwrap_or("").trim();
+                if line.is_empty() {
+                    continue;
+                }
+                let fields: Vec<&str> = line.split_whitespace().collect();
+                let parsed: Option<(usize, u64, usize, usize, f64)> = (|| {
+                    if fields.len() != 5 {
+                        return None;
+                    }
+                    Some((
+                        fields[0].parse().ok()?,
+                        fields[1].parse().ok()?,
+                        fields[2].parse().ok()?,
+                        fields[3].parse().ok()?,
+                        fields[4].parse().ok()?,
+                    ))
+                })();
+                let Some((qubits, seed, rows, cols, fraction)) = parsed else {
+                    eprintln!("error: {path}: expected `qubits seed rows cols fraction`");
+                    std::process::exit(2);
+                };
+                let index = reqs.len();
+                // SubmitReq defaults instance_seed and landscape_seed to
+                // `seed` — exactly the load_jobs mapping.
+                reqs.push(fill(
+                    SubmitReq::new(qubits, seed, rows, cols, fraction),
+                    index,
+                ));
+            }
+            if reqs.is_empty() {
+                eprintln!("error: job list '{path}' contains no jobs");
+                std::process::exit(2);
+            }
+            reqs
+        }
+        None => {
+            // Mirror synthetic_jobs: 4 instances × 4 grids, cycled.
+            let grids = [(16usize, 20usize), (20, 24), (18, 28), (24, 30)];
+            (0..opts.jobs)
+                .map(|j| {
+                    let k = j % 4;
+                    let (rows, cols) = grids[k];
+                    let mut req =
+                        SubmitReq::new(8 + 2 * k, 2000 + j as u64 * 13, rows, cols, opts.fraction);
+                    req.instance_seed = 40 + k as u64;
+                    req.landscape_seed = k as u64;
+                    fill(req, j)
+                })
+                .collect()
+        }
+    }
+}
+
+/// Submits one request, retrying structured admission rejects after the
+/// server's `retry_after_ms` hint (capped per attempt, bounded overall).
+fn submit_with_retry(client: &mut oscar_serve::Client, req: &SubmitReq) -> u64 {
+    use oscar_serve::Json;
+    let give_up = Instant::now() + std::time::Duration::from_secs(300);
+    loop {
+        let reply = client.submit(req).unwrap_or_else(|e| {
+            eprintln!("error: submit failed: {e}");
+            std::process::exit(1);
+        });
+        if reply.get("ok").and_then(Json::as_bool) == Some(true) {
+            return reply.get("job").and_then(Json::as_u64).unwrap_or_else(|| {
+                eprintln!("error: submit reply carried no job id");
+                std::process::exit(1);
+            });
+        }
+        let code = reply.get("error").and_then(Json::as_str).unwrap_or("?");
+        if code != "overloaded" && code != "quota-exceeded" {
+            eprintln!("error: submit rejected: {}", reply.to_string_compact());
+            std::process::exit(1);
+        }
+        if Instant::now() > give_up {
+            eprintln!("error: daemon stayed overloaded past the retry budget");
+            std::process::exit(1);
+        }
+        let retry_ms = reply
+            .get("retry_after_ms")
+            .and_then(Json::as_f64)
+            .unwrap_or(100.0)
+            .clamp(1.0, 2_000.0);
+        std::thread::sleep(std::time::Duration::from_millis(retry_ms as u64));
+    }
+}
+
+/// Connect mode: drive a running `oscar-serve` daemon instead of an
+/// in-process runtime, with `--compare` checking every served checksum
+/// against a local `run_job` of the same request.
+fn run_connected(opts: &Options) -> ! {
+    use oscar_serve::Json;
+    let addr = opts.connect.as_deref().expect("connect mode");
+    let mut client = oscar_serve::Client::connect(addr).unwrap_or_else(|e| {
+        eprintln!("error: cannot connect to {addr}: {e}");
+        std::process::exit(1);
+    });
+    let reqs = connect_requests(opts);
+    println!("{} jobs over the wire to {addr}\n", reqs.len());
+
+    let t0 = Instant::now();
+    let ids: Vec<u64> = reqs
+        .iter()
+        .map(|r| submit_with_retry(&mut client, r))
+        .collect();
+    println!(
+        "{:>6}  {:<10}{:>9}{:>9}{:>11}  checksum",
+        "job", "workload", "nrmse", "cache", "latency"
+    );
+    let mut drift = 0usize;
+    for (req, id) in reqs.iter().zip(&ids) {
+        let reply = client.wait(*id, Some(120_000), false).unwrap_or_else(|e| {
+            eprintln!("error: wait({id}) failed: {e}");
+            std::process::exit(1);
+        });
+        if reply.get("ok").and_then(Json::as_bool) != Some(true)
+            || reply.get("timed_out").and_then(Json::as_bool) == Some(true)
+        {
+            eprintln!(
+                "error: job {id} did not complete: {}",
+                reply.to_string_compact()
+            );
+            std::process::exit(1);
+        }
+        let result = reply.get("result").unwrap_or(&Json::Null);
+        let checksum = result
+            .get("checksum")
+            .and_then(Json::as_str)
+            .unwrap_or("?")
+            .to_string();
+        let verified = if opts.compare {
+            let spec = req.to_spec().unwrap_or_else(|e| {
+                eprintln!("error: {}", e.message);
+                std::process::exit(1);
+            });
+            let local = run_job(&spec, None);
+            let expected = format!("{:016x}", oscar_serve::result_checksum(&local));
+            if expected == checksum {
+                " ok"
+            } else {
+                drift += 1;
+                " DRIFT"
+            }
+        } else {
+            ""
+        };
+        println!(
+            "{:>6}  {:<10}{:>9.4}{:>9}{:>10.1}ms  {checksum}{verified}",
+            id,
+            format!("{}q {}x{}", req.qubits, req.rows, req.cols),
+            result
+                .get("nrmse")
+                .and_then(Json::as_f64)
+                .unwrap_or(f64::NAN),
+            if result.get("cache_hit").and_then(Json::as_bool) == Some(true) {
+                "hit"
+            } else {
+                "miss"
+            },
+            result.get("wall_ms").and_then(Json::as_f64).unwrap_or(0.0),
+        );
+    }
+    let wall = t0.elapsed();
+    println!(
+        "\nbatch wall {:.2}s  throughput {:.2} jobs/s",
+        wall.as_secs_f64(),
+        ids.len() as f64 / wall.as_secs_f64()
+    );
+    if opts.compare {
+        println!(
+            "served results bit-identical to local run_job: {}",
+            if drift == 0 {
+                "yes".to_string()
+            } else {
+                format!("NO ({drift} jobs drifted)")
+            }
+        );
+        if drift > 0 {
+            std::process::exit(1);
+        }
+    }
+    if opts.drain {
+        let reply = client.drain().unwrap_or_else(|e| {
+            eprintln!("error: drain failed: {e}");
+            std::process::exit(1);
+        });
+        if reply.get("ok").and_then(Json::as_bool) != Some(true) {
+            eprintln!("error: drain rejected: {}", reply.to_string_compact());
+            std::process::exit(1);
+        }
+        println!("daemon drained and shut down");
+    }
+    std::process::exit(0);
+}
+
 fn main() {
     let opts = parse_options();
     print_header("oscar-batch", "batch runtime throughput");
@@ -426,6 +670,13 @@ fn main() {
     if sweeping && opts.file.is_some() {
         eprintln!("error: --file cannot be combined with a swept axis");
         std::process::exit(2);
+    }
+    if opts.connect.is_some() {
+        if sweeping {
+            eprintln!("error: swept axes cannot be combined with --connect");
+            std::process::exit(2);
+        }
+        run_connected(&opts);
     }
 
     let (specs, combos) = if sweeping {

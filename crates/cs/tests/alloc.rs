@@ -140,6 +140,47 @@ fn warmed_fista_solve_on_mixed_radix_grid_is_allocation_free() {
 }
 
 #[test]
+fn warmed_multiworker_parallel_apply_allocates_zero_words() {
+    // ROADMAP item 6: the pool's region bookkeeping is a fixed slab, so
+    // a steady-state *multi-worker* parallel apply allocates nothing at
+    // all — not "a few words for the queue push", zero. An explicit
+    // 4-worker pool sidesteps the OSCAR_THREADS=1 pin the other tests
+    // need for the global helpers.
+    let pool = oscar_par::pool::WorkerPool::with_threads(4);
+    let mut v = vec![0.0f64; 1 << 16];
+    // Warm-up: spawns the workers (which allocates) and settles the
+    // region protocol.
+    for _ in 0..4 {
+        pool.for_each_chunk_mut(&mut v, 256, |offset, chunk| {
+            for (k, x) in chunk.iter_mut().enumerate() {
+                *x += (offset + k) as f64;
+            }
+        });
+    }
+    assert_eq!(pool.stats().threads_spawned, 3);
+
+    // Other tests in this binary run concurrently and share the global
+    // counter, so take the minimum over many short attempts: the apply
+    // itself allocating would show in *every* window.
+    let min_during = (0..50)
+        .map(|_| {
+            let before = alloc_count();
+            pool.for_each_chunk_mut(&mut v, 256, |_, chunk| {
+                for x in chunk.iter_mut() {
+                    *x *= 1.0000001;
+                }
+            });
+            alloc_count() - before
+        })
+        .min()
+        .unwrap();
+    assert_eq!(
+        min_during, 0,
+        "steady-state multi-worker apply allocated {min_during} times"
+    );
+}
+
+#[test]
 fn warmed_ista_solve_is_allocation_free_modulo_result() {
     std::env::set_var("OSCAR_THREADS", "1");
     let (dct, pattern, y) = setup();

@@ -74,13 +74,70 @@ struct Region {
 /// Raw region pointer made Send/Sync for the queue. Safety: see
 /// [`Region`] — the submitter keeps the pointee alive until the queue
 /// entry is removed and no worker is pinned.
+#[derive(Clone, Copy)]
 struct RegionPtr(*const Region);
 unsafe impl Send for RegionPtr {}
+
+/// Upper bound on concurrently installed regions. One region per
+/// *top-level* parallel call (nested calls degrade to serial), so this
+/// is effectively a bound on concurrent submitter threads — 64 is far
+/// beyond any realistic batch concurrency. Overflow falls back to
+/// inline serial execution rather than blocking or allocating.
+const MAX_REGIONS: usize = 64;
+
+/// Fixed-capacity slab of active regions (ROADMAP item 6): install and
+/// remove touch only the inline array, so steady-state parallel applies
+/// are *structurally* allocation-free — there is no growable container
+/// on the hot path whose capacity could need a resize.
+struct RegionSlab {
+    slots: [Option<RegionPtr>; MAX_REGIONS],
+}
+
+impl RegionSlab {
+    const fn new() -> Self {
+        RegionSlab {
+            slots: [None; MAX_REGIONS],
+        }
+    }
+
+    /// Installs `ptr` in the first free slot; `false` when full.
+    fn install(&mut self, ptr: RegionPtr) -> bool {
+        if let Some(slot) = self.slots.iter_mut().find(|s| s.is_none()) {
+            *slot = Some(ptr);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Clears the slot holding exactly `ptr` (no-op when absent).
+    fn remove(&mut self, ptr: *const Region) {
+        for slot in &mut self.slots {
+            if slot.is_some_and(|p| std::ptr::addr_eq(p.0, ptr)) {
+                *slot = None;
+                return;
+            }
+        }
+    }
+
+    /// First installed region with tasks still to hand out.
+    ///
+    /// # Safety
+    ///
+    /// Caller must hold the slab's lock: entries are removed before
+    /// their region is freed, and removal takes the same lock.
+    unsafe fn find_ready(&self) -> Option<RegionPtr> {
+        self.slots.iter().flatten().copied().find(|p| {
+            let region = &*p.0;
+            region.cursor.load(Ordering::Acquire) < region.ntasks
+        })
+    }
+}
 
 struct Inner {
     threads: usize,
     /// Active regions; workers scan for one with remaining tasks.
-    queue: Mutex<Vec<RegionPtr>>,
+    queue: Mutex<RegionSlab>,
     /// Signaled when a region is installed or shutdown begins.
     cv: Condvar,
     shutdown: AtomicBool,
@@ -105,7 +162,7 @@ impl WorkerPool {
         WorkerPool {
             inner: Arc::new(Inner {
                 threads: threads.max(1),
-                queue: Mutex::new(Vec::new()),
+                queue: Mutex::new(RegionSlab::new()),
                 cv: Condvar::new(),
                 shutdown: AtomicBool::new(false),
                 started: AtomicBool::new(false),
@@ -194,10 +251,19 @@ impl WorkerPool {
             sync: Mutex::new(()),
             cv: Condvar::new(),
         };
-        // Install the region and wake sleeping workers.
+        // Install the region and wake sleeping workers. A full slab
+        // (more than MAX_REGIONS concurrent submitters) degrades to
+        // inline serial execution — never blocks, never allocates.
         {
             let mut queue = self.inner.queue.lock().unwrap();
-            queue.push(RegionPtr(&region as *const Region));
+            if !queue.install(RegionPtr(&region as *const Region)) {
+                drop(queue);
+                let _guard = RegionGuard::enter();
+                for i in 0..ntasks {
+                    run(i);
+                }
+                return;
+            }
         }
         self.inner.cv.notify_all();
         // Participate: the submitter executes tasks like any worker, so
@@ -215,7 +281,7 @@ impl WorkerPool {
         }
         {
             let mut queue = self.inner.queue.lock().unwrap();
-            queue.retain(|p| !std::ptr::addr_eq(p.0, &region as *const Region));
+            queue.remove(&region as *const Region);
         }
         self.inner.regions_run.fetch_add(1, Ordering::Relaxed);
         let payload = region.panic.lock().unwrap().take();
@@ -453,19 +519,16 @@ fn worker_loop(inner: &Inner) {
                 if inner.shutdown.load(Ordering::Acquire) {
                     return;
                 }
-                let found = queue.iter().find(|p| {
-                    // SAFETY: entries are removed from the queue before
-                    // their region is freed, and only after `pinned == 0`;
-                    // we read under the queue lock that removal also takes.
-                    let region = unsafe { &*p.0 };
-                    region.cursor.load(Ordering::Acquire) < region.ntasks
-                });
+                // SAFETY: we hold the slab lock — entries are removed
+                // from the slab before their region is freed, and only
+                // after `pinned == 0`, so every installed pointer is live.
+                let found = unsafe { queue.find_ready() };
                 if let Some(p) = found {
                     // Pin under the queue lock so the submitter cannot
                     // free the region while we hold the pointer.
                     let region = unsafe { &*p.0 };
                     region.pinned.fetch_add(1, Ordering::AcqRel);
-                    break RegionPtr(p.0);
+                    break p;
                 }
                 queue = inner.cv.wait(queue).unwrap();
             }
@@ -568,6 +631,27 @@ mod tests {
                 .enumerate()
                 .all(|(i, &x)| x == t as u64 * 1_000_000 + i as u64));
         }
+    }
+
+    #[test]
+    fn region_slab_bounds_and_reuses_slots() {
+        // install/remove never dereference the pointers, so markers of
+        // the wrong pointee type are fine here.
+        let markers = [0u8; MAX_REGIONS + 1];
+        let ptrs: Vec<*const Region> = markers
+            .iter()
+            .map(|m| m as *const u8 as *const Region)
+            .collect();
+        let mut slab = RegionSlab::new();
+        for &p in &ptrs[..MAX_REGIONS] {
+            assert!(slab.install(RegionPtr(p)));
+        }
+        assert!(!slab.install(RegionPtr(ptrs[MAX_REGIONS])), "slab full");
+        slab.remove(ptrs[3]);
+        assert!(
+            slab.install(RegionPtr(ptrs[MAX_REGIONS])),
+            "freed slot is reused"
+        );
     }
 
     #[test]

@@ -85,5 +85,7 @@ pub use cache::{CacheStats, LandscapeCache, LandscapeKey, LruCache};
 pub use descent::Descent;
 pub use job::{run_job, JobResult, JobSpec};
 pub use mitigation::{mitigated_landscape, Mitigation};
-pub use scheduler::{BatchRuntime, JobHandle, JobLost, Priority, RuntimeConfig};
+pub use scheduler::{
+    BatchRuntime, JobHandle, JobLost, JobStatus, Priority, RuntimeConfig, SubmitOptions,
+};
 pub use source::LandscapeSource;

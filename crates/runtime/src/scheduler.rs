@@ -3,33 +3,44 @@
 //!
 //! [`BatchRuntime`] owns a small set of persistent *executor* threads
 //! (the concurrency bound) draining a priority queue of [`JobSpec`]s:
-//! higher-[`Priority`] jobs dispatch first, equal priorities in FIFO
-//! submission order. Each executor runs one job at a time through the
-//! full pipeline ([`crate::job::run_job`]); the data-parallel stages
-//! inside a job (landscape evaluation, large-grid DCT passes) delegate
-//! to the global `oscar-par` worker pool, whose chunk-stealing workers
-//! are shared by every concurrently running job — so job-level and
+//! higher-[`Priority`] jobs dispatch first; within a priority level,
+//! jobs carrying a deadline dispatch earliest-deadline-first ahead of
+//! deadline-less jobs, and deadline-less jobs keep FIFO submission
+//! order. Each executor runs one job at a time through the full
+//! pipeline ([`crate::job::run_job`]); the data-parallel stages inside
+//! a job (landscape evaluation, large-grid DCT passes) delegate to the
+//! global `oscar-par` worker pool, whose chunk-stealing workers are
+//! shared by every concurrently running job — so job-level and
 //! data-level parallelism compose without oversubscribing the machine.
 //!
-//! Priorities and cancellation change *when* (and whether) a job runs,
-//! never *what* it computes: a [`crate::job::JobResult`] is a pure
-//! function of its spec, so results stay bit-identical under any
-//! dispatch order.
+//! Priorities, deadlines, and cancellation change *when* (and whether)
+//! a job runs, never *what* it computes: a [`crate::job::JobResult`]
+//! is a pure function of its spec, so results stay bit-identical under
+//! any dispatch order.
 //!
 //! Submission is asynchronous: [`BatchRuntime::submit`] returns a
 //! [`JobHandle`] immediately; [`JobHandle::wait`] blocks for that job's
-//! [`JobResult`]; [`JobHandle::cancel`] drops a still-queued job without
-//! running it. [`BatchRuntime::run_batch`] is the synchronous
-//! convenience that submits a whole batch and returns results in
-//! submission order.
+//! [`JobResult`] and [`JobHandle::wait_timeout`] bounds the block;
+//! [`JobHandle::cancel`] drops a still-queued job without running it.
+//! A queued job whose [`SubmitOptions::deadline`] passes before an
+//! executor reaches it is cancelled server-side — it never runs, and
+//! its handle reports an *expired* [`JobLost`]. Overdue entries are
+//! discarded when an executor pops them; a long-running service can
+//! additionally call [`BatchRuntime::expire_overdue`] to sweep them
+//! out of the queue eagerly. [`BatchRuntime::run_batch`] is the
+//! synchronous convenience that submits a whole batch and returns
+//! results in submission order, and [`BatchRuntime::drain`] blocks
+//! until everything admitted so far has finished — the graceful-
+//! shutdown hook `oscar-serve` uses.
 
 use crate::cache::{lock, CacheStats, LandscapeCache};
 use crate::job::{run_job, JobResult, JobSpec};
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// Scheduler configuration.
 #[derive(Clone, Copy, Debug)]
@@ -66,32 +77,101 @@ pub enum Priority {
     High,
 }
 
+/// Everything [`BatchRuntime::submit_opts`] can attach to a job beyond
+/// its spec: a dispatch [`Priority`] and an optional absolute deadline.
+///
+/// A deadline changes scheduling two ways. While queued, the job sorts
+/// earliest-deadline-first *within its priority level*, ahead of
+/// deadline-less jobs of the same priority (callers that want a
+/// deadline to outrank higher static priorities map it to a higher
+/// [`Priority`] themselves — `oscar-serve` derives that mapping from
+/// observed latency percentiles). And once the deadline passes, a job
+/// still queued is cancelled server-side: it never runs, and its
+/// handle's wait reports an expired [`JobLost`]. A deadline never
+/// interrupts a job that already started.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SubmitOptions {
+    /// Dispatch priority ([`Priority::Normal`] by default).
+    pub priority: Priority,
+    /// Absolute wall-clock deadline for *starting* the job. `None`
+    /// (the default) means the job waits indefinitely.
+    pub deadline: Option<Instant>,
+}
+
+impl SubmitOptions {
+    /// Options with the given priority and no deadline.
+    pub fn with_priority(priority: Priority) -> Self {
+        SubmitOptions {
+            priority,
+            deadline: None,
+        }
+    }
+
+    /// Replaces the deadline (builder-style).
+    pub fn deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
+/// Observable lifecycle of a submitted job (see [`JobHandle::status`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum JobStatus {
+    /// Waiting in the queue.
+    Queued,
+    /// Claimed by an executor and running (or finished with the result
+    /// still in flight to the handle's channel).
+    Running,
+    /// The result has been computed and delivered (or is waiting in the
+    /// handle's channel).
+    Done,
+    /// Dropped from the queue by [`JobHandle::cancel`] before running.
+    Cancelled,
+    /// Dropped from the queue because its [`SubmitOptions::deadline`]
+    /// passed before an executor reached it.
+    Expired,
+    /// The job panicked while running; no result exists.
+    Failed,
+}
+
 /// Job lifecycle, shared between a queue entry and its [`JobHandle`].
 /// Transitions: `QUEUED -> RUNNING -> DONE` for the normal path;
 /// `QUEUED -> CANCELLED` for a cancel that wins the race with dispatch;
+/// `QUEUED -> EXPIRED` for a deadline that passes first;
 /// `RUNNING -> CANCEL_REQUESTED -> DONE` when cancel arrives too late
 /// (the job is not interrupted; the mark is observable but the result
-/// is still delivered).
+/// is still delivered); `RUNNING -> FAILED` when the job panics.
 const QUEUED: u8 = 0;
 const RUNNING: u8 = 1;
 const DONE: u8 = 2;
 const CANCELLED: u8 = 3;
 const CANCEL_REQUESTED: u8 = 4;
+const FAILED: u8 = 5;
+const EXPIRED: u8 = 6;
 
 struct QueuedJob {
     id: u64,
     priority: Priority,
+    deadline: Option<Instant>,
     spec: JobSpec,
     tx: Sender<JobResult>,
     state: Arc<AtomicU8>,
 }
 
-// The heap is a max-heap: order by priority, then by *reversed* id so
-// the smallest (earliest-submitted) id wins among equal priorities.
+// The heap is a max-heap: order by priority, then earliest deadline
+// first within a level (a deadline-less job sorts after every
+// deadlined one), then by *reversed* id so the smallest
+// (earliest-submitted) id wins among remaining ties.
 impl Ord for QueuedJob {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         self.priority
             .cmp(&other.priority)
+            .then_with(|| match (self.deadline, other.deadline) {
+                (Some(a), Some(b)) => b.cmp(&a),
+                (Some(_), None) => std::cmp::Ordering::Greater,
+                (None, Some(_)) => std::cmp::Ordering::Less,
+                (None, None) => std::cmp::Ordering::Equal,
+            })
             .then_with(|| other.id.cmp(&self.id))
     }
 }
@@ -113,12 +193,28 @@ impl Eq for QueuedJob {}
 struct SchedInner {
     queue: Mutex<BinaryHeap<QueuedJob>>,
     cv: Condvar,
+    /// Signaled (under the queue mutex) whenever a job settles or a
+    /// queue entry is discarded — [`BatchRuntime::drain`] waits here.
+    done_cv: Condvar,
     shutdown: AtomicBool,
     cache: LandscapeCache,
     submitted: AtomicU64,
     dispatched: AtomicU64,
     completed: AtomicU64,
     cancelled: AtomicU64,
+    expired: AtomicU64,
+    failed: AtomicU64,
+    running: AtomicU64,
+}
+
+impl SchedInner {
+    /// Notifies drain waiters that progress happened (a job settled or
+    /// a queue entry was discarded). Locks the queue briefly so the
+    /// notification pairs with [`BatchRuntime::drain`]'s locked wait.
+    fn notify_progress(&self) {
+        drop(lock(&self.queue));
+        self.done_cv.notify_all();
+    }
 }
 
 /// A persistent batch scheduler (see the [module docs](self)).
@@ -126,20 +222,23 @@ struct SchedInner {
 /// Dropping the runtime shuts it down: executors finish the job they
 /// are on, remaining queued jobs are abandoned — their handles' `wait`
 /// returns `Err(`[`JobLost`]`)`. Prefer draining with
-/// [`Self::run_batch`] or by waiting every handle before drop.
+/// [`Self::drain`] / [`Self::run_batch`] or by waiting every handle
+/// before drop.
 pub struct BatchRuntime {
     inner: Arc<SchedInner>,
     executors: Vec<JoinHandle<()>>,
 }
 
 /// Error returned by [`JobHandle::wait`] when a job can no longer
-/// produce a result: it was cancelled while queued, the runtime was
-/// dropped while the job was still queued, or the job itself panicked
-/// (the executor contains the panic and keeps draining the queue).
+/// produce a result: it was cancelled while queued, its deadline
+/// expired while queued, the runtime was dropped while the job was
+/// still queued, or the job itself panicked (the executor contains the
+/// panic and keeps draining the queue).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct JobLost {
     id: u64,
     cancelled: bool,
+    expired: bool,
 }
 
 impl JobLost {
@@ -153,12 +252,20 @@ impl JobLost {
     pub fn was_cancelled(&self) -> bool {
         self.cancelled
     }
+
+    /// `true` when the job was lost because its
+    /// [`SubmitOptions::deadline`] passed before it ran.
+    pub fn was_expired(&self) -> bool {
+        self.expired
+    }
 }
 
 impl std::fmt::Display for JobLost {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         if self.cancelled {
             write!(f, "job {} was cancelled before it ran", self.id)
+        } else if self.expired {
+            write!(f, "job {}'s deadline expired before it ran", self.id)
         } else {
             write!(
                 f,
@@ -171,6 +278,15 @@ impl std::fmt::Display for JobLost {
 }
 
 impl std::error::Error for JobLost {}
+
+/// Builds the [`JobLost`] matching a job's final state.
+fn lost_from_state(id: u64, state: u8) -> JobLost {
+    JobLost {
+        id,
+        cancelled: state == CANCELLED,
+        expired: state == EXPIRED,
+    }
+}
 
 /// A claim ticket for one submitted job.
 pub struct JobHandle {
@@ -185,16 +301,64 @@ impl JobHandle {
         self.id
     }
 
+    /// The job's current lifecycle state. A `Cancelled`, `Expired`, or
+    /// `Failed` status is terminal: the job will never produce a
+    /// result. `Done` means the result exists (it may still be waiting
+    /// in the channel until [`Self::wait`] collects it).
+    pub fn status(&self) -> JobStatus {
+        match self.state.load(Ordering::Acquire) {
+            QUEUED => JobStatus::Queued,
+            RUNNING | CANCEL_REQUESTED => JobStatus::Running,
+            DONE => JobStatus::Done,
+            CANCELLED => JobStatus::Cancelled,
+            EXPIRED => JobStatus::Expired,
+            _ => JobStatus::Failed,
+        }
+    }
+
     /// Blocks until the job finishes and returns its result, or
     /// `Err(`[`JobLost`]`)` when it never will: the job was cancelled
-    /// while queued, the runtime was dropped with it still queued, or
-    /// it panicked — callers can distinguish every no-result path from
-    /// success instead of unwinding.
+    /// or its deadline expired while queued, the runtime was dropped
+    /// with it still queued, or it panicked — callers can distinguish
+    /// every no-result path from success instead of unwinding.
+    ///
+    /// A job already marked cancelled or expired returns `Err`
+    /// immediately, even while its dead queue entry still waits to be
+    /// discarded.
     pub fn wait(self) -> Result<JobResult, JobLost> {
-        self.rx.recv().map_err(|_| JobLost {
-            id: self.id,
-            cancelled: self.state.load(Ordering::Acquire) == CANCELLED,
-        })
+        if let s @ (CANCELLED | EXPIRED) = self.state.load(Ordering::Acquire) {
+            return Err(lost_from_state(self.id, s));
+        }
+        self.rx
+            .recv()
+            .map_err(|_| lost_from_state(self.id, self.state.load(Ordering::Acquire)))
+    }
+
+    /// Bounded [`Self::wait`]: blocks up to `timeout` for the result.
+    ///
+    /// Returns `Ok(Some(result))` when the job finished, `Ok(None)`
+    /// when the timeout elapsed with the job still pending (call again
+    /// later — the handle stays valid), and `Err(`[`JobLost`]`)` when
+    /// the job will never produce a result (cancelled, expired,
+    /// runtime dropped, or panicked).
+    pub fn wait_timeout(&self, timeout: Duration) -> Result<Option<JobResult>, JobLost> {
+        if let s @ (CANCELLED | EXPIRED) = self.state.load(Ordering::Acquire) {
+            return Err(lost_from_state(self.id, s));
+        }
+        match self.rx.recv_timeout(timeout) {
+            Ok(result) => Ok(Some(result)),
+            Err(RecvTimeoutError::Timeout) => {
+                // The job may have been cancelled or expired while we
+                // blocked; report that instead of a bare timeout.
+                match self.state.load(Ordering::Acquire) {
+                    s @ (CANCELLED | EXPIRED) => Err(lost_from_state(self.id, s)),
+                    _ => Ok(None),
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                Err(lost_from_state(self.id, self.state.load(Ordering::Acquire)))
+            }
+        }
     }
 
     /// Requests cancellation. Returns `true` when the job was still
@@ -205,7 +369,8 @@ impl JobHandle {
     /// still computed and delivered) or already finished.
     ///
     /// Cheap either way: one atomic transition; the queue entry is
-    /// discarded lazily when an executor pops it.
+    /// discarded lazily when an executor pops it (or eagerly by
+    /// [`BatchRuntime::expire_overdue`]).
     pub fn cancel(&self) -> bool {
         if self
             .state
@@ -224,10 +389,12 @@ impl JobHandle {
         false
     }
 
-    /// `true` once the job's result has been computed (it may still be
-    /// waiting in the channel until [`Self::wait`] collects it).
+    /// `true` once the job has settled without a pending result path:
+    /// its result has been computed ([`JobStatus::Done`] — possibly
+    /// still waiting in the channel until [`Self::wait`] collects it)
+    /// or it panicked ([`JobStatus::Failed`]).
     pub fn is_finished(&self) -> bool {
-        self.state.load(Ordering::Acquire) == DONE
+        matches!(self.state.load(Ordering::Acquire), DONE | FAILED)
     }
 }
 
@@ -237,12 +404,16 @@ impl BatchRuntime {
         let inner = Arc::new(SchedInner {
             queue: Mutex::new(BinaryHeap::new()),
             cv: Condvar::new(),
+            done_cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
             cache: LandscapeCache::new(config.landscape_cache_capacity.max(1)),
             submitted: AtomicU64::new(0),
             dispatched: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             cancelled: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            running: AtomicU64::new(0),
         });
         let executors = (0..config.concurrency.max(1))
             .map(|k| {
@@ -267,13 +438,19 @@ impl BatchRuntime {
     /// Enqueues a job at [`Priority::Normal`] and returns its handle
     /// immediately.
     pub fn submit(&self, spec: JobSpec) -> JobHandle {
-        self.submit_with_priority(spec, Priority::Normal)
+        self.submit_opts(spec, SubmitOptions::default())
     }
 
     /// Enqueues a job at `priority` and returns its handle immediately.
     /// Among queued jobs, higher priority dispatches first; equal
     /// priorities dispatch in submission order.
     pub fn submit_with_priority(&self, spec: JobSpec, priority: Priority) -> JobHandle {
+        self.submit_opts(spec, SubmitOptions::with_priority(priority))
+    }
+
+    /// Enqueues a job with full [`SubmitOptions`] (priority and
+    /// optional start deadline) and returns its handle immediately.
+    pub fn submit_opts(&self, spec: JobSpec, opts: SubmitOptions) -> JobHandle {
         let id = self.inner.submitted.fetch_add(1, Ordering::Relaxed) + 1;
         let (tx, rx) = channel();
         let state = Arc::new(AtomicU8::new(QUEUED));
@@ -281,7 +458,8 @@ impl BatchRuntime {
             let mut queue = lock(&self.inner.queue);
             queue.push(QueuedJob {
                 id,
-                priority,
+                priority: opts.priority,
+                deadline: opts.deadline,
                 spec,
                 tx,
                 state: Arc::clone(&state),
@@ -308,6 +486,80 @@ impl BatchRuntime {
         handles.into_iter().map(|h| h.wait()).collect()
     }
 
+    /// Sweeps the queue, discarding entries that will never run: jobs
+    /// whose [`SubmitOptions::deadline`] has passed (marked expired)
+    /// and jobs already cancelled by their handle. Discarding drops
+    /// each entry's result channel, so blocked waiters wake with the
+    /// matching [`JobLost`] immediately instead of when an executor
+    /// eventually pops the dead entry. Returns how many jobs expired
+    /// in this sweep.
+    ///
+    /// Executors also discard overdue entries at pop time; this sweep
+    /// exists so a long-running service (whose executors may be busy
+    /// for seconds) can bound how long expired waiters linger. It
+    /// rebuilds the heap, so it is O(queue) — call it from a periodic
+    /// tick, not a hot path.
+    pub fn expire_overdue(&self) -> u64 {
+        let now = Instant::now();
+        let mut expired_now = 0;
+        let mut queue = lock(&self.inner.queue);
+        if queue.is_empty() {
+            return 0;
+        }
+        let entries = std::mem::take(&mut *queue).into_vec();
+        let mut kept = Vec::with_capacity(entries.len());
+        let mut discarded = false;
+        for job in entries {
+            if job.state.load(Ordering::Acquire) == CANCELLED {
+                self.inner.cancelled.fetch_add(1, Ordering::Relaxed);
+                discarded = true;
+                continue;
+            }
+            if let Some(deadline) = job.deadline {
+                if now >= deadline
+                    && job
+                        .state
+                        .compare_exchange(QUEUED, EXPIRED, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                {
+                    self.inner.expired.fetch_add(1, Ordering::Relaxed);
+                    expired_now += 1;
+                    discarded = true;
+                    continue;
+                }
+            }
+            kept.push(job);
+        }
+        *queue = BinaryHeap::from(kept);
+        drop(queue);
+        if discarded {
+            self.inner.done_cv.notify_all();
+        }
+        expired_now
+    }
+
+    /// Blocks until every job admitted so far has settled: the queue is
+    /// empty and no executor is running a job. Queued jobs run to
+    /// completion (cancelled/expired entries are discarded), so every
+    /// outstanding handle resolves. The graceful-shutdown hook: stop
+    /// submitting, `drain()`, then drop the runtime.
+    ///
+    /// Callers must stop submitting first — a concurrent submitter can
+    /// extend the drain indefinitely.
+    pub fn drain(&self) {
+        let mut queue = lock(&self.inner.queue);
+        loop {
+            if queue.is_empty() && self.inner.running.load(Ordering::Acquire) == 0 {
+                return;
+            }
+            queue = self
+                .inner
+                .done_cv
+                .wait(queue)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
     /// Landscape-cache counters.
     pub fn cache_stats(&self) -> CacheStats {
         self.inner.cache.stats()
@@ -329,6 +581,31 @@ impl BatchRuntime {
         self.inner.cancelled.load(Ordering::Relaxed)
     }
 
+    /// Jobs dropped from the queue because their deadline passed before
+    /// they ran.
+    pub fn expired(&self) -> u64 {
+        self.inner.expired.load(Ordering::Relaxed)
+    }
+
+    /// Jobs that panicked while running (contained; no result).
+    pub fn failed(&self) -> u64 {
+        self.inner.failed.load(Ordering::Relaxed)
+    }
+
+    /// Queue depth: entries waiting for an executor. Includes entries
+    /// already cancelled or expired but not yet discarded (they cost a
+    /// pop, not a run); [`Self::expire_overdue`] sweeps those out.
+    pub fn pending(&self) -> usize {
+        lock(&self.inner.queue).len()
+    }
+
+    /// Queue entries claimed by executors and not yet settled (running
+    /// jobs, plus entries an executor is about to discard as cancelled
+    /// or expired).
+    pub fn running(&self) -> u64 {
+        self.inner.running.load(Ordering::Acquire)
+    }
+
     /// The concurrency bound (number of executors).
     pub fn concurrency(&self) -> usize {
         self.executors.len()
@@ -344,6 +621,12 @@ impl Drop for BatchRuntime {
         for handle in self.executors.drain(..) {
             let _ = handle.join();
         }
+        // After the executors exit, this runtime holds the only strong
+        // reference to the queue: dropping it (when `self.inner` drops
+        // right after this body) frees every abandoned entry's sender,
+        // so outstanding handles — including cancelled-then-dropped
+        // ones — wake from `wait` with `Err(JobLost)` rather than
+        // blocking forever.
     }
 }
 
@@ -354,6 +637,9 @@ impl std::fmt::Debug for BatchRuntime {
             .field("submitted", &self.submitted())
             .field("completed", &self.completed())
             .field("cancelled", &self.cancelled())
+            .field("expired", &self.expired())
+            .field("pending", &self.pending())
+            .field("running", &self.running())
             .field("cache", &self.cache_stats())
             .finish()
     }
@@ -368,11 +654,33 @@ fn executor_loop(inner: &SchedInner) {
                     return;
                 }
                 if let Some(job) = queue.pop() {
+                    // Count the entry in-flight while still holding the
+                    // queue lock: `drain` checks `queue.is_empty() &&
+                    // running == 0` under this same lock, so it can
+                    // never observe the gap between a pop and the
+                    // claimed job becoming visible.
+                    inner.running.fetch_add(1, Ordering::AcqRel);
                     break job;
                 }
                 queue = inner.cv.wait(queue).unwrap_or_else(PoisonError::into_inner);
             }
         };
+        // Expire an overdue entry before claiming it: it never runs,
+        // and dropping it below wakes its waiter with the expired error.
+        if let Some(deadline) = job.deadline {
+            if Instant::now() >= deadline
+                && job
+                    .state
+                    .compare_exchange(QUEUED, EXPIRED, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+            {
+                inner.expired.fetch_add(1, Ordering::Relaxed);
+                drop(job);
+                inner.running.fetch_sub(1, Ordering::AcqRel);
+                inner.notify_progress();
+                continue;
+            }
+        }
         // Claim the job. A cancel that won the race left CANCELLED
         // here: discard the entry (dropping its sender wakes the
         // handle's `wait` with the cancelled error) and keep draining.
@@ -381,7 +689,12 @@ fn executor_loop(inner: &SchedInner) {
             .compare_exchange(QUEUED, RUNNING, Ordering::AcqRel, Ordering::Acquire)
             .is_err()
         {
-            inner.cancelled.fetch_add(1, Ordering::Relaxed);
+            if job.state.load(Ordering::Acquire) == CANCELLED {
+                inner.cancelled.fetch_add(1, Ordering::Relaxed);
+            }
+            drop(job);
+            inner.running.fetch_sub(1, Ordering::AcqRel);
+            inner.notify_progress();
             continue;
         }
         let seq = inner.dispatched.fetch_add(1, Ordering::Relaxed) + 1;
@@ -402,7 +715,10 @@ fn executor_loop(inner: &SchedInner) {
             // A dropped handle just means nobody is waiting for this result.
             let _ = job.tx.send(result);
         } else {
-            job.state.store(DONE, Ordering::Release);
+            inner.failed.fetch_add(1, Ordering::Relaxed);
+            job.state.store(FAILED, Ordering::Release);
         }
+        inner.running.fetch_sub(1, Ordering::AcqRel);
+        inner.notify_progress();
     }
 }

@@ -1,0 +1,132 @@
+//! Admission control: retry-after hints and deadline→priority mapping.
+//!
+//! The daemon never queues without bound. A submit that would exceed
+//! the pending-queue capacity or the client's live-job quota is
+//! rejected with a structured `retry_after_ms` computed here from the
+//! observed job-latency percentiles ([`LatencyStats`] over the
+//! daemon's sliding [`oscar_executor::latency::LatencyWindow`]): the
+//! backlog ahead of the client, divided by the executor concurrency,
+//! times the median job latency — i.e. roughly when a queue slot
+//! should free up. Before any job has completed (cold start) a
+//! conservative default median is assumed.
+//!
+//! Deadlines map to dispatch priority the same way: a deadline tighter
+//! than a few medians' worth of queue time cannot tolerate sitting
+//! behind normal work, so it is admitted at [`Priority::High`];
+//! anything looser keeps the requested (or Normal) priority and relies
+//! on EDF ordering within its level.
+
+use oscar_executor::latency::LatencyStats;
+use oscar_runtime::scheduler::Priority;
+use std::time::Duration;
+
+/// Assumed median job latency before the window has any samples.
+const COLD_START_MEDIAN_S: f64 = 0.5;
+
+/// Bounds on the retry-after hint.
+const MIN_RETRY_S: f64 = 0.05;
+const MAX_RETRY_S: f64 = 60.0;
+
+/// Deadlines tighter than this many medians of estimated queue wait
+/// are promoted to [`Priority::High`].
+const TIGHT_DEADLINE_MEDIANS: f64 = 4.0;
+
+/// Estimated time until a queue slot frees up, given the current
+/// backlog (`pending` queued + `running` in flight), the executor
+/// concurrency, and the observed latency percentiles (`None` before
+/// the first completion). Clamped to `[50ms, 60s]` so a hostile or
+/// degenerate window can neither hammer the daemon with instant
+/// retries nor park clients forever.
+pub fn retry_after(
+    pending: usize,
+    running: usize,
+    concurrency: usize,
+    stats: Option<LatencyStats>,
+) -> Duration {
+    let median = stats
+        .map(|s| s.median)
+        .filter(|m| m.is_finite() && *m > 0.0)
+        .unwrap_or(COLD_START_MEDIAN_S);
+    let backlog = (pending + running) as f64;
+    let slots = concurrency.max(1) as f64;
+    let eta = median * (backlog / slots).max(1.0);
+    Duration::from_secs_f64(eta.clamp(MIN_RETRY_S, MAX_RETRY_S))
+}
+
+/// The dispatch priority for a job admitted with `deadline` (time
+/// until its start deadline) given the current backlog estimate: tight
+/// deadlines are promoted to [`Priority::High`], loose ones keep
+/// `requested` (or [`Priority::Normal`]). An explicit request is never
+/// demoted — a client asking for High with a loose deadline gets High.
+pub fn deadline_priority(
+    requested: Option<Priority>,
+    deadline: Duration,
+    stats: Option<LatencyStats>,
+) -> Priority {
+    let base = requested.unwrap_or(Priority::Normal);
+    let median = stats
+        .map(|s| s.median)
+        .filter(|m| m.is_finite() && *m > 0.0)
+        .unwrap_or(COLD_START_MEDIAN_S);
+    if deadline.as_secs_f64() < TIGHT_DEADLINE_MEDIANS * median {
+        base.max(Priority::High)
+    } else {
+        base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(median: f64, p99: f64) -> Option<LatencyStats> {
+        Some(LatencyStats {
+            median,
+            p99,
+            max: p99,
+        })
+    }
+
+    #[test]
+    fn retry_scales_with_backlog_and_concurrency() {
+        let s = stats(2.0, 10.0);
+        let small = retry_after(4, 2, 2, s);
+        let large = retry_after(40, 2, 2, s);
+        assert!(large > small, "{large:?} vs {small:?}");
+        let wide = retry_after(40, 2, 8, s);
+        assert!(wide < large, "more executors drain the backlog faster");
+    }
+
+    #[test]
+    fn retry_is_clamped_and_cold_start_safe() {
+        assert_eq!(retry_after(0, 0, 4, None).as_secs_f64(), 0.5);
+        assert!(retry_after(1, 0, 4, stats(1e-9, 1e-9)).as_secs_f64() >= 0.05);
+        assert!(retry_after(100_000, 0, 1, stats(50.0, 100.0)).as_secs_f64() <= 60.0);
+        // A poisoned window (NaN median) falls back to the cold-start
+        // default instead of propagating NaN into the protocol.
+        let poisoned = stats(f64::NAN, f64::NAN);
+        assert!(retry_after(1, 0, 1, poisoned).as_secs_f64().is_finite());
+    }
+
+    #[test]
+    fn tight_deadlines_promote_loose_ones_do_not() {
+        let s = stats(1.0, 5.0);
+        assert_eq!(
+            deadline_priority(None, Duration::from_millis(500), s),
+            Priority::High
+        );
+        assert_eq!(
+            deadline_priority(None, Duration::from_secs(60), s),
+            Priority::Normal
+        );
+        // Explicit requests are never demoted.
+        assert_eq!(
+            deadline_priority(Some(Priority::High), Duration::from_secs(60), s),
+            Priority::High
+        );
+        assert_eq!(
+            deadline_priority(Some(Priority::Low), Duration::from_secs(60), s),
+            Priority::Low
+        );
+    }
+}

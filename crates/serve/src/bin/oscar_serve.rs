@@ -1,0 +1,131 @@
+//! The `oscar-serve` daemon binary.
+//!
+//! ```text
+//! oscar-serve --socket /run/oscar.sock [--concurrency 4] [--max-pending 64]
+//! oscar-serve --listen 127.0.0.1:7070
+//! ```
+//!
+//! Runs until a client issues the `drain` verb or the process receives
+//! SIGTERM/SIGINT; either way admission closes, every admitted job
+//! runs to completion, waiters are flushed, and the process exits 0.
+
+use oscar_serve::daemon::{spawn_tcp, spawn_unix, DaemonHandle, ServeConfig};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+#[allow(non_camel_case_types)]
+type c_int = i32;
+
+const SIGINT: c_int = 2;
+const SIGTERM: c_int = 15;
+
+static TERMINATE: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_sig: c_int) {
+    TERMINATE.store(true, Ordering::SeqCst);
+}
+
+extern "C" {
+    fn signal(signum: c_int, handler: extern "C" fn(c_int)) -> usize;
+}
+
+struct Args {
+    socket: Option<String>,
+    listen: Option<String>,
+    config: ServeConfig,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: oscar-serve (--socket PATH | --listen HOST:PORT) \
+         [--concurrency N] [--max-pending N] [--quota N] [--cache N]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        socket: None,
+        listen: None,
+        config: ServeConfig::default(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage();
+            })
+        };
+        match flag.as_str() {
+            "--socket" => args.socket = Some(value("--socket")),
+            "--listen" => args.listen = Some(value("--listen")),
+            "--concurrency" => args.config.concurrency = parse_num(&value("--concurrency")),
+            "--max-pending" => args.config.max_pending = parse_num(&value("--max-pending")),
+            "--quota" => args.config.per_client_quota = parse_num(&value("--quota")),
+            "--cache" => args.config.cache_capacity = parse_num(&value("--cache")),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag: {other}");
+                usage();
+            }
+        }
+    }
+    if args.socket.is_none() && args.listen.is_none() {
+        eprintln!("one of --socket or --listen is required");
+        usage();
+    }
+    args
+}
+
+fn parse_num(text: &str) -> usize {
+    text.parse().unwrap_or_else(|_| {
+        eprintln!("expected a positive integer, got {text:?}");
+        usage();
+    })
+}
+
+fn start(args: &Args) -> std::io::Result<DaemonHandle> {
+    if let Some(path) = &args.socket {
+        spawn_unix(path, args.config)
+    } else {
+        spawn_tcp(args.listen.as_deref().unwrap(), args.config)
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    unsafe {
+        signal(SIGTERM, on_signal);
+        signal(SIGINT, on_signal);
+    }
+    let handle = match start(&args) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("oscar-serve: failed to bind: {e}");
+            std::process::exit(1);
+        }
+    };
+    if let Some(addr) = handle.local_addr() {
+        println!("oscar-serve: listening on {addr}");
+    } else {
+        println!(
+            "oscar-serve: listening on {}",
+            args.socket.as_deref().unwrap_or("?")
+        );
+    }
+    loop {
+        if TERMINATE.load(Ordering::SeqCst) {
+            eprintln!("oscar-serve: signal received, draining");
+            handle.drain();
+            break;
+        }
+        if handle.state().is_shut_down() {
+            // A client issued the `drain` verb.
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    handle.join();
+    println!("oscar-serve: drained, exiting");
+}

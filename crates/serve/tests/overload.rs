@@ -1,0 +1,129 @@
+//! Property test: concurrent clients storming a tightly-bounded daemon
+//! always get a result or a structured reject — never a hang, a
+//! protocol violation, or a daemon death.
+
+use oscar_serve::daemon::{spawn_unix, ServeConfig};
+use oscar_serve::json::Json;
+use oscar_serve::proto::SubmitReq;
+use oscar_serve::Client;
+use proptest::prelude::*;
+use std::time::Duration;
+
+fn quick(seed: u64) -> SubmitReq {
+    SubmitReq::new(4, seed, 8, 10, 0.3)
+}
+
+fn is_ok(reply: &Json) -> bool {
+    reply.get("ok").and_then(Json::as_bool) == Some(true)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// N clients each fire M submits past the queue bound and the
+    /// per-client quota, then wait for whatever was admitted. Every
+    /// single request gets a well-formed reply: `ok` with a job id and
+    /// eventually a result, or a structured reject carrying
+    /// `retry_after_ms`. Nothing hangs (client reads are bounded) and
+    /// the daemon survives to serve consistent stats and a drain.
+    #[test]
+    fn storms_always_get_results_or_structured_rejects(
+        nclients in 2usize..5,
+        per_client in 3usize..8,
+        seed in 0u64..1_000,
+    ) {
+        let path = std::env::temp_dir().join(format!(
+            "oscar-serve-storm-{}-{nclients}-{per_client}-{seed}.sock",
+            std::process::id()
+        ));
+        let config = ServeConfig {
+            concurrency: 1,
+            max_pending: 3,
+            per_client_quota: 2,
+            tick: Duration::from_millis(10),
+            ..ServeConfig::default()
+        };
+        let daemon = spawn_unix(&path, config).expect("spawn");
+
+        let mut workers = Vec::new();
+        for c in 0..nclients {
+            let path = path.clone();
+            workers.push(std::thread::spawn(move || {
+                let mut client = Client::connect_unix(&path).expect("connect");
+                // The no-hang bound: any read blocking past this is a bug.
+                client
+                    .set_read_timeout(Some(Duration::from_secs(60)))
+                    .expect("timeout");
+                let mut admitted = Vec::new();
+                let mut rejected = 0usize;
+                for j in 0..per_client {
+                    let req = quick(seed * 10_000 + (c as u64) * 100 + j as u64);
+                    let reply = client.submit(&req).expect("submit reply");
+                    if is_ok(&reply) {
+                        admitted.push(reply.get("job").and_then(Json::as_u64).expect("job id"));
+                    } else {
+                        let code = reply.get("error").and_then(Json::as_str).expect("code");
+                        assert!(
+                            code == "overloaded" || code == "quota-exceeded",
+                            "unexpected reject: {}",
+                            reply.to_string_compact()
+                        );
+                        let retry = reply
+                            .get("retry_after_ms")
+                            .and_then(Json::as_f64)
+                            .expect("reject carries retry_after_ms");
+                        assert!(retry.is_finite() && retry > 0.0);
+                        rejected += 1;
+                    }
+                }
+                for id in &admitted {
+                    let reply = client.wait(*id, Some(50_000), false).expect("wait reply");
+                    if is_ok(&reply) {
+                        assert_eq!(
+                            reply.get("status").and_then(Json::as_str),
+                            Some("done"),
+                            "{}",
+                            reply.to_string_compact()
+                        );
+                        assert!(reply.get("result").is_some());
+                    } else {
+                        // Admitted-then-lost is only legal through an
+                        // explicit terminal code, never silence.
+                        let code = reply.get("error").and_then(Json::as_str).expect("code");
+                        assert!(
+                            code == "cancelled" || code == "expired" || code == "job-lost",
+                            "{}",
+                            reply.to_string_compact()
+                        );
+                    }
+                }
+                (admitted.len(), rejected)
+            }));
+        }
+
+        let mut admitted_total = 0usize;
+        let mut rejected_total = 0usize;
+        for worker in workers {
+            let (a, r) = worker.join().expect("client thread panicked");
+            admitted_total += a;
+            rejected_total += r;
+        }
+        prop_assert_eq!(admitted_total + rejected_total, nclients * per_client);
+
+        // The daemon is still coherent after the storm…
+        let mut client = Client::connect_unix(&path).expect("connect post-storm");
+        client.set_read_timeout(Some(Duration::from_secs(60))).unwrap();
+        let stats = client.stats().expect("stats");
+        prop_assert_eq!(
+            stats.get("submitted").and_then(Json::as_u64),
+            Some(admitted_total as u64)
+        );
+        let storm_rejects = stats.get("rejected_overload").and_then(Json::as_u64).unwrap()
+            + stats.get("rejected_quota").and_then(Json::as_u64).unwrap();
+        prop_assert_eq!(storm_rejects, rejected_total as u64);
+        // …and still drains cleanly.
+        let reply = client.drain().expect("drain");
+        prop_assert!(is_ok(&reply));
+        daemon.join();
+    }
+}

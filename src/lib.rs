@@ -13,7 +13,10 @@
 //! * [`core`] — the OSCAR reconstruction pipeline and use cases;
 //! * [`par`] — persistent worker pool and data-parallel helpers;
 //! * [`runtime`] — batch job scheduler and plan/landscape caching for
-//!   streams of reconstructions.
+//!   streams of reconstructions;
+//! * [`serve`] — the `oscar-serve` batch service daemon: line-delimited
+//!   JSON over Unix/TCP sockets with admission control, deadlines, and
+//!   graceful drain.
 //!
 //! # Quickstart
 //!
@@ -41,3 +44,4 @@ pub use oscar_par as par;
 pub use oscar_problems as problems;
 pub use oscar_qsim as qsim;
 pub use oscar_runtime as runtime;
+pub use oscar_serve as serve;
