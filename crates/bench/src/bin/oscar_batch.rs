@@ -24,14 +24,26 @@
 //! hint, and `--compare` verifies each served checksum against a local
 //! `run_job` of the same parameters — the daemon's bit-identical
 //! contract, end to end. `--drain` asks the daemon to drain and shut
-//! down after the batch.
+//! down after the batch; `--metrics` fetches and prints the daemon's
+//! metrics registry first.
+//!
+//! Observability (in-process modes): `--profile` prints an end-of-run
+//! profile — per-stage time totals from the obs registry, the
+//! landscape-cache hit ratio broken down by key class (including ZNE
+//! per-factor hits), scheduler dispatch wait, and worker-pool
+//! utilization. `--trace FILE` records per-job stage spans and writes
+//! them as JSONL to FILE (the `OSCAR_TRACE` environment variable does
+//! the same without a flag). Neither perturbs results: wall-clock
+//! readings stay out of job results, so `--compare` still passes
+//! bit-identically with tracing on.
 //!
 //! ```text
 //! oscar-batch [--file PATH] [--jobs N] [--concurrency N]
 //!             [--fraction F] [--no-optimize] [--compare]
 //!             [--device NAME|sweep] [--shots N] [--priority MODE]
 //!             [--mitigation MODE|sweep] [--optimizer NAME|sweep]
-//!             [--connect ADDR] [--drain]
+//!             [--profile] [--trace FILE]
+//!             [--connect ADDR] [--metrics] [--drain]
 //! ```
 //!
 //! Job-list format (one job per line, `#` comments):
@@ -48,12 +60,15 @@
 
 use oscar_bench::{device_spec_or_exit, print_header};
 use oscar_core::grid::Grid2d;
+use oscar_obs::span::{self, Stage};
+use oscar_obs::{MetricValue, Registry};
 use oscar_problems::ising::IsingProblem;
 use oscar_runtime::descent::Descent;
 use oscar_runtime::job::{run_job, JobResult, JobSpec};
 use oscar_runtime::mitigation::Mitigation;
 use oscar_runtime::scheduler::{BatchRuntime, Priority, RuntimeConfig};
 use oscar_runtime::source::LandscapeSource;
+use oscar_runtime::KeyClass;
 use oscar_serve::SubmitReq;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -99,6 +114,9 @@ struct Options {
     optimizer: String,
     connect: Option<String>,
     drain: bool,
+    profile: bool,
+    trace: Option<String>,
+    metrics: bool,
 }
 
 fn usage_and_exit(code: i32) -> ! {
@@ -107,7 +125,8 @@ fn usage_and_exit(code: i32) -> ! {
          \x20                  [--fraction F] [--no-optimize] [--compare]\n\
          \x20                  [--device NAME|sweep] [--shots N] [--priority MODE]\n\
          \x20                  [--mitigation MODE|sweep] [--optimizer NAME|sweep]\n\
-         \x20                  [--connect ADDR] [--drain]\n\
+         \x20                  [--profile] [--trace FILE]\n\
+         \x20                  [--connect ADDR] [--metrics] [--drain]\n\
          \n\
          --file PATH      job list: lines of `qubits seed rows cols fraction`\n\
          --jobs N         synthetic batch size when no file is given (default 16)\n\
@@ -124,9 +143,15 @@ fn usage_and_exit(code: i32) -> ! {
          \x20                  gaussian (default none)\n\
          --optimizer O    stage-3 descent: none | nelder-mead | adam | momentum |\n\
          \x20                  spsa | cobyla | gradient-free (default nelder-mead)\n\
+         --profile        print an end-of-run profile: per-stage time totals,\n\
+         \x20                  cache hit ratio by key class, pool utilization\n\
+         --trace FILE     record per-job stage spans; write JSONL to FILE\n\
+         \x20                  (OSCAR_TRACE=FILE in the environment does the same)\n\
          --connect ADDR   submit the batch to a running oscar-serve daemon\n\
          \x20                  (Unix socket path or host:port) instead of in-process;\n\
          \x20                  admission rejects are retried per retry_after_ms\n\
+         --metrics        after the batch, fetch and print the daemon's metrics\n\
+         \x20                  registry (needs --connect)\n\
          --drain          after the batch, ask the daemon to drain and shut down\n\
          \x20                  (needs --connect)\n\
          \n\
@@ -150,6 +175,9 @@ fn parse_options() -> Options {
         optimizer: "nelder-mead".to_string(),
         connect: None,
         drain: false,
+        profile: false,
+        trace: None,
+        metrics: false,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -214,6 +242,9 @@ fn parse_options() -> Options {
             "--optimizer" => opts.optimizer = value(&mut i, "--optimizer"),
             "--connect" => opts.connect = Some(value(&mut i, "--connect")),
             "--drain" => opts.drain = true,
+            "--profile" => opts.profile = true,
+            "--trace" => opts.trace = Some(value(&mut i, "--trace")),
+            "--metrics" => opts.metrics = true,
             "--help" | "-h" => usage_and_exit(0),
             other => {
                 eprintln!("error: unknown argument '{other}'");
@@ -228,6 +259,16 @@ fn parse_options() -> Options {
     }
     if opts.drain && opts.connect.is_none() {
         eprintln!("error: --drain needs --connect");
+        usage_and_exit(2);
+    }
+    if opts.metrics && opts.connect.is_none() {
+        eprintln!("error: --metrics needs --connect");
+        usage_and_exit(2);
+    }
+    if opts.connect.is_some() && (opts.profile || opts.trace.is_some()) {
+        eprintln!(
+            "error: --profile/--trace profile the in-process runtime (use --metrics for a daemon)"
+        );
         usage_and_exit(2);
     }
     opts
@@ -647,6 +688,13 @@ fn run_connected(opts: &Options) -> ! {
             std::process::exit(1);
         }
     }
+    if opts.metrics {
+        let reply = client.metrics().unwrap_or_else(|e| {
+            eprintln!("error: metrics fetch failed: {e}");
+            std::process::exit(1);
+        });
+        print_server_metrics(&reply);
+    }
     if opts.drain {
         let reply = client.drain().unwrap_or_else(|e| {
             eprintln!("error: drain failed: {e}");
@@ -663,6 +711,11 @@ fn run_connected(opts: &Options) -> ! {
 
 fn main() {
     let opts = parse_options();
+    if opts.trace.is_some() {
+        // OSCAR_TRACE enables the global tracer on first touch; the
+        // flag has to do it explicitly.
+        span::Tracer::global().set_enabled(true);
+    }
     print_header("oscar-batch", "batch runtime throughput");
     let sweeping = opts.device.as_deref() == Some("sweep")
         || opts.mitigation == "sweep"
@@ -750,6 +803,12 @@ fn main() {
         "worker pool: {} thread budget, {} spawned (steady state spawns none), {} regions",
         pool.threads, pool.threads_spawned, pool.regions_run
     );
+    if opts.profile {
+        print_profile(batch_wall, oscar_par::max_threads());
+    }
+    // Export spans now, before a `--compare` sequential pass would
+    // append its own (unscheduled) spans to the ring.
+    export_traces(&opts);
 
     if opts.compare {
         let t1 = Instant::now();
@@ -780,6 +839,170 @@ fn main() {
             std::process::exit(1);
         }
     }
+}
+
+/// `--metrics` (connect mode): pretty-print the daemon's `metrics`
+/// reply — counters/gauges one per line, histograms as summaries, and
+/// the Prometheus text verbatim when the daemon exposes it.
+fn print_server_metrics(reply: &oscar_serve::Json) {
+    use oscar_serve::Json;
+    if reply.get("ok").and_then(Json::as_bool) != Some(true) {
+        eprintln!("error: metrics rejected: {}", reply.to_string_compact());
+        std::process::exit(1);
+    }
+    for section in ["registry", "serve"] {
+        let Some(Json::Obj(fields)) = reply.get(section) else {
+            continue;
+        };
+        println!("\n-- server metrics: {section} --");
+        for (name, value) in fields {
+            match value {
+                Json::Num(v) => println!("{name:<40}{v}"),
+                Json::Obj(_) => {
+                    let f = |k: &str| value.get(k).and_then(Json::as_f64).unwrap_or(0.0);
+                    println!(
+                        "{name:<40}count {} sum {} p50 {} p90 {} p99 {}",
+                        f("count"),
+                        f("sum"),
+                        f("p50"),
+                        f("p90"),
+                        f("p99"),
+                    );
+                }
+                other => println!("{name:<40}{}", other.to_string_compact()),
+            }
+        }
+    }
+    if let Some(Json::Str(text)) = reply.get("text") {
+        println!("\n-- server metrics: prometheus text --");
+        print!("{text}");
+    }
+}
+
+/// `--profile`: the end-of-run profile, read entirely from the
+/// process-wide obs registry so the numbers are exactly what a daemon
+/// would expose through its `metrics` verb.
+fn print_profile(batch_wall: std::time::Duration, pool_budget: usize) {
+    let snapshot: std::collections::BTreeMap<String, MetricValue> =
+        Registry::global().snapshot().into_iter().collect();
+    let counter = |name: &str| match snapshot.get(name) {
+        Some(MetricValue::Counter(v)) => *v,
+        _ => 0,
+    };
+    let hist = |name: &str| match snapshot.get(name) {
+        Some(MetricValue::Histogram(h)) => Some(h.clone()),
+        _ => None,
+    };
+
+    println!("\n-- profile --");
+    println!(
+        "{:<16}{:>7}{:>12}{:>11}{:>11}",
+        "stage", "calls", "total", "mean", "p90"
+    );
+    let ms = 1e3;
+    for stage in Stage::ALL {
+        let Some(h) = hist(&format!("stage.{}_us", stage.as_str())) else {
+            continue;
+        };
+        let total = h.sum as f64 / ms;
+        let mean = if h.count > 0 {
+            total / h.count as f64
+        } else {
+            0.0
+        };
+        println!(
+            "{:<16}{:>7}{:>10.1}ms{:>9.1}ms{:>9.1}ms",
+            stage.as_str(),
+            h.count,
+            total,
+            mean,
+            h.p90 as f64 / ms,
+        );
+    }
+
+    println!("\nlandscape cache (hits / misses / evictions / dedup-waits by key class):");
+    let mut total_hits = 0u64;
+    let mut total_misses = 0u64;
+    for class in KeyClass::ALL {
+        let hits = counter(&format!("cache.hits.{}", class.as_str()));
+        let misses = counter(&format!("cache.misses.{}", class.as_str()));
+        let evictions = counter(&format!("cache.evictions.{}", class.as_str()));
+        let waits = counter(&format!("cache.dedup_waits.{}", class.as_str()));
+        total_hits += hits;
+        total_misses += misses;
+        if hits + misses + evictions + waits > 0 {
+            println!(
+                "  {:<12}{hits:>6} / {misses} / {evictions} / {waits}",
+                class.as_str()
+            );
+        }
+    }
+    let lookups = total_hits + total_misses;
+    if lookups > 0 {
+        println!(
+            "  hit ratio {:.1}% ({total_hits} of {lookups} lookups)",
+            100.0 * total_hits as f64 / lookups as f64
+        );
+    }
+
+    if let Some(wait) = hist("sched.dispatch_wait_us") {
+        println!(
+            "scheduler: {} dispatches, queue wait p50 {}us / p99 {}us",
+            wait.count, wait.p50, wait.p99
+        );
+    }
+    if let Some(busy) = hist("pool.busy_us") {
+        let busy_s = busy.sum as f64 / 1e6;
+        let capacity_s = batch_wall.as_secs_f64() * pool_budget as f64;
+        println!(
+            "pool: {busy_s:.2} busy-seconds over {:.2}s wall x {pool_budget} threads \
+             ({:.0}% utilization), {} spawned, {} tasks stolen",
+            batch_wall.as_secs_f64(),
+            100.0 * busy_s / capacity_s.max(f64::EPSILON),
+            counter("pool.threads_spawned"),
+            counter("pool.tasks_stolen"),
+        );
+    }
+}
+
+/// Writes the span ring as JSONL to the `--trace` file and/or the
+/// `OSCAR_TRACE` path. Trace failures are fatal: a CI smoke relying on
+/// the file must not pass vacuously.
+fn export_traces(opts: &Options) {
+    let tracer = span::Tracer::global();
+    if let Some(path) = &opts.trace {
+        let mut file = std::fs::File::create(path).unwrap_or_else(|e| {
+            eprintln!("error: cannot create trace file '{path}': {e}");
+            std::process::exit(1);
+        });
+        let spans = tracer.export_jsonl(&mut file).unwrap_or_else(|e| {
+            eprintln!("error: cannot write trace file '{path}': {e}");
+            std::process::exit(1);
+        });
+        print_trace_summary(spans, tracer.dropped(), path);
+    }
+    // Honor OSCAR_TRACE too (unless it names the same file).
+    if span::env_trace_path().is_some_and(|env| opts.trace.as_deref() != Some(env)) {
+        match span::export_env_trace() {
+            Ok(Some(spans)) => {
+                print_trace_summary(spans, tracer.dropped(), span::env_trace_path().unwrap())
+            }
+            Ok(None) => {}
+            Err(e) => {
+                eprintln!("error: cannot write OSCAR_TRACE file: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+fn print_trace_summary(spans: usize, dropped: u64, path: &str) {
+    let overflow = if dropped > 0 {
+        format!(" ({dropped} older spans overwritten by the bounded ring)")
+    } else {
+        String::new()
+    };
+    println!("trace: {spans} spans -> {path}{overflow}");
 }
 
 /// The default per-job report.

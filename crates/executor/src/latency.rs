@@ -98,25 +98,17 @@ pub struct LatencyStats {
 }
 
 impl LatencyStats {
-    /// Computes statistics from samples.
+    /// Computes statistics from samples via the workspace-shared
+    /// quantile math in [`oscar_obs::quantile`] (NaN samples sort above
+    /// every number — `total_cmp` order — and surface in `max` instead
+    /// of panicking the batch).
     ///
     /// # Panics
     ///
     /// Panics if `samples` is empty.
     pub fn from_samples(samples: &[f64]) -> Self {
-        assert!(!samples.is_empty(), "need at least one sample");
-        let mut sorted = samples.to_vec();
-        // total_cmp, not partial_cmp: a NaN sample (e.g. a latency
-        // derived from a degenerate noise draw) must degrade the stats
-        // deterministically — NaN sorts above every number and surfaces
-        // in `max` — instead of panicking the whole batch.
-        sorted.sort_by(f64::total_cmp);
-        let pick = |q: f64| sorted[((sorted.len() - 1) as f64 * q).round() as usize];
-        LatencyStats {
-            median: pick(0.5),
-            p99: pick(0.99),
-            max: *sorted.last().unwrap(),
-        }
+        let summary = oscar_obs::quantile::summarize(samples).expect("need at least one sample");
+        LatencyStats::from(summary)
     }
 
     /// Tail ratio `p99 / median`.
@@ -125,14 +117,22 @@ impl LatencyStats {
     }
 }
 
+impl From<oscar_obs::Summary> for LatencyStats {
+    fn from(summary: oscar_obs::Summary) -> Self {
+        LatencyStats {
+            median: summary.median,
+            p99: summary.p99,
+            max: summary.max,
+        }
+    }
+}
+
 /// A bounded sliding window of observed latencies (wall-clock seconds).
 ///
-/// Long-running consumers — most prominently the `oscar-serve` daemon's
-/// admission controller — record each completed job's wall time here
-/// and periodically ask for [`LatencyStats`] over the most recent
-/// window. The window is a fixed-capacity ring: once full, each new
-/// sample overwrites the oldest, so memory stays bounded no matter how
-/// long the process lives.
+/// A thin adapter over [`oscar_obs::SampleWindow`] (the workspace's one
+/// bounded-ring/percentile implementation) that reports
+/// [`LatencyStats`]: once full, each new sample overwrites the oldest,
+/// so memory stays bounded no matter how long the process lives.
 ///
 /// # Examples
 ///
@@ -151,9 +151,7 @@ impl LatencyStats {
 /// ```
 #[derive(Clone, Debug)]
 pub struct LatencyWindow {
-    samples: Vec<f64>,
-    cap: usize,
-    next: usize,
+    window: oscar_obs::SampleWindow,
 }
 
 impl LatencyWindow {
@@ -163,44 +161,32 @@ impl LatencyWindow {
     ///
     /// Panics if `cap == 0`.
     pub fn new(cap: usize) -> Self {
-        assert!(cap > 0, "latency window capacity must be positive");
         LatencyWindow {
-            samples: Vec::with_capacity(cap),
-            cap,
-            next: 0,
+            window: oscar_obs::SampleWindow::new(cap),
         }
     }
 
     /// Records one observed latency, evicting the oldest sample once
     /// the window is at capacity.
     pub fn record(&mut self, seconds: f64) {
-        if self.samples.len() < self.cap {
-            self.samples.push(seconds);
-        } else {
-            self.samples[self.next] = seconds;
-        }
-        self.next = (self.next + 1) % self.cap;
+        self.window.record(seconds);
     }
 
     /// Number of samples currently held (saturates at capacity).
     pub fn len(&self) -> usize {
-        self.samples.len()
+        self.window.len()
     }
 
     /// True when no sample has been recorded yet.
     pub fn is_empty(&self) -> bool {
-        self.samples.is_empty()
+        self.window.is_empty()
     }
 
     /// Statistics over the window, or `None` while it is empty —
     /// callers must supply their own cold-start default rather than
     /// trust percentiles of nothing.
     pub fn stats(&self) -> Option<LatencyStats> {
-        if self.samples.is_empty() {
-            None
-        } else {
-            Some(LatencyStats::from_samples(&self.samples))
-        }
+        self.window.summary().map(LatencyStats::from)
     }
 }
 

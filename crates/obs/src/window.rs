@@ -1,0 +1,99 @@
+//! A bounded sliding window of `f64` samples with exact percentiles.
+//!
+//! The fixed-capacity ring that long-running consumers summarize over:
+//! once full, each new sample overwrites the oldest, so memory stays
+//! bounded no matter how long the process lives. Percentiles come from
+//! [`crate::quantile`], the workspace's single rank convention.
+
+use crate::quantile::{self, Summary};
+
+/// A fixed-capacity overwrite ring of samples.
+///
+/// # Examples
+///
+/// ```
+/// use oscar_obs::window::SampleWindow;
+///
+/// let mut window = SampleWindow::new(3);
+/// assert!(window.summary().is_none());
+/// for t in [1.0, 2.0, 3.0, 40.0] {
+///     window.record(t);
+/// }
+/// // Capacity 3: the 1.0 sample has been evicted.
+/// let summary = window.summary().unwrap();
+/// assert_eq!(summary.median, 3.0);
+/// assert_eq!(summary.max, 40.0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SampleWindow {
+    samples: Vec<f64>,
+    cap: usize,
+    next: usize,
+}
+
+impl SampleWindow {
+    /// Creates an empty window holding at most `cap` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap == 0`.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "sample window capacity must be positive");
+        SampleWindow {
+            samples: Vec::with_capacity(cap),
+            cap,
+            next: 0,
+        }
+    }
+
+    /// Records one sample, evicting the oldest once at capacity.
+    pub fn record(&mut self, sample: f64) {
+        if self.samples.len() < self.cap {
+            self.samples.push(sample);
+        } else {
+            self.samples[self.next] = sample;
+        }
+        self.next = (self.next + 1) % self.cap;
+    }
+
+    /// Number of samples currently held (saturates at capacity).
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no sample has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Exact percentiles over the current window, or `None` while
+    /// empty.
+    pub fn summary(&self) -> Option<Summary> {
+        quantile::summarize(&self.samples)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_is_bounded_ring() {
+        let mut w = SampleWindow::new(4);
+        assert!(w.is_empty() && w.summary().is_none());
+        for t in 0..100 {
+            w.record(t as f64);
+        }
+        assert_eq!(w.len(), 4);
+        let s = w.summary().unwrap();
+        // Only the last four samples (96..=99) survive.
+        assert_eq!(s.max, 99.0);
+        assert!(s.median >= 96.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn window_rejects_zero_capacity() {
+        let _ = SampleWindow::new(0);
+    }
+}

@@ -1,0 +1,110 @@
+//! Property tests for the metrics layer.
+//!
+//! Two contracts worth machine-checking: the log2-bucket histogram's
+//! percentile is always within its documented 2x band of the exact
+//! sorted-sample oracle (same rank convention as
+//! [`oscar_obs::quantile::Summary`]), and counters are exact under
+//! unsynchronized concurrent increments.
+
+use oscar_obs::{Histogram, Registry};
+use proptest::prelude::*;
+
+/// The exact oracle: the sorted sample at rank `round((n-1) * q)` —
+/// the rank convention shared by `quantile::summarize` and
+/// `Histogram::percentile`.
+fn oracle(samples: &[u64], q: f64) -> u64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let rank = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[rank]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// For any sample set and quantile, the histogram's estimate is the
+    /// upper bound of the log2 bucket holding the oracle's rank:
+    /// `oracle <= estimate` and `estimate < 2 * max(oracle, 1)`.
+    #[test]
+    fn percentile_within_2x_of_sorted_oracle(
+        samples in prop::collection::vec(0u64..1_000_000_000, 1..200),
+        q in 0.0f64..1.0,
+    ) {
+        let h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let exact = oracle(&samples, q);
+        let est = h.percentile(q);
+        prop_assert!(est >= exact, "estimate {est} below oracle {exact}");
+        // The bucket covering `exact` tops out below the next power of
+        // two, so the estimate stays within 2x (0 has a dedicated
+        // bucket, hence the max(1)).
+        prop_assert!(
+            est <= 2 * exact.max(1),
+            "estimate {est} beyond the 2x band of oracle {exact}"
+        );
+    }
+
+    /// count/sum are exact (they do not go through buckets).
+    #[test]
+    fn count_and_sum_are_exact(samples in prop::collection::vec(0u64..1_000_000, 0..100)) {
+        let h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.sum, samples.iter().sum::<u64>());
+    }
+}
+
+/// Counters registered in the global registry are exact under heavy
+/// unsynchronized concurrent increments — N threads x M increments on a
+/// shared handle plus per-thread clones land exactly N*M.
+#[test]
+fn concurrent_counter_increments_are_exact() {
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 20_000;
+    let counter = Registry::global().counter("test.prop.concurrent_counter");
+    let before = counter.get();
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            let handle = counter.clone();
+            scope.spawn(move || {
+                for _ in 0..PER_THREAD {
+                    handle.inc();
+                }
+            });
+        }
+    });
+    assert_eq!(counter.get() - before, THREADS as u64 * PER_THREAD);
+}
+
+/// Concurrent histogram records: count and sum stay exact, and the
+/// percentile band survives interleaving.
+#[test]
+fn concurrent_histogram_records_are_exact() {
+    const THREADS: u64 = 4;
+    const PER_THREAD: u64 = 10_000;
+    let h = Histogram::new();
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let h = &h;
+            scope.spawn(move || {
+                for i in 0..PER_THREAD {
+                    h.record(t * PER_THREAD + i);
+                }
+            });
+        }
+    });
+    assert_eq!(h.count(), THREADS * PER_THREAD);
+    let n = THREADS * PER_THREAD;
+    assert_eq!(h.snapshot().sum, n * (n - 1) / 2);
+    let p50 = h.percentile(0.5);
+    let exact = n / 2;
+    assert!(
+        p50 >= exact && p50 <= 2 * exact,
+        "p50 {p50} vs exact {exact}"
+    );
+}

@@ -30,8 +30,37 @@ use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use crate::{chunk_len_for, in_parallel_region, RegionGuard};
+
+/// Process-wide pool metrics (`pool.*` in the obs registry), resolved
+/// once so the hot path stays a relaxed atomic op per event.
+struct PoolMetrics {
+    /// `pool.threads_spawned` — OS threads ever spawned (all pools).
+    spawned: oscar_obs::Counter,
+    /// `pool.tasks_stolen` — tasks executed by a pool worker rather
+    /// than the submitting thread.
+    steals: oscar_obs::Counter,
+    /// `pool.active_regions` — parallel regions currently installed.
+    active_regions: oscar_obs::Gauge,
+    /// `pool.busy_us` — per-participant busy time of one region drain
+    /// (submitters and workers alike).
+    busy_us: oscar_obs::Histogram,
+}
+
+fn pool_metrics() -> &'static PoolMetrics {
+    static METRICS: OnceLock<PoolMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let registry = oscar_obs::Registry::global();
+        PoolMetrics {
+            spawned: registry.counter("pool.threads_spawned"),
+            steals: registry.counter("pool.tasks_stolen"),
+            active_regions: registry.gauge("pool.active_regions"),
+            busy_us: registry.histogram("pool.busy_us"),
+        }
+    })
+}
 
 /// Snapshot of a pool's lifetime counters.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -206,6 +235,7 @@ impl WorkerPool {
                 .expect("failed to spawn pool worker");
             handles.push(handle);
             self.inner.threads_spawned.fetch_add(1, Ordering::Relaxed);
+            pool_metrics().spawned.inc();
         }
         self.inner.started.store(true, Ordering::Release);
     }
@@ -265,6 +295,7 @@ impl WorkerPool {
                 return;
             }
         }
+        pool_metrics().active_regions.inc();
         self.inner.cv.notify_all();
         // Participate: the submitter executes tasks like any worker, so
         // the region progresses even when every worker is busy elsewhere.
@@ -283,6 +314,7 @@ impl WorkerPool {
             let mut queue = self.inner.queue.lock().unwrap();
             queue.remove(&region as *const Region);
         }
+        pool_metrics().active_regions.dec();
         self.inner.regions_run.fetch_add(1, Ordering::Relaxed);
         let payload = region.panic.lock().unwrap().take();
         if let Some(payload) = payload {
@@ -478,13 +510,20 @@ pub fn global() -> &'static WorkerPool {
 
 /// Steals tasks from `region` until its cursor is exhausted. Runs on
 /// both workers and the submitting thread; marks the thread as inside a
-/// parallel region so nested helper calls degrade to serial.
-fn execute_tasks(region: &Region, inner: &Inner) {
+/// parallel region so nested helper calls degrade to serial. Returns
+/// how many tasks this participant executed and records the drain's
+/// busy time (when it did any work).
+fn execute_tasks(region: &Region, inner: &Inner) -> usize {
     let _guard = RegionGuard::enter();
+    let started = Instant::now();
+    let mut executed = 0usize;
     loop {
         let i = region.cursor.fetch_add(1, Ordering::AcqRel);
         if i >= region.ntasks {
-            return;
+            if executed > 0 {
+                pool_metrics().busy_us.record_duration(started.elapsed());
+            }
+            return executed;
         }
         // SAFETY: the submitter keeps the closure alive until every task
         // completed (it blocks in `run`).
@@ -496,6 +535,7 @@ fn execute_tasks(region: &Region, inner: &Inner) {
             }
         }
         inner.tasks_run.fetch_add(1, Ordering::Relaxed);
+        executed += 1;
         let done = region.completed.fetch_add(1, Ordering::AcqRel) + 1;
         if done == region.ntasks {
             // Notify under the region lock, pairing with the submitter's
@@ -535,7 +575,10 @@ fn worker_loop(inner: &Inner) {
         };
         // SAFETY: pinned above; the submitter waits for `pinned == 0`.
         let region = unsafe { &*region_ptr.0 };
-        execute_tasks(region, inner);
+        let stolen = execute_tasks(region, inner);
+        if stolen > 0 {
+            pool_metrics().steals.add(stolen as u64);
+        }
         // Unpin and notify while holding the region's lock: the
         // submitter re-checks its wait condition only under this lock,
         // so it cannot observe `pinned == 0`, return, and free the

@@ -15,7 +15,7 @@ use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, HashSet};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::sync::{Arc, Condvar, Mutex, OnceLock, PoisonError};
 
 /// Counters describing cache effectiveness.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -93,16 +93,18 @@ impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
     }
 
     /// Inserts `key -> value`, evicting the least-recently-used entry
-    /// when the cache is full and `key` is new. An existing key is
-    /// overwritten (and refreshed) without eviction.
-    pub fn insert(&mut self, key: K, value: V) {
+    /// when the cache is full and `key` is new (the evicted key is
+    /// returned so callers can attribute the eviction). An existing key
+    /// is overwritten (and refreshed) without eviction.
+    pub fn insert(&mut self, key: K, value: V) -> Option<K> {
         self.tick += 1;
         let tick = self.tick;
         if let Some(slot) = self.map.get_mut(&key) {
             slot.value = value;
             slot.last_used = tick;
-            return;
+            return None;
         }
+        let mut evicted = None;
         if self.map.len() >= self.capacity {
             if let Some(oldest) = self
                 .map
@@ -112,6 +114,7 @@ impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
             {
                 self.map.remove(&oldest);
                 self.evictions += 1;
+                evicted = Some(oldest);
             }
         }
         self.map.insert(
@@ -121,6 +124,7 @@ impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
                 last_used: tick,
             },
         );
+        evicted
     }
 
     /// `true` when `key` is resident (without touching recency).
@@ -179,13 +183,110 @@ impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
 /// share nothing — while ZNE's per-factor sub-landscapes get raw keys of
 /// *scaled* sources ([`Self::zne_factor`]) so they are shared by every
 /// job that measures the same factor.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy, Debug)]
 pub struct LandscapeKey {
     problem: u64,
     grid: [u64; 6],
     source: u64,
     seed: u64,
     mitigation: u64,
+    /// Telemetry label only — see [`KeyClass`]. Deliberately excluded
+    /// from equality and hashing: a ZNE factor-1.0 key must keep
+    /// sharing the raw noisy entry even though the two requests carry
+    /// different class labels.
+    class: KeyClass,
+}
+
+impl PartialEq for LandscapeKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.problem == other.problem
+            && self.grid == other.grid
+            && self.source == other.source
+            && self.seed == other.seed
+            && self.mitigation == other.mitigation
+    }
+}
+
+impl Eq for LandscapeKey {}
+
+impl Hash for LandscapeKey {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.problem.hash(state);
+        self.grid.hash(state);
+        self.source.hash(state);
+        self.seed.hash(state);
+        self.mitigation.hash(state);
+    }
+}
+
+/// The source class of a [`LandscapeKey`], used to label cache
+/// telemetry (`cache.hits.<class>` etc. in the obs registry). Purely
+/// an attribution tag for the *requesting* lookup: it never enters key
+/// identity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KeyClass {
+    /// Raw exact (noiseless) landscape.
+    Exact,
+    /// Raw noisy-device landscape.
+    Noisy,
+    /// One ZNE scale factor's sub-landscape.
+    ZneFactor,
+    /// A fully mitigated landscape (nonzero mitigation fingerprint).
+    Mitigated,
+}
+
+impl KeyClass {
+    /// Every class, registry order.
+    pub const ALL: [KeyClass; 4] = [
+        KeyClass::Exact,
+        KeyClass::Noisy,
+        KeyClass::ZneFactor,
+        KeyClass::Mitigated,
+    ];
+
+    /// The class's metric-name suffix.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            KeyClass::Exact => "exact",
+            KeyClass::Noisy => "noisy",
+            KeyClass::ZneFactor => "zne_factor",
+            KeyClass::Mitigated => "mitigated",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            KeyClass::Exact => 0,
+            KeyClass::Noisy => 1,
+            KeyClass::ZneFactor => 2,
+            KeyClass::Mitigated => 3,
+        }
+    }
+}
+
+/// Per-class landscape-cache counters (`cache.*` in the obs registry),
+/// resolved once; every update is one relaxed atomic add.
+struct CacheMetrics {
+    hits: [oscar_obs::Counter; 4],
+    misses: [oscar_obs::Counter; 4],
+    evictions: [oscar_obs::Counter; 4],
+    dedup_waits: [oscar_obs::Counter; 4],
+}
+
+fn cache_metrics() -> &'static CacheMetrics {
+    static METRICS: OnceLock<CacheMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let registry = oscar_obs::Registry::global();
+        let family = |kind: &str| {
+            KeyClass::ALL.map(|class| registry.counter(&format!("cache.{kind}.{}", class.as_str())))
+        };
+        CacheMetrics {
+            hits: family("hits"),
+            misses: family("misses"),
+            evictions: family("evictions"),
+            dedup_waits: family("dedup_waits"),
+        }
+    })
 }
 
 impl LandscapeKey {
@@ -204,6 +305,11 @@ impl LandscapeKey {
             // Exact evaluation is seed-independent; see the type docs.
             seed: if source.is_exact() { 0 } else { landscape_seed },
             mitigation: 0,
+            class: if source.is_exact() {
+                KeyClass::Exact
+            } else {
+                KeyClass::Noisy
+            },
         }
     }
 
@@ -217,9 +323,17 @@ impl LandscapeKey {
         landscape_seed: u64,
         mitigation: u64,
     ) -> Self {
+        let base = LandscapeKey::new(problem, grid, source, landscape_seed);
         LandscapeKey {
             mitigation,
-            ..LandscapeKey::new(problem, grid, source, landscape_seed)
+            // Fingerprint 0 restates the raw key, so it keeps the raw
+            // class label too.
+            class: if mitigation == 0 {
+                base.class
+            } else {
+                KeyClass::Mitigated
+            },
+            ..base
         }
     }
 
@@ -237,6 +351,7 @@ impl LandscapeKey {
     ) -> Self {
         LandscapeKey {
             source: source.scaled_fingerprint(scale),
+            class: KeyClass::ZneFactor,
             ..LandscapeKey::new(problem, grid, source, landscape_seed)
         }
     }
@@ -244,6 +359,11 @@ impl LandscapeKey {
     /// The key for an exact noiseless landscape of `(problem, grid)`.
     pub fn exact(problem: &IsingProblem, grid: &Grid2d) -> Self {
         LandscapeKey::new(problem, grid, &LandscapeSource::Exact, 0)
+    }
+
+    /// The telemetry class this key was requested under.
+    pub fn class(&self) -> KeyClass {
+        self.class
     }
 }
 
@@ -347,9 +467,13 @@ impl LandscapeCache {
         key: LandscapeKey,
         produce: impl FnOnce() -> Landscape,
     ) -> (Arc<Landscape>, bool) {
+        let metrics = cache_metrics();
+        let class = key.class.index();
+        let mut waited = false;
         loop {
             if let Some(hit) = lock(&self.inner).get_untracked(&key) {
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                metrics.hits[class].inc();
                 return (hit, true);
             }
             {
@@ -362,12 +486,19 @@ impl LandscapeCache {
                 // probe and this point would let us recompute the value.
                 if let Some(hit) = lock(&self.inner).get_untracked(&key) {
                     self.hits.fetch_add(1, Ordering::Relaxed);
+                    metrics.hits[class].inc();
                     return (hit, true);
                 }
                 if pending.contains(&key) {
                     // Another thread is computing this key: wait for it
                     // and re-check the cache (on the rare eviction before
                     // we reread, we loop around and become the producer).
+                    if !waited {
+                        // One logical dedup event per call, however many
+                        // wakeups the wait takes.
+                        metrics.dedup_waits[class].inc();
+                        waited = true;
+                    }
                     let _g = self
                         .pending_cv
                         .wait(pending)
@@ -377,12 +508,17 @@ impl LandscapeCache {
                 pending.insert(key);
             }
             self.misses.fetch_add(1, Ordering::Relaxed);
+            metrics.misses[class].inc();
             let claim = PendingClaim { cache: self, key };
             // Compute outside the locks: landscape generation is the
             // heavy stage and runs data-parallel on the worker pool;
             // holding a cache lock would serialize unrelated jobs.
             let fresh = Arc::new(produce());
-            lock(&self.inner).insert(key, Arc::clone(&fresh));
+            if let Some(evicted) = lock(&self.inner).insert(key, Arc::clone(&fresh)) {
+                // Attribute the eviction to the class of the entry that
+                // was displaced, not the one being inserted.
+                metrics.evictions[evicted.class.index()].inc();
+            }
             drop(claim);
             return (fresh, false);
         }

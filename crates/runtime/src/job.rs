@@ -36,8 +36,21 @@ use oscar_core::landscape::Landscape;
 use oscar_core::reconstruct::Reconstructor;
 use oscar_core::usecases::optimizer_debug::optimize_on_reconstruction;
 use oscar_cs::fista::FistaConfig;
+use oscar_obs::span::{with_stage, JobFrame, Stage};
 use oscar_problems::ising::IsingProblem;
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
+
+/// Per-stage duration histograms (`stage.<name>_us` in the obs
+/// registry), indexed by [`Stage`], resolved once.
+fn stage_metrics() -> &'static [oscar_obs::Histogram; oscar_obs::span::STAGE_COUNT] {
+    static METRICS: OnceLock<[oscar_obs::Histogram; oscar_obs::span::STAGE_COUNT]> =
+        OnceLock::new();
+    METRICS.get_or_init(|| {
+        let registry = oscar_obs::Registry::global();
+        Stage::ALL.map(|stage| registry.histogram(&format!("stage.{}_us", stage.as_str())))
+    })
+}
 
 /// Everything needed to run one reconstruction job.
 #[derive(Clone, Debug)]
@@ -152,6 +165,9 @@ pub struct JobResult {
 /// pure function of the spec (timings and cache-hit flag aside).
 pub fn run_job(spec: &JobSpec, cache: Option<&LandscapeCache>) -> JobResult {
     let started = Instant::now();
+    // Collect per-stage durations for this job (telemetry only: they
+    // feed the obs registry and span ring, never the result).
+    let frame = JobFrame::begin();
     let grid = spec.grid;
     let (truth, cache_hit) = mitigated_landscape(
         &spec.problem,
@@ -163,19 +179,33 @@ pub fn run_job(spec: &JobSpec, cache: Option<&LandscapeCache>) -> JobResult {
     );
 
     let reconstructor = Reconstructor::new(spec.fista);
-    let report = reconstructor.reconstruct_fraction_seeded(&truth, spec.fraction, spec.seed);
+    let report = with_stage(Stage::Reconstruction, || {
+        reconstructor.reconstruct_fraction_seeded(&truth, spec.fraction, spec.seed)
+    });
 
-    let (best_point, best_value) = match spec.descent.optimizer(spec.seed) {
-        Some(optimizer) => {
-            let (_, (b0, g0)) = report.landscape.argmin();
-            let run = optimize_on_reconstruction(optimizer.as_ref(), &report.landscape, [b0, g0]);
-            ([run.x[0], run.x[1]], run.fx)
+    let (best_point, best_value) =
+        with_stage(Stage::Descent, || match spec.descent.optimizer(spec.seed) {
+            Some(optimizer) => {
+                let (_, (b0, g0)) = report.landscape.argmin();
+                let run =
+                    optimize_on_reconstruction(optimizer.as_ref(), &report.landscape, [b0, g0]);
+                ([run.x[0], run.x[1]], run.fx)
+            }
+            None => {
+                let (value, (b, g)) = report.landscape.argmin();
+                ([b, g], value)
+            }
+        });
+
+    let stage_durations = frame.finish();
+    let histograms = stage_metrics();
+    for (stage, duration) in Stage::ALL.iter().zip(stage_durations) {
+        // A cache-served stage spends no time here; recording zeros
+        // would drown the distributions in hit noise.
+        if !duration.is_zero() {
+            histograms[stage.index()].record_duration(duration);
         }
-        None => {
-            let (value, (b, g)) = report.landscape.argmin();
-            ([b, g], value)
-        }
-    };
+    }
 
     JobResult {
         job_id: 0,

@@ -81,7 +81,7 @@ pub mod mitigation;
 pub mod scheduler;
 pub mod source;
 
-pub use cache::{CacheStats, LandscapeCache, LandscapeKey, LruCache};
+pub use cache::{CacheStats, KeyClass, LandscapeCache, LandscapeKey, LruCache};
 pub use descent::Descent;
 pub use job::{run_job, JobResult, JobSpec};
 pub use mitigation::{mitigated_landscape, Mitigation};

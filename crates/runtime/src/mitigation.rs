@@ -39,6 +39,7 @@ use oscar_core::usecases::mitigation::extrapolated_landscape;
 use oscar_mitigation::gaussian::GaussianFilter;
 use oscar_mitigation::readout::correct_damped_expectation;
 use oscar_mitigation::zne::{Extrapolation, ZneConfig};
+use oscar_obs::span::{with_stage, Stage};
 use oscar_problems::ising::IsingProblem;
 use oscar_qsim::noise::ReadoutError;
 use std::collections::hash_map::DefaultHasher;
@@ -206,7 +207,16 @@ pub fn mitigated_landscape(
     cache: Option<&LandscapeCache>,
 ) -> (Arc<Landscape>, bool) {
     let mitigation = mitigation.normalized(source);
-    let raw = || source.generate(problem, grid, landscape_seed);
+    // Stage spans wrap the *leaf* work sites (generation here, the
+    // transform/extrapolation math below), never whole cache lookups,
+    // so a cache hit costs the span machinery nothing and nothing
+    // double-counts. A waiter in the in-flight dedup never runs the
+    // producer, so generation time attributes to the producing job.
+    let raw = || {
+        with_stage(Stage::LandscapeGen, || {
+            source.generate(problem, grid, landscape_seed)
+        })
+    };
     if mitigation == Mitigation::None {
         let key = LandscapeKey::new(problem, &grid, source, landscape_seed);
         return match cache {
@@ -242,7 +252,11 @@ fn apply_mitigation(
 ) -> Landscape {
     let raw_arc = || {
         let key = LandscapeKey::new(problem, &grid, source, landscape_seed);
-        let raw = || source.generate(problem, grid, landscape_seed);
+        let raw = || {
+            with_stage(Stage::LandscapeGen, || {
+                source.generate(problem, grid, landscape_seed)
+            })
+        };
         match cache {
             Some(cache) => cache.get_or_compute(key, raw).0,
             None => Arc::new(raw()),
@@ -261,7 +275,11 @@ fn apply_mitigation(
                 .map(|&scale| {
                     let key =
                         LandscapeKey::zne_factor(problem, &grid, source, landscape_seed, scale);
-                    let gen = || source.generate_scaled(problem, grid, landscape_seed, scale);
+                    let gen = || {
+                        with_stage(Stage::LandscapeGen, || {
+                            source.generate_scaled(problem, grid, landscape_seed, scale)
+                        })
+                    };
                     match cache {
                         Some(cache) => cache.get_or_compute(key, gen).0,
                         None => Arc::new(gen()),
@@ -269,7 +287,7 @@ fn apply_mitigation(
                 })
                 .collect();
             let refs: Vec<&Landscape> = subs.iter().map(Arc::as_ref).collect();
-            extrapolated_landscape(&zne, &refs)
+            with_stage(Stage::Mitigation, || extrapolated_landscape(&zne, &refs))
         }
         Mitigation::Readout => {
             let error = source
@@ -280,15 +298,19 @@ fn apply_mitigation(
             let mixed = problem.qaoa_evaluator().diagonal_mean();
             let raw = raw_arc();
             let values = raw.values();
-            Landscape::generate_indexed_par(grid, |i, _, _| {
-                correct_damped_expectation(values[i], mixed, error)
+            with_stage(Stage::Mitigation, || {
+                Landscape::generate_indexed_par(grid, |i, _, _| {
+                    correct_damped_expectation(values[i], mixed, error)
+                })
             })
         }
         Mitigation::Gaussian { sigma } => {
             let raw = raw_arc();
-            let smoothed =
-                GaussianFilter::new(*sigma).smooth_2d(raw.values(), grid.rows(), grid.cols());
-            Landscape::generate_indexed_par(grid, |i, _, _| smoothed[i])
+            with_stage(Stage::Mitigation, || {
+                let smoothed =
+                    GaussianFilter::new(*sigma).smooth_2d(raw.values(), grid.rows(), grid.cols());
+                Landscape::generate_indexed_par(grid, |i, _, _| smoothed[i])
+            })
         }
     }
 }

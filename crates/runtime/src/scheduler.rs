@@ -77,6 +77,54 @@ pub enum Priority {
     High,
 }
 
+impl Priority {
+    /// Every priority, dispatch order (lowest first).
+    pub const ALL: [Priority; 3] = [Priority::Low, Priority::Normal, Priority::High];
+
+    /// The priority's metric-name suffix.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Priority::Low => "low",
+            Priority::Normal => "normal",
+            Priority::High => "high",
+        }
+    }
+
+    fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Scheduler telemetry (`sched.*` in the obs registry), resolved once.
+/// The gauges/counters mirror the runtime's own atomics so `oscar-serve`
+/// can expose scheduler health without a reference to the runtime.
+struct SchedMetrics {
+    queue_depth: [oscar_obs::Gauge; 3],
+    dispatch_wait_us: oscar_obs::Histogram,
+    submitted: oscar_obs::Counter,
+    completed: oscar_obs::Counter,
+    cancelled: oscar_obs::Counter,
+    expired: oscar_obs::Counter,
+    failed: oscar_obs::Counter,
+}
+
+fn sched_metrics() -> &'static SchedMetrics {
+    static METRICS: std::sync::OnceLock<SchedMetrics> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| {
+        let registry = oscar_obs::Registry::global();
+        SchedMetrics {
+            queue_depth: Priority::ALL
+                .map(|p| registry.gauge(&format!("sched.queue_depth.{}", p.as_str()))),
+            dispatch_wait_us: registry.histogram("sched.dispatch_wait_us"),
+            submitted: registry.counter("sched.submitted"),
+            completed: registry.counter("sched.completed"),
+            cancelled: registry.counter("sched.cancelled"),
+            expired: registry.counter("sched.expired"),
+            failed: registry.counter("sched.failed"),
+        }
+    })
+}
+
 /// Everything [`BatchRuntime::submit_opts`] can attach to a job beyond
 /// its spec: a dispatch [`Priority`] and an optional absolute deadline.
 ///
@@ -153,6 +201,7 @@ struct QueuedJob {
     id: u64,
     priority: Priority,
     deadline: Option<Instant>,
+    enqueued_at: Instant,
     spec: JobSpec,
     tx: Sender<JobResult>,
     state: Arc<AtomicU8>,
@@ -460,11 +509,15 @@ impl BatchRuntime {
                 id,
                 priority: opts.priority,
                 deadline: opts.deadline,
+                enqueued_at: Instant::now(),
                 spec,
                 tx,
                 state: Arc::clone(&state),
             });
         }
+        let metrics = sched_metrics();
+        metrics.submitted.inc();
+        metrics.queue_depth[opts.priority.index()].inc();
         self.inner.cv.notify_one();
         JobHandle { id, rx, state }
     }
@@ -509,9 +562,12 @@ impl BatchRuntime {
         let entries = std::mem::take(&mut *queue).into_vec();
         let mut kept = Vec::with_capacity(entries.len());
         let mut discarded = false;
+        let metrics = sched_metrics();
         for job in entries {
             if job.state.load(Ordering::Acquire) == CANCELLED {
                 self.inner.cancelled.fetch_add(1, Ordering::Relaxed);
+                metrics.cancelled.inc();
+                metrics.queue_depth[job.priority.index()].dec();
                 discarded = true;
                 continue;
             }
@@ -523,6 +579,8 @@ impl BatchRuntime {
                         .is_ok()
                 {
                     self.inner.expired.fetch_add(1, Ordering::Relaxed);
+                    metrics.expired.inc();
+                    metrics.queue_depth[job.priority.index()].dec();
                     expired_now += 1;
                     discarded = true;
                     continue;
@@ -621,6 +679,13 @@ impl Drop for BatchRuntime {
         for handle in self.executors.drain(..) {
             let _ = handle.join();
         }
+        // Settle the queue-depth gauges for entries abandoned in the
+        // queue, so the process-wide depth does not leak across
+        // runtimes.
+        let metrics = sched_metrics();
+        for job in lock(&self.inner.queue).drain() {
+            metrics.queue_depth[job.priority.index()].dec();
+        }
         // After the executors exit, this runtime holds the only strong
         // reference to the queue: dropping it (when `self.inner` drops
         // right after this body) frees every abandoned entry's sender,
@@ -646,6 +711,7 @@ impl std::fmt::Debug for BatchRuntime {
 }
 
 fn executor_loop(inner: &SchedInner) {
+    let metrics = sched_metrics();
     loop {
         let job = {
             let mut queue = lock(&inner.queue);
@@ -665,6 +731,8 @@ fn executor_loop(inner: &SchedInner) {
                 queue = inner.cv.wait(queue).unwrap_or_else(PoisonError::into_inner);
             }
         };
+        // Popped: the entry is out of the queue whatever happens next.
+        metrics.queue_depth[job.priority.index()].dec();
         // Expire an overdue entry before claiming it: it never runs,
         // and dropping it below wakes its waiter with the expired error.
         if let Some(deadline) = job.deadline {
@@ -675,6 +743,7 @@ fn executor_loop(inner: &SchedInner) {
                     .is_ok()
             {
                 inner.expired.fetch_add(1, Ordering::Relaxed);
+                metrics.expired.inc();
                 drop(job);
                 inner.running.fetch_sub(1, Ordering::AcqRel);
                 inner.notify_progress();
@@ -691,13 +760,20 @@ fn executor_loop(inner: &SchedInner) {
         {
             if job.state.load(Ordering::Acquire) == CANCELLED {
                 inner.cancelled.fetch_add(1, Ordering::Relaxed);
+                metrics.cancelled.inc();
             }
             drop(job);
             inner.running.fetch_sub(1, Ordering::AcqRel);
             inner.notify_progress();
             continue;
         }
+        metrics
+            .dispatch_wait_us
+            .record_duration(job.enqueued_at.elapsed());
         let seq = inner.dispatched.fetch_add(1, Ordering::Relaxed) + 1;
+        // Scope stage spans recorded inside the pipeline to this job's
+        // scheduler id (telemetry only — never enters the result).
+        let _span_scope = oscar_obs::span::JobScope::enter(job.id);
         // Contain a panicking job: the executor must survive to keep
         // draining the queue — if it died instead, jobs still queued
         // behind the poison pill would wait forever (their senders live
@@ -711,11 +787,13 @@ fn executor_loop(inner: &SchedInner) {
             result.job_id = job.id;
             result.dispatch_seq = seq;
             inner.completed.fetch_add(1, Ordering::Relaxed);
+            metrics.completed.inc();
             job.state.store(DONE, Ordering::Release);
             // A dropped handle just means nobody is waiting for this result.
             let _ = job.tx.send(result);
         } else {
             inner.failed.fetch_add(1, Ordering::Relaxed);
+            metrics.failed.inc();
             job.state.store(FAILED, Ordering::Release);
         }
         inner.running.fetch_sub(1, Ordering::AcqRel);

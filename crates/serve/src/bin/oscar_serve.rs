@@ -38,7 +38,8 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: oscar-serve (--socket PATH | --listen HOST:PORT) \
-         [--concurrency N] [--max-pending N] [--quota N] [--cache N]"
+         [--concurrency N] [--max-pending N] [--quota N] [--cache N] \
+         [--metrics-text]"
     );
     std::process::exit(2);
 }
@@ -64,6 +65,7 @@ fn parse_args() -> Args {
             "--max-pending" => args.config.max_pending = parse_num(&value("--max-pending")),
             "--quota" => args.config.per_client_quota = parse_num(&value("--quota")),
             "--cache" => args.config.cache_capacity = parse_num(&value("--cache")),
+            "--metrics-text" => args.config.metrics_text = true,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag: {other}");

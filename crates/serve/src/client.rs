@@ -159,6 +159,16 @@ impl Client {
         )]))
     }
 
+    /// Fetches the full metrics registry snapshot (plus daemon-local
+    /// admission metrics, and Prometheus text when the daemon was
+    /// started with `--metrics-text`).
+    pub fn metrics(&mut self) -> std::io::Result<Json> {
+        self.request(&Json::Obj(vec![(
+            "verb".to_string(),
+            Json::Str("metrics".into()),
+        )]))
+    }
+
     /// Asks the daemon to drain and shut down; returns its final
     /// reply. The connection is unusable afterwards.
     pub fn drain(&mut self) -> std::io::Result<Json> {

@@ -9,7 +9,12 @@
 //!   the pending queue is at [`ServeConfig::max_pending`] or the
 //!   client is at [`ServeConfig::per_client_quota`] live jobs; rejects
 //!   carry a `retry_after_ms` hint from [`crate::admission`] fed by a
-//!   sliding [`LatencyWindow`] of completed-job wall times.
+//!   daemon-local [`oscar_obs::Histogram`] of completed-job wall times
+//!   (microseconds, lock-free to record).
+//! * **Observability** — the `metrics` verb returns the process-wide
+//!   [`oscar_obs::Registry`] snapshot (cache/pool/scheduler/stage
+//!   metrics) plus daemon-local admission counters as JSON, and
+//!   optionally Prometheus-style text ([`ServeConfig::metrics_text`]).
 //! * **Deadlines** — `deadline_ms` maps to a dynamic [`Priority`] (a
 //!   tight deadline is promoted to High) plus a hard start deadline in
 //!   the scheduler; the periodic tick sweeps expired entries out of
@@ -30,7 +35,7 @@
 use crate::admission;
 use crate::json::Json;
 use crate::proto::{result_to_json, ErrorCode, Request, RequestError, SubmitReq};
-use oscar_executor::latency::LatencyWindow;
+use oscar_obs::{Histogram, MetricValue, Registry};
 use oscar_runtime::scheduler::{
     BatchRuntime, JobHandle, JobLost, JobStatus, Priority, RuntimeConfig, SubmitOptions,
 };
@@ -57,8 +62,9 @@ pub struct ServeConfig {
     /// Admission bound: submits are rejected `quota-exceeded` while
     /// the client has this many unsettled jobs.
     pub per_client_quota: usize,
-    /// Completed-job wall times kept for retry-after percentiles.
-    pub latency_window: usize,
+    /// Include Prometheus-style text exposition in `metrics` replies
+    /// (the JSON registry snapshot is always included).
+    pub metrics_text: bool,
     /// Request lines longer than this are rejected `line-too-long`.
     pub max_line_bytes: usize,
     /// Registry bound: settled jobs beyond this are evicted
@@ -78,7 +84,7 @@ impl Default for ServeConfig {
             cache_capacity: 32,
             max_pending: 64,
             per_client_quota: 16,
-            latency_window: 256,
+            metrics_text: false,
             max_line_bytes: 64 * 1024,
             registry_capacity: 4096,
             default_wait_ms: 30_000,
@@ -140,8 +146,7 @@ impl JobEntry {
             return;
         }
         if let Outcome::Done(result) = &outcome {
-            let mut window = lock(&state.latency);
-            window.record(result.wall.as_secs_f64());
+            state.latency_us.record_duration(result.wall);
         }
         *lock(&self.outcome) = Some(outcome);
         self.client.live.fetch_sub(1, Ordering::AcqRel);
@@ -194,7 +199,11 @@ pub struct ServerState {
     runtime: BatchRuntime,
     config: ServeConfig,
     jobs: Mutex<BTreeMap<u64, Arc<JobEntry>>>,
-    latency: Mutex<LatencyWindow>,
+    /// Completed-job wall times in microseconds. Daemon-local (not in
+    /// the global registry) so concurrent daemons in one process — the
+    /// test suites run several — never pollute each other's admission
+    /// estimates.
+    latency_us: Histogram,
     draining: AtomicBool,
     shutdown: AtomicBool,
     connections: AtomicU64,
@@ -214,7 +223,7 @@ impl ServerState {
             }),
             config,
             jobs: Mutex::new(BTreeMap::new()),
-            latency: Mutex::new(LatencyWindow::new(config.latency_window.max(1))),
+            latency_us: Histogram::new(),
             draining: AtomicBool::new(false),
             shutdown: AtomicBool::new(false),
             connections: AtomicU64::new(0),
@@ -251,7 +260,7 @@ impl ServerState {
     }
 
     /// The periodic tick: sweep expired queue entries, settle finished
-    /// jobs (feeding the latency window even when nobody waits), and
+    /// jobs (feeding the latency histogram even when nobody waits), and
     /// evict settled entries past the registry bound.
     fn tick(&self) {
         self.runtime.expire_overdue();
@@ -287,10 +296,14 @@ impl ServerState {
                 vec![],
             );
         }
-        let stats = lock(&self.latency).stats();
         let pending = self.runtime.pending();
         let running = self.runtime.running() as usize;
-        let retry = admission::retry_after(pending, running, self.runtime.concurrency(), stats);
+        let retry = admission::retry_after(
+            pending,
+            running,
+            self.runtime.concurrency(),
+            &self.latency_us,
+        );
         if client.live.load(Ordering::Acquire) >= self.config.per_client_quota {
             self.rejected_quota.fetch_add(1, Ordering::Relaxed);
             return error_reply(
@@ -320,7 +333,7 @@ impl ServerState {
         let mut opts = SubmitOptions::with_priority(req.priority.unwrap_or(Priority::Normal));
         if let Some(ms) = req.deadline_ms {
             let budget = Duration::from_millis(ms);
-            opts.priority = admission::deadline_priority(req.priority, budget, stats);
+            opts.priority = admission::deadline_priority(req.priority, budget, &self.latency_us);
             opts = opts.deadline(Instant::now() + budget);
         }
         let priority = opts.priority;
@@ -437,8 +450,16 @@ impl ServerState {
     }
 
     fn handle_stats(&self) -> Json {
-        let stats = lock(&self.latency).stats();
-        let ms = |s: f64| Json::Num(s * 1e3);
+        let latency = self.latency_us.snapshot();
+        // Histogram percentiles are bucket upper bounds: ≤2x-coarse
+        // estimates, Null until the first job completes.
+        let ms = |us: u64| {
+            if latency.count == 0 {
+                Json::Null
+            } else {
+                Json::Num(us as f64 / 1e3)
+            }
+        };
         Json::Obj(vec![
             ("ok".to_string(), Json::Bool(true)),
             (
@@ -490,6 +511,10 @@ impl ServerState {
                 Json::Num(self.rejected_quota.load(Ordering::Relaxed) as f64),
             ),
             (
+                "rejected_draining".to_string(),
+                Json::Num(self.rejected_draining.load(Ordering::Relaxed) as f64),
+            ),
+            (
                 "bad_requests".to_string(),
                 Json::Num(self.bad_requests.load(Ordering::Relaxed) as f64),
             ),
@@ -497,16 +522,62 @@ impl ServerState {
                 "disconnect_cancelled".to_string(),
                 Json::Num(self.disconnect_cancelled.load(Ordering::Relaxed) as f64),
             ),
-            (
-                "median_latency_ms".to_string(),
-                stats.map_or(Json::Null, |s| ms(s.median)),
-            ),
-            (
-                "p99_latency_ms".to_string(),
-                stats.map_or(Json::Null, |s| ms(s.p99)),
-            ),
+            ("median_latency_ms".to_string(), ms(latency.p50)),
+            ("p99_latency_ms".to_string(), ms(latency.p99)),
             ("draining".to_string(), Json::Bool(self.is_draining())),
         ])
+    }
+
+    /// The `metrics` verb: the full process-wide registry snapshot
+    /// (every `cache.*`, `pool.*`, `sched.*`, `stage.*` metric) under
+    /// `"registry"`, daemon-local admission metrics under `"serve"`,
+    /// and Prometheus-style text under `"text"` when configured.
+    fn handle_metrics(&self) -> Json {
+        let registry = Registry::global();
+        let registry_fields: Vec<(String, Json)> = registry
+            .snapshot()
+            .into_iter()
+            .map(|(name, value)| (name, metric_value_to_json(&value)))
+            .collect();
+        let serve_fields = vec![
+            (
+                "job_latency_us".to_string(),
+                metric_value_to_json(&MetricValue::Histogram(self.latency_us.snapshot())),
+            ),
+            (
+                "connections".to_string(),
+                Json::Num(self.connections.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "rejected_overload".to_string(),
+                Json::Num(self.rejected_overload.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "rejected_quota".to_string(),
+                Json::Num(self.rejected_quota.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "rejected_draining".to_string(),
+                Json::Num(self.rejected_draining.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "bad_requests".to_string(),
+                Json::Num(self.bad_requests.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "disconnect_cancelled".to_string(),
+                Json::Num(self.disconnect_cancelled.load(Ordering::Relaxed) as f64),
+            ),
+        ];
+        let mut fields = vec![
+            ("ok".to_string(), Json::Bool(true)),
+            ("registry".to_string(), Json::Obj(registry_fields)),
+            ("serve".to_string(), Json::Obj(serve_fields)),
+        ];
+        if self.config.metrics_text {
+            fields.push(("text".to_string(), Json::Str(registry.render_prometheus())));
+        }
+        Json::Obj(fields)
     }
 
     fn handle_drain(&self) -> Json {
@@ -519,6 +590,23 @@ impl ServerState {
                 Json::Num(self.runtime.completed() as f64),
             ),
         ])
+    }
+}
+
+/// Render a registry metric value for the `metrics` reply: counters and
+/// gauges become plain numbers, histograms a `{count, sum, p50, p90,
+/// p99}` object (percentiles are log2-bucket upper bounds).
+fn metric_value_to_json(value: &MetricValue) -> Json {
+    match value {
+        MetricValue::Counter(v) => Json::Num(*v as f64),
+        MetricValue::Gauge(v) => Json::Num(*v as f64),
+        MetricValue::Histogram(snap) => Json::Obj(vec![
+            ("count".to_string(), Json::Num(snap.count as f64)),
+            ("sum".to_string(), Json::Num(snap.sum as f64)),
+            ("p50".to_string(), Json::Num(snap.p50 as f64)),
+            ("p90".to_string(), Json::Num(snap.p90 as f64)),
+            ("p99".to_string(), Json::Num(snap.p99 as f64)),
+        ]),
     }
 }
 
@@ -848,6 +936,7 @@ fn handle_line(
             include_values,
         } => (state.handle_wait(job, timeout_ms, include_values), false),
         Request::Stats => (state.handle_stats(), false),
+        Request::Metrics => (state.handle_metrics(), false),
         Request::Drain => (state.handle_drain(), true),
     }
 }

@@ -363,6 +363,9 @@ pub enum Request {
     },
     /// Report daemon counters.
     Stats,
+    /// Report the full metrics registry (counters, gauges, histogram
+    /// summaries) plus daemon-local metrics.
+    Metrics,
     /// Stop admission, finish everything, then shut down.
     Drain,
 }
@@ -391,6 +394,7 @@ impl Request {
                     .unwrap_or(false),
             }),
             "stats" => Ok(Request::Stats),
+            "metrics" => Ok(Request::Metrics),
             "drain" => Ok(Request::Drain),
             other => Err(RequestError {
                 code: ErrorCode::UnknownVerb,

@@ -12,6 +12,8 @@
 //! * [`executor`] — multi-QPU devices, latency model, NCM, eager sampling;
 //! * [`core`] — the OSCAR reconstruction pipeline and use cases;
 //! * [`par`] — persistent worker pool and data-parallel helpers;
+//! * [`obs`] — observability substrate: atomic metrics registry,
+//!   log2 latency histograms, and per-job stage-span tracing;
 //! * [`runtime`] — batch job scheduler and plan/landscape caching for
 //!   streams of reconstructions;
 //! * [`serve`] — the `oscar-serve` batch service daemon: line-delimited
@@ -39,6 +41,7 @@ pub use oscar_core as core;
 pub use oscar_cs as cs;
 pub use oscar_executor as executor;
 pub use oscar_mitigation as mitigation;
+pub use oscar_obs as obs;
 pub use oscar_optim as optim;
 pub use oscar_par as par;
 pub use oscar_problems as problems;
