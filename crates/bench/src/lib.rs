@@ -10,6 +10,8 @@
 //! paper-scale grids and instance counts (hours).
 
 #![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 use oscar_problems::ising::IsingProblem;
 use rand::rngs::StdRng;
@@ -102,7 +104,7 @@ impl Quartiles {
     pub fn of(values: &[f64]) -> Self {
         assert!(!values.is_empty(), "no values");
         let mut sorted = values.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.sort_by(|a, b| a.total_cmp(b));
         let pick = |q: f64| {
             let pos = q * (sorted.len() - 1) as f64;
             let lo = pos.floor() as usize;

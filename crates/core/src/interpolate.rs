@@ -69,7 +69,7 @@ impl CubicSpline {
     pub fn eval(&self, x: f64) -> f64 {
         let n = self.xs.len();
         // Find the segment by binary search.
-        let i = match self.xs.binary_search_by(|v| v.partial_cmp(&x).unwrap()) {
+        let i = match self.xs.binary_search_by(|v| v.total_cmp(&x)) {
             Ok(i) => i.min(n - 2),
             Err(0) => 0,
             Err(i) => (i - 1).min(n - 2),

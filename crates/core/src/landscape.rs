@@ -112,7 +112,7 @@ impl Landscape {
             .values
             .iter()
             .enumerate()
-            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .min_by(|a, b| a.1.total_cmp(b.1))
             .expect("landscape is non-empty");
         (val, self.grid.point(idx))
     }
@@ -134,7 +134,7 @@ impl Landscape {
     /// paper's NRMSE metric (Eq. 1).
     pub fn iqr(&self) -> f64 {
         let mut sorted = self.values.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.sort_by(|a, b| a.total_cmp(b));
         quantile_sorted(&sorted, 0.75) - quantile_sorted(&sorted, 0.25)
     }
 }

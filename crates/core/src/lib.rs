@@ -33,6 +33,8 @@
 //! ```
 
 #![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod grid;
 pub mod interpolate;

@@ -29,7 +29,7 @@ pub fn nrmse(truth: &[f64], recon: &[f64]) -> f64 {
         .sum::<f64>()
         / truth.len() as f64;
     let mut sorted = truth.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    sorted.sort_by(|a, b| a.total_cmp(b));
     let iqr = quantile_sorted(&sorted, 0.75) - quantile_sorted(&sorted, 0.25);
     if iqr <= 0.0 {
         // Degenerate (constant) truth: fall back to un-normalized RMSE.

@@ -49,7 +49,7 @@ impl SliceReport {
     /// Median NRMSE across slices (the table entry).
     pub fn median(&self) -> f64 {
         let mut sorted = self.errors.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.sort_by(|a, b| a.total_cmp(b));
         sorted[sorted.len() / 2]
     }
 

@@ -97,7 +97,7 @@ proptest! {
         let i = ista(&op, &y, &cfg);
         // Both should put their largest coefficient on the true spike.
         let argmax = |v: &[f64]| {
-            v.iter().enumerate().max_by(|a, b| a.1.abs().partial_cmp(&b.1.abs()).unwrap()).unwrap().0
+            v.iter().enumerate().max_by(|a, b| a.1.abs().total_cmp(&b.1.abs())).unwrap().0
         };
         prop_assert_eq!(argmax(&f.coefficients), spike);
         prop_assert_eq!(argmax(&i.coefficients), spike);

@@ -1,0 +1,446 @@
+//! Per-file analysis shared by every rule: attribute grouping,
+//! `#[cfg(test)]` region detection, inline suppressions, and per-line
+//! comment/code maps.
+
+use crate::lexer::{lex, Lexed, Token, TokenKind};
+
+/// A parsed `#[...]` or `#![...]` attribute occurrence.
+#[derive(Debug)]
+struct Attr {
+    /// Token index of the `#`.
+    hash_idx: usize,
+    /// Token index one past the closing `]`.
+    end_idx: usize,
+    /// `true` for inner attributes (`#![...]`).
+    inner: bool,
+    /// The identifier tokens inside the brackets, in order.
+    idents: Vec<String>,
+}
+
+/// An inline suppression comment:
+/// `// lint:allow(rule-a, rule-b): reason`.
+#[derive(Debug)]
+pub struct Suppression {
+    /// The rules being allowed.
+    pub rules: Vec<String>,
+    /// Line of the comment itself.
+    pub line: u32,
+    /// Column of the comment.
+    pub col: u32,
+    /// The written justification (empty when missing — a violation).
+    pub reason: String,
+    /// Lines this suppression covers: its own line, plus the next line
+    /// holding code when the comment stands alone on its line.
+    pub covers: Vec<u32>,
+}
+
+/// Everything the rules need to know about one source file.
+#[derive(Debug)]
+pub struct FileAnalysis {
+    /// The token stream (comments included).
+    pub lexed: Lexed,
+    /// Indices into `lexed.tokens` of non-comment tokens.
+    pub code: Vec<usize>,
+    /// `in_test[i]` — token `i` sits inside a `#[cfg(test)]` /
+    /// `#[test]` item (same length as `lexed.tokens`).
+    pub in_test: Vec<bool>,
+    /// Parsed `lint:allow` suppressions.
+    pub suppressions: Vec<Suppression>,
+    /// For each 1-based line: concatenated comment text on that line.
+    comment_by_line: Vec<String>,
+    /// For each 1-based line: whether any non-comment token starts there.
+    code_on_line: Vec<bool>,
+}
+
+impl FileAnalysis {
+    /// Lexes and analyzes `src`.
+    pub fn new(src: &str) -> Self {
+        let lexed = lex(src);
+        let nlines = src.lines().count() + 2;
+        let mut comment_by_line = vec![String::new(); nlines + 1];
+        let mut code_on_line = vec![false; nlines + 1];
+        for tok in &lexed.tokens {
+            let l = tok.line as usize;
+            if l > nlines {
+                continue;
+            }
+            if tok.is_comment() {
+                comment_by_line[l].push_str(&lexed.src[tok.start..tok.end]);
+                comment_by_line[l].push(' ');
+            } else {
+                code_on_line[l] = true;
+            }
+        }
+        let code: Vec<usize> = lexed
+            .tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !t.is_comment())
+            .map(|(i, _)| i)
+            .collect();
+        let attrs = collect_attrs(&lexed, &code);
+        let in_test = mark_test_regions(&lexed, &code, &attrs);
+        let suppressions = collect_suppressions(&lexed, &code_on_line, nlines);
+        FileAnalysis {
+            lexed,
+            code,
+            in_test,
+            suppressions,
+            comment_by_line,
+            code_on_line,
+        }
+    }
+
+    /// The comment text present on 1-based `line` (empty when none).
+    pub fn comment_on_line(&self, line: u32) -> &str {
+        self.comment_by_line
+            .get(line as usize)
+            .map(String::as_str)
+            .unwrap_or("")
+    }
+
+    /// Whether 1-based `line` holds any non-comment token.
+    pub fn has_code_on_line(&self, line: u32) -> bool {
+        self.code_on_line
+            .get(line as usize)
+            .copied()
+            .unwrap_or(false)
+    }
+
+    /// `true` when an adjacent comment justifies a site on `line`:
+    /// the site's own line, or a comment block above it, contains one
+    /// of `needles`. The upward walk tolerates up to three intervening
+    /// code lines (rustfmt wraps a statement across lines, and one
+    /// `// SAFETY:` block conventionally covers the small group of
+    /// unsafe expressions right below it) but stops at the first blank
+    /// line — a justification must be visually attached to its site.
+    pub fn justified_by_comment(&self, line: u32, needles: &[&str]) -> bool {
+        let hit = |text: &str| needles.iter().any(|n| text.contains(n));
+        if hit(self.comment_on_line(line)) {
+            return true;
+        }
+        let mut code_lines_crossed = 0u32;
+        let mut l = line.saturating_sub(1);
+        while l >= 1 {
+            let comment = self.comment_on_line(l);
+            let has_code = self.has_code_on_line(l);
+            if hit(comment) {
+                return true;
+            }
+            if !comment.is_empty() && !has_code {
+                // Pure comment line (non-matching): keep walking the block.
+                l -= 1;
+                continue;
+            }
+            if has_code {
+                code_lines_crossed += 1;
+                if code_lines_crossed > 3 {
+                    return false;
+                }
+                l -= 1;
+                continue;
+            }
+            // Blank line: the chain is broken.
+            return false;
+        }
+        false
+    }
+
+    /// Token text helper.
+    pub fn text(&self, tok_idx: usize) -> &str {
+        let tok = &self.lexed.tokens[tok_idx];
+        &self.lexed.src[tok.start..tok.end]
+    }
+
+    /// The token at code-stream position `ci` (indices from `code`).
+    pub fn code_tok(&self, ci: usize) -> &Token {
+        &self.lexed.tokens[self.code[ci]]
+    }
+
+    /// Text of the code token at code-stream position `ci`.
+    pub fn code_text(&self, ci: usize) -> &str {
+        self.text(self.code[ci])
+    }
+
+    /// `true` when the code token at `ci` is the identifier `name`.
+    pub fn is_ident(&self, ci: usize, name: &str) -> bool {
+        ci < self.code.len()
+            && self.code_tok(ci).kind == TokenKind::Ident
+            && self.code_text(ci) == name
+    }
+
+    /// `true` when the code token at `ci` is the punctuation `p`.
+    pub fn is_punct(&self, ci: usize, p: char) -> bool {
+        ci < self.code.len()
+            && self.code_tok(ci).kind == TokenKind::Punct
+            && self.code_text(ci).as_bytes() == [p as u8]
+    }
+
+    /// `true` when code tokens at `ci`, `ci+1` are `::`.
+    pub fn is_path_sep(&self, ci: usize) -> bool {
+        self.is_punct(ci, ':') && self.is_punct(ci + 1, ':')
+    }
+
+    /// Whether the code token at `ci` is inside a test region.
+    pub fn code_in_test(&self, ci: usize) -> bool {
+        self.in_test[self.code[ci]]
+    }
+}
+
+/// Groups `#[...]` / `#![...]` attribute token runs.
+fn collect_attrs(lexed: &Lexed, code: &[usize]) -> Vec<Attr> {
+    let mut attrs = Vec::new();
+    let mut ci = 0usize;
+    while ci < code.len() {
+        let tok = &lexed.tokens[code[ci]];
+        let text = &lexed.src[tok.start..tok.end];
+        if tok.kind == TokenKind::Punct && text == "#" {
+            let mut j = ci + 1;
+            let mut inner = false;
+            if j < code.len()
+                && lexed.src[lexed.tokens[code[j]].start..lexed.tokens[code[j]].end] == *"!"
+            {
+                inner = true;
+                j += 1;
+            }
+            let open = j;
+            if open < code.len()
+                && lexed.tokens[code[open]].kind == TokenKind::Punct
+                && &lexed.src[lexed.tokens[code[open]].start..lexed.tokens[code[open]].end] == "["
+            {
+                let mut depth = 0usize;
+                let mut idents = Vec::new();
+                let mut k = open;
+                while k < code.len() {
+                    let t = &lexed.tokens[code[k]];
+                    let s = &lexed.src[t.start..t.end];
+                    match (t.kind, s) {
+                        (TokenKind::Punct, "[") => depth += 1,
+                        (TokenKind::Punct, "]") => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        (TokenKind::Ident, _) => idents.push(s.to_owned()),
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                attrs.push(Attr {
+                    hash_idx: ci,
+                    end_idx: k + 1,
+                    inner,
+                    idents,
+                });
+                ci = k + 1;
+                continue;
+            }
+        }
+        ci += 1;
+    }
+    attrs
+}
+
+/// Marks tokens inside `#[cfg(test)]` / `#[test]` items. The marked
+/// region runs from the attribute to the end of the next item: the
+/// matching `}` of the first `{` at nesting level zero, or the first
+/// `;` when no body opens before it.
+fn mark_test_regions(lexed: &Lexed, code: &[usize], attrs: &[Attr]) -> Vec<bool> {
+    let mut in_test = vec![false; lexed.tokens.len()];
+    for attr in attrs {
+        if attr.inner || !is_test_attr(&attr.idents) {
+            continue;
+        }
+        // Scan from the end of the attribute to the item body.
+        let mut ci = attr.end_idx;
+        let mut open = None;
+        while ci < code.len() {
+            let t = &lexed.tokens[code[ci]];
+            let s = &lexed.src[t.start..t.end];
+            if t.kind == TokenKind::Punct {
+                if s == "{" {
+                    open = Some(ci);
+                    break;
+                }
+                if s == ";" {
+                    break;
+                }
+            }
+            ci += 1;
+        }
+        let end_ci = match open {
+            Some(open_ci) => {
+                let mut depth = 0usize;
+                let mut k = open_ci;
+                loop {
+                    if k >= code.len() {
+                        break k;
+                    }
+                    let t = &lexed.tokens[code[k]];
+                    let s = &lexed.src[t.start..t.end];
+                    if t.kind == TokenKind::Punct {
+                        if s == "{" {
+                            depth += 1;
+                        } else if s == "}" {
+                            depth -= 1;
+                            if depth == 0 {
+                                break k;
+                            }
+                        }
+                    }
+                    k += 1;
+                }
+            }
+            None => ci,
+        };
+        let start_tok = code[attr.hash_idx];
+        let end_tok = if end_ci < code.len() {
+            code[end_ci]
+        } else {
+            lexed.tokens.len() - 1
+        };
+        for flag in in_test.iter_mut().take(end_tok + 1).skip(start_tok) {
+            *flag = true;
+        }
+    }
+    in_test
+}
+
+/// `#[test]`, `#[cfg(test)]`, `#[cfg(all(test, …))]` — but not
+/// `#[cfg(not(test))]`.
+fn is_test_attr(idents: &[String]) -> bool {
+    if idents.len() == 1 && idents[0] == "test" {
+        return true;
+    }
+    idents.first().is_some_and(|f| f == "cfg")
+        && idents.iter().any(|i| i == "test")
+        && !idents.iter().any(|i| i == "not")
+}
+
+/// Parses `// lint:allow(rule-a, rule-b): reason` comments.
+fn collect_suppressions(lexed: &Lexed, code_on_line: &[bool], nlines: usize) -> Vec<Suppression> {
+    let mut out = Vec::new();
+    for tok in &lexed.tokens {
+        if !tok.is_comment() {
+            continue;
+        }
+        let raw = &lexed.src[tok.start..tok.end];
+        let body = raw
+            .trim_start_matches('/')
+            .trim_start_matches('*')
+            .trim_start();
+        let Some(rest) = body.strip_prefix("lint:allow") else {
+            continue;
+        };
+        let rest = rest.trim_start();
+        let (rules_text, after) = match rest.strip_prefix('(').and_then(|r| r.split_once(')')) {
+            Some((inside, after)) => (inside, after),
+            None => ("", rest),
+        };
+        let rules: Vec<String> = rules_text
+            .split(',')
+            .map(|r| r.trim().to_owned())
+            .filter(|r| !r.is_empty())
+            .collect();
+        let reason = after
+            .trim_start()
+            .strip_prefix(':')
+            .map(|r| r.trim().trim_end_matches("*/").trim().to_owned())
+            .unwrap_or_default();
+        let mut covers = vec![tok.line];
+        let own_line = tok.line as usize;
+        if own_line <= nlines && !code_on_line[own_line] {
+            // Standalone comment: also cover the next line with code.
+            if let Some(l) = (own_line + 1..code_on_line.len()).find(|&l| code_on_line[l]) {
+                covers.push(l as u32);
+            }
+        }
+        out.push(Suppression {
+            rules,
+            line: tok.line,
+            col: tok.col,
+            reason,
+            covers,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_module_is_marked() {
+        let src = "fn real() {}\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n}\nfn after() {}\n";
+        let fa = FileAnalysis::new(src);
+        let idx_of = |name: &str| {
+            (0..fa.code.len())
+                .find(|&ci| fa.is_ident(ci, name))
+                .expect("ident present")
+        };
+        assert!(!fa.code_in_test(idx_of("real")));
+        assert!(fa.code_in_test(idx_of("helper")));
+        assert!(!fa.code_in_test(idx_of("after")));
+    }
+
+    #[test]
+    fn test_fn_is_marked() {
+        let src = "#[test]\nfn check() { body(); }\nfn production() {}\n";
+        let fa = FileAnalysis::new(src);
+        let idx_of = |name: &str| (0..fa.code.len()).find(|&ci| fa.is_ident(ci, name));
+        assert!(fa.code_in_test(idx_of("body").unwrap_or(0)));
+        assert!(!fa.code_in_test(idx_of("production").unwrap_or(0)));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_region() {
+        let src = "#[cfg(not(test))]\nfn live() { body(); }\n";
+        let fa = FileAnalysis::new(src);
+        assert!(!fa.code_in_test(0));
+    }
+
+    #[test]
+    fn suppression_with_reason_parses() {
+        let src = "// lint:allow(no-panic): startup cannot proceed without a socket\nlet x = y.unwrap();\n";
+        let fa = FileAnalysis::new(src);
+        assert_eq!(fa.suppressions.len(), 1);
+        let s = &fa.suppressions[0];
+        assert_eq!(s.rules, ["no-panic"]);
+        assert!(s.reason.contains("socket"));
+        assert_eq!(s.covers, [1, 2]);
+    }
+
+    #[test]
+    fn trailing_suppression_covers_its_own_line() {
+        let src = "let x = y.unwrap(); // lint:allow(no-panic): infallible here\n";
+        let fa = FileAnalysis::new(src);
+        assert_eq!(fa.suppressions[0].covers, [1]);
+    }
+
+    #[test]
+    fn bare_suppression_has_empty_reason() {
+        let src = "// lint:allow(no-panic)\nlet x = y.unwrap();\n";
+        let fa = FileAnalysis::new(src);
+        assert!(fa.suppressions[0].reason.is_empty());
+    }
+
+    #[test]
+    fn multi_rule_suppression() {
+        let src = "// lint:allow(wall-clock, no-panic): telemetry only\nlet t = now();\n";
+        let fa = FileAnalysis::new(src);
+        assert_eq!(fa.suppressions[0].rules, ["wall-clock", "no-panic"]);
+    }
+
+    #[test]
+    fn justification_chain_walks_comment_blocks() {
+        let src = "// SAFETY: the region outlives every worker\n// (see the pinning protocol)\nlet p = unsafe { &*ptr };\n";
+        let fa = FileAnalysis::new(src);
+        assert!(fa.justified_by_comment(3, &["SAFETY:"]));
+        // A blank line breaks the chain.
+        let src2 = "// SAFETY: stale\n\nlet p = unsafe { &*ptr };\n";
+        let fa2 = FileAnalysis::new(src2);
+        assert!(!fa2.justified_by_comment(3, &["SAFETY:"]));
+    }
+}

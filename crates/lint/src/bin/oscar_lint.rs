@@ -1,0 +1,106 @@
+//! `oscar-lint` — scan the workspace for invariant violations.
+//!
+//! ```text
+//! oscar-lint [--root PATH] [--format human|json] [--atomics]
+//! ```
+//!
+//! Exit codes: `0` clean, `1` violations found, `2` usage or I/O
+//! error. CI runs `cargo run -p oscar-lint -- --format json` as a
+//! tier-1 gate.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    root: Option<PathBuf>,
+    json: bool,
+    atomics: bool,
+}
+
+fn usage() -> ! {
+    eprintln!("usage: oscar-lint [--root PATH] [--format human|json] [--atomics]");
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        root: None,
+        json: false,
+        atomics: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => match it.next() {
+                Some(p) => args.root = Some(PathBuf::from(p)),
+                None => usage(),
+            },
+            "--format" => match it.next().as_deref() {
+                Some("json") => args.json = true,
+                Some("human") => args.json = false,
+                _ => usage(),
+            },
+            "--atomics" => args.atomics = true,
+            "--help" | "-h" => {
+                println!("oscar-lint: workspace invariant checker");
+                println!("  --root PATH       workspace root (default: auto-detect)");
+                println!("  --format FORMAT   human (default) or json");
+                println!("  --atomics         also print the per-module atomic-ordering audit");
+                std::process::exit(0);
+            }
+            _ => usage(),
+        }
+    }
+    args
+}
+
+/// Walks up from the current directory to the first `Cargo.toml`
+/// declaring `[workspace]`.
+fn detect_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let root = match args.root.or_else(detect_root) {
+        Some(r) => r,
+        None => {
+            eprintln!("oscar-lint: no workspace root found (pass --root)");
+            return ExitCode::from(2);
+        }
+    };
+    let report = match oscar_lint::lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("oscar-lint: scan failed under {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    if args.json {
+        println!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_human());
+        if args.atomics {
+            println!("atomic orderings by module:");
+            for a in &report.atomics {
+                println!("  {:<28} {:<8} x{}", a.module, a.ordering, a.count);
+            }
+        }
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

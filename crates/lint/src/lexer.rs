@@ -1,0 +1,533 @@
+//! A hand-rolled Rust lexer: just enough tokenization to run lexical
+//! invariant rules safely.
+//!
+//! The rules in [`crate::rules`] match identifier/punctuation
+//! sequences (`Instant :: now`, `. lock ( ) . unwrap`), so the lexer's
+//! one hard job is making sure those sequences are *code* — never text
+//! inside a string literal, a comment, or a doc example. That requires
+//! handling the full set of Rust literal forms that can contain
+//! arbitrary text:
+//!
+//! * line comments (`//`, `///`, `//!`) and **nested** block comments,
+//! * string literals with escapes, byte strings, C strings,
+//! * raw strings `r"…"` / `r#"…"#` (any number of `#`s) and their
+//!   byte/C variants,
+//! * char literals vs. lifetimes (`'a'` vs `'a`), including escaped
+//!   chars (`'\''`, `'\u{1F600}'`),
+//! * raw identifiers (`r#fn`).
+//!
+//! Comments are kept as tokens (the rules need them: `// SAFETY:`
+//! justifications and `// lint:allow(...)` suppressions live there);
+//! every token carries its 1-based line and byte column.
+
+/// What a [`Token`] is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (raw identifiers keep their `r#` prefix).
+    Ident,
+    /// A lifetime such as `'a` (text includes the quote).
+    Lifetime,
+    /// Character or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// Any string literal form: plain, raw, byte, C.
+    Str,
+    /// Numeric literal (integers, floats, any radix).
+    Num,
+    /// A single punctuation byte (`.`, `:`, `!`, `(`, …).
+    Punct,
+    /// `// …` to end of line (text includes the slashes).
+    LineComment,
+    /// `/* … */`, possibly nested (text includes delimiters).
+    BlockComment,
+}
+
+/// One lexed token: a kind plus its span in the source.
+#[derive(Clone, Copy, Debug)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based line of the first byte.
+    pub line: u32,
+    /// 1-based byte column of the first byte.
+    pub col: u32,
+}
+
+impl Token {
+    /// `true` for both comment kinds.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+/// A fully lexed source file: the text plus its token stream.
+#[derive(Debug)]
+pub struct Lexed {
+    /// The source text the spans index into.
+    pub src: String,
+    /// Tokens in source order (comments included).
+    pub tokens: Vec<Token>,
+}
+
+impl Lexed {
+    /// The text of `tok`.
+    pub fn text(&self, tok: &Token) -> &str {
+        &self.src[tok.start..tok.end]
+    }
+}
+
+/// Lexes `src` into a token stream. Never fails: unterminated literals
+/// or comments simply extend to end of input (the rules stay sound —
+/// at worst text is *over*-classified as literal, never as code).
+pub fn lex(src: &str) -> Lexed {
+    let bytes = src.as_bytes();
+    let mut tokens = Vec::new();
+    let mut pos = 0usize;
+    let mut line = 1u32;
+    let mut line_start = 0usize; // byte offset of the current line's first byte
+
+    macro_rules! col {
+        ($at:expr) => {
+            ($at - line_start + 1) as u32
+        };
+    }
+
+    // Advances `line`/`line_start` for every newline in `src[from..to]`.
+    macro_rules! count_lines {
+        ($from:expr, $to:expr) => {
+            for k in $from..$to {
+                if bytes[k] == b'\n' {
+                    line += 1;
+                    line_start = k + 1;
+                }
+            }
+        };
+    }
+
+    while pos < bytes.len() {
+        let b = bytes[pos];
+        // Whitespace.
+        if b.is_ascii_whitespace() {
+            if b == b'\n' {
+                line += 1;
+                line_start = pos + 1;
+            }
+            pos += 1;
+            continue;
+        }
+        let start = pos;
+        let start_line = line;
+        let start_col = col!(pos);
+
+        // Comments.
+        if b == b'/' && pos + 1 < bytes.len() {
+            match bytes[pos + 1] {
+                b'/' => {
+                    while pos < bytes.len() && bytes[pos] != b'\n' {
+                        pos += 1;
+                    }
+                    tokens.push(Token {
+                        kind: TokenKind::LineComment,
+                        start,
+                        end: pos,
+                        line: start_line,
+                        col: start_col,
+                    });
+                    continue;
+                }
+                b'*' => {
+                    pos += 2;
+                    let mut depth = 1usize;
+                    while pos < bytes.len() && depth > 0 {
+                        if bytes[pos] == b'/' && pos + 1 < bytes.len() && bytes[pos + 1] == b'*' {
+                            depth += 1;
+                            pos += 2;
+                        } else if bytes[pos] == b'*'
+                            && pos + 1 < bytes.len()
+                            && bytes[pos + 1] == b'/'
+                        {
+                            depth -= 1;
+                            pos += 2;
+                        } else {
+                            pos += 1;
+                        }
+                    }
+                    count_lines!(start, pos);
+                    tokens.push(Token {
+                        kind: TokenKind::BlockComment,
+                        start,
+                        end: pos,
+                        line: start_line,
+                        col: start_col,
+                    });
+                    continue;
+                }
+                _ => {}
+            }
+        }
+
+        // Raw strings / raw identifiers / byte and C string prefixes.
+        // Handles: r"…", r#"…"#, br"…", br#"…"#, cr"…", b"…", c"…",
+        // b'…', and raw identifiers r#ident.
+        if b == b'r' || b == b'b' || b == b'c' {
+            let mut probe = pos;
+            let mut raw = false;
+            // Optional b/c prefix before r.
+            if (b == b'b' || b == b'c') && probe + 1 < bytes.len() && bytes[probe + 1] == b'r' {
+                probe += 2;
+                raw = true;
+            } else if b == b'r' {
+                probe += 1;
+                raw = true;
+            } else {
+                probe += 1; // bare b"…" / c"…" / b'…'
+            }
+            if raw {
+                let mut hashes = 0usize;
+                while probe < bytes.len() && bytes[probe] == b'#' {
+                    hashes += 1;
+                    probe += 1;
+                }
+                if probe < bytes.len() && bytes[probe] == b'"' {
+                    // Raw string: scan for `"` followed by `hashes` #s.
+                    probe += 1;
+                    'raw: while probe < bytes.len() {
+                        if bytes[probe] == b'"' {
+                            let mut k = 0usize;
+                            while k < hashes
+                                && probe + 1 + k < bytes.len()
+                                && bytes[probe + 1 + k] == b'#'
+                            {
+                                k += 1;
+                            }
+                            if k == hashes {
+                                probe += 1 + hashes;
+                                break 'raw;
+                            }
+                        }
+                        probe += 1;
+                    }
+                    count_lines!(start, probe);
+                    pos = probe;
+                    tokens.push(Token {
+                        kind: TokenKind::Str,
+                        start,
+                        end: pos,
+                        line: start_line,
+                        col: start_col,
+                    });
+                    continue;
+                }
+                if b == b'r' && hashes == 1 && probe < bytes.len() && is_ident_start(bytes[probe]) {
+                    // Raw identifier r#ident.
+                    while probe < bytes.len() && is_ident_continue(bytes[probe]) {
+                        probe += 1;
+                    }
+                    pos = probe;
+                    tokens.push(Token {
+                        kind: TokenKind::Ident,
+                        start,
+                        end: pos,
+                        line: start_line,
+                        col: start_col,
+                    });
+                    continue;
+                }
+                // Not a raw string/ident after all: fall through to the
+                // plain ident path below (e.g. `r` or `br` as idents).
+            } else if probe < bytes.len() && (bytes[probe] == b'"' || bytes[probe] == b'\'') {
+                // b"…", c"…", b'…': delegate to the quoted scanners by
+                // consuming the prefix byte(s) and re-dispatching.
+                let quote = bytes[probe];
+                pos = probe; // position of the quote
+                let end = scan_quoted(bytes, pos, quote);
+                count_lines!(start, end);
+                pos = end;
+                tokens.push(Token {
+                    kind: if quote == b'"' {
+                        TokenKind::Str
+                    } else {
+                        TokenKind::Char
+                    },
+                    start,
+                    end: pos,
+                    line: start_line,
+                    col: start_col,
+                });
+                continue;
+            }
+        }
+
+        // Identifiers and keywords.
+        if is_ident_start(b) {
+            while pos < bytes.len() && is_ident_continue(bytes[pos]) {
+                pos += 1;
+            }
+            tokens.push(Token {
+                kind: TokenKind::Ident,
+                start,
+                end: pos,
+                line: start_line,
+                col: start_col,
+            });
+            continue;
+        }
+
+        // Numbers (loose: exact numeric grammar is irrelevant to the
+        // rules, but `0..n` must not swallow the range dots).
+        if b.is_ascii_digit() {
+            pos += 1;
+            while pos < bytes.len() {
+                let c = bytes[pos];
+                let continues_number = c.is_ascii_alphanumeric()
+                    || c == b'_'
+                    || (c == b'.'
+                        && pos + 1 < bytes.len()
+                        && bytes[pos + 1].is_ascii_digit()
+                        && bytes[pos - 1] != b'.');
+                if continues_number {
+                    pos += 1;
+                } else {
+                    break;
+                }
+            }
+            tokens.push(Token {
+                kind: TokenKind::Num,
+                start,
+                end: pos,
+                line: start_line,
+                col: start_col,
+            });
+            continue;
+        }
+
+        // Lifetimes vs char literals.
+        if b == b'\'' {
+            // `'ident` not followed by another quote is a lifetime (or
+            // loop label); otherwise it is a char literal.
+            let mut probe = pos + 1;
+            if probe < bytes.len() && is_ident_start(bytes[probe]) {
+                let mut k = probe;
+                while k < bytes.len() && is_ident_continue(bytes[k]) {
+                    k += 1;
+                }
+                if k >= bytes.len() || bytes[k] != b'\'' {
+                    pos = k;
+                    tokens.push(Token {
+                        kind: TokenKind::Lifetime,
+                        start,
+                        end: pos,
+                        line: start_line,
+                        col: start_col,
+                    });
+                    continue;
+                }
+            }
+            probe = scan_quoted(bytes, pos, b'\'');
+            count_lines!(start, probe);
+            pos = probe;
+            tokens.push(Token {
+                kind: TokenKind::Char,
+                start,
+                end: pos,
+                line: start_line,
+                col: start_col,
+            });
+            continue;
+        }
+
+        // Plain string literals.
+        if b == b'"' {
+            let end = scan_quoted(bytes, pos, b'"');
+            count_lines!(start, end);
+            pos = end;
+            tokens.push(Token {
+                kind: TokenKind::Str,
+                start,
+                end: pos,
+                line: start_line,
+                col: start_col,
+            });
+            continue;
+        }
+
+        // Everything else: one punctuation byte per token.
+        pos += 1;
+        tokens.push(Token {
+            kind: TokenKind::Punct,
+            start,
+            end: pos,
+            line: start_line,
+            col: start_col,
+        });
+    }
+
+    Lexed {
+        src: src.to_owned(),
+        tokens,
+    }
+}
+
+/// Scans a quoted literal starting at the opening quote `bytes[at]`,
+/// honoring backslash escapes; returns the offset one past the closing
+/// quote (or end of input when unterminated).
+fn scan_quoted(bytes: &[u8], at: usize, quote: u8) -> usize {
+    let mut pos = at + 1;
+    while pos < bytes.len() {
+        match bytes[pos] {
+            b'\\' => pos += 2,
+            c if c == quote => return pos + 1,
+            _ => pos += 1,
+        }
+    }
+    bytes.len()
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        let lexed = lex(src);
+        lexed
+            .tokens
+            .iter()
+            .map(|t| (t.kind, lexed.text(t).to_owned()))
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let toks = kinds("foo.unwrap()");
+        let texts: Vec<&str> = toks.iter().map(|(_, t)| t.as_str()).collect();
+        assert_eq!(texts, ["foo", ".", "unwrap", "(", ")"]);
+        assert_eq!(toks[0].0, TokenKind::Ident);
+        assert_eq!(toks[1].0, TokenKind::Punct);
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let toks = kinds(r#"let s = "a.unwrap() // not code";"#);
+        assert!(toks
+            .iter()
+            .all(|(k, t)| *k != TokenKind::Ident || t != "unwrap"));
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokenKind::Str).count(), 1);
+    }
+
+    #[test]
+    fn raw_strings_any_hash_depth() {
+        let toks = kinds(r###"let s = r#"quote " inside"#; let t = r"plain";"###);
+        let strs: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Str)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(strs, [r###"r#"quote " inside"#"###, r#"r"plain""#]);
+    }
+
+    #[test]
+    fn byte_and_c_strings() {
+        let toks = kinds(r##"(b"bytes", c"cstr", br#"raw"#, b'\n')"##);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokenKind::Str).count(), 3);
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokenKind::Char).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn lifetime_vs_char() {
+        let toks = kinds(r"fn f<'a>(x: &'a str) { let c = 'x'; let esc = '\''; }");
+        let lifetimes: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(lifetimes, ["'a", "'a"]);
+        let chars: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Char)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(chars, ["'x'", r"'\''"]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("a /* outer /* inner */ still comment */ b");
+        let texts: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Ident)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(texts, ["a", "b"]);
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, _)| *k == TokenKind::BlockComment)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn comments_are_tokens_with_lines() {
+        let lexed = lex("// first\nlet x = 1; // second\n");
+        let comments: Vec<(u32, &str)> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.is_comment())
+            .map(|t| (t.line, lexed.text(t)))
+            .collect();
+        assert_eq!(comments, [(1, "// first"), (2, "// second")]);
+    }
+
+    #[test]
+    fn raw_identifier() {
+        let toks = kinds("let r#fn = 1;");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "r#fn"));
+    }
+
+    #[test]
+    fn range_dots_not_swallowed_by_numbers() {
+        let toks = kinds("for i in 0..n {}");
+        let texts: Vec<&str> = toks.iter().map(|(_, t)| t.as_str()).collect();
+        assert_eq!(texts, ["for", "i", "in", "0", ".", ".", "n", "{", "}"]);
+    }
+
+    #[test]
+    fn float_literals_stay_whole() {
+        let toks = kinds("let x = 1.5e3 + 0x1f;");
+        let nums: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Num)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(nums, ["1.5e3", "0x1f"]);
+    }
+
+    #[test]
+    fn multiline_string_line_tracking() {
+        let lexed = lex("let s = \"line1\nline2\";\nlet y = 2;");
+        let y = lexed
+            .tokens
+            .iter()
+            .find(|t| lexed.text(t) == "y")
+            .copied()
+            .into_iter()
+            .next();
+        assert_eq!(y.map(|t| t.line), Some(3));
+    }
+}

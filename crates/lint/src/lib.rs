@@ -1,0 +1,295 @@
+//! `oscar-lint` — the workspace invariant checker.
+//!
+//! Seven PRs of this codebase each fixed a class of bug by hand and
+//! left behind a convention: counter-based RNG in result paths (PR 4),
+//! NaN-safe `total_cmp` sorts (PR 3/4), poisoned-mutex recovery
+//! (PR 3), wall-clock strictly out of job results (PR 7), a
+//! never-panicking serve daemon (PR 6). Nothing enforced them — until
+//! this crate. `oscar-lint` is a std-only, zero-dependency static
+//! analysis pass over the workspace's Rust sources: a hand-rolled
+//! lexer ([`lexer`]) feeds a rule engine ([`rules`]) with
+//! per-crate/per-module scoping, inline suppressions, and
+//! `file:line:col` diagnostics in human and JSON form ([`report`]).
+//!
+//! # Entry points
+//!
+//! * [`lint_workspace`] — scan a workspace root (run as a test by
+//!   `tests/self_scan.rs`, and by the `oscar-lint` binary in CI).
+//! * [`lint_source`] — scan one source text under a virtual path
+//!   (drives the per-rule fixture tests).
+//!
+//! # Suppressions
+//!
+//! A violation that is *intentional* is silenced inline, with a
+//! written reason:
+//!
+//! ```text
+//! // lint:allow(wall-clock): telemetry-only; never enters the result.
+//! let started = Instant::now();
+//! ```
+//!
+//! The comment covers its own line, plus the next code line when it
+//! stands alone. A bare `lint:allow(rule)` with no `: reason` is
+//! itself a violation (`bare-allow`), as is naming a rule that does
+//! not exist (`unknown-rule`) — suppressions are documentation, and
+//! undocumented suppressions defeat the point.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod analyze;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+use std::path::{Path, PathBuf};
+
+use analyze::FileAnalysis;
+use report::{Diagnostic, Report};
+use rules::{FileClass, Section};
+
+/// Directory names never descended into during a workspace scan.
+/// `fixtures` holds the rule tests' deliberately-bad sources.
+const SKIP_DIRS: &[&str] = &["target", "vendor", ".git", "fixtures", "node_modules"];
+
+/// Classifies a workspace-relative path. Returns `None` for files the
+/// scan does not cover (non-`.rs`, build scripts, unknown layouts).
+pub fn classify(rel_path: &str) -> Option<FileClass> {
+    let rel = rel_path.replace('\\', "/");
+    if !rel.ends_with(".rs") {
+        return None;
+    }
+    let parts: Vec<&str> = rel.split('/').collect();
+    let (crate_name, tree): (&str, &[&str]) = if parts.first() == Some(&"crates") {
+        (*parts.get(1)?, parts.get(2..)?)
+    } else {
+        ("oscar", &parts[..])
+    };
+    let (section, under): (Section, &[&str]) = match *tree.first()? {
+        "src" => {
+            if tree.get(1) == Some(&"bin") {
+                (Section::Bin, tree.get(2..)?)
+            } else {
+                (Section::Src, tree.get(1..)?)
+            }
+        }
+        "tests" => (Section::Tests, tree.get(1..)?),
+        "benches" => (Section::Benches, tree.get(1..)?),
+        "examples" => (Section::Examples, tree.get(1..)?),
+        _ => return None,
+    };
+    if under.is_empty() {
+        return None;
+    }
+    let mut module_parts: Vec<&str> = under.to_vec();
+    let last = module_parts.pop()?;
+    let stem = last.strip_suffix(".rs")?;
+    if stem != "mod" && stem != "main" {
+        module_parts.push(stem);
+    }
+    let module = if module_parts.is_empty() {
+        "lib".to_owned()
+    } else {
+        module_parts.join("::")
+    };
+    Some(FileClass {
+        crate_name: crate_name.to_owned(),
+        section,
+        module,
+        rel_path: rel,
+    })
+}
+
+/// Lints a single source text as if it lived at `rel_path` inside the
+/// workspace. Suppressions are applied; meta diagnostics
+/// (`bare-allow`, `unknown-rule`) are included. Returns the report for
+/// just this file.
+pub fn lint_source(rel_path: &str, src: &str) -> Report {
+    let mut report = Report {
+        root: String::new(),
+        files_scanned: 1,
+        ..Report::default()
+    };
+    let Some(class) = classify(rel_path) else {
+        return report;
+    };
+    let fa = FileAnalysis::new(src);
+    let (raw, atomics) = rules::check_file(&class, &fa);
+    report.atomics = atomics;
+    report.diagnostics = apply_suppressions(&class, &fa, raw);
+    report.normalize();
+    report
+}
+
+/// Filters rule diagnostics through the file's `lint:allow` comments
+/// and appends the suppression parser's own diagnostics.
+fn apply_suppressions(
+    class: &FileClass,
+    fa: &FileAnalysis,
+    raw: Vec<Diagnostic>,
+) -> Vec<Diagnostic> {
+    let mut out: Vec<Diagnostic> = raw
+        .into_iter()
+        .filter(|d| {
+            !fa.suppressions
+                .iter()
+                .any(|s| s.rules.iter().any(|r| r == &d.rule) && s.covers.contains(&d.line))
+        })
+        .collect();
+    for s in &fa.suppressions {
+        if s.reason.is_empty() {
+            out.push(Diagnostic {
+                rule: "bare-allow".to_owned(),
+                path: class.rel_path.clone(),
+                line: s.line,
+                col: s.col,
+                message: "`lint:allow` without a `: reason` — a suppression must \
+                          say *why* the violation is intentional"
+                    .to_owned(),
+            });
+        }
+        for r in &s.rules {
+            if !rules::known_rule(r) {
+                out.push(Diagnostic {
+                    rule: "unknown-rule".to_owned(),
+                    path: class.rel_path.clone(),
+                    line: s.line,
+                    col: s.col,
+                    message: format!("`lint:allow({r})` names a rule that does not exist"),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Recursively collects `.rs` files under `root`, skipping
+/// [`SKIP_DIRS`]. Deterministic: entries are sorted by path.
+fn collect_rs_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut stack = vec![root.to_path_buf()];
+    let mut files = Vec::new();
+    while let Some(dir) = stack.pop() {
+        let mut entries: Vec<PathBuf> = std::fs::read_dir(&dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .collect();
+        entries.sort();
+        for path in entries {
+            if path.is_dir() {
+                let name = path
+                    .file_name()
+                    .and_then(|n| n.to_str())
+                    .unwrap_or_default();
+                if !SKIP_DIRS.contains(&name) && !name.starts_with('.') {
+                    stack.push(path);
+                }
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Scans every covered `.rs` file under `root` (the workspace
+/// checkout) and returns the aggregated report. Unreadable files are
+/// I/O errors — a lint run that silently skipped sources would report
+/// a false clean.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Report> {
+    let mut report = Report {
+        root: root.display().to_string(),
+        ..Report::default()
+    };
+    for path in collect_rs_files(root)? {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let Some(class) = classify(&rel) else {
+            continue;
+        };
+        let src = std::fs::read_to_string(&path)?;
+        let fa = FileAnalysis::new(&src);
+        let (raw, atomics) = rules::check_file(&class, &fa);
+        report
+            .diagnostics
+            .extend(apply_suppressions(&class, &fa, raw));
+        merge_atomics(&mut report, atomics);
+        report.files_scanned += 1;
+    }
+    report.normalize();
+    Ok(report)
+}
+
+/// Folds one file's atomic inventory into the report (same module +
+/// ordering pairs accumulate — a module may span several files).
+fn merge_atomics(report: &mut Report, atomics: Vec<report::AtomicUse>) {
+    for a in atomics {
+        match report
+            .atomics
+            .iter_mut()
+            .find(|e| e.module == a.module && e.ordering == a.ordering)
+        {
+            Some(e) => e.count += a.count,
+            None => report.atomics.push(a),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_crate_src() {
+        let c = classify("crates/core/src/usecases/slices.rs").expect("classifies");
+        assert_eq!(c.crate_name, "core");
+        assert_eq!(c.section, Section::Src);
+        assert_eq!(c.module, "usecases::slices");
+    }
+
+    #[test]
+    fn classify_bin_tests_root() {
+        let b = classify("crates/serve/src/bin/oscar_serve.rs").expect("classifies");
+        assert_eq!(b.section, Section::Bin);
+        assert_eq!(b.module, "oscar_serve");
+        let t = classify("crates/runtime/tests/noisy.rs").expect("classifies");
+        assert_eq!(t.section, Section::Tests);
+        let r = classify("tests/pipeline.rs").expect("classifies");
+        assert_eq!(r.crate_name, "oscar");
+        let lib = classify("crates/cs/src/lib.rs").expect("classifies");
+        assert_eq!(lib.module, "lib");
+        assert!(classify("crates/cs/Cargo.toml").is_none());
+        assert!(classify("build.rs").is_none());
+    }
+
+    #[test]
+    fn suppression_silences_and_bare_allow_fires() {
+        let src = "fn f() {\n    // lint:allow(wall-clock): telemetry only, never in results\n    let t = Instant::now();\n}\n";
+        let r = lint_source("crates/core/src/landscape.rs", src);
+        assert!(r.is_clean(), "{:?}", r.diagnostics);
+
+        let bare = "fn f() {\n    // lint:allow(wall-clock)\n    let t = Instant::now();\n}\n";
+        let r = lint_source("crates/core/src/landscape.rs", bare);
+        assert_eq!(r.diagnostics.len(), 1);
+        assert_eq!(r.diagnostics[0].rule, "bare-allow");
+    }
+
+    #[test]
+    fn unknown_rule_in_allow_fires() {
+        let src = "// lint:allow(no-such-rule): whatever\nfn f() {}\n";
+        let r = lint_source("crates/core/src/landscape.rs", src);
+        assert_eq!(r.diagnostics.len(), 1);
+        assert_eq!(r.diagnostics[0].rule, "unknown-rule");
+    }
+
+    #[test]
+    fn suppression_does_not_leak_to_other_rules() {
+        let src = "fn f() {\n    // lint:allow(no-panic): wrong rule for this site\n    let t = Instant::now();\n}\n";
+        let r = lint_source("crates/core/src/landscape.rs", src);
+        assert_eq!(r.diagnostics.len(), 1);
+        assert_eq!(r.diagnostics[0].rule, "wall-clock");
+    }
+}

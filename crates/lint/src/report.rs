@@ -1,0 +1,241 @@
+//! Diagnostics and report rendering (human and JSON).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One rule violation at a source location.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Rule identifier (`no-panic`, `float-sort`, …).
+    pub rule: String,
+    /// Path relative to the workspace root.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based byte column.
+    pub col: u32,
+    /// Human-readable explanation with the required fix.
+    pub message: String,
+}
+
+/// Aggregated use of one `std::sync::atomic::Ordering` variant in one
+/// module (the per-module ordering audit the `seqcst-justify` rule
+/// rides on).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AtomicUse {
+    /// `crate::module` path, e.g. `par::pool`.
+    pub module: String,
+    /// `Relaxed`, `Acquire`, `Release`, `AcqRel`, or `SeqCst`.
+    pub ordering: String,
+    /// Occurrences in that module.
+    pub count: u32,
+}
+
+/// The result of scanning a workspace (or a single source).
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Workspace root the paths are relative to.
+    pub root: String,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// All unsuppressed violations, sorted by path/line/col.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Per-module atomic-ordering inventory, sorted by module.
+    pub atomics: Vec<AtomicUse>,
+}
+
+impl Report {
+    /// `true` when no diagnostics were produced.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Sorts diagnostics and the atomics inventory into their
+    /// canonical order (deterministic output regardless of scan
+    /// order).
+    pub fn normalize(&mut self) {
+        self.diagnostics.sort_by(|a, b| {
+            (&a.path, a.line, a.col, &a.rule).cmp(&(&b.path, b.line, b.col, &b.rule))
+        });
+        self.atomics
+            .sort_by(|a, b| (&a.module, &a.ordering).cmp(&(&b.module, &b.ordering)));
+    }
+
+    /// Per-rule diagnostic counts.
+    pub fn by_rule(&self) -> BTreeMap<&str, usize> {
+        let mut map = BTreeMap::new();
+        for d in &self.diagnostics {
+            *map.entry(d.rule.as_str()).or_insert(0) += 1;
+        }
+        map
+    }
+
+    /// `path:line:col: [rule] message` lines plus a summary footer.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            let _ = writeln!(
+                out,
+                "{}:{}:{}: [{}] {}",
+                d.path, d.line, d.col, d.rule, d.message
+            );
+        }
+        if self.is_clean() {
+            let _ = writeln!(
+                out,
+                "oscar-lint: {} files scanned, no violations",
+                self.files_scanned
+            );
+        } else {
+            let counts: Vec<String> = self
+                .by_rule()
+                .into_iter()
+                .map(|(rule, n)| format!("{rule}: {n}"))
+                .collect();
+            let _ = writeln!(
+                out,
+                "oscar-lint: {} violation(s) in {} files scanned ({})",
+                self.diagnostics.len(),
+                self.files_scanned,
+                counts.join(", ")
+            );
+        }
+        out
+    }
+
+    /// The machine-readable schema (documented in the README):
+    ///
+    /// ```json
+    /// {
+    ///   "version": 1,
+    ///   "root": "…",
+    ///   "files_scanned": 123,
+    ///   "diagnostics": [
+    ///     {"rule": "…", "path": "…", "line": 1, "col": 2, "message": "…"}
+    ///   ],
+    ///   "summary": {"total": 1, "by_rule": {"no-panic": 1}},
+    ///   "atomics": [{"module": "par::pool", "ordering": "AcqRel", "count": 5}]
+    /// }
+    /// ```
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{");
+        let _ = write!(out, "\"version\":1,\"root\":{}", json_str(&self.root));
+        let _ = write!(out, ",\"files_scanned\":{}", self.files_scanned);
+        out.push_str(",\"diagnostics\":[");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"rule\":{},\"path\":{},\"line\":{},\"col\":{},\"message\":{}}}",
+                json_str(&d.rule),
+                json_str(&d.path),
+                d.line,
+                d.col,
+                json_str(&d.message)
+            );
+        }
+        out.push_str("],\"summary\":{");
+        let _ = write!(out, "\"total\":{},\"by_rule\":{{", self.diagnostics.len());
+        for (i, (rule, n)) in self.by_rule().into_iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}:{}", json_str(rule), n);
+        }
+        out.push_str("}},\"atomics\":[");
+        for (i, a) in self.atomics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"module\":{},\"ordering\":{},\"count\":{}}}",
+                json_str(&a.module),
+                json_str(&a.ordering),
+                a.count
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Minimal JSON string encoder (the diagnostics only ever carry text
+/// that came out of UTF-8 source files).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        let mut r = Report {
+            root: "/w".into(),
+            files_scanned: 2,
+            diagnostics: vec![
+                Diagnostic {
+                    rule: "no-panic".into(),
+                    path: "b.rs".into(),
+                    line: 3,
+                    col: 9,
+                    message: "`.unwrap()` in serve".into(),
+                },
+                Diagnostic {
+                    rule: "float-sort".into(),
+                    path: "a.rs".into(),
+                    line: 1,
+                    col: 1,
+                    message: "use total_cmp".into(),
+                },
+            ],
+            atomics: vec![AtomicUse {
+                module: "par::pool".into(),
+                ordering: "AcqRel".into(),
+                count: 5,
+            }],
+        };
+        r.normalize();
+        r
+    }
+
+    #[test]
+    fn normalize_sorts_by_location() {
+        let r = sample();
+        assert_eq!(r.diagnostics[0].path, "a.rs");
+        assert_eq!(r.diagnostics[1].path, "b.rs");
+    }
+
+    #[test]
+    fn human_format_is_clickable() {
+        let r = sample();
+        let text = r.render_human();
+        assert!(text.contains("a.rs:1:1: [float-sort] use total_cmp"));
+        assert!(text.contains("2 violation(s)"));
+    }
+
+    #[test]
+    fn json_escapes_strings() {
+        let json = json_str("a\"b\\c\nd");
+        assert_eq!(json, "\"a\\\"b\\\\c\\nd\"");
+    }
+}

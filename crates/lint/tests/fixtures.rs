@@ -1,0 +1,128 @@
+//! Fixture-driven rule tests.
+//!
+//! Each `tests/fixtures/*.rs` file declares its virtual workspace path
+//! on line 1 (`//@ path: …` — that path picks the crate/section the
+//! rules scope by) and marks every line expected to fire with a
+//! trailing `//~ rule` comment (several rules separated by spaces).
+//! The harness runs [`oscar_lint::lint_source`] and requires the
+//! diagnostic set to match the markers *exactly* — a rule that fails
+//! to fire breaks the test the same way a false positive does.
+//!
+//! The `fixtures/` directory is in the scanner's skip list, so the
+//! deliberately-bad sources never pollute the live workspace scan.
+
+use std::collections::BTreeSet;
+use std::path::Path;
+
+fn check_fixture(name: &str) {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    let src =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    let first = src.lines().next().unwrap_or("");
+    let rel = first
+        .strip_prefix("//@ path: ")
+        .unwrap_or_else(|| panic!("{name}: line 1 must be `//@ path: <rel path>`"))
+        .trim();
+
+    let mut expected: BTreeSet<(u32, String)> = BTreeSet::new();
+    for (idx, line) in src.lines().enumerate() {
+        if let Some(pos) = line.find("//~") {
+            for rule in line[pos + 3..].split_whitespace() {
+                expected.insert((idx as u32 + 1, rule.to_owned()));
+            }
+        }
+    }
+
+    let report = oscar_lint::lint_source(rel, &src);
+    let actual: BTreeSet<(u32, String)> = report
+        .diagnostics
+        .iter()
+        .map(|d| (d.line, d.rule.clone()))
+        .collect();
+    assert_eq!(
+        actual,
+        expected,
+        "{name}: diagnostics (left) disagree with //~ markers (right)\nreport:\n{}",
+        report.render_human()
+    );
+}
+
+#[test]
+fn wall_clock_fixture() {
+    check_fixture("wall_clock.rs");
+}
+
+#[test]
+fn shared_rng_fixture() {
+    check_fixture("shared_rng.rs");
+}
+
+#[test]
+fn map_iteration_fixture() {
+    check_fixture("map_iteration.rs");
+}
+
+#[test]
+fn no_panic_fixture() {
+    check_fixture("no_panic.rs");
+}
+
+#[test]
+fn float_sort_fixture() {
+    check_fixture("float_sort.rs");
+}
+
+#[test]
+fn lock_unwrap_fixture() {
+    check_fixture("lock_unwrap.rs");
+}
+
+#[test]
+fn safety_comment_fixture() {
+    check_fixture("safety_comment.rs");
+}
+
+#[test]
+fn seqcst_fixture() {
+    check_fixture("seqcst.rs");
+}
+
+#[test]
+fn suppression_meta_fixture() {
+    check_fixture("suppression_meta.rs");
+}
+
+#[test]
+fn edge_tokens_fixture() {
+    check_fixture("edge_tokens.rs");
+}
+
+/// The determinism rules scope to result-affecting crates: the same
+/// wall-clock source is a violation in `qsim` and silent in `obs`
+/// (telemetry is *supposed* to read clocks).
+#[test]
+fn determinism_rules_scope_by_crate() {
+    let src = "pub fn t() -> std::time::Instant { std::time::Instant::now() }\n";
+    let in_qsim = oscar_lint::lint_source("crates/qsim/src/t.rs", src);
+    assert_eq!(in_qsim.diagnostics.len(), 1);
+    assert_eq!(in_qsim.diagnostics[0].rule, "wall-clock");
+    let in_obs = oscar_lint::lint_source("crates/obs/src/t.rs", src);
+    assert!(in_obs.is_clean(), "{:?}", in_obs.diagnostics);
+}
+
+/// `no-panic` scopes to serve + runtime and exempts the fault
+/// harness module.
+#[test]
+fn no_panic_scope_and_exemption() {
+    let src = "pub fn f(v: Option<u32>) -> u32 { v.unwrap() }\n";
+    assert_eq!(
+        oscar_lint::lint_source("crates/serve/src/x.rs", src)
+            .diagnostics
+            .len(),
+        1
+    );
+    assert!(oscar_lint::lint_source("crates/cs/src/x.rs", src).is_clean());
+    assert!(oscar_lint::lint_source("crates/serve/src/fault.rs", src).is_clean());
+}

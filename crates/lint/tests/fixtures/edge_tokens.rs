@@ -1,0 +1,30 @@
+//@ path: crates/runtime/src/edge_fixture.rs
+pub fn strings_do_not_fire() -> &'static str {
+    "Instant::now() and thread_rng() and .lock().unwrap()"
+}
+
+pub fn raw_strings_do_not_fire() -> &'static str {
+    r#"xs.sort_by(|a, b| a.partial_cmp(b).unwrap())"#
+}
+
+pub fn deep_raw_strings_do_not_fire() -> &'static str {
+    r##"contains r#"an inner raw string"# and panic!() text"##
+}
+
+pub fn byte_strings_do_not_fire() -> &'static [u8] {
+    b".unwrap() panic!() todo!()"
+}
+
+/* Nested /* block comments */ containing Instant::now() stay comments. */
+pub fn lifetimes_vs_chars<'a>(x: &'a char) -> char {
+    let c = 'x';
+    if *x == c {
+        '\''
+    } else {
+        c
+    }
+}
+
+pub fn a_real_violation_still_fires(v: Option<u32>) -> u32 {
+    v.unwrap() //~ no-panic
+}

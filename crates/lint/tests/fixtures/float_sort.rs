@@ -1,0 +1,29 @@
+//@ path: crates/optim/src/sorting_fixture.rs
+pub fn bad_sort(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("NaN")); //~ float-sort
+}
+
+pub fn bad_unstable_sort(xs: &mut [f64]) {
+    xs.sort_unstable_by(|a, b| a.partial_cmp(b).expect("NaN")); //~ float-sort
+}
+
+pub fn bad_max(xs: &[f64]) -> Option<f64> {
+    xs.iter().copied().max_by(|a, b| a.partial_cmp(b).expect("NaN")) //~ float-sort
+}
+
+pub fn good_sort(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.total_cmp(b));
+}
+
+pub fn good_max(xs: &[f64]) -> Option<f64> {
+    xs.iter().copied().max_by(|a, b| a.total_cmp(b))
+}
+
+pub fn partial_cmp_outside_a_sort(a: f64, b: f64) -> Option<std::cmp::Ordering> {
+    a.partial_cmp(&b)
+}
+
+pub fn allowed(xs: &mut [f64]) {
+    // lint:allow(float-sort): fixture: inputs proven NaN-free upstream.
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+}

@@ -1,0 +1,34 @@
+//@ path: crates/obs/src/locks_fixture.rs
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+pub fn bad_unwrap(m: &Mutex<u64>) -> u64 {
+    *m.lock().unwrap() //~ lock-unwrap
+}
+
+pub fn bad_expect(m: &Mutex<u64>) -> u64 {
+    *m.lock().expect("poisoned") //~ lock-unwrap
+}
+
+pub fn recovered(m: &Mutex<u64>) -> u64 {
+    *m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+pub fn recovered_guard(m: &Mutex<u64>) -> MutexGuard<'_, u64> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+pub fn allowed(m: &Mutex<u64>) -> u64 {
+    // lint:allow(lock-unwrap): fixture: poisoning is fatal by design here.
+    *m.lock().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_unwrap_in_tests_is_fine() {
+        let m = Mutex::new(7u64);
+        assert_eq!(*m.lock().unwrap(), 7);
+    }
+}

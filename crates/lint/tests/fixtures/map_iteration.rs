@@ -1,0 +1,44 @@
+//@ path: crates/core/src/agg_fixture.rs
+use std::collections::{HashMap, HashSet};
+
+pub struct Agg {
+    counts: HashMap<String, u64>,
+}
+
+impl Agg {
+    pub fn bad_sum(&self) -> u64 {
+        self.counts.values().sum() //~ map-iteration
+    }
+
+    pub fn bad_loop(&self) -> u64 {
+        let mut seen = HashSet::new();
+        seen.insert(1u64);
+        let mut total = 0;
+        for v in &seen { //~ map-iteration
+            total += v;
+        }
+        total
+    }
+
+    pub fn lookup_is_fine(&self) -> Option<&u64> {
+        self.counts.get("x")
+    }
+
+    pub fn allowed(&self) -> u64 {
+        // lint:allow(map-iteration): order-independent sum (fixture).
+        self.counts.values().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iteration_in_tests_is_fine() {
+        let agg = Agg {
+            counts: HashMap::new(),
+        };
+        let _: Vec<&u64> = agg.counts.values().collect();
+    }
+}

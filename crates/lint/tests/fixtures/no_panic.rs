@@ -1,0 +1,43 @@
+//@ path: crates/serve/src/handler_fixture.rs
+pub fn bad_unwrap(v: Option<u32>) -> u32 {
+    v.unwrap() //~ no-panic
+}
+
+pub fn bad_expect(v: Option<u32>) -> u32 {
+    v.expect("present") //~ no-panic
+}
+
+pub fn bad_panic(v: Option<u32>) -> u32 {
+    match v {
+        Some(x) => x,
+        None => panic!("boom"), //~ no-panic
+    }
+}
+
+pub fn bad_todo() {
+    todo!() //~ no-panic
+}
+
+pub fn recovery_is_fine(v: Option<u32>) -> u32 {
+    v.unwrap_or_else(|| 0)
+}
+
+pub fn defaulting_is_fine(v: Option<u32>) -> u32 {
+    v.unwrap_or_default()
+}
+
+pub fn allowed(v: Option<u32>) -> u32 {
+    // lint:allow(no-panic): fixture: the invariant is documented here.
+    v.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v: Option<u32> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+        let w: Option<u32> = Some(4);
+        assert_eq!(w.expect("set above"), 4);
+    }
+}

@@ -1,0 +1,32 @@
+//@ path: crates/par/src/raw_fixture.rs
+pub fn bad_block(p: *const u8) -> u8 {
+    unsafe { *p } //~ safety-comment
+}
+
+pub fn documented_block(p: *const u8) -> u8 {
+    // SAFETY: fixture contract — the caller guarantees `p` is valid.
+    unsafe { *p }
+}
+
+/// # Safety
+///
+/// `p` must be valid for reads.
+pub unsafe fn documented_fn(p: *const u8) -> u8 {
+    // SAFETY: forwarded verbatim from this fn's own contract.
+    unsafe { *p }
+}
+
+pub fn wrapped_statement(p: *const u8) -> u8 {
+    // SAFETY: the comment may sit a couple of code lines above when
+    // rustfmt wraps the statement; the walk tolerates that.
+    let value = {
+        let q = p;
+        unsafe { *q }
+    };
+    value
+}
+
+/* A nested /* block comment */ mentioning unsafe never fires. */
+pub fn plain_safe() -> u8 {
+    0
+}

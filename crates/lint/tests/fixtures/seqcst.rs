@@ -1,0 +1,22 @@
+//@ path: crates/executor/src/flags_fixture.rs
+use std::sync::atomic::{AtomicBool, Ordering};
+
+pub static FLAG: AtomicBool = AtomicBool::new(false);
+
+pub fn bad_store() {
+    FLAG.store(true, Ordering::SeqCst); //~ seqcst-justify
+}
+
+pub fn justified_store() {
+    // SeqCst: fixture — pairs with the drain fence in shutdown().
+    FLAG.store(true, Ordering::SeqCst);
+}
+
+pub fn relaxed_is_fine() -> bool {
+    FLAG.load(Ordering::Relaxed)
+}
+
+pub fn acquire_release_are_fine(flag: &AtomicBool) -> bool {
+    flag.store(true, Ordering::Release);
+    flag.load(Ordering::Acquire)
+}

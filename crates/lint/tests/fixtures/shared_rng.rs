@@ -1,0 +1,27 @@
+//@ path: crates/qsim/src/draws_fixture.rs
+pub fn bad_thread_rng() -> f64 {
+    let mut rng = thread_rng(); //~ shared-rng
+    rng.gen()
+}
+
+pub fn bad_ambient_random() -> f64 {
+    rand::random() //~ shared-rng
+}
+
+pub fn allowed() -> f64 {
+    // lint:allow(shared-rng): fixture: demo path only, never a result.
+    let mut rng = thread_rng();
+    rng.gen()
+}
+
+pub fn counter_rng_is_fine(seed: u64, index: u64) -> u64 {
+    seed.wrapping_mul(6364136223846793005).wrapping_add(index)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn ambient_rng_in_tests_is_fine() {
+        let _ = thread_rng();
+    }
+}

@@ -1,0 +1,15 @@
+//@ path: crates/core/src/meta_fixture.rs
+pub fn bare() -> u32 {
+    // lint:allow(wall-clock) //~ bare-allow
+    42
+}
+
+pub fn unknown() -> u32 {
+    // lint:allow(definitely-not-a-rule): misspelled name //~ unknown-rule
+    7
+}
+
+pub fn documented_and_known() -> u32 {
+    // lint:allow(map-iteration): a well-formed suppression is silent.
+    11
+}

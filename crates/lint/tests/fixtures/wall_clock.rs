@@ -1,0 +1,36 @@
+//@ path: crates/qsim/src/clock_fixture.rs
+use std::time::{Duration, Instant, SystemTime};
+
+pub fn bad_instant() -> Instant {
+    Instant::now() //~ wall-clock
+}
+
+pub fn bad_system() -> Duration {
+    SystemTime::now() //~ wall-clock
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .unwrap_or(Duration::ZERO)
+}
+
+pub fn allowed() -> Instant {
+    // lint:allow(wall-clock): fixture demonstrating a justified read.
+    Instant::now()
+}
+
+pub fn passing_one_through(instant: Instant) -> Instant {
+    instant
+}
+
+pub fn mentioned_in_a_string() -> &'static str {
+    "Instant::now() inside a string literal never fires"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_in_tests_is_fine() {
+        let _ = Instant::now();
+        let _ = SystemTime::now();
+    }
+}

@@ -1,0 +1,98 @@
+//! JSON-output schema tests.
+//!
+//! The report's `--format json` output is consumed by CI and external
+//! tooling, so its shape is a contract (documented in the README).
+//! `oscar-serve` ships a strict JSON parser as part of its wire
+//! protocol — parsing the report with it both validates the output is
+//! real JSON (escapes included) and pins the schema field by field.
+
+use oscar_serve::json::{parse, Json};
+
+fn report_for(rel: &str, src: &str) -> Json {
+    let report = oscar_lint::lint_source(rel, src);
+    parse(&report.render_json()).expect("report must be valid JSON")
+}
+
+#[test]
+fn schema_fields_are_present_and_typed() {
+    let src = "pub fn f() -> std::time::Instant { std::time::Instant::now() }\n";
+    let v = report_for("crates/core/src/landscape.rs", src);
+
+    assert_eq!(v.get("version").and_then(Json::as_u64), Some(1));
+    assert!(v.get("root").and_then(Json::as_str).is_some());
+    assert_eq!(v.get("files_scanned").and_then(Json::as_u64), Some(1));
+
+    let diags = v.get("diagnostics").and_then(Json::as_arr).expect("array");
+    assert_eq!(diags.len(), 1);
+    let d = &diags[0];
+    assert_eq!(d.get("rule").and_then(Json::as_str), Some("wall-clock"));
+    assert_eq!(
+        d.get("path").and_then(Json::as_str),
+        Some("crates/core/src/landscape.rs")
+    );
+    assert_eq!(d.get("line").and_then(Json::as_u64), Some(1));
+    assert!(d.get("col").and_then(Json::as_u64).is_some_and(|c| c >= 1));
+    assert!(d
+        .get("message")
+        .and_then(Json::as_str)
+        .is_some_and(|m| !m.is_empty()));
+
+    let summary = v.get("summary").expect("summary object");
+    assert_eq!(summary.get("total").and_then(Json::as_u64), Some(1));
+    let by_rule = summary.get("by_rule").expect("by_rule object");
+    assert_eq!(by_rule.get("wall-clock").and_then(Json::as_u64), Some(1));
+
+    assert!(v.get("atomics").and_then(Json::as_arr).is_some());
+}
+
+#[test]
+fn clean_report_has_empty_collections() {
+    let v = report_for("crates/core/src/ok.rs", "pub fn f() -> u32 { 1 }\n");
+    assert_eq!(
+        v.get("diagnostics")
+            .and_then(Json::as_arr)
+            .map(<[Json]>::len),
+        Some(0)
+    );
+    assert_eq!(
+        v.get("summary")
+            .and_then(|s| s.get("total"))
+            .and_then(Json::as_u64),
+        Some(0)
+    );
+}
+
+#[test]
+fn messages_with_quotes_and_backticks_round_trip() {
+    // Diagnostic messages quote source constructs; the escaper must
+    // keep the output parseable and the text intact.
+    let src = "pub fn f(m: &std::sync::Mutex<u64>) -> u64 { *m.lock().unwrap() }\n";
+    let v = report_for("crates/core/src/locky.rs", src);
+    let diags = v.get("diagnostics").and_then(Json::as_arr).expect("array");
+    assert_eq!(diags.len(), 1);
+    let msg = diags[0]
+        .get("message")
+        .and_then(Json::as_str)
+        .expect("message");
+    assert!(msg.contains("`.lock().unwrap()`"), "{msg}");
+}
+
+#[test]
+fn atomics_entries_carry_module_ordering_count() {
+    let src = "use std::sync::atomic::{AtomicBool, Ordering};\n\
+               pub static F: AtomicBool = AtomicBool::new(false);\n\
+               pub fn f() -> bool { F.load(Ordering::Acquire) }\n\
+               pub fn g() { F.store(true, Ordering::Release) }\n";
+    let v = report_for("crates/par/src/flags.rs", src);
+    let atomics = v.get("atomics").and_then(Json::as_arr).expect("array");
+    assert_eq!(atomics.len(), 2);
+    for a in atomics {
+        assert_eq!(a.get("module").and_then(Json::as_str), Some("par::flags"));
+        assert_eq!(a.get("count").and_then(Json::as_u64), Some(1));
+    }
+    let orderings: Vec<&str> = atomics
+        .iter()
+        .filter_map(|a| a.get("ordering").and_then(Json::as_str))
+        .collect();
+    assert_eq!(orderings, ["Acquire", "Release"]);
+}

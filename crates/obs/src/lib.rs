@@ -30,6 +30,8 @@
 //! percentile is always within 2x of the exact sorted-sample oracle.
 
 #![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod metrics;
 pub mod quantile;

@@ -310,6 +310,14 @@ pub struct Registry {
     enabled: Arc<AtomicBool>,
 }
 
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry")
+            .field("enabled", &self.enabled.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
 impl Default for Registry {
     fn default() -> Self {
         Registry::new()

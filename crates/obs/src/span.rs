@@ -106,6 +106,16 @@ pub struct Tracer {
     ring: Mutex<Ring>,
 }
 
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("enabled", &self.enabled.load(Ordering::Relaxed))
+            .field("cap", &self.cap)
+            .field("dropped", &self.dropped.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
 fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
     mutex.lock().unwrap_or_else(PoisonError::into_inner)
 }
@@ -262,6 +272,7 @@ thread_local! {
 
 /// Scopes a scheduler job id onto the current thread so spans recorded
 /// inside `run_job` carry it. Restores the previous id on drop.
+#[derive(Debug)]
 pub struct JobScope {
     prev: u64,
 }
@@ -288,6 +299,7 @@ pub fn current_job() -> u64 {
 /// A per-job stage accumulator: while one is active on this thread,
 /// every [`with_stage`] call adds its duration to the matching stage
 /// bucket. Exactly one frame per thread — `run_job` owns it.
+#[derive(Debug)]
 pub struct JobFrame {
     _not_send: std::marker::PhantomData<*const ()>,
 }

@@ -16,17 +16,23 @@ struct CountingAlloc;
 
 static ALLOC_CALLS: AtomicUsize = AtomicUsize::new(0);
 
+// SAFETY: pure delegation to `System`, which upholds the GlobalAlloc
+// contract; the counter bump is a Relaxed side effect with no bearing
+// on allocation soundness.
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: forwards the caller's layout contract to `System` unchanged.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
         unsafe { System.alloc(layout) }
     }
 
+    // SAFETY: forwards the caller's pointer/layout contract to `System`.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 
+    // SAFETY: forwards the caller's pointer/layout contract to `System`.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         unsafe { System.dealloc(ptr, layout) }
     }

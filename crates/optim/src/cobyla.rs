@@ -57,7 +57,7 @@ impl Optimizer for Cobyla {
 
         while obj.count() < self.max_queries {
             iterations += 1;
-            simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+            simplex.sort_by(|a, b| a.1.total_cmp(&b.1));
             let best = simplex[0].clone();
 
             // Fit the linear model g with (x_k - x_best) . g = f_k - f_best.
@@ -104,7 +104,7 @@ impl Optimizer for Cobyla {
                 let worst_idx = simplex
                     .iter()
                     .enumerate()
-                    .max_by(|a, b| a.1 .1.partial_cmp(&b.1 .1).unwrap())
+                    .max_by(|a, b| a.1 .1.total_cmp(&b.1 .1))
                     .map(|(i, _)| i)
                     .unwrap();
                 simplex[worst_idx] = (xt.clone(), ft);
@@ -119,7 +119,7 @@ impl Optimizer for Cobyla {
             }
         }
 
-        simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        simplex.sort_by(|a, b| a.1.total_cmp(&b.1));
         let (x, fx) = simplex[0].clone();
         trace.push((x.clone(), fx));
         OptimResult {
@@ -168,8 +168,7 @@ fn solve_linear(rows: &[Vec<f64>], rhs: &[f64]) -> Option<Vec<f64>> {
     let mut b = rhs.to_vec();
     for col in 0..n {
         // Pivot.
-        let pivot =
-            (col..n).max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).unwrap())?;
+        let pivot = (col..n).max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))?;
         if a[pivot][col].abs() < 1e-12 {
             return None;
         }

@@ -102,6 +102,14 @@ pub struct BoundedObjective<F> {
     bounds: Vec<(f64, f64)>,
 }
 
+impl<F> std::fmt::Debug for BoundedObjective<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BoundedObjective")
+            .field("bounds", &self.bounds)
+            .finish_non_exhaustive()
+    }
+}
+
 impl<F: FnMut(&[f64]) -> f64> BoundedObjective<F> {
     /// Creates the wrapper.
     ///

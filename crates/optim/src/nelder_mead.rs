@@ -50,7 +50,7 @@ impl Optimizer for NelderMead {
 
         while obj.count() + dim + 2 < self.max_queries {
             iterations += 1;
-            simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+            simplex.sort_by(|a, b| a.1.total_cmp(&b.1));
             let best = simplex[0].clone();
             let worst = simplex[dim].clone();
             let second_worst_f = simplex[dim - 1].1;
@@ -118,14 +118,11 @@ impl Optimizer for NelderMead {
                     }
                 }
             }
-            let cur_best = simplex
-                .iter()
-                .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
-                .unwrap();
+            let cur_best = simplex.iter().min_by(|a, b| a.1.total_cmp(&b.1)).unwrap();
             trace.push(cur_best.clone());
         }
 
-        simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        simplex.sort_by(|a, b| a.1.total_cmp(&b.1));
         let (x, fx) = simplex[0].clone();
         trace.push((x.clone(), fx));
         OptimResult {

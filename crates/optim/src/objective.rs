@@ -56,6 +56,14 @@ pub struct CountingObjective<F> {
     count: usize,
 }
 
+impl<F> std::fmt::Debug for CountingObjective<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CountingObjective")
+            .field("count", &self.count)
+            .finish_non_exhaustive()
+    }
+}
+
 impl<F: FnMut(&[f64]) -> f64> CountingObjective<F> {
     /// Wraps `f`.
     pub fn new(f: F) -> Self {

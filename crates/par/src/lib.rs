@@ -30,6 +30,8 @@
 //! the chunk boundaries.
 
 #![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 use std::cell::Cell;
 use std::sync::OnceLock;

@@ -28,11 +28,26 @@
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
 use crate::{chunk_len_for, in_parallel_region, RegionGuard};
+
+/// Locks `m`, recovering the guard from a poisoned mutex. Every mutex
+/// in this module protects plain bookkeeping (handles, the region
+/// slab, result slots) that stays structurally valid when a holder
+/// panics — panics from *tasks* are routed through `Region::panic` and
+/// re-raised on the submitter, so cascading them into later lockers
+/// here would only turn one contained failure into many.
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// [`Condvar::wait`] with the same poison recovery as [`lock_recover`].
+fn wait_recover<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(guard).unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Process-wide pool metrics (`pool.*` in the obs registry), resolved
 /// once so the hot path stays a relaxed atomic op per event.
@@ -100,11 +115,12 @@ struct Region {
     cv: Condvar,
 }
 
-/// Raw region pointer made Send/Sync for the queue. Safety: see
-/// [`Region`] — the submitter keeps the pointee alive until the queue
-/// entry is removed and no worker is pinned.
+/// Raw region pointer made Send for the queue.
 #[derive(Clone, Copy)]
 struct RegionPtr(*const Region);
+// SAFETY: see [`Region`] — the submitter keeps the pointee alive until
+// the queue entry is removed and no worker is pinned, so the pointer
+// may cross threads.
 unsafe impl Send for RegionPtr {}
 
 /// Upper bound on concurrently installed regions. One region per
@@ -157,7 +173,9 @@ impl RegionSlab {
     /// their region is freed, and removal takes the same lock.
     unsafe fn find_ready(&self) -> Option<RegionPtr> {
         self.slots.iter().flatten().copied().find(|p| {
-            let region = &*p.0;
+            // SAFETY: the caller holds the slab lock (this fn's
+            // contract), so every installed pointer is live.
+            let region = unsafe { &*p.0 };
             region.cursor.load(Ordering::Acquire) < region.ntasks
         })
     }
@@ -223,7 +241,7 @@ impl WorkerPool {
         if self.inner.started.load(Ordering::Acquire) || self.inner.threads < 2 {
             return;
         }
-        let mut handles = self.inner.handles.lock().unwrap();
+        let mut handles = lock_recover(&self.inner.handles);
         if self.inner.started.load(Ordering::Acquire) {
             return;
         }
@@ -285,7 +303,7 @@ impl WorkerPool {
         // (more than MAX_REGIONS concurrent submitters) degrades to
         // inline serial execution — never blocks, never allocates.
         {
-            let mut queue = self.inner.queue.lock().unwrap();
+            let mut queue = lock_recover(&self.inner.queue);
             if !queue.install(RegionPtr(&region as *const Region)) {
                 drop(queue);
                 let _guard = RegionGuard::enter();
@@ -303,20 +321,20 @@ impl WorkerPool {
         // Wait until every task is done AND no worker still holds the
         // region pointer (it is about to go out of scope).
         {
-            let mut guard = region.sync.lock().unwrap();
+            let mut guard = lock_recover(&region.sync);
             while region.completed.load(Ordering::Acquire) < ntasks
                 || region.pinned.load(Ordering::Acquire) > 0
             {
-                guard = region.cv.wait(guard).unwrap();
+                guard = wait_recover(&region.cv, guard);
             }
         }
         {
-            let mut queue = self.inner.queue.lock().unwrap();
+            let mut queue = lock_recover(&self.inner.queue);
             queue.remove(&region as *const Region);
         }
         pool_metrics().active_regions.dec();
         self.inner.regions_run.fetch_add(1, Ordering::Relaxed);
-        let payload = region.panic.lock().unwrap().take();
+        let payload = lock_recover(&region.panic).take();
         if let Some(payload) = payload {
             resume_unwind(payload);
         }
@@ -451,11 +469,11 @@ impl WorkerPool {
         let rb: Mutex<Option<RB>> = Mutex::new(None);
         self.run(2, &|i| {
             if i == 0 {
-                let f = fa.lock().unwrap().take().expect("task 0 runs once");
-                *ra.lock().unwrap() = Some(f());
+                let f = lock_recover(&fa).take().expect("task 0 runs once");
+                *lock_recover(&ra) = Some(f());
             } else {
-                let f = fb.lock().unwrap().take().expect("task 1 runs once");
-                *rb.lock().unwrap() = Some(f());
+                let f = lock_recover(&fb).take().expect("task 1 runs once");
+                *lock_recover(&rb) = Some(f());
             }
         });
         (
@@ -481,9 +499,9 @@ impl Drop for WorkerPool {
     fn drop(&mut self) {
         self.inner.shutdown.store(true, Ordering::Release);
         // Lock/unlock pairs with workers' wait to avoid a missed wakeup.
-        drop(self.inner.queue.lock().unwrap());
+        drop(lock_recover(&self.inner.queue));
         self.inner.cv.notify_all();
-        let handles: Vec<_> = self.inner.handles.lock().unwrap().drain(..).collect();
+        let handles: Vec<_> = lock_recover(&self.inner.handles).drain(..).collect();
         for handle in handles {
             let _ = handle.join();
         }
@@ -529,7 +547,7 @@ fn execute_tasks(region: &Region, inner: &Inner) -> usize {
         // completed (it blocks in `run`).
         let task = unsafe { &*region.run };
         if let Err(payload) = catch_unwind(AssertUnwindSafe(|| task(i))) {
-            let mut slot = region.panic.lock().unwrap();
+            let mut slot = lock_recover(&region.panic);
             if slot.is_none() {
                 *slot = Some(payload);
             }
@@ -542,7 +560,7 @@ fn execute_tasks(region: &Region, inner: &Inner) -> usize {
             // locked wait (here the region cannot be freed yet — a worker
             // is still pinned, or we *are* the submitter — but keeping
             // every notify lock-held makes the teardown order uniform).
-            let guard = region.sync.lock().unwrap();
+            let guard = lock_recover(&region.sync);
             region.cv.notify_all();
             drop(guard);
         }
@@ -554,7 +572,7 @@ fn execute_tasks(region: &Region, inner: &Inner) -> usize {
 fn worker_loop(inner: &Inner) {
     loop {
         let region_ptr = {
-            let mut queue = inner.queue.lock().unwrap();
+            let mut queue = lock_recover(&inner.queue);
             loop {
                 if inner.shutdown.load(Ordering::Acquire) {
                     return;
@@ -570,7 +588,7 @@ fn worker_loop(inner: &Inner) {
                     region.pinned.fetch_add(1, Ordering::AcqRel);
                     break p;
                 }
-                queue = inner.cv.wait(queue).unwrap();
+                queue = wait_recover(&inner.cv, queue);
             }
         };
         // SAFETY: pinned above; the submitter waits for `pinned == 0`.
@@ -584,7 +602,7 @@ fn worker_loop(inner: &Inner) {
         // so it cannot observe `pinned == 0`, return, and free the
         // stack-allocated region while we still touch it. The unlock is
         // our final access.
-        let guard = region.sync.lock().unwrap();
+        let guard = lock_recover(&region.sync);
         region.pinned.fetch_sub(1, Ordering::AcqRel);
         region.cv.notify_all();
         drop(guard);

@@ -31,6 +31,8 @@
 //! ```
 
 #![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod circuit;
 pub mod complex;

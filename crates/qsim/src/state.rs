@@ -463,7 +463,7 @@ impl StateVector {
         (0..shots)
             .map(|_| {
                 let u: f64 = rng.gen::<f64>() * total;
-                match cdf.binary_search_by(|x| x.partial_cmp(&u).unwrap()) {
+                match cdf.binary_search_by(|x| x.total_cmp(&u)) {
                     Ok(i) | Err(i) => (i.min(cdf.len() - 1)) as u64,
                 }
             })

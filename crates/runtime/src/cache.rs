@@ -50,6 +50,15 @@ pub struct LruCache<K: Eq + Hash + Clone, V: Clone> {
     evictions: u64,
 }
 
+impl<K: Eq + Hash + Clone, V: Clone> std::fmt::Debug for LruCache<K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LruCache")
+            .field("capacity", &self.capacity)
+            .field("len", &self.map.len())
+            .finish_non_exhaustive()
+    }
+}
+
 impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
     /// Creates a cache holding at most `capacity` entries.
     ///
@@ -108,6 +117,9 @@ impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
         if self.map.len() >= self.capacity {
             if let Some(oldest) = self
                 .map
+                // lint:allow(map-iteration): `last_used` ticks are
+                // unique and strictly increasing, so the minimum is a
+                // single well-defined entry whatever the hash order.
                 .iter()
                 .min_by_key(|(_, slot)| slot.last_used)
                 .map(|(k, _)| k.clone())
@@ -419,6 +431,12 @@ pub struct LandscapeCache {
     /// double-counted: a call is a miss iff it ran the producer.
     hits: AtomicU64,
     misses: AtomicU64,
+}
+
+impl std::fmt::Debug for LandscapeCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LandscapeCache").finish_non_exhaustive()
+    }
 }
 
 /// Locks `m`, recovering from poison — shared by this crate's caches

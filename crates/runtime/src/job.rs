@@ -164,6 +164,8 @@ pub struct JobResult {
 /// `cache` for stage 1 when provided. Deterministic: the result is a
 /// pure function of the spec (timings and cache-hit flag aside).
 pub fn run_job(spec: &JobSpec, cache: Option<&LandscapeCache>) -> JobResult {
+    // lint:allow(wall-clock): feeds only the telemetry `wall` field,
+    // which is excluded from result comparison and replay hashes.
     let started = Instant::now();
     // Collect per-stage durations for this job (telemetry only: they
     // feed the obs registry and span ring, never the result).

@@ -290,11 +290,13 @@ fn apply_mitigation(
             with_stage(Stage::Mitigation, || extrapolated_landscape(&zne, &refs))
         }
         Mitigation::Readout => {
+            // Normalization keeps `Readout` only for noisy sources; if
+            // a noiseless source slips through anyway, a zero readout
+            // error makes the correction an exact identity.
             let error = source
                 .effective_device()
-                .expect("normalization keeps readout only for noisy sources")
-                .noise
-                .readout;
+                .map(|d| d.noise.readout)
+                .unwrap_or(ReadoutError::new(0.0, 0.0));
             let mixed = problem.qaoa_evaluator().diagonal_mean();
             let raw = raw_arc();
             let values = raw.values();

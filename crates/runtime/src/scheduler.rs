@@ -344,6 +344,14 @@ pub struct JobHandle {
     state: Arc<AtomicU8>,
 }
 
+impl std::fmt::Debug for JobHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobHandle")
+            .field("id", &self.id)
+            .finish_non_exhaustive()
+    }
+}
+
 impl JobHandle {
     /// The scheduler-assigned job id (submission order, starting at 1).
     pub fn id(&self) -> u64 {
@@ -470,6 +478,9 @@ impl BatchRuntime {
                 std::thread::Builder::new()
                     .name(format!("oscar-exec-{k}"))
                     .spawn(move || executor_loop(&inner))
+                    // lint:allow(no-panic): spawn failure at startup
+                    // means the host is out of threads; there is no
+                    // runtime to degrade into yet.
                     .expect("failed to spawn executor thread")
             })
             .collect();
@@ -509,6 +520,8 @@ impl BatchRuntime {
                 id,
                 priority: opts.priority,
                 deadline: opts.deadline,
+                // lint:allow(wall-clock): queue-wait bookkeeping only;
+                // never reaches a JobResult.
                 enqueued_at: Instant::now(),
                 spec,
                 tx,
@@ -553,6 +566,8 @@ impl BatchRuntime {
     /// rebuilds the heap, so it is O(queue) — call it from a periodic
     /// tick, not a hot path.
     pub fn expire_overdue(&self) -> u64 {
+        // lint:allow(wall-clock): deadline enforcement is inherently
+        // wall-clock; expired jobs never produce results.
         let now = Instant::now();
         let mut expired_now = 0;
         let mut queue = lock(&self.inner.queue);
@@ -736,6 +751,8 @@ fn executor_loop(inner: &SchedInner) {
         // Expire an overdue entry before claiming it: it never runs,
         // and dropping it below wakes its waiter with the expired error.
         if let Some(deadline) = job.deadline {
+            // lint:allow(wall-clock): deadline check at pop time; an
+            // expired job is dropped, not computed.
             if Instant::now() >= deadline
                 && job
                     .state

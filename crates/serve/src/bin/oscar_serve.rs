@@ -22,7 +22,9 @@ const SIGTERM: c_int = 15;
 static TERMINATE: AtomicBool = AtomicBool::new(false);
 
 extern "C" fn on_signal(_sig: c_int) {
-    TERMINATE.store(true, Ordering::SeqCst);
+    // Relaxed is enough: the flag is a lone bool polled in a sleep
+    // loop and orders no other memory.
+    TERMINATE.store(true, Ordering::Relaxed);
 }
 
 extern "C" {
@@ -88,15 +90,22 @@ fn parse_num(text: &str) -> usize {
 }
 
 fn start(args: &Args) -> std::io::Result<DaemonHandle> {
-    if let Some(path) = &args.socket {
-        spawn_unix(path, args.config)
-    } else {
-        spawn_tcp(args.listen.as_deref().unwrap(), args.config)
+    match (&args.socket, &args.listen) {
+        (Some(path), _) => spawn_unix(path, args.config),
+        (None, Some(addr)) => spawn_tcp(addr, args.config),
+        // parse_args() rejects this combination up front.
+        (None, None) => Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            "one of --socket or --listen is required",
+        )),
     }
 }
 
 fn main() {
     let args = parse_args();
+    // SAFETY: `signal(2)` with a handler that only stores to an
+    // AtomicBool is async-signal-safe; both arguments are valid for
+    // the process lifetime.
     unsafe {
         signal(SIGTERM, on_signal);
         signal(SIGINT, on_signal);
@@ -117,7 +126,7 @@ fn main() {
         );
     }
     loop {
-        if TERMINATE.load(Ordering::SeqCst) {
+        if TERMINATE.load(Ordering::Relaxed) {
             eprintln!("oscar-serve: signal received, draining");
             handle.drain();
             break;

@@ -56,6 +56,12 @@ pub struct Client {
     writer: Stream,
 }
 
+impl std::fmt::Debug for Client {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Client").finish_non_exhaustive()
+    }
+}
+
 impl Client {
     /// Connects to a Unix socket daemon.
     pub fn connect_unix(path: impl AsRef<std::path::Path>) -> std::io::Result<Client> {

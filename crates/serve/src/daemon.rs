@@ -214,6 +214,12 @@ pub struct ServerState {
     disconnect_cancelled: AtomicU64,
 }
 
+impl std::fmt::Debug for ServerState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerState").finish_non_exhaustive()
+    }
+}
+
 impl ServerState {
     fn new(config: ServeConfig) -> Arc<ServerState> {
         Arc::new(ServerState {
@@ -693,6 +699,15 @@ pub struct DaemonHandle {
     socket_path: Option<PathBuf>,
 }
 
+impl std::fmt::Debug for DaemonHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DaemonHandle")
+            .field("local_addr", &self.local_addr)
+            .field("socket_path", &self.socket_path)
+            .finish_non_exhaustive()
+    }
+}
+
 impl DaemonHandle {
     /// The shared daemon state (counters, drain control).
     pub fn state(&self) -> &Arc<ServerState> {
@@ -846,6 +861,16 @@ fn connection_loop(mut conn: Conn, state: &Arc<ServerState>) {
                     if line.is_empty() {
                         continue;
                     }
+                    // A complete line can still exceed the bound when
+                    // the whole thing (newline included) lands in one
+                    // read — enforcement must not depend on how the
+                    // kernel segments the byte stream.
+                    if line.len() > state.config.max_line_bytes {
+                        if conn.write_all_bytes(&line_too_long_reply(state)).is_err() {
+                            break 'conn;
+                        }
+                        continue;
+                    }
                     let (reply, drain) = handle_line(state, &client, &mut submitted, line);
                     let mut bytes = reply.to_string_compact().into_bytes();
                     bytes.push(b'\n');
@@ -860,14 +885,7 @@ fn connection_loop(mut conn: Conn, state: &Arc<ServerState>) {
                 if buf.len() > state.config.max_line_bytes {
                     buf.clear();
                     discarding = true;
-                    let reply = error_reply(
-                        ErrorCode::LineTooLong,
-                        &format!("request line exceeds {} bytes", state.config.max_line_bytes),
-                        vec![],
-                    );
-                    let mut bytes = reply.to_string_compact().into_bytes();
-                    bytes.push(b'\n');
-                    if conn.write_all_bytes(&bytes).is_err() {
+                    if conn.write_all_bytes(&line_too_long_reply(state)).is_err() {
                         break 'conn;
                     }
                 }
@@ -893,6 +911,18 @@ fn connection_loop(mut conn: Conn, state: &Arc<ServerState>) {
         }
     }
     state.connections.fetch_sub(1, Ordering::Relaxed);
+}
+
+/// The wire bytes of a `line-too-long` reply (newline included).
+fn line_too_long_reply(state: &Arc<ServerState>) -> Vec<u8> {
+    let reply = error_reply(
+        ErrorCode::LineTooLong,
+        &format!("request line exceeds {} bytes", state.config.max_line_bytes),
+        vec![],
+    );
+    let mut bytes = reply.to_string_compact().into_bytes();
+    bytes.push(b'\n');
+    bytes
 }
 
 /// Parses and executes one request line; returns the reply and whether

@@ -28,6 +28,12 @@ pub struct RawClient {
     stream: Stream,
 }
 
+impl std::fmt::Debug for RawClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RawClient").finish_non_exhaustive()
+    }
+}
+
 impl RawClient {
     /// Connects to a Unix socket daemon.
     pub fn connect_unix(path: impl AsRef<Path>) -> std::io::Result<RawClient> {

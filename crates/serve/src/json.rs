@@ -309,11 +309,16 @@ impl<'a> Parser<'a> {
                 }
                 Some(c) if c < 0x20 => return Err(self.err("raw control character in string")),
                 Some(_) => {
-                    // Consume one UTF-8 scalar (input is a &str, so the
-                    // byte stream is valid UTF-8 by construction).
+                    // Consume one UTF-8 scalar.
                     let rest = &self.bytes[self.pos..];
+                    // SAFETY: the input arrived as a &str and `pos`
+                    // only ever advances by whole scalar widths, so
+                    // `rest` starts on a UTF-8 boundary.
                     let s = unsafe { std::str::from_utf8_unchecked(rest) };
-                    let c = s.chars().next().unwrap();
+                    let c = match s.chars().next() {
+                        Some(c) => c,
+                        None => return Err(self.err("unterminated string")),
+                    };
                     out.push(c);
                     self.pos += c.len_utf8();
                 }

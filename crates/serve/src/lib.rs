@@ -24,6 +24,8 @@
 //! FNV-1a checksum over the result's f64 bit patterns as proof).
 
 #![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod admission;
 pub mod client;

@@ -36,6 +36,8 @@
 //! ```
 
 #![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub use oscar_core as core;
 pub use oscar_cs as cs;

@@ -346,7 +346,7 @@ fn eager_reconstruction_trades_little_accuracy() {
     // lognormal tail), independent of where this RNG stream happens to
     // put its largest queue delays.
     let mut times: Vec<f64> = outcomes.iter().map(|o| o.completion_time).collect();
-    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times.sort_by(|a, b| a.total_cmp(b));
     let kept = within_timeout(&outcomes, times[times.len() - 4]);
     assert!(kept.len() < outcomes.len());
     let kept_idx: Vec<usize> = kept.iter().map(|o| pattern.indices()[o.index]).collect();
