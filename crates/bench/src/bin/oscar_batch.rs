@@ -11,11 +11,14 @@
 //! so `--compare` still verifies the scheduled batch bit-identical to
 //! an uncached sequential run.
 //!
-//! Passing `sweep` to `--device`, `--mitigation`, and/or `--optimizer`
-//! switches to sweep mode: the job list becomes the cross product of
-//! the swept axes over one fixed instance, and the report becomes a
-//! paper-style table (Table 5 / Figure 10 shape) with one row per
-//! combination.
+//! `--problem` selects the workload family — `maxcut`/`sk` QAOA (with
+//! `--depth` opening the 2p-dimensional landscape as an N-D tensor for
+//! p >= 2) or the `h2`/`lih` molecular VQE parameter scans — and
+//! passing `sweep` to `--problem`, `--device`, `--mitigation`, and/or
+//! `--optimizer` switches to sweep mode: the job list becomes the
+//! cross product of the swept axes over one fixed instance per problem
+//! kind, and the report becomes a paper-style table (Table 5 /
+//! Figure 10 shape) with one row per combination.
 //!
 //! With `--connect ADDR` the batch is not run in-process at all:
 //! every job is submitted to a running `oscar-serve` daemon (Unix
@@ -39,6 +42,7 @@
 //!
 //! ```text
 //! oscar-batch [--file PATH] [--jobs N] [--concurrency N]
+//!             [--problem KIND|sweep] [--depth P]
 //!             [--fraction F] [--no-optimize] [--compare]
 //!             [--device NAME|sweep] [--shots N] [--priority MODE]
 //!             [--mitigation MODE|sweep] [--optimizer NAME|sweep]
@@ -59,12 +63,13 @@
 //! `--device` — the per-job noise realization.
 
 use oscar_bench::{device_spec_or_exit, print_header};
-use oscar_core::grid::Grid2d;
+use oscar_core::grid::{Grid2d, Shape};
 use oscar_obs::span::{self, Stage};
 use oscar_obs::{MetricValue, Registry};
 use oscar_problems::ising::IsingProblem;
+use oscar_problems::workload::{ProblemInstance, ProblemKind};
 use oscar_runtime::descent::Descent;
-use oscar_runtime::job::{run_job, JobResult, JobSpec};
+use oscar_runtime::job::{default_vqe_shape, run_job, JobResult, JobSpec};
 use oscar_runtime::mitigation::Mitigation;
 use oscar_runtime::scheduler::{BatchRuntime, Priority, RuntimeConfig};
 use oscar_runtime::source::LandscapeSource;
@@ -103,6 +108,8 @@ const SWEEP_DEVICES: [&str; 3] = ["noisy sim", "ibm perth", "ibm lagos"];
 
 struct Options {
     file: Option<String>,
+    problem: String,
+    depth: usize,
     jobs: usize,
     concurrency: usize,
     fraction: f64,
@@ -122,6 +129,7 @@ struct Options {
 fn usage_and_exit(code: i32) -> ! {
     eprintln!(
         "usage: oscar-batch [--file PATH] [--jobs N] [--concurrency N]\n\
+         \x20                  [--problem KIND|sweep] [--depth P]\n\
          \x20                  [--fraction F] [--no-optimize] [--compare]\n\
          \x20                  [--device NAME|sweep] [--shots N] [--priority MODE]\n\
          \x20                  [--mitigation MODE|sweep] [--optimizer NAME|sweep]\n\
@@ -129,6 +137,12 @@ fn usage_and_exit(code: i32) -> ! {
          \x20                  [--connect ADDR] [--metrics] [--drain]\n\
          \n\
          --file PATH      job list: lines of `qubits seed rows cols fraction`\n\
+         \x20                  (depth-1 MaxCut only; incompatible with --problem/--depth)\n\
+         --problem KIND   workload family: maxcut | sk | h2 | lih (default maxcut);\n\
+         \x20                  QAOA kinds sample a (beta, gamma) landscape, molecular\n\
+         \x20                  kinds an N-D VQE parameter scan\n\
+         --depth P        QAOA depth (default 1); P >= 2 samples the 2P-dimensional\n\
+         \x20                  landscape as an N-D tensor (QAOA kinds only)\n\
          --jobs N         synthetic batch size when no file is given (default 16)\n\
          --concurrency N  executor threads (default: OSCAR_THREADS / cores)\n\
          --fraction F     sampling fraction for synthetic jobs (default 0.25)\n\
@@ -155,8 +169,9 @@ fn usage_and_exit(code: i32) -> ! {
          --drain          after the batch, ask the daemon to drain and shut down\n\
          \x20                  (needs --connect)\n\
          \n\
-         Passing `sweep` to --device, --mitigation, and/or --optimizer crosses\n\
-         the swept axes over one fixed instance and prints a paper-style table."
+         Passing `sweep` to --problem, --device, --mitigation, and/or --optimizer\n\
+         crosses the swept axes over one fixed instance per problem kind and\n\
+         prints a paper-style table."
     );
     std::process::exit(code);
 }
@@ -164,6 +179,8 @@ fn usage_and_exit(code: i32) -> ! {
 fn parse_options() -> Options {
     let mut opts = Options {
         file: None,
+        problem: "maxcut".to_string(),
+        depth: 1,
         jobs: 16,
         concurrency: oscar_par::max_threads(),
         fraction: 0.25,
@@ -191,6 +208,17 @@ fn parse_options() -> Options {
     while i < args.len() {
         match args[i].as_str() {
             "--file" => opts.file = Some(value(&mut i, "--file")),
+            "--problem" => opts.problem = value(&mut i, "--problem"),
+            "--depth" => {
+                opts.depth = value(&mut i, "--depth").parse().unwrap_or_else(|_| {
+                    eprintln!("error: --depth needs a positive integer");
+                    usage_and_exit(2);
+                });
+                if opts.depth == 0 {
+                    eprintln!("error: --depth must be at least 1");
+                    usage_and_exit(2);
+                }
+            }
             "--jobs" => {
                 opts.jobs = value(&mut i, "--jobs").parse().unwrap_or_else(|_| {
                     eprintln!("error: --jobs needs an integer");
@@ -257,6 +285,17 @@ fn parse_options() -> Options {
         eprintln!("error: --shots needs --device");
         usage_and_exit(2);
     }
+    if opts.file.is_some() && (opts.problem != "maxcut" || opts.depth != 1) {
+        eprintln!("error: --file lines are depth-1 MaxCut jobs; use --problem/--depth without it");
+        usage_and_exit(2);
+    }
+    if opts.depth > 1
+        && opts.problem != "sweep"
+        && problem_kind_or_exit(&opts.problem).is_molecule()
+    {
+        eprintln!("error: --depth applies only to QAOA problems (maxcut, sk)");
+        usage_and_exit(2);
+    }
     if opts.drain && opts.connect.is_none() {
         eprintln!("error: --drain needs --connect");
         usage_and_exit(2);
@@ -282,6 +321,53 @@ fn source_for(name: Option<&str>, shots: Option<usize>) -> LandscapeSource {
             device: device_spec_or_exit(name),
             shots,
         },
+    }
+}
+
+/// Resolves `--problem` (sweep handled by the caller).
+fn problem_kind_or_exit(name: &str) -> ProblemKind {
+    ProblemKind::by_name(name).unwrap_or_else(|| {
+        eprintln!(
+            "error: unknown problem '{name}'.\n\
+             valid problems: maxcut, sk, h2, lih, sweep"
+        );
+        std::process::exit(2);
+    })
+}
+
+/// The landscape shape a QAOA job of this depth samples: the paper's
+/// 2-D grid at depth 1, a modest 2P-dimensional tensor deeper (counts
+/// shrink with depth to keep the point total tractable).
+fn qaoa_shape(depth: usize) -> Shape {
+    match depth {
+        1 => Shape::Grid2d(Grid2d::small_p1(16, 20)),
+        2 => Shape::qaoa(2, 5, 6),
+        p => Shape::qaoa(p, 3, 3),
+    }
+}
+
+/// The fixed problem instance and landscape shape a kind contributes to
+/// sweeps and synthetic batches. QAOA kinds draw a 10-qubit instance
+/// from `instance_seed`; molecules are fixed by their Hamiltonian and
+/// scan the standard shape.
+fn instance_and_shape(
+    kind: ProblemKind,
+    depth: usize,
+    instance_seed: u64,
+) -> (ProblemInstance, Shape) {
+    match kind {
+        ProblemKind::MaxCut => {
+            let mut rng = StdRng::seed_from_u64(instance_seed);
+            let problem = IsingProblem::try_random_3_regular(10, &mut rng)
+                .expect("10-qubit 3-regular is feasible");
+            (ProblemInstance::ising(problem, depth), qaoa_shape(depth))
+        }
+        ProblemKind::SkModel => {
+            let mut rng = StdRng::seed_from_u64(instance_seed);
+            let problem = IsingProblem::sk_model(10, &mut rng);
+            (ProblemInstance::ising(problem, depth), qaoa_shape(depth))
+        }
+        ProblemKind::Molecule(m) => (ProblemInstance::molecule(m), default_vqe_shape(m)),
     }
 }
 
@@ -311,16 +397,24 @@ fn descent_or_exit(name: &str) -> Descent {
 /// One swept-axis combination (the row label of the sweep table).
 #[derive(Clone)]
 struct Combo {
+    problem: ProblemKind,
     device: Option<String>,
     mitigation: Mitigation,
     descent: Descent,
 }
 
-/// The cross product of the swept axes: `--device sweep` crosses the
-/// noisy Table 5 lineup, `--mitigation sweep` all five modes,
-/// `--optimizer sweep` all six optimizers; a non-swept axis contributes
-/// its single configured value.
+/// The cross product of the swept axes: `--problem sweep` crosses all
+/// four workload families, `--device sweep` the noisy Table 5 lineup,
+/// `--mitigation sweep` all five modes, `--optimizer sweep` all six
+/// optimizers; a non-swept axis contributes its single configured value.
 fn sweep_combos(opts: &Options) -> Vec<Combo> {
+    let problems: Vec<ProblemKind> = match opts.problem.as_str() {
+        "sweep" => ProblemKind::names()
+            .iter()
+            .map(|n| ProblemKind::by_name(n).expect("registry names resolve"))
+            .collect(),
+        name => vec![problem_kind_or_exit(name)],
+    };
     let devices: Vec<Option<String>> = match opts.device.as_deref() {
         Some("sweep") => SWEEP_DEVICES.iter().map(|d| Some(d.to_string())).collect(),
         other => vec![other.map(str::to_string)],
@@ -340,33 +434,34 @@ fn sweep_combos(opts: &Options) -> Vec<Combo> {
         name => vec![descent_or_exit(name)],
     };
     let mut combos = Vec::new();
-    for device in &devices {
-        for mitigation in &mitigations {
-            for descent in &descents {
-                combos.push(Combo {
-                    device: device.clone(),
-                    mitigation: mitigation.clone(),
-                    descent: *descent,
-                });
+    for problem in &problems {
+        for device in &devices {
+            for mitigation in &mitigations {
+                for descent in &descents {
+                    combos.push(Combo {
+                        problem: *problem,
+                        device: device.clone(),
+                        mitigation: mitigation.clone(),
+                        descent: *descent,
+                    });
+                }
             }
         }
     }
     combos
 }
 
-/// Sweep-mode jobs: every combination over one fixed 10-qubit instance
-/// and grid, one sampling seed — so the landscape cache shares raw and
-/// per-factor landscapes across rows and the table isolates the
-/// mitigation/optimizer axes.
+/// Sweep-mode jobs: every combination over one fixed instance and
+/// shape per problem kind, one sampling seed — so the landscape cache
+/// shares raw and per-factor landscapes across rows and the table
+/// isolates the problem/mitigation/optimizer axes. QAOA rows honor
+/// `--depth`; molecular rows scan their standard shape.
 fn sweep_jobs(opts: &Options, combos: &[Combo]) -> Vec<JobSpec> {
-    let mut rng = StdRng::seed_from_u64(40);
-    let problem =
-        IsingProblem::try_random_3_regular(10, &mut rng).expect("10-qubit 3-regular is feasible");
-    let grid = Grid2d::small_p1(16, 20);
     combos
         .iter()
         .map(|combo| {
-            JobSpec::new(problem.clone(), grid, opts.fraction, 7)
+            let (instance, shape) = instance_and_shape(combo.problem, opts.depth, 40);
+            JobSpec::shaped(instance, shape, opts.fraction, 7)
                 .with_source(source_for(combo.device.as_deref(), opts.shots))
                 .with_landscape_seed(1)
                 .with_mitigation(combo.mitigation.clone())
@@ -434,18 +529,40 @@ fn load_jobs(
     specs
 }
 
-/// Synthesizes a batch: `n` jobs cycling through 4 problem instances
-/// and 4 grids, so the landscape cache has real repeats to dedupe.
-/// Under a noisy source the noise-realization seed follows the instance
-/// (not the job), so the repeats still share one cached noisy
-/// landscape per instance.
+/// Synthesizes a batch for the default workload (depth-1 MaxCut): `n`
+/// jobs cycling through 4 problem instances and 4 grids, so the
+/// landscape cache has real repeats to dedupe. Any other
+/// `--problem`/`--depth` combination runs `n` sampling seeds over the
+/// kind's fixed instance and shape (the [`instance_and_shape`]
+/// mapping), cycling 4 noise-realization seeds so noisy repeats still
+/// share cached landscapes. Under a noisy source the noise-realization
+/// seed follows the instance (not the job) in both modes.
 fn synthetic_jobs(
+    kind: ProblemKind,
+    depth: usize,
     n: usize,
     fraction: f64,
     source: &LandscapeSource,
     mitigation: &Mitigation,
     descent: Descent,
 ) -> Vec<JobSpec> {
+    if kind != ProblemKind::MaxCut || depth != 1 {
+        let (instance, shape) = instance_and_shape(kind, depth, 40);
+        return (0..n)
+            .map(|j| {
+                JobSpec::shaped(
+                    instance.clone(),
+                    shape.clone(),
+                    fraction,
+                    2000 + j as u64 * 13,
+                )
+                .with_source(source.clone())
+                .with_landscape_seed((j % 4) as u64)
+                .with_mitigation(mitigation.clone())
+                .with_descent(descent)
+            })
+            .collect();
+    }
     let problems: Vec<IsingProblem> = (0..4u64)
         .map(|k| {
             let mut rng = StdRng::seed_from_u64(40 + k);
@@ -477,12 +594,16 @@ fn synthetic_jobs(
 }
 
 fn describe(spec: &JobSpec) -> String {
-    format!(
-        "{}q {}x{}",
-        spec.problem.num_qubits(),
-        spec.grid.rows(),
-        spec.grid.cols()
-    )
+    let dims = spec.shape.dims();
+    let extent = if dims.len() > 2 && dims.iter().all(|&n| n == dims[0]) {
+        format!("{}^{}", dims[0], dims.len())
+    } else {
+        dims.iter()
+            .map(|n| n.to_string())
+            .collect::<Vec<_>>()
+            .join("x")
+    };
+    format!("{}q {extent}", spec.problem.num_qubits())
 }
 
 /// Builds the wire requests for connect mode — the same parameters
@@ -543,6 +664,35 @@ fn connect_requests(opts: &Options) -> Vec<SubmitReq> {
             reqs
         }
         None => {
+            let kind = problem_kind_or_exit(&opts.problem);
+            if kind != ProblemKind::MaxCut || opts.depth != 1 {
+                // Mirror the non-default synthetic_jobs mapping: `n`
+                // sampling seeds over the kind's fixed instance/shape.
+                return (0..opts.jobs)
+                    .map(|j| {
+                        let seed = 2000 + j as u64 * 13;
+                        let mut req = match kind {
+                            ProblemKind::Molecule(m) => SubmitReq::vqe(m, seed, opts.fraction),
+                            _ if opts.depth == 1 => {
+                                let mut req = SubmitReq::new(10, seed, 16, 20, opts.fraction);
+                                req.problem = kind;
+                                req
+                            }
+                            _ => SubmitReq::deep_qaoa(
+                                kind,
+                                10,
+                                opts.depth,
+                                seed,
+                                qaoa_shape(opts.depth).dims(),
+                                opts.fraction,
+                            ),
+                        };
+                        req.instance_seed = 40;
+                        req.landscape_seed = (j % 4) as u64;
+                        fill(req, j)
+                    })
+                    .collect();
+            }
             // Mirror synthetic_jobs: 4 instances × 4 grids, cycled.
             let grids = [(16usize, 20usize), (20, 24), (18, 28), (24, 30)];
             (0..opts.jobs)
@@ -557,6 +707,24 @@ fn connect_requests(opts: &Options) -> Vec<SubmitReq> {
                 })
                 .collect()
         }
+    }
+}
+
+/// The connect-mode workload column: grid extents for 2-D jobs, shape
+/// counts for deep QAOA, the molecule's standard scan otherwise.
+fn wire_workload(req: &SubmitReq) -> String {
+    match &req.shape {
+        Some(counts) => format!(
+            "{}q {}",
+            req.qubits,
+            counts
+                .iter()
+                .map(|n| n.to_string())
+                .collect::<Vec<_>>()
+                .join("x")
+        ),
+        None if req.problem.is_molecule() => format!("{} scan", req.problem.name()),
+        None => format!("{}q {}x{}", req.qubits, req.rows, req.cols),
     }
 }
 
@@ -656,7 +824,7 @@ fn run_connected(opts: &Options) -> ! {
         println!(
             "{:>6}  {:<10}{:>9.4}{:>9}{:>10.1}ms  {checksum}{verified}",
             id,
-            format!("{}q {}x{}", req.qubits, req.rows, req.cols),
+            wire_workload(req),
             result
                 .get("nrmse")
                 .and_then(Json::as_f64)
@@ -717,7 +885,8 @@ fn main() {
         span::Tracer::global().set_enabled(true);
     }
     print_header("oscar-batch", "batch runtime throughput");
-    let sweeping = opts.device.as_deref() == Some("sweep")
+    let sweeping = opts.problem == "sweep"
+        || opts.device.as_deref() == Some("sweep")
         || opts.mitigation == "sweep"
         || opts.optimizer == "sweep";
     if sweeping && opts.file.is_some() {
@@ -741,16 +910,26 @@ fn main() {
         let descent = descent_or_exit(&opts.optimizer);
         let specs = match &opts.file {
             Some(path) => load_jobs(path, &source, &mitigation, descent),
-            None => synthetic_jobs(opts.jobs, opts.fraction, &source, &mitigation, descent),
+            None => synthetic_jobs(
+                problem_kind_or_exit(&opts.problem),
+                opts.depth,
+                opts.jobs,
+                opts.fraction,
+                &source,
+                &mitigation,
+                descent,
+            ),
         };
         (specs, None)
     };
     println!(
-        "{} jobs, concurrency {}, pool budget {} thread(s), source {}{}, \
-         mitigation {}, optimizer {}\n",
+        "{} jobs, concurrency {}, pool budget {} thread(s), problem {}, depth {}, \
+         source {}{}, mitigation {}, optimizer {}\n",
         specs.len(),
         opts.concurrency,
         oscar_par::max_threads(),
+        opts.problem,
+        opts.depth,
         match &opts.device {
             Some(name) => format!("noisy ({name})"),
             None => "exact".to_string(),
@@ -1025,16 +1204,17 @@ fn print_job_table(specs: &[JobSpec], results: &[JobResult]) {
     }
 }
 
-/// The paper-style sweep table: one row per device × mitigation ×
-/// optimizer combination.
+/// The paper-style sweep table: one row per problem × device ×
+/// mitigation × optimizer combination.
 fn print_sweep_table(combos: &[Combo], specs: &[JobSpec], results: &[JobResult]) {
     println!(
-        "{:<12}{:<12}{:<15}{:>9}{:>12}{:>7}{:>11}",
-        "device", "mitigation", "optimizer", "nrmse", "best value", "cache", "latency"
+        "{:<9}{:<12}{:<12}{:<15}{:>9}{:>12}{:>7}{:>11}",
+        "problem", "device", "mitigation", "optimizer", "nrmse", "best value", "cache", "latency"
     );
     for ((combo, _spec), r) in combos.iter().zip(specs).zip(results) {
         println!(
-            "{:<12}{:<12}{:<15}{:>9.4}{:>12.4}{:>7}{:>10.1}ms",
+            "{:<9}{:<12}{:<12}{:<15}{:>9.4}{:>12.4}{:>7}{:>10.1}ms",
+            combo.problem.name(),
             combo.device.as_deref().unwrap_or("exact"),
             combo.mitigation.name(),
             combo.descent.name(),

@@ -7,8 +7,8 @@
 //! then a spline across the row results along β). Queries cost
 //! `O(rows + log cols)` after an `O(rows · cols)` setup per γ-column pass.
 
-use crate::grid::Grid2d;
-use crate::landscape::Landscape;
+use crate::grid::{Grid2d, TensorShape};
+use crate::landscape::{Landscape, NdLandscape};
 
 /// A 1-D natural cubic spline through `(xs[i], ys[i])`.
 #[derive(Clone, Debug)]
@@ -161,6 +161,87 @@ impl BivariateSpline {
     }
 }
 
+/// A clamped multilinear interpolant over an [`NdLandscape`] — the N-D
+/// counterpart of [`BivariateSpline::eval_clamped`] used by descent on
+/// tensor-shaped reconstructions. Queries cost `O(N · 2^N)` for rank
+/// `N` (the weighted sum over the enclosing cell's corners).
+///
+/// # Examples
+///
+/// ```
+/// use oscar_core::grid::{Axis, TensorShape};
+/// use oscar_core::interpolate::MultilinearInterp;
+/// use oscar_core::landscape::NdLandscape;
+///
+/// let shape = TensorShape::new(vec![Axis::new(0.0, 1.0, 3); 3]);
+/// let l = NdLandscape::generate(shape, |p| p[0] + 2.0 * p[1] - p[2]);
+/// let interp = MultilinearInterp::fit(&l);
+/// // Multilinear functions are reproduced exactly.
+/// assert!((interp.eval_clamped(&[0.3, 0.7, 0.1]) - (0.3 + 1.4 - 0.1)).abs() < 1e-12);
+/// ```
+#[derive(Clone, Debug)]
+pub struct MultilinearInterp {
+    landscape: NdLandscape,
+    /// Row-major strides per axis (last axis contiguous).
+    strides: Vec<usize>,
+}
+
+impl MultilinearInterp {
+    /// Fits the interpolant to a tensor landscape (clones the values).
+    pub fn fit(landscape: &NdLandscape) -> Self {
+        let dims = landscape.shape().dims();
+        let mut strides = vec![1usize; dims.len()];
+        for k in (0..dims.len().saturating_sub(1)).rev() {
+            strides[k] = strides[k + 1] * dims[k + 1];
+        }
+        MultilinearInterp {
+            landscape: landscape.clone(),
+            strides,
+        }
+    }
+
+    /// The underlying shape.
+    pub fn shape(&self) -> &TensorShape {
+        self.landscape.shape()
+    }
+
+    /// Evaluates at `params` with each coordinate clamped into its axis
+    /// range (the reconstruction carries no information outside the
+    /// scanned box, so optimizers must not walk off it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.len()` differs from the tensor rank.
+    pub fn eval_clamped(&self, params: &[f64]) -> f64 {
+        let axes = self.landscape.shape().axes();
+        assert_eq!(params.len(), axes.len(), "parameter count mismatch");
+        // Per-axis cell index and in-cell fraction.
+        let mut cell = Vec::with_capacity(axes.len());
+        for (axis, &x) in axes.iter().zip(params.iter()) {
+            let clamped = x.clamp(axis.lo, axis.hi);
+            let pos = (clamped - axis.lo) / axis.step();
+            let lo = (pos.floor() as usize).min(axis.n - 2);
+            cell.push((lo, pos - lo as f64));
+        }
+        // Weighted sum over the 2^N corners of the enclosing cell.
+        let corners = 1usize << axes.len();
+        let mut acc = 0.0;
+        for mask in 0..corners {
+            let mut w = 1.0;
+            let mut idx = 0usize;
+            for (k, &(lo, t)) in cell.iter().enumerate() {
+                let hi_side = (mask >> k) & 1 == 1;
+                w *= if hi_side { t } else { 1.0 - t };
+                idx += (lo + usize::from(hi_side)) * self.strides[k];
+            }
+            if w != 0.0 {
+                acc += w * self.landscape.values()[idx];
+            }
+        }
+        acc
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -243,5 +324,44 @@ mod tests {
     #[should_panic(expected = "strictly increasing")]
     fn rejects_unsorted_knots() {
         let _ = CubicSpline::fit(vec![0.0, 0.0], vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn multilinear_passes_through_tensor_points() {
+        use crate::grid::Axis;
+        let shape = TensorShape::new(vec![
+            Axis::new(-1.0, 1.0, 4),
+            Axis::new(0.0, 2.0, 3),
+            Axis::new(-0.5, 0.5, 5),
+        ]);
+        let l = NdLandscape::generate(shape.clone(), |p| (p[0] * 2.0).sin() + p[1] * p[2]);
+        let interp = MultilinearInterp::fit(&l);
+        for i in (0..shape.len()).step_by(7) {
+            let p = shape.point(i);
+            assert!(
+                (interp.eval_clamped(&p) - l.values()[i]).abs() < 1e-12,
+                "mismatch at flat index {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn multilinear_clamps_out_of_box_queries() {
+        use crate::grid::Axis;
+        let shape = TensorShape::new(vec![Axis::new(0.0, 1.0, 3); 2]);
+        let l = NdLandscape::generate(shape, |p| p[0] + p[1]);
+        let interp = MultilinearInterp::fit(&l);
+        assert!((interp.eval_clamped(&[5.0, -3.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multilinear_matches_bilinear_on_2d_tensor() {
+        use crate::grid::Axis;
+        let shape = TensorShape::new(vec![Axis::new(0.0, 1.0, 5), Axis::new(0.0, 1.0, 5)]);
+        let l = NdLandscape::generate(shape, |p| p[0] * p[1]);
+        let interp = MultilinearInterp::fit(&l);
+        // x*y is bilinear inside each cell, so interpolation is exact at
+        // cell-aligned fractions.
+        assert!((interp.eval_clamped(&[0.375, 0.625]) - 0.375 * 0.625).abs() < 1e-3);
     }
 }

@@ -1,6 +1,6 @@
-//! Landscapes: cost values over a 2-D parameter grid.
+//! Landscapes: cost values over a 2-D parameter grid or an N-D tensor.
 
-use crate::grid::Grid2d;
+use crate::grid::{Grid2d, Shape, TensorShape};
 use oscar_qsim::qaoa::QaoaEvaluator;
 
 /// A cost landscape over a [`Grid2d`] (row-major values, rows = β).
@@ -139,6 +139,178 @@ impl Landscape {
     }
 }
 
+/// A cost landscape over a [`TensorShape`] (row-major values, last axis
+/// contiguous) — p >= 2 QAOA and VQE parameter scans.
+///
+/// # Examples
+///
+/// ```
+/// use oscar_core::grid::{Axis, TensorShape};
+/// use oscar_core::landscape::NdLandscape;
+///
+/// let shape = TensorShape::new(vec![
+///     Axis::new(-1.0, 1.0, 3),
+///     Axis::new(-1.0, 1.0, 3),
+///     Axis::new(-1.0, 1.0, 3),
+/// ]);
+/// let l = NdLandscape::generate(shape, |p| p.iter().map(|x| x * x).sum());
+/// assert_eq!(l.values().len(), 27);
+/// assert_eq!(l.argmin().1, vec![0.0, 0.0, 0.0]);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct NdLandscape {
+    shape: TensorShape,
+    values: Vec<f64>,
+}
+
+impl NdLandscape {
+    /// Wraps existing row-major values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != shape.len()`.
+    pub fn from_values(shape: TensorShape, values: Vec<f64>) -> Self {
+        assert_eq!(values.len(), shape.len(), "value count must match shape");
+        NdLandscape { shape, values }
+    }
+
+    /// Evaluates `f(params)` at every tensor point, serially.
+    pub fn generate(shape: TensorShape, mut f: impl FnMut(&[f64]) -> f64) -> Self {
+        let values = (0..shape.len()).map(|i| f(&shape.point(i))).collect();
+        NdLandscape { shape, values }
+    }
+
+    /// Parallel generation where the closure receives the flat
+    /// (row-major) point index and the parameter vector — the same
+    /// per-point counter-RNG hook as [`Landscape::generate_indexed_par`]:
+    /// keying any stochastic draw by `i` makes the result independent of
+    /// chunk scheduling. Results are identical to a serial index loop
+    /// for any pure `f`.
+    pub fn generate_indexed_par(
+        shape: TensorShape,
+        f: impl Fn(usize, &[f64]) -> f64 + Sync,
+    ) -> Self {
+        let chunk = shape.axes().last().map(|a| a.n).unwrap_or(1);
+        let mut values = vec![0.0; shape.len()];
+        oscar_par::for_each_chunk_mut(&mut values, chunk, |offset, slice| {
+            for (k, v) in slice.iter_mut().enumerate() {
+                let i = offset + k;
+                *v = f(i, &shape.point(i));
+            }
+        });
+        NdLandscape { shape, values }
+    }
+
+    /// The shape.
+    pub fn shape(&self) -> &TensorShape {
+        &self.shape
+    }
+
+    /// Row-major values (last axis contiguous).
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Mutable access to the values (e.g. for noise injection).
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
+    /// The minimum value and its parameter-vector location.
+    pub fn argmin(&self) -> (f64, Vec<f64>) {
+        let (idx, &val) = self
+            .values
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .expect("landscape is non-empty");
+        (val, self.shape.point(idx))
+    }
+
+    /// Interquartile range `Q3 - Q1` of the values (the paper's NRMSE
+    /// normalizer).
+    pub fn iqr(&self) -> f64 {
+        let mut sorted = self.values.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        quantile_sorted(&sorted, 0.75) - quantile_sorted(&sorted, 0.25)
+    }
+}
+
+/// A landscape of either shape, as produced by the shape-generic job
+/// pipeline: the classic 2-D grid variant or the N-D tensor variant.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ShapedLandscape {
+    /// A [`Landscape`] over a [`Grid2d`].
+    Grid2d(Landscape),
+    /// An [`NdLandscape`] over a [`TensorShape`].
+    Tensor(NdLandscape),
+}
+
+impl ShapedLandscape {
+    /// The shape this landscape sweeps.
+    pub fn shape(&self) -> Shape {
+        match self {
+            ShapedLandscape::Grid2d(l) => Shape::Grid2d(*l.grid()),
+            ShapedLandscape::Tensor(l) => Shape::Tensor(l.shape().clone()),
+        }
+    }
+
+    /// Per-axis point counts.
+    pub fn dims(&self) -> Vec<usize> {
+        match self {
+            ShapedLandscape::Grid2d(l) => vec![l.grid().rows(), l.grid().cols()],
+            ShapedLandscape::Tensor(l) => l.shape().dims(),
+        }
+    }
+
+    /// Row-major values.
+    pub fn values(&self) -> &[f64] {
+        match self {
+            ShapedLandscape::Grid2d(l) => l.values(),
+            ShapedLandscape::Tensor(l) => l.values(),
+        }
+    }
+
+    /// The minimum value and its parameter-vector location.
+    pub fn argmin(&self) -> (f64, Vec<f64>) {
+        match self {
+            ShapedLandscape::Grid2d(l) => {
+                let (v, (b, g)) = l.argmin();
+                (v, vec![b, g])
+            }
+            ShapedLandscape::Tensor(l) => l.argmin(),
+        }
+    }
+
+    /// The underlying 2-D landscape, if this is the grid variant.
+    pub fn as_grid2d(&self) -> Option<&Landscape> {
+        match self {
+            ShapedLandscape::Grid2d(l) => Some(l),
+            ShapedLandscape::Tensor(_) => None,
+        }
+    }
+
+    /// The underlying N-D landscape, if this is the tensor variant.
+    pub fn as_tensor(&self) -> Option<&NdLandscape> {
+        match self {
+            ShapedLandscape::Grid2d(_) => None,
+            ShapedLandscape::Tensor(l) => Some(l),
+        }
+    }
+}
+
+impl From<Landscape> for ShapedLandscape {
+    fn from(l: Landscape) -> Self {
+        ShapedLandscape::Grid2d(l)
+    }
+}
+
+impl From<NdLandscape> for ShapedLandscape {
+    fn from(l: NdLandscape) -> Self {
+        ShapedLandscape::Tensor(l)
+    }
+}
+
 /// Linear-interpolated quantile of pre-sorted data.
 pub(crate) fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
     assert!(!sorted.is_empty(), "quantile of empty data");
@@ -220,5 +392,55 @@ mod tests {
     #[should_panic(expected = "value count must match grid")]
     fn rejects_wrong_length() {
         let _ = Landscape::from_values(Grid2d::small_p1(3, 3), vec![0.0; 5]);
+    }
+
+    #[test]
+    fn nd_generate_indexed_par_matches_serial_generate() {
+        use crate::grid::Axis;
+        let shape = TensorShape::new(vec![
+            Axis::new(-1.0, 1.0, 3),
+            Axis::new(0.0, 2.0, 4),
+            Axis::new(-0.5, 0.5, 5),
+        ]);
+        let f = |p: &[f64]| p[0] * 7.0 + p[1] * p[1] - p[2];
+        let serial = NdLandscape::generate(shape.clone(), f);
+        let par = NdLandscape::generate_indexed_par(shape, |_, p| f(p));
+        assert_eq!(serial.values(), par.values());
+    }
+
+    #[test]
+    fn nd_argmin_reports_parameter_vector() {
+        use crate::grid::Axis;
+        let shape = TensorShape::new(vec![
+            Axis::new(-1.0, 1.0, 5),
+            Axis::new(-1.0, 1.0, 5),
+            Axis::new(-1.0, 1.0, 5),
+            Axis::new(-1.0, 1.0, 5),
+        ]);
+        let l = NdLandscape::generate(shape, |p| {
+            (p[0] - 0.5).powi(2) + p[1].powi(2) + (p[2] + 0.5).powi(2) + p[3].powi(2)
+        });
+        let (val, at) = l.argmin();
+        assert!(val < 1e-12);
+        assert_eq!(at, vec![0.5, 0.0, -0.5, 0.0]);
+    }
+
+    #[test]
+    fn shaped_landscape_unifies_both_variants() {
+        use crate::grid::Axis;
+        let g = Landscape::generate(Grid2d::small_p1(3, 4), |b, g| b + g);
+        let shaped: ShapedLandscape = g.clone().into();
+        assert_eq!(shaped.dims(), vec![3, 4]);
+        assert_eq!(shaped.values(), g.values());
+        let (v, at) = shaped.argmin();
+        let (gv, (b, gm)) = g.argmin();
+        assert_eq!((v, at), (gv, vec![b, gm]));
+
+        let t = NdLandscape::generate(TensorShape::new(vec![Axis::new(0.0, 1.0, 2); 3]), |p| {
+            p.iter().sum()
+        });
+        let shaped: ShapedLandscape = t.clone().into();
+        assert_eq!(shaped.dims(), vec![2, 2, 2]);
+        assert!(shaped.as_tensor().is_some() && shaped.as_grid2d().is_none());
     }
 }

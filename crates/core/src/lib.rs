@@ -48,17 +48,17 @@ pub mod usecases;
 
 /// Glob-import of the most used types.
 pub mod prelude {
-    pub use crate::grid::{Axis, Grid2d, Grid4d};
-    pub use crate::interpolate::{BivariateSpline, CubicSpline};
+    pub use crate::grid::{Axis, Grid2d, Grid4d, Shape, TensorShape};
+    pub use crate::interpolate::{BivariateSpline, CubicSpline, MultilinearInterp};
     pub use crate::io::{read_csv, write_csv, LandscapeRecord};
-    pub use crate::landscape::Landscape;
+    pub use crate::landscape::{Landscape, NdLandscape, ShapedLandscape};
     pub use crate::metrics::{nrmse, LandscapeMetrics};
-    pub use crate::reconstruct::{ReconstructionReport, Reconstructor};
+    pub use crate::reconstruct::{NdReconstructionReport, ReconstructionReport, Reconstructor};
     pub use crate::reshape_nd::GridNd;
     pub use crate::usecases::initialization::{compare_initialization, InitializationReport};
     pub use crate::usecases::mitigation::{MitigationMetrics, ZneLandscapes};
     pub use crate::usecases::optimizer_debug::{
-        compare_paths, optimize_on_reconstruction, PathComparison,
+        compare_paths, optimize_on_reconstruction, optimize_on_reconstruction_nd, PathComparison,
     };
     pub use crate::usecases::slices::{slice_reconstruction, SliceConfig, SliceReport};
 }

@@ -7,8 +7,8 @@
 //! reconstruction converges to (almost) the same endpoint as optimizing
 //! with real circuit executions.
 
-use crate::interpolate::BivariateSpline;
-use crate::landscape::Landscape;
+use crate::interpolate::{BivariateSpline, MultilinearInterp};
+use crate::landscape::{Landscape, NdLandscape};
 use oscar_optim::objective::{OptimResult, Optimizer};
 
 /// Comparison of one optimizer run on the interpolated reconstruction vs
@@ -54,6 +54,29 @@ pub fn optimize_on_reconstruction(
     let spline = BivariateSpline::fit(reconstruction);
     let mut obj = |p: &[f64]| spline.eval_clamped(p[0], p[1]);
     optimizer.minimize(&mut obj, &x0)
+}
+
+/// N-D counterpart of [`optimize_on_reconstruction`]: runs `optimizer`
+/// on the clamped multilinear interpolation of a tensor-shaped
+/// reconstruction, starting from the parameter vector `x0` (the
+/// optimizers themselves are dimension-agnostic).
+///
+/// # Panics
+///
+/// Panics if `x0.len()` differs from the reconstruction's rank.
+pub fn optimize_on_reconstruction_nd(
+    optimizer: &dyn Optimizer,
+    reconstruction: &NdLandscape,
+    x0: &[f64],
+) -> OptimResult {
+    assert_eq!(
+        x0.len(),
+        reconstruction.shape().rank(),
+        "start point rank mismatch"
+    );
+    let interp = MultilinearInterp::fit(reconstruction);
+    let mut obj = |p: &[f64]| interp.eval_clamped(p);
+    optimizer.minimize(&mut obj, x0)
 }
 
 #[cfg(test)]
@@ -102,6 +125,23 @@ mod tests {
         let res = optimize_on_reconstruction(&cobyla, &recon, [0.05, 0.2]);
         // Should descend below the starting value.
         assert!(res.fx < res.trace[0].1, "no descent: {:?}", res.fx);
+    }
+
+    #[test]
+    fn nelder_mead_descends_on_nd_reconstruction() {
+        use crate::grid::{Axis, TensorShape};
+        use oscar_optim::nelder_mead::NelderMead;
+
+        let shape = TensorShape::new(vec![Axis::new(-1.0, 1.0, 7); 4]);
+        let recon = NdLandscape::generate(shape, |p| {
+            p.iter().map(|x| (x - 0.3) * (x - 0.3)).sum::<f64>()
+        });
+        let nm = NelderMead::default();
+        let res = optimize_on_reconstruction_nd(&nm, &recon, &[-0.8, -0.8, 0.8, -0.5]);
+        assert!(res.fx < res.trace[0].1, "no descent: {:?}", res.fx);
+        for &x in &res.x {
+            assert!((x - 0.3).abs() < 0.25, "endpoint {x} far from minimum");
+        }
     }
 
     #[test]

@@ -719,6 +719,12 @@ impl DctNd {
         &self.shape
     }
 
+    /// Per-axis kernel identities (same role as [`Dct2d::kernel_kinds`]:
+    /// scratch layouts differ per kernel, so they key operator scratch).
+    pub(crate) fn kernel_ids(&self) -> Vec<u8> {
+        self.axes.iter().map(|t| t.kernel_id()).collect()
+    }
+
     /// Total number of tensor elements.
     pub fn len(&self) -> usize {
         self.shape.iter().product()

@@ -12,7 +12,7 @@
 //! workspace and performs **no heap allocation in steady state** (the
 //! only allocation per solve is the result's coefficient vector).
 
-use crate::measure::MeasurementOperator;
+use crate::measure::SensingOperator;
 use crate::workspace::Workspace;
 
 /// Configuration for [`fista`].
@@ -85,7 +85,7 @@ pub struct FistaResult {
 /// let result = fista(&op, &y, &FistaConfig::default());
 /// assert!((result.coefficients[9] - 3.0).abs() < 0.1);
 /// ```
-pub fn fista(op: &MeasurementOperator<'_>, y: &[f64], cfg: &FistaConfig) -> FistaResult {
+pub fn fista<O: SensingOperator + ?Sized>(op: &O, y: &[f64], cfg: &FistaConfig) -> FistaResult {
     let mut ws = Workspace::for_operator(op);
     fista_with(op, y, cfg, &mut ws)
 }
@@ -99,8 +99,8 @@ pub fn fista(op: &MeasurementOperator<'_>, y: &[f64], cfg: &FistaConfig) -> Fist
 /// # Panics
 ///
 /// Same conditions as [`fista`].
-pub fn fista_with(
-    op: &MeasurementOperator<'_>,
+pub fn fista_with<O: SensingOperator + ?Sized>(
+    op: &O,
     y: &[f64],
     cfg: &FistaConfig,
     ws: &mut Workspace,
@@ -177,7 +177,7 @@ pub fn fista_with(
 
 /// Gradient descent restricted to the current support (l1 term dropped),
 /// correcting the soft-threshold shrinkage bias. Operates on `ws.s`.
-fn debias(op: &MeasurementOperator<'_>, y: &[f64], iters: usize, ws: &mut Workspace) {
+fn debias<O: SensingOperator + ?Sized>(op: &O, y: &[f64], iters: usize, ws: &mut Workspace) {
     ws.support.clear();
     ws.support.extend(
         ws.s.iter()
@@ -221,7 +221,7 @@ pub fn soft_threshold(x: f64, t: f64) -> f64 {
 mod tests {
     use super::*;
     use crate::dct::Dct2d;
-    use crate::measure::SamplePattern;
+    use crate::measure::{MeasurementOperator, SamplePattern};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
@@ -343,6 +343,52 @@ mod tests {
         let res = fista(&op, &y, &FistaConfig::default());
         assert!(res.support_size >= 1);
         assert!(res.residual_norm < 0.05);
+    }
+
+    #[test]
+    fn recovers_sparse_signal_through_nd_operator() {
+        use crate::dct::DctNd;
+        use crate::measure::{MeasurementOperatorNd, NdSamplePattern};
+
+        let dct = DctNd::new(&[6, 5, 7]);
+        let mut coeffs = vec![0.0; dct.len()];
+        coeffs[0] = 4.0;
+        coeffs[12] = -1.5;
+        coeffs[40] = 0.8;
+        let full = dct.inverse(&coeffs);
+        let mut rng = StdRng::seed_from_u64(17);
+        let pattern = NdSamplePattern::random(&[6, 5, 7], 0.4, &mut rng);
+        let y = pattern.gather(&full);
+        let op = MeasurementOperatorNd::new(&dct, &pattern);
+        let res = fista(&op, &y, &FistaConfig::default());
+        for (i, (&c, &r)) in coeffs.iter().zip(res.coefficients.iter()).enumerate() {
+            assert!((c - r).abs() < 0.05, "coef {i}: true {c} rec {r}");
+        }
+    }
+
+    #[test]
+    fn nd_operator_on_2d_shape_matches_2d_operator() {
+        // A [rows, cols] tensor operator and the dedicated 2-D operator
+        // describe the same sensing matrix; FISTA must agree closely.
+        let rows = 9;
+        let cols = 11;
+        let dct2 = Dct2d::new(rows, cols);
+        let dctn = crate::dct::DctNd::new(&[rows, cols]);
+        let (_, full) = sparse_signal(&dct2, &[(2, 2.0), (14, -1.0)]);
+        let mut rng = StdRng::seed_from_u64(9);
+        let pattern = SamplePattern::random(rows, cols, 0.4, &mut rng);
+        let nd_pattern = crate::measure::NdSamplePattern::from_indices(
+            &[rows, cols],
+            pattern.indices().to_vec(),
+        );
+        let y = pattern.gather(&full);
+        let op2 = MeasurementOperator::new(&dct2, &pattern);
+        let opn = crate::measure::MeasurementOperatorNd::new(&dctn, &nd_pattern);
+        let a = fista(&op2, &y, &FistaConfig::default());
+        let b = fista(&opn, &y, &FistaConfig::default());
+        for (x, z) in a.coefficients.iter().zip(&b.coefficients) {
+            assert!((x - z).abs() < 1e-9, "{x} vs {z}");
+        }
     }
 
     #[test]

@@ -68,7 +68,9 @@ pub mod prelude {
     pub use crate::dct::{Dct1d, Dct2d, DctNd, FAST_DCT_THRESHOLD};
     pub use crate::fista::{fista, fista_with, FistaConfig, FistaResult};
     pub use crate::ista::{ista, ista_with};
-    pub use crate::measure::{MeasurementOperator, SamplePattern};
+    pub use crate::measure::{
+        MeasurementOperator, MeasurementOperatorNd, NdSamplePattern, SamplePattern, SensingOperator,
+    };
     pub use crate::omp::{omp, omp_with, OmpConfig, OmpResult};
     pub use crate::workspace::Workspace;
 }

@@ -1,14 +1,44 @@
 //! The compressed-sensing measurement operator `A = C Ψ`.
 //!
-//! `Ψ` is the inverse 2-D DCT (so the unknown is the coefficient vector `s`
-//! with landscape `x = Ψ s`), and `C` selects the `m` sampled grid points.
-//! Because `Ψ` is orthonormal and `C` a row selector, `||A||_2 <= 1`, which
-//! lets the FISTA solver use a unit step size with no line search.
+//! `Ψ` is the inverse separable DCT (so the unknown is the coefficient
+//! vector `s` with landscape `x = Ψ s`), and `C` selects the `m` sampled
+//! grid points. Because `Ψ` is orthonormal and `C` a row selector,
+//! `||A||_2 <= 1`, which lets the FISTA solver use a unit step size with
+//! no line search.
+//!
+//! Two concrete operators share the [`SensingOperator`] contract the
+//! solvers are generic over: [`MeasurementOperator`] couples a
+//! [`Dct2d`] with a [`SamplePattern`] (the paper's p = 1 grids), and
+//! [`MeasurementOperatorNd`] couples a [`DctNd`] with an
+//! [`NdSamplePattern`] (p >= 2 QAOA tensors and VQE parameter scans).
 
-use crate::dct::Dct2d;
-use crate::workspace::OperatorScratch;
+use crate::dct::{Dct2d, DctNd};
+use crate::workspace::{OperatorScratch, TransformScratch};
 use rand::seq::SliceRandom;
 use rand::Rng;
+
+/// The abstract sensing operator `A = C Ψ` the sparse solvers run
+/// against: an orthonormal synthesis transform composed with a row
+/// selector, applied through reusable [`OperatorScratch`].
+///
+/// Implementations must keep `||A||_2 <= 1` (orthonormal `Ψ`, selector
+/// `C`) — the solvers rely on it for their fixed unit step size.
+pub trait SensingOperator {
+    /// Signal dimension `n` (full grid element count).
+    fn signal_len(&self) -> usize;
+    /// Measurement dimension `m` (sampled point count).
+    fn measurement_len(&self) -> usize;
+    /// Allocates scratch sized for this operator's transform.
+    fn make_scratch(&self) -> OperatorScratch;
+    /// Rebuilds `scratch` for this operator's transform if it was sized
+    /// for another one; a no-op when it already fits.
+    fn ensure_scratch(&self, scratch: &mut OperatorScratch);
+    /// Zero-allocation `A s`: writes the `m` sampled values into `out`.
+    fn forward_into(&self, s: &[f64], out: &mut [f64], scratch: &mut OperatorScratch);
+    /// Zero-allocation `A^T y`: writes the `n` coefficient-domain
+    /// values into `out`.
+    fn adjoint_into(&self, y: &[f64], out: &mut [f64], scratch: &mut OperatorScratch);
+}
 
 /// A random uniform sampling pattern over a `rows x cols` grid.
 ///
@@ -206,8 +236,10 @@ impl<'a> MeasurementOperator<'a> {
             self.pattern.num_samples(),
             "output length mismatch"
         );
-        self.dct
-            .inverse_into(s, &mut scratch.grid, &mut scratch.dct);
+        let TransformScratch::D2(dct_scratch) = &mut scratch.transform else {
+            panic!("scratch sized for another transform kind");
+        };
+        self.dct.inverse_into(s, &mut scratch.grid, dct_scratch);
         for (o, &idx) in out.iter_mut().zip(self.pattern.indices().iter()) {
             *o = scratch.grid[idx];
         }
@@ -235,11 +267,240 @@ impl<'a> MeasurementOperator<'a> {
             "measurement length mismatch"
         );
         assert_eq!(out.len(), self.dct.len(), "output length mismatch");
+        let TransformScratch::D2(dct_scratch) = &mut scratch.transform else {
+            panic!("scratch sized for another transform kind");
+        };
         scratch.grid.fill(0.0);
         for (&idx, &v) in self.pattern.indices().iter().zip(y.iter()) {
             scratch.grid[idx] = v;
         }
-        self.dct.forward_into(&scratch.grid, out, &mut scratch.dct);
+        self.dct.forward_into(&scratch.grid, out, dct_scratch);
+    }
+}
+
+impl SensingOperator for MeasurementOperator<'_> {
+    fn signal_len(&self) -> usize {
+        MeasurementOperator::signal_len(self)
+    }
+
+    fn measurement_len(&self) -> usize {
+        MeasurementOperator::measurement_len(self)
+    }
+
+    fn make_scratch(&self) -> OperatorScratch {
+        OperatorScratch::new(self.dct)
+    }
+
+    fn ensure_scratch(&self, scratch: &mut OperatorScratch) {
+        scratch.ensure(self.dct);
+    }
+
+    fn forward_into(&self, s: &[f64], out: &mut [f64], scratch: &mut OperatorScratch) {
+        MeasurementOperator::forward_into(self, s, out, scratch);
+    }
+
+    fn adjoint_into(&self, y: &[f64], out: &mut [f64], scratch: &mut OperatorScratch) {
+        MeasurementOperator::adjoint_into(self, y, out, scratch);
+    }
+}
+
+/// A random uniform sampling pattern over a row-major N-D tensor.
+///
+/// Flat indices follow the same discipline as [`SamplePattern`]
+/// (distinct, sorted ascending); in fact, for the same element count,
+/// sampling fraction, and RNG state the two draw the **same** flat
+/// index set, so 2-D results are unaffected by which pattern type
+/// gathers them.
+///
+/// # Examples
+///
+/// ```
+/// use oscar_cs::measure::NdSamplePattern;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let pat = NdSamplePattern::random(&[5, 4, 5], 0.25, &mut rng);
+/// assert_eq!(pat.indices().len(), 25);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NdSamplePattern {
+    dims: Vec<usize>,
+    indices: Vec<usize>,
+}
+
+impl NdSamplePattern {
+    /// Samples `ceil(fraction * total)` distinct tensor points uniformly
+    /// at random (without replacement).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < fraction <= 1`, and unless every extent in
+    /// `dims` is positive.
+    pub fn random<R: Rng + ?Sized>(dims: &[usize], fraction: f64, rng: &mut R) -> Self {
+        assert!(
+            fraction > 0.0 && fraction <= 1.0,
+            "fraction must be in (0,1]"
+        );
+        let total = checked_total(dims);
+        let m = ((fraction * total as f64).ceil() as usize).clamp(1, total);
+        Self::random_count(dims, m, rng)
+    }
+
+    /// Samples exactly `m` distinct tensor points uniformly at random.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < m <= dims product`.
+    pub fn random_count<R: Rng + ?Sized>(dims: &[usize], m: usize, rng: &mut R) -> Self {
+        let total = checked_total(dims);
+        assert!(m > 0 && m <= total, "sample count out of range");
+        let mut all: Vec<usize> = (0..total).collect();
+        all.shuffle(rng);
+        let mut indices = all[..m].to_vec();
+        indices.sort_unstable();
+        NdSamplePattern {
+            dims: dims.to_vec(),
+            indices,
+        }
+    }
+
+    /// Builds a pattern from explicit flat indices (deduplicated,
+    /// sorted).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range or the list is empty.
+    pub fn from_indices(dims: &[usize], mut indices: Vec<usize>) -> Self {
+        let total = checked_total(dims);
+        assert!(!indices.is_empty(), "pattern needs at least one index");
+        indices.sort_unstable();
+        indices.dedup();
+        assert!(*indices.last().unwrap() < total, "index out of grid range");
+        NdSamplePattern {
+            dims: dims.to_vec(),
+            indices,
+        }
+    }
+
+    /// Per-axis extents.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// The sampled flat indices (sorted, distinct).
+    pub fn indices(&self) -> &[usize] {
+        &self.indices
+    }
+
+    /// Number of samples `m`.
+    pub fn num_samples(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Achieved sampling fraction `m / total`.
+    pub fn fraction(&self) -> f64 {
+        self.indices.len() as f64 / self.dims.iter().product::<usize>() as f64
+    }
+
+    /// Extracts the sampled values from a full row-major tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `full.len()` does not match the tensor element count.
+    pub fn gather(&self, full: &[f64]) -> Vec<f64> {
+        assert_eq!(
+            full.len(),
+            self.dims.iter().product::<usize>(),
+            "grid size mismatch"
+        );
+        self.indices.iter().map(|&i| full[i]).collect()
+    }
+}
+
+fn checked_total(dims: &[usize]) -> usize {
+    assert!(!dims.is_empty(), "pattern needs at least one axis");
+    assert!(dims.iter().all(|&d| d > 0), "axis extents must be positive");
+    dims.iter().product()
+}
+
+/// The N-D forward/adjoint measurement operator: a [`DctNd`] synthesis
+/// basis sampled at an [`NdSamplePattern`]'s flat indices.
+#[derive(Clone, Debug)]
+pub struct MeasurementOperatorNd<'a> {
+    dct: &'a DctNd,
+    pattern: &'a NdSamplePattern,
+}
+
+impl<'a> MeasurementOperatorNd<'a> {
+    /// Couples a transform with a sampling pattern.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pattern dims do not match the transform shape.
+    pub fn new(dct: &'a DctNd, pattern: &'a NdSamplePattern) -> Self {
+        assert_eq!(dct.shape(), pattern.dims(), "tensor shape mismatch");
+        MeasurementOperatorNd { dct, pattern }
+    }
+
+    /// The sparsifying transform this operator couples to.
+    pub fn dct(&self) -> &DctNd {
+        self.dct
+    }
+
+    /// The sampling pattern this operator couples to.
+    pub fn pattern(&self) -> &NdSamplePattern {
+        self.pattern
+    }
+}
+
+impl SensingOperator for MeasurementOperatorNd<'_> {
+    fn signal_len(&self) -> usize {
+        self.dct.len()
+    }
+
+    fn measurement_len(&self) -> usize {
+        self.pattern.num_samples()
+    }
+
+    fn make_scratch(&self) -> OperatorScratch {
+        OperatorScratch::new_nd(self.dct)
+    }
+
+    fn ensure_scratch(&self, scratch: &mut OperatorScratch) {
+        scratch.ensure_nd(self.dct);
+    }
+
+    fn forward_into(&self, s: &[f64], out: &mut [f64], scratch: &mut OperatorScratch) {
+        assert_eq!(s.len(), self.dct.len(), "signal length mismatch");
+        assert_eq!(
+            out.len(),
+            self.pattern.num_samples(),
+            "output length mismatch"
+        );
+        let TransformScratch::Nd(nd_scratch) = &mut scratch.transform else {
+            panic!("scratch sized for another transform kind");
+        };
+        self.dct.inverse_into(s, &mut scratch.grid, nd_scratch);
+        for (o, &idx) in out.iter_mut().zip(self.pattern.indices().iter()) {
+            *o = scratch.grid[idx];
+        }
+    }
+
+    fn adjoint_into(&self, y: &[f64], out: &mut [f64], scratch: &mut OperatorScratch) {
+        assert_eq!(
+            y.len(),
+            self.pattern.num_samples(),
+            "measurement length mismatch"
+        );
+        assert_eq!(out.len(), self.dct.len(), "output length mismatch");
+        let TransformScratch::Nd(nd_scratch) = &mut scratch.transform else {
+            panic!("scratch sized for another transform kind");
+        };
+        scratch.grid.fill(0.0);
+        for (&idx, &v) in self.pattern.indices().iter().zip(y.iter()) {
+            scratch.grid[idx] = v;
+        }
+        self.dct.forward_into(&scratch.grid, out, nd_scratch);
     }
 }
 

@@ -1,7 +1,7 @@
 //! Reusable scratch buffers for the solver stack.
 //!
-//! Every FISTA iteration applies the measurement operator (a 2-D DCT +
-//! gather) and its adjoint (scatter + 2-D DCT), each needing full-grid
+//! Every FISTA iteration applies the measurement operator (a separable
+//! DCT + gather) and its adjoint (scatter + DCT), each needing full-grid
 //! and measurement-sized temporaries. The seed implementation allocated
 //! ~5 fresh `Vec`s per iteration; a [`Workspace`] owns all of them, so
 //! the `*_with` solver entry points ([`crate::fista::fista_with`],
@@ -12,29 +12,45 @@
 //! parallel transforms do allocate; see the `oscar-par` crate docs.)
 //!
 //! A workspace is keyed by buffer sizes only, so one instance can be
-//! reused across solves, operators, and sampling patterns;
+//! reused across solves, operators (2-D or N-D), and sampling patterns;
 //! [`Workspace::ensure`] regrows buffers on first use with a new
 //! problem shape and is a no-op afterwards.
 
-use crate::dct::{Dct2d, Dct2dScratch};
-use crate::measure::MeasurementOperator;
+use crate::dct::{Dct2d, Dct2dScratch, DctNd, DctNdScratch};
+use crate::measure::SensingOperator;
 
-/// Scratch for one forward or adjoint application of a
-/// [`MeasurementOperator`]: the full-grid landscape buffer plus the 2-D
-/// DCT's internal scratch.
+/// Transform-specific scratch inside an [`OperatorScratch`]: either a
+/// 2-D separable DCT's buffers or an N-D transform's per-axis lines.
+#[derive(Debug)]
+pub(crate) enum TransformScratch {
+    /// Scratch for a [`Dct2d`].
+    D2(Dct2dScratch),
+    /// Scratch for a [`DctNd`].
+    Nd(DctNdScratch),
+}
+
+/// Transform identity an [`OperatorScratch`] was sized for. The dense
+/// kernel and each FFT decomposition (radix-2 / mixed-radix /
+/// Bluestein) of the same grid need differently shaped scratch, so the
+/// per-axis kernel ids are part of the key alongside the extents.
+#[derive(Debug, PartialEq, Eq)]
+enum ScratchKey {
+    D2(usize, usize, (u8, u8)),
+    Nd(Vec<usize>, Vec<u8>),
+}
+
+/// Scratch for one forward or adjoint application of a sensing
+/// operator: the full-grid landscape buffer plus the transform's
+/// internal scratch.
 #[derive(Debug)]
 pub struct OperatorScratch {
     /// Full-grid buffer (`signal_len` entries) holding `Ψ s` or the
     /// scattered residual.
     pub(crate) grid: Vec<f64>,
     /// Separable-transform scratch sized for the operator's grid.
-    pub(crate) dct: Dct2dScratch,
-    /// Transform the scratch was sized for: (rows, cols, per-axis
-    /// kernel ids). The dense kernel and each FFT decomposition
-    /// (radix-2 / mixed-radix / Bluestein) of the same grid need
-    /// differently shaped scratch, so the kernel identity is part of
-    /// the key.
-    key: (usize, usize, (u8, u8)),
+    pub(crate) transform: TransformScratch,
+    /// Transform the scratch was sized for.
+    key: ScratchKey,
 }
 
 impl OperatorScratch {
@@ -42,16 +58,37 @@ impl OperatorScratch {
     pub fn new(dct: &Dct2d) -> Self {
         OperatorScratch {
             grid: vec![0.0; dct.len()],
-            dct: dct.make_scratch(),
-            key: (dct.rows(), dct.cols(), dct.kernel_kinds()),
+            transform: TransformScratch::D2(dct.make_scratch()),
+            key: ScratchKey::D2(dct.rows(), dct.cols(), dct.kernel_kinds()),
         }
     }
 
-    /// Rebuilds for a different transform (grid size or kernel) if
+    /// Builds scratch sized for an N-D transform's tensor.
+    pub fn new_nd(dct: &DctNd) -> Self {
+        OperatorScratch {
+            grid: vec![0.0; dct.len()],
+            transform: TransformScratch::Nd(dct.make_scratch()),
+            key: ScratchKey::Nd(dct.shape().to_vec(), dct.kernel_ids()),
+        }
+    }
+
+    /// Rebuilds for a different 2-D transform (grid size or kernel) if
     /// needed.
-    fn ensure(&mut self, dct: &Dct2d) {
-        if self.key != (dct.rows(), dct.cols(), dct.kernel_kinds()) {
+    pub(crate) fn ensure(&mut self, dct: &Dct2d) {
+        if self.key != ScratchKey::D2(dct.rows(), dct.cols(), dct.kernel_kinds()) {
             *self = OperatorScratch::new(dct);
+        }
+    }
+
+    /// Rebuilds for a different N-D transform (shape or kernels) if
+    /// needed.
+    pub(crate) fn ensure_nd(&mut self, dct: &DctNd) {
+        let matches = match &self.key {
+            ScratchKey::Nd(shape, kinds) => shape == dct.shape() && *kinds == dct.kernel_ids(),
+            ScratchKey::D2(..) => false,
+        };
+        if !matches {
+            *self = OperatorScratch::new_nd(dct);
         }
     }
 }
@@ -88,12 +125,12 @@ pub struct Workspace {
 }
 
 impl Workspace {
-    /// Builds a workspace sized for `op`.
-    pub fn for_operator(op: &MeasurementOperator<'_>) -> Self {
+    /// Builds a workspace sized for `op` (2-D or N-D).
+    pub fn for_operator<O: SensingOperator + ?Sized>(op: &O) -> Self {
         let n = op.signal_len();
         let m = op.measurement_len();
         Workspace {
-            op: OperatorScratch::new(op.dct()),
+            op: op.make_scratch(),
             s: vec![0.0; n],
             z: vec![0.0; n],
             s_next: vec![0.0; n],
@@ -111,10 +148,10 @@ impl Workspace {
 
     /// Regrows buffers for `op`'s dimensions; a no-op when they already
     /// fit (the steady-state case).
-    pub fn ensure(&mut self, op: &MeasurementOperator<'_>) {
+    pub fn ensure<O: SensingOperator + ?Sized>(&mut self, op: &O) {
         let n = op.signal_len();
         let m = op.measurement_len();
-        self.op.ensure(op.dct());
+        op.ensure_scratch(&mut self.op);
         if self.s.len() != n {
             for v in [&mut self.s, &mut self.z, &mut self.s_next, &mut self.grad] {
                 v.resize(n, 0.0);
@@ -130,7 +167,7 @@ impl Workspace {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::measure::SamplePattern;
+    use crate::measure::{MeasurementOperator, SamplePattern};
 
     #[test]
     fn workspace_sizes_match_operator() {
@@ -206,5 +243,25 @@ mod tests {
         assert_eq!(ws.s.len(), 80);
         assert_eq!(ws.az.len(), 5);
         assert_eq!(ws.op.grid.len(), 80);
+    }
+
+    #[test]
+    fn ensure_adapts_between_2d_and_nd_operators() {
+        use crate::measure::{MeasurementOperatorNd, NdSamplePattern};
+
+        let dct2 = Dct2d::new(4, 6);
+        let pat2 = SamplePattern::from_indices(4, 6, vec![0, 7, 20]);
+        let op2 = MeasurementOperator::new(&dct2, &pat2);
+        let mut ws = Workspace::for_operator(&op2);
+
+        let dctn = DctNd::new(&[3, 4, 5]);
+        let patn = NdSamplePattern::from_indices(&[3, 4, 5], vec![0, 11, 59]);
+        let opn = MeasurementOperatorNd::new(&dctn, &patn);
+        ws.ensure(&opn);
+        assert_eq!(ws.s.len(), 60);
+        assert_eq!(ws.op.grid.len(), 60);
+
+        ws.ensure(&op2);
+        assert_eq!(ws.op.grid.len(), 24);
     }
 }

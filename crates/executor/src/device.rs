@@ -12,6 +12,7 @@ use crate::latency::LatencyModel;
 use oscar_mitigation::model::NoiseModel;
 use oscar_problems::ansatz::Ansatz;
 use oscar_problems::ising::IsingProblem;
+use oscar_problems::workload::{Molecule, VqeEvaluator};
 use oscar_qsim::circuit::GateCounts;
 use oscar_qsim::noise::ReadoutError;
 use oscar_qsim::qaoa::QaoaEvaluator;
@@ -110,6 +111,17 @@ impl DeviceSpec {
         }
     }
 
+    /// The same device transpiling for QAOA depth `p` — deeper circuits
+    /// have more physical gates, so the same noise rates damp harder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p == 0`.
+    pub fn with_depth(self, p: usize) -> Self {
+        assert!(p > 0, "QAOA depth must be at least 1");
+        DeviceSpec { p, ..self }
+    }
+
     /// Stable fingerprint of the spec (name, exact noise bit patterns,
     /// depth) — folds into landscape cache keys so landscapes from
     /// different devices never collide.
@@ -137,6 +149,13 @@ impl DeviceSpec {
             LatencyModel::instant(),
             seed,
         )
+    }
+
+    /// Builds the live VQE device for `molecule` (the molecular analogue
+    /// of [`Self::build`]; the spec's QAOA depth does not apply — the
+    /// molecule's reference ansatz fixes the circuit).
+    pub fn build_vqe(&self, molecule: Molecule) -> VqeDevice {
+        VqeDevice::new(&self.name, molecule, self.noise)
     }
 }
 
@@ -331,6 +350,93 @@ impl QpuDevice {
     }
 }
 
+/// A simulated device executing molecular VQE circuits — the workload
+/// counterpart of [`QpuDevice`] for [`Molecule`] problems.
+///
+/// Where the QAOA device takes `(betas, gammas)`, a VQE execution takes
+/// the flat ansatz parameter vector. Noise follows the same model: the
+/// ideal statevector moments pass through
+/// [`NoiseModel::noisy_expectation`] with gate counts transpiled from
+/// the molecule's reference ansatz and the mixed-state mean fixed by the
+/// Hamiltonian's identity component (Pauli terms are traceless).
+///
+/// Only the deterministic counter-RNG execution paths are offered: VQE
+/// landscapes are always generated through the reproducible-by-index
+/// discipline, so there is no internal sequential stream to misuse.
+#[derive(Debug)]
+pub struct VqeDevice {
+    name: String,
+    noise: NoiseModel,
+    evaluator: VqeEvaluator,
+    counts: GateCounts,
+    mixed: f64,
+}
+
+impl VqeDevice {
+    /// Builds a device for a molecule's reference UCCSD-style ansatz.
+    pub fn new(name: &str, molecule: Molecule, noise: NoiseModel) -> Self {
+        let evaluator = VqeEvaluator::new(molecule);
+        let counts = evaluator.ansatz().circuit().gate_counts();
+        let mixed = evaluator.hamiltonian().constant();
+        VqeDevice {
+            name: name.to_string(),
+            noise,
+            evaluator,
+            counts,
+            mixed,
+        }
+    }
+
+    /// The device name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// This device's noise configuration.
+    pub fn noise(&self) -> &NoiseModel {
+        &self.noise
+    }
+
+    /// Physical gate counts of the transpiled ansatz circuit.
+    pub fn gate_counts(&self) -> GateCounts {
+        self.counts
+    }
+
+    /// The underlying ideal evaluator (e.g. for ground-truth landscapes).
+    pub fn evaluator(&self) -> &VqeEvaluator {
+        &self.evaluator
+    }
+
+    /// Noise-scaled execution with a caller-provided generator — the
+    /// VQE analogue of [`QpuDevice::execute_scaled_with_rng`].
+    pub fn execute_scaled_with_rng<R: Rng + ?Sized>(
+        &self,
+        params: &[f64],
+        scale: f64,
+        rng: &mut R,
+    ) -> f64 {
+        let (ideal, var) = self.evaluator.moments(params);
+        self.noise
+            .scaled(scale)
+            .noisy_expectation(ideal, var, self.mixed, self.counts, rng)
+    }
+
+    /// Deterministic noisy execution keyed by `(seed, stream)`: the VQE
+    /// analogue of [`QpuDevice::execute_at`] — a pure function of
+    /// `(params, seed, stream)` regardless of execution order or thread
+    /// count.
+    pub fn execute_at(&self, params: &[f64], seed: u64, stream: u64) -> f64 {
+        self.execute_scaled_at(params, 1.0, seed, stream)
+    }
+
+    /// Deterministic noise-scaled execution: [`Self::execute_at`] at ZNE
+    /// noise scale `scale`; bit-identical to `execute_at` at
+    /// `scale = 1.0`.
+    pub fn execute_scaled_at(&self, params: &[f64], scale: f64, seed: u64, stream: u64) -> f64 {
+        self.execute_scaled_with_rng(params, scale, &mut CounterRng::new(seed, stream))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -520,6 +626,68 @@ mod tests {
         let b = DeviceSpec::new("x", NoiseModel::depolarizing(0.001, 0.005).with_shots(1024));
         assert_ne!(a.fingerprint(), b.fingerprint());
         assert_eq!(a.fingerprint(), a.clone().fingerprint());
+    }
+
+    #[test]
+    fn vqe_device_ideal_matches_evaluator() {
+        let dev = VqeDevice::new("ideal", Molecule::H2, NoiseModel::ideal());
+        let params = [0.2, -0.4, 0.7];
+        let direct = dev.evaluator().expectation(&params);
+        assert!((dev.execute_at(&params, 0, 0) - direct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vqe_device_execute_at_is_order_independent() {
+        let noise = NoiseModel::depolarizing(0.002, 0.006).with_shots(512);
+        let dev = VqeDevice::new("det", Molecule::H2, noise);
+        let params = [0.1, 0.3, -0.2];
+        let reference = dev.execute_at(&params, 7, 3);
+        for k in 0..10 {
+            let _ = dev.execute_at(&params, 7, 100 + k);
+        }
+        assert_eq!(dev.execute_at(&params, 7, 3).to_bits(), reference.to_bits());
+        assert_ne!(dev.execute_at(&params, 8, 3), reference);
+        assert_ne!(dev.execute_at(&params, 7, 4), reference);
+        // Unit scale is bit-identical to the unscaled path.
+        assert_eq!(
+            dev.execute_scaled_at(&params, 1.0, 7, 3).to_bits(),
+            reference.to_bits()
+        );
+    }
+
+    #[test]
+    fn vqe_device_noise_biases_toward_constant() {
+        let dev = VqeDevice::new(
+            "noisy",
+            Molecule::LiH,
+            NoiseModel::depolarizing(0.003, 0.007),
+        );
+        let params = [0.1; 8];
+        let ideal = dev.evaluator().expectation(&params);
+        let noisy = dev.execute_at(&params, 0, 0);
+        let mixed = dev.evaluator().hamiltonian().constant();
+        let lo = ideal.min(mixed);
+        let hi = ideal.max(mixed);
+        assert!(noisy > lo && noisy < hi, "{lo} < {noisy} < {hi} violated");
+    }
+
+    #[test]
+    fn spec_with_depth_changes_fingerprint_and_damping() {
+        let base = DeviceSpec::by_name("noisy sim-i").unwrap();
+        let deep = base.clone().with_depth(2);
+        assert_eq!(deep.p, 2);
+        assert_ne!(deep.fingerprint(), base.fingerprint());
+        // Same angles, more gates -> closer to the mixed value.
+        let p = problem();
+        let mixed = p.qaoa_evaluator().diagonal_mean();
+        let q1 = base.build(&p, 0);
+        let q2 = deep.build(&p, 0);
+        let e1 = q1.execute_at(&[0.2, 0.0], &[0.5, 0.0], 1, 0);
+        let e2 = q2.execute_at(&[0.2, 0.0], &[0.5, 0.0], 1, 0);
+        assert!(
+            (e2 - mixed).abs() < (e1 - mixed).abs(),
+            "depth-2 should damp harder: {e1} vs {e2} (mixed {mixed})"
+        );
     }
 
     #[test]

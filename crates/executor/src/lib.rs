@@ -48,7 +48,7 @@ pub mod parallel;
 
 /// Glob-import of the most used types.
 pub mod prelude {
-    pub use crate::device::{DeviceSpec, QpuDevice, KNOWN_DEVICES};
+    pub use crate::device::{DeviceSpec, QpuDevice, VqeDevice, KNOWN_DEVICES};
     pub use crate::hardware_like::{correlated_field, hardware_like_landscape, HardwareLikeConfig};
     pub use crate::latency::{LatencyModel, LatencyStats};
     pub use crate::ncm::NoiseCompensationModel;

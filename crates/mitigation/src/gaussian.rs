@@ -89,6 +89,44 @@ impl GaussianFilter {
         out
     }
 
+    /// Smooths a row-major N-D tensor (last axis contiguous), one
+    /// separable pass per axis in axis order. On a 2-axis shape this is
+    /// bit-identical to [`Self::smooth_2d`] — the same taps accumulate
+    /// in the same order — so the 2-D path is the `dims.len() == 2`
+    /// special case, not a separate filter. Deterministic and
+    /// order-independent: a pure function of `(self, values)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims` is empty, any extent is 0, or
+    /// `values.len() != dims.iter().product()`.
+    pub fn smooth_nd(&self, values: &[f64], dims: &[usize]) -> Vec<f64> {
+        assert!(!dims.is_empty(), "shape needs at least one axis");
+        assert!(dims.iter().all(|&d| d > 0), "dimensions must be positive");
+        let total: usize = dims.iter().product();
+        assert_eq!(values.len(), total, "field length mismatch");
+        let mut cur = values.to_vec();
+        // Iterate axes innermost-first so the 2-axis case reproduces
+        // smooth_2d's horizontal-then-vertical pass order exactly.
+        let mut inner = 1usize;
+        for &len in dims.iter().rev() {
+            let outer = total / (inner * len);
+            let mut next = vec![0.0; total];
+            for o in 0..outer {
+                for i in 0..inner {
+                    let base = o * len * inner + i;
+                    let line = |k: usize| cur[base + k * inner];
+                    for k in 0..len {
+                        next[base + k * inner] = self.tap_1d(line, k, len);
+                    }
+                }
+            }
+            cur = next;
+            inner *= len;
+        }
+        cur
+    }
+
     /// One output sample of the 1-D kernel centered at `i` over a line
     /// of length `n`, renormalized over in-range taps.
     fn tap_1d(&self, line: impl Fn(usize) -> f64, i: usize, n: usize) -> f64 {
@@ -212,5 +250,53 @@ mod tests {
     #[should_panic(expected = "sigma must be finite and positive")]
     fn filter_rejects_zero_sigma() {
         let _ = GaussianFilter::new(0.0);
+    }
+
+    #[test]
+    fn nd_filter_on_two_axes_is_bit_identical_to_2d() {
+        let field: Vec<f64> = (0..88)
+            .map(|i| ((i * 41) % 13) as f64 * 0.37 - 2.0)
+            .collect();
+        for sigma in [0.6, 1.0, 2.3] {
+            let f = GaussianFilter::new(sigma);
+            let via_2d = f.smooth_2d(&field, 8, 11);
+            let via_nd = f.smooth_nd(&field, &[8, 11]);
+            for (a, b) in via_2d.iter().zip(&via_nd) {
+                assert_eq!(a.to_bits(), b.to_bits(), "sigma {sigma}");
+            }
+        }
+    }
+
+    #[test]
+    fn nd_filter_preserves_constants_on_4d_shapes() {
+        let f = GaussianFilter::new(1.2);
+        let dims = [3, 4, 2, 5];
+        let field = vec![1.75; 120];
+        for (i, v) in f.smooth_nd(&field, &dims).iter().enumerate() {
+            assert!((v - 1.75).abs() < 1e-12, "point {i}: {v}");
+        }
+    }
+
+    #[test]
+    fn nd_filter_smooths_each_axis() {
+        // A spike in the middle of a 3-D tensor must spread along every
+        // axis, not just the innermost one.
+        let dims = [5, 5, 5];
+        let mut field = vec![0.0; 125];
+        field[2 * 25 + 2 * 5 + 2] = 1.0;
+        let out = GaussianFilter::new(1.0).smooth_nd(&field, &dims);
+        for (off, axis) in [(25, 0), (5, 1), (1, 2)] {
+            let center = 2 * 25 + 2 * 5 + 2;
+            assert!(
+                out[center - off] > 1e-4 && out[center + off] > 1e-4,
+                "axis {axis} untouched"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "field length mismatch")]
+    fn nd_filter_rejects_length_mismatch() {
+        let _ = GaussianFilter::new(1.0).smooth_nd(&[0.0; 10], &[3, 4]);
     }
 }

@@ -218,4 +218,38 @@ proptest! {
             prop_assert!((d - (a * c + b)).abs() < 1e-9);
         }
     }
+
+    /// The N-D filter preserves constant fields exactly on 3-D and 4-D
+    /// tensors, for any sigma and per-axis extents.
+    #[test]
+    fn gaussian_filter_preserves_constants_nd(
+        value in -10.0f64..10.0,
+        sigma in 0.2f64..4.0,
+        dims in prop::collection::vec(1usize..6, 3..5),
+    ) {
+        let total: usize = dims.iter().product();
+        let field = vec![value; total];
+        let smoothed = GaussianFilter::new(sigma).smooth_nd(&field, &dims);
+        for v in smoothed {
+            prop_assert!((v - value).abs() < 1e-9 * (1.0 + value.abs()), "{v} vs {value}");
+        }
+    }
+
+    /// N-D smoothing commutes with affine transforms on 4-D tensors:
+    /// filtering `a*x + b` equals `a * filter(x) + b`.
+    #[test]
+    fn gaussian_filter_is_affine_equivariant_nd(
+        field in prop::collection::vec(-2.0f64..2.0, 36..37),
+        a in -3.0f64..3.0,
+        b in -3.0f64..3.0,
+    ) {
+        let dims = [2usize, 3, 2, 3];
+        let filter = GaussianFilter::new(1.0);
+        let direct = filter.smooth_nd(
+            &field.iter().map(|x| a * x + b).collect::<Vec<_>>(), &dims);
+        let composed = filter.smooth_nd(&field, &dims);
+        for (d, c) in direct.iter().zip(&composed) {
+            prop_assert!((d - (a * c + b)).abs() < 1e-9);
+        }
+    }
 }

@@ -8,7 +8,9 @@
 //!   with both dense-diagonal and Pauli-sum Hamiltonian forms;
 //! * [`molecules`] — H2 and LiH qubit Hamiltonians for the VQE workloads;
 //! * [`ansatz`] — QAOA, hardware-efficient Two-local, and UCCSD-style
-//!   parameterized circuits.
+//!   parameterized circuits;
+//! * [`workload`] — the problem-kind abstraction ([`workload::ProblemKind`],
+//!   [`workload::ProblemInstance`]) unifying QAOA and molecular VQE jobs.
 //!
 //! # Example
 //!
@@ -31,6 +33,7 @@ pub mod ansatz;
 pub mod graph;
 pub mod ising;
 pub mod molecules;
+pub mod workload;
 
 /// Glob-import of the most used types.
 pub mod prelude {
@@ -38,4 +41,5 @@ pub mod prelude {
     pub use crate::graph::Graph;
     pub use crate::ising::{IsingKind, IsingProblem};
     pub use crate::molecules::{ground_state_energy, h2_hamiltonian, lih_hamiltonian};
+    pub use crate::workload::{Molecule, ProblemInstance, ProblemKind, VqeEvaluator};
 }

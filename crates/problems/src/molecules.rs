@@ -119,7 +119,7 @@ pub fn ground_state_energy(h: &PauliSum) -> f64 {
     energy
 }
 
-fn apply_hamiltonian(
+pub(crate) fn apply_hamiltonian(
     h: &PauliSum,
     v: &[oscar_qsim::complex::C64],
 ) -> Vec<oscar_qsim::complex::C64> {

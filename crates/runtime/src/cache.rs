@@ -8,9 +8,9 @@
 //! bounded [`LruCache`].
 
 use crate::source::LandscapeSource;
-use oscar_core::grid::Grid2d;
-use oscar_core::landscape::Landscape;
-use oscar_problems::ising::IsingProblem;
+use oscar_core::grid::Shape;
+use oscar_core::landscape::ShapedLandscape;
+use oscar_problems::workload::ProblemInstance;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, HashSet};
 use std::hash::{Hash, Hasher};
@@ -177,8 +177,9 @@ impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
 }
 
 /// Cache key for a ground-truth landscape: a fingerprint of the problem
-/// couplings, the exact grid, the landscape source, the generation
-/// seed, and the mitigation applied on top.
+/// instance (couplings and depth for QAOA, the molecule for VQE), the
+/// exact landscape shape, the landscape source, the generation seed,
+/// and the mitigation applied on top.
 ///
 /// The source fingerprint ([`LandscapeSource::fingerprint`]) keeps exact
 /// and noisy entries — and noisy entries from different devices — from
@@ -198,7 +199,7 @@ impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
 #[derive(Clone, Copy, Debug)]
 pub struct LandscapeKey {
     problem: u64,
-    grid: [u64; 6],
+    shape: u64,
     source: u64,
     seed: u64,
     mitigation: u64,
@@ -212,7 +213,7 @@ pub struct LandscapeKey {
 impl PartialEq for LandscapeKey {
     fn eq(&self, other: &Self) -> bool {
         self.problem == other.problem
-            && self.grid == other.grid
+            && self.shape == other.shape
             && self.source == other.source
             && self.seed == other.seed
             && self.mitigation == other.mitigation
@@ -224,7 +225,7 @@ impl Eq for LandscapeKey {}
 impl Hash for LandscapeKey {
     fn hash<H: Hasher>(&self, state: &mut H) {
         self.problem.hash(state);
-        self.grid.hash(state);
+        self.shape.hash(state);
         self.source.hash(state);
         self.seed.hash(state);
         self.mitigation.hash(state);
@@ -303,16 +304,16 @@ fn cache_metrics() -> &'static CacheMetrics {
 
 impl LandscapeKey {
     /// Builds the key for a raw (unmitigated) landscape of
-    /// `(problem, grid, source, landscape_seed)`.
+    /// `(problem, shape, source, landscape_seed)`.
     pub fn new(
-        problem: &IsingProblem,
-        grid: &Grid2d,
+        problem: &ProblemInstance,
+        shape: &Shape,
         source: &LandscapeSource,
         landscape_seed: u64,
     ) -> Self {
         LandscapeKey {
             problem: problem_fingerprint(problem),
-            grid: grid_bits(grid),
+            shape: shape_fingerprint(shape),
             source: source.fingerprint(),
             // Exact evaluation is seed-independent; see the type docs.
             seed: if source.is_exact() { 0 } else { landscape_seed },
@@ -329,13 +330,13 @@ impl LandscapeKey {
     /// mitigation fingerprint folded in (`0` restates the raw key, so a
     /// normalized-to-`None` mitigation shares the raw entry).
     pub fn mitigated(
-        problem: &IsingProblem,
-        grid: &Grid2d,
+        problem: &ProblemInstance,
+        shape: &Shape,
         source: &LandscapeSource,
         landscape_seed: u64,
         mitigation: u64,
     ) -> Self {
-        let base = LandscapeKey::new(problem, grid, source, landscape_seed);
+        let base = LandscapeKey::new(problem, shape, source, landscape_seed);
         LandscapeKey {
             mitigation,
             // Fingerprint 0 restates the raw key, so it keeps the raw
@@ -355,8 +356,8 @@ impl LandscapeKey {
     /// the plain raw key, so the factor-1 entry is shared with
     /// unmitigated jobs over the same device and seed.
     pub fn zne_factor(
-        problem: &IsingProblem,
-        grid: &Grid2d,
+        problem: &ProblemInstance,
+        shape: &Shape,
         source: &LandscapeSource,
         landscape_seed: u64,
         scale: f64,
@@ -364,13 +365,13 @@ impl LandscapeKey {
         LandscapeKey {
             source: source.scaled_fingerprint(scale),
             class: KeyClass::ZneFactor,
-            ..LandscapeKey::new(problem, grid, source, landscape_seed)
+            ..LandscapeKey::new(problem, shape, source, landscape_seed)
         }
     }
 
-    /// The key for an exact noiseless landscape of `(problem, grid)`.
-    pub fn exact(problem: &IsingProblem, grid: &Grid2d) -> Self {
-        LandscapeKey::new(problem, grid, &LandscapeSource::Exact, 0)
+    /// The key for an exact noiseless landscape of `(problem, shape)`.
+    pub fn exact(problem: &ProblemInstance, shape: &Shape) -> Self {
+        LandscapeKey::new(problem, shape, &LandscapeSource::Exact, 0)
     }
 
     /// The telemetry class this key was requested under.
@@ -379,35 +380,61 @@ impl LandscapeKey {
     }
 }
 
-/// Stable fingerprint of an Ising instance: kind, vertex count, and the
-/// exact edge list including weight bit patterns.
-pub fn problem_fingerprint(problem: &IsingProblem) -> u64 {
+/// Stable fingerprint of a problem instance. For QAOA: kind, depth,
+/// vertex count, and the exact edge list including weight bit
+/// patterns. For molecules: a domain tag plus the molecule name (the
+/// Hamiltonian and ansatz are fixed by it).
+pub fn problem_fingerprint(problem: &ProblemInstance) -> u64 {
     let mut h = DefaultHasher::new();
-    format!("{:?}", problem.kind()).hash(&mut h);
-    problem.num_qubits().hash(&mut h);
-    for &(a, b, w) in problem.graph().edges() {
-        a.hash(&mut h);
-        b.hash(&mut h);
-        w.to_bits().hash(&mut h);
+    match problem {
+        ProblemInstance::Ising { problem, depth } => {
+            format!("{:?}", problem.kind()).hash(&mut h);
+            depth.hash(&mut h);
+            problem.num_qubits().hash(&mut h);
+            for &(a, b, w) in problem.graph().edges() {
+                a.hash(&mut h);
+                b.hash(&mut h);
+                w.to_bits().hash(&mut h);
+            }
+        }
+        ProblemInstance::Molecule(m) => {
+            "molecule".hash(&mut h);
+            m.name().hash(&mut h);
+        }
     }
     h.finish()
 }
 
-fn grid_bits(grid: &Grid2d) -> [u64; 6] {
-    [
-        grid.beta.lo.to_bits(),
-        grid.beta.hi.to_bits(),
-        grid.beta.n as u64,
-        grid.gamma.lo.to_bits(),
-        grid.gamma.hi.to_bits(),
-        grid.gamma.n as u64,
-    ]
+/// Stable fingerprint of a landscape shape: a variant tag plus every
+/// axis's exact bounds (bit patterns) and point count, so a 2-D grid
+/// and a rank-2 tensor over the same ranges never collide.
+fn shape_fingerprint(shape: &Shape) -> u64 {
+    let mut h = DefaultHasher::new();
+    match shape {
+        Shape::Grid2d(grid) => {
+            "grid2d".hash(&mut h);
+            for axis in [&grid.beta, &grid.gamma] {
+                axis.lo.to_bits().hash(&mut h);
+                axis.hi.to_bits().hash(&mut h);
+                axis.n.hash(&mut h);
+            }
+        }
+        Shape::Tensor(tensor) => {
+            "tensor".hash(&mut h);
+            for axis in tensor.axes() {
+                axis.lo.to_bits().hash(&mut h);
+                axis.hi.to_bits().hash(&mut h);
+                axis.n.hash(&mut h);
+            }
+        }
+    }
+    h.finish()
 }
 
 /// A thread-safe bounded LRU of ground-truth landscapes, shared by
 /// every executor of a [`crate::scheduler::BatchRuntime`].
 ///
-/// Values are `Arc<Landscape>`, so a hit costs one reference bump and
+/// Values are `Arc<ShapedLandscape>`, so a hit costs one reference bump and
 /// concurrent jobs read the same buffer. Misses are deduplicated
 /// in-flight: when several executors request the same key at once (the
 /// common shape of a batch sweeping sampling seeds over one instance),
@@ -421,7 +448,7 @@ fn grid_bits(grid: &Grid2d) -> [u64; 6] {
 /// (`PoisonError::into_inner`) instead of cascading the panic into
 /// every later lookup.
 pub struct LandscapeCache {
-    inner: Mutex<LruCache<LandscapeKey, Arc<Landscape>>>,
+    inner: Mutex<LruCache<LandscapeKey, Arc<ShapedLandscape>>>,
     /// Keys currently being computed by some thread.
     pending: Mutex<HashSet<LandscapeKey>>,
     /// Signaled whenever a pending computation finishes (or unwinds).
@@ -483,8 +510,8 @@ impl LandscapeCache {
     pub fn get_or_compute(
         &self,
         key: LandscapeKey,
-        produce: impl FnOnce() -> Landscape,
-    ) -> (Arc<Landscape>, bool) {
+        produce: impl FnOnce() -> ShapedLandscape,
+    ) -> (Arc<ShapedLandscape>, bool) {
         let metrics = cache_metrics();
         let class = key.class.index();
         let mut waited = false;
@@ -561,6 +588,7 @@ impl LandscapeCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use oscar_problems::ising::IsingProblem;
 
     #[test]
     fn hit_returns_inserted_value() {
@@ -619,19 +647,43 @@ mod tests {
         let _: LruCache<u8, u8> = LruCache::new(0);
     }
 
+    fn ising(problem: IsingProblem) -> ProblemInstance {
+        ProblemInstance::ising(problem, 1)
+    }
+
+    fn grid_shape(nb: usize, ng: usize) -> Shape {
+        Shape::Grid2d(oscar_core::grid::Grid2d::small_p1(nb, ng))
+    }
+
     #[test]
-    fn landscape_keys_separate_problems_grids_and_seeds() {
+    fn landscape_keys_separate_problems_shapes_depths_and_seeds() {
         use rand::rngs::StdRng;
         use rand::SeedableRng;
         let mut rng = StdRng::seed_from_u64(1);
-        let p1 = IsingProblem::random_3_regular(8, &mut rng);
-        let p2 = IsingProblem::random_3_regular(8, &mut rng);
-        let g1 = Grid2d::small_p1(10, 12);
-        let g2 = Grid2d::small_p1(10, 14);
+        let raw1 = IsingProblem::random_3_regular(8, &mut rng);
+        let p1 = ising(raw1.clone());
+        let p2 = ising(IsingProblem::random_3_regular(8, &mut rng));
+        let g1 = grid_shape(10, 12);
+        let g2 = grid_shape(10, 14);
         let base = LandscapeKey::exact(&p1, &g1);
         assert_eq!(base, LandscapeKey::exact(&p1, &g1));
         assert_ne!(base, LandscapeKey::exact(&p2, &g1));
         assert_ne!(base, LandscapeKey::exact(&p1, &g2));
+        // Depth is part of the problem identity.
+        let deep = ProblemInstance::ising(raw1, 2);
+        assert_ne!(base, LandscapeKey::exact(&deep, &g1));
+        // Molecules never collide with Ising instances, and tensor
+        // shapes never collide with 2-D grids.
+        use oscar_problems::workload::Molecule;
+        let h2 = ProblemInstance::molecule(Molecule::H2);
+        let scan = Shape::vqe_scan(&[5, 5, 5]);
+        let vqe = LandscapeKey::exact(&h2, &scan);
+        assert_ne!(vqe, base);
+        assert_ne!(
+            vqe,
+            LandscapeKey::exact(&ProblemInstance::molecule(Molecule::LiH), &scan)
+        );
+        assert_ne!(vqe, LandscapeKey::exact(&h2, &Shape::vqe_scan(&[5, 5, 6])));
     }
 
     #[test]
@@ -640,8 +692,8 @@ mod tests {
         use rand::rngs::StdRng;
         use rand::SeedableRng;
         let mut rng = StdRng::seed_from_u64(2);
-        let p = IsingProblem::random_3_regular(8, &mut rng);
-        let g = Grid2d::small_p1(10, 12);
+        let p = ising(IsingProblem::random_3_regular(8, &mut rng));
+        let g = grid_shape(10, 12);
         let exact = LandscapeSource::Exact;
         // Exact evaluation ignores the seed, so the key must too.
         assert_eq!(
@@ -664,17 +716,18 @@ mod tests {
         use rand::SeedableRng;
         let mut rng = StdRng::seed_from_u64(5);
         let problem = IsingProblem::random_3_regular(6, &mut rng);
-        let grid = Grid2d::small_p1(6, 8);
+        let instance = ising(problem.clone());
+        let grid = oscar_core::grid::Grid2d::small_p1(6, 8);
         let cache = LandscapeCache::new(4);
-        let key = LandscapeKey::exact(&problem, &grid);
+        let key = LandscapeKey::exact(&instance, &Shape::Grid2d(grid));
         let mut computes = 0;
         let (a, hit_a) = cache.get_or_compute(key, || {
             computes += 1;
-            Landscape::from_qaoa(grid, &problem.qaoa_evaluator())
+            oscar_core::landscape::Landscape::from_qaoa(grid, &problem.qaoa_evaluator()).into()
         });
         let (b, hit_b) = cache.get_or_compute(key, || {
             computes += 1;
-            Landscape::from_qaoa(grid, &problem.qaoa_evaluator())
+            oscar_core::landscape::Landscape::from_qaoa(grid, &problem.qaoa_evaluator()).into()
         });
         assert!(!hit_a && hit_b);
         assert_eq!(computes, 1, "second lookup must be served from cache");
@@ -688,10 +741,10 @@ mod tests {
         use std::sync::atomic::{AtomicUsize, Ordering};
         let mut rng = StdRng::seed_from_u64(6);
         let problem = IsingProblem::random_3_regular(6, &mut rng);
-        let grid = Grid2d::small_p1(8, 10);
+        let grid = oscar_core::grid::Grid2d::small_p1(8, 10);
         let cache = Arc::new(LandscapeCache::new(4));
         let computes = Arc::new(AtomicUsize::new(0));
-        let key = LandscapeKey::exact(&problem, &grid);
+        let key = LandscapeKey::exact(&ising(problem.clone()), &Shape::Grid2d(grid));
         let handles: Vec<_> = (0..6)
             .map(|_| {
                 let cache = Arc::clone(&cache);
@@ -700,7 +753,8 @@ mod tests {
                 std::thread::spawn(move || {
                     cache.get_or_compute(key, || {
                         computes.fetch_add(1, Ordering::Relaxed);
-                        Landscape::from_qaoa(grid, &problem.qaoa_evaluator())
+                        oscar_core::landscape::Landscape::from_qaoa(grid, &problem.qaoa_evaluator())
+                            .into()
                     })
                 })
             })
@@ -724,7 +778,7 @@ mod tests {
         use std::panic::AssertUnwindSafe;
         let mut rng = StdRng::seed_from_u64(12);
         let problem = IsingProblem::random_3_regular(4, &mut rng);
-        let grid = Grid2d::small_p1(5, 5);
+        let grid = oscar_core::grid::Grid2d::small_p1(5, 5);
         let cache = LandscapeCache::new(2);
         // Poison both internal mutexes the way a dying worker would:
         // panic while holding the guard.
@@ -739,9 +793,9 @@ mod tests {
             }));
         }
         // Every entry point must still work: compute, hit, stats, clear.
-        let key = LandscapeKey::exact(&problem, &grid);
+        let key = LandscapeKey::exact(&ising(problem.clone()), &Shape::Grid2d(grid));
         let (l, hit) = cache.get_or_compute(key, || {
-            Landscape::from_qaoa(grid, &problem.qaoa_evaluator())
+            oscar_core::landscape::Landscape::from_qaoa(grid, &problem.qaoa_evaluator()).into()
         });
         assert!(!hit);
         assert_eq!(l.values().len(), 25);
@@ -758,16 +812,16 @@ mod tests {
         use rand::SeedableRng;
         let mut rng = StdRng::seed_from_u64(8);
         let problem = IsingProblem::random_3_regular(4, &mut rng);
-        let grid = Grid2d::small_p1(6, 6);
+        let grid = oscar_core::grid::Grid2d::small_p1(6, 6);
         let cache = LandscapeCache::new(2);
-        let key = LandscapeKey::exact(&problem, &grid);
+        let key = LandscapeKey::exact(&ising(problem.clone()), &Shape::Grid2d(grid));
         let boom = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             cache.get_or_compute(key, || panic!("producer died"));
         }));
         assert!(boom.is_err());
         // The pending claim must have been released: a retry computes.
         let (l, hit) = cache.get_or_compute(key, || {
-            Landscape::from_qaoa(grid, &problem.qaoa_evaluator())
+            oscar_core::landscape::Landscape::from_qaoa(grid, &problem.qaoa_evaluator()).into()
         });
         assert!(!hit);
         assert_eq!(l.values().len(), 36);

@@ -1,11 +1,13 @@
 //! Reconstruction jobs: the unit of work a [`crate::scheduler::BatchRuntime`]
 //! schedules.
 //!
-//! One job runs the full OSCAR pipeline for one problem instance:
+//! One job runs the full OSCAR pipeline for one problem instance — a
+//! QAOA Ising workload (MaxCut or SK model, any depth) or a molecular
+//! VQE scan — over a landscape of any shape:
 //!
 //! 1. **Landscape sampling** — evaluate (or fetch from the
 //!    [`crate::cache::LandscapeCache`]) the ground-truth landscape over
-//!    the job's grid, through the spec's [`LandscapeSource`]: exact
+//!    the job's shape, through the spec's [`LandscapeSource`]: exact
 //!    noiseless simulation or a noisy simulated device with
 //!    deterministic counter-based per-point noise. Grid points run
 //!    data-parallel on the shared worker pool either way. The spec's
@@ -14,14 +16,16 @@
 //!    cached and shared across jobs) and extrapolates pointwise;
 //!    readout correction and Gaussian smoothing post-process the raw
 //!    landscape.
-//! 2. **CS reconstruction** — sample `fraction` of the grid with the
+//! 2. **CS reconstruction** — sample `fraction` of the points with the
 //!    job's seed and recover the full landscape by FISTA
-//!    ([`Reconstructor::reconstruct_fraction_seeded`]).
-//! 3. **Optimization** — descend the spline-interpolated reconstruction
-//!    from its best grid point with the spec's [`Descent`] optimizer
-//!    (SPSA seeded from the job seed; [`Descent::None`] skips the
-//!    stage), yielding the suggested minimum the debugging use cases
-//!    consume.
+//!    ([`Reconstructor::reconstruct_fraction_seeded`] on 2-D grids,
+//!    [`Reconstructor::reconstruct_tensor_fraction_seeded`] on N-D
+//!    tensors).
+//! 3. **Optimization** — descend the interpolated reconstruction
+//!    (bivariate spline on grids, clamped multilinear on tensors) from
+//!    its best point with the spec's [`Descent`] optimizer (SPSA
+//!    seeded from the job seed; [`Descent::None`] skips the stage),
+//!    yielding the suggested minimum the debugging use cases consume.
 //!
 //! Every stage is deterministic given the [`JobSpec`], so a job's
 //! [`JobResult`] is bit-identical whether it runs inline, on one
@@ -31,13 +35,16 @@ use crate::cache::LandscapeCache;
 use crate::descent::Descent;
 use crate::mitigation::{mitigated_landscape, Mitigation};
 use crate::source::LandscapeSource;
-use oscar_core::grid::Grid2d;
-use oscar_core::landscape::Landscape;
+use oscar_core::grid::{Grid2d, Shape};
+use oscar_core::landscape::ShapedLandscape;
 use oscar_core::reconstruct::Reconstructor;
-use oscar_core::usecases::optimizer_debug::optimize_on_reconstruction;
+use oscar_core::usecases::optimizer_debug::{
+    optimize_on_reconstruction, optimize_on_reconstruction_nd,
+};
 use oscar_cs::fista::FistaConfig;
 use oscar_obs::span::{with_stage, JobFrame, Stage};
 use oscar_problems::ising::IsingProblem;
+use oscar_problems::workload::{Molecule, ProblemInstance};
 use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
@@ -52,14 +59,28 @@ fn stage_metrics() -> &'static [oscar_obs::Histogram; oscar_obs::span::STAGE_COU
     })
 }
 
+/// The default landscape shape for a molecular VQE scan: a coarse
+/// symmetric window around zero on every ansatz parameter, sized so the
+/// landscape stays in the same few-thousand-point budget as the paper's
+/// 2-D grids (H2: 3 axes × 10 points; LiH: 8 axes × 3 points).
+pub fn default_vqe_shape(molecule: Molecule) -> Shape {
+    let per_axis = match molecule {
+        Molecule::H2 => 10,
+        Molecule::LiH => 3,
+    };
+    Shape::vqe_scan(&vec![per_axis; molecule.num_params()])
+}
+
 /// Everything needed to run one reconstruction job.
 #[derive(Clone, Debug)]
 pub struct JobSpec {
-    /// The problem instance whose QAOA landscape is reconstructed.
-    pub problem: IsingProblem,
-    /// Parameter grid for the landscape.
-    pub grid: Grid2d,
-    /// Sampling budget as a fraction of grid points in `(0, 1]`.
+    /// The problem instance whose energy landscape is reconstructed.
+    pub problem: ProblemInstance,
+    /// Parameter-space shape of the landscape: a 2-D `(beta, gamma)`
+    /// grid for depth-1 QAOA, an N-D tensor for deeper QAOA or VQE.
+    /// Its rank must equal the problem's parameter count.
+    pub shape: Shape,
+    /// Sampling budget as a fraction of landscape points in `(0, 1]`.
     pub fraction: f64,
     /// Seed for the random sampling pattern (stage 2). Two jobs that
     /// differ only here share a cached landscape but sample it
@@ -70,9 +91,9 @@ pub struct JobSpec {
     /// with deterministic per-point noise.
     pub source: LandscapeSource,
     /// Noise-realization seed for stage 1 when [`Self::source`] is
-    /// noisy: every grid point draws from a counter-based stream keyed
-    /// by `(landscape_seed, point_index)`, so two jobs with the same
-    /// seed share one bit-identical noisy landscape (and one cache
+    /// noisy: every landscape point draws from a counter-based stream
+    /// keyed by `(landscape_seed, point_index)`, so two jobs with the
+    /// same seed share one bit-identical noisy landscape (and one cache
     /// entry). Ignored — and normalized to 0 in cache keys — for the
     /// exact source.
     pub landscape_seed: u64,
@@ -89,12 +110,35 @@ pub struct JobSpec {
 }
 
 impl JobSpec {
-    /// A job with default solver settings, no mitigation, and
-    /// Nelder–Mead optimization.
+    /// A depth-1 QAOA job over a 2-D grid with default solver settings,
+    /// no mitigation, and Nelder–Mead optimization — the original OSCAR
+    /// workload, kept as the short constructor.
     pub fn new(problem: IsingProblem, grid: Grid2d, fraction: f64, seed: u64) -> Self {
+        JobSpec::shaped(
+            ProblemInstance::ising(problem, 1),
+            Shape::Grid2d(grid),
+            fraction,
+            seed,
+        )
+    }
+
+    /// A job over an arbitrary problem instance and landscape shape
+    /// (deep QAOA tensors, molecular VQE scans) with default solver
+    /// settings, no mitigation, and Nelder–Mead optimization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shape.rank() != problem.num_params()` — the mismatch
+    /// would otherwise surface only when the job runs.
+    pub fn shaped(problem: ProblemInstance, shape: Shape, fraction: f64, seed: u64) -> Self {
+        assert_eq!(
+            shape.rank(),
+            problem.num_params(),
+            "shape rank must match the problem's parameter count"
+        );
         JobSpec {
             problem,
-            grid,
+            shape,
             fraction,
             seed,
             source: LandscapeSource::Exact,
@@ -141,17 +185,19 @@ pub struct JobResult {
     /// determinism comparisons: with several executors the start order
     /// depends on timing, while the result payload never does.
     pub dispatch_seq: u64,
-    /// The reconstructed landscape.
-    pub reconstruction: Landscape,
+    /// The reconstructed landscape (2-D grid or N-D tensor, matching
+    /// the spec's shape).
+    pub reconstruction: ShapedLandscape,
     /// NRMSE against the ground truth (paper Eq. 1).
     pub nrmse: f64,
     /// Circuit evaluations spent on sampling (stage 2 budget).
     pub samples_used: usize,
     /// FISTA iterations performed.
     pub solver_iterations: usize,
-    /// Optimized `(beta, gamma)` minimum on the reconstruction
+    /// Optimized parameter-space minimum on the reconstruction
     /// (stage 3; the reconstruction's argmin under [`Descent::None`]).
-    pub best_point: [f64; 2],
+    /// One coordinate per landscape axis.
+    pub best_point: Vec<f64>,
     /// Objective value at `best_point`.
     pub best_value: f64,
     /// `true` when the ground-truth landscape came from the cache.
@@ -170,10 +216,9 @@ pub fn run_job(spec: &JobSpec, cache: Option<&LandscapeCache>) -> JobResult {
     // Collect per-stage durations for this job (telemetry only: they
     // feed the obs registry and span ring, never the result).
     let frame = JobFrame::begin();
-    let grid = spec.grid;
     let (truth, cache_hit) = mitigated_landscape(
         &spec.problem,
-        grid,
+        &spec.shape,
         &spec.source,
         spec.landscape_seed,
         &spec.mitigation,
@@ -181,23 +226,49 @@ pub fn run_job(spec: &JobSpec, cache: Option<&LandscapeCache>) -> JobResult {
     );
 
     let reconstructor = Reconstructor::new(spec.fista);
-    let report = with_stage(Stage::Reconstruction, || {
-        reconstructor.reconstruct_fraction_seeded(&truth, spec.fraction, spec.seed)
-    });
+    let (reconstruction, nrmse, samples_used, solver_iterations) = match truth.as_ref() {
+        ShapedLandscape::Grid2d(l) => {
+            let report = with_stage(Stage::Reconstruction, || {
+                reconstructor.reconstruct_fraction_seeded(l, spec.fraction, spec.seed)
+            });
+            (
+                ShapedLandscape::Grid2d(report.landscape),
+                report.nrmse,
+                report.samples_used,
+                report.solver_iterations,
+            )
+        }
+        ShapedLandscape::Tensor(l) => {
+            let report = with_stage(Stage::Reconstruction, || {
+                reconstructor.reconstruct_tensor_fraction_seeded(l, spec.fraction, spec.seed)
+            });
+            (
+                ShapedLandscape::Tensor(report.landscape),
+                report.nrmse,
+                report.samples_used,
+                report.solver_iterations,
+            )
+        }
+    };
 
-    let (best_point, best_value) =
-        with_stage(Stage::Descent, || match spec.descent.optimizer(spec.seed) {
-            Some(optimizer) => {
-                let (_, (b0, g0)) = report.landscape.argmin();
-                let run =
-                    optimize_on_reconstruction(optimizer.as_ref(), &report.landscape, [b0, g0]);
-                ([run.x[0], run.x[1]], run.fx)
+    let (best_point, best_value) = with_stage(Stage::Descent, || {
+        match (spec.descent.optimizer(spec.seed), &reconstruction) {
+            (Some(optimizer), ShapedLandscape::Grid2d(l)) => {
+                let (_, (b0, g0)) = l.argmin();
+                let run = optimize_on_reconstruction(optimizer.as_ref(), l, [b0, g0]);
+                (vec![run.x[0], run.x[1]], run.fx)
             }
-            None => {
-                let (value, (b, g)) = report.landscape.argmin();
-                ([b, g], value)
+            (Some(optimizer), ShapedLandscape::Tensor(l)) => {
+                let (_, x0) = l.argmin();
+                let run = optimize_on_reconstruction_nd(optimizer.as_ref(), l, &x0);
+                (run.x, run.fx)
             }
-        });
+            (None, _) => {
+                let (value, point) = reconstruction.argmin();
+                (point, value)
+            }
+        }
+    });
 
     let stage_durations = frame.finish();
     let histograms = stage_metrics();
@@ -212,10 +283,10 @@ pub fn run_job(spec: &JobSpec, cache: Option<&LandscapeCache>) -> JobResult {
     JobResult {
         job_id: 0,
         dispatch_seq: 0,
-        reconstruction: report.landscape,
-        nrmse: report.nrmse,
-        samples_used: report.samples_used,
-        solver_iterations: report.solver_iterations,
+        reconstruction,
+        nrmse,
+        samples_used,
+        solver_iterations,
         best_point,
         best_value,
         landscape_cache_hit: cache_hit,
@@ -328,8 +399,8 @@ mod tests {
             let a = run_job(&s, None);
             let b = run_job(&s, None);
             assert_eq!(
-                (a.best_point, a.best_value.to_bits()),
-                (b.best_point, b.best_value.to_bits()),
+                (a.best_point.clone(), a.best_value.to_bits()),
+                (b.best_point.clone(), b.best_value.to_bits()),
                 "{} must be deterministic",
                 descent.name()
             );
@@ -368,5 +439,61 @@ mod tests {
         let zne2 = run_job(&noisy.with_mitigation(Mitigation::zne_richardson()), None);
         assert_eq!(zne.reconstruction.values(), zne2.reconstruction.values());
         assert_eq!(zne.nrmse.to_bits(), zne2.nrmse.to_bits());
+    }
+
+    #[test]
+    fn depth_two_qaoa_job_runs_end_to_end() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let problem = IsingProblem::random_3_regular(6, &mut rng);
+        let s = JobSpec::shaped(
+            ProblemInstance::ising(problem, 2),
+            Shape::qaoa(2, 5, 6),
+            0.35,
+            7,
+        );
+        let a = run_job(&s, None);
+        let b = run_job(&s, None);
+        assert_eq!(a.reconstruction.values(), b.reconstruction.values());
+        assert_eq!(a.best_point.len(), 4, "p=2 has 4 parameters");
+        assert!(a.nrmse.is_finite());
+        assert_eq!(a.reconstruction.values().len(), 5 * 5 * 6 * 6);
+        // The descent must not end above the reconstruction's argmin.
+        let (argmin_value, _) = a.reconstruction.argmin();
+        assert!(a.best_value <= argmin_value + 1e-9);
+    }
+
+    #[test]
+    fn vqe_job_runs_end_to_end_with_default_shape() {
+        let s = JobSpec::shaped(
+            ProblemInstance::molecule(Molecule::H2),
+            default_vqe_shape(Molecule::H2),
+            0.3,
+            11,
+        );
+        let a = run_job(&s, None);
+        let b = run_job(&s, None);
+        assert_eq!(a.reconstruction.values(), b.reconstruction.values());
+        assert_eq!(a.best_point.len(), 3, "H2 UCCSD has 3 parameters");
+        assert!(a.nrmse.is_finite());
+        // The optimized energy must respect the variational bound (the
+        // H2 ground state is about -1.851 Ha in this encoding) and land
+        // at or below the exact landscape's own minimum neighborhood.
+        assert!(a.best_value >= -1.9, "below the variational bound");
+        let (argmin_value, _) = a.reconstruction.argmin();
+        assert!(a.best_value <= argmin_value + 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape rank must match")]
+    fn shaped_rejects_rank_mismatch() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let problem = IsingProblem::random_3_regular(6, &mut rng);
+        // Depth 2 needs 4 axes; a 2-D grid has rank 2.
+        let _ = JobSpec::shaped(
+            ProblemInstance::ising(problem, 2),
+            Shape::Grid2d(Grid2d::small_p1(10, 10)),
+            0.3,
+            1,
+        );
     }
 }

@@ -16,9 +16,17 @@
 //!   plans once, on the cheapest decomposition for that side.
 //! * **Landscapes** — ground-truth landscapes (a full grid of circuit
 //!   evaluations, the most expensive stage) live in a bounded LRU
-//!   ([`cache::LandscapeCache`]) keyed by `(problem, grid, seed)`, so
+//!   ([`cache::LandscapeCache`]) keyed by `(problem, shape, seed)`, so
 //!   parameter sweeps that revisit an instance skip straight to
 //!   reconstruction.
+//!
+//! Jobs are generic over both the **problem kind** — MaxCut or SK-model
+//! QAOA at any depth, or molecular VQE (H2, LiH UCCSD ansätze) — and
+//! the **landscape shape**: depth-1 QAOA runs on the paper's 2-D
+//! `(beta, gamma)` grid, while deeper QAOA and VQE scans run on N-D
+//! tensors ([`oscar_core::grid::Shape`]) through the same sampling,
+//! mitigation, reconstruction, and descent stages
+//! ([`job::JobSpec::shaped`]).
 //!
 //! On top sits the [`scheduler::BatchRuntime`]: a bounded-concurrency
 //! batch scheduler with a submit/handle API — priority levels
@@ -85,7 +93,7 @@ pub mod source;
 
 pub use cache::{CacheStats, KeyClass, LandscapeCache, LandscapeKey, LruCache};
 pub use descent::Descent;
-pub use job::{run_job, JobResult, JobSpec};
+pub use job::{default_vqe_shape, run_job, JobResult, JobSpec};
 pub use mitigation::{mitigated_landscape, Mitigation};
 pub use scheduler::{
     BatchRuntime, JobHandle, JobLost, JobStatus, Priority, RuntimeConfig, SubmitOptions,

@@ -16,6 +16,11 @@
 //!   constant-preserving Gaussian filter (no extra shots, trades sharp
 //!   features for noise suppression).
 //!
+//! Every variant is shape-generic: 2-D grids go through the original
+//! code paths bit-for-bit, while N-D tensors (deep QAOA, molecular VQE
+//! scans) extrapolate pointwise, correct pointwise, or smooth
+//! separably per axis ([`GaussianFilter::smooth_nd`]).
+//!
 //! Every variant is a pure function of the job spec, so mitigated jobs
 //! stay bit-identical across executor counts, cache hit/miss, and
 //! scheduling order — the invariant `oscar-batch --compare` verifies.
@@ -33,14 +38,14 @@
 
 use crate::cache::{LandscapeCache, LandscapeKey};
 use crate::source::LandscapeSource;
-use oscar_core::grid::Grid2d;
-use oscar_core::landscape::Landscape;
+use oscar_core::grid::Shape;
+use oscar_core::landscape::{Landscape, NdLandscape, ShapedLandscape};
 use oscar_core::usecases::mitigation::extrapolated_landscape;
 use oscar_mitigation::gaussian::GaussianFilter;
 use oscar_mitigation::readout::correct_damped_expectation;
 use oscar_mitigation::zne::{Extrapolation, ZneConfig};
 use oscar_obs::span::{with_stage, Stage};
-use oscar_problems::ising::IsingProblem;
+use oscar_problems::workload::ProblemInstance;
 use oscar_qsim::noise::ReadoutError;
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
@@ -196,16 +201,17 @@ impl Mitigation {
 /// # Panics
 ///
 /// Panics if a [`Mitigation::Zne`] factor list violates
-/// [`ZneConfig::new`]'s contract, or a [`Mitigation::Gaussian`] sigma
-/// is not finite and positive.
+/// [`ZneConfig::new`]'s contract, a [`Mitigation::Gaussian`] sigma is
+/// not finite and positive, or `shape` does not fit `problem` (see
+/// [`LandscapeSource::generate`]).
 pub fn mitigated_landscape(
-    problem: &IsingProblem,
-    grid: Grid2d,
+    problem: &ProblemInstance,
+    shape: &Shape,
     source: &LandscapeSource,
     landscape_seed: u64,
     mitigation: &Mitigation,
     cache: Option<&LandscapeCache>,
-) -> (Arc<Landscape>, bool) {
+) -> (Arc<ShapedLandscape>, bool) {
     let mitigation = mitigation.normalized(source);
     // Stage spans wrap the *leaf* work sites (generation here, the
     // transform/extrapolation math below), never whole cache lookups,
@@ -214,20 +220,20 @@ pub fn mitigated_landscape(
     // producer, so generation time attributes to the producing job.
     let raw = || {
         with_stage(Stage::LandscapeGen, || {
-            source.generate(problem, grid, landscape_seed)
+            source.generate(problem, shape, landscape_seed)
         })
     };
     if mitigation == Mitigation::None {
-        let key = LandscapeKey::new(problem, &grid, source, landscape_seed);
+        let key = LandscapeKey::new(problem, shape, source, landscape_seed);
         return match cache {
             Some(cache) => cache.get_or_compute(key, raw),
             None => (Arc::new(raw()), false),
         };
     }
-    let apply = || apply_mitigation(problem, grid, source, landscape_seed, &mitigation, cache);
+    let apply = || apply_mitigation(problem, shape, source, landscape_seed, &mitigation, cache);
     let key = LandscapeKey::mitigated(
         problem,
-        &grid,
+        shape,
         source,
         landscape_seed,
         mitigation.fingerprint(source),
@@ -243,18 +249,18 @@ pub fn mitigated_landscape(
 /// readout/Gaussian corrections start from — go through `cache` under
 /// their own keys, so they are shared across jobs.
 fn apply_mitigation(
-    problem: &IsingProblem,
-    grid: Grid2d,
+    problem: &ProblemInstance,
+    shape: &Shape,
     source: &LandscapeSource,
     landscape_seed: u64,
     mitigation: &Mitigation,
     cache: Option<&LandscapeCache>,
-) -> Landscape {
+) -> ShapedLandscape {
     let raw_arc = || {
-        let key = LandscapeKey::new(problem, &grid, source, landscape_seed);
+        let key = LandscapeKey::new(problem, shape, source, landscape_seed);
         let raw = || {
             with_stage(Stage::LandscapeGen, || {
-                source.generate(problem, grid, landscape_seed)
+                source.generate(problem, shape, landscape_seed)
             })
         };
         match cache {
@@ -269,15 +275,15 @@ fn apply_mitigation(
             extrapolator,
         } => {
             let zne = ZneConfig::new(factors.clone(), *extrapolator);
-            let subs: Vec<Arc<Landscape>> = zne
+            let subs: Vec<Arc<ShapedLandscape>> = zne
                 .scale_factors
                 .iter()
                 .map(|&scale| {
                     let key =
-                        LandscapeKey::zne_factor(problem, &grid, source, landscape_seed, scale);
+                        LandscapeKey::zne_factor(problem, shape, source, landscape_seed, scale);
                     let gen = || {
                         with_stage(Stage::LandscapeGen, || {
-                            source.generate_scaled(problem, grid, landscape_seed, scale)
+                            source.generate_scaled(problem, shape, landscape_seed, scale)
                         })
                     };
                     match cache {
@@ -286,8 +292,28 @@ fn apply_mitigation(
                     }
                 })
                 .collect();
-            let refs: Vec<&Landscape> = subs.iter().map(Arc::as_ref).collect();
-            with_stage(Stage::Mitigation, || extrapolated_landscape(&zne, &refs))
+            with_stage(Stage::Mitigation, || match shape {
+                Shape::Grid2d(_) => {
+                    let refs: Vec<&Landscape> = subs
+                        .iter()
+                        // lint:allow(no-panic): generate() with a Grid2d shape always yields Grid2d sub-landscapes; the shape is threaded through unchanged.
+                        .map(|s| s.as_grid2d().expect("grid source yields grid landscapes"))
+                        .collect();
+                    extrapolated_landscape(&zne, &refs).into()
+                }
+                Shape::Tensor(tensor) => {
+                    let mut samples = vec![0.0; subs.len()];
+                    let values: Vec<f64> = (0..tensor.len())
+                        .map(|i| {
+                            for (slot, sub) in samples.iter_mut().zip(&subs) {
+                                *slot = sub.values()[i];
+                            }
+                            zne.extrapolate_values(&samples)
+                        })
+                        .collect();
+                    NdLandscape::from_values(tensor.clone(), values).into()
+                }
+            })
         }
         Mitigation::Readout => {
             // Normalization keeps `Readout` only for noisy sources; if
@@ -297,21 +323,38 @@ fn apply_mitigation(
                 .effective_device()
                 .map(|d| d.noise.readout)
                 .unwrap_or(ReadoutError::new(0.0, 0.0));
-            let mixed = problem.qaoa_evaluator().diagonal_mean();
+            let mixed = problem.mixed_mean();
             let raw = raw_arc();
             let values = raw.values();
-            with_stage(Stage::Mitigation, || {
-                Landscape::generate_indexed_par(grid, |i, _, _| {
+            with_stage(Stage::Mitigation, || match shape {
+                Shape::Grid2d(grid) => Landscape::generate_indexed_par(*grid, |i, _, _| {
                     correct_damped_expectation(values[i], mixed, error)
                 })
+                .into(),
+                Shape::Tensor(tensor) => {
+                    NdLandscape::generate_indexed_par(tensor.clone(), |i, _| {
+                        correct_damped_expectation(values[i], mixed, error)
+                    })
+                    .into()
+                }
             })
         }
         Mitigation::Gaussian { sigma } => {
             let raw = raw_arc();
-            with_stage(Stage::Mitigation, || {
-                let smoothed =
-                    GaussianFilter::new(*sigma).smooth_2d(raw.values(), grid.rows(), grid.cols());
-                Landscape::generate_indexed_par(grid, |i, _, _| smoothed[i])
+            with_stage(Stage::Mitigation, || match shape {
+                Shape::Grid2d(grid) => {
+                    let smoothed = GaussianFilter::new(*sigma).smooth_2d(
+                        raw.values(),
+                        grid.rows(),
+                        grid.cols(),
+                    );
+                    Landscape::generate_indexed_par(*grid, |i, _, _| smoothed[i]).into()
+                }
+                Shape::Tensor(tensor) => {
+                    let smoothed =
+                        GaussianFilter::new(*sigma).smooth_nd(raw.values(), &tensor.dims());
+                    NdLandscape::from_values(tensor.clone(), smoothed).into()
+                }
             })
         }
     }
@@ -320,13 +363,19 @@ fn apply_mitigation(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use oscar_core::grid::Grid2d;
     use oscar_executor::device::DeviceSpec;
+    use oscar_problems::ising::IsingProblem;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    fn problem() -> IsingProblem {
+    fn raw_problem() -> IsingProblem {
         let mut rng = StdRng::seed_from_u64(77);
         IsingProblem::random_3_regular(6, &mut rng)
+    }
+
+    fn problem() -> ProblemInstance {
+        ProblemInstance::ising(raw_problem(), 1)
     }
 
     fn perth() -> LandscapeSource {
@@ -395,12 +444,12 @@ mod tests {
     fn zne_is_deterministic_and_beats_raw_on_a_noisy_device() {
         use oscar_core::metrics::nrmse;
         let p = problem();
-        let grid = Grid2d::small_p1(10, 12);
+        let shape = Shape::Grid2d(Grid2d::small_p1(10, 12));
         let noisy = perth();
-        let ideal = LandscapeSource::Exact.generate(&p, grid, 0);
-        let (raw, _) = mitigated_landscape(&p, grid, &noisy, 3, &Mitigation::None, None);
-        let (zne, _) = mitigated_landscape(&p, grid, &noisy, 3, &Mitigation::zne_linear(), None);
-        let (zne2, _) = mitigated_landscape(&p, grid, &noisy, 3, &Mitigation::zne_linear(), None);
+        let ideal = LandscapeSource::Exact.generate(&p, &shape, 0);
+        let (raw, _) = mitigated_landscape(&p, &shape, &noisy, 3, &Mitigation::None, None);
+        let (zne, _) = mitigated_landscape(&p, &shape, &noisy, 3, &Mitigation::zne_linear(), None);
+        let (zne2, _) = mitigated_landscape(&p, &shape, &noisy, 3, &Mitigation::zne_linear(), None);
         assert_eq!(zne.values(), zne2.values(), "ZNE must be bit-stable");
         assert_ne!(zne.values(), raw.values());
         let e_raw = nrmse(ideal.values(), raw.values());
@@ -415,7 +464,7 @@ mod tests {
     fn readout_correction_moves_toward_the_depolarizing_only_landscape() {
         use oscar_core::metrics::nrmse;
         let p = problem();
-        let grid = Grid2d::small_p1(10, 12);
+        let shape = Shape::Grid2d(Grid2d::small_p1(10, 12));
         // Infinite-shot Perth: the correction is exact there.
         let spec = DeviceSpec::by_name("ibm perth").unwrap();
         let no_shots = DeviceSpec {
@@ -434,9 +483,9 @@ mod tests {
             ..spec.clone()
         };
         let src = LandscapeSource::noisy(no_shots);
-        let target = LandscapeSource::noisy(depol_only).generate(&p, grid, 1);
-        let (raw, _) = mitigated_landscape(&p, grid, &src, 1, &Mitigation::None, None);
-        let (fixed, _) = mitigated_landscape(&p, grid, &src, 1, &Mitigation::Readout, None);
+        let target = LandscapeSource::noisy(depol_only).generate(&p, &shape, 1);
+        let (raw, _) = mitigated_landscape(&p, &shape, &src, 1, &Mitigation::None, None);
+        let (fixed, _) = mitigated_landscape(&p, &shape, &src, 1, &Mitigation::Readout, None);
         let e_raw = nrmse(target.values(), raw.values());
         let e_fixed = nrmse(target.values(), fixed.values());
         assert!(
@@ -449,25 +498,27 @@ mod tests {
     #[test]
     fn gaussian_smoothing_applies_to_exact_landscapes_too() {
         let p = problem();
-        let grid = Grid2d::small_p1(10, 12);
+        let shape = Shape::Grid2d(Grid2d::small_p1(10, 12));
         let exact = LandscapeSource::Exact;
-        let (raw, _) = mitigated_landscape(&p, grid, &exact, 0, &Mitigation::None, None);
-        let (smooth, _) = mitigated_landscape(&p, grid, &exact, 0, &Mitigation::gaussian(), None);
+        let (raw, _) = mitigated_landscape(&p, &shape, &exact, 0, &Mitigation::None, None);
+        let (smooth, _) = mitigated_landscape(&p, &shape, &exact, 0, &Mitigation::gaussian(), None);
         assert_ne!(raw.values(), smooth.values());
         // Smoothing is an average: range can only shrink.
-        assert!(smooth.max() <= raw.max() + 1e-12);
-        assert!(smooth.min() >= raw.min() - 1e-12);
+        let max = |v: &[f64]| v.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let min = |v: &[f64]| v.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(max(smooth.values()) <= max(raw.values()) + 1e-12);
+        assert!(min(smooth.values()) >= min(raw.values()) - 1e-12);
     }
 
     #[test]
     fn zne_factor_entries_are_cached_and_shared() {
         let p = problem();
-        let grid = Grid2d::small_p1(8, 10);
+        let shape = Shape::Grid2d(Grid2d::small_p1(8, 10));
         let noisy = perth();
         let cache = LandscapeCache::new(16);
         let (a, hit_a) = mitigated_landscape(
             &p,
-            grid,
+            &shape,
             &noisy,
             5,
             &Mitigation::zne_richardson(),
@@ -479,7 +530,7 @@ mod tests {
         // A second identical job hits the final entry outright.
         let (b, hit_b) = mitigated_landscape(
             &p,
-            grid,
+            &shape,
             &noisy,
             5,
             &Mitigation::zne_richardson(),
@@ -490,8 +541,14 @@ mod tests {
         // Linear ZNE over {1, 3} reuses two of the three factor entries:
         // only its own final entry is new.
         let before = cache.stats();
-        let (_, hit_lin) =
-            mitigated_landscape(&p, grid, &noisy, 5, &Mitigation::zne_linear(), Some(&cache));
+        let (_, hit_lin) = mitigated_landscape(
+            &p,
+            &shape,
+            &noisy,
+            5,
+            &Mitigation::zne_linear(),
+            Some(&cache),
+        );
         assert!(!hit_lin, "different extrapolation is a different landscape");
         let after = cache.stats();
         assert_eq!(after.len, 5, "only the linear final entry is new");
@@ -502,10 +559,10 @@ mod tests {
         );
         // A raw job over the same seed shares the factor-1 entry.
         let (raw, hit_raw) =
-            mitigated_landscape(&p, grid, &noisy, 5, &Mitigation::None, Some(&cache));
+            mitigated_landscape(&p, &shape, &noisy, 5, &Mitigation::None, Some(&cache));
         assert!(hit_raw, "raw landscape is the ZNE factor-1 entry");
         let factor1 = cache
-            .get_or_compute(LandscapeKey::zne_factor(&p, &grid, &noisy, 5, 1.0), || {
+            .get_or_compute(LandscapeKey::zne_factor(&p, &shape, &noisy, 5, 1.0), || {
                 unreachable!("factor-1 entry must be resident")
             });
         assert!(Arc::ptr_eq(&raw, &factor1.0));
@@ -515,7 +572,7 @@ mod tests {
     #[test]
     fn cached_and_uncached_mitigation_agree_bitwise() {
         let p = problem();
-        let grid = Grid2d::small_p1(8, 10);
+        let shape = Shape::Grid2d(Grid2d::small_p1(8, 10));
         let noisy = perth();
         for mitigation in [
             Mitigation::zne_richardson(),
@@ -524,11 +581,11 @@ mod tests {
             Mitigation::gaussian(),
         ] {
             let cache = LandscapeCache::new(16);
-            let (plain, _) = mitigated_landscape(&p, grid, &noisy, 2, &mitigation, None);
+            let (plain, _) = mitigated_landscape(&p, &shape, &noisy, 2, &mitigation, None);
             let (miss, hit_miss) =
-                mitigated_landscape(&p, grid, &noisy, 2, &mitigation, Some(&cache));
+                mitigated_landscape(&p, &shape, &noisy, 2, &mitigation, Some(&cache));
             let (hit, hit_hit) =
-                mitigated_landscape(&p, grid, &noisy, 2, &mitigation, Some(&cache));
+                mitigated_landscape(&p, &shape, &noisy, 2, &mitigation, Some(&cache));
             assert!(!hit_miss && hit_hit, "{}", mitigation.name());
             assert_eq!(plain.values(), miss.values(), "{}", mitigation.name());
             assert_eq!(plain.values(), hit.values(), "{}", mitigation.name());
@@ -538,17 +595,62 @@ mod tests {
     #[test]
     fn mitigated_and_raw_entries_never_collide() {
         let p = problem();
-        let grid = Grid2d::small_p1(8, 10);
+        let shape = Shape::Grid2d(Grid2d::small_p1(8, 10));
         let noisy = perth();
-        let raw = LandscapeKey::new(&p, &grid, &noisy, 3);
+        let raw = LandscapeKey::new(&p, &shape, &noisy, 3);
         for mitigation in [
             Mitigation::zne_richardson(),
             Mitigation::zne_linear(),
             Mitigation::Readout,
             Mitigation::gaussian(),
         ] {
-            let key = LandscapeKey::mitigated(&p, &grid, &noisy, 3, mitigation.fingerprint(&noisy));
+            let key =
+                LandscapeKey::mitigated(&p, &shape, &noisy, 3, mitigation.fingerprint(&noisy));
             assert_ne!(key, raw, "{}", mitigation.name());
+        }
+    }
+
+    #[test]
+    fn every_mitigation_runs_on_tensor_shapes_deterministically() {
+        let p = ProblemInstance::ising(raw_problem(), 2);
+        let shape = Shape::qaoa(2, 4, 5);
+        assert!(matches!(shape, Shape::Tensor(_)));
+        let noisy = perth();
+        let (raw, _) = mitigated_landscape(&p, &shape, &noisy, 3, &Mitigation::None, None);
+        for mitigation in [
+            Mitigation::zne_linear(),
+            Mitigation::Readout,
+            Mitigation::gaussian(),
+        ] {
+            let (a, _) = mitigated_landscape(&p, &shape, &noisy, 3, &mitigation, None);
+            let (b, _) = mitigated_landscape(&p, &shape, &noisy, 3, &mitigation, None);
+            assert_eq!(
+                a.values(),
+                b.values(),
+                "{} not bit-stable",
+                mitigation.name()
+            );
+            assert_ne!(a.values(), raw.values(), "{} is a no-op", mitigation.name());
+            assert_eq!(a.values().len(), shape.len());
+            assert!(
+                a.as_tensor().is_some(),
+                "{} changed shape",
+                mitigation.name()
+            );
+        }
+    }
+
+    #[test]
+    fn tensor_gaussian_matches_direct_nd_smoothing() {
+        use oscar_problems::workload::Molecule;
+        let p = ProblemInstance::molecule(Molecule::H2);
+        let shape = Shape::vqe_scan(&[4, 4, 4]);
+        let exact = LandscapeSource::Exact;
+        let raw = exact.generate(&p, &shape, 0);
+        let (smooth, _) = mitigated_landscape(&p, &shape, &exact, 0, &Mitigation::gaussian(), None);
+        let direct = GaussianFilter::new(1.0).smooth_nd(raw.values(), &raw.dims());
+        for (a, b) in smooth.values().iter().zip(&direct) {
+            assert_eq!(a.to_bits(), b.to_bits());
         }
     }
 }

@@ -1,23 +1,26 @@
 //! Where a job's stage-1 landscape comes from: exact simulation or a
 //! noisy simulated device.
 //!
-//! The paper's central workload reconstructs *noisy* QAOA landscapes
+//! The paper's central workload reconstructs *noisy* VQA landscapes
 //! from sparse device executions; [`LandscapeSource`] is the runtime's
-//! switch between the exact noiseless evaluator and a
-//! [`QpuDevice`]-backed noisy evaluation. Noisy landscapes are
-//! **deterministic under concurrency**: every grid point draws its
-//! noise from a counter-based RNG keyed by `(landscape_seed,
-//! point_index)` ([`oscar_qsim::rng::CounterRng`]), so the landscape is
-//! bit-identical no matter how the worker pool interleaves points or
-//! how many executors run jobs — the property the batch cache and the
-//! `--compare` harness rely on. (The device's internal mutex-guarded
-//! RNG stream, by contrast, is execution-order-dependent and is not
-//! used here.)
+//! switch between the exact noiseless evaluator and a device-backed
+//! noisy evaluation ([`QpuDevice`] for QAOA, [`VqeDevice`] for
+//! molecules). Noisy landscapes are **deterministic under
+//! concurrency**: every grid point draws its noise from a
+//! counter-based RNG keyed by `(landscape_seed, point_index)`
+//! ([`oscar_qsim::rng::CounterRng`]) with the flat row-major index as
+//! the stream — the same discipline on 2-D grids and N-D tensors — so
+//! the landscape is bit-identical no matter how the worker pool
+//! interleaves points or how many executors run jobs — the property
+//! the batch cache and the `--compare` harness rely on. (The QPU
+//! device's internal mutex-guarded RNG stream, by contrast, is
+//! execution-order-dependent and is not used here.)
 
-use oscar_core::grid::Grid2d;
-use oscar_core::landscape::Landscape;
-use oscar_executor::device::DeviceSpec;
-use oscar_problems::ising::IsingProblem;
+use oscar_core::grid::Shape;
+use oscar_core::landscape::{Landscape, NdLandscape, ShapedLandscape};
+use oscar_core::usecases::mitigation::{scaled_noisy_landscape, zne_factor_seed};
+use oscar_executor::device::{DeviceSpec, QpuDevice, VqeDevice};
+use oscar_problems::workload::{ProblemInstance, VqeEvaluator};
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 
@@ -112,14 +115,25 @@ impl LandscapeSource {
         }
     }
 
-    /// Evaluates the ground-truth landscape for `problem` over `grid`.
+    /// Evaluates the ground-truth landscape for `problem` over `shape`.
     ///
-    /// Deterministic: a pure function of `(self, problem, grid,
+    /// Deterministic: a pure function of `(self, problem, shape,
     /// landscape_seed)`, bit-identical across worker counts and
     /// evaluation orders. Grid points run data-parallel on the shared
-    /// worker pool for both sources.
-    pub fn generate(&self, problem: &IsingProblem, grid: Grid2d, landscape_seed: u64) -> Landscape {
-        self.generate_scaled(problem, grid, landscape_seed, 1.0)
+    /// worker pool for both sources and every shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape's rank differs from the problem's parameter
+    /// count, or a depth-`p` QAOA problem with `p > 1` (or a molecule)
+    /// is paired with a 2-D grid shape.
+    pub fn generate(
+        &self,
+        problem: &ProblemInstance,
+        shape: &Shape,
+        landscape_seed: u64,
+    ) -> ShapedLandscape {
+        self.generate_scaled(problem, shape, landscape_seed, 1.0)
     }
 
     /// Evaluates the landscape at ZNE noise scale `scale` (depolarizing
@@ -128,26 +142,87 @@ impl LandscapeSource {
     /// [`oscar_core::usecases::mitigation::zne_factor_seed`]). At
     /// `scale = 1.0` this is bit-identical to [`Self::generate`]; the
     /// exact source ignores the scale entirely.
+    ///
+    /// # Panics
+    ///
+    /// See [`Self::generate`].
     pub fn generate_scaled(
         &self,
-        problem: &IsingProblem,
-        grid: Grid2d,
+        problem: &ProblemInstance,
+        shape: &Shape,
         landscape_seed: u64,
         scale: f64,
-    ) -> Landscape {
-        match self.effective_device() {
-            None => Landscape::from_qaoa(grid, &problem.qaoa_evaluator()),
-            Some(spec) => {
-                // The internal-RNG seed is irrelevant: every point draws
-                // from its own counter stream keyed by the (derived)
-                // landscape seed and the flat point index.
-                let qpu = spec.build(problem, 0);
-                oscar_core::usecases::mitigation::scaled_noisy_landscape(
-                    &qpu,
-                    grid,
-                    landscape_seed,
-                    scale,
-                )
+    ) -> ShapedLandscape {
+        assert_eq!(
+            shape.rank(),
+            problem.num_params(),
+            "shape rank must match the problem's parameter count"
+        );
+        match problem {
+            ProblemInstance::Ising { problem, depth } => match shape {
+                Shape::Grid2d(grid) => {
+                    assert_eq!(*depth, 1, "a 2-D grid is a depth-1 QAOA landscape");
+                    match self.effective_device() {
+                        None => Landscape::from_qaoa(*grid, &problem.qaoa_evaluator()).into(),
+                        Some(spec) => {
+                            // The internal-RNG seed is irrelevant: every
+                            // point draws from its own counter stream
+                            // keyed by the (derived) landscape seed and
+                            // the flat point index.
+                            let qpu = spec.build(problem, 0);
+                            scaled_noisy_landscape(&qpu, *grid, landscape_seed, scale).into()
+                        }
+                    }
+                }
+                Shape::Tensor(tensor) => {
+                    let p = *depth;
+                    match self.effective_device() {
+                        None => {
+                            let eval = problem.qaoa_evaluator();
+                            NdLandscape::generate_indexed_par(tensor.clone(), |_, params| {
+                                eval.expectation(&params[..p], &params[p..])
+                            })
+                            .into()
+                        }
+                        Some(spec) => {
+                            let qpu: QpuDevice = spec.with_depth(p).build(problem, 0);
+                            let seed = zne_factor_seed(landscape_seed, scale);
+                            NdLandscape::generate_indexed_par(tensor.clone(), |i, params| {
+                                qpu.execute_scaled_at(
+                                    &params[..p],
+                                    &params[p..],
+                                    scale,
+                                    seed,
+                                    i as u64,
+                                )
+                            })
+                            .into()
+                        }
+                    }
+                }
+            },
+            ProblemInstance::Molecule(molecule) => {
+                let Shape::Tensor(tensor) = shape else {
+                    // lint:allow(no-panic): molecule specs are only built with tensor shapes (default_vqe_shape / Shape::vqe_scan, enforced at the wire by proto validation); a grid-shaped molecule is a caller bug, and the evaluator would reject the parameter-count mismatch anyway.
+                    panic!("molecular VQE landscapes are tensor-shaped");
+                };
+                match self.effective_device() {
+                    None => {
+                        let eval = VqeEvaluator::new(*molecule);
+                        NdLandscape::generate_indexed_par(tensor.clone(), |_, params| {
+                            eval.expectation(params)
+                        })
+                        .into()
+                    }
+                    Some(spec) => {
+                        let dev: VqeDevice = spec.build_vqe(*molecule);
+                        let seed = zne_factor_seed(landscape_seed, scale);
+                        NdLandscape::generate_indexed_par(tensor.clone(), |i, params| {
+                            dev.execute_scaled_at(params, scale, seed, i as u64)
+                        })
+                        .into()
+                    }
+                }
             }
         }
     }
@@ -156,59 +231,69 @@ impl LandscapeSource {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use oscar_core::grid::Grid2d;
+    use oscar_problems::ising::IsingProblem;
+    use oscar_problems::workload::Molecule;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    fn problem() -> IsingProblem {
+    fn problem() -> ProblemInstance {
         let mut rng = StdRng::seed_from_u64(21);
-        IsingProblem::random_3_regular(6, &mut rng)
+        ProblemInstance::ising(IsingProblem::random_3_regular(6, &mut rng), 1)
     }
 
     fn perth() -> DeviceSpec {
         DeviceSpec::by_name("ibm perth").expect("known device")
     }
 
+    fn grid(nb: usize, ng: usize) -> Shape {
+        Shape::Grid2d(Grid2d::small_p1(nb, ng))
+    }
+
     #[test]
     fn noisy_generation_is_bit_stable() {
         let p = problem();
-        let grid = Grid2d::small_p1(8, 10);
+        let shape = grid(8, 10);
         let source = LandscapeSource::noisy(perth());
-        let a = source.generate(&p, grid, 5);
-        let b = source.generate(&p, grid, 5);
+        let a = source.generate(&p, &shape, 5);
+        let b = source.generate(&p, &shape, 5);
         assert_eq!(a.values(), b.values());
         // A different landscape seed is a different noise realization.
-        let c = source.generate(&p, grid, 6);
+        let c = source.generate(&p, &shape, 6);
         assert_ne!(a.values(), c.values());
     }
 
     #[test]
     fn noisy_differs_from_exact_but_correlates() {
         let p = problem();
-        let grid = Grid2d::small_p1(10, 12);
-        let exact = LandscapeSource::Exact.generate(&p, grid, 0);
-        let noisy = LandscapeSource::noisy(perth()).generate(&p, grid, 1);
+        let shape = grid(10, 12);
+        let exact = LandscapeSource::Exact.generate(&p, &shape, 0);
+        let noisy = LandscapeSource::noisy(perth()).generate(&p, &shape, 1);
         assert_ne!(exact.values(), noisy.values());
         // The noisy landscape is the exact one damped toward the mixed
         // mean plus bounded shot noise — it must stay in the same range
         // neighborhood, not be garbage.
         assert!(noisy.values().iter().all(|v| v.is_finite()));
-        let span = exact.max() - exact.min();
-        let noisy_span = noisy.max() - noisy.min();
-        assert!(noisy_span < span * 1.5, "{noisy_span} vs {span}");
+        let span = |l: &ShapedLandscape| {
+            let vs = l.values();
+            vs.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+                - vs.iter().cloned().fold(f64::INFINITY, f64::min)
+        };
+        assert!(span(&noisy) < span(&exact) * 1.5);
     }
 
     #[test]
     fn shot_override_changes_fingerprint_and_values() {
         let p = problem();
-        let grid = Grid2d::small_p1(6, 8);
+        let shape = grid(6, 8);
         let base = LandscapeSource::noisy(perth());
         let overridden = LandscapeSource::Noisy {
             device: perth(),
             shots: Some(64),
         };
         assert_ne!(base.fingerprint(), overridden.fingerprint());
-        let a = base.generate(&p, grid, 3);
-        let b = overridden.generate(&p, grid, 3);
+        let a = base.generate(&p, &shape, 3);
+        let b = overridden.generate(&p, &shape, 3);
         assert_ne!(a.values(), b.values(), "64 shots must be noisier than 4096");
     }
 
@@ -225,28 +310,28 @@ mod tests {
         let implicit = LandscapeSource::noisy(perth());
         assert_eq!(spelled_out.fingerprint(), implicit.fingerprint());
         let p = problem();
-        let grid = Grid2d::small_p1(6, 8);
+        let shape = grid(6, 8);
         assert_eq!(
-            spelled_out.generate(&p, grid, 3).values(),
-            implicit.generate(&p, grid, 3).values()
+            spelled_out.generate(&p, &shape, 3).values(),
+            implicit.generate(&p, &shape, 3).values()
         );
     }
 
     #[test]
     fn scaled_generation_unit_scale_matches_generate() {
         let p = problem();
-        let grid = Grid2d::small_p1(6, 8);
+        let shape = grid(6, 8);
         let source = LandscapeSource::noisy(perth());
         assert_eq!(
-            source.generate(&p, grid, 4).values(),
-            source.generate_scaled(&p, grid, 4, 1.0).values()
+            source.generate(&p, &shape, 4).values(),
+            source.generate_scaled(&p, &shape, 4, 1.0).values()
         );
         // Higher scales damp harder and draw fresh noise.
-        let s3 = source.generate_scaled(&p, grid, 4, 3.0);
-        assert_ne!(source.generate(&p, grid, 4).values(), s3.values());
+        let s3 = source.generate_scaled(&p, &shape, 4, 3.0);
+        assert_ne!(source.generate(&p, &shape, 4).values(), s3.values());
         assert_eq!(
             s3.values(),
-            source.generate_scaled(&p, grid, 4, 3.0).values(),
+            source.generate_scaled(&p, &shape, 4, 3.0).values(),
             "scaled generation must be bit-stable"
         );
     }
@@ -272,5 +357,42 @@ mod tests {
             LandscapeSource::noisy(perth()).fingerprint(),
             LandscapeSource::noisy(perth()).fingerprint()
         );
+    }
+
+    #[test]
+    fn depth_two_tensor_generation_is_deterministic_and_noisy_differs() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let p = ProblemInstance::ising(IsingProblem::random_3_regular(6, &mut rng), 2);
+        let shape = Shape::qaoa(2, 4, 5);
+        assert_eq!(shape.rank(), 4);
+        let exact = LandscapeSource::Exact.generate(&p, &shape, 0);
+        assert_eq!(exact.values().len(), 400);
+        let source = LandscapeSource::noisy(perth());
+        let a = source.generate(&p, &shape, 5);
+        let b = source.generate(&p, &shape, 5);
+        assert_eq!(a.values(), b.values(), "4-D noisy must be bit-stable");
+        assert_ne!(a.values(), exact.values());
+        assert_ne!(a.values(), source.generate(&p, &shape, 6).values());
+    }
+
+    #[test]
+    fn vqe_generation_runs_exact_and_noisy() {
+        let p = ProblemInstance::molecule(Molecule::H2);
+        let shape = Shape::vqe_scan(&[5, 5, 5]);
+        let exact = LandscapeSource::Exact.generate(&p, &shape, 0);
+        assert_eq!(exact.values().len(), 125);
+        assert!(exact.values().iter().all(|v| v.is_finite()));
+        let source = LandscapeSource::noisy(perth());
+        let a = source.generate(&p, &shape, 3);
+        let b = source.generate(&p, &shape, 3);
+        assert_eq!(a.values(), b.values(), "VQE noisy must be bit-stable");
+        assert_ne!(a.values(), exact.values());
+    }
+
+    #[test]
+    #[should_panic(expected = "shape rank must match")]
+    fn rejects_rank_mismatch() {
+        let p = ProblemInstance::molecule(Molecule::H2);
+        let _ = LandscapeSource::Exact.generate(&p, &grid(4, 4), 0);
     }
 }

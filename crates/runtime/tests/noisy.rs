@@ -63,8 +63,8 @@ fn assert_results_identical(a: &JobResult, b: &JobResult, ctx: &str) {
     assert_eq!(a.nrmse.to_bits(), b.nrmse.to_bits(), "{ctx}: nrmse drifted");
     assert_eq!(a.samples_used, b.samples_used, "{ctx}: sampling drifted");
     assert_eq!(
-        (a.best_point, a.best_value.to_bits()),
-        (b.best_point, b.best_value.to_bits()),
+        (&a.best_point, a.best_value.to_bits()),
+        (&b.best_point, b.best_value.to_bits()),
         "{ctx}: optimization drifted"
     );
 }
@@ -259,16 +259,18 @@ fn mitigated_cache_hit_is_bit_identical_to_miss() {
 
 #[test]
 fn zne_sub_landscapes_are_shared_across_jobs_and_with_raw() {
+    use oscar_core::grid::Shape;
+    use oscar_problems::workload::ProblemInstance;
     let mut rng = StdRng::seed_from_u64(410);
-    let problem = IsingProblem::random_3_regular(6, &mut rng);
-    let grid = Grid2d::small_p1(10, 12);
+    let problem = ProblemInstance::ising(IsingProblem::random_3_regular(6, &mut rng), 1);
+    let shape = Shape::Grid2d(Grid2d::small_p1(10, 12));
     let source = LandscapeSource::noisy(device("ibm perth"));
     let cache = LandscapeCache::new(16);
 
     // Job 1: Richardson {1,2,3}. Populates 3 factor entries + 1 final.
     let (rich, _) = mitigated_landscape(
         &problem,
-        grid,
+        &shape,
         &source,
         5,
         &Mitigation::zne_richardson(),
@@ -281,7 +283,7 @@ fn zne_sub_landscapes_are_shared_across_jobs_and_with_raw() {
     // must be *hits* — no landscape generation, shared Arcs.
     let (lin, _) = mitigated_landscape(
         &problem,
-        grid,
+        &shape,
         &source,
         5,
         &Mitigation::zne_linear(),
@@ -302,15 +304,21 @@ fn zne_sub_landscapes_are_shared_across_jobs_and_with_raw() {
     let probe = |scale: f64| {
         cache
             .get_or_compute(
-                LandscapeKey::zne_factor(&problem, &grid, &source, 5, scale),
+                LandscapeKey::zne_factor(&problem, &shape, &source, 5, scale),
                 || unreachable!("factor {scale} must be resident"),
             )
             .0
     };
     let (f1a, f1b) = (probe(1.0), probe(1.0));
     assert!(Arc::ptr_eq(&f1a, &f1b));
-    let (raw, raw_hit) =
-        mitigated_landscape(&problem, grid, &source, 5, &Mitigation::None, Some(&cache));
+    let (raw, raw_hit) = mitigated_landscape(
+        &problem,
+        &shape,
+        &source,
+        5,
+        &Mitigation::None,
+        Some(&cache),
+    );
     assert!(raw_hit, "raw job must hit the ZNE factor-1 entry");
     assert!(
         Arc::ptr_eq(&raw, &f1a),
@@ -319,7 +327,7 @@ fn zne_sub_landscapes_are_shared_across_jobs_and_with_raw() {
     // And a repeated Richardson job shares the final entry by identity.
     let (rich2, rich2_hit) = mitigated_landscape(
         &problem,
-        grid,
+        &shape,
         &source,
         5,
         &Mitigation::zne_richardson(),

@@ -64,8 +64,8 @@ fn assert_results_identical(a: &JobResult, b: &JobResult, ctx: &str) {
         "{ctx}: solver path drifted"
     );
     assert_eq!(
-        (a.best_point, a.best_value.to_bits()),
-        (b.best_point, b.best_value.to_bits()),
+        (&a.best_point, a.best_value.to_bits()),
+        (&b.best_point, b.best_value.to_bits()),
         "{ctx}: optimization drifted"
     );
 }

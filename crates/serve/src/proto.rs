@@ -19,11 +19,12 @@
 //! asserts via [`result_checksum`].
 
 use crate::json::Json;
-use oscar_core::grid::Grid2d;
+use oscar_core::grid::{Grid2d, Shape};
 use oscar_executor::device::DeviceSpec;
 use oscar_problems::ising::IsingProblem;
+use oscar_problems::workload::{Molecule, ProblemInstance, ProblemKind};
 use oscar_runtime::descent::Descent;
-use oscar_runtime::job::{JobResult, JobSpec};
+use oscar_runtime::job::{default_vqe_shape, JobResult, JobSpec};
 use oscar_runtime::mitigation::Mitigation;
 use oscar_runtime::scheduler::Priority;
 use oscar_runtime::source::LandscapeSource;
@@ -38,6 +39,14 @@ pub const MAX_QUBITS: usize = 16;
 /// Largest grid side the service admits (`rows * cols` circuit
 /// evaluations per landscape).
 pub const MAX_GRID_SIDE: usize = 128;
+
+/// Largest tensor rank (parameter count) an N-D `shape` may declare.
+pub const MAX_SHAPE_RANK: usize = 16;
+
+/// Largest total landscape point count an N-D `shape` may declare
+/// (one circuit evaluation per point; 2-D grids are already bounded by
+/// [`MAX_GRID_SIDE`]²).
+pub const MAX_SHAPE_POINTS: usize = 65_536;
 
 /// Structured protocol error codes (the `"error"` field of a reject).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -111,15 +120,31 @@ impl RequestError {
 /// A validated `submit` request (see the module docs for defaulting).
 #[derive(Clone, Debug)]
 pub struct SubmitReq {
-    /// Qubit count of the 3-regular MaxCut instance (even, `4..=16`).
+    /// The workload family (wire field `problem`: `maxcut`, `sk`,
+    /// `h2`, or `lih`; defaults to `maxcut`).
+    pub problem: ProblemKind,
+    /// Qubit count of the random Ising instance (even, `4..=16`).
+    /// Fixed by the molecule — and forbidden on the wire — for VQE
+    /// workloads.
     pub qubits: usize,
+    /// QAOA depth `p` (wire field `depth`, `>= 1`, QAOA-only;
+    /// defaults to 1). Depth ≥ 2 landscapes are N-D tensors and
+    /// require `shape`.
+    pub depth: usize,
+    /// Per-axis point counts of an N-D landscape (wire field `shape`).
+    /// Required for depth ≥ 2 QAOA (`2 * depth` axes, betas first);
+    /// optional for molecules (defaults to the molecule's standard
+    /// scan); forbidden for depth-1 QAOA, which uses `rows`/`cols`.
+    pub shape: Option<Vec<usize>>,
     /// Seed generating the problem instance (defaults to `seed`).
     pub instance_seed: u64,
     /// Sampling-pattern / SPSA seed.
     pub seed: u64,
-    /// Grid rows (beta axis), `2..=128`.
+    /// Grid rows (beta axis), `2..=128`. Depth-1 QAOA only (0
+    /// otherwise).
     pub rows: usize,
-    /// Grid columns (gamma axis), `2..=128`.
+    /// Grid columns (gamma axis), `2..=128`. Depth-1 QAOA only (0
+    /// otherwise).
     pub cols: usize,
     /// Sampling budget as a fraction of grid points in `(0, 1]`.
     pub fraction: f64,
@@ -142,10 +167,14 @@ pub struct SubmitReq {
 }
 
 impl SubmitReq {
-    /// A minimal request with every optional axis at its default.
+    /// A minimal depth-1 MaxCut request with every optional axis at
+    /// its default.
     pub fn new(qubits: usize, seed: u64, rows: usize, cols: usize, fraction: f64) -> Self {
         SubmitReq {
+            problem: ProblemKind::MaxCut,
             qubits,
+            depth: 1,
+            shape: None,
             instance_seed: seed,
             seed,
             rows,
@@ -161,31 +190,175 @@ impl SubmitReq {
         }
     }
 
+    /// A depth-`p` QAOA request over an N-D tensor: `counts` holds the
+    /// per-axis point counts, `2 * depth` of them, betas first.
+    pub fn deep_qaoa(
+        problem: ProblemKind,
+        qubits: usize,
+        depth: usize,
+        seed: u64,
+        counts: Vec<usize>,
+        fraction: f64,
+    ) -> Self {
+        SubmitReq {
+            problem,
+            depth,
+            shape: Some(counts),
+            rows: 0,
+            cols: 0,
+            ..SubmitReq::new(qubits, seed, 0, 0, fraction)
+        }
+    }
+
+    /// A molecular VQE request on the molecule's default scan shape.
+    pub fn vqe(molecule: Molecule, seed: u64, fraction: f64) -> Self {
+        SubmitReq {
+            problem: ProblemKind::Molecule(molecule),
+            qubits: molecule.num_qubits(),
+            rows: 0,
+            cols: 0,
+            ..SubmitReq::new(molecule.num_qubits(), seed, 0, 0, fraction)
+        }
+    }
+
     /// Parses and validates the fields of a `submit` object.
     pub fn from_json(obj: &Json) -> Result<SubmitReq, RequestError> {
-        let qubits = req_u64(obj, "qubits")? as usize;
+        let problem = match obj.get("problem") {
+            None | Some(Json::Null) => ProblemKind::MaxCut,
+            Some(v) => {
+                let name = v
+                    .as_str()
+                    .ok_or_else(|| RequestError::bad("'problem' must be a string"))?;
+                ProblemKind::by_name(name).ok_or_else(|| {
+                    RequestError::bad(format!(
+                        "unknown problem '{name}' (one of: {})",
+                        ProblemKind::names().join(", ")
+                    ))
+                })?
+            }
+        };
         let seed = req_u64(obj, "seed")?;
-        let rows = req_u64(obj, "rows")? as usize;
-        let cols = req_u64(obj, "cols")? as usize;
         let fraction = obj
             .get("fraction")
             .and_then(Json::as_f64)
             .ok_or_else(|| RequestError::bad("missing or invalid 'fraction'"))?;
-        if !(4..=MAX_QUBITS).contains(&qubits) || !qubits.is_multiple_of(2) {
-            return Err(RequestError::bad(format!(
-                "'qubits' must be even and in 4..={MAX_QUBITS}"
-            )));
-        }
-        for (name, v) in [("rows", rows), ("cols", cols)] {
-            if !(2..=MAX_GRID_SIDE).contains(&v) {
-                return Err(RequestError::bad(format!(
-                    "'{name}' must be in 2..={MAX_GRID_SIDE}"
-                )));
-            }
-        }
         if !(fraction > 0.0 && fraction <= 1.0) {
             return Err(RequestError::bad("'fraction' must be in (0, 1]"));
         }
+        let depth = match opt_u64(obj, "depth")? {
+            None => 1,
+            Some(_) if problem.is_molecule() => {
+                return Err(RequestError::bad(
+                    "'depth' applies only to QAOA problems ('maxcut', 'sk')",
+                ))
+            }
+            Some(0) => return Err(RequestError::bad("'depth' must be at least 1")),
+            Some(d) => d as usize,
+        };
+        let shape = match obj.get("shape") {
+            None | Some(Json::Null) => None,
+            Some(v) => {
+                let arr = v
+                    .as_arr()
+                    .ok_or_else(|| RequestError::bad("'shape' must be an array of axis sizes"))?;
+                if arr.is_empty() || arr.len() > MAX_SHAPE_RANK {
+                    return Err(RequestError::bad(format!(
+                        "'shape' must have 1..={MAX_SHAPE_RANK} axes"
+                    )));
+                }
+                let mut counts = Vec::with_capacity(arr.len());
+                let mut points = 1usize;
+                for entry in arr {
+                    let n = entry.as_u64().ok_or_else(|| {
+                        RequestError::bad("'shape' entries must be non-negative integers")
+                    })? as usize;
+                    if !(2..=MAX_GRID_SIDE).contains(&n) {
+                        return Err(RequestError::bad(format!(
+                            "'shape' axes must be in 2..={MAX_GRID_SIDE}"
+                        )));
+                    }
+                    points = points.saturating_mul(n);
+                    counts.push(n);
+                }
+                if points > MAX_SHAPE_POINTS {
+                    return Err(RequestError::bad(format!(
+                        "'shape' declares {points} landscape points, over the {MAX_SHAPE_POINTS} cap"
+                    )));
+                }
+                Some(counts)
+            }
+        };
+        let (qubits, rows, cols) = match problem {
+            ProblemKind::Molecule(m) => {
+                // The molecule fixes the register and parameter count;
+                // 2-D grid fields have no N-D meaning.
+                for field in ["qubits", "rows", "cols"] {
+                    if !matches!(obj.get(field), None | Some(Json::Null)) {
+                        return Err(RequestError::bad(format!(
+                            "'{field}' does not apply to molecular problems"
+                        )));
+                    }
+                }
+                if let Some(counts) = &shape {
+                    if counts.len() != m.num_params() {
+                        return Err(RequestError::bad(format!(
+                            "'shape' for '{}' needs {} axes (one per ansatz parameter)",
+                            m.name(),
+                            m.num_params()
+                        )));
+                    }
+                }
+                (m.num_qubits(), 0, 0)
+            }
+            ProblemKind::MaxCut | ProblemKind::SkModel => {
+                let qubits = req_u64(obj, "qubits")? as usize;
+                if !(4..=MAX_QUBITS).contains(&qubits) || !qubits.is_multiple_of(2) {
+                    return Err(RequestError::bad(format!(
+                        "'qubits' must be even and in 4..={MAX_QUBITS}"
+                    )));
+                }
+                if depth == 1 {
+                    if shape.is_some() {
+                        return Err(RequestError::bad(
+                            "'shape' needs 'depth' >= 2; depth-1 QAOA uses 'rows'/'cols'",
+                        ));
+                    }
+                    let rows = req_u64(obj, "rows")? as usize;
+                    let cols = req_u64(obj, "cols")? as usize;
+                    for (name, v) in [("rows", rows), ("cols", cols)] {
+                        if !(2..=MAX_GRID_SIDE).contains(&v) {
+                            return Err(RequestError::bad(format!(
+                                "'{name}' must be in 2..={MAX_GRID_SIDE}"
+                            )));
+                        }
+                    }
+                    (qubits, rows, cols)
+                } else {
+                    for field in ["rows", "cols"] {
+                        if !matches!(obj.get(field), None | Some(Json::Null)) {
+                            return Err(RequestError::bad(format!(
+                                "'{field}' is a depth-1 field; depth >= 2 QAOA uses 'shape'"
+                            )));
+                        }
+                    }
+                    match &shape {
+                        None => {
+                            return Err(RequestError::bad(
+                                "depth >= 2 QAOA needs 'shape' (2 * depth axes, betas first)",
+                            ))
+                        }
+                        Some(counts) if counts.len() != 2 * depth => {
+                            return Err(RequestError::bad(format!(
+                                "'shape' for depth {depth} needs {} axes (betas then gammas)",
+                                2 * depth
+                            )))
+                        }
+                        Some(_) => {}
+                    }
+                    (qubits, 0, 0)
+                }
+            }
+        };
         let instance_seed = opt_u64(obj, "instance_seed")?.unwrap_or(seed);
         let landscape_seed = opt_u64(obj, "landscape_seed")?.unwrap_or(seed);
         let device = match obj.get("device") {
@@ -245,6 +418,9 @@ impl SubmitReq {
         };
         let deadline_ms = opt_u64(obj, "deadline_ms")?;
         Ok(SubmitReq {
+            problem,
+            depth,
+            shape,
             qubits,
             instance_seed,
             seed,
@@ -266,14 +442,29 @@ impl SubmitReq {
     pub fn to_json(&self) -> Json {
         let mut fields = vec![
             ("verb".to_string(), Json::Str("submit".into())),
-            ("qubits".to_string(), Json::Num(self.qubits as f64)),
+            ("problem".to_string(), Json::Str(self.problem.name().into())),
+        ];
+        if !self.problem.is_molecule() {
+            fields.push(("qubits".to_string(), Json::Num(self.qubits as f64)));
+            if self.depth > 1 {
+                fields.push(("depth".to_string(), Json::Num(self.depth as f64)));
+            } else {
+                fields.push(("rows".to_string(), Json::Num(self.rows as f64)));
+                fields.push(("cols".to_string(), Json::Num(self.cols as f64)));
+            }
+        }
+        if let Some(counts) = &self.shape {
+            fields.push((
+                "shape".to_string(),
+                Json::Arr(counts.iter().map(|&n| Json::Num(n as f64)).collect()),
+            ));
+        }
+        fields.extend([
             (
                 "instance_seed".to_string(),
                 Json::Num(self.instance_seed as f64),
             ),
             ("seed".to_string(), Json::Num(self.seed as f64)),
-            ("rows".to_string(), Json::Num(self.rows as f64)),
-            ("cols".to_string(), Json::Num(self.cols as f64)),
             ("fraction".to_string(), Json::Num(self.fraction)),
             (
                 "landscape_seed".to_string(),
@@ -287,7 +478,7 @@ impl SubmitReq {
                 "optimizer".to_string(),
                 Json::Str(self.descent.name().into()),
             ),
-        ];
+        ]);
         if let Some(device) = &self.device {
             fields.push(("device".to_string(), Json::Str(device.clone())));
         }
@@ -312,9 +503,33 @@ impl SubmitReq {
     /// `oscar-batch --file` uses, so daemon-side results are
     /// bit-identical to a local `run_job` on the same parameters.
     pub fn to_spec(&self) -> Result<JobSpec, RequestError> {
-        let mut rng = StdRng::seed_from_u64(self.instance_seed);
-        let problem = IsingProblem::try_random_3_regular(self.qubits, &mut rng)
-            .map_err(|e| RequestError::bad(format!("infeasible instance: {e}")))?;
+        let (instance, shape) = match self.problem {
+            ProblemKind::MaxCut | ProblemKind::SkModel => {
+                let mut rng = StdRng::seed_from_u64(self.instance_seed);
+                let problem = match self.problem {
+                    ProblemKind::MaxCut => {
+                        IsingProblem::try_random_3_regular(self.qubits, &mut rng)
+                            .map_err(|e| RequestError::bad(format!("infeasible instance: {e}")))?
+                    }
+                    _ => IsingProblem::sk_model(self.qubits, &mut rng),
+                };
+                let shape = match &self.shape {
+                    None => Shape::Grid2d(Grid2d::small_p1(self.rows, self.cols)),
+                    Some(counts) => {
+                        let p = self.depth;
+                        Shape::qaoa_with_counts(p, &counts[..p], &counts[p..])
+                    }
+                };
+                (ProblemInstance::ising(problem, self.depth), shape)
+            }
+            ProblemKind::Molecule(m) => {
+                let shape = match &self.shape {
+                    None => default_vqe_shape(m),
+                    Some(counts) => Shape::vqe_scan(counts),
+                };
+                (ProblemInstance::molecule(m), shape)
+            }
+        };
         let source = match &self.device {
             None => LandscapeSource::Exact,
             Some(name) => LandscapeSource::Noisy {
@@ -323,16 +538,11 @@ impl SubmitReq {
                 shots: self.shots,
             },
         };
-        Ok(JobSpec::new(
-            problem,
-            Grid2d::small_p1(self.rows, self.cols),
-            self.fraction,
-            self.seed,
-        )
-        .with_source(source)
-        .with_landscape_seed(self.landscape_seed)
-        .with_mitigation(self.mitigation.clone())
-        .with_descent(self.descent))
+        Ok(JobSpec::shaped(instance, shape, self.fraction, self.seed)
+            .with_source(source)
+            .with_landscape_seed(self.landscape_seed)
+            .with_mitigation(self.mitigation.clone())
+            .with_descent(self.descent))
     }
 }
 
@@ -437,8 +647,9 @@ pub fn result_checksum(result: &JobResult) -> u64 {
         fold(v.to_bits());
     }
     fold(result.nrmse.to_bits());
-    fold(result.best_point[0].to_bits());
-    fold(result.best_point[1].to_bits());
+    for &coord in &result.best_point {
+        fold(coord.to_bits());
+    }
     fold(result.best_value.to_bits());
     h
 }
@@ -447,7 +658,6 @@ pub fn result_checksum(result: &JobResult) -> u64 {
 /// full value array is included only on request (`include_values`);
 /// the checksum is always present.
 pub fn result_to_json(result: &JobResult, include_values: bool) -> Json {
-    let grid = result.reconstruction.grid();
     let mut fields = vec![
         ("nrmse".to_string(), Json::Num(result.nrmse)),
         (
@@ -460,14 +670,20 @@ pub fn result_to_json(result: &JobResult, include_values: bool) -> Json {
         ),
         (
             "best_point".to_string(),
-            Json::Arr(vec![
-                Json::Num(result.best_point[0]),
-                Json::Num(result.best_point[1]),
-            ]),
+            Json::Arr(result.best_point.iter().map(|&c| Json::Num(c)).collect()),
         ),
         ("best_value".to_string(), Json::Num(result.best_value)),
-        ("rows".to_string(), Json::Num(grid.rows() as f64)),
-        ("cols".to_string(), Json::Num(grid.cols() as f64)),
+        (
+            "dims".to_string(),
+            Json::Arr(
+                result
+                    .reconstruction
+                    .dims()
+                    .iter()
+                    .map(|&n| Json::Num(n as f64))
+                    .collect(),
+            ),
+        ),
         (
             "cache_hit".to_string(),
             Json::Bool(result.landscape_cache_hit),
@@ -481,6 +697,10 @@ pub fn result_to_json(result: &JobResult, include_values: bool) -> Json {
             Json::Str(format!("{:016x}", result_checksum(result))),
         ),
     ];
+    if let Some(grid) = result.reconstruction.as_grid2d().map(|l| l.grid()) {
+        fields.push(("rows".to_string(), Json::Num(grid.rows() as f64)));
+        fields.push(("cols".to_string(), Json::Num(grid.cols() as f64)));
+    }
     if include_values {
         fields.push((
             "values".to_string(),
@@ -565,6 +785,151 @@ mod tests {
                 bad.to_string_compact()
             );
         }
+    }
+
+    #[test]
+    fn deep_qaoa_and_vqe_submits_roundtrip_through_json() {
+        let req = SubmitReq::deep_qaoa(ProblemKind::SkModel, 6, 2, 9, vec![4, 5, 6, 7], 0.4);
+        let line = req.to_json().to_string_compact();
+        let back = match Request::from_json(&parse(&line).unwrap()).unwrap() {
+            Request::Submit(r) => r,
+            other => panic!("expected submit, got {other:?}"),
+        };
+        assert_eq!(back.problem, ProblemKind::SkModel);
+        assert_eq!(back.depth, 2);
+        assert_eq!(back.shape.as_deref(), Some(&[4usize, 5, 6, 7][..]));
+        assert_eq!(back.qubits, 6);
+        assert_eq!((back.rows, back.cols), (0, 0));
+
+        let req = SubmitReq::vqe(Molecule::LiH, 3, 0.5);
+        let line = req.to_json().to_string_compact();
+        // Molecular submits carry no register/grid fields on the wire.
+        let obj = parse(&line).unwrap();
+        for absent in ["qubits", "rows", "cols", "depth"] {
+            assert!(obj.get(absent).is_none(), "'{absent}' leaked into {line}");
+        }
+        let back = match Request::from_json(&obj).unwrap() {
+            Request::Submit(r) => r,
+            other => panic!("expected submit, got {other:?}"),
+        };
+        assert_eq!(back.problem, ProblemKind::Molecule(Molecule::LiH));
+        assert_eq!(back.qubits, Molecule::LiH.num_qubits());
+        assert_eq!(back.shape, None);
+    }
+
+    #[test]
+    fn shape_and_problem_validation_rejects_malformed_submits() {
+        for (bad, why) in [
+            (
+                r#"{"verb":"submit","problem":"travelling-salesman","qubits":6,"seed":1,"rows":8,"cols":8,"fraction":0.3}"#,
+                "unknown problem",
+            ),
+            (
+                r#"{"verb":"submit","problem":"maxcut","qubits":6,"seed":1,"rows":8,"cols":8,"depth":0,"fraction":0.3}"#,
+                "zero depth",
+            ),
+            (
+                r#"{"verb":"submit","problem":"h2","depth":2,"seed":1,"fraction":0.3}"#,
+                "depth on a molecule",
+            ),
+            (
+                r#"{"verb":"submit","problem":"h2","qubits":2,"seed":1,"fraction":0.3}"#,
+                "qubits on a molecule",
+            ),
+            (
+                r#"{"verb":"submit","problem":"h2","rows":8,"seed":1,"fraction":0.3}"#,
+                "rows on a molecule",
+            ),
+            (
+                r#"{"verb":"submit","problem":"h2","shape":[4,4],"seed":1,"fraction":0.3}"#,
+                "wrong molecular shape rank",
+            ),
+            (
+                r#"{"verb":"submit","problem":"maxcut","qubits":6,"seed":1,"rows":8,"cols":8,"shape":[4,4],"fraction":0.3}"#,
+                "shape at depth 1",
+            ),
+            (
+                r#"{"verb":"submit","problem":"maxcut","qubits":6,"depth":2,"seed":1,"fraction":0.3}"#,
+                "depth 2 without shape",
+            ),
+            (
+                r#"{"verb":"submit","problem":"maxcut","qubits":6,"depth":2,"shape":[4,4,4],"seed":1,"fraction":0.3}"#,
+                "shape rank != 2 * depth",
+            ),
+            (
+                r#"{"verb":"submit","problem":"maxcut","qubits":6,"depth":2,"shape":[4,4,4,4],"rows":8,"cols":8,"seed":1,"fraction":0.3}"#,
+                "rows alongside shape",
+            ),
+            (
+                r#"{"verb":"submit","problem":"maxcut","qubits":6,"depth":2,"shape":[4,1,4,4],"seed":1,"fraction":0.3}"#,
+                "axis below 2",
+            ),
+            (
+                r#"{"verb":"submit","problem":"maxcut","qubits":6,"depth":2,"shape":[4,-4,4,4],"seed":1,"fraction":0.3}"#,
+                "negative axis",
+            ),
+            (
+                r#"{"verb":"submit","problem":"maxcut","qubits":6,"depth":8,"shape":[60,60,60,60,60,60,60,60,60,60,60,60,60,60,60,60],"seed":1,"fraction":0.3}"#,
+                "over the point cap",
+            ),
+        ] {
+            let parsed = Request::from_json(&parse(bad).unwrap());
+            assert!(
+                matches!(parsed, Err(ref e) if e.code == ErrorCode::BadRequest),
+                "{why}: {bad} must be rejected, got {parsed:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn nd_to_spec_matches_the_library_mapping() {
+        // Depth-2 QAOA: wire counts are betas first, exactly the
+        // qaoa_with_counts convention.
+        let req = SubmitReq::deep_qaoa(ProblemKind::MaxCut, 6, 2, 11, vec![4, 5, 6, 7], 0.4);
+        let spec = req.to_spec().unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let problem = IsingProblem::try_random_3_regular(6, &mut rng).unwrap();
+        let reference = JobSpec::shaped(
+            oscar_problems::workload::ProblemInstance::ising(problem, 2),
+            Shape::qaoa_with_counts(2, &[4, 5], &[6, 7]),
+            0.4,
+            11,
+        )
+        .with_landscape_seed(11);
+        let a = oscar_runtime::job::run_job(&spec, None);
+        let b = oscar_runtime::job::run_job(&reference, None);
+        assert_eq!(result_checksum(&a), result_checksum(&b));
+        assert_eq!(a.best_point.len(), 4);
+
+        // VQE with the default scan shape.
+        let spec = SubmitReq::vqe(Molecule::H2, 5, 0.5).to_spec().unwrap();
+        let reference = JobSpec::shaped(
+            oscar_problems::workload::ProblemInstance::molecule(Molecule::H2),
+            default_vqe_shape(Molecule::H2),
+            0.5,
+            5,
+        )
+        .with_landscape_seed(5);
+        let a = oscar_runtime::job::run_job(&spec, None);
+        let b = oscar_runtime::job::run_job(&reference, None);
+        assert_eq!(result_checksum(&a), result_checksum(&b));
+        assert_eq!(a.best_point.len(), 3);
+
+        // N-D results serialize dims and omit the 2-D grid fields.
+        let json = result_to_json(&a, false);
+        let dims: Vec<u64> = json
+            .get("dims")
+            .and_then(Json::as_arr)
+            .unwrap()
+            .iter()
+            .map(|d| d.as_u64().unwrap())
+            .collect();
+        assert_eq!(dims, vec![10, 10, 10]);
+        assert!(json.get("rows").is_none() && json.get("cols").is_none());
+        assert_eq!(
+            json.get("best_point").and_then(Json::as_arr).unwrap().len(),
+            3
+        );
     }
 
     #[test]

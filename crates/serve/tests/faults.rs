@@ -349,6 +349,125 @@ fn served_results_are_bit_identical_to_the_library_path() {
 }
 
 #[test]
+fn malformed_nd_submits_get_structured_rejects_and_the_connection_survives() {
+    let path = sock("nd-malformed");
+    let daemon = spawn_unix(&path, tight_config()).expect("spawn");
+    let mut raw = RawClient::connect_unix(&path).expect("connect");
+    raw.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+
+    let exchange = |raw: &mut RawClient, line: &str| -> Json {
+        raw.send_line(line).expect("send");
+        let reply = raw.read_line().expect("read").expect("reply line");
+        oscar_serve::json::parse(&reply).expect("reply parses")
+    };
+
+    // Every malformed N-D submit maps to a structured bad-request.
+    for line in [
+        // Unknown problem family.
+        r#"{"verb":"submit","problem":"ising-3d","qubits":6,"seed":1,"rows":8,"cols":8,"fraction":0.3}"#,
+        // Deep QAOA whose shape disagrees with its depth.
+        r#"{"verb":"submit","problem":"sk","qubits":6,"depth":2,"shape":[5,5,5],"seed":1,"fraction":0.3}"#,
+        // Molecular job smuggling in 2-D grid fields.
+        r#"{"verb":"submit","problem":"h2","rows":8,"cols":8,"seed":1,"fraction":0.3}"#,
+        // Shape blowing past the landscape point cap.
+        r#"{"verb":"submit","problem":"lih","shape":[60,60,60,60,60,60,60,60],"seed":1,"fraction":0.3}"#,
+    ] {
+        let reply = exchange(&mut raw, line);
+        assert_eq!(err_code(&reply), Some("bad-request"), "for line {line}");
+    }
+
+    // The connection survives, and a well-formed N-D submit on the
+    // same connection is admitted and runs to completion.
+    let req = SubmitReq::deep_qaoa(
+        oscar_problems::workload::ProblemKind::MaxCut,
+        6,
+        2,
+        7,
+        vec![4, 4, 5, 5],
+        0.4,
+    );
+    let reply = exchange(&mut raw, &req.to_json().to_string_compact());
+    assert!(is_ok(&reply), "{}", reply.to_string_compact());
+    let id = reply.get("job").and_then(Json::as_u64).expect("job id");
+    let reply = exchange(
+        &mut raw,
+        &format!("{{\"verb\":\"wait\",\"job\":{id},\"timeout_ms\":30000}}"),
+    );
+    assert!(is_ok(&reply), "{}", reply.to_string_compact());
+    assert_eq!(reply.get("status").and_then(Json::as_str), Some("done"));
+    drop(daemon);
+}
+
+#[test]
+fn served_nd_results_are_bit_identical_to_the_library_path() {
+    let path = sock("nd-bitident");
+    let daemon = spawn_unix(&path, tight_config()).expect("spawn");
+    let mut client = Client::connect_unix(&path).expect("connect");
+
+    // One 4-D depth-2 QAOA job and one molecular VQE scan, each
+    // checked value-for-value against the in-process library path.
+    let mut vqe = SubmitReq::vqe(oscar_problems::workload::Molecule::H2, 3, 0.5);
+    vqe.device = Some("ibm perth".into());
+    for req in [
+        SubmitReq::deep_qaoa(
+            oscar_problems::workload::ProblemKind::SkModel,
+            6,
+            2,
+            9,
+            vec![4, 5, 4, 5],
+            0.4,
+        ),
+        vqe,
+    ] {
+        let id = submit_ok(&mut client, &req);
+        let reply = client.wait(id, Some(30_000), true).expect("wait io");
+        assert!(is_ok(&reply), "{}", reply.to_string_compact());
+        let result = reply.get("result").expect("result object");
+
+        let local = oscar_runtime::job::run_job(&req.to_spec().unwrap(), None);
+        assert_eq!(
+            result.get("checksum").and_then(Json::as_str).unwrap(),
+            format!("{:016x}", result_checksum(&local)),
+            "served checksum differs from the library path"
+        );
+        let dims: Vec<u64> = result
+            .get("dims")
+            .and_then(Json::as_arr)
+            .expect("dims array")
+            .iter()
+            .map(|d| d.as_u64().unwrap())
+            .collect();
+        let expected_dims: Vec<u64> = local
+            .reconstruction
+            .dims()
+            .iter()
+            .map(|&n| n as u64)
+            .collect();
+        assert_eq!(dims, expected_dims);
+        let served = result.get("values").and_then(Json::as_arr).unwrap();
+        let expected = local.reconstruction.values();
+        assert_eq!(served.len(), expected.len());
+        for (i, (s, e)) in served.iter().zip(expected).enumerate() {
+            assert_eq!(
+                s.as_f64().unwrap().to_bits(),
+                e.to_bits(),
+                "value {i} differs"
+            );
+        }
+        let best: Vec<u64> = result
+            .get("best_point")
+            .and_then(Json::as_arr)
+            .unwrap()
+            .iter()
+            .map(|c| c.as_f64().unwrap().to_bits())
+            .collect();
+        let expected_best: Vec<u64> = local.best_point.iter().map(|c| c.to_bits()).collect();
+        assert_eq!(best, expected_best);
+    }
+    drop(daemon);
+}
+
+#[test]
 fn mid_job_drain_finishes_admitted_work_then_shuts_down() {
     let path = sock("drain");
     let daemon = spawn_unix(&path, tight_config()).expect("spawn");

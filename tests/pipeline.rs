@@ -97,7 +97,8 @@ fn golden_pipeline_numbers_on_the_papers_grid() {
             r.nrmse,
             golden.nrmse
         );
-        let (argmin_value, (b, g)) = r.reconstruction.argmin();
+        let (argmin_value, argmin) = r.reconstruction.argmin();
+        let (b, g) = (argmin[0], argmin[1]);
         assert!(
             close(b, golden.argmin[0], 1e-9) && close(g, golden.argmin[1], 1e-9),
             "{}: argmin ({b}, {g}) drifted from golden {:?}",
@@ -122,6 +123,208 @@ fn golden_pipeline_numbers_on_the_papers_grid() {
             "{}: stage 3 must not end above the grid argmin",
             golden.name
         );
+    }
+}
+
+/// Golden N-D regressions, mirroring the 2-D suite: a depth-2 QAOA job
+/// on its native 4-D `(beta1, beta2, gamma1, gamma2)` tensor — exact
+/// and ZNE-mitigated on "ibm perth" — and an H2 VQE parameter scan,
+/// each pinned on reconstruction error, reconstruction argmin, and
+/// optimizer best value. Same tolerances and update discipline as
+/// [`golden_pipeline_numbers_on_the_papers_grid`].
+#[test]
+// lint: the pinned argmin coordinates are QAOA grid points that land
+// exactly on fractions of pi; they are captured output, not hand-typed
+// approximations of the constants.
+#[allow(clippy::approx_constant)]
+fn golden_nd_pipeline_numbers() {
+    use oscar::core::grid::Shape;
+    use oscar::problems::workload::{Molecule, ProblemInstance};
+    use oscar::runtime::job::{default_vqe_shape, run_job, JobSpec};
+    use oscar::runtime::mitigation::Mitigation;
+    use oscar::runtime::source::LandscapeSource;
+
+    struct NdGolden {
+        name: &'static str,
+        samples_used: usize,
+        nrmse: f64,
+        argmin: &'static [f64],
+        argmin_value: f64,
+        best_value: f64,
+    }
+
+    let perth = oscar::executor::device::DeviceSpec::by_name("ibm perth").expect("known device");
+    let qaoa = JobSpec::shaped(
+        ProblemInstance::ising(problem(8, 42), 2),
+        Shape::qaoa(2, 6, 7),
+        0.15,
+        5,
+    );
+    let qaoa_zne = qaoa
+        .clone()
+        .with_source(LandscapeSource::noisy(perth))
+        .with_landscape_seed(3)
+        .with_mitigation(Mitigation::zne_richardson());
+    let h2 = JobSpec::shaped(
+        ProblemInstance::molecule(Molecule::H2),
+        default_vqe_shape(Molecule::H2),
+        0.2,
+        5,
+    );
+
+    let goldens = [
+        (
+            qaoa,
+            NdGolden {
+                name: "exact p=2 qaoa",
+                samples_used: 265,
+                nrmse: 7.180922953756629e-2,
+                argmin: &[
+                    -3.9269908169872414e-1,
+                    -2.3561944901923448e-1,
+                    5.235987755982989e-1,
+                    7.853981633974483e-1,
+                ],
+                argmin_value: -8.753294852944054e0,
+                best_value: -8.753294852944054e0,
+            },
+        ),
+        (
+            qaoa_zne,
+            NdGolden {
+                name: "zne p=2 qaoa ibm perth",
+                samples_used: 265,
+                nrmse: 1.1157353264681329e-1,
+                argmin: &[
+                    3.9269908169872414e-1,
+                    2.3561944901923448e-1,
+                    -5.235987755982989e-1,
+                    -7.853981633974483e-1,
+                ],
+                argmin_value: -8.329404798172117e0,
+                best_value: -8.329404798172117e0,
+            },
+        ),
+        (
+            h2,
+            NdGolden {
+                name: "h2 vqe scan",
+                samples_used: 200,
+                nrmse: 6.009374988203308e-2,
+                argmin: &[
+                    -1.7453292519943298e-1,
+                    1.7453292519943298e-1,
+                    -1.7453292519943298e-1,
+                ],
+                argmin_value: -1.9363945744786066e0,
+                best_value: -1.9363945744786066e0,
+            },
+        ),
+    ];
+
+    let close = |a: f64, b: f64, tol: f64| (a - b).abs() <= tol * (1.0 + b.abs());
+    for (spec, golden) in goldens {
+        let r = run_job(&spec, None);
+        assert_eq!(
+            r.samples_used, golden.samples_used,
+            "{}: sampling budget",
+            golden.name
+        );
+        assert!(
+            close(r.nrmse, golden.nrmse, 1e-6),
+            "{}: nrmse {} drifted from golden {}",
+            golden.name,
+            r.nrmse,
+            golden.nrmse
+        );
+        let (argmin_value, argmin) = r.reconstruction.argmin();
+        assert_eq!(argmin.len(), golden.argmin.len(), "{}: rank", golden.name);
+        for (i, (&a, &g)) in argmin.iter().zip(golden.argmin).enumerate() {
+            assert!(
+                close(a, g, 1e-9),
+                "{}: argmin[{i}] {a} drifted from golden {g}",
+                golden.name
+            );
+        }
+        assert!(
+            close(argmin_value, golden.argmin_value, 1e-6),
+            "{}: argmin value {argmin_value} drifted from golden {}",
+            golden.name,
+            golden.argmin_value
+        );
+        assert!(
+            close(r.best_value, golden.best_value, 1e-6),
+            "{}: optimizer best value {} drifted from golden {}",
+            golden.name,
+            r.best_value,
+            golden.best_value
+        );
+        assert!(
+            r.best_value <= argmin_value + 1e-9,
+            "{}: stage 3 must not end above the grid argmin",
+            golden.name
+        );
+    }
+}
+
+/// The determinism contract across executor counts, on a batch mixing
+/// every workload family and shape: 2-D MaxCut, 4-D depth-2 SK-model
+/// QAOA (noisy + Gaussian-mitigated), and H2/LiH VQE scans. One
+/// executor and four executors must produce bit-identical results,
+/// job for job.
+#[test]
+fn mixed_nd_batch_is_bit_identical_across_executor_counts() {
+    use oscar::core::grid::Shape;
+    use oscar::problems::workload::{Molecule, ProblemInstance};
+    use oscar::runtime::job::{default_vqe_shape, JobSpec};
+    use oscar::runtime::mitigation::Mitigation;
+    use oscar::runtime::scheduler::{BatchRuntime, RuntimeConfig};
+    use oscar::runtime::source::LandscapeSource;
+
+    let perth = oscar::executor::device::DeviceSpec::by_name("ibm perth").expect("known device");
+    let mut rng = StdRng::seed_from_u64(19);
+    let sk = IsingProblem::sk_model(8, &mut rng);
+    let specs = [
+        JobSpec::new(problem(10, 42), Grid2d::small_p1(20, 30), 0.2, 1),
+        JobSpec::shaped(ProblemInstance::ising(sk, 2), Shape::qaoa(2, 5, 6), 0.25, 2)
+            .with_source(LandscapeSource::noisy(perth))
+            .with_landscape_seed(7)
+            .with_mitigation(Mitigation::gaussian()),
+        JobSpec::shaped(
+            ProblemInstance::molecule(Molecule::H2),
+            default_vqe_shape(Molecule::H2),
+            0.3,
+            3,
+        ),
+        JobSpec::shaped(
+            ProblemInstance::molecule(Molecule::LiH),
+            default_vqe_shape(Molecule::LiH),
+            0.2,
+            4,
+        ),
+    ];
+
+    let run = |concurrency: usize| {
+        let runtime = BatchRuntime::new(RuntimeConfig {
+            concurrency,
+            ..RuntimeConfig::default()
+        });
+        runtime
+            .run_batch(specs.iter().cloned())
+            .expect("no job panicked")
+    };
+    let solo = run(1);
+    let four = run(4);
+    assert_eq!(solo.len(), four.len());
+    for (a, b) in solo.iter().zip(&four) {
+        assert_eq!(
+            a.reconstruction.values(),
+            b.reconstruction.values(),
+            "reconstruction drifted across executor counts"
+        );
+        assert_eq!(a.nrmse.to_bits(), b.nrmse.to_bits());
+        assert_eq!(a.best_point, b.best_point);
+        assert_eq!(a.best_value.to_bits(), b.best_value.to_bits());
     }
 }
 
