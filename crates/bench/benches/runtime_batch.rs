@@ -54,6 +54,7 @@ fn bench_runtime_batch(c: &mut Criterion) {
     let runtime = BatchRuntime::new(RuntimeConfig {
         concurrency: oscar_par::max_threads(),
         landscape_cache_capacity: 8,
+        ..RuntimeConfig::default()
     });
     group.bench_function("scheduled_cached_8_jobs", |b| {
         b.iter(|| {

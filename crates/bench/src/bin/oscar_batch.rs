@@ -124,6 +124,7 @@ struct Options {
     profile: bool,
     trace: Option<String>,
     metrics: bool,
+    store: Option<String>,
 }
 
 fn usage_and_exit(code: i32) -> ! {
@@ -133,7 +134,7 @@ fn usage_and_exit(code: i32) -> ! {
          \x20                  [--fraction F] [--no-optimize] [--compare]\n\
          \x20                  [--device NAME|sweep] [--shots N] [--priority MODE]\n\
          \x20                  [--mitigation MODE|sweep] [--optimizer NAME|sweep]\n\
-         \x20                  [--profile] [--trace FILE]\n\
+         \x20                  [--profile] [--trace FILE] [--store DIR]\n\
          \x20                  [--connect ADDR] [--metrics] [--drain]\n\
          \n\
          --file PATH      job list: lines of `qubits seed rows cols fraction`\n\
@@ -161,6 +162,9 @@ fn usage_and_exit(code: i32) -> ! {
          \x20                  cache hit ratio by key class, pool utilization\n\
          --trace FILE     record per-job stage spans; write JSONL to FILE\n\
          \x20                  (OSCAR_TRACE=FILE in the environment does the same)\n\
+         --store DIR      persistent landscape store: landscapes computed this run\n\
+         \x20                  are written to DIR and reused by later runs (corrupt\n\
+         \x20                  or foreign entries are recomputed, never trusted)\n\
          --connect ADDR   submit the batch to a running oscar-serve daemon\n\
          \x20                  (Unix socket path or host:port) instead of in-process;\n\
          \x20                  admission rejects are retried per retry_after_ms\n\
@@ -195,6 +199,7 @@ fn parse_options() -> Options {
         profile: false,
         trace: None,
         metrics: false,
+        store: None,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -272,6 +277,7 @@ fn parse_options() -> Options {
             "--drain" => opts.drain = true,
             "--profile" => opts.profile = true,
             "--trace" => opts.trace = Some(value(&mut i, "--trace")),
+            "--store" => opts.store = Some(value(&mut i, "--store")),
             "--metrics" => opts.metrics = true,
             "--help" | "-h" => usage_and_exit(0),
             other => {
@@ -308,6 +314,10 @@ fn parse_options() -> Options {
         eprintln!(
             "error: --profile/--trace profile the in-process runtime (use --metrics for a daemon)"
         );
+        usage_and_exit(2);
+    }
+    if opts.connect.is_some() && opts.store.is_some() {
+        eprintln!("error: --store configures the in-process runtime (use oscar-serve --store)");
         usage_and_exit(2);
     }
     opts
@@ -942,8 +952,15 @@ fn main() {
         opts.optimizer,
     );
 
+    let store = opts.store.as_ref().map(|dir| {
+        oscar_runtime::store::LandscapeStore::open(dir).unwrap_or_else(|e| {
+            eprintln!("error: cannot open landscape store '{dir}': {e}");
+            std::process::exit(2);
+        })
+    });
     let runtime = BatchRuntime::new(RuntimeConfig {
         concurrency: opts.concurrency,
+        store: store.clone(),
         ..RuntimeConfig::default()
     });
     let t0 = Instant::now();
@@ -982,6 +999,16 @@ fn main() {
         "worker pool: {} thread budget, {} spawned (steady state spawns none), {} regions",
         pool.threads, pool.threads_spawned, pool.regions_run
     );
+    if let Some(store) = &store {
+        // Drain the write-behind queue so the printed counters are
+        // final and the directory is complete for the next run.
+        store.flush();
+        let s = oscar_runtime::store::store_stats();
+        println!(
+            "store: hits={} misses={} writes={} write_errors={} corrupt={}",
+            s.hits, s.misses, s.writes, s.write_errors, s.corrupt_entries
+        );
+    }
     if opts.profile {
         print_profile(batch_wall, oscar_par::max_threads());
     }
@@ -1121,6 +1148,18 @@ fn print_profile(batch_wall: std::time::Duration, pool_budget: usize) {
         println!(
             "  hit ratio {:.1}% ({total_hits} of {lookups} lookups)",
             100.0 * total_hits as f64 / lookups as f64
+        );
+    }
+
+    let store_probes = counter("store.hits") + counter("store.misses");
+    if store_probes > 0 {
+        println!(
+            "landscape store: {} hits / {} misses / {} writes / {} write errors / {} corrupt",
+            counter("store.hits"),
+            counter("store.misses"),
+            counter("store.writes"),
+            counter("store.write_errors"),
+            counter("store.corrupt_entries"),
         );
     }
 

@@ -1,9 +1,13 @@
-//! Landscape persistence: CSV for interop with plotting tools and a
-//! plain record type for experiment archival.
+//! Landscape persistence: CSV for interop with plotting tools, a plain
+//! record type for experiment archival, and the raw little-endian f64
+//! payload codec the persistent landscape store builds on.
 //!
 //! Reconstructed landscapes are debugging artifacts users want to plot
 //! (matplotlib, gnuplot) and diff across runs; CSV keeps that friction-free
 //! while [`LandscapeRecord`] captures the grid + values pair for archival.
+//! [`f64s_to_le_bytes`]/[`f64s_from_le_bytes`] are the bit-exact binary
+//! payload primitives (`oscar-runtime`'s on-disk landscape store wraps
+//! them in a versioned, checksummed container).
 
 use crate::grid::{Axis, Grid2d};
 use crate::landscape::Landscape;
@@ -50,6 +54,38 @@ impl LandscapeRecord {
     }
 }
 
+/// Encodes `values` as raw IEEE-754 bytes, 8 per value, little-endian —
+/// the payload format of the persistent landscape store. Bit-exact:
+/// [`f64s_from_le_bytes`] recovers the identical bit patterns,
+/// including NaN payloads and signed zeros.
+pub fn f64s_to_le_bytes(values: &[f64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 8);
+    for v in values {
+        out.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    out
+}
+
+/// Decodes a raw little-endian f64 payload written by
+/// [`f64s_to_le_bytes`]. Returns `None` unless the length is a whole
+/// number of 8-byte values (a truncated payload must read as corrupt,
+/// never as a shorter landscape).
+pub fn f64s_from_le_bytes(bytes: &[u8]) -> Option<Vec<f64>> {
+    if !bytes.len().is_multiple_of(8) {
+        return None;
+    }
+    Some(
+        bytes
+            .chunks_exact(8)
+            .map(|chunk| {
+                let mut raw = [0u8; 8];
+                raw.copy_from_slice(chunk);
+                f64::from_bits(u64::from_le_bytes(raw))
+            })
+            .collect(),
+    )
+}
+
 /// Writes a landscape as CSV: a header line with the grid definition, then
 /// one `beta,gamma,value` row per grid point.
 ///
@@ -76,25 +112,32 @@ pub fn write_csv<W: Write>(l: &Landscape, mut w: W) -> std::io::Result<()> {
 /// Reads a landscape written by [`write_csv`]. A mut reference to any
 /// `Read` can be passed.
 ///
+/// Every row's `beta` and `gamma` coordinates are validated against the
+/// declared grid in row-major order — a reordered, duplicated, or
+/// off-grid row is rejected instead of silently landing its value at
+/// the wrong grid point.
+///
 /// # Errors
 ///
-/// Returns `InvalidData` on malformed headers or rows, or any underlying
-/// I/O error.
+/// Returns `InvalidData` on malformed headers, rows that do not split
+/// into exactly three numeric columns, coordinates that disagree with
+/// the declared grid, or a row count that does not cover it — or any
+/// underlying I/O error.
 pub fn read_csv<R: Read>(r: R) -> std::io::Result<Landscape> {
     use std::io::{Error, ErrorKind};
-    let invalid = |msg: &str| Error::new(ErrorKind::InvalidData, msg.to_string());
+    let invalid = |msg: String| Error::new(ErrorKind::InvalidData, msg);
 
     let mut lines = BufReader::new(r).lines();
     let header = lines
         .next()
-        .ok_or_else(|| invalid("missing grid header"))??;
-    let grid = parse_grid_header(&header).ok_or_else(|| invalid("malformed grid header"))?;
+        .ok_or_else(|| invalid("missing grid header".into()))??;
+    let grid = parse_grid_header(&header).ok_or_else(|| invalid("malformed grid header".into()))?;
     // Column header line.
     let cols_line = lines
         .next()
-        .ok_or_else(|| invalid("missing column header"))??;
+        .ok_or_else(|| invalid("missing column header".into()))??;
     if cols_line.trim() != "beta,gamma,value" {
-        return Err(invalid("unexpected column header"));
+        return Err(invalid("unexpected column header".into()));
     }
     let mut values = Vec::with_capacity(grid.len());
     for line in lines {
@@ -102,15 +145,47 @@ pub fn read_csv<R: Read>(r: R) -> std::io::Result<Landscape> {
         if line.trim().is_empty() {
             continue;
         }
-        let v = line
-            .rsplit(',')
-            .next()
-            .and_then(|s| s.trim().parse::<f64>().ok())
-            .ok_or_else(|| invalid("malformed data row"))?;
-        values.push(v);
+        let row = values.len();
+        let mut cols = line.split(',');
+        let mut field = |name: &str| {
+            cols.next()
+                .and_then(|s| s.trim().parse::<f64>().ok())
+                .ok_or_else(|| invalid(format!("row {row}: malformed {name} column")))
+        };
+        let beta = field("beta")?;
+        let gamma = field("gamma")?;
+        let value = field("value")?;
+        if cols.next().is_some() {
+            return Err(invalid(format!("row {row}: too many columns")));
+        }
+        if row >= grid.len() {
+            return Err(invalid(format!(
+                "row {row}: more rows than the declared {}x{} grid",
+                grid.rows(),
+                grid.cols()
+            )));
+        }
+        // Coordinates must restate the declared grid point, in row-major
+        // write order. The tolerance is a fraction of the axis step so
+        // re-serialized files with rounded coordinates still load, while
+        // reordered or off-grid rows cannot land on the wrong point.
+        let (want_b, want_g) = grid.point(row);
+        let close = |got: f64, want: f64, step: f64| (got - want).abs() <= step * 1e-6;
+        if !close(beta, want_b, grid.beta.step()) || !close(gamma, want_g, grid.gamma.step()) {
+            return Err(invalid(format!(
+                "row {row}: coordinates ({beta}, {gamma}) do not match grid point \
+                 ({want_b}, {want_g}) — rows must follow the declared grid row-major"
+            )));
+        }
+        values.push(value);
     }
     if values.len() != grid.len() {
-        return Err(invalid("row count does not match grid"));
+        return Err(invalid(format!(
+            "row count {} does not match grid ({}x{})",
+            values.len(),
+            grid.rows(),
+            grid.cols()
+        )));
     }
     Ok(Landscape::from_values(grid, values))
 }
@@ -186,5 +261,94 @@ mod tests {
         let text = String::from_utf8(buf).unwrap();
         let truncated: String = text.lines().take(10).collect::<Vec<_>>().join("\n");
         assert!(read_csv(truncated.as_bytes()).is_err());
+    }
+
+    fn sample_csv() -> Vec<String> {
+        let mut buf = Vec::new();
+        write_csv(&sample_landscape(), &mut buf).unwrap();
+        String::from_utf8(buf)
+            .unwrap()
+            .lines()
+            .map(String::from)
+            .collect()
+    }
+
+    #[test]
+    fn read_rejects_reordered_rows() {
+        // Swapping two data rows keeps the row count and every value
+        // parseable — only coordinate validation can catch it.
+        let mut lines = sample_csv();
+        lines.swap(2, 3);
+        let text = lines.join("\n");
+        let err = read_csv(text.as_bytes()).unwrap_err();
+        assert!(
+            err.to_string().contains("do not match grid point"),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn read_rejects_off_grid_coordinates() {
+        let mut lines = sample_csv();
+        // Perturb row 5's gamma coordinate well past the tolerance.
+        let row = lines[7].clone();
+        let mut cols: Vec<&str> = row.split(',').collect();
+        let shifted = format!("{}", cols[1].parse::<f64>().unwrap() + 0.05);
+        cols[1] = &shifted;
+        lines[7] = cols.join(",");
+        assert!(read_csv(lines.join("\n").as_bytes()).is_err());
+    }
+
+    #[test]
+    fn read_rejects_malformed_rows() {
+        for bad in [
+            "0.1,0.2",             // missing value column
+            "0.1,0.2,0.3,0.4",     // extra column
+            "0.1,oops,0.3",        // non-numeric coordinate
+            "0.1,0.2,not-a-float", // non-numeric value
+        ] {
+            let mut lines = sample_csv();
+            lines[5] = bad.to_string();
+            assert!(
+                read_csv(lines.join("\n").as_bytes()).is_err(),
+                "accepted malformed row {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn read_rejects_extra_rows() {
+        let mut lines = sample_csv();
+        let last = lines.last().unwrap().clone();
+        lines.push(last);
+        assert!(read_csv(lines.join("\n").as_bytes()).is_err());
+    }
+
+    #[test]
+    fn f64_payload_roundtrip_is_bit_exact() {
+        let values = [
+            0.0,
+            -0.0,
+            1.5,
+            -2.25e-308,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::from_bits(0x7ff8_0000_0000_1234), // NaN with payload
+        ];
+        let bytes = f64s_to_le_bytes(&values);
+        assert_eq!(bytes.len(), values.len() * 8);
+        let back = f64s_from_le_bytes(&bytes).unwrap();
+        for (a, b) in values.iter().zip(&back) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn f64_payload_rejects_ragged_lengths() {
+        let bytes = f64s_to_le_bytes(&[1.0, 2.0]);
+        for cut in [1, 7, 9, 15] {
+            assert!(f64s_from_le_bytes(&bytes[..cut]).is_none());
+        }
+        assert_eq!(f64s_from_le_bytes(&[]), Some(vec![]));
     }
 }

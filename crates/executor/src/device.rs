@@ -14,13 +14,12 @@ use oscar_problems::ansatz::Ansatz;
 use oscar_problems::ising::IsingProblem;
 use oscar_problems::workload::{Molecule, VqeEvaluator};
 use oscar_qsim::circuit::GateCounts;
+use oscar_qsim::fingerprint::{tag, Fingerprint};
 use oscar_qsim::noise::ReadoutError;
 use oscar_qsim::qaoa::QaoaEvaluator;
 use oscar_qsim::rng::CounterRng;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::hash_map::DefaultHasher;
-use std::hash::{Hash, Hasher};
 use std::sync::Mutex;
 
 /// Every device name [`DeviceSpec::by_name`] can resolve. The entries
@@ -122,18 +121,26 @@ impl DeviceSpec {
         DeviceSpec { p, ..self }
     }
 
-    /// Stable fingerprint of the spec (name, exact noise bit patterns,
-    /// depth) — folds into landscape cache keys so landscapes from
-    /// different devices never collide.
-    pub fn fingerprint(&self) -> u64 {
-        let mut h = DefaultHasher::new();
-        self.name.hash(&mut h);
-        self.noise.depolarizing.p1.to_bits().hash(&mut h);
-        self.noise.depolarizing.p2.to_bits().hash(&mut h);
-        self.noise.readout.p01.to_bits().hash(&mut h);
-        self.noise.readout.p10.to_bits().hash(&mut h);
-        self.noise.shots.hash(&mut h);
-        self.p.hash(&mut h);
+    /// Stable 128-bit fingerprint of the spec (name, exact noise bit
+    /// patterns, depth) — folds into landscape cache keys so landscapes
+    /// from different devices never collide. Process-stable
+    /// (FNV-1a-128 over the canonical encoding,
+    /// [`oscar_qsim::fingerprint`]): the persistent landscape store
+    /// keys entries by it across restarts and toolchains.
+    ///
+    /// Canonical encoding: `tag::DEVICE`, name (length-prefixed),
+    /// depolarizing `p1`/`p2`, readout `p01`/`p10` (f64 bit patterns),
+    /// the optional shot count, the QAOA depth.
+    pub fn fingerprint(&self) -> u128 {
+        let mut h = Fingerprint::new();
+        h.write_u8(tag::DEVICE);
+        h.write_str(&self.name);
+        h.write_f64(self.noise.depolarizing.p1);
+        h.write_f64(self.noise.depolarizing.p2);
+        h.write_f64(self.noise.readout.p01);
+        h.write_f64(self.noise.readout.p10);
+        h.write_opt_u64(self.noise.shots.map(|s| s as u64));
+        h.write_usize(self.p);
         h.finish()
     }
 

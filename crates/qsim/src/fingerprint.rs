@@ -1,0 +1,265 @@
+//! Process-stable 128-bit fingerprints: FNV-1a-128 over a canonical
+//! byte encoding.
+//!
+//! Cache keys that live only in memory can hash with anything, but the
+//! persistent landscape store writes keys to disk and reads them back
+//! in a different process — possibly one built by a different Rust
+//! release. `std`'s `DefaultHasher` explicitly does *not* promise a
+//! stable output across releases (or even across processes, if seeded),
+//! so every identity that can reach disk hashes through [`Fingerprint`]
+//! instead: a hand-rolled FNV-1a with a 128-bit state, fed a canonical
+//! byte encoding. The scheme is normative — regression tests pin known
+//! digests for fixed inputs, so any drift (toolchain, refactor, or an
+//! accidental encoding change) fails loudly instead of silently
+//! invalidating or corrupting a store.
+//!
+//! # Canonical byte encoding (normative)
+//!
+//! Writers feed the hasher exactly these encodings, in a fixed order
+//! per call site:
+//!
+//! * **tag**: a single byte from [`tag`] — a domain/variant
+//!   discriminant. No two call sites may reuse one tag for different
+//!   meanings; the registry below is the single source of truth.
+//! * **`u64`** (and `usize`, which always encodes as `u64`): 8 bytes,
+//!   little-endian.
+//! * **`u128`**: 16 bytes, little-endian.
+//! * **`f64`**: the IEEE-754 bit pattern, as `u64` little-endian —
+//!   `-0.0` and `0.0` stay distinct and NaN payloads are preserved,
+//!   matching the bit-exact determinism contract everywhere else.
+//! * **`bool`**: one byte, `0` or `1`.
+//! * **`Option<u64>`**: one byte `0` for `None`; byte `1` followed by
+//!   the `u64` encoding for `Some`.
+//! * **`str`**: the byte length as `u64`, then the UTF-8 bytes
+//!   (length-prefixing keeps `("ab", "c")` distinct from `("a", "bc")`).
+//!
+//! Variable-length sequences are length-prefixed by their element
+//! count as `u64` before the elements.
+//!
+//! # The hash function
+//!
+//! FNV-1a with 128-bit state: `state = OFFSET_BASIS`, then for every
+//! input byte `state = (state ^ byte).wrapping_mul(PRIME)`. The
+//! parameters are the published FNV-128 constants. FNV-1a is not
+//! cryptographic — the store also verifies the full key bytes on open,
+//! so a (vanishingly unlikely) filename collision degrades to a miss,
+//! never to wrong data.
+
+/// Streaming FNV-1a-128 hasher over the canonical byte encoding.
+///
+/// # Examples
+///
+/// ```
+/// use oscar_qsim::fingerprint::Fingerprint;
+///
+/// let mut h = Fingerprint::new();
+/// h.write_u64(7);
+/// h.write_f64(0.5);
+/// let a = h.finish();
+/// // Same input bytes, same digest — in any process, on any toolchain.
+/// let mut h2 = Fingerprint::new();
+/// h2.write_u64(7);
+/// h2.write_f64(0.5);
+/// assert_eq!(a, h2.finish());
+/// ```
+#[derive(Clone, Debug)]
+pub struct Fingerprint {
+    state: u128,
+}
+
+impl Fingerprint {
+    /// The FNV-128 offset basis.
+    pub const OFFSET_BASIS: u128 = 0x6c62272e07bb014262b821756295c58d;
+    /// The FNV-128 prime, `2^88 + 2^8 + 0x3b`.
+    pub const PRIME: u128 = 0x0000000001000000000000000000013B;
+
+    /// A fresh hasher (state = offset basis).
+    pub fn new() -> Self {
+        Fingerprint {
+            state: Self::OFFSET_BASIS,
+        }
+    }
+
+    /// Absorbs raw bytes.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state = (self.state ^ u128::from(b)).wrapping_mul(Self::PRIME);
+        }
+    }
+
+    /// Absorbs one tag/discriminant byte.
+    pub fn write_u8(&mut self, v: u8) {
+        self.write_bytes(&[v]);
+    }
+
+    /// Absorbs a `u64`, little-endian.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Absorbs a `u128`, little-endian.
+    pub fn write_u128(&mut self, v: u128) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Absorbs a `usize` as `u64` (the canonical integer width).
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    /// Absorbs an `f64` as its IEEE-754 bit pattern.
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// Absorbs a `bool` as one byte.
+    pub fn write_bool(&mut self, v: bool) {
+        self.write_u8(u8::from(v));
+    }
+
+    /// Absorbs an `Option<u64>`: `0`, or `1` + the value.
+    pub fn write_opt_u64(&mut self, v: Option<u64>) {
+        match v {
+            None => self.write_u8(0),
+            Some(v) => {
+                self.write_u8(1);
+                self.write_u64(v);
+            }
+        }
+    }
+
+    /// Absorbs a string, length-prefixed.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_usize(s.len());
+        self.write_bytes(s.as_bytes());
+    }
+
+    /// The 128-bit digest of everything absorbed so far.
+    pub fn finish(&self) -> u128 {
+        self.state
+    }
+}
+
+impl Default for Fingerprint {
+    fn default() -> Self {
+        Fingerprint::new()
+    }
+}
+
+/// The domain/variant tag registry (normative). Every fingerprint site
+/// starts its encoding with exactly one of these, so encodings from
+/// different domains can never alias byte-for-byte.
+pub mod tag {
+    /// A noisy landscape source (`LandscapeSource::fingerprint`).
+    pub const NOISY: u8 = 0x01;
+    /// A ZNE-scaled landscape source
+    /// (`LandscapeSource::scaled_fingerprint`, scale ≠ 1).
+    pub const ZNE_SCALE: u8 = 0x02;
+    /// ZNE mitigation (`Mitigation::fingerprint`).
+    pub const ZNE: u8 = 0x03;
+    /// Readout-inversion mitigation.
+    pub const READOUT: u8 = 0x04;
+    /// Gaussian-smoothing mitigation.
+    pub const GAUSSIAN: u8 = 0x05;
+    /// A MaxCut Ising problem instance.
+    pub const MAXCUT: u8 = 0x06;
+    /// A Sherrington–Kirkpatrick Ising problem instance.
+    pub const SK_MODEL: u8 = 0x07;
+    /// A molecular VQE problem instance.
+    pub const MOLECULE: u8 = 0x08;
+    /// A 2-D `(β, γ)` grid shape.
+    pub const GRID2D: u8 = 0x09;
+    /// An N-D tensor shape.
+    pub const TENSOR: u8 = 0x0A;
+    /// A device spec (`DeviceSpec::fingerprint`).
+    pub const DEVICE: u8 = 0x0B;
+    /// A landscape-store key block (`LandscapeKey` canonical bytes).
+    pub const STORE_KEY: u8 = 0x0C;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference FNV-1a-128 over raw bytes (the textbook loop), used to
+    /// cross-check the streaming helpers.
+    fn fnv(bytes: &[u8]) -> u128 {
+        let mut state = Fingerprint::OFFSET_BASIS;
+        for &b in bytes {
+            state = (state ^ u128::from(b)).wrapping_mul(Fingerprint::PRIME);
+        }
+        state
+    }
+
+    #[test]
+    fn empty_input_is_the_offset_basis() {
+        assert_eq!(Fingerprint::new().finish(), Fingerprint::OFFSET_BASIS);
+        assert_eq!(
+            Fingerprint::OFFSET_BASIS,
+            0x6c62272e07bb014262b821756295c58d
+        );
+    }
+
+    #[test]
+    fn helpers_match_the_reference_encoding() {
+        let mut h = Fingerprint::new();
+        h.write_u8(0x2a);
+        h.write_u64(0x0102030405060708);
+        h.write_f64(-0.0);
+        h.write_bool(true);
+        h.write_opt_u64(None);
+        h.write_opt_u64(Some(5));
+        h.write_str("ab");
+        h.write_u128(1);
+
+        let mut bytes = vec![0x2a];
+        bytes.extend_from_slice(&0x0102030405060708u64.to_le_bytes());
+        bytes.extend_from_slice(&(-0.0f64).to_bits().to_le_bytes());
+        bytes.push(1);
+        bytes.push(0);
+        bytes.push(1);
+        bytes.extend_from_slice(&5u64.to_le_bytes());
+        bytes.extend_from_slice(&2u64.to_le_bytes());
+        bytes.extend_from_slice(b"ab");
+        bytes.extend_from_slice(&1u128.to_le_bytes());
+        assert_eq!(h.finish(), fnv(&bytes));
+    }
+
+    #[test]
+    fn length_prefix_prevents_string_aliasing() {
+        let digest = |parts: &[&str]| {
+            let mut h = Fingerprint::new();
+            for p in parts {
+                h.write_str(p);
+            }
+            h.finish()
+        };
+        assert_ne!(digest(&["ab", "c"]), digest(&["a", "bc"]));
+        assert_ne!(digest(&["abc"]), digest(&["ab", "c"]));
+    }
+
+    #[test]
+    fn zero_and_negative_zero_differ() {
+        let digest = |v: f64| {
+            let mut h = Fingerprint::new();
+            h.write_f64(v);
+            h.finish()
+        };
+        assert_ne!(digest(0.0), digest(-0.0));
+    }
+
+    #[test]
+    fn digests_are_process_stable_pinned_constants() {
+        // Pinned digests of fixed inputs. If any of these change, the
+        // canonical encoding (or the hash itself) drifted and every
+        // persistent store keyed by it is silently invalidated — fix
+        // the drift, don't update the constants.
+        assert_eq!(fnv(b""), 0x6c62272e07bb014262b821756295c58d);
+        assert_eq!(fnv(b"a"), 0xd228cb696f1a8caf78912b704e4a8964);
+        assert_eq!(fnv(b"foobar"), 0x343e1662793c64bf6f0d3597ba446f18);
+        let mut h = Fingerprint::new();
+        h.write_u8(tag::NOISY);
+        h.write_u64(42);
+        assert_eq!(h.finish(), 0x544ef445dd03ae779031a5b9dad67dae);
+    }
+}

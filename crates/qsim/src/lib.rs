@@ -14,6 +14,8 @@
 //! * [`rng::CounterRng`] — counter-based RNG whose stream is a pure
 //!   function of `(seed, stream)`, for noise draws that must not depend
 //!   on evaluation order;
+//! * [`fingerprint::Fingerprint`] — process-stable FNV-1a-128 over a
+//!   canonical byte encoding, for cache keys that persist to disk;
 //! * [`qaoa::QaoaEvaluator`] — the fast path for diagonal cost Hamiltonians
 //!   that makes dense landscape grids tractable.
 //!
@@ -36,6 +38,7 @@
 
 pub mod circuit;
 pub mod complex;
+pub mod fingerprint;
 pub mod noise;
 pub mod pauli;
 pub mod qaoa;

@@ -10,8 +10,9 @@
 use crate::source::LandscapeSource;
 use oscar_core::grid::Shape;
 use oscar_core::landscape::ShapedLandscape;
+use oscar_problems::ising::IsingKind;
 use oscar_problems::workload::ProblemInstance;
-use std::collections::hash_map::DefaultHasher;
+use oscar_qsim::fingerprint::{tag, Fingerprint};
 use std::collections::{HashMap, HashSet};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -181,6 +182,12 @@ impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
 /// exact landscape shape, the landscape source, the generation seed,
 /// and the mitigation applied on top.
 ///
+/// Every fingerprint field is a process-stable 128-bit digest
+/// (FNV-1a-128 over the canonical encoding, [`oscar_qsim::fingerprint`])
+/// — the same key identifies an entry in the in-memory LRU and in the
+/// persistent on-disk store ([`crate::store::LandscapeStore`]), across
+/// restarts and toolchain upgrades.
+///
 /// The source fingerprint ([`LandscapeSource::fingerprint`]) keeps exact
 /// and noisy entries — and noisy entries from different devices — from
 /// ever colliding. For the [`LandscapeSource::Exact`] source the seed is
@@ -198,11 +205,11 @@ impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
 /// job that measures the same factor.
 #[derive(Clone, Copy, Debug)]
 pub struct LandscapeKey {
-    problem: u64,
-    shape: u64,
-    source: u64,
+    problem: u128,
+    shape: u128,
+    source: u128,
     seed: u64,
-    mitigation: u64,
+    mitigation: u128,
     /// Telemetry label only — see [`KeyClass`]. Deliberately excluded
     /// from equality and hashing: a ZNE factor-1.0 key must keep
     /// sharing the raw noisy entry even though the two requests carry
@@ -334,7 +341,7 @@ impl LandscapeKey {
         shape: &Shape,
         source: &LandscapeSource,
         landscape_seed: u64,
-        mitigation: u64,
+        mitigation: u128,
     ) -> Self {
         let base = LandscapeKey::new(problem, shape, source, landscape_seed);
         LandscapeKey {
@@ -378,54 +385,89 @@ impl LandscapeKey {
     pub fn class(&self) -> KeyClass {
         self.class
     }
+
+    /// Canonical byte encoding of the key identity (the `class` label
+    /// is excluded, exactly like equality): problem, shape, source,
+    /// mitigation as `u128` little-endian, then the seed as `u64`
+    /// little-endian — 72 bytes. This is both the on-disk key block a
+    /// store entry carries and the input of [`Self::store_hash`].
+    pub(crate) fn encode(&self) -> [u8; 72] {
+        let mut out = [0u8; 72];
+        out[0..16].copy_from_slice(&self.problem.to_le_bytes());
+        out[16..32].copy_from_slice(&self.shape.to_le_bytes());
+        out[32..48].copy_from_slice(&self.source.to_le_bytes());
+        out[48..64].copy_from_slice(&self.mitigation.to_le_bytes());
+        out[64..72].copy_from_slice(&self.seed.to_le_bytes());
+        out
+    }
+
+    /// The store filename hash: FNV-1a-128 of `tag::STORE_KEY` + the
+    /// canonical key bytes. Collisions are astronomically unlikely, and
+    /// harmless anyway: the store verifies the full key block on open
+    /// and treats a mismatch as a miss.
+    pub(crate) fn store_hash(&self) -> u128 {
+        let mut h = Fingerprint::new();
+        h.write_u8(tag::STORE_KEY);
+        h.write_bytes(&self.encode());
+        h.finish()
+    }
 }
 
-/// Stable fingerprint of a problem instance. For QAOA: kind, depth,
-/// vertex count, and the exact edge list including weight bit
-/// patterns. For molecules: a domain tag plus the molecule name (the
-/// Hamiltonian and ansatz are fixed by it).
-pub fn problem_fingerprint(problem: &ProblemInstance) -> u64 {
-    let mut h = DefaultHasher::new();
+/// Stable 128-bit fingerprint of a problem instance
+/// ([`oscar_qsim::fingerprint`], process-stable). For QAOA: a kind tag
+/// byte (`tag::MAXCUT`/`tag::SK_MODEL` — no per-lookup `format!`
+/// allocation), depth, vertex count, then the edge count and the exact
+/// edge list including weight bit patterns. For molecules:
+/// `tag::MOLECULE` plus the molecule name (the Hamiltonian and ansatz
+/// are fixed by it).
+pub fn problem_fingerprint(problem: &ProblemInstance) -> u128 {
+    let mut h = Fingerprint::new();
     match problem {
         ProblemInstance::Ising { problem, depth } => {
-            format!("{:?}", problem.kind()).hash(&mut h);
-            depth.hash(&mut h);
-            problem.num_qubits().hash(&mut h);
-            for &(a, b, w) in problem.graph().edges() {
-                a.hash(&mut h);
-                b.hash(&mut h);
-                w.to_bits().hash(&mut h);
+            h.write_u8(match problem.kind() {
+                IsingKind::MaxCut => tag::MAXCUT,
+                IsingKind::SherringtonKirkpatrick => tag::SK_MODEL,
+            });
+            h.write_usize(*depth);
+            h.write_usize(problem.num_qubits());
+            let edges = problem.graph().edges();
+            h.write_usize(edges.len());
+            for &(a, b, w) in edges {
+                h.write_usize(a);
+                h.write_usize(b);
+                h.write_f64(w);
             }
         }
         ProblemInstance::Molecule(m) => {
-            "molecule".hash(&mut h);
-            m.name().hash(&mut h);
+            h.write_u8(tag::MOLECULE);
+            h.write_str(m.name());
         }
     }
     h.finish()
 }
 
-/// Stable fingerprint of a landscape shape: a variant tag plus every
-/// axis's exact bounds (bit patterns) and point count, so a 2-D grid
-/// and a rank-2 tensor over the same ranges never collide.
-fn shape_fingerprint(shape: &Shape) -> u64 {
-    let mut h = DefaultHasher::new();
+/// Stable 128-bit fingerprint of a landscape shape: a variant tag plus
+/// the axis count and every axis's exact bounds (bit patterns) and
+/// point count, so a 2-D grid and a rank-2 tensor over the same ranges
+/// never collide.
+fn shape_fingerprint(shape: &Shape) -> u128 {
+    let mut h = Fingerprint::new();
+    fn write_axes(h: &mut Fingerprint, axes: &[oscar_core::grid::Axis]) {
+        h.write_usize(axes.len());
+        for axis in axes {
+            h.write_f64(axis.lo);
+            h.write_f64(axis.hi);
+            h.write_usize(axis.n);
+        }
+    }
     match shape {
         Shape::Grid2d(grid) => {
-            "grid2d".hash(&mut h);
-            for axis in [&grid.beta, &grid.gamma] {
-                axis.lo.to_bits().hash(&mut h);
-                axis.hi.to_bits().hash(&mut h);
-                axis.n.hash(&mut h);
-            }
+            h.write_u8(tag::GRID2D);
+            write_axes(&mut h, &[grid.beta, grid.gamma]);
         }
         Shape::Tensor(tensor) => {
-            "tensor".hash(&mut h);
-            for axis in tensor.axes() {
-                axis.lo.to_bits().hash(&mut h);
-                axis.hi.to_bits().hash(&mut h);
-                axis.n.hash(&mut h);
-            }
+            h.write_u8(tag::TENSOR);
+            write_axes(&mut h, tensor.axes());
         }
     }
     h.finish()
@@ -458,6 +500,9 @@ pub struct LandscapeCache {
     /// double-counted: a call is a miss iff it ran the producer.
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Optional disk tier probed on in-memory misses; fresh landscapes
+    /// are written behind ([`crate::store::LandscapeStore`]).
+    store: Option<Arc<crate::store::LandscapeStore>>,
 }
 
 impl std::fmt::Debug for LandscapeCache {
@@ -488,25 +533,43 @@ impl Drop for PendingClaim<'_> {
 }
 
 impl LandscapeCache {
-    /// Creates a cache bounded to `capacity` landscapes.
+    /// Creates a cache bounded to `capacity` landscapes, with no disk
+    /// tier.
     ///
     /// # Panics
     ///
     /// Panics if `capacity == 0`.
     pub fn new(capacity: usize) -> Self {
+        LandscapeCache::with_store(capacity, None)
+    }
+
+    /// Creates a cache bounded to `capacity` landscapes, backed by an
+    /// optional persistent [`crate::store::LandscapeStore`] tier: an
+    /// in-memory miss first probes the store, and freshly computed
+    /// landscapes are written behind without blocking the caller.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn with_store(capacity: usize, store: Option<Arc<crate::store::LandscapeStore>>) -> Self {
         LandscapeCache {
             inner: Mutex::new(LruCache::new(capacity)),
             pending: Mutex::new(HashSet::new()),
             pending_cv: Condvar::new(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            store,
         }
     }
 
     /// Returns the cached landscape for `key`, or computes it with
     /// `produce` and caches the result. The second return value is
-    /// `true` on a cache hit (including waiting out another thread's
-    /// in-flight computation of the same key).
+    /// `true` whenever the producer did *not* run: an in-memory hit,
+    /// waiting out another thread's in-flight computation of the same
+    /// key, or a disk-tier hit when a store is attached. [`Self::stats`]
+    /// counts the in-memory tier only (a disk hit still counts an
+    /// in-memory miss there); the disk tier reports through the
+    /// `store.*` metrics ([`crate::store::store_stats`]).
     pub fn get_or_compute(
         &self,
         key: LandscapeKey,
@@ -555,10 +618,26 @@ impl LandscapeCache {
             self.misses.fetch_add(1, Ordering::Relaxed);
             metrics.misses[class].inc();
             let claim = PendingClaim { cache: self, key };
+            // Disk tier: only the claim winner probes, so a batch of
+            // waiters costs one read. A disk hit is promoted into the
+            // LRU and reported as a hit — the producer never ran.
+            if let Some(from_disk) = self.store.as_ref().and_then(|s| s.load(&key)) {
+                let value = Arc::new(from_disk);
+                if let Some(evicted) = lock(&self.inner).insert(key, Arc::clone(&value)) {
+                    metrics.evictions[evicted.class.index()].inc();
+                }
+                drop(claim);
+                return (value, true);
+            }
             // Compute outside the locks: landscape generation is the
             // heavy stage and runs data-parallel on the worker pool;
             // holding a cache lock would serialize unrelated jobs.
             let fresh = Arc::new(produce());
+            if let Some(store) = &self.store {
+                // Write-behind: enqueue and move on, the store's writer
+                // thread does the disk work.
+                store.save(&key, &fresh);
+            }
             if let Some(evicted) = lock(&self.inner).insert(key, Arc::clone(&fresh)) {
                 // Attribute the eviction to the class of the entry that
                 // was displaced, not the one being inserted.
@@ -825,5 +904,66 @@ mod tests {
         });
         assert!(!hit);
         assert_eq!(l.values().len(), 36);
+    }
+
+    /// Pins the 128-bit fingerprints of fixed inputs to their current
+    /// values. These digests name entries in persistent stores
+    /// ([`crate::store::LandscapeStore`]); any change here is a silent
+    /// full-store invalidation for every user, so it must be a
+    /// deliberate format bump, not an accidental refactor. (The old
+    /// `DefaultHasher` scheme had no such guarantee: its output is
+    /// explicitly unstable across releases and processes.)
+    #[test]
+    fn fingerprints_are_pinned_process_stable_constants() {
+        use oscar_executor::device::DeviceSpec;
+        use oscar_runtime_test_pins::*;
+
+        // Problems: a deterministic mesh instance at two depths.
+        let mesh = IsingProblem::mesh(2, 3);
+        assert_eq!(
+            problem_fingerprint(&ising(mesh.clone())),
+            PROBLEM_MESH_2X3_D1
+        );
+        assert_eq!(
+            problem_fingerprint(&ProblemInstance::ising(mesh, 2)),
+            PROBLEM_MESH_2X3_D2
+        );
+        use oscar_problems::workload::Molecule;
+        assert_eq!(
+            problem_fingerprint(&ProblemInstance::molecule(Molecule::H2)),
+            PROBLEM_H2
+        );
+
+        // Shapes: the reduced p=1 grid and a p=2 tensor.
+        assert_eq!(shape_fingerprint(&grid_shape(6, 8)), SHAPE_GRID_6X8);
+        assert_eq!(shape_fingerprint(&Shape::qaoa(2, 3, 4)), SHAPE_QAOA_P2_3X4);
+
+        // Sources: exact is 0 by contract; a named device is pinned,
+        // as is its unit-scale normalization and a scaled variant.
+        let perth = LandscapeSource::noisy(DeviceSpec::by_name("ibm perth").unwrap());
+        assert_eq!(LandscapeSource::Exact.fingerprint(), 0);
+        assert_eq!(perth.fingerprint(), SOURCE_PERTH);
+        assert_eq!(perth.scaled_fingerprint(1.0), SOURCE_PERTH);
+        assert_eq!(perth.scaled_fingerprint(2.0), SOURCE_PERTH_SCALE2);
+
+        // Mitigations: None normalizes to 0; ZNE over a noisy source is
+        // pinned (and odd, by the `| 1` nonzero guarantee).
+        assert_eq!(crate::mitigation::Mitigation::None.fingerprint(&perth), 0);
+        let zne = crate::mitigation::Mitigation::zne_richardson().fingerprint(&perth);
+        assert_eq!(zne, MITIGATION_ZNE_RICHARDSON_PERTH);
+        assert_eq!(zne & 1, 1);
+    }
+
+    /// The pinned digests, kept out of the assertion bodies so a
+    /// legitimate format bump updates one block.
+    mod oscar_runtime_test_pins {
+        pub const PROBLEM_MESH_2X3_D1: u128 = 0x8ecdad3752f8770c41e44cedd848a1c9;
+        pub const PROBLEM_MESH_2X3_D2: u128 = 0x8f7646a2623ecd07bfd86ad1adb73566;
+        pub const PROBLEM_H2: u128 = 0x8798fddec70c83fd4651279b2464835f;
+        pub const SHAPE_GRID_6X8: u128 = 0xb2069332e33dd6d8c6d668626d47fa60;
+        pub const SHAPE_QAOA_P2_3X4: u128 = 0x66123da1039ced146bd8c180ccfe9021;
+        pub const SOURCE_PERTH: u128 = 0x1df1c674daa2fd148846f9a61b7ca9ff;
+        pub const SOURCE_PERTH_SCALE2: u128 = 0xb5f20b591935991d28ba5d1777e3581a;
+        pub const MITIGATION_ZNE_RICHARDSON_PERTH: u128 = 0x3a7a29364e7956333d7da314a001ded7;
     }
 }

@@ -18,7 +18,12 @@
 //!   evaluations, the most expensive stage) live in a bounded LRU
 //!   ([`cache::LandscapeCache`]) keyed by `(problem, shape, seed)`, so
 //!   parameter sweeps that revisit an instance skip straight to
-//!   reconstruction.
+//!   reconstruction. An optional persistent disk tier
+//!   ([`store::LandscapeStore`], [`scheduler::RuntimeConfig::store`])
+//!   carries those landscapes across process restarts: keys are
+//!   process-stable 128-bit fingerprints
+//!   ([`oscar_qsim::fingerprint`]), entries are checksummed, and any
+//!   corrupt entry degrades to a miss.
 //!
 //! Jobs are generic over both the **problem kind** — MaxCut or SK-model
 //! QAOA at any depth, or molecular VQE (H2, LiH UCCSD ansätze) — and
@@ -90,6 +95,7 @@ pub mod job;
 pub mod mitigation;
 pub mod scheduler;
 pub mod source;
+pub mod store;
 
 pub use cache::{CacheStats, KeyClass, LandscapeCache, LandscapeKey, LruCache};
 pub use descent::Descent;
@@ -99,3 +105,4 @@ pub use scheduler::{
     BatchRuntime, JobHandle, JobLost, JobStatus, Priority, RuntimeConfig, SubmitOptions,
 };
 pub use source::LandscapeSource;
+pub use store::{store_stats, LandscapeStore, StoreStats};

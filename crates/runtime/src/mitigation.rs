@@ -46,9 +46,8 @@ use oscar_mitigation::readout::correct_damped_expectation;
 use oscar_mitigation::zne::{Extrapolation, ZneConfig};
 use oscar_obs::span::{with_stage, Stage};
 use oscar_problems::workload::ProblemInstance;
+use oscar_qsim::fingerprint::{tag, Fingerprint};
 use oscar_qsim::noise::ReadoutError;
-use std::collections::hash_map::DefaultHasher;
-use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
 /// How (and whether) a job mitigates its stage-1 landscape.
@@ -158,29 +157,37 @@ impl Mitigation {
         }
     }
 
-    /// Stable fingerprint folded into [`LandscapeKey::mitigated`]: `0`
-    /// iff the mitigation normalizes to [`Mitigation::None`] for
-    /// `source` (the raw key), so mitigated and raw variants of the
-    /// same device and seed never collide while no-op configurations
-    /// share the raw entry.
-    pub fn fingerprint(&self, source: &LandscapeSource) -> u64 {
-        let mut h = DefaultHasher::new();
+    /// Stable 128-bit fingerprint folded into
+    /// [`LandscapeKey::mitigated`]: `0` iff the mitigation normalizes
+    /// to [`Mitigation::None`] for `source` (the raw key), so mitigated
+    /// and raw variants of the same device and seed never collide while
+    /// no-op configurations share the raw entry. Process-stable
+    /// ([`oscar_qsim::fingerprint`]), so persistent-store entries keyed
+    /// by it survive restarts.
+    ///
+    /// Canonical encoding: `tag::ZNE` + factor count + each factor's
+    /// f64 bit pattern + a Richardson flag byte; `tag::READOUT`; or
+    /// `tag::GAUSSIAN` + sigma's bit pattern. The digest is forced
+    /// nonzero (`| 1`).
+    pub fn fingerprint(&self, source: &LandscapeSource) -> u128 {
+        let mut h = Fingerprint::new();
         match self.normalized(source) {
             Mitigation::None => return 0,
             Mitigation::Zne {
                 factors,
                 extrapolator,
             } => {
-                "zne".hash(&mut h);
+                h.write_u8(tag::ZNE);
+                h.write_usize(factors.len());
                 for f in &factors {
-                    f.to_bits().hash(&mut h);
+                    h.write_f64(*f);
                 }
-                matches!(extrapolator, Extrapolation::Richardson).hash(&mut h);
+                h.write_bool(matches!(extrapolator, Extrapolation::Richardson));
             }
-            Mitigation::Readout => "readout".hash(&mut h),
+            Mitigation::Readout => h.write_u8(tag::READOUT),
             Mitigation::Gaussian { sigma } => {
-                "gaussian".hash(&mut h);
-                sigma.to_bits().hash(&mut h);
+                h.write_u8(tag::GAUSSIAN);
+                h.write_f64(sigma);
             }
         }
         // Keep a pathological all-zero hash from aliasing the raw key.

@@ -43,7 +43,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Scheduler configuration.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct RuntimeConfig {
     /// Jobs running simultaneously (executor threads). Defaults to the
     /// `oscar-par` worker budget (`OSCAR_THREADS` or the machine's
@@ -51,6 +51,11 @@ pub struct RuntimeConfig {
     pub concurrency: usize,
     /// Ground-truth landscapes kept resident in the LRU cache.
     pub landscape_cache_capacity: usize,
+    /// Optional persistent disk tier under the landscape cache
+    /// ([`crate::store::LandscapeStore`]): in-memory misses probe it,
+    /// fresh landscapes are written behind. `None` (the default) keeps
+    /// the runtime purely in-memory.
+    pub store: Option<Arc<crate::store::LandscapeStore>>,
 }
 
 impl Default for RuntimeConfig {
@@ -58,6 +63,7 @@ impl Default for RuntimeConfig {
         RuntimeConfig {
             concurrency: oscar_par::max_threads(),
             landscape_cache_capacity: 32,
+            store: None,
         }
     }
 }
@@ -463,7 +469,10 @@ impl BatchRuntime {
             cv: Condvar::new(),
             done_cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
-            cache: LandscapeCache::new(config.landscape_cache_capacity.max(1)),
+            cache: LandscapeCache::with_store(
+                config.landscape_cache_capacity.max(1),
+                config.store.clone(),
+            ),
             submitted: AtomicU64::new(0),
             dispatched: AtomicU64::new(0),
             completed: AtomicU64::new(0),

@@ -21,8 +21,7 @@ use oscar_core::landscape::{Landscape, NdLandscape, ShapedLandscape};
 use oscar_core::usecases::mitigation::{scaled_noisy_landscape, zne_factor_seed};
 use oscar_executor::device::{DeviceSpec, QpuDevice, VqeDevice};
 use oscar_problems::workload::{ProblemInstance, VqeEvaluator};
-use std::collections::hash_map::DefaultHasher;
-use std::hash::{Hash, Hasher};
+use oscar_qsim::fingerprint::{tag, Fingerprint};
 
 /// How stage 1 evaluates the ground-truth landscape.
 #[derive(Clone, Debug, PartialEq, Default)]
@@ -72,21 +71,25 @@ impl LandscapeSource {
         }
     }
 
-    /// Stable fingerprint folded into [`crate::cache::LandscapeKey`]:
-    /// 0 for [`Self::Exact`], a hash of the *effective* device
-    /// otherwise — exact and noisy entries can never collide, and a
-    /// shot override that merely restates the device's own shot count
-    /// hashes identically to no override (the landscapes are
-    /// bit-identical, so they must share one cache entry).
-    pub fn fingerprint(&self) -> u64 {
+    /// Stable 128-bit fingerprint folded into
+    /// [`crate::cache::LandscapeKey`]: 0 for [`Self::Exact`], a
+    /// process-stable hash ([`oscar_qsim::fingerprint`]) of the
+    /// *effective* device otherwise — exact and noisy entries can never
+    /// collide, and a shot override that merely restates the device's
+    /// own shot count hashes identically to no override (the landscapes
+    /// are bit-identical, so they must share one cache entry).
+    ///
+    /// Canonical encoding: `tag::NOISY`, then the device fingerprint
+    /// ([`DeviceSpec::fingerprint`]) as `u128`.
+    pub fn fingerprint(&self) -> u128 {
         match self.effective_device() {
             None => 0,
             Some(spec) => {
-                let mut h = DefaultHasher::new();
+                let mut h = Fingerprint::new();
                 // Domain tag keeps a pathological all-zero device hash
                 // from colliding with the exact source's 0.
-                "noisy".hash(&mut h);
-                spec.fingerprint().hash(&mut h);
+                h.write_u8(tag::NOISY);
+                h.write_u128(spec.fingerprint());
                 h.finish()
             }
         }
@@ -99,17 +102,20 @@ impl LandscapeSource {
     /// ZNE job and a raw job over the same device share that entry.
     /// The exact source is scale-independent (no noise to amplify) and
     /// always fingerprints to 0.
-    pub fn scaled_fingerprint(&self, scale: f64) -> u64 {
+    ///
+    /// Canonical encoding (scale ≠ 1): `tag::ZNE_SCALE`, the device
+    /// fingerprint as `u128`, the scale's f64 bit pattern.
+    pub fn scaled_fingerprint(&self, scale: f64) -> u128 {
         if scale == 1.0 {
             return self.fingerprint();
         }
         match self.effective_device() {
             None => 0,
             Some(spec) => {
-                let mut h = DefaultHasher::new();
-                "zne-scale".hash(&mut h);
-                spec.fingerprint().hash(&mut h);
-                scale.to_bits().hash(&mut h);
+                let mut h = Fingerprint::new();
+                h.write_u8(tag::ZNE_SCALE);
+                h.write_u128(spec.fingerprint());
+                h.write_f64(scale);
                 h.finish()
             }
         }

@@ -80,6 +80,7 @@ fn stress_64_mixed_jobs_bit_identical_to_sequential() {
     let runtime = BatchRuntime::new(RuntimeConfig {
         concurrency: 4,
         landscape_cache_capacity: 8,
+        ..RuntimeConfig::default()
     });
     let scheduled = runtime.run_batch(specs.clone()).expect("no job panics");
 
@@ -159,6 +160,7 @@ fn batch_throughput_beats_sequential_on_multicore() {
     let runtime = BatchRuntime::new(RuntimeConfig {
         concurrency: 4,
         landscape_cache_capacity: 8,
+        ..RuntimeConfig::default()
     });
     let t1 = Instant::now();
     let scheduled = runtime.run_batch(specs).expect("no job panics");

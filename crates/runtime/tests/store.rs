@@ -1,0 +1,174 @@
+//! End-to-end pins for the persistent landscape store: a warm-store
+//! batch in a fresh runtime ("restart") must be bit-identical to the
+//! cold run that populated it, serve its landscapes from disk, and
+//! shrug off in-place corruption of individual entries.
+
+use oscar_core::grid::Grid2d;
+use oscar_executor::device::DeviceSpec;
+use oscar_problems::ising::IsingProblem;
+use oscar_runtime::descent::Descent;
+use oscar_runtime::job::{run_job, JobResult, JobSpec};
+use oscar_runtime::mitigation::Mitigation;
+use oscar_runtime::scheduler::{BatchRuntime, RuntimeConfig};
+use oscar_runtime::source::LandscapeSource;
+use oscar_runtime::store::{store_stats, LandscapeStore};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+fn test_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("oscar-store-e2e-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A ZNE sweep over noisy devices: the workload whose landscapes (one
+/// per scale factor per instance) are the expensive state a warm store
+/// carries across restarts.
+fn zne_batch() -> Vec<JobSpec> {
+    let problems: Vec<IsingProblem> = (0..2)
+        .map(|k| {
+            let mut rng = StdRng::seed_from_u64(500 + k);
+            IsingProblem::random_3_regular(6 + 2 * k as usize, &mut rng)
+        })
+        .collect();
+    let perth = DeviceSpec::by_name("ibm perth").expect("known device");
+    let mut specs = Vec::new();
+    for (pi, problem) in problems.iter().enumerate() {
+        for landscape_seed in [1u64, 2] {
+            for seed in [10u64, 11] {
+                specs.push(
+                    JobSpec::new(
+                        problem.clone(),
+                        Grid2d::small_p1(10, 12 + 2 * pi),
+                        0.3,
+                        seed,
+                    )
+                    .with_source(LandscapeSource::noisy(perth.clone()))
+                    .with_landscape_seed(landscape_seed)
+                    .with_mitigation(Mitigation::zne_richardson())
+                    .with_descent(Descent::OPTIMIZERS[seed as usize % Descent::OPTIMIZERS.len()]),
+                );
+            }
+        }
+    }
+    assert_eq!(specs.len(), 8);
+    specs
+}
+
+fn run_with_store(dir: &Path, concurrency: usize) -> Vec<JobResult> {
+    let store = LandscapeStore::open(dir).expect("store opens");
+    let runtime = BatchRuntime::new(RuntimeConfig {
+        concurrency,
+        landscape_cache_capacity: 32,
+        store: Some(Arc::clone(&store)),
+    });
+    let results = runtime.run_batch(zne_batch()).expect("no job panics");
+    store.flush();
+    results
+}
+
+fn assert_results_identical(a: &JobResult, b: &JobResult, ctx: &str) {
+    assert_eq!(
+        a.reconstruction.values(),
+        b.reconstruction.values(),
+        "{ctx}: reconstruction drifted"
+    );
+    assert_eq!(a.nrmse.to_bits(), b.nrmse.to_bits(), "{ctx}: nrmse drifted");
+    assert_eq!(
+        (&a.best_point, a.best_value.to_bits()),
+        (&b.best_point, b.best_value.to_bits()),
+        "{ctx}: optimization drifted"
+    );
+}
+
+#[test]
+fn warm_store_restart_is_bit_identical_and_served_from_disk() {
+    let dir = test_dir("warm-restart");
+    // Uncached, storeless reference: the pure function of each spec.
+    let reference: Vec<JobResult> = zne_batch().iter().map(|s| run_job(s, None)).collect();
+
+    // Cold run populates the store (write-behind, flushed on drop).
+    let cold = run_with_store(&dir, 4);
+    let entries = std::fs::read_dir(&dir)
+        .expect("store dir exists")
+        .filter(|e| {
+            e.as_ref()
+                .is_ok_and(|e| e.path().extension().is_some_and(|x| x == "osl"))
+        })
+        .count();
+    assert!(entries > 0, "cold run must persist landscape entries");
+
+    // Warm run in a *fresh* runtime and store handle: every landscape
+    // should come off disk, and every result must be bit-identical.
+    let before = store_stats();
+    let warm = run_with_store(&dir, 4);
+    let after = store_stats();
+    assert!(
+        after.hits > before.hits,
+        "warm run must serve landscapes from the disk tier"
+    );
+
+    // A different executor count over the same warm store, too.
+    let warm_one = run_with_store(&dir, 1);
+
+    for (i, ((r, c), (w, w1))) in reference
+        .iter()
+        .zip(&cold)
+        .zip(warm.iter().zip(&warm_one))
+        .enumerate()
+    {
+        assert_results_identical(r, c, &format!("job {i}: cold-with-store vs storeless"));
+        assert_results_identical(c, w, &format!("job {i}: warm restart vs cold"));
+        assert_results_identical(w, w1, &format!("job {i}: warm 1 vs 4 executors"));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupted_entries_regenerate_bit_identically() {
+    let dir = test_dir("corrupt-regen");
+    let cold = run_with_store(&dir, 4);
+
+    // Damage every entry a different way: truncate, bit-flip, garbage.
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .expect("store dir exists")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "osl"))
+        .collect();
+    paths.sort();
+    assert!(!paths.is_empty());
+    for (i, path) in paths.iter().enumerate() {
+        let mut bytes = std::fs::read(path).expect("entry readable");
+        match i % 3 {
+            0 => bytes.truncate(bytes.len() / 2),
+            1 => bytes[40] ^= 0xff,
+            _ => bytes = b"not a landscape".to_vec(),
+        }
+        std::fs::write(path, &bytes).expect("entry writable");
+    }
+
+    let before = store_stats();
+    let warm = run_with_store(&dir, 4);
+    let after = store_stats();
+    assert!(
+        after.corrupt_entries > before.corrupt_entries,
+        "damaged entries must be detected"
+    );
+    for (i, (c, w)) in cold.iter().zip(&warm).enumerate() {
+        assert_results_identical(c, w, &format!("job {i}: corrupted store vs cold"));
+    }
+
+    // The corrupt-store run rewrote the entries; a third run hits disk.
+    let before = store_stats();
+    let rewarmed = run_with_store(&dir, 4);
+    assert!(
+        store_stats().hits > before.hits,
+        "rewritten entries must hit"
+    );
+    for (i, (c, w)) in cold.iter().zip(&rewarmed).enumerate() {
+        assert_results_identical(c, w, &format!("job {i}: rewritten store vs cold"));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

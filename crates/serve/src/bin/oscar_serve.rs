@@ -41,7 +41,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: oscar-serve (--socket PATH | --listen HOST:PORT) \
          [--concurrency N] [--max-pending N] [--quota N] [--cache N] \
-         [--metrics-text]"
+         [--store DIR] [--metrics-text]"
     );
     std::process::exit(2);
 }
@@ -67,6 +67,7 @@ fn parse_args() -> Args {
             "--max-pending" => args.config.max_pending = parse_num(&value("--max-pending")),
             "--quota" => args.config.per_client_quota = parse_num(&value("--quota")),
             "--cache" => args.config.cache_capacity = parse_num(&value("--cache")),
+            "--store" => args.config.store_dir = Some(value("--store").into()),
             "--metrics-text" => args.config.metrics_text = true,
             "--help" | "-h" => usage(),
             other => {
@@ -91,8 +92,8 @@ fn parse_num(text: &str) -> usize {
 
 fn start(args: &Args) -> std::io::Result<DaemonHandle> {
     match (&args.socket, &args.listen) {
-        (Some(path), _) => spawn_unix(path, args.config),
-        (None, Some(addr)) => spawn_tcp(addr, args.config),
+        (Some(path), _) => spawn_unix(path, args.config.clone()),
+        (None, Some(addr)) => spawn_tcp(addr, args.config.clone()),
         // parse_args() rejects this combination up front.
         (None, None) => Err(std::io::Error::new(
             std::io::ErrorKind::InvalidInput,

@@ -50,12 +50,17 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Daemon configuration (all bounds have safe defaults).
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ServeConfig {
     /// Executor threads in the owned [`BatchRuntime`].
     pub concurrency: usize,
     /// Landscape-cache capacity of the runtime.
     pub cache_capacity: usize,
+    /// Optional persistent landscape store directory
+    /// ([`oscar_runtime::store::LandscapeStore`]): landscapes survive
+    /// daemon restarts, so a recycled daemon serves a warm workload at
+    /// reconstruction speed instead of regenerating every landscape.
+    pub store_dir: Option<PathBuf>,
     /// Admission bound: submits are rejected `overloaded` while this
     /// many jobs are already queued.
     pub max_pending: usize,
@@ -82,6 +87,7 @@ impl Default for ServeConfig {
         ServeConfig {
             concurrency: oscar_par::max_threads(),
             cache_capacity: 32,
+            store_dir: None,
             max_pending: 64,
             per_client_quota: 16,
             metrics_text: false,
@@ -221,11 +227,16 @@ impl std::fmt::Debug for ServerState {
 }
 
 impl ServerState {
-    fn new(config: ServeConfig) -> Arc<ServerState> {
-        Arc::new(ServerState {
+    fn new(config: ServeConfig) -> std::io::Result<Arc<ServerState>> {
+        let store = match &config.store_dir {
+            Some(dir) => Some(oscar_runtime::store::LandscapeStore::open(dir)?),
+            None => None,
+        };
+        Ok(Arc::new(ServerState {
             runtime: BatchRuntime::new(RuntimeConfig {
                 concurrency: config.concurrency.max(1),
                 landscape_cache_capacity: config.cache_capacity.max(1),
+                store,
             }),
             config,
             jobs: Mutex::new(BTreeMap::new()),
@@ -238,7 +249,7 @@ impl ServerState {
             rejected_draining: AtomicU64::new(0),
             bad_requests: AtomicU64::new(0),
             disconnect_cancelled: AtomicU64::new(0),
-        })
+        }))
     }
 
     /// `true` once a drain (verb, SIGTERM, or shutdown) has begun:
@@ -780,7 +791,7 @@ fn spawn(
     local_addr: Option<SocketAddr>,
     socket_path: Option<PathBuf>,
 ) -> std::io::Result<DaemonHandle> {
-    let state = ServerState::new(config);
+    let state = ServerState::new(config)?;
     let accept_state = Arc::clone(&state);
     let accept = std::thread::Builder::new()
         .name("oscar-serve-accept".into())

@@ -37,6 +37,7 @@ fn main() {
     let runtime = BatchRuntime::new(RuntimeConfig {
         concurrency: 4,
         landscape_cache_capacity: 16,
+        ..RuntimeConfig::default()
     });
 
     let handles: Vec<_> = problems
